@@ -1,0 +1,68 @@
+// Figure 11 — scheduling case study: CDFs and means of function density
+// (instances per core), cluster CPU utilisation and memory utilisation
+// over an Azure-trace-driven run, for Gsight vs Pythia(BestFit) vs
+// WorstFit.
+// Paper: Gsight densities +18.79% over Pythia and +48.48% over WorstFit;
+// CPU util +30.02%/+67.51%; memory util +31.04%/+76.91%.
+#include "sched_study.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace gsight;
+
+void print_cdf(const char* title, const std::vector<double>& samples) {
+  std::printf("%s CDF: ", title);
+  for (const double q : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    std::printf("p%.0f=%.4f ", q, stats::percentile(samples, q));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::Stopwatch total;
+  auto setup = bench::prepare_study();
+  std::printf("[setup] predictors trained, curve knee=%.3f, %.1f s\n",
+              setup->curve->knee_ipc(), total.seconds());
+
+  const auto reports = bench::run_all_schedulers(*setup);
+
+  bench::header("Figure 11: density / CPU / memory utilisation by scheduler");
+  for (const auto& r : reports) {
+    std::printf("\n[%s]  requests=%llu failed=%llu jobs=%llu scale-outs=%llu "
+                "cold-starts=%llu\n",
+                r.scheduler.c_str(),
+                static_cast<unsigned long long>(r.requests_completed),
+                static_cast<unsigned long long>(r.requests_failed),
+                static_cast<unsigned long long>(r.jobs_completed),
+                static_cast<unsigned long long>(r.scale_outs),
+                static_cast<unsigned long long>(r.cold_starts));
+    std::printf("  mean density %.4f inst/core | mean CPU util %.3f | mean "
+                "mem util %.3f\n",
+                r.mean_density(), r.mean_cpu_util(), r.mean_mem_util());
+    print_cdf("  density", r.density_samples);
+    print_cdf("  cpu    ", r.cpu_util_samples);
+    print_cdf("  memory ", r.mem_util_samples);
+  }
+  bench::rule();
+  const auto& g = reports[0];
+  const auto& p = reports[1];
+  const auto& w = reports[2];
+  std::printf("Gsight density : +%.2f%% vs Pythia (paper +18.79%%), +%.2f%% "
+              "vs WorstFit (paper +48.48%%)\n",
+              100.0 * (g.mean_density() / p.mean_density() - 1.0),
+              100.0 * (g.mean_density() / w.mean_density() - 1.0));
+  std::printf("Gsight CPU util: +%.2f%% vs Pythia (paper +30.02%%), +%.2f%% "
+              "vs WorstFit (paper +67.51%%)\n",
+              100.0 * (g.mean_cpu_util() / p.mean_cpu_util() - 1.0),
+              100.0 * (g.mean_cpu_util() / w.mean_cpu_util() - 1.0));
+  std::printf("Gsight mem util: +%.2f%% vs Pythia (paper +31.04%%), +%.2f%% "
+              "vs WorstFit (paper +76.91%%)\n",
+              100.0 * (g.mean_mem_util() / p.mean_mem_util() - 1.0),
+              100.0 * (g.mean_mem_util() / w.mean_mem_util() - 1.0));
+
+  std::printf("\n[bench_fig11_scheduling done in %.1f s]\n", total.seconds());
+  return 0;
+}

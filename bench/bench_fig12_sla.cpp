@@ -1,0 +1,40 @@
+// Figure 12 — SLA guarantees under Gsight scheduling. SLAs follow §6.3:
+// each LS app's target is its solo p99 under sustained load; scheduling
+// enforces the IPC floor derived through the latency-IPC curve (Figure 7).
+// Paper: the social network meets its SLA in 95.39% of windows and
+// e-commerce in 93.33% under Gsight.
+#include "sched_study.hpp"
+
+int main() {
+  using namespace gsight;
+  bench::Stopwatch total;
+  auto setup = bench::prepare_study(/*seed=*/2022);
+  const auto reports = bench::run_all_schedulers(*setup);
+
+  bench::header("Figure 12: fraction of windows meeting the p99 SLA");
+  std::printf("%-16s", "scheduler");
+  for (const auto& app : reports[0].sla) {
+    std::printf(" %22s", app.app.c_str());
+  }
+  std::printf("\n");
+  bench::rule();
+  for (const auto& r : reports) {
+    std::printf("%-16s", r.scheduler.c_str());
+    for (const auto& app : r.sla) {
+      std::printf(" %14.2f%% (p99 %3.0fms)", 100.0 * app.satisfied_fraction,
+                  app.overall_p99_s * 1e3);
+    }
+    std::printf("\n");
+  }
+  bench::rule();
+  for (const auto& app : reports[0].sla) {
+    std::printf("SLA target %s: %.0f ms\n", app.app.c_str(),
+                app.sla_p99_s * 1e3);
+  }
+  std::printf("paper: Gsight keeps the social network within SLA 95.39%% of "
+              "the time and e-commerce 93.33%% (weak windows concentrate "
+              "below the IPC knee)\n");
+
+  std::printf("\n[bench_fig12_sla done in %.1f s]\n", total.seconds());
+  return 0;
+}

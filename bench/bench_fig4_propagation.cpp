@@ -1,0 +1,139 @@
+// Figure 4 — hotspot propagation and restoring propagation.
+// Interference is created at (a) compose-post (fn 1) and (b)
+// compose-and-upload (fn 6). For each case we report every function's
+// local p99 latency and invocation rate in three regimes: baseline,
+// under interference, and after "local control" (migrating the corunner
+// away, modelled by aborting its execution).
+// Paper: the interfered function's p99 rises, all other functions' p99
+// *drops* (their arrival rate is gated by the bottleneck — Observation 4);
+// local control restores the interfered function and re-raises the others
+// as invocations resume (Observation 5).
+#include "common.hpp"
+#include "sim/platform.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+
+namespace {
+
+using namespace gsight;
+
+struct PhaseStats {
+  std::array<double, 9> p99_ms{};
+  std::array<double, 9> rate{};  // completions per second
+};
+
+// One long run: [0, 40) baseline is a separate run; the interference run
+// measures "during" on [10, 40) and "after control" on [50, 80).
+struct CaseResult {
+  PhaseStats baseline;
+  PhaseStats during;
+  PhaseStats after;
+};
+
+PhaseStats window_stats(const sim::Platform& platform, std::size_t sn_id,
+                        double t0, double t1) {
+  PhaseStats out;
+  for (std::size_t fn = 0; fn < 9; ++fn) {
+    std::vector<double> lat;
+    for (const auto& [t, l] : platform.stats(sn_id).fn_latency[fn]) {
+      if (t >= t0 && t < t1) lat.push_back(l);
+    }
+    out.rate[fn] = static_cast<double>(lat.size()) / (t1 - t0);
+    out.p99_ms[fn] = stats::percentile(std::move(lat), 99.0) * 1e3;
+  }
+  return out;
+}
+
+CaseResult run_case(std::size_t interfered_fn) {
+  const double qps = 85.0;
+  auto make_platform = [&](std::uint64_t seed) {
+    sim::PlatformConfig pc;
+    pc.servers = 9;
+    pc.server = sim::ServerConfig::socket();
+    pc.seed = seed;
+    pc.instance.startup_cores = 0.0;
+    pc.instance.startup_disk_mbps = 0.0;
+    return sim::Platform(pc);
+  };
+  auto deploy_sn = [&](sim::Platform& platform) {
+    auto sn = wl::social_network();
+    for (auto& fn : sn.functions) fn.cold_start_s = 0.0;
+    std::vector<std::size_t> placement(9);
+    for (std::size_t i = 0; i < 9; ++i) placement[i] = i;
+    return platform.deploy(sn, placement);
+  };
+
+  CaseResult result;
+  {
+    auto platform = make_platform(7);
+    const std::size_t sn_id = deploy_sn(platform);
+    platform.set_open_loop(sn_id, qps);
+    platform.run_until(40.0);
+    result.baseline = window_stats(platform, sn_id, 10.0, 40.0);
+  }
+  {
+    auto platform = make_platform(7);
+    const std::size_t sn_id = deploy_sn(platform);
+    const auto mm = wl::matmul(10.0);
+    const std::size_t co = platform.deploy(mm, {interfered_fn});
+    platform.submit_job(co);
+    platform.set_open_loop(sn_id, qps);
+    platform.run_until(40.0);
+    result.during = window_stats(platform, sn_id, 10.0, 40.0);
+    platform.abort_executions(co);  // local control at t = 40
+    platform.run_until(80.0);
+    result.after = window_stats(platform, sn_id, 50.0, 80.0);
+  }
+  return result;
+}
+
+void print_case(const char* title, std::size_t interfered_fn) {
+  const auto sn = wl::social_network();
+  bench::header(title);
+  const auto r = run_case(interfered_fn);
+  std::printf("%-22s | %10s %10s %10s | %8s %8s %8s\n", "function",
+              "base p99", "intf p99", "ctrl p99", "base r/s", "intf r/s",
+              "ctrl r/s");
+  bench::rule();
+  for (std::size_t fn = 0; fn < 9; ++fn) {
+    std::printf("%-22s | %10.2f %10.2f %10.2f | %8.1f %8.1f %8.1f%s\n",
+                sn.functions[fn].name.c_str(), r.baseline.p99_ms[fn],
+                r.during.p99_ms[fn], r.after.p99_ms[fn], r.baseline.rate[fn],
+                r.during.rate[fn], r.after.rate[fn],
+                fn == interfered_fn ? "  <- interfered" : "");
+  }
+  bench::rule();
+  // Quantify the propagation claims.
+  std::size_t others_lower = 0;
+  for (std::size_t fn = 0; fn < 9; ++fn) {
+    if (fn == interfered_fn) continue;
+    if (r.during.p99_ms[fn] <= r.baseline.p99_ms[fn] * 1.02) ++others_lower;
+  }
+  std::size_t others_rebound = 0;
+  for (std::size_t fn = 0; fn < 9; ++fn) {
+    if (fn == interfered_fn) continue;
+    if (r.after.p99_ms[fn] > r.during.p99_ms[fn] * 1.02) ++others_rebound;
+  }
+  std::printf("interfered fn p99: %.1fx baseline;  %zu/8 other functions at or "
+              "below baseline during interference (Obs 4);  control restores "
+              "interfered fn to %.1fx baseline while %zu/8 others re-rise as "
+              "invocations resume (Obs 5)\n",
+              r.during.p99_ms[interfered_fn] /
+                  r.baseline.p99_ms[interfered_fn],
+              others_lower,
+              r.after.p99_ms[interfered_fn] /
+                  r.baseline.p99_ms[interfered_fn],
+              others_rebound);
+}
+
+}  // namespace
+
+int main() {
+  bench::Stopwatch total;
+  print_case("Figure 4(a): interference & control at (1) compose-post",
+             wl::kComposePost);
+  print_case("Figure 4(b): interference & control at (6) compose-and-upload",
+             wl::kComposeAndUpload);
+  std::printf("\n[bench_fig4_propagation done in %.1f s]\n", total.seconds());
+  return 0;
+}

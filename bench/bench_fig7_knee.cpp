@@ -1,0 +1,75 @@
+// Figure 7 — the latency-IPC correlation knee. LS services are driven
+// under varied QPS and varied spatial/temporal overlap; each label window
+// contributes an (IPC, p99) point. Above the knee the two correlate
+// strongly (the basis for scheduling on the IPC model, §6.3); below it
+// tail latency decouples. Paper: only ~4.1% of samples sit below the knee.
+#include "common.hpp"
+#include "core/sla.hpp"
+
+int main() {
+  using namespace gsight;
+  bench::Stopwatch total;
+
+  auto cfg = bench::quick_builder_config();
+  cfg.ls_qps_levels = {25.0, 50.0, 75.0, 95.0};  // the top levels push some colocations past saturation
+  prof::ProfileStore store;
+  core::DatasetBuilder builder(&store, cfg, /*seed=*/777);
+
+  // Axes are solo-normalised so services with different baseline IPCs pool
+  // onto one curve: x = IPC / solo IPC, y = p99 / solo p99.
+  std::vector<core::LatencyIpcPoint> points;
+  for (const auto cls :
+       {core::ColocationClass::kLsLs, core::ColocationClass::kLsScBg}) {
+    const auto samples = builder.build(cls, core::QosKind::kIpc, 120);
+    for (const auto& s : samples) {
+      const auto* profile = s.outcome.scenario.workloads[0].profile;
+      if (profile->solo_mean_ipc <= 0.0 || profile->solo_e2e_p99_s <= 0.0) {
+        continue;
+      }
+      for (const auto& [ipc, p99] : s.outcome.window_ipc_p99) {
+        points.push_back({ipc / profile->solo_mean_ipc,
+                          p99 / profile->solo_e2e_p99_s});
+      }
+    }
+  }
+  std::printf("collected %zu solo-normalised (IPC, p99) windows\n",
+              points.size());
+
+  core::LatencyIpcCurve curve(points);
+  bench::header("Figure 7: latency-IPC curve (log-latency vs IPC)");
+  // Print the curve as IPC-bucket medians.
+  const auto& pts = curve.points();
+  const std::size_t buckets = 14;
+  std::printf("%10s %14s %14s %8s\n", "IPC/solo", "median p99/solo",
+              "p95 p99/solo", "count");
+  bench::rule();
+  const double lo = pts.front().ipc, hi = pts.back().ipc;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const double b_lo = lo + (hi - lo) * static_cast<double>(b) / buckets;
+    const double b_hi = lo + (hi - lo) * static_cast<double>(b + 1) / buckets;
+    std::vector<double> lat;
+    for (const auto& p : pts) {
+      if (p.ipc >= b_lo && p.ipc < b_hi) lat.push_back(p.p99_latency_s);
+    }
+    if (lat.empty()) continue;
+    std::printf("%10.3f %14.2f %14.2f %8zu%s\n", 0.5 * (b_lo + b_hi),
+                stats::percentile(lat, 50.0), stats::percentile(lat, 95.0),
+                lat.size(),
+                0.5 * (b_lo + b_hi) < curve.knee_ipc() ? "   [below knee]"
+                                                       : "");
+  }
+  bench::rule();
+  std::printf("knee IPC          : %.3f\n", curve.knee_ipc());
+  std::printf("corr above knee   : %.3f (Pearson of IPC vs log p99)\n",
+              curve.correlation_above_knee());
+  std::printf("below-knee share  : %.1f%% of samples (paper: 4.1%%)\n",
+              100.0 * curve.fraction_below_knee());
+  // SLA transformation example (used by the schedulers in Figures 11-12):
+  // a latency budget of 1.5x the solo p99 maps to a relative IPC floor.
+  std::printf("latency->IPC floor: p99 budget 1.5x solo -> IPC >= %.3f x "
+              "solo IPC\n",
+              curve.ipc_for_latency(1.5));
+
+  std::printf("\n[bench_fig7_knee done in %.1f s]\n", total.seconds());
+  return 0;
+}

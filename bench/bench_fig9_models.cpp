@@ -1,0 +1,169 @@
+// Figure 9 + Table 2 (Gsight row) — prediction error of the five
+// incremental learners (IRFR, IKNN, ILR, ISVR, IMLP) and the ESP / Pythia
+// baselines, per colocation class (LS+LS, LS+SC/BG, SC+SC/BG), for both
+// IPC and tail-latency targets (JCT for the SC class).
+//
+// Protocol: prequential (online) evaluation, matching the paper's
+// incremental-learning deployment — scenarios arrive as a stream; the
+// model predicts each scenario's QoS *before* observing its labels, then
+// absorbs them. Error is reported over the second half of the stream
+// (after convergence). Because colocation patterns recur in production,
+// an encoder that can tell scenarios apart converges to low error, while
+// workload-level predictors (Pythia, ESP) conflate scenarios that differ
+// only spatially/temporally and plateau — exactly the paper's argument.
+//
+// Paper: IRFR wins everywhere (IPC error 1.71% on LS+SC/BG, <= 5% worst
+// case SC+SC/BG); Pythia and ESP are the worst; tail latency is much
+// harder than IPC (28.6% vs 1.71%).
+#include <map>
+#include <memory>
+
+#include "baselines/esp.hpp"
+#include "baselines/pythia.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace gsight;
+
+std::vector<double> labels_for(const core::ScenarioSamples& s,
+                               core::QosKind qos) {
+  switch (qos) {
+    case core::QosKind::kIpc:
+      return s.labels;  // stream was built with kIpc
+    case core::QosKind::kTailLatency:
+      return s.outcome.window_p99;
+    case core::QosKind::kJct:
+      return s.outcome.jct_s > 0.0 ? std::vector<double>{s.outcome.jct_s}
+                                   : std::vector<double>{};
+  }
+  return {};
+}
+
+/// Prequential error of any ScenarioPredictor over the stream: predict,
+/// score (after the warmup half), then learn.
+double prequential(core::ScenarioPredictor& predictor,
+                   const std::vector<core::ScenarioSamples>& stream,
+                   core::QosKind qos) {
+  const std::size_t warm = stream.size() / 2;
+  std::vector<double> truth, pred;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto labels = labels_for(stream[i], qos);
+    if (labels.empty()) continue;
+    if (i >= warm) {
+      truth.push_back(stats::mean(labels));
+      pred.push_back(predictor.predict(stream[i].outcome.scenario));
+    }
+    for (double l : labels) {
+      predictor.observe(stream[i].outcome.scenario, l);
+    }
+  }
+  predictor.flush();
+  return ml::mape(truth, pred);
+}
+
+double run_gsight(core::ModelKind model,
+                  const std::vector<core::ScenarioSamples>& stream,
+                  core::QosKind qos, const core::EncoderConfig& enc) {
+  core::PredictorConfig cfg;
+  cfg.encoder = enc;
+  cfg.model = model;
+  cfg.qos = qos;
+  // Small enough that the slow JCT stream (1 label/scenario) still folds
+  // observations in before the evaluation half begins.
+  cfg.update_batch = 64;
+  core::GsightPredictor predictor(cfg);
+  return prequential(predictor, stream, qos);
+}
+
+double run_baseline(bool pythia,
+                    const std::vector<core::ScenarioSamples>& stream,
+                    core::QosKind qos) {
+  if (pythia) {
+    baselines::PythiaPredictor predictor;
+    return prequential(predictor, stream, qos);
+  }
+  baselines::EspPredictor predictor;
+  return prequential(predictor, stream, qos);
+}
+
+}  // namespace
+
+int main() {
+  bench::Stopwatch total;
+  auto cfg = bench::quick_builder_config();
+  prof::ProfileStore store;
+  core::DatasetBuilder builder(&store, cfg, /*seed=*/404);
+
+  const std::vector<std::pair<core::ColocationClass, std::size_t>> classes = {
+      {core::ColocationClass::kLsLs, 240},
+      {core::ColocationClass::kLsScBg, 240},
+      {core::ColocationClass::kScScBg, 240},
+  };
+  std::map<core::ColocationClass, std::vector<core::ScenarioSamples>> data;
+  for (const auto& [cls, count] : classes) {
+    bench::Stopwatch sw;
+    data[cls] = builder.build(cls, core::QosKind::kIpc, count);
+    std::printf("[setup] %-9s: %zu scenarios in %.1f s\n", to_string(cls),
+                data[cls].size(), sw.seconds());
+  }
+
+  const std::vector<core::ModelKind> models = {
+      core::ModelKind::kIRFR, core::ModelKind::kIKNN, core::ModelKind::kILR,
+      core::ModelKind::kISVR, core::ModelKind::kIMLP};
+
+  bench::header(
+      "Figure 9(a): online IPC / JCT prediction error (%) by model");
+  std::printf("%-10s %10s %10s %14s\n", "model", "LS+LS", "LS+SC/BG",
+              "SC+SC/BG(JCT)");
+  bench::rule();
+  double irfr_ls_scbg = 0.0;
+  for (const auto model : models) {
+    const double a = run_gsight(model, data[core::ColocationClass::kLsLs],
+                                core::QosKind::kIpc, cfg.encoder);
+    const double b = run_gsight(model, data[core::ColocationClass::kLsScBg],
+                                core::QosKind::kIpc, cfg.encoder);
+    const double c = run_gsight(model, data[core::ColocationClass::kScScBg],
+                                core::QosKind::kJct, cfg.encoder);
+    if (model == core::ModelKind::kIRFR) irfr_ls_scbg = b;
+    std::printf("%-10s %10.2f %10.2f %14.2f\n", to_string(model), a, b, c);
+  }
+  for (const bool pythia : {true, false}) {
+    const double a = run_baseline(pythia, data[core::ColocationClass::kLsLs],
+                                  core::QosKind::kIpc);
+    const double b = run_baseline(pythia, data[core::ColocationClass::kLsScBg],
+                                  core::QosKind::kIpc);
+    const double c = run_baseline(pythia, data[core::ColocationClass::kScScBg],
+                                  core::QosKind::kJct);
+    std::printf("%-10s %10.2f %10.2f %14.2f\n", pythia ? "Pythia" : "ESP", a,
+                b, c);
+  }
+  bench::rule();
+  std::printf("IRFR LS+SC/BG IPC error: %.2f%% (paper: 1.71%%)\n",
+              irfr_ls_scbg);
+
+  bench::header("Figure 9(b): online tail-latency prediction error (%)");
+  std::printf("%-10s %10s %10s\n", "model", "LS+LS", "LS+SC/BG");
+  bench::rule();
+  for (const auto model : models) {
+    const double a = run_gsight(model, data[core::ColocationClass::kLsLs],
+                                core::QosKind::kTailLatency, cfg.encoder);
+    const double b = run_gsight(model, data[core::ColocationClass::kLsScBg],
+                                core::QosKind::kTailLatency, cfg.encoder);
+    std::printf("%-10s %10.2f %10.2f\n", to_string(model), a, b);
+  }
+  for (const bool pythia : {true, false}) {
+    std::printf("%-10s %10.2f %10.2f\n", pythia ? "Pythia" : "ESP",
+                run_baseline(pythia, data[core::ColocationClass::kLsLs],
+                             core::QosKind::kTailLatency),
+                run_baseline(pythia, data[core::ColocationClass::kLsScBg],
+                             core::QosKind::kTailLatency));
+  }
+  bench::rule();
+  std::printf("(paper: tail latency is much harder than IPC — 28.6%% for "
+              "Gsight, improving to 18.7%% with the knee filter; see "
+              "bench_ablation)\n");
+
+  std::printf("\n[bench_fig9_models done in %.1f s]\n", total.seconds());
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Microbenchmarks (google-benchmark) for the kernels on the scheduling
+// fast path: overlap-code encoding, forest inference and incremental
+// update, interference evaluation, and event-queue throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/encoder.hpp"
+#include "ml/incremental_forest.hpp"
+#include "sim/engine.hpp"
+#include "sim/interference.hpp"
+#include "stats/rng.hpp"
+#include "workloads/socialnetwork.hpp"
+
+namespace {
+
+using namespace gsight;
+
+prof::AppProfile synthetic_profile(std::size_t fns, stats::Rng& rng) {
+  prof::AppProfile p;
+  p.app_name = "synthetic";
+  for (std::size_t i = 0; i < fns; ++i) {
+    prof::FunctionProfile fp;
+    for (auto& m : fp.metrics) m = rng.uniform(0.0, 10.0);
+    fp.demand.cores = rng.uniform(0.5, 4.0);
+    fp.solo_duration_s = rng.uniform(0.001, 0.05);
+    p.functions.push_back(fp);
+  }
+  return p;
+}
+
+core::Scenario synthetic_scenario(const prof::AppProfile& a,
+                                  const prof::AppProfile& b,
+                                  std::size_t servers, stats::Rng& rng) {
+  core::Scenario s;
+  s.servers = servers;
+  for (const auto* prof : {&a, &b}) {
+    core::WorkloadDeployment w;
+    w.profile = prof;
+    for (std::size_t i = 0; i < prof->functions.size(); ++i) {
+      w.fn_to_server.push_back(rng.uniform_index(servers));
+    }
+    s.workloads.push_back(std::move(w));
+  }
+  return s;
+}
+
+void BM_EncoderEncode(benchmark::State& state) {
+  stats::Rng rng(1);
+  const auto a = synthetic_profile(9, rng);
+  const auto b = synthetic_profile(3, rng);
+  const auto scenario = synthetic_scenario(a, b, 8, rng);
+  core::Encoder encoder{core::EncoderConfig{}};  // paper-scale: 2580 dims
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(scenario));
+  }
+}
+BENCHMARK(BM_EncoderEncode);
+
+void BM_ForestPredict(benchmark::State& state) {
+  stats::Rng rng(2);
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  ml::Dataset data(dims);
+  std::vector<double> x(dims);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& v : x) v = rng.uniform();
+    data.add(x, rng.uniform());
+  }
+  ml::IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 80;
+  cfg.forest.tree.split_mode = ml::SplitMode::kRandom;
+  ml::IncrementalForest forest(cfg, 1);
+  forest.partial_fit(data);
+  for (auto& v : x) v = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(x));
+  }
+}
+BENCHMARK(BM_ForestPredict)->Arg(256)->Arg(2580);
+
+void BM_ForestIncrementalUpdate(benchmark::State& state) {
+  stats::Rng rng(3);
+  const std::size_t dims = 2580;
+  ml::Dataset data(dims);
+  std::vector<double> x(dims);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& v : x) v = rng.uniform();
+    data.add(x, rng.uniform());
+  }
+  ml::IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 80;
+  cfg.forest.tree.split_mode = ml::SplitMode::kRandom;
+  ml::IncrementalForest forest(cfg, 1);
+  forest.partial_fit(data);
+  ml::Dataset batch(dims);
+  for (int i = 0; i < 32; ++i) {
+    for (auto& v : x) v = rng.uniform();
+    batch.add(x, rng.uniform());
+  }
+  for (auto _ : state) {
+    forest.partial_fit(batch);
+  }
+}
+BENCHMARK(BM_ForestIncrementalUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_InterferenceEvaluate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::InterferenceModel model;
+  const auto server = sim::ServerConfig::socket();
+  std::vector<wl::Phase> phases;
+  for (std::size_t i = 0; i < n; ++i) {
+    phases.push_back(i % 2 == 0 ? wl::memory_phase("m", 1.0)
+                                : wl::mixed_phase("x", 1.0));
+  }
+  std::vector<const wl::Phase*> ptrs;
+  for (const auto& p : phases) ptrs.push_back(&p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(server, ptrs));
+  }
+}
+BENCHMARK(BM_InterferenceEvaluate)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      engine.at(static_cast<double>(i % 97), [&fired] { ++fired; });
+    }
+    engine.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Shared plumbing for the reproduction benches: paper-scale configs,
+// table printing, and timing helpers. Every bench is a standalone binary
+// that prints the rows/series of one table or figure from the paper.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "ml/metrics.hpp"
+#include "stats/summary.hpp"
+
+namespace gsight::bench {
+
+/// Paper-scale dataset-builder configuration: 8 sockets as placement
+/// units, encoder slots n=10 (dims = 32*10*8 + 20 = 2 580, §6.4).
+inline core::BuilderConfig paper_builder_config() {
+  core::BuilderConfig cfg;
+  cfg.runner.servers = 8;
+  cfg.runner.server = sim::ServerConfig::socket();
+  cfg.runner.warmup_s = 5.0;
+  cfg.runner.ls_measure_s = 40.0;
+  cfg.runner.label_window_s = 5.0;
+  cfg.encoder.servers = 8;
+  cfg.encoder.max_workloads = 10;
+  cfg.ls_qps_levels = {20.0, 40.0, 60.0};
+  cfg.min_workloads = 2;
+  cfg.max_workloads = 3;
+  cfg.sc_scale = 0.12;
+  cfg.profiler.ls_profile_s = 30.0;
+  cfg.profiler.server = sim::ServerConfig::socket();
+  return cfg;
+}
+
+/// A faster variant for the heavier sweeps (same geometry, shorter runs).
+inline core::BuilderConfig quick_builder_config() {
+  core::BuilderConfig cfg = paper_builder_config();
+  cfg.runner.ls_measure_s = 25.0;
+  cfg.runner.label_window_s = 2.5;
+  cfg.profiler.ls_profile_s = 20.0;
+  return cfg;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Train/test split over per-scenario sample groups (no window leakage).
+inline std::pair<ml::Dataset, std::vector<const core::ScenarioSamples*>>
+split_scenarios(const std::vector<core::ScenarioSamples>& samples,
+                double train_fraction, std::size_t dim) {
+  const auto cut =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(samples.size()));
+  ml::Dataset train(dim);
+  std::vector<const core::ScenarioSamples*> test;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i < cut) {
+      for (double l : samples[i].labels) train.add(samples[i].features, l);
+    } else {
+      test.push_back(&samples[i]);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+/// MAPE of a scenario predictor over held-out scenario groups (predicting
+/// each group's mean label).
+inline double scenario_mape(const core::ScenarioPredictor& predictor,
+                            const std::vector<const core::ScenarioSamples*>& test) {
+  std::vector<double> truth, pred;
+  for (const auto* s : test) {
+    truth.push_back(stats::mean(s->labels));
+    pred.push_back(predictor.predict(s->outcome.scenario));
+  }
+  return ml::mape(truth, pred);
+}
+
+}  // namespace gsight::bench

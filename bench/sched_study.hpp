@@ -1,0 +1,132 @@
+// Shared setup for the Figures 11-12 scheduling study: trains the Gsight
+// IPC predictor and the Pythia baseline on a colocation stream, builds the
+// latency-IPC knee curve, profiles every app the experiment deploys, and
+// runs the three schedulers (Gsight, Pythia-BestFit, WorstFit).
+#pragma once
+
+#include <memory>
+
+#include "baselines/pythia.hpp"
+#include "common.hpp"
+#include "core/sla.hpp"
+#include "sched/bestfit.hpp"
+#include "sched/experiment.hpp"
+#include "sched/gsight_scheduler.hpp"
+#include "sched/worstfit.hpp"
+#include "workloads/ecommerce.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+
+namespace gsight::bench {
+
+struct StudySetup {
+  prof::ProfileStore store;
+  std::unique_ptr<core::GsightPredictor> gsight_ipc;
+  std::unique_ptr<baselines::PythiaPredictor> pythia_ipc;
+  std::unique_ptr<core::LatencyIpcCurve> curve;
+  sched::ExperimentConfig experiment;
+};
+
+inline std::unique_ptr<StudySetup> prepare_study(std::uint64_t seed = 2021) {
+  auto setup = std::make_unique<StudySetup>();
+  auto cfg = quick_builder_config();
+  cfg.sc_scale = 0.08;
+
+  // --- Training stream for both predictors --------------------------------
+  core::DatasetBuilder builder(&setup->store, cfg, seed);
+  std::vector<core::ScenarioSamples> stream;
+  for (const auto cls :
+       {core::ColocationClass::kLsLs, core::ColocationClass::kLsScBg}) {
+    auto part = builder.build(cls, core::QosKind::kIpc, 130);
+    for (auto& s : part) stream.push_back(std::move(s));
+  }
+
+  core::PredictorConfig pcfg;
+  pcfg.encoder = cfg.encoder;
+  pcfg.model = core::ModelKind::kIRFR;
+  setup->gsight_ipc = std::make_unique<core::GsightPredictor>(pcfg);
+  setup->pythia_ipc = std::make_unique<baselines::PythiaPredictor>();
+
+  ml::Dataset train(setup->gsight_ipc->encoder().dimension());
+  // Knee curve on solo-normalised axes (x = IPC/solo IPC, y = p99/solo
+  // p99) so all services pool onto one curve; see bench_fig7_knee.
+  std::vector<core::LatencyIpcPoint> knee_points;
+  for (const auto& s : stream) {
+    for (double l : s.labels) {
+      train.add(s.features, l);
+      setup->pythia_ipc->observe(s.outcome.scenario, l);
+    }
+    const auto* profile = s.outcome.scenario.workloads[0].profile;
+    if (profile->solo_mean_ipc <= 0.0 || profile->solo_e2e_p99_s <= 0.0) {
+      continue;
+    }
+    for (const auto& [ipc, p99] : s.outcome.window_ipc_p99) {
+      knee_points.push_back(
+          {ipc / profile->solo_mean_ipc, p99 / profile->solo_e2e_p99_s});
+    }
+  }
+  setup->gsight_ipc->train(train);
+  setup->pythia_ipc->flush();
+  setup->curve = std::make_unique<core::LatencyIpcCurve>(knee_points);
+
+  // --- Profiles the experiment looks up by plain name ---------------------
+  prof::SoloProfilerConfig spc = cfg.profiler;
+  prof::SoloProfiler profiler(spc);
+  for (const auto& app :
+       {wl::social_network(), wl::e_commerce(), wl::matmul(3.0 * cfg.sc_scale),
+        wl::dd(3.0 * cfg.sc_scale), wl::video_processing(4.0 * cfg.sc_scale),
+        wl::iot_collector()}) {
+    if (!setup->store.contains(app.name)) {
+      setup->store.put(profiler.profile(app));
+    }
+  }
+
+  // --- Experiment configuration -------------------------------------------
+  sched::ExperimentConfig& ec = setup->experiment;
+  ec.servers = 8;
+  ec.server = sim::ServerConfig::socket();
+  ec.duration_s = 480.0;
+  ec.sample_period_s = 2.0;
+  ec.sla_window_s = 10.0;
+  ec.sc_job_period_s = 30.0;
+  ec.sc_scale = cfg.sc_scale;
+  ec.trace.base_qps = 60.0;
+  ec.trace.day_seconds = 480.0;
+  ec.trace.diurnal_amplitude = 0.55;
+  ec.autoscaler.tick_s = 5.0;
+  ec.autoscaler.max_replicas = 24;
+  ec.seed = seed ^ 0xABCD;
+  return setup;
+}
+
+inline std::vector<sched::ExperimentReport> run_all_schedulers(
+    StudySetup& setup) {
+  sched::SchedulingExperiment experiment(&setup.store, setup.experiment);
+  experiment.set_sla_curve(setup.curve.get());
+
+  std::vector<sched::ExperimentReport> reports;
+  {
+    // Gsight runs with its Figure 6 feedback loop: the predictor absorbs
+    // measured IPC under the live deployment every SLA window.
+    sched::GsightSchedulerConfig gc;
+    gc.sla_margin = 0.85;
+    sched::GsightScheduler scheduler(setup.gsight_ipc.get(), gc);
+    reports.push_back(experiment.run(scheduler, setup.gsight_ipc.get()));
+  }
+  {
+    // Same margin as Gsight: what differentiates the two is prediction
+    // quality — Pythia's workload-level model both over-refuses safe
+    // placements and over-admits harmful ones.
+    sched::BestFitConfig bf;
+    bf.sla_margin = 0.85;
+    sched::BestFitScheduler scheduler(setup.pythia_ipc.get(), bf);
+    reports.push_back(experiment.run(scheduler, setup.pythia_ipc.get()));
+  }
+  {
+    sched::WorstFitScheduler scheduler;
+    reports.push_back(experiment.run(scheduler));
+  }
+  return reports;
+}
+
+}  // namespace gsight::bench

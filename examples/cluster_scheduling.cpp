@@ -1,0 +1,87 @@
+// Cluster scheduling example — the §4 case study in miniature: an
+// 8-socket cluster serving two LS apps under a diurnal Azure-style trace
+// with autoscaling, plus periodic batch jobs. Two schedulers are compared
+// end to end: Gsight (predictive, binary-search packing) and the reactive
+// Worst Fit spreader.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "sched/experiment.hpp"
+#include "sched/gsight_scheduler.hpp"
+#include "sched/worstfit.hpp"
+#include "workloads/ecommerce.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+
+using namespace gsight;
+
+int main() {
+  // --- 1. Profiles + a quick online-trained IPC predictor -----------------
+  core::BuilderConfig cfg;
+  cfg.runner.servers = 8;
+  cfg.runner.server = sim::ServerConfig::socket();
+  cfg.encoder.servers = 8;
+  cfg.sc_scale = 0.08;
+  cfg.profiler.server = sim::ServerConfig::socket();
+  cfg.profiler.ls_profile_s = 20.0;
+  prof::ProfileStore store;
+  core::DatasetBuilder builder(&store, cfg, 42);
+
+  std::printf("training the IPC predictor on 80 colocation scenarios...\n");
+  core::PredictorConfig pcfg;
+  pcfg.encoder = cfg.encoder;
+  core::GsightPredictor predictor(pcfg);
+  const auto stream =
+      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc, 80);
+  ml::Dataset train(predictor.encoder().dimension());
+  for (const auto& s : stream) {
+    for (double l : s.labels) train.add(s.features, l);
+  }
+  predictor.train(train);
+
+  prof::SoloProfiler profiler(cfg.profiler);
+  for (const auto& app :
+       {wl::social_network(), wl::e_commerce(), wl::matmul(3.0 * cfg.sc_scale),
+        wl::dd(3.0 * cfg.sc_scale), wl::video_processing(4.0 * cfg.sc_scale),
+        wl::iot_collector()}) {
+    if (!store.contains(app.name)) store.put(profiler.profile(app));
+  }
+
+  // --- 2. The experiment ---------------------------------------------------
+  sched::ExperimentConfig ec;
+  ec.servers = 8;
+  ec.server = sim::ServerConfig::socket();
+  ec.duration_s = 240.0;
+  ec.trace.base_qps = 90.0;
+  ec.trace.day_seconds = 240.0;
+  ec.sc_scale = cfg.sc_scale;
+  ec.autoscaler.max_replicas = 16;
+  sched::SchedulingExperiment experiment(&store, ec);
+
+  sched::GsightScheduler gsight(&predictor);
+  sched::WorstFitScheduler worstfit;
+  for (sched::Scheduler* scheduler :
+       std::initializer_list<sched::Scheduler*>{&gsight, &worstfit}) {
+    const auto report = experiment.run(*scheduler);
+    std::printf("\n[%s]\n", report.scheduler.c_str());
+    std::printf("  requests completed : %llu (failed %llu)\n",
+                static_cast<unsigned long long>(report.requests_completed),
+                static_cast<unsigned long long>(report.requests_failed));
+    std::printf("  batch jobs finished: %llu\n",
+                static_cast<unsigned long long>(report.jobs_completed));
+    std::printf("  mean density       : %.4f instances/core\n",
+                report.mean_density());
+    std::printf("  mean CPU util      : %.1f%%   mean memory util: %.1f%%\n",
+                100.0 * report.mean_cpu_util(),
+                100.0 * report.mean_mem_util());
+    for (const auto& sla : report.sla) {
+      std::printf("  %-16s SLA %3.0f ms: met in %.1f%% of windows "
+                  "(overall p99 %.0f ms)\n",
+                  sla.app.c_str(), sla.sla_p99_s * 1e3,
+                  100.0 * sla.satisfied_fraction, sla.overall_p99_s * 1e3);
+    }
+  }
+  std::printf("\n(see bench_fig11_scheduling / bench_fig12_sla for the full "
+              "three-scheduler study)\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Profile explorer — inspect what the solo-run profiler actually captures
+// for every workload in the suite: the Table 3 metric vector per function,
+// solo QoS reference points, and the derived demand vector. Useful when
+// adding new workload models: if a function's profile doesn't reflect its
+// intended bottleneck, the predictor can't either.
+#include <cstdio>
+
+#include "profiling/solo_profiler.hpp"
+#include "workloads/suite.hpp"
+
+using namespace gsight;
+
+int main(int argc, char** argv) {
+  prof::SoloProfilerConfig cfg;
+  cfg.server = sim::ServerConfig::socket();
+  cfg.ls_profile_s = 20.0;
+  prof::SoloProfiler profiler(cfg);
+
+  std::vector<wl::App> apps;
+  if (argc > 1) {
+    // Explore one app by name, e.g. ./example_profile_explorer matmul
+    apps.push_back(wl::by_name(argv[1]));
+  } else {
+    apps = {wl::by_name("social-network"), wl::by_name("matmul"),
+            wl::by_name("iperf")};
+    std::printf("(pass a workload name to inspect it; showing 3 defaults. "
+                "Known names:");
+    for (const auto& a : wl::full_suite()) std::printf(" %s", a.name.c_str());
+    std::printf(")\n");
+  }
+
+  for (const auto& app : apps) {
+    const auto profile = profiler.profile(app);
+    std::printf("\n=== %s [%s] ===\n", profile.app_name.c_str(),
+                wl::to_string(app.cls).c_str());
+    if (app.cls == wl::WorkloadClass::kLatencySensitive) {
+      std::printf("solo e2e: mean %.2f ms, p99 %.2f ms @ %.0f qps\n",
+                  profile.solo_e2e_mean_s * 1e3, profile.solo_e2e_p99_s * 1e3,
+                  app.default_qps);
+    } else {
+      std::printf("solo JCT: %.1f s\n", profile.solo_jct_s);
+    }
+    for (const auto& fn : profile.functions) {
+      std::printf("\n  %-24s solo %.4gs  p99 %.4gms  demand: %.1f cores, "
+                  "%.1f MB LLC, %.1f GB/s mem, %.0f MB/s disk, %.0f Mb/s "
+                  "net\n",
+                  fn.fn_name.c_str(), fn.solo_duration_s,
+                  fn.solo_p99_latency_s * 1e3, fn.demand.cores,
+                  fn.demand.llc_mb, fn.demand.membw_gbps, fn.demand.disk_mbps,
+                  fn.demand.net_mbps);
+      std::printf("    metrics:");
+      for (std::size_t k = 0; k < prof::kMetricCount; ++k) {
+        const auto m = static_cast<prof::Metric>(k);
+        std::printf(" %s=%.3g%s", prof::metric_name(m), fn.metrics[k],
+                    prof::is_selected(m) ? "" : "*");
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n(* = metric excluded by Gsight's |corr| >= 0.1 selection)\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart — the smallest end-to-end Gsight workflow:
+//   1. profile two workloads solo (one call each, §3.2),
+//   2. describe a colocation scenario (placement + timing),
+//   3. train the predictor on a few observed scenarios,
+//   4. predict the QoS of a new placement before deploying it.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+
+using namespace gsight;
+
+int main() {
+  // ---------------------------------------------------------------- 1
+  // Solo-run profiles: each function of each workload on a dedicated
+  // socket, driven by the open-loop load generator.
+  prof::SoloProfilerConfig profiler_cfg;
+  profiler_cfg.server = sim::ServerConfig::socket();
+  profiler_cfg.ls_profile_s = 20.0;
+
+  prof::ProfileStore store;
+  const std::string sn_key = core::ensure_profile(
+      store, wl::social_network(), /*qps=*/40.0, profiler_cfg);
+  const std::string mm_key = core::ensure_profile(
+      store, wl::matmul(/*minutes=*/0.4), /*qps=*/0.0, profiler_cfg);
+  std::printf("profiled: %s (9 functions), %s\n", sn_key.c_str(),
+              mm_key.c_str());
+  std::printf("social network solo p99: %.1f ms, solo IPC: %.2f\n",
+              store.get(sn_key).solo_e2e_p99_s * 1e3,
+              store.get(sn_key).solo_mean_ipc);
+
+  // ---------------------------------------------------------------- 2+3
+  // Observe a handful of colocations (here: simulated ground truth from
+  // the ScenarioRunner; in production these come from live monitoring).
+  core::RunnerConfig rc;
+  rc.servers = 4;
+  rc.server = sim::ServerConfig::socket();
+  core::ScenarioRunner runner(&store, rc);
+
+  core::PredictorConfig pc;
+  pc.encoder.servers = 4;
+  pc.encoder.max_workloads = 4;
+  pc.model = core::ModelKind::kIRFR;
+  core::GsightPredictor predictor(pc);
+
+  stats::Rng rng(7);
+  core::Scenario last_scenario;
+  for (int round = 0; round < 20; ++round) {
+    core::ScenarioSpec spec;
+    core::ScenarioSpec::Member sn;
+    sn.app = wl::social_network();
+    sn.qps = 40.0;
+    sn.fn_to_server.resize(9);
+    for (auto& s : sn.fn_to_server) s = rng.uniform_index(4);
+    core::ScenarioSpec::Member mm;
+    mm.app = wl::matmul(0.4);
+    mm.fn_to_server = {rng.uniform_index(4)};
+    spec.members = {sn, mm};
+
+    const auto outcome = runner.run(spec);
+    for (double ipc : outcome.window_ipc) {
+      predictor.observe(outcome.scenario, ipc);
+    }
+    last_scenario = outcome.scenario;
+  }
+  predictor.flush();
+  std::printf("trained on %zu observed samples\n", predictor.samples_seen());
+
+  // ---------------------------------------------------------------- 4
+  // What-if: predict the social network's IPC under two placements of the
+  // matmul corunner before committing either.
+  core::Scenario what_if = last_scenario;
+  const std::size_t sn_server = what_if.workloads[0].fn_to_server[0];
+  what_if.workloads[1].fn_to_server = {sn_server};  // colocated
+  const double colocated = predictor.predict(what_if);
+  what_if.workloads[1].fn_to_server = {(sn_server + 1) % 4};  // isolated
+  const double isolated = predictor.predict(what_if);
+  std::printf("predicted IPC with matmul on the same socket: %.3f\n",
+              colocated);
+  std::printf("predicted IPC with matmul isolated:           %.3f\n",
+              isolated);
+  std::printf("-> %s\n", isolated >= colocated
+                             ? "isolating the corunner is the safer placement"
+                             : "colocation looks safe for this pair");
+  return 0;
+}

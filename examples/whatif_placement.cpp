@@ -1,0 +1,125 @@
+// What-if placement explorer — the scenario the paper's intro motivates:
+// a latency-sensitive social network is running; an operator wants to
+// admit a batch job (video transcoding) and needs to know, *before*
+// deploying, which socket it can land on without blowing the service's
+// tail latency.
+//
+// The example trains a Gsight IPC predictor online, sweeps every candidate
+// placement of the batch job, prints the predicted IPC for each, then
+// deploys the predictor's best and worst picks and compares the measured
+// p99 — demonstrating that the prediction ranking is actionable.
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+
+using namespace gsight;
+
+namespace {
+
+constexpr std::size_t kServers = 4;
+
+core::ScenarioSpec make_spec(const std::vector<std::size_t>& sn_placement,
+                             std::size_t batch_server) {
+  core::ScenarioSpec spec;
+  core::ScenarioSpec::Member sn;
+  sn.app = wl::social_network();
+  sn.qps = 50.0;
+  sn.fn_to_server = sn_placement;
+  spec.members.push_back(std::move(sn));
+  core::ScenarioSpec::Member batch;
+  batch.app = wl::video_processing(0.6);
+  batch.fn_to_server = {batch_server};
+  spec.members.push_back(std::move(batch));
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  prof::SoloProfilerConfig profiler_cfg;
+  profiler_cfg.server = sim::ServerConfig::socket();
+  profiler_cfg.ls_profile_s = 20.0;
+  prof::ProfileStore store;
+  core::ensure_profile(store, wl::social_network(), 50.0, profiler_cfg);
+  core::ensure_profile(store, wl::video_processing(0.6), 0.0, profiler_cfg);
+
+  core::RunnerConfig rc;
+  rc.servers = kServers;
+  rc.server = sim::ServerConfig::socket();
+  core::ScenarioRunner runner(&store, rc);
+
+  core::PredictorConfig pc;
+  pc.encoder.servers = kServers;
+  pc.encoder.max_workloads = 4;
+  core::GsightPredictor predictor(pc);
+
+  // The service's functions are spread across the four sockets the way a
+  // Kubernetes-style scheduler would place them.
+  std::vector<std::size_t> sn_placement(9);
+  for (std::size_t i = 0; i < 9; ++i) sn_placement[i] = i % kServers;
+
+  // --- Online training: observe the batch job landing on random sockets --
+  stats::Rng rng(99);
+  std::printf("training the predictor on 10 observed colocations...\n");
+  for (int round = 0; round < 10; ++round) {
+    const auto outcome =
+        runner.run(make_spec(sn_placement, rng.uniform_index(kServers)));
+    for (double ipc : outcome.window_ipc) {
+      predictor.observe(outcome.scenario, ipc);
+    }
+  }
+  predictor.flush();
+
+  // --- Sweep every candidate placement ------------------------------------
+  std::printf("\ncandidate placements for the video-processing job:\n");
+  std::printf("%8s %18s %s\n", "socket", "predicted SN IPC",
+              "colocated SN functions");
+  double best_ipc = -1.0, worst_ipc = 1e18;
+  std::size_t best = 0, worst = 0;
+  const auto sn = wl::social_network();
+  for (std::size_t server = 0; server < kServers; ++server) {
+    // Describe the scenario without running it: profiles + placement only.
+    core::Scenario scenario;
+    scenario.servers = kServers;
+    scenario.workloads.push_back(
+        {&store.get(core::profile_key("social-network", 50.0)), sn_placement,
+         0.0, 0.0});
+    scenario.workloads.push_back(
+        {&store.get("video-processing"), {server}, 0.0,
+         store.get("video-processing").solo_jct_s});
+    const double ipc = predictor.predict(scenario);
+    std::string colocated;
+    for (std::size_t fn = 0; fn < 9; ++fn) {
+      if (sn_placement[fn] == server) {
+        colocated += sn.functions[fn].name + " ";
+      }
+    }
+    std::printf("%8zu %18.3f %s\n", server, ipc, colocated.c_str());
+    if (ipc > best_ipc) {
+      best_ipc = ipc;
+      best = server;
+    }
+    if (ipc < worst_ipc) {
+      worst_ipc = ipc;
+      worst = server;
+    }
+  }
+
+  // --- Validate the ranking against ground truth --------------------------
+  std::printf("\ndeploying the predictor's best (socket %zu) and worst "
+              "(socket %zu) picks...\n", best, worst);
+  const auto best_run = runner.run(make_spec(sn_placement, best));
+  const auto worst_run = runner.run(make_spec(sn_placement, worst));
+  std::printf("measured SN p99: best pick %.1f ms, worst pick %.1f ms\n",
+              best_run.p99_latency_s * 1e3, worst_run.p99_latency_s * 1e3);
+  std::printf("measured SN IPC: best pick %.3f, worst pick %.3f\n",
+              best_run.mean_ipc, worst_run.mean_ipc);
+  std::printf("-> %s\n",
+              best_run.p99_latency_s <= worst_run.p99_latency_s
+                  ? "the predicted ranking matches the measured outcome"
+                  : "ranking mismatch (expected occasionally at this tiny "
+                    "training size)");
+  return 0;
+}

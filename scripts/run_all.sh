@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate every reproduced table/figure and the test report.
+#   scripts/run_all.sh [build-dir]
+set -e
+BUILD=${1:-build}
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+  { [ -f "$b" ] && [ -x "$b" ]; } || continue
+  echo "================================================================"
+  echo "== $b"
+  echo "================================================================"
+  "$b"
+done 2>&1 | tee -a bench_output.txt

@@ -1,0 +1,69 @@
+#include "baselines/esp.hpp"
+
+namespace gsight::baselines {
+
+namespace {
+
+// ESP's four metrics, aggregated workload-level (mean over functions).
+std::array<double, 4> esp_metrics(const prof::AppProfile& profile) {
+  std::array<double, 4> m{};
+  if (profile.functions.empty()) return m;
+  for (const auto& fn : profile.functions) {
+    m[0] += fn.metrics[static_cast<std::size_t>(prof::Metric::kIpc)];
+    m[1] += fn.metrics[static_cast<std::size_t>(prof::Metric::kL2Mpki)];
+    m[2] += fn.metrics[static_cast<std::size_t>(prof::Metric::kL3Mpki)];
+    m[3] += fn.metrics[static_cast<std::size_t>(prof::Metric::kMemIo)];
+  }
+  const double inv = 1.0 / static_cast<double>(profile.functions.size());
+  for (auto& v : m) v *= inv;
+  return m;
+}
+
+}  // namespace
+
+std::vector<double> EspPredictor::featurize(const core::Scenario& scenario) {
+  scenario.validate();
+  const auto target = esp_metrics(*scenario.workloads[0].profile);
+  std::array<double, 4> others{};
+  for (std::size_t i = 1; i < scenario.workloads.size(); ++i) {
+    const auto m = esp_metrics(*scenario.workloads[i].profile);
+    for (std::size_t k = 0; k < 4; ++k) others[k] += m[k];
+  }
+  // Base features: target 4 + corunner-aggregate 4.
+  std::vector<double> base;
+  base.insert(base.end(), target.begin(), target.end());
+  base.insert(base.end(), others.begin(), others.end());
+  // Quadratic expansion (ESP uses polynomial feature maps with selection).
+  std::vector<double> out = base;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    for (std::size_t j = i; j < base.size(); ++j) {
+      out.push_back(base[i] * base[j]);
+    }
+  }
+  return out;
+}
+
+double EspPredictor::predict(const core::Scenario& scenario) const {
+  if (!model_.fitted()) return 0.0;
+  return model_.predict(featurize(scenario));
+}
+
+void EspPredictor::observe(const core::Scenario& scenario, double actual_qos) {
+  const auto x = featurize(scenario);
+  if (pending_.empty() && pending_.feature_count() == 0) {
+    pending_ = ml::Dataset(x.size());
+    if (buffer_.feature_count() == 0) buffer_ = ml::Dataset(x.size());
+  }
+  pending_.add(x, actual_qos);
+  if (pending_.size() >= config_.update_batch) flush();
+}
+
+void EspPredictor::flush() {
+  if (pending_.empty()) return;
+  buffer_.append(pending_);
+  pending_ = ml::Dataset(buffer_.feature_count());
+  model_ = ml::RidgeClosedForm(config_.l2);
+  model_.fit(buffer_);
+}
+
+}  // namespace gsight::baselines

@@ -1,0 +1,42 @@
+// ESP baseline [37] (Mishra, Lafferty, Hoffmann — ICAC'17): predicts
+// application interference with a regression over a small set of
+// cross-application features. Faithful to its limitations as Table 2 and
+// §6.2 describe them: only four microarchitecture metrics per workload
+// (IPC, L2 access rate, L3 access rate, memory bandwidth), workload-level
+// aggregation (no functions, no call path), no spatial or temporal overlap
+// coding. We give it ESP's quadratic feature expansion and a closed-form
+// ridge fit, refit from a growing buffer on each update batch.
+#pragma once
+
+#include "core/predictor.hpp"
+#include "ml/linear.hpp"
+
+namespace gsight::baselines {
+
+struct EspConfig {
+  double l2 = 1e-2;
+  std::size_t update_batch = 32;
+};
+
+class EspPredictor final : public core::ScenarioPredictor {
+ public:
+  explicit EspPredictor(EspConfig config = {}) : config_(config) {}
+
+  double predict(const core::Scenario& scenario) const override;
+  void observe(const core::Scenario& scenario, double actual_qos) override;
+  void flush() override;
+  std::string name() const override { return "ESP"; }
+
+  std::size_t samples_seen() const { return buffer_.size(); }
+
+  /// The quadratic-expanded feature vector (exposed for tests).
+  static std::vector<double> featurize(const core::Scenario& scenario);
+
+ private:
+  EspConfig config_;
+  ml::Dataset buffer_;
+  ml::Dataset pending_;
+  ml::RidgeClosedForm model_{1e-2};
+};
+
+}  // namespace gsight::baselines

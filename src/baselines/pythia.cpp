@@ -1,0 +1,63 @@
+#include "baselines/pythia.hpp"
+
+namespace gsight::baselines {
+
+namespace {
+
+// Workload-level profile: the 16 selected metrics averaged across the
+// workload's functions, placement ignored.
+std::array<double, prof::kSelectedCount> workload_metrics(
+    const prof::AppProfile& profile) {
+  std::array<double, prof::kSelectedCount> m{};
+  if (profile.functions.empty()) return m;
+  for (const auto& fn : profile.functions) {
+    const auto sel = prof::select(fn.metrics);
+    for (std::size_t k = 0; k < sel.size(); ++k) m[k] += sel[k];
+  }
+  const double inv = 1.0 / static_cast<double>(profile.functions.size());
+  for (auto& v : m) v *= inv;
+  return m;
+}
+
+}  // namespace
+
+std::vector<double> PythiaPredictor::featurize(const core::Scenario& scenario) {
+  scenario.validate();
+  const auto target = workload_metrics(*scenario.workloads[0].profile);
+  std::array<double, prof::kSelectedCount> others{};
+  for (std::size_t i = 1; i < scenario.workloads.size(); ++i) {
+    const auto m = workload_metrics(*scenario.workloads[i].profile);
+    for (std::size_t k = 0; k < m.size(); ++k) others[k] += m[k];
+  }
+  std::vector<double> out;
+  out.reserve(2 * prof::kSelectedCount);
+  out.insert(out.end(), target.begin(), target.end());
+  out.insert(out.end(), others.begin(), others.end());
+  return out;
+}
+
+double PythiaPredictor::predict(const core::Scenario& scenario) const {
+  if (!model_.fitted()) return 0.0;
+  return model_.predict(featurize(scenario));
+}
+
+void PythiaPredictor::observe(const core::Scenario& scenario,
+                              double actual_qos) {
+  const auto x = featurize(scenario);
+  if (pending_.empty() && pending_.feature_count() == 0) {
+    pending_ = ml::Dataset(x.size());
+    if (buffer_.feature_count() == 0) buffer_ = ml::Dataset(x.size());
+  }
+  pending_.add(x, actual_qos);
+  if (pending_.size() >= config_.update_batch) flush();
+}
+
+void PythiaPredictor::flush() {
+  if (pending_.empty()) return;
+  buffer_.append(pending_);
+  pending_ = ml::Dataset(buffer_.feature_count());
+  model_ = ml::RidgeClosedForm(config_.l2);
+  model_.fit(buffer_);
+}
+
+}  // namespace gsight::baselines

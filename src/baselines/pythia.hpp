@@ -1,0 +1,40 @@
+// Pythia baseline [55] (Xu et al., Middleware'18): linear contention
+// prediction for colocated workloads. Pythia characterises each workload
+// by its resource usage vector and predicts the target's performance with
+// a linear model over the target's own profile plus the *sum* of its
+// corunners' usage — workload-level, blind to which server each function
+// sits on and to temporal overlap, which is exactly why it mispredicts
+// under partial interference (§6.2). Its scheduling policy is Best Fit.
+#pragma once
+
+#include "core/predictor.hpp"
+#include "ml/linear.hpp"
+
+namespace gsight::baselines {
+
+struct PythiaConfig {
+  double l2 = 1e-2;
+  std::size_t update_batch = 32;
+};
+
+class PythiaPredictor final : public core::ScenarioPredictor {
+ public:
+  explicit PythiaPredictor(PythiaConfig config = {}) : config_(config) {}
+
+  double predict(const core::Scenario& scenario) const override;
+  void observe(const core::Scenario& scenario, double actual_qos) override;
+  void flush() override;
+  std::string name() const override { return "Pythia"; }
+
+  std::size_t samples_seen() const { return buffer_.size(); }
+
+  static std::vector<double> featurize(const core::Scenario& scenario);
+
+ private:
+  PythiaConfig config_;
+  ml::Dataset buffer_;
+  ml::Dataset pending_;
+  ml::RidgeClosedForm model_{1e-2};
+};
+
+}  // namespace gsight::baselines

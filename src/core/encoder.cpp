@@ -1,0 +1,137 @@
+#include "core/encoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace gsight::core {
+
+std::size_t Encoder::dimension() const {
+  const std::size_t n = config_.max_workloads;
+  const std::size_t s = config_.servers;
+  return 2 * n * s * kCodeWidth + 2 * n;  // == 32*n*S + 2*n for width 16
+}
+
+namespace {
+
+// Monolithic-ablation helper: average non-empty rows into row 0.
+void collapse_rows(std::vector<double>& m, std::size_t servers) {
+  std::vector<double> agg(kCodeWidth, 0.0);
+  std::size_t nonzero = 0;
+  for (std::size_t srv = 0; srv < servers; ++srv) {
+    bool any = false;
+    for (std::size_t k = 0; k < kCodeWidth; ++k) {
+      if (m[srv * kCodeWidth + k] != 0.0) any = true;
+    }
+    if (any) {
+      ++nonzero;
+      for (std::size_t k = 0; k < kCodeWidth; ++k) {
+        agg[k] += m[srv * kCodeWidth + k];
+      }
+    }
+  }
+  std::fill(m.begin(), m.end(), 0.0);
+  if (nonzero > 0) {
+    for (std::size_t k = 0; k < kCodeWidth; ++k) {
+      m[k] = agg[k] / static_cast<double>(nonzero);
+    }
+  }
+}
+
+// Sum of one server row across a matrix (row "mass").
+double row_mass(const std::vector<double>& m, std::size_t srv) {
+  double mass = 0.0;
+  for (std::size_t k = 0; k < kCodeWidth; ++k) mass += m[srv * kCodeWidth + k];
+  return mass;
+}
+
+}  // namespace
+
+std::vector<double> Encoder::encode(const Scenario& scenario) const {
+  scenario.validate();
+  if (scenario.workloads.size() > config_.max_workloads) {
+    throw std::invalid_argument("Encoder: scenario exceeds workload slots");
+  }
+  if (scenario.servers != config_.servers) {
+    throw std::invalid_argument("Encoder: scenario server count mismatch");
+  }
+  const std::size_t n = config_.max_workloads;
+  const std::size_t s = config_.servers;
+  const std::size_t live = scenario.workloads.size();
+
+  // Precompute every live workload's R and U matrices.
+  std::vector<std::vector<double>> r_codes(live), u_codes(live);
+  for (std::size_t w = 0; w < live; ++w) {
+    r_codes[w] = allocation_code(scenario.workloads[w], s);
+    u_codes[w] = utilization_code(scenario.workloads[w], s);
+  }
+
+  // Canonical server order: rows the target occupies first (heaviest
+  // first), then rows only corunners occupy (heaviest first), then empty
+  // rows. Applied consistently to every matrix so colocation structure
+  // ("same row" relations) is preserved exactly.
+  std::vector<std::size_t> order(s);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (config_.canonical_server_order && live > 0) {
+    std::vector<double> target_mass(s, 0.0), total_mass(s, 0.0);
+    for (std::size_t srv = 0; srv < s; ++srv) {
+      target_mass[srv] = row_mass(u_codes[0], srv);
+      for (std::size_t w = 0; w < live; ++w) {
+        total_mass[srv] += row_mass(u_codes[w], srv);
+      }
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const bool ta = target_mass[a] > 0.0;
+                       const bool tb = target_mass[b] > 0.0;
+                       if (ta != tb) return ta;
+                       if (target_mass[a] != target_mass[b]) {
+                         return target_mass[a] > target_mass[b];
+                       }
+                       return total_mass[a] > total_mass[b];
+                     });
+  }
+  auto permuted = [&](const std::vector<double>& m) {
+    std::vector<double> out(s * kCodeWidth, 0.0);
+    for (std::size_t row = 0; row < s; ++row) {
+      const std::size_t src = order[row];
+      std::copy_n(m.begin() + static_cast<std::ptrdiff_t>(src * kCodeWidth),
+                  kCodeWidth,
+                  out.begin() + static_cast<std::ptrdiff_t>(row * kCodeWidth));
+    }
+    return out;
+  };
+
+  std::vector<double> out;
+  out.reserve(dimension());
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (slot < live) {
+      auto r = permuted(r_codes[slot]);
+      auto u = permuted(u_codes[slot]);
+      if (!config_.spatial_coding) {
+        collapse_rows(r, s);
+        collapse_rows(u, s);
+      }
+      out.insert(out.end(), r.begin(), r.end());
+      out.insert(out.end(), u.begin(), u.end());
+    } else {
+      out.insert(out.end(), 2 * s * kCodeWidth, 0.0);
+    }
+  }
+  // Temporal overlap codes: D then T, one entry per slot.
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    out.push_back(slot < live && config_.temporal_coding
+                      ? scenario.workloads[slot].start_delay_s
+                      : 0.0);
+  }
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    out.push_back(slot < live && config_.temporal_coding
+                      ? scenario.workloads[slot].lifetime_s
+                      : 0.0);
+  }
+  assert(out.size() == dimension());
+  return out;
+}
+
+}  // namespace gsight::core

@@ -1,0 +1,47 @@
+// Feature Encoder (§3.3 / §6.4): concatenates, for each of n workload
+// slots, the flattened R and U matrices (S×16 each), followed by the start-
+// delay vector D and the lifetime vector T — 32·n·S + 2·n dimensions
+// total (2 580 for the paper's n=10, S=8). Scenarios with fewer than n
+// workloads are zero-padded; the target workload always occupies slot 0.
+//
+// Ablation switches let the benches quantify the value of each code:
+// disabling spatial coding collapses every R/U matrix to a single
+// aggregate row replicated nowhere (monolithic view), disabling temporal
+// coding zeroes D and T.
+#pragma once
+
+#include "core/overlap_coding.hpp"
+
+namespace gsight::core {
+
+struct EncoderConfig {
+  std::size_t max_workloads = 10;  ///< n — slots, zero-padded
+  std::size_t servers = 8;         ///< S — rows per matrix
+  bool spatial_coding = true;      ///< ablation: keep per-server rows
+  bool temporal_coding = true;     ///< ablation: keep D and T
+  /// Relabel server rows into a canonical order (rows the target occupies
+  /// first, heaviest first, then corunner-only rows by weight). Physical
+  /// server identity is a nuisance variable — what matters is *who shares
+  /// a row with whom* — so canonicalisation preserves the full overlap
+  /// structure while making permuted placements map to the same code,
+  /// which dramatically improves sample efficiency.
+  bool canonical_server_order = true;
+};
+
+class Encoder {
+ public:
+  explicit Encoder(EncoderConfig config = {}) : config_(config) {}
+
+  /// 32·n·S + 2·n.
+  std::size_t dimension() const;
+  /// Encode a validated scenario (throws std::invalid_argument if it has
+  /// more workloads than slots or fails validation).
+  std::vector<double> encode(const Scenario& scenario) const;
+
+  const EncoderConfig& config() const { return config_; }
+
+ private:
+  EncoderConfig config_;
+};
+
+}  // namespace gsight::core

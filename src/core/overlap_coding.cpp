@@ -1,0 +1,97 @@
+#include "core/overlap_coding.hpp"
+
+#include <stdexcept>
+
+namespace gsight::core {
+
+void Scenario::validate() const {
+  if (workloads.empty()) {
+    throw std::invalid_argument("Scenario: no workloads");
+  }
+  if (servers == 0) throw std::invalid_argument("Scenario: zero servers");
+  for (const auto& w : workloads) {
+    if (w.profile == nullptr) {
+      throw std::invalid_argument("Scenario: missing profile");
+    }
+    if (w.fn_to_server.size() != w.profile->functions.size()) {
+      throw std::invalid_argument(
+          "Scenario: placement size mismatch for " + w.profile->app_name);
+    }
+    for (std::size_t s : w.fn_to_server) {
+      if (s >= servers) {
+        throw std::invalid_argument("Scenario: server index out of range");
+      }
+    }
+  }
+}
+
+std::vector<double> utilization_code(const WorkloadDeployment& w,
+                                     std::size_t servers) {
+  std::vector<double> code(servers * kCodeWidth, 0.0);
+  std::vector<std::size_t> count(servers, 0);
+  for (std::size_t fn = 0; fn < w.fn_to_server.size(); ++fn) {
+    const std::size_t srv = w.fn_to_server[fn];
+    const auto sel = prof::select(w.profile->functions[fn].metrics);
+    for (std::size_t k = 0; k < kCodeWidth; ++k) {
+      code[srv * kCodeWidth + k] += sel[k];
+    }
+    ++count[srv];
+  }
+  // "Virtual larger function": per-metric mean of colocated functions.
+  for (std::size_t srv = 0; srv < servers; ++srv) {
+    if (count[srv] > 1) {
+      const double inv = 1.0 / static_cast<double>(count[srv]);
+      for (std::size_t k = 0; k < kCodeWidth; ++k) {
+        code[srv * kCodeWidth + k] *= inv;
+      }
+    }
+  }
+  return code;
+}
+
+namespace {
+
+std::array<double, kCodeWidth> allocation_row(const prof::FunctionProfile& p) {
+  std::array<double, kCodeWidth> row{};
+  row[0] = p.demand.cores;
+  row[1] = p.demand.llc_mb;
+  row[2] = p.demand.membw_gbps;
+  row[3] = p.demand.disk_mbps;
+  row[4] = p.demand.net_mbps;
+  row[5] = p.mem_alloc_gb;
+  row[6] = p.demand.frac_cpu;
+  row[7] = p.demand.frac_disk;
+  row[8] = p.demand.frac_net;
+  row[9] = p.solo_duration_s;
+  row[10] = p.solo_ipc;
+  row[11] = p.solo_p99_latency_s;
+  // Entries 12-15 reserved (zero) so R rows share U's 16-wide geometry.
+  return row;
+}
+
+}  // namespace
+
+std::vector<double> allocation_code(const WorkloadDeployment& w,
+                                    std::size_t servers) {
+  std::vector<double> code(servers * kCodeWidth, 0.0);
+  std::vector<std::size_t> count(servers, 0);
+  for (std::size_t fn = 0; fn < w.fn_to_server.size(); ++fn) {
+    const std::size_t srv = w.fn_to_server[fn];
+    const auto row = allocation_row(w.profile->functions[fn]);
+    for (std::size_t k = 0; k < kCodeWidth; ++k) {
+      code[srv * kCodeWidth + k] += row[k];
+    }
+    ++count[srv];
+  }
+  for (std::size_t srv = 0; srv < servers; ++srv) {
+    if (count[srv] > 1) {
+      const double inv = 1.0 / static_cast<double>(count[srv]);
+      for (std::size_t k = 0; k < kCodeWidth; ++k) {
+        code[srv * kCodeWidth + k] *= inv;
+      }
+    }
+  }
+  return code;
+}
+
+}  // namespace gsight::core

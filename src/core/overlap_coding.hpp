@@ -1,0 +1,57 @@
+// Spatial-temporal overlap coding (§3.3). A colocation Scenario lists the
+// deployed workloads — the prediction target first — each with its
+// function→server placement (spatial overlap), start delay D_i (temporal
+// overlap) and solo lifetime T_i. The coder turns one workload into its
+// R (allocation) and U (utilisation) matrices of shape S×16: row ℓ holds
+// the aggregated solo-run profile of the workload's functions deployed on
+// server ℓ ("virtual larger function": per-metric mean), zero rows where
+// the workload has no function (matrices 3-5 in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profiling/profile.hpp"
+
+namespace gsight::core {
+
+struct WorkloadDeployment {
+  /// Profile of the workload (owned by the ProfileStore; must outlive the
+  /// scenario).
+  const prof::AppProfile* profile = nullptr;
+  /// Server index for each function of the workload.
+  std::vector<std::size_t> fn_to_server;
+  /// Start delay relative to the first workload (D_i, seconds). The
+  /// target and all LS workloads use 0 (§3.3 case analysis).
+  double start_delay_s = 0.0;
+  /// Solo lifetime (T_i) for SC/BG workloads; 0 for LS.
+  double lifetime_s = 0.0;
+};
+
+struct Scenario {
+  /// Number of servers S in the system (rows of every R/U matrix).
+  std::size_t servers = 8;
+  /// Deployed workloads; index 0 is the prediction target A.
+  std::vector<WorkloadDeployment> workloads;
+
+  /// Throws std::invalid_argument on malformed scenarios (placement size
+  /// mismatch, server index out of range, missing profile, empty).
+  void validate() const;
+};
+
+/// Width of one coded row: the 16 selected metrics.
+inline constexpr std::size_t kCodeWidth = prof::kSelectedCount;
+
+/// U matrix: S rows × 16 selected solo-run metrics, functions on the same
+/// server aggregated by mean. Returned row-major (S * 16 values).
+std::vector<double> utilization_code(const WorkloadDeployment& w,
+                                     std::size_t servers);
+
+/// R matrix: S rows × 16 allocation entries. Allocation rows pack the
+/// demand vector (cores, llc, membw, disk, net, mem alloc, time fractions,
+/// solo duration/ipc), zero-padded to 16 so R and U share geometry, as the
+/// paper's dimension count (16nS each) requires.
+std::vector<double> allocation_code(const WorkloadDeployment& w,
+                                    std::size_t servers);
+
+}  // namespace gsight::core

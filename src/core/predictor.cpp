@@ -1,0 +1,89 @@
+#include "core/predictor.hpp"
+
+#include <stdexcept>
+
+namespace gsight::core {
+
+const char* to_string(QosKind kind) {
+  switch (kind) {
+    case QosKind::kIpc: return "IPC";
+    case QosKind::kTailLatency: return "tail-latency";
+    case QosKind::kJct: return "JCT";
+  }
+  return "?";
+}
+
+const char* to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kIRFR: return "IRFR";
+    case ModelKind::kIKNN: return "IKNN";
+    case ModelKind::kILR: return "ILR";
+    case ModelKind::kISVR: return "ISVR";
+    case ModelKind::kIMLP: return "IMLP";
+  }
+  return "?";
+}
+
+std::unique_ptr<ml::IncrementalRegressor> make_model(ModelKind kind,
+                                                     std::uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kIRFR: {
+      ml::IncrementalForestConfig cfg;
+      cfg.forest.n_trees = 80;
+      // The overlap-coded feature space is wide (hundreds to thousands of
+      // dims); Extra-Trees-style random thresholds keep fitting cheap with
+      // no measurable accuracy loss at this dimensionality. The feature
+      // subsample per split is raised above sqrt(d) because informative
+      // dimensions (occupied server rows) are a small fraction of the code.
+      cfg.forest.tree.split_mode = ml::SplitMode::kRandom;
+      cfg.forest.tree.max_depth = 22;
+      cfg.forest.tree.min_samples_leaf = 2;
+      cfg.forest.tree.max_features = 128;
+      return std::make_unique<ml::IncrementalForest>(cfg, seed);
+    }
+    case ModelKind::kIKNN:
+      return std::make_unique<ml::IncrementalKnn>(ml::KnnConfig{}, seed);
+    case ModelKind::kILR:
+      return std::make_unique<ml::IncrementalLinear>(ml::LinearConfig{}, seed);
+    case ModelKind::kISVR:
+      return std::make_unique<ml::IncrementalSvr>(ml::SvrConfig{}, seed);
+    case ModelKind::kIMLP:
+      return std::make_unique<ml::IncrementalMlp>(ml::MlpConfig{}, seed);
+  }
+  throw std::invalid_argument("unknown model kind");
+}
+
+GsightPredictor::GsightPredictor(PredictorConfig config)
+    : GsightPredictor(config, make_model(config.model, config.seed)) {}
+
+GsightPredictor::GsightPredictor(PredictorConfig config,
+                                 std::unique_ptr<ml::IncrementalRegressor> model)
+    : config_(config),
+      encoder_(config.encoder),
+      model_(std::move(model)),
+      pending_(encoder_.dimension()) {}
+
+double GsightPredictor::predict(const Scenario& scenario) const {
+  return model_->predict(encoder_.encode(scenario));
+}
+
+void GsightPredictor::observe(const Scenario& scenario, double actual_qos) {
+  pending_.add(encoder_.encode(scenario), actual_qos);
+  if (pending_.size() >= config_.update_batch) flush();
+}
+
+void GsightPredictor::flush() {
+  if (pending_.empty()) return;
+  model_->partial_fit(pending_);
+  pending_ = ml::Dataset(encoder_.dimension());
+}
+
+void GsightPredictor::train(const ml::Dataset& dataset) {
+  if (dataset.feature_count() != encoder_.dimension()) {
+    throw std::invalid_argument(
+        "GsightPredictor::train: dataset dimension mismatch");
+  }
+  model_->partial_fit(dataset);
+}
+
+}  // namespace gsight::core

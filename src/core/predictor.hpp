@@ -1,0 +1,87 @@
+// GsightPredictor — the deployable predictor of Figure 6: solo-run
+// profiles + spatial-temporal overlap codes in, QoS out, with an
+// incremental model updated online from observed performance. One
+// predictor instance targets one QoS metric (IPC, tail latency or JCT);
+// the scheduler owns one per metric it cares about.
+#pragma once
+
+#include <memory>
+
+#include "core/encoder.hpp"
+#include "ml/incremental_forest.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/mlp.hpp"
+#include "ml/svr.hpp"
+
+namespace gsight::core {
+
+/// Which QoS value the predictor's output represents.
+enum class QosKind { kIpc, kTailLatency, kJct };
+
+const char* to_string(QosKind kind);
+
+/// The five incremental learners compared in Figure 9.
+enum class ModelKind { kIRFR, kIKNN, kILR, kISVR, kIMLP };
+
+const char* to_string(ModelKind kind);
+std::unique_ptr<ml::IncrementalRegressor> make_model(ModelKind kind,
+                                                     std::uint64_t seed = 1);
+
+/// Common interface for everything that predicts a target workload's QoS
+/// from a colocation scenario — Gsight itself and the ESP / Pythia
+/// baselines it is compared against (Figure 9).
+class ScenarioPredictor {
+ public:
+  virtual ~ScenarioPredictor() = default;
+  virtual double predict(const Scenario& scenario) const = 0;
+  virtual void observe(const Scenario& scenario, double actual_qos) = 0;
+  virtual void flush() = 0;
+  virtual std::string name() const = 0;
+};
+
+struct PredictorConfig {
+  EncoderConfig encoder;
+  ModelKind model = ModelKind::kIRFR;
+  QosKind qos = QosKind::kIpc;
+  /// Observations are buffered and folded into the model once this many
+  /// have accumulated (amortises incremental updates).
+  std::size_t update_batch = 32;
+  std::uint64_t seed = 1;
+};
+
+class GsightPredictor final : public ScenarioPredictor {
+ public:
+  explicit GsightPredictor(PredictorConfig config = {});
+  /// Take ownership of a custom model (e.g. specially configured IRFR).
+  GsightPredictor(PredictorConfig config,
+                  std::unique_ptr<ml::IncrementalRegressor> model);
+
+  /// Predict the target workload's QoS under the scenario.
+  double predict(const Scenario& scenario) const override;
+
+  /// Record an observed (scenario, actual QoS) pair; the model updates
+  /// once `update_batch` observations accumulate (or on flush()).
+  void observe(const Scenario& scenario, double actual_qos) override;
+  /// Fold any buffered observations into the model immediately.
+  void flush() override;
+  std::string name() const override {
+    return std::string("Gsight-") + to_string(config_.model);
+  }
+
+  /// Bulk offline training (initial dataset of Figure 6 step 3).
+  void train(const ml::Dataset& dataset);
+
+  const Encoder& encoder() const { return encoder_; }
+  const ml::IncrementalRegressor& model() const { return *model_; }
+  std::size_t samples_seen() const { return model_->samples_seen(); }
+  const PredictorConfig& config() const { return config_; }
+
+ private:
+  PredictorConfig config_;
+  Encoder encoder_;
+  std::unique_ptr<ml::IncrementalRegressor> model_;
+  ml::Dataset pending_;
+};
+
+}  // namespace gsight::core

@@ -1,0 +1,131 @@
+#include "core/sla.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/correlation.hpp"
+#include "stats/summary.hpp"
+
+namespace gsight::core {
+
+LatencyIpcCurve::LatencyIpcCurve(std::vector<LatencyIpcPoint> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 8) {
+    throw std::invalid_argument("LatencyIpcCurve: need at least 8 points");
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const LatencyIpcPoint& a, const LatencyIpcPoint& b) {
+              return a.ipc < b.ipc;
+            });
+  fit(/*min_correlation=*/0.8);
+}
+
+void LatencyIpcCurve::fit(double min_correlation) {
+  const std::size_t n = points_.size();
+  // Sweep knee candidates from low IPC upward; accept the smallest
+  // threshold above which latency is *predictable from IPC* — either a
+  // strong linear correlation (steep regime) or a tight residual around
+  // the fitted line (flat regime: latency pinned near solo). Always keep
+  // at least half the points above the knee.
+  const std::size_t max_cut = n / 2;
+  constexpr double kMaxResidualSd = 0.6;  // log-latency units (~ +/-80%)
+
+  auto evaluate_cut = [&](std::size_t cut) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    std::vector<double> x, y;
+    x.reserve(n - cut);
+    y.reserve(n - cut);
+    for (std::size_t i = cut; i < n; ++i) {
+      const double xi = points_[i].ipc;
+      const double yi = std::log(std::max(points_[i].p99_latency_s, 1e-9));
+      x.push_back(xi);
+      y.push_back(yi);
+      sx += xi;
+      sy += yi;
+      sxx += xi * xi;
+      sxy += xi * yi;
+    }
+    const double dm = static_cast<double>(x.size());
+    const double denom = dm * sxx - sx * sx;
+    const double slope = denom != 0.0 ? (dm * sxy - sx * sy) / denom : 0.0;
+    const double intercept = (sy - slope * sx) / dm;
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double r = y[i] - (intercept + slope * x[i]);
+      ss_res += r * r;
+    }
+    struct Fit {
+      double corr, resid_sd, slope, intercept;
+    };
+    return Fit{stats::pearson(x, y), std::sqrt(ss_res / dm), slope,
+               intercept};
+  };
+
+  std::size_t chosen_cut = 0;
+  for (std::size_t cut = 0; cut <= max_cut;
+       cut += std::max<std::size_t>(1, n / 64)) {
+    const auto fit = evaluate_cut(cut);
+    chosen_cut = cut;
+    corr_above_ = fit.corr;
+    slope_ = fit.slope;
+    intercept_ = fit.intercept;
+    if (std::abs(fit.corr) >= min_correlation ||
+        fit.resid_sd <= kMaxResidualSd) {
+      break;
+    }
+  }
+  knee_ipc_ = points_[chosen_cut].ipc;
+}
+
+double LatencyIpcCurve::fraction_below_knee() const {
+  std::size_t below = 0;
+  for (const auto& p : points_) {
+    if (p.ipc < knee_ipc_) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(points_.size());
+}
+
+double LatencyIpcCurve::latency_for_ipc(double ipc) const {
+  return std::exp(intercept_ + slope_ * ipc);
+}
+
+double LatencyIpcCurve::ipc_for_latency(double latency_s) const {
+  if (slope_ == 0.0) return knee_ipc_;
+  const double ipc = (std::log(std::max(latency_s, 1e-9)) - intercept_) / slope_;
+  // Never hand the scheduler a floor below the knee: latency is not
+  // predictable from IPC there.
+  return std::max(ipc, knee_ipc_);
+}
+
+double LatencyIpcCurve::ipc_for_latency_quantile(double latency_s,
+                                                 double quantile) const {
+  // points_ are sorted by IPC ascending; scan thresholds from high IPC
+  // down, tracking the latency multiset above the threshold.
+  std::vector<double> tail;
+  tail.reserve(points_.size());
+  double best = points_.back().ipc;
+  bool feasible = false;
+  for (std::size_t i = points_.size(); i-- > 0;) {
+    tail.push_back(points_[i].p99_latency_s);
+    if (tail.size() < 8) continue;  // need mass for a stable quantile
+    std::vector<double> copy = tail;
+    const double q = stats::percentile_inplace(copy, quantile * 100.0);
+    if (q <= latency_s) {
+      best = points_[i].ipc;
+      feasible = true;
+    } else if (feasible) {
+      break;  // lowering the threshold further only admits worse windows
+    }
+  }
+  return feasible ? std::max(best, knee_ipc_) : knee_ipc_;
+}
+
+Sla make_sla(double solo_p99_s, const LatencyIpcCurve& curve) {
+  Sla sla;
+  sla.p99_latency_s = solo_p99_s;
+  sla.ipc_floor = curve.ipc_for_latency(solo_p99_s);
+  return sla;
+}
+
+}  // namespace gsight::core

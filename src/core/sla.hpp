@@ -1,0 +1,69 @@
+// SLA handling (§6.3) and the latency-IPC knee correlation (Figure 7).
+// The paper defines an LS workload's SLA as the solo p99 under peak
+// sustainable load, then schedules against the *IPC* model by transforming
+// the latency SLA into an IPC floor through the empirical latency-IPC
+// curve: above the knee the two correlate strongly; below it tail latency
+// decouples, which is why ~4% of samples admit weaker guarantees.
+#pragma once
+
+#include <vector>
+
+namespace gsight::core {
+
+struct Sla {
+  double p99_latency_s = 0.0;  ///< the latency target (solo p99)
+  double ipc_floor = 0.0;      ///< derived IPC the scheduler enforces
+};
+
+/// One observed (IPC, p99 latency) point from a colocation run.
+struct LatencyIpcPoint {
+  double ipc = 0.0;
+  double p99_latency_s = 0.0;
+};
+
+/// Empirical latency-IPC curve with knee detection.
+class LatencyIpcCurve {
+ public:
+  explicit LatencyIpcCurve(std::vector<LatencyIpcPoint> points);
+
+  /// IPC below which latency decouples from IPC (the "knee"). Chosen as
+  /// the smallest IPC threshold above which |Pearson(ipc, log latency)|
+  /// stays >= `min_correlation`.
+  double knee_ipc() const { return knee_ipc_; }
+  /// Correlation of ipc vs log-latency above the knee.
+  double correlation_above_knee() const { return corr_above_; }
+  /// Fraction of points below the knee (paper: ~4.1%).
+  double fraction_below_knee() const;
+
+  /// Latency predicted from IPC by the above-knee linear fit (log-latency
+  /// on ipc). Extrapolates below the knee (callers should treat those
+  /// values as unreliable).
+  double latency_for_ipc(double ipc) const;
+  /// Inverse transform: the IPC needed to meet a latency target — this is
+  /// how a latency SLA becomes an IPC floor for the scheduler.
+  double ipc_for_latency(double latency_s) const;
+
+  /// Risk-aware inverse transform: the smallest IPC threshold such that,
+  /// among observed points at or above it, the `quantile` of latency meets
+  /// the target. Unlike the median fit this prices the *scatter* — the
+  /// windows where latency spikes despite healthy IPC — which is what an
+  /// SLA floor must guard against. Falls back to the knee when even the
+  /// full above-knee set misses the target.
+  double ipc_for_latency_quantile(double latency_s, double quantile) const;
+
+  const std::vector<LatencyIpcPoint>& points() const { return points_; }
+
+ private:
+  void fit(double min_correlation);
+
+  std::vector<LatencyIpcPoint> points_;
+  double knee_ipc_ = 0.0;
+  double corr_above_ = 0.0;
+  double slope_ = 0.0;      // d(log latency)/d(ipc)
+  double intercept_ = 0.0;  // log latency at ipc = 0
+};
+
+/// Build the SLA for an LS workload from its solo profile and curve.
+Sla make_sla(double solo_p99_s, const LatencyIpcCurve& curve);
+
+}  // namespace gsight::core

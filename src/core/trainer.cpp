@@ -1,0 +1,344 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/sparkapps.hpp"
+#include "workloads/suite.hpp"
+
+namespace gsight::core {
+
+std::string profile_key(const std::string& app_name, double qps) {
+  if (qps <= 0.0) return app_name;
+  return app_name + "@" + std::to_string(static_cast<int>(std::lround(qps)));
+}
+
+std::string ensure_profile(prof::ProfileStore& store, const wl::App& app,
+                           double qps, const prof::SoloProfilerConfig& cfg) {
+  const bool ls = app.cls == wl::WorkloadClass::kLatencySensitive;
+  const std::string key = ls ? profile_key(app.name, qps) : app.name;
+  if (store.contains(key)) return key;
+  prof::SoloProfilerConfig pc = cfg;
+  if (ls && qps > 0.0) pc.ls_qps = qps;
+  prof::SoloProfiler profiler(pc);
+  prof::AppProfile profile = profiler.profile(app);
+  profile.app_name = key;  // stored under the composite key
+  store.put(std::move(profile));
+  return key;
+}
+
+ScenarioRunner::ScenarioRunner(const prof::ProfileStore* profiles,
+                               RunnerConfig config)
+    : profiles_(profiles), config_(config), rng_(config.seed) {
+  assert(profiles_ != nullptr);
+}
+
+Scenario ScenarioRunner::describe(const ScenarioSpec& spec) const {
+  Scenario scenario;
+  scenario.servers = config_.servers;
+  for (const auto& m : spec.members) {
+    WorkloadDeployment w;
+    const bool ls = m.app.cls == wl::WorkloadClass::kLatencySensitive;
+    const std::string key = ls ? profile_key(m.app.name, m.qps) : m.app.name;
+    w.profile = &profiles_->get(key);
+    w.fn_to_server = m.fn_to_server;
+    w.start_delay_s = ls ? 0.0 : m.start_delay_s;
+    w.lifetime_s = ls ? 0.0 : w.profile->solo_jct_s;
+    scenario.workloads.push_back(std::move(w));
+  }
+  scenario.validate();
+  return scenario;
+}
+
+RunOutcome ScenarioRunner::run(const ScenarioSpec& spec) {
+  if (spec.members.empty()) {
+    throw std::invalid_argument("ScenarioRunner: empty spec");
+  }
+  RunOutcome out;
+  out.scenario = describe(spec);
+
+  sim::PlatformConfig pc;
+  pc.servers = config_.servers;
+  pc.server = config_.server;
+  pc.interference = config_.interference;
+  pc.seed = rng_.next();
+  // Scenario measurement assumes warm instances (cold-start interference is
+  // studied separately through profiles that include the startup phase).
+  pc.instance.startup_cores = 0.0;
+  pc.instance.startup_disk_mbps = 0.0;
+  sim::Platform platform(pc);
+
+  const auto& target = spec.members[0];
+  const bool target_ls =
+      target.app.cls == wl::WorkloadClass::kLatencySensitive;
+
+  // Deploy everyone, start LS loads immediately, delay SC/BG jobs.
+  // Scenario labels are steady-state QoS: cold starts are stripped (the
+  // paper treats startup separately through profiles, §5.2) so the short
+  // warmup window suffices.
+  std::vector<std::size_t> ids;
+  double max_sc_solo = 0.0;
+  std::vector<char> job_done(spec.members.size(), 1);
+  for (std::size_t i = 0; i < spec.members.size(); ++i) {
+    const auto& m = spec.members[i];
+    wl::App warm = m.app;
+    for (auto& fn : warm.functions) fn.cold_start_s = 0.0;
+    const std::size_t id = platform.deploy(warm, m.fn_to_server);
+    ids.push_back(id);
+    if (m.app.cls == wl::WorkloadClass::kLatencySensitive) {
+      const double qps = m.qps > 0.0 ? m.qps : m.app.default_qps;
+      platform.set_open_loop(id, qps);
+    } else {
+      job_done[i] = 0;
+      char* done = &job_done[i];
+      platform.engine().after(m.start_delay_s, [&platform, id, done] {
+        platform.submit_job(id, [done](double) { *done = 1; });
+      });
+      max_sc_solo = std::max(max_sc_solo, m.app.total_solo_s());
+    }
+  }
+
+  const double t0 = platform.now();
+  double measure_begin = t0 + config_.warmup_s;
+  double measure_end = measure_begin + config_.ls_measure_s;
+
+  if (target_ls) {
+    // If SC corunners exist, measure while they overlap the LS workload.
+    platform.run_until(measure_end);
+    for (std::size_t id : ids) platform.set_open_loop(id, 0.0);
+    platform.run_until(platform.now() + 2.0);
+  } else {
+    const double horizon = t0 + config_.sc_horizon_factor * max_sc_solo +
+                           300.0;
+    // Run until the target's job completes (or the horizon).
+    while (platform.now() < horizon && !job_done[0]) {
+      platform.run_until(std::min(horizon, platform.now() + 10.0));
+      if (platform.engine().pending() == 0) break;
+    }
+    for (std::size_t id : ids) platform.set_open_loop(id, 0.0);
+    measure_begin = t0;
+    measure_end = platform.now();
+  }
+
+  // --- Labels for the target ------------------------------------------------
+  const std::size_t tid = ids[0];
+  const auto& st = platform.stats(tid);
+  if (target_ls) {
+    // Window-bucketed IPC from the recorder (dt-weighted across functions)
+    // and p99 from e2e latencies in the same buckets.
+    const double w = config_.label_window_s;
+    const auto first_bucket =
+        static_cast<std::int64_t>(std::floor(measure_begin / w));
+    const auto last_bucket =
+        static_cast<std::int64_t>(std::floor(measure_end / w));
+    std::map<std::int64_t, sim::MetricAccum> per_bucket;
+    for (std::size_t fn = 0; fn < target.app.function_count(); ++fn) {
+      for (const auto& [win, acc] : platform.recorder().windows(tid, fn)) {
+        const auto bucket = static_cast<std::int64_t>(
+            std::floor(static_cast<double>(win) *
+                       platform.recorder().window_s() / w));
+        // Re-accumulate raw (un-finalized equivalents): windows() returns
+        // finalized means, so weight them back by dt when merging.
+        sim::MetricAccum raw;
+        raw.dt = acc.dt;
+        raw.ipc = acc.ipc * acc.dt;
+        per_bucket[bucket].dt += raw.dt;
+        per_bucket[bucket].ipc += raw.ipc;
+      }
+    }
+    std::map<std::int64_t, std::vector<double>> lat_bucket;
+    for (const auto& [t, l] : st.e2e) {
+      if (t < measure_begin || t >= measure_end) continue;
+      lat_bucket[static_cast<std::int64_t>(std::floor(t / w))].push_back(l);
+    }
+    stats::Running ipc_all;
+    std::vector<double> all_lat;
+    for (auto bucket = first_bucket; bucket <= last_bucket; ++bucket) {
+      const auto mit = per_bucket.find(bucket);
+      const auto lit = lat_bucket.find(bucket);
+      if (mit == per_bucket.end() || mit->second.dt <= 0.0) continue;
+      const double ipc = mit->second.ipc / mit->second.dt;
+      out.window_ipc.push_back(ipc);
+      ipc_all.add(ipc);
+      if (lit != lat_bucket.end() && lit->second.size() >= 10) {
+        const double p99 = stats::percentile(lit->second, 99.0);
+        out.window_p99.push_back(p99);
+        out.window_ipc_p99.emplace_back(ipc, p99);
+        all_lat.insert(all_lat.end(), lit->second.begin(), lit->second.end());
+      }
+    }
+    out.mean_ipc = ipc_all.mean();
+    if (!all_lat.empty()) {
+      out.p99_latency_s = stats::percentile(std::move(all_lat), 99.0);
+    }
+  } else {
+    out.completed = job_done[0] != 0;
+    if (!st.jct.empty()) out.jct_s = st.jct.back().second;
+    // Mean IPC over the job's functions.
+    stats::Running ipc_all;
+    for (std::size_t fn = 0; fn < target.app.function_count(); ++fn) {
+      const auto total = platform.recorder().total(tid, fn);
+      if (total.dt > 0.0) ipc_all.add(total.ipc);
+    }
+    out.mean_ipc = ipc_all.mean();
+  }
+  return out;
+}
+
+const char* to_string(ColocationClass c) {
+  switch (c) {
+    case ColocationClass::kLsLs: return "LS+LS";
+    case ColocationClass::kLsScBg: return "LS+SC/BG";
+    case ColocationClass::kScScBg: return "SC+SC/BG";
+  }
+  return "?";
+}
+
+DatasetBuilder::DatasetBuilder(prof::ProfileStore* store, BuilderConfig config,
+                               std::uint64_t seed)
+    : store_(store), config_(config), encoder_(config.encoder), rng_(seed) {
+  assert(store_ != nullptr);
+  assert(config_.encoder.servers == config_.runner.servers);
+  ls_pool_ = wl::ls_suite();
+  const double s = config_.sc_scale;
+  // Targets for SC scenarios are genuine SC jobs; the BG apps only ever
+  // appear as corunners (their QoS is never predicted, §3.3).
+  sc_target_pool_ = {wl::matmul(3.0 * s), wl::dd(3.0 * s), wl::iperf(3.0 * s),
+                     wl::video_processing(4.0 * s)};
+  sc_pool_ = sc_target_pool_;
+  sc_pool_.push_back(wl::iot_collector());
+  sc_pool_.push_back(wl::monitoring_probe());
+}
+
+const wl::App& DatasetBuilder::random_ls() {
+  return ls_pool_[rng_.uniform_index(ls_pool_.size())];
+}
+
+wl::App DatasetBuilder::random_sc_bg() {
+  return sc_pool_[rng_.uniform_index(sc_pool_.size())];
+}
+
+wl::App DatasetBuilder::random_sc_target() {
+  return sc_target_pool_[rng_.uniform_index(sc_target_pool_.size())];
+}
+
+std::vector<std::size_t> DatasetBuilder::random_placement(
+    const wl::App& app, const std::vector<bool>& hot) {
+  std::vector<std::size_t> hot_servers;
+  for (std::size_t s = 0; s < hot.size(); ++s) {
+    if (hot[s]) hot_servers.push_back(s);
+  }
+  std::vector<std::size_t> placement(app.function_count());
+  for (auto& srv : placement) {
+    if (!hot_servers.empty() && rng_.chance(config_.colocate_bias)) {
+      srv = hot_servers[rng_.uniform_index(hot_servers.size())];
+    } else {
+      srv = rng_.uniform_index(config_.runner.servers);
+    }
+  }
+  return placement;
+}
+
+ScenarioSpec DatasetBuilder::sample_spec(ColocationClass cls) {
+  const std::size_t total = config_.min_workloads +
+                            rng_.uniform_index(config_.max_workloads -
+                                               config_.min_workloads + 1);
+  ScenarioSpec spec;
+  std::vector<bool> hot(config_.runner.servers, false);
+
+  auto add_member = [&](const wl::App& app, bool is_target) {
+    ScenarioSpec::Member m;
+    m.app = app;
+    m.fn_to_server = random_placement(app, hot);
+    if (app.cls == wl::WorkloadClass::kLatencySensitive) {
+      m.qps = config_.ls_qps_levels[rng_.uniform_index(
+          config_.ls_qps_levels.size())];
+      // Cap the offered load below the app's own bottleneck capacity
+      // (slowest function's service rate): a single-replica deployment
+      // that saturates at *solo* load would label every window with
+      // unbounded queueing rather than interference.
+      double slowest = 0.0;
+      for (const auto& fn : app.functions) {
+        slowest = std::max(slowest, fn.solo_duration_s());
+      }
+      if (slowest > 0.0) m.qps = std::min(m.qps, 0.8 / slowest);
+    } else if (!is_target) {
+      // Corunner jobs start within the early window of the target.
+      m.start_delay_s = rng_.uniform(0.0, 20.0);
+    }
+    for (std::size_t srv : m.fn_to_server) hot[srv] = true;
+    spec.members.push_back(std::move(m));
+    // Profiles must exist before the runner describes the scenario.
+    ensure_profile(*store_, spec.members.back().app, spec.members.back().qps,
+                   config_.profiler);
+  };
+
+  switch (cls) {
+    case ColocationClass::kLsLs:
+      add_member(random_ls(), true);
+      for (std::size_t i = 1; i < total; ++i) add_member(random_ls(), false);
+      break;
+    case ColocationClass::kLsScBg:
+      add_member(random_ls(), true);
+      for (std::size_t i = 1; i < total; ++i) {
+        add_member(random_sc_bg(), false);
+      }
+      break;
+    case ColocationClass::kScScBg:
+      add_member(random_sc_target(), true);
+      for (std::size_t i = 1; i < total; ++i) {
+        add_member(random_sc_bg(), false);
+      }
+      break;
+  }
+  return spec;
+}
+
+std::vector<ScenarioSamples> DatasetBuilder::build(ColocationClass cls,
+                                                   QosKind qos,
+                                                   std::size_t scenario_count) {
+  std::vector<ScenarioSamples> out;
+  out.reserve(scenario_count);
+  RunnerConfig rc = config_.runner;
+  rc.seed = rng_.next();
+  ScenarioRunner runner(store_, rc);
+  for (std::size_t i = 0; i < scenario_count; ++i) {
+    const ScenarioSpec spec = sample_spec(cls);
+    RunOutcome outcome = runner.run(spec);
+    ScenarioSamples s;
+    s.features = encoder_.encode(outcome.scenario);
+    switch (qos) {
+      case QosKind::kIpc:
+        if (!outcome.window_ipc.empty()) {
+          s.labels = outcome.window_ipc;
+        } else if (outcome.mean_ipc > 0.0) {
+          s.labels.push_back(outcome.mean_ipc);
+        }
+        break;
+      case QosKind::kTailLatency:
+        s.labels = outcome.window_p99;
+        break;
+      case QosKind::kJct:
+        if (outcome.jct_s > 0.0) s.labels.push_back(outcome.jct_s);
+        break;
+    }
+    s.outcome = std::move(outcome);
+    if (!s.labels.empty()) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+ml::Dataset DatasetBuilder::flatten(const std::vector<ScenarioSamples>& samples,
+                                    std::size_t feature_dim) {
+  ml::Dataset data(feature_dim);
+  for (const auto& s : samples) {
+    for (double label : s.labels) data.add(s.features, label);
+  }
+  return data;
+}
+
+}  // namespace gsight::core

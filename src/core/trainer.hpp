@@ -1,0 +1,150 @@
+// Training-data machinery (Figure 6, steps 1-5): ScenarioRunner realises a
+// colocation scenario on the simulator and measures the target workload's
+// actual QoS (the labels); DatasetBuilder samples random scenarios of a
+// given colocation class (LS+LS, LS+SC/BG, SC+SC/BG) and turns them into
+// encoder feature rows with per-window labels, exactly like the paper's
+// once-per-second collection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/predictor.hpp"
+#include "ml/dataset.hpp"
+#include "profiling/solo_profiler.hpp"
+#include "sim/platform.hpp"
+
+namespace gsight::core {
+
+struct RunnerConfig {
+  std::size_t servers = 8;
+  sim::ServerConfig server = sim::ServerConfig::tianjin_testbed();
+  sim::InterferenceParams interference;
+  double warmup_s = 5.0;        ///< LS: discard this prefix
+  double ls_measure_s = 30.0;   ///< LS: measurement span after warmup
+  double label_window_s = 5.0;  ///< bucket width for per-window labels
+  /// SC horizon cap as a multiple of the solo JCT (plus slack).
+  double sc_horizon_factor = 6.0;
+  std::uint64_t seed = 2024;
+};
+
+/// A scenario to *execute* (concrete apps + load), as opposed to
+/// core::Scenario which is the profile-level description the encoder sees.
+struct ScenarioSpec {
+  struct Member {
+    wl::App app;
+    std::vector<std::size_t> fn_to_server;
+    double start_delay_s = 0.0;  ///< SC/BG submission delay
+    double qps = 0.0;            ///< LS rate; 0 = app default
+  };
+  std::vector<Member> members;  ///< members[0] is the prediction target
+};
+
+struct RunOutcome {
+  Scenario scenario;        ///< encoder-ready description
+  double mean_ipc = 0.0;    ///< target's measured mean IPC
+  double p99_latency_s = 0.0;  ///< target's measured p99 (LS)
+  double jct_s = 0.0;          ///< target's measured JCT (SC/BG)
+  /// Per-label-window samples (LS only).
+  std::vector<double> window_ipc;
+  std::vector<double> window_p99;
+  /// Per-window (ipc, p99) pairs for the Figure 7 knee curve.
+  std::vector<std::pair<double, double>> window_ipc_p99;
+  bool completed = true;  ///< SC job finished within the horizon
+};
+
+/// Composite profile-store key for QPS-specific LS profiles.
+std::string profile_key(const std::string& app_name, double qps);
+
+/// Profile `app` (at `qps` if LS) into the store under the composite key,
+/// unless already present. Returns the key.
+std::string ensure_profile(prof::ProfileStore& store, const wl::App& app,
+                           double qps, const prof::SoloProfilerConfig& cfg);
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner(const prof::ProfileStore* profiles, RunnerConfig config);
+
+  /// Execute the spec and measure the target's QoS. Profiles for every
+  /// member must already be in the store (see ensure_profile).
+  RunOutcome run(const ScenarioSpec& spec);
+
+  const RunnerConfig& config() const { return config_; }
+
+ private:
+  Scenario describe(const ScenarioSpec& spec) const;
+
+  const prof::ProfileStore* profiles_;
+  RunnerConfig config_;
+  stats::Rng rng_;
+};
+
+/// Colocation classes of Figure 9 / §3.3.
+enum class ColocationClass { kLsLs, kLsScBg, kScScBg };
+const char* to_string(ColocationClass c);
+
+struct BuilderConfig {
+  RunnerConfig runner;
+  EncoderConfig encoder;
+  /// QPS levels LS workloads are profiled and driven at.
+  std::vector<double> ls_qps_levels = {20.0, 40.0, 60.0};
+  /// Workloads per scenario (including the target), sampled uniformly.
+  std::size_t min_workloads = 2;
+  std::size_t max_workloads = 3;
+  /// Probability that a corunner function lands on a server the target
+  /// already occupies (drives partial-overlap density).
+  double colocate_bias = 0.7;
+  /// Time scale of SC corunner jobs (1.0 = the paper's minutes-long jobs;
+  /// smaller keeps dataset generation fast while preserving phases).
+  double sc_scale = 0.15;
+  prof::SoloProfilerConfig profiler;
+};
+
+/// Feature rows + labels produced from one executed scenario (all rows
+/// share the feature vector; labels are the per-window measurements).
+struct ScenarioSamples {
+  std::vector<double> features;
+  std::vector<double> labels;
+  RunOutcome outcome;
+};
+
+class DatasetBuilder {
+ public:
+  DatasetBuilder(prof::ProfileStore* store, BuilderConfig config,
+                 std::uint64_t seed = 7);
+
+  /// Sample and execute `scenario_count` random scenarios of the class and
+  /// return per-scenario samples labelled with `qos`.
+  std::vector<ScenarioSamples> build(ColocationClass cls, QosKind qos,
+                                     std::size_t scenario_count);
+
+  /// Draw a random executable spec of the class (exposed for benches that
+  /// need matched train/deploy distributions).
+  ScenarioSpec sample_spec(ColocationClass cls);
+
+  /// Flatten per-scenario samples into one ml::Dataset.
+  static ml::Dataset flatten(const std::vector<ScenarioSamples>& samples,
+                             std::size_t feature_dim);
+
+  const Encoder& encoder() const { return encoder_; }
+  prof::ProfileStore& store() { return *store_; }
+  const BuilderConfig& config() const { return config_; }
+
+ private:
+  const wl::App& random_ls();
+  wl::App random_sc_bg();
+  wl::App random_sc_target();
+  std::vector<std::size_t> random_placement(const wl::App& app,
+                                            const std::vector<bool>& hot);
+
+  prof::ProfileStore* store_;
+  BuilderConfig config_;
+  Encoder encoder_;
+  stats::Rng rng_;
+  std::vector<wl::App> ls_pool_;
+  std::vector<wl::App> sc_pool_;
+  std::vector<wl::App> sc_target_pool_;
+};
+
+}  // namespace gsight::core

@@ -1,0 +1,53 @@
+#include "ml/dataset.hpp"
+
+#include <cassert>
+
+namespace gsight::ml {
+
+void Dataset::add(std::span<const double> x, double y) {
+  features_.push_row(x);
+  targets_.push_back(y);
+}
+
+void Dataset::append(const Dataset& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) add(other.x(i), other.y(i));
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_count());
+  for (std::size_t idx : indices) {
+    assert(idx < size());
+    out.add(x(idx), y(idx));
+  }
+  return out;
+}
+
+Dataset Dataset::head(std::size_t n) const {
+  Dataset out(feature_count());
+  const std::size_t m = std::min(n, size());
+  for (std::size_t i = 0; i < m; ++i) out.add(x(i), y(i));
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction,
+                                           stats::Rng& rng) const {
+  assert(train_fraction >= 0.0 && train_fraction <= 1.0);
+  const auto order = rng.permutation(size());
+  const auto cut = static_cast<std::size_t>(train_fraction *
+                                            static_cast<double>(size()));
+  Dataset train(feature_count());
+  Dataset test(feature_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (i < cut ? train : test).add(x(order[i]), y(order[i]));
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void Dataset::shuffle(stats::Rng& rng) {
+  const auto order = rng.permutation(size());
+  Dataset out(feature_count());
+  for (std::size_t idx : order) out.add(x(idx), y(idx));
+  *this = std::move(out);
+}
+
+}  // namespace gsight::ml

@@ -1,0 +1,48 @@
+// Supervised-regression dataset: a feature matrix plus a target vector.
+// Supports the operations the incremental learners need: append, subset,
+// shuffle/split, and growing sample buffers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t feature_count) : features_(0, feature_count) {}
+
+  void add(std::span<const double> x, double y);
+  void append(const Dataset& other);
+
+  std::size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+  std::size_t feature_count() const { return features_.cols(); }
+
+  std::span<const double> x(std::size_t i) const { return features_.row(i); }
+  double y(std::size_t i) const { return targets_[i]; }
+  const Matrix& features() const { return features_; }
+  const std::vector<double>& targets() const { return targets_; }
+
+  /// Rows selected by index (bootstrap resamples, CV folds, ...).
+  Dataset subset(std::span<const std::size_t> indices) const;
+  /// First `n` rows (for learning curves).
+  Dataset head(std::size_t n) const;
+  /// Random (train, test) split with the given training fraction.
+  std::pair<Dataset, Dataset> split(double train_fraction,
+                                    stats::Rng& rng) const;
+  /// Deterministic shuffle of rows.
+  void shuffle(stats::Rng& rng);
+
+ private:
+  Matrix features_;
+  std::vector<double> targets_;
+};
+
+}  // namespace gsight::ml

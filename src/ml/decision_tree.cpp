@@ -1,0 +1,266 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace gsight::ml {
+
+namespace {
+
+struct SplitCandidate {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double gain = -1.0;  // variance reduction * node weight
+};
+
+// Best threshold for one feature over rows[begin, end): sort by feature
+// value, scan prefix sums of y and y^2, maximise variance reduction.
+SplitCandidate best_split_for_feature(const Dataset& data,
+                                      std::span<const std::size_t> rows,
+                                      std::size_t feature,
+                                      std::size_t min_leaf) {
+  const std::size_t n = rows.size();
+  thread_local std::vector<std::pair<double, double>> vy;  // (x_f, y)
+  vy.clear();
+  vy.reserve(n);
+  for (std::size_t r : rows) vy.emplace_back(data.x(r)[feature], data.y(r));
+  std::sort(vy.begin(), vy.end());
+  if (vy.front().first == vy.back().first) return {};  // constant feature
+
+  double total_sum = 0.0, total_sq = 0.0;
+  for (const auto& [x, y] : vy) {
+    total_sum += y;
+    total_sq += y * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double parent_sse = total_sq - total_sum * total_sum / dn;
+
+  SplitCandidate best;
+  best.feature = feature;
+  double left_sum = 0.0, left_sq = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    left_sum += vy[i].second;
+    left_sq += vy[i].second * vy[i].second;
+    if (vy[i].first == vy[i + 1].first) continue;  // can't split inside ties
+    const std::size_t nl = i + 1;
+    const std::size_t nr = n - nl;
+    if (nl < min_leaf || nr < min_leaf) continue;
+    const double right_sum = total_sum - left_sum;
+    const double right_sq = total_sq - left_sq;
+    const double sse = (left_sq - left_sum * left_sum / static_cast<double>(nl)) +
+                       (right_sq - right_sum * right_sum / static_cast<double>(nr));
+    const double gain = parent_sse - sse;
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.threshold = 0.5 * (vy[i].first + vy[i + 1].first);
+    }
+  }
+  return best;
+}
+
+// Extra-Trees style: draw one uniform threshold in (min, max) of the
+// feature over this node's rows and evaluate its gain in a single pass.
+SplitCandidate random_split_for_feature(const Dataset& data,
+                                        std::span<const std::size_t> rows,
+                                        std::size_t feature,
+                                        std::size_t min_leaf,
+                                        stats::Rng& rng) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double total_sum = 0.0, total_sq = 0.0;
+  for (std::size_t r : rows) {
+    const double v = data.x(r)[feature];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    const double y = data.y(r);
+    total_sum += y;
+    total_sq += y * y;
+  }
+  if (lo == hi) return {};
+  const double threshold = rng.uniform(lo, hi);
+
+  double left_sum = 0.0, left_sq = 0.0;
+  std::size_t nl = 0;
+  for (std::size_t r : rows) {
+    if (data.x(r)[feature] <= threshold) {
+      const double y = data.y(r);
+      left_sum += y;
+      left_sq += y * y;
+      ++nl;
+    }
+  }
+  const std::size_t n = rows.size();
+  const std::size_t nr = n - nl;
+  if (nl < min_leaf || nr < min_leaf) return {};
+  const double parent_sse =
+      total_sq - total_sum * total_sum / static_cast<double>(n);
+  const double right_sum = total_sum - left_sum;
+  const double right_sq = total_sq - left_sq;
+  const double sse =
+      (left_sq - left_sum * left_sum / static_cast<double>(nl)) +
+      (right_sq - right_sum * right_sum / static_cast<double>(nr));
+  SplitCandidate cand;
+  cand.feature = feature;
+  cand.threshold = threshold;
+  cand.gain = parent_sse - sse;
+  return cand;
+}
+
+}  // namespace
+
+void DecisionTreeRegressor::fit(const Dataset& data,
+                                std::span<const std::size_t> rows,
+                                stats::Rng& rng) {
+  assert(!rows.empty());
+  nodes_.clear();
+  importance_.assign(data.feature_count(), 0.0);
+  nodes_.reserve(2 * rows.size());
+  std::vector<std::size_t> work(rows.begin(), rows.end());
+  build(data, work, 0, work.size(), 0, rng);
+}
+
+void DecisionTreeRegressor::fit(const Dataset& data, stats::Rng& rng) {
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  fit(data, rows, rng);
+}
+
+std::uint32_t DecisionTreeRegressor::build(const Dataset& data,
+                                           std::vector<std::size_t>& rows,
+                                           std::size_t begin, std::size_t end,
+                                           std::size_t depth, stats::Rng& rng) {
+  const std::size_t n = end - begin;
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double y = data.y(rows[i]);
+    sum += y;
+    sq += y * y;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double sse = sq - sum * mean;
+
+  const auto make_leaf = [&] {
+    Node leaf;
+    leaf.value = mean;
+    nodes_.push_back(leaf);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= config_.max_depth || n < config_.min_samples_split ||
+      sse <= 1e-12) {
+    return make_leaf();
+  }
+
+  const std::size_t d = data.feature_count();
+  std::size_t k = config_.max_features == 0
+                      ? static_cast<std::size_t>(std::llround(std::sqrt(
+                            static_cast<double>(d))))
+                      : config_.max_features;
+  k = std::clamp<std::size_t>(k, 1, d);
+
+  const std::span<const std::size_t> node_rows(rows.data() + begin, n);
+  SplitCandidate best;
+  const auto features = rng.sample_without_replacement(d, k);
+  for (std::size_t f : features) {
+    const auto cand =
+        config_.split_mode == SplitMode::kBest
+            ? best_split_for_feature(data, node_rows, f,
+                                     config_.min_samples_leaf)
+            : random_split_for_feature(data, node_rows, f,
+                                       config_.min_samples_leaf, rng);
+    if (cand.gain > best.gain) best = cand;
+  }
+  if (best.gain <= 0.0) return make_leaf();
+
+  importance_[best.feature] += best.gain;
+
+  // Partition rows[begin, end) around the threshold.
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
+        return data.x(r)[best.feature] <= best.threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - rows.begin());
+  assert(mid > begin && mid < end);
+
+  Node node;
+  node.feature = static_cast<std::uint32_t>(best.feature);
+  node.threshold = best.threshold;
+  nodes_.push_back(node);
+  const auto self = static_cast<std::uint32_t>(nodes_.size() - 1);
+  const std::uint32_t left = build(data, rows, begin, mid, depth + 1, rng);
+  const std::uint32_t right = build(data, rows, mid, end, depth + 1, rng);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> x) const {
+  assert(fitted());
+  std::uint32_t i = 0;
+  for (;;) {
+    const Node& node = nodes_[i];
+    if (node.feature == Node::kLeaf) return node.value;
+    assert(node.feature < x.size());
+    i = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+std::size_t DecisionTreeRegressor::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree.
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack{{0, 1}};
+  std::size_t best = 0;
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const Node& node = nodes_[i];
+    if (node.feature != Node::kLeaf) {
+      stack.emplace_back(node.left, d + 1);
+      stack.emplace_back(node.right, d + 1);
+    }
+  }
+  return best;
+}
+
+
+void DecisionTreeRegressor::save(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "tree " << nodes_.size() << ' ' << importance_.size() << '\n';
+  for (const Node& n : nodes_) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right
+        << ' ' << n.value << '\n';
+  }
+  for (double v : importance_) out << v << ' ';
+  out << '\n';
+  if (!out) throw std::runtime_error("tree write failed");
+}
+
+void DecisionTreeRegressor::load(std::istream& in) {
+  std::string tag;
+  std::size_t node_count = 0, feature_count = 0;
+  if (!(in >> tag >> node_count >> feature_count) || tag != "tree") {
+    throw std::runtime_error("tree parse error: header");
+  }
+  nodes_.assign(node_count, Node{});
+  for (Node& n : nodes_) {
+    if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.value)) {
+      throw std::runtime_error("tree parse error: node");
+    }
+  }
+  importance_.assign(feature_count, 0.0);
+  for (double& v : importance_) {
+    if (!(in >> v)) throw std::runtime_error("tree parse error: importance");
+  }
+}
+
+}  // namespace gsight::ml

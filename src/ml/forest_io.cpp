@@ -1,0 +1,92 @@
+#include "ml/forest_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace gsight::ml {
+
+namespace {
+
+void expect(std::istream& in, const std::string& tag) {
+  std::string token;
+  if (!(in >> token) || token != tag) {
+    throw std::runtime_error("forest_io parse error: expected '" + tag +
+                             "', got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void write_dataset(std::ostream& out, const Dataset& data) {
+  out << std::setprecision(17);
+  out << "dataset " << data.size() << ' ' << data.feature_count() << '\n';
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out << data.y(i);
+    for (double v : data.x(i)) out << ' ' << v;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("dataset write failed");
+}
+
+Dataset read_dataset(std::istream& in) {
+  expect(in, "dataset");
+  std::size_t rows = 0, cols = 0;
+  if (!(in >> rows >> cols)) {
+    throw std::runtime_error("forest_io parse error: dataset header");
+  }
+  Dataset data(cols);
+  std::vector<double> x(cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double y = 0.0;
+    if (!(in >> y)) throw std::runtime_error("dataset parse error: target");
+    for (double& v : x) {
+      if (!(in >> v)) throw std::runtime_error("dataset parse error: row");
+    }
+    data.add(x, y);
+  }
+  return data;
+}
+
+void write_forest(std::ostream& out, const RandomForestRegressor& forest) {
+  forest.save(out);
+}
+
+RandomForestRegressor read_forest(std::istream& in) {
+  RandomForestRegressor forest;
+  forest.load(in);
+  return forest;
+}
+
+void save_incremental_forest(const IncrementalForest& model,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  const auto& cfg = model.config();
+  out << std::setprecision(17);
+  out << "gsight-irfr-v1 " << cfg.refresh_fraction << ' '
+      << cfg.max_refit_rows << '\n';
+  model.forest().save(out);
+  write_dataset(out, model.buffer());
+  if (!out) throw std::runtime_error("model write failed: " + path);
+}
+
+IncrementalForest load_incremental_forest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::string magic;
+  IncrementalForestConfig cfg;
+  if (!(in >> magic >> cfg.refresh_fraction >> cfg.max_refit_rows) ||
+      magic != "gsight-irfr-v1") {
+    throw std::runtime_error("bad model header in " + path);
+  }
+  RandomForestRegressor forest;
+  forest.load(in);
+  cfg.forest = forest.config();
+  IncrementalForest model(cfg);
+  Dataset buffer = read_dataset(in);
+  model.restore(std::move(forest), std::move(buffer));
+  return model;
+}
+
+}  // namespace gsight::ml

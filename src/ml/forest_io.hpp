@@ -1,0 +1,29 @@
+// Persistence for trained forests and datasets. A production Gsight
+// controller trains incrementally for hours (§6.2: ~9k samples to reach
+// ~1% error); losing the model on restart would mean re-converging from
+// the offline dataset, so both the forest and its sample buffer round-trip
+// through a line-oriented text format (same conventions as profile_io).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "ml/incremental_forest.hpp"
+#include "ml/random_forest.hpp"
+
+namespace gsight::ml {
+
+void write_dataset(std::ostream& out, const Dataset& data);
+Dataset read_dataset(std::istream& in);
+
+void write_forest(std::ostream& out, const RandomForestRegressor& forest);
+RandomForestRegressor read_forest(std::istream& in);
+
+/// Full incremental state: forest + sample buffer + configuration knobs
+/// needed to keep updating after reload.
+void save_incremental_forest(const IncrementalForest& model,
+                             const std::string& path);
+IncrementalForest load_incremental_forest(const std::string& path);
+
+}  // namespace gsight::ml

@@ -1,0 +1,41 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace gsight::ml {
+
+void IncrementalKnn::refit(const Dataset& /*new_batch*/) {
+  // Nothing to do: the buffer *is* the model.
+}
+
+double IncrementalKnn::predict(std::span<const double> x) const {
+  const Dataset& data = buffer();
+  if (data.empty()) return 0.0;
+  const auto q = scale_x(x);
+  // Max-heap of (distance, index) keeps the k nearest seen so far.
+  std::priority_queue<std::pair<double, std::size_t>> heap;
+  const std::size_t k = std::max<std::size_t>(1, config_.k);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto r = scale_x(data.x(i));
+    const double d2 = squared_distance(q, r);
+    if (heap.size() < k) {
+      heap.emplace(d2, i);
+    } else if (d2 < heap.top().first) {
+      heap.pop();
+      heap.emplace(d2, i);
+    }
+  }
+  double wsum = 0.0, ysum = 0.0;
+  while (!heap.empty()) {
+    const auto [d2, i] = heap.top();
+    heap.pop();
+    const double w = config_.weighted ? 1.0 / (std::sqrt(d2) + 1e-9) : 1.0;
+    wsum += w;
+    ysum += w * data.y(i);
+  }
+  return wsum > 0.0 ? ysum / wsum : 0.0;
+}
+
+}  // namespace gsight::ml

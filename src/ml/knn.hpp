@@ -1,0 +1,33 @@
+// IKNN — incremental K-nearest-neighbour regression. Inherently
+// incremental: partial_fit appends samples; predictions average the k
+// nearest stored targets with inverse-distance weights computed in
+// standardised feature space (the scaler updates with the stream, and
+// stored points are re-standardised lazily at query time).
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace gsight::ml {
+
+struct KnnConfig {
+  std::size_t k = 8;
+  /// Inverse-distance weighting; uniform averaging when false.
+  bool weighted = true;
+};
+
+class IncrementalKnn final : public BufferedRegressor {
+ public:
+  explicit IncrementalKnn(KnnConfig config = {}, std::uint64_t seed = 1)
+      : BufferedRegressor(seed), config_(config) {}
+
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "IKNN"; }
+
+ protected:
+  void refit(const Dataset& new_batch) override;
+
+ private:
+  KnnConfig config_;
+};
+
+}  // namespace gsight::ml

@@ -1,0 +1,89 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+
+namespace gsight::ml {
+
+void IncrementalLinear::sgd_pass(const Dataset& scaled) {
+  const auto order = rng_.permutation(scaled.size());
+  const double lr = config_.learning_rate;
+  for (std::size_t idx : order) {
+    const auto x = scaled.x(idx);
+    const double err = (dot(w_, x) + b_) - scaled.y(idx);
+    // Normalised LMS: dividing by ||x||^2 keeps the update stable for any
+    // feature dimensionality (lr < 2 guarantees convergence), which
+    // matters for the 2 580-dimensional overlap codes.
+    const double step = lr * err / (1.0 + dot(x, x));
+    for (std::size_t j = 0; j < w_.size(); ++j) {
+      w_[j] -= step * x[j] + lr * config_.l2 * w_[j];
+    }
+    b_ -= step;
+  }
+}
+
+void IncrementalLinear::refit(const Dataset& new_batch) {
+  if (w_.empty()) w_.assign(new_batch.feature_count(), 0.0);
+  // Train on the scaled new batch plus a replay subsample of history.
+  Dataset train = scaled_sample(config_.replay_rows);
+  for (std::size_t e = 0; e < config_.epochs_per_batch; ++e) sgd_pass(train);
+}
+
+double IncrementalLinear::predict(std::span<const double> x) const {
+  if (w_.empty()) return 0.0;
+  const auto xs = scale_x(x);
+  return unscale_y(dot(w_, xs) + b_);
+}
+
+void RidgeClosedForm::fit(const Dataset& data) {
+  if (data.empty()) return;
+  // Augment with a bias column: solve (X^T X + l2 I) w = X^T y.
+  const std::size_t d = data.feature_count() + 1;
+  std::vector<double> a(d * d, 0.0);  // symmetric normal matrix
+  std::vector<double> rhs(d, 0.0);
+  std::vector<double> row(d, 1.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = data.x(i);
+    for (std::size_t j = 0; j + 1 < d; ++j) row[j] = x[j];
+    row[d - 1] = 1.0;
+    const double y = data.y(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      rhs[j] += row[j] * y;
+      for (std::size_t k = j; k < d; ++k) a[j * d + k] += row[j] * row[k];
+    }
+  }
+  for (std::size_t j = 0; j + 1 < d; ++j) a[j * d + j] += l2_;  // not the bias
+  // In-place Cholesky on the upper triangle: a = L^T stored rowwise.
+  for (std::size_t j = 0; j < d; ++j) {
+    double diag = a[j * d + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[k * d + j] * a[k * d + j];
+    diag = std::sqrt(std::max(diag, 1e-12));
+    a[j * d + j] = diag;
+    for (std::size_t c = j + 1; c < d; ++c) {
+      double v = a[j * d + c];
+      for (std::size_t k = 0; k < j; ++k) v -= a[k * d + j] * a[k * d + c];
+      a[j * d + c] = v / diag;
+    }
+  }
+  // Forward then backward substitution.
+  std::vector<double> z(d, 0.0);
+  for (std::size_t j = 0; j < d; ++j) {
+    double v = rhs[j];
+    for (std::size_t k = 0; k < j; ++k) v -= a[k * d + j] * z[k];
+    z[j] = v / a[j * d + j];
+  }
+  std::vector<double> w(d, 0.0);
+  for (std::size_t j = d; j-- > 0;) {
+    double v = z[j];
+    for (std::size_t k = j + 1; k < d; ++k) v -= a[j * d + k] * w[k];
+    w[j] = v / a[j * d + j];
+  }
+  w_.assign(w.begin(), w.end() - 1);
+  b_ = w.back();
+}
+
+double RidgeClosedForm::predict(std::span<const double> x) const {
+  if (w_.empty()) return 0.0;
+  return dot(w_, x) + b_;
+}
+
+}  // namespace gsight::ml

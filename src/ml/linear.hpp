@@ -1,0 +1,63 @@
+// ILR — incremental linear regression trained by mini-batch SGD with L2
+// regularisation on standardised features/target. Each online batch runs a
+// few SGD epochs over the new samples plus a replay subsample of the buffer
+// (replay prevents catastrophic forgetting of earlier colocation regimes).
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace gsight::ml {
+
+struct LinearConfig {
+  double learning_rate = 0.02;
+  double l2 = 1e-4;
+  std::size_t epochs_per_batch = 5;
+  std::size_t replay_rows = 1024;
+};
+
+class IncrementalLinear final : public BufferedRegressor {
+ public:
+  explicit IncrementalLinear(LinearConfig config = {}, std::uint64_t seed = 1)
+      : BufferedRegressor(seed), config_(config) {}
+
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "ILR"; }
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ protected:
+  void refit(const Dataset& new_batch) override;
+
+ private:
+  void sgd_pass(const Dataset& scaled);
+
+  LinearConfig config_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// Batch ridge regression solved in closed form (normal equations +
+/// Cholesky). Only suitable for low-dimensional feature spaces (the ESP
+/// and Pythia baselines use a few dozen features); Gsight's own
+/// high-dimensional encodings go through the SGD/forest learners instead.
+class RidgeClosedForm {
+ public:
+  explicit RidgeClosedForm(double l2 = 1e-3) : l2_(l2) {}
+
+  /// Fit on the dataset (refits from scratch; callers keep their own
+  /// sample buffers for incrementality).
+  void fit(const Dataset& data);
+  double predict(std::span<const double> x) const;
+  bool fitted() const { return !w_.empty(); }
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  double l2_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace gsight::ml

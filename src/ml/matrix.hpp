@@ -1,0 +1,56 @@
+// Minimal dense row-major matrix for the ML library. Deliberately small:
+// the learners below need row access, matvec, and transpose-matvec — not a
+// full BLAS. Rows are contiguous so tree training can scan features with
+// stride `cols()`.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gsight::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Append one row; the row length must equal cols() (or define cols()
+  /// when the matrix is still empty).
+  void push_row(std::span<const double> values);
+
+  /// y = M x  (x has cols() entries, result has rows()).
+  std::vector<double> matvec(std::span<const double> x) const;
+  /// y = M^T x  (x has rows() entries, result has cols()).
+  std::vector<double> matvec_transposed(std::span<const double> x) const;
+
+  const std::vector<double>& flat() const { return data_; }
+  std::vector<double>& flat() { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product of equally sized spans.
+double dot(std::span<const double> a, std::span<const double> b);
+/// Squared Euclidean distance between equally sized spans.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace gsight::ml

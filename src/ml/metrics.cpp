@@ -1,0 +1,63 @@
+#include "ml/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gsight::ml {
+
+std::vector<double> ape(const std::vector<double>& truth,
+                        const std::vector<double>& pred, double eps) {
+  assert(truth.size() == pred.size());
+  std::vector<double> out;
+  out.reserve(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) < eps) continue;
+    out.push_back(100.0 * std::abs(pred[i] - truth[i]) / std::abs(truth[i]));
+  }
+  return out;
+}
+
+double mape(const std::vector<double>& truth, const std::vector<double>& pred,
+            double eps) {
+  const auto errs = ape(truth, pred, eps);
+  if (errs.empty()) return 0.0;
+  double s = 0.0;
+  for (double e : errs) s += e;
+  return s / static_cast<double>(errs.size());
+}
+
+double mae(const std::vector<double>& truth, const std::vector<double>& pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) s += std::abs(pred[i] - truth[i]);
+  return s / static_cast<double>(truth.size());
+}
+
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = pred[i] - truth[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(truth.size()));
+}
+
+double r2(const std::vector<double>& truth, const std::vector<double>& pred) {
+  assert(truth.size() == pred.size());
+  if (truth.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace gsight::ml

@@ -1,0 +1,21 @@
+// Regression error metrics. The paper reports errors as |p_hat - p| / p
+// (mean absolute percentage error), which is `mape` here; MAE/RMSE/R² are
+// provided for the ablation benches.
+#pragma once
+
+#include <vector>
+
+namespace gsight::ml {
+
+/// Mean absolute percentage error, in percent. Targets with |y| < eps are
+/// skipped to avoid division blow-ups (matches the paper's error metric).
+double mape(const std::vector<double>& truth, const std::vector<double>& pred,
+            double eps = 1e-9);
+/// Per-sample absolute percentage errors in percent (for distributions).
+std::vector<double> ape(const std::vector<double>& truth,
+                        const std::vector<double>& pred, double eps = 1e-9);
+double mae(const std::vector<double>& truth, const std::vector<double>& pred);
+double rmse(const std::vector<double>& truth, const std::vector<double>& pred);
+double r2(const std::vector<double>& truth, const std::vector<double>& pred);
+
+}  // namespace gsight::ml

@@ -1,0 +1,104 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gsight::ml {
+
+void IncrementalMlp::init(std::size_t input_dim) {
+  layers_.clear();
+  std::vector<std::size_t> dims;
+  dims.push_back(input_dim);
+  dims.insert(dims.end(), config_.hidden.begin(), config_.hidden.end());
+  dims.push_back(1);  // scalar regression head
+  for (std::size_t l = 0; l + 1 < dims.size(); ++l) {
+    Layer layer;
+    layer.w = Matrix(dims[l + 1], dims[l]);
+    layer.b.assign(dims[l + 1], 0.0);
+    layer.vw = Matrix(dims[l + 1], dims[l]);
+    layer.vb.assign(dims[l + 1], 0.0);
+    // He initialisation for ReLU layers.
+    const double scale = std::sqrt(2.0 / static_cast<double>(dims[l]));
+    for (auto& v : layer.w.flat()) v = rng_.normal(0.0, scale);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+double IncrementalMlp::forward(
+    std::span<const double> x,
+    std::vector<std::vector<double>>& activations) const {
+  activations.clear();
+  activations.emplace_back(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    auto z = layers_[l].w.matvec(activations.back());
+    for (std::size_t j = 0; j < z.size(); ++j) z[j] += layers_[l].b[j];
+    if (l + 1 < layers_.size()) {
+      for (auto& v : z) v = v > 0.0 ? v : 0.0;  // ReLU
+    }
+    activations.push_back(std::move(z));
+  }
+  return activations.back()[0];
+}
+
+void IncrementalMlp::backward(
+    const std::vector<std::vector<double>>& activations, double grad_out) {
+  // delta for the output layer (linear head): dL/dz = grad_out.
+  std::vector<double> delta{grad_out};
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    const auto& input = activations[li];
+    // Gradient wrt inputs (needed before weights are updated).
+    std::vector<double> grad_in;
+    if (li > 0) {
+      grad_in = layer.w.matvec_transposed(delta);
+      // ReLU derivative of the activation that produced `input`.
+      for (std::size_t j = 0; j < grad_in.size(); ++j) {
+        if (input[j] <= 0.0) grad_in[j] = 0.0;
+      }
+    }
+    const double lr = config_.learning_rate;
+    for (std::size_t o = 0; o < layer.b.size(); ++o) {
+      // Per-unit gradient clipping keeps long incremental runs stable on
+      // wide inputs (occasional extreme activations otherwise compound
+      // through the momentum buffers).
+      const double d = std::clamp(delta[o], -3.0, 3.0);
+      auto wrow = layer.w.row(o);
+      auto vrow = layer.vw.row(o);
+      for (std::size_t j = 0; j < wrow.size(); ++j) {
+        const double g = d * input[j] + config_.l2 * wrow[j];
+        vrow[j] = config_.momentum * vrow[j] - lr * g;
+        wrow[j] = std::clamp(wrow[j] + vrow[j], -50.0, 50.0);
+      }
+      layer.vb[o] = config_.momentum * layer.vb[o] - lr * d;
+      layer.b[o] += layer.vb[o];
+    }
+    delta = std::move(grad_in);
+  }
+}
+
+void IncrementalMlp::refit(const Dataset& new_batch) {
+  if (layers_.empty()) init(new_batch.feature_count());
+  Dataset train = scaled_sample(config_.replay_rows);
+  std::vector<std::vector<double>> activations;
+  for (std::size_t e = 0; e < config_.epochs_per_batch; ++e) {
+    const auto order = rng_.permutation(train.size());
+    for (std::size_t idx : order) {
+      const double pred = forward(train.x(idx), activations);
+      // Clipped gradient of 0.5*err^2: bounds the update when early-phase
+      // predictions are far off, preventing divergence on wide inputs.
+      const double grad =
+          std::clamp(pred - train.y(idx), -3.0, 3.0);
+      backward(activations, grad);
+    }
+  }
+}
+
+double IncrementalMlp::predict(std::span<const double> x) const {
+  if (layers_.empty()) return 0.0;
+  const auto xs = scale_x(x);
+  std::vector<std::vector<double>> activations;
+  return unscale_y(forward(xs, activations));
+}
+
+}  // namespace gsight::ml

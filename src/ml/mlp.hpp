@@ -1,0 +1,49 @@
+// IMLP — incremental multi-layer perceptron regressor: fully connected
+// ReLU hidden layers, linear output, mini-batch SGD with momentum, trained
+// on standardised features/target with history replay.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace gsight::ml {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden = {48};
+  double learning_rate = 0.002;
+  double momentum = 0.5;
+  double l2 = 1e-5;
+  std::size_t epochs_per_batch = 6;
+  std::size_t replay_rows = 1024;
+};
+
+class IncrementalMlp final : public BufferedRegressor {
+ public:
+  explicit IncrementalMlp(MlpConfig config = {}, std::uint64_t seed = 1)
+      : BufferedRegressor(seed), config_(config) {}
+
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "IMLP"; }
+
+ protected:
+  void refit(const Dataset& new_batch) override;
+
+ private:
+  struct Layer {
+    Matrix w;                 // out x in
+    std::vector<double> b;    // out
+    Matrix vw;                // momentum buffers
+    std::vector<double> vb;
+  };
+
+  void init(std::size_t input_dim);
+  /// Forward pass storing activations; returns scaled-space output.
+  double forward(std::span<const double> x,
+                 std::vector<std::vector<double>>& activations) const;
+  void backward(const std::vector<std::vector<double>>& activations,
+                double grad_out);
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace gsight::ml

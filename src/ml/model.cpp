@@ -1,0 +1,49 @@
+#include "ml/model.hpp"
+
+#include <cassert>
+
+namespace gsight::ml {
+
+std::vector<double> IncrementalRegressor::predict_all(const Dataset& data) const {
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.x(i));
+  return out;
+}
+
+void BufferedRegressor::partial_fit(const Dataset& batch) {
+  if (batch.empty()) return;
+  buffer_.append(batch);
+  x_scaler_.partial_fit(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) y_stats_.add(batch.y(i));
+  refit(batch);
+}
+
+double BufferedRegressor::scale_y(double y) const {
+  const double sd = std::max(y_stats_.stddev(), 1e-12);
+  return (y - y_stats_.mean()) / sd;
+}
+
+double BufferedRegressor::unscale_y(double y_scaled) const {
+  const double sd = std::max(y_stats_.stddev(), 1e-12);
+  return y_scaled * sd + y_stats_.mean();
+}
+
+Dataset BufferedRegressor::scaled_buffer() const {
+  Dataset out(buffer_.feature_count());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.add(x_scaler_.transform(buffer_.x(i)), scale_y(buffer_.y(i)));
+  }
+  return out;
+}
+
+Dataset BufferedRegressor::scaled_sample(std::size_t n) {
+  if (buffer_.size() <= n) return scaled_buffer();
+  const auto rows = rng_.sample_without_replacement(buffer_.size(), n);
+  Dataset out(buffer_.feature_count());
+  for (std::size_t r : rows) {
+    out.add(x_scaler_.transform(buffer_.x(r)), scale_y(buffer_.y(r)));
+  }
+  return out;
+}
+
+}  // namespace gsight::ml

@@ -1,0 +1,77 @@
+// Common interface for the incremental regression models compared in the
+// paper (Figure 9): IRFR, IKNN, ILR, ISVR and IMLP. All models learn from
+// an initial offline batch and are then updated online with
+// (features, observed QoS) pairs as workloads execute — the "incremental
+// learning" loop of Gsight's design (Figure 6).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/scaler.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace gsight::ml {
+
+class IncrementalRegressor {
+ public:
+  virtual ~IncrementalRegressor() = default;
+
+  /// Absorb a batch of labelled samples and update the model. The first
+  /// call plays the role of offline training; later calls are the online
+  /// incremental updates.
+  virtual void partial_fit(const Dataset& batch) = 0;
+
+  /// Predict the target for one feature vector. Must be callable before
+  /// any training (returns 0 in that case) so schedulers can run cold.
+  virtual double predict(std::span<const double> x) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Number of samples absorbed so far.
+  virtual std::size_t samples_seen() const = 0;
+
+  std::vector<double> predict_all(const Dataset& data) const;
+};
+
+/// Shared plumbing for learners that keep a replay buffer of all absorbed
+/// samples plus standardisation statistics for features and target.
+/// Subclasses implement `refit`, called after each partial_fit with the
+/// buffer already extended and scalers updated.
+class BufferedRegressor : public IncrementalRegressor {
+ public:
+  explicit BufferedRegressor(std::uint64_t seed) : rng_(seed) {}
+
+  void partial_fit(const Dataset& batch) final;
+  std::size_t samples_seen() const final { return buffer_.size(); }
+
+ protected:
+  virtual void refit(const Dataset& new_batch) = 0;
+
+  /// Standardised feature vector under the current scaler.
+  std::vector<double> scale_x(std::span<const double> x) const {
+    return x_scaler_.transform(x);
+  }
+  /// Map target to / from standardised space.
+  double scale_y(double y) const;
+  double unscale_y(double y_scaled) const;
+
+  const Dataset& buffer() const { return buffer_; }
+  /// The whole buffer with standardised features and targets.
+  Dataset scaled_buffer() const;
+  /// A standardised random subsample of at most `n` buffered rows.
+  Dataset scaled_sample(std::size_t n);
+
+  stats::Rng rng_;
+
+ private:
+  Dataset buffer_;
+  StandardScaler x_scaler_;
+  stats::Running y_stats_;
+};
+
+}  // namespace gsight::ml

@@ -1,0 +1,137 @@
+#include "ml/pca.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::ml {
+
+namespace {
+
+// y = X^T (X v) computed row-wise over the centred data (X is n x d,
+// stored implicitly as data rows minus mean).
+std::vector<double> cov_matvec(const Dataset& data,
+                               const std::vector<double>& mean,
+                               const std::vector<double>& v) {
+  const std::size_t d = mean.size();
+  std::vector<double> y(d, 0.0);
+  std::vector<double> centered(d);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.x(i);
+    double proj = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      centered[j] = row[j] - mean[j];
+      proj += centered[j] * v[j];
+    }
+    for (std::size_t j = 0; j < d; ++j) y[j] += proj * centered[j];
+  }
+  const double n = static_cast<double>(data.size() - 1);
+  for (auto& val : y) val /= n;
+  return y;
+}
+
+double norm(const std::vector<double>& v) { return std::sqrt(dot(v, v)); }
+
+}  // namespace
+
+void Pca::fit(const Dataset& data) {
+  if (data.size() < 2) {
+    throw std::invalid_argument("Pca::fit: need at least 2 rows");
+  }
+  const std::size_t d = data.feature_count();
+  const std::size_t k = std::min(config_.components, std::min(d, data.size()));
+
+  mean_.assign(d, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.x(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(data.size());
+
+  total_variance_ = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.x(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double c = row[j] - mean_[j];
+      total_variance_ += c * c;
+    }
+  }
+  total_variance_ /= static_cast<double>(data.size() - 1);
+
+  stats::Rng rng(config_.seed);
+  components_.clear();
+  explained_variance_.clear();
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> v(d);
+    for (auto& x : v) x = rng.normal();
+    double eigenvalue = 0.0;
+    for (std::size_t it = 0; it < config_.power_iterations; ++it) {
+      // Deflate previously found components (Gram-Schmidt).
+      for (const auto& prev : components_) {
+        const double p = dot(v, prev);
+        for (std::size_t j = 0; j < d; ++j) v[j] -= p * prev[j];
+      }
+      auto y = cov_matvec(data, mean_, v);
+      eigenvalue = norm(y);
+      if (eigenvalue < 1e-14) break;  // rank exhausted
+      for (auto& x : y) x /= eigenvalue;
+      v = std::move(y);
+    }
+    if (eigenvalue < 1e-14) break;
+    // Final re-orthogonalisation: power iteration leaves O(1/iters)
+    // residue against earlier components when eigenvalues are close.
+    for (const auto& prev : components_) {
+      const double p = dot(v, prev);
+      for (std::size_t j = 0; j < d; ++j) v[j] -= p * prev[j];
+    }
+    const double len = norm(v);
+    if (len < 1e-14) break;
+    for (auto& x : v) x /= len;
+    components_.push_back(std::move(v));
+    explained_variance_.push_back(eigenvalue);
+  }
+}
+
+std::vector<double> Pca::transform(std::span<const double> x) const {
+  assert(fitted() && x.size() == mean_.size());
+  std::vector<double> z(components_.size(), 0.0);
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    double proj = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      proj += (x[j] - mean_[j]) * components_[c][j];
+    }
+    z[c] = proj;
+  }
+  return z;
+}
+
+Dataset Pca::transform(const Dataset& data) const {
+  Dataset out(components_.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform(data.x(i)), data.y(i));
+  }
+  return out;
+}
+
+std::vector<double> Pca::inverse_transform(std::span<const double> z) const {
+  assert(fitted() && z.size() == components_.size());
+  std::vector<double> x = mean_;
+  for (std::size_t c = 0; c < components_.size(); ++c) {
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] += z[c] * components_[c][j];
+    }
+  }
+  return x;
+}
+
+double Pca::explained_variance_ratio() const {
+  if (total_variance_ <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (double v : explained_variance_) sum += v;
+  return sum / total_variance_;
+}
+
+}  // namespace gsight::ml

@@ -1,0 +1,58 @@
+// Principal-component analysis for feature reduction — the §6.4 future-
+// work item ("policies like dimensionality reduction (e.g., PCA) ... can
+// be explored"): the overlap code grows as 32·n·S + 2·n, so clusters much
+// larger than the paper's 8 nodes need the encoder output compressed
+// before the learner sees it.
+//
+// Implementation: covariance PCA via orthogonal power iteration on the
+// centred data — no external linear-algebra dependency, adequate for the
+// few-thousand-dimensional, few-thousand-sample regime this library
+// operates in.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace gsight::ml {
+
+struct PcaConfig {
+  std::size_t components = 64;
+  std::size_t power_iterations = 30;
+  std::uint64_t seed = 17;
+};
+
+class Pca {
+ public:
+  explicit Pca(PcaConfig config = {}) : config_(config) {}
+
+  /// Fit components on the rows of `data`. Requires at least 2 rows.
+  void fit(const Dataset& data);
+  bool fitted() const { return !components_.empty(); }
+  std::size_t components() const { return components_.size(); }
+  std::size_t input_dim() const { return mean_.size(); }
+
+  /// Project one vector onto the fitted components.
+  std::vector<double> transform(std::span<const double> x) const;
+  /// Project a whole dataset (targets carried through).
+  Dataset transform(const Dataset& data) const;
+  /// Reconstruct an input-space vector from its projection (lossy).
+  std::vector<double> inverse_transform(std::span<const double> z) const;
+
+  /// Variance captured by each component (descending).
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+  /// Fraction of total variance captured by the fitted components.
+  double explained_variance_ratio() const;
+
+ private:
+  PcaConfig config_;
+  std::vector<double> mean_;
+  std::vector<std::vector<double>> components_;  // row = component
+  std::vector<double> explained_variance_;
+  double total_variance_ = 0.0;
+};
+
+}  // namespace gsight::ml

@@ -1,0 +1,111 @@
+#include "ml/random_forest.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <optional>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "ml/thread_pool.hpp"
+
+namespace gsight::ml {
+
+void RandomForestRegressor::fit_one(const Dataset& data, std::size_t slot,
+                                    std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const auto n = static_cast<std::size_t>(std::max(
+      1.0, config_.bootstrap_fraction * static_cast<double>(data.size())));
+  std::vector<std::size_t> rows(n);
+  for (auto& r : rows) r = rng.uniform_index(data.size());
+  DecisionTreeRegressor tree(config_.tree);
+  tree.fit(data, rows, rng);
+  trees_[slot] = std::move(tree);
+}
+
+void RandomForestRegressor::fit(const Dataset& data, stats::Rng& rng) {
+  assert(!data.empty());
+  feature_count_ = data.feature_count();
+  trees_.assign(config_.n_trees, DecisionTreeRegressor(config_.tree));
+  std::vector<std::uint64_t> seeds(config_.n_trees);
+  for (auto& s : seeds) s = rng.next();
+  std::optional<ThreadPool> local;
+  ThreadPool* pool = &ThreadPool::shared();
+  if (config_.threads != 0) {
+    local.emplace(config_.threads);
+    pool = &*local;
+  }
+  pool->parallel_for(config_.n_trees,
+                     [&](std::size_t i) { fit_one(data, i, seeds[i]); });
+}
+
+double RandomForestRegressor::predict(std::span<const double> x) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& t : trees_) sum += t.predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::importance() const {
+  std::vector<double> total(feature_count_, 0.0);
+  double grand = 0.0;
+  for (const auto& t : trees_) {
+    const auto& imp = t.importance();
+    for (std::size_t j = 0; j < imp.size(); ++j) {
+      total[j] += imp[j];
+      grand += imp[j];
+    }
+  }
+  if (grand > 0.0) {
+    for (auto& v : total) v /= grand;
+  }
+  return total;
+}
+
+void RandomForestRegressor::refresh_trees(const Dataset& data, std::size_t count,
+                                          stats::Rng& rng) {
+  if (!fitted()) {
+    fit(data, rng);
+    return;
+  }
+  if (count == 0) return;
+  count = std::min(count, trees_.size());
+  const auto slots = rng.sample_without_replacement(trees_.size(), count);
+  std::vector<std::uint64_t> seeds(count);
+  for (auto& s : seeds) s = rng.next();
+  ThreadPool::shared().parallel_for(
+      count, [&](std::size_t i) { fit_one(data, slots[i], seeds[i]); });
+}
+
+
+void RandomForestRegressor::save(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "forest " << trees_.size() << ' ' << feature_count_ << ' '
+      << config_.n_trees << ' ' << config_.bootstrap_fraction << ' '
+      << config_.tree.max_depth << ' ' << config_.tree.min_samples_split
+      << ' ' << config_.tree.min_samples_leaf << ' '
+      << config_.tree.max_features << ' '
+      << static_cast<int>(config_.tree.split_mode) << '\n';
+  for (const auto& tree : trees_) tree.save(out);
+  if (!out) throw std::runtime_error("forest write failed");
+}
+
+void RandomForestRegressor::load(std::istream& in) {
+  std::string tag;
+  std::size_t tree_count = 0;
+  int split_mode = 0;
+  if (!(in >> tag >> tree_count >> feature_count_ >> config_.n_trees >>
+        config_.bootstrap_fraction >> config_.tree.max_depth >>
+        config_.tree.min_samples_split >> config_.tree.min_samples_leaf >>
+        config_.tree.max_features >> split_mode) ||
+      tag != "forest") {
+    throw std::runtime_error("forest parse error: header");
+  }
+  config_.tree.split_mode = static_cast<SplitMode>(split_mode);
+  trees_.assign(tree_count, DecisionTreeRegressor(config_.tree));
+  for (auto& tree : trees_) tree.load(in);
+}
+
+}  // namespace gsight::ml

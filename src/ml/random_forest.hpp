@@ -1,0 +1,53 @@
+// Bagged random-forest regressor (Breiman) with impurity-based feature
+// importance (Figure 8) and thread-pool-parallel training. This is the
+// batch core reused by the incremental wrapper (IRFR) that Gsight deploys.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace gsight::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 100;
+  TreeConfig tree;
+  /// Bootstrap-sample size as a fraction of the training set.
+  double bootstrap_fraction = 1.0;
+  /// Threads for fitting; 0 = shared pool default.
+  std::size_t threads = 0;
+};
+
+class RandomForestRegressor {
+ public:
+  explicit RandomForestRegressor(ForestConfig config = {}) : config_(config) {}
+
+  void fit(const Dataset& data, stats::Rng& rng);
+  double predict(std::span<const double> x) const;
+  bool fitted() const { return !trees_.empty(); }
+  std::size_t tree_count() const { return trees_.size(); }
+
+  /// Impurity importance, normalised to sum to 1 (zeros if unfitted).
+  std::vector<double> importance() const;
+
+  /// Retrain `count` randomly chosen trees on fresh bootstraps of `data`
+  /// (the incremental-update primitive; no-op count==0). If the forest is
+  /// unfitted this behaves like fit().
+  void refresh_trees(const Dataset& data, std::size_t count, stats::Rng& rng);
+
+  const ForestConfig& config() const { return config_; }
+  /// Serialise / restore the fitted forest (trees + config).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  void fit_one(const Dataset& data, std::size_t slot, std::uint64_t seed);
+
+  ForestConfig config_;
+  std::vector<DecisionTreeRegressor> trees_;
+  std::size_t feature_count_ = 0;
+};
+
+}  // namespace gsight::ml

@@ -1,0 +1,59 @@
+#include "ml/scaler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gsight::ml {
+
+void StandardScaler::partial_fit(std::span<const double> x) {
+  if (count_ == 0 && mean_.empty()) {
+    mean_.assign(x.size(), 0.0);
+    m2_.assign(x.size(), 0.0);
+  }
+  assert(x.size() == mean_.size());
+  ++count_;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double delta = x[j] - mean_[j];
+    mean_[j] += delta / static_cast<double>(count_);
+    m2_[j] += delta * (x[j] - mean_[j]);
+  }
+}
+
+void StandardScaler::partial_fit(const Dataset& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) partial_fit(data.x(i));
+}
+
+std::vector<double> StandardScaler::stddev() const {
+  std::vector<double> sd(mean_.size(), 1.0);
+  if (count_ < 2) return sd;
+  for (std::size_t j = 0; j < mean_.size(); ++j) {
+    sd[j] = std::sqrt(m2_[j] / static_cast<double>(count_ - 1));
+  }
+  return sd;
+}
+
+std::vector<double> StandardScaler::transform(std::span<const double> x) const {
+  assert(fitted() && x.size() == mean_.size());
+  const auto sd = stddev();
+  std::vector<double> out(x.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    // Features that are (nearly) constant in the data seen so far carry no
+    // signal; map them to 0 instead of exploding by a microscopic sd. The
+    // clip guards gradient-based learners against rare extreme values in
+    // sparse dimensions (e.g. start-delay slots that are almost always 0).
+    const double s = sd[j];
+    out[j] = s < 1e-8 ? 0.0 : std::clamp((x[j] - mean_[j]) / s, -20.0, 20.0);
+  }
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out(data.feature_count());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform(data.x(i)), data.y(i));
+  }
+  return out;
+}
+
+}  // namespace gsight::ml

@@ -1,0 +1,37 @@
+// Feature standardisation. The distance- and gradient-based learners (KNN,
+// SVR, MLP, linear) are scale-sensitive; trees are not, but the predictor
+// applies one scaler uniformly so models are swappable. The scaler supports
+// incremental refitting from streaming data (Welford per feature) so the
+// online-learning path never sees stale normalisation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace gsight::ml {
+
+class StandardScaler {
+ public:
+  /// Accumulate statistics from additional rows (incremental).
+  void partial_fit(const Dataset& data);
+  void partial_fit(std::span<const double> x);
+
+  bool fitted() const { return count_ > 0; }
+  std::size_t feature_count() const { return mean_.size(); }
+
+  /// (x - mean) / stddev, with stddev floored at 1e-12 for constant features.
+  std::vector<double> transform(std::span<const double> x) const;
+  Dataset transform(const Dataset& data) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  std::vector<double> stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+};
+
+}  // namespace gsight::ml

@@ -1,0 +1,39 @@
+#include "ml/svr.hpp"
+
+#include <cmath>
+
+namespace gsight::ml {
+
+void IncrementalSvr::refit(const Dataset& new_batch) {
+  if (w_.empty()) w_.assign(new_batch.feature_count(), 0.0);
+  Dataset train = scaled_sample(config_.replay_rows);
+  const double lr = config_.learning_rate;
+  for (std::size_t e = 0; e < config_.epochs_per_batch; ++e) {
+    const auto order = rng_.permutation(train.size());
+    for (std::size_t idx : order) {
+      const auto x = train.x(idx);
+      const double resid = (dot(w_, x) + b_) - train.y(idx);
+      // Subgradient of the epsilon-insensitive loss, with the step
+      // normalised by ||x||^2 for stability in high dimensions.
+      double g = 0.0;
+      if (resid > config_.epsilon) {
+        g = 1.0;
+      } else if (resid < -config_.epsilon) {
+        g = -1.0;
+      }
+      const double step = lr * g / (1.0 + std::sqrt(dot(x, x)));
+      for (std::size_t j = 0; j < w_.size(); ++j) {
+        w_[j] -= step * x[j] + lr * config_.l2 * w_[j];
+      }
+      b_ -= step;
+    }
+  }
+}
+
+double IncrementalSvr::predict(std::span<const double> x) const {
+  if (w_.empty()) return 0.0;
+  const auto xs = scale_x(x);
+  return unscale_y(dot(w_, xs) + b_);
+}
+
+}  // namespace gsight::ml

@@ -1,0 +1,35 @@
+// ISVR — incremental linear support-vector regression: SGD on the
+// ε-insensitive hinge loss with L2 regularisation (Pegasos-style), over
+// standardised features/target, with history replay like ILR.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace gsight::ml {
+
+struct SvrConfig {
+  double epsilon = 0.02;  // insensitivity tube half-width (in scaled-y units)
+  double learning_rate = 0.05;
+  double l2 = 1e-4;
+  std::size_t epochs_per_batch = 5;
+  std::size_t replay_rows = 1024;
+};
+
+class IncrementalSvr final : public BufferedRegressor {
+ public:
+  explicit IncrementalSvr(SvrConfig config = {}, std::uint64_t seed = 1)
+      : BufferedRegressor(seed), config_(config) {}
+
+  double predict(std::span<const double> x) const override;
+  std::string name() const override { return "ISVR"; }
+
+ protected:
+  void refit(const Dataset& new_batch) override;
+
+ private:
+  SvrConfig config_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace gsight::ml

@@ -1,0 +1,52 @@
+// Work-sharing thread pool used to parallelise random-forest training
+// (per-tree) and batched inference. Follows the C++ Core Guidelines
+// concurrency rules: joins in the destructor (CP.25-style gsl::joining
+// behaviour), no detached threads, exceptions from tasks are rethrown to
+// the caller of parallel_for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gsight::ml {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run body(i) for i in [0, n), distributing across the pool, and block
+  /// until all iterations complete. The first exception thrown by any
+  /// iteration is rethrown here. Reentrant calls from within a task are not
+  /// supported (they would deadlock on a single-thread pool); callers in
+  /// this codebase never nest.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool for library internals.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gsight::ml

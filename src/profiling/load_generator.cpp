@@ -1,0 +1,63 @@
+#include "profiling/load_generator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace gsight::prof {
+
+double LoadGenerator::run_steps(sim::Platform& platform, std::size_t app,
+                                const std::vector<LoadStep>& steps) {
+  double t = platform.now();
+  for (const auto& step : steps) {
+    const double qps = step.qps;
+    platform.engine().at(t, [&platform, app, qps] {
+      platform.set_open_loop(app, qps);
+    });
+    t += step.duration_s;
+  }
+  platform.engine().at(t, [&platform, app] { platform.set_open_loop(app, 0.0); });
+  return t;
+}
+
+std::vector<LoadStep> LoadGenerator::ramp(double lo, double hi,
+                                          std::size_t steps, double step_s) {
+  std::vector<LoadStep> out;
+  out.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double frac =
+        steps > 1 ? static_cast<double>(i) / static_cast<double>(steps - 1)
+                  : 0.0;
+    out.push_back({lo + (hi - lo) * frac, step_s});
+  }
+  return out;
+}
+
+std::size_t LoadGenerator::run_closed_loop(sim::Platform& platform,
+                                           std::size_t app,
+                                           std::size_t concurrency,
+                                           double duration_s) {
+  const double deadline = platform.now() + duration_s;
+  // Each virtual user re-issues a request as soon as the previous one
+  // completes; state is shared_ptr'd because completions may fire while
+  // the engine is draining after the deadline.
+  struct State {
+    sim::Platform* platform;
+    std::size_t app;
+    double deadline;
+    std::size_t issued = 0;
+  };
+  auto state = std::make_shared<State>(State{&platform, app, deadline});
+  // Forward declaration via shared function object for self-reference.
+  auto issue = std::make_shared<std::function<void()>>();
+  *issue = [state, issue] {
+    if (state->platform->now() >= state->deadline) return;
+    ++state->issued;
+    state->platform->issue_request(
+        state->app, [issue](double, bool) { (*issue)(); });
+  };
+  for (std::size_t u = 0; u < concurrency; ++u) (*issue)();
+  platform.run_until(deadline);
+  return state->issued;
+}
+
+}  // namespace gsight::prof

@@ -1,0 +1,38 @@
+// LoadGenerator — the open-loop load driver of §6.4 ("we develop an
+// open-loop load generator, which can test each LS workload under various
+// access loads and generate profiles within 5 minutes"). Wraps the
+// platform's Poisson arrival machinery with stepped QPS schedules, and
+// offers a closed-loop mode (fixed concurrency) for saturation probing.
+#pragma once
+
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace gsight::prof {
+
+struct LoadStep {
+  double qps = 0.0;
+  double duration_s = 0.0;
+};
+
+class LoadGenerator {
+ public:
+  /// Schedule a stepped open-loop profile against `app` starting now;
+  /// returns the time at which the schedule ends (load stops then).
+  static double run_steps(sim::Platform& platform, std::size_t app,
+                          const std::vector<LoadStep>& steps);
+
+  /// Evenly spaced QPS ramp from `lo` to `hi` (inclusive) over `steps`
+  /// levels of `step_s` seconds each.
+  static std::vector<LoadStep> ramp(double lo, double hi, std::size_t steps,
+                                    double step_s);
+
+  /// Closed loop: keep `concurrency` requests in flight for `duration_s`.
+  /// Returns the number of requests issued.
+  static std::size_t run_closed_loop(sim::Platform& platform, std::size_t app,
+                                     std::size_t concurrency,
+                                     double duration_s);
+};
+
+}  // namespace gsight::prof

@@ -1,0 +1,93 @@
+#include "profiling/metric_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gsight::prof {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kBranchMpki: return "branch_mpki";
+    case Metric::kCtxSwitches: return "context_switches";
+    case Metric::kMemLp: return "mlp";
+    case Metric::kL1dMpki: return "l1d_mpki";
+    case Metric::kItlbMpki: return "itlb_mpki";
+    case Metric::kCpuUtil: return "cpu_utilization";
+    case Metric::kMemUtil: return "memory_utilization";
+    case Metric::kNetBw: return "network_bandwidth";
+    case Metric::kTx: return "tx";
+    case Metric::kRx: return "rx";
+    case Metric::kL1iMpki: return "l1i_mpki";
+    case Metric::kL2Mpki: return "l2_mpki";
+    case Metric::kL3Mpki: return "l3_mpki";
+    case Metric::kDtlbMpki: return "dtlb_mpki";
+    case Metric::kIpc: return "ipc";
+    case Metric::kLlcOccupancy: return "llc";
+    case Metric::kMemIo: return "memory_io";
+    case Metric::kDiskIo: return "disk_io";
+    case Metric::kCpuFreq: return "cpu_frequency";
+    case Metric::kCount: break;
+  }
+  return "?";
+}
+
+const std::array<Metric, kSelectedCount>& selected_metrics() {
+  static const std::array<Metric, kSelectedCount> sel = {
+      Metric::kBranchMpki, Metric::kCtxSwitches, Metric::kL1dMpki,
+      Metric::kItlbMpki,   Metric::kCpuUtil,     Metric::kMemUtil,
+      Metric::kNetBw,      Metric::kTx,          Metric::kRx,
+      Metric::kL1iMpki,    Metric::kL2Mpki,      Metric::kL3Mpki,
+      Metric::kDtlbMpki,   Metric::kIpc,         Metric::kLlcOccupancy,
+      Metric::kCpuFreq,
+  };
+  return sel;
+}
+
+bool is_selected(Metric m) {
+  const auto& sel = selected_metrics();
+  return std::find(sel.begin(), sel.end(), m) != sel.end();
+}
+
+MetricVector metrics_from(const sim::MetricAccum& window, double mem_alloc_gb,
+                          double window_s) {
+  MetricVector v{};
+  // `window` must already be finalized (means over busy time) — both
+  // Recorder::windows() and Recorder::total() return finalized values.
+  const sim::MetricAccum& w = window;
+  const double duty =
+      window_s > 0.0 ? std::min(1.0, window.dt / window_s) : 1.0;
+  v[static_cast<std::size_t>(Metric::kBranchMpki)] = w.branch_mpki;
+  v[static_cast<std::size_t>(Metric::kCtxSwitches)] = duty * w.ctx_per_s;
+  v[static_cast<std::size_t>(Metric::kMemLp)] = w.mem_lp;
+  v[static_cast<std::size_t>(Metric::kL1dMpki)] = w.l1d_mpki;
+  v[static_cast<std::size_t>(Metric::kItlbMpki)] = w.itlb_mpki;
+  v[static_cast<std::size_t>(Metric::kCpuUtil)] = duty * w.cpu_util;
+  v[static_cast<std::size_t>(Metric::kMemUtil)] =
+      mem_alloc_gb > 0.0 ? w.mem_gb / mem_alloc_gb : 0.0;
+  const double net = duty * w.net_mbps;
+  v[static_cast<std::size_t>(Metric::kNetBw)] = net;
+  // TX/RX split of NIC traffic: responses dominate transmit for services.
+  v[static_cast<std::size_t>(Metric::kTx)] = 0.4 * net;
+  v[static_cast<std::size_t>(Metric::kRx)] = 0.6 * net;
+  v[static_cast<std::size_t>(Metric::kL1iMpki)] = w.l1i_mpki;
+  v[static_cast<std::size_t>(Metric::kL2Mpki)] = w.l2_mpki;
+  v[static_cast<std::size_t>(Metric::kL3Mpki)] = w.l3_mpki;
+  v[static_cast<std::size_t>(Metric::kDtlbMpki)] = w.dtlb_mpki;
+  v[static_cast<std::size_t>(Metric::kIpc)] = w.ipc;
+  v[static_cast<std::size_t>(Metric::kLlcOccupancy)] = w.llc_occupancy_mb;
+  v[static_cast<std::size_t>(Metric::kMemIo)] = duty * w.membw_gbps;
+  v[static_cast<std::size_t>(Metric::kDiskIo)] = duty * w.disk_mbps;
+  v[static_cast<std::size_t>(Metric::kCpuFreq)] = w.cpu_freq_ghz;
+  return v;
+}
+
+std::array<double, kSelectedCount> select(const MetricVector& all) {
+  std::array<double, kSelectedCount> out{};
+  const auto& sel = selected_metrics();
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    out[i] = all[static_cast<std::size_t>(sel[i])];
+  }
+  return out;
+}
+
+}  // namespace gsight::prof

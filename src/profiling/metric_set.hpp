@@ -1,0 +1,66 @@
+// The 19 system-layer + microarchitecture-layer metrics of Table 3, and
+// the 16-metric subset Gsight selects (|Pearson| or |Spearman| >= 0.1 —
+// MLP, memory IO and disk IO are dropped). Order is part of the public
+// contract: overlap-coded feature vectors index metrics by this enum.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "sim/recorder.hpp"
+
+namespace gsight::prof {
+
+enum class Metric : std::size_t {
+  kBranchMpki = 0,
+  kCtxSwitches,
+  kMemLp,        // excluded by selection (|corr| < 0.1)
+  kL1dMpki,
+  kItlbMpki,
+  kCpuUtil,
+  kMemUtil,
+  kNetBw,
+  kTx,
+  kRx,
+  kL1iMpki,
+  kL2Mpki,
+  kL3Mpki,
+  kDtlbMpki,
+  kIpc,
+  kLlcOccupancy,
+  kMemIo,        // excluded
+  kDiskIo,       // excluded
+  kCpuFreq,
+  kCount,
+};
+
+inline constexpr std::size_t kMetricCount =
+    static_cast<std::size_t>(Metric::kCount);
+/// Number of metrics Gsight feeds into the model (16, per §3.2).
+inline constexpr std::size_t kSelectedCount = 16;
+
+const char* metric_name(Metric m);
+
+/// The 16 selected metrics, in feature-vector order.
+const std::array<Metric, kSelectedCount>& selected_metrics();
+bool is_selected(Metric m);
+
+using MetricVector = std::array<double, kMetricCount>;
+
+/// Derive the full 19-metric vector from a **finalized** recorder window
+/// (Recorder::windows()/total() return finalized accumulators; call
+/// MetricAccum::finalized() yourself on raw ones).
+/// `mem_alloc_gb` supplies the denominator for memory utilisation.
+/// `window_s` (if > 0) duty-scales the per-second metrics (context
+/// switches, NIC/disk/memory traffic, CPU utilisation) by the busy
+/// fraction of the window — what a 1 Hz system monitor reports for a
+/// function that only ran part of the second. Per-instruction metrics
+/// (MPKIs, IPC, frequency, occupancy) are duty-independent.
+MetricVector metrics_from(const sim::MetricAccum& window, double mem_alloc_gb,
+                          double window_s = 0.0);
+
+/// Project the 19-metric vector onto the 16 selected entries.
+std::array<double, kSelectedCount> select(const MetricVector& all);
+
+}  // namespace gsight::prof

@@ -1,0 +1,23 @@
+#include "profiling/profile.hpp"
+
+#include <stdexcept>
+
+namespace gsight::prof {
+
+void ProfileStore::put(AppProfile profile) {
+  profiles_[profile.app_name] = std::move(profile);
+}
+
+bool ProfileStore::contains(const std::string& app_name) const {
+  return profiles_.count(app_name) > 0;
+}
+
+const AppProfile& ProfileStore::get(const std::string& app_name) const {
+  const auto it = profiles_.find(app_name);
+  if (it == profiles_.end()) {
+    throw std::out_of_range("no profile for app: " + app_name);
+  }
+  return it->second;
+}
+
+}  // namespace gsight::prof

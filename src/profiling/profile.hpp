@@ -1,0 +1,55 @@
+// FunctionProfile — the solo-run signature of one function (§3.2):
+// the 19-metric vector plus solo QoS reference points and the demand
+// vector that seeds the R (allocation) matrices. ProfileStore collects the
+// profiles of all onboarded workloads.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profiling/metric_set.hpp"
+#include "workloads/app.hpp"
+
+namespace gsight::prof {
+
+struct FunctionProfile {
+  std::string app_name;
+  std::string fn_name;
+  MetricVector metrics{};          ///< solo-run means of the 19 metrics
+  double solo_duration_s = 0.0;    ///< one execution, solo (lifetime basis)
+  double solo_mean_latency_s = 0.0;
+  double solo_p99_latency_s = 0.0;
+  double solo_ipc = 0.0;
+  wl::ResourceDemand demand;       ///< duration-weighted average demand
+  double mem_alloc_gb = 0.0;
+};
+
+/// Profiles of all functions of one app, in function order, plus app-level
+/// solo QoS used for SLA construction.
+struct AppProfile {
+  std::string app_name;
+  wl::WorkloadClass cls = wl::WorkloadClass::kLatencySensitive;
+  std::vector<FunctionProfile> functions;
+  double solo_e2e_p99_s = 0.0;   ///< LS: solo end-to-end tail latency
+  double solo_e2e_mean_s = 0.0;
+  double solo_jct_s = 0.0;       ///< SC: solo job completion time
+  double solo_mean_ipc = 0.0;    ///< request-weighted across functions
+
+  const FunctionProfile& fn(std::size_t i) const { return functions.at(i); }
+};
+
+class ProfileStore {
+ public:
+  void put(AppProfile profile);
+  bool contains(const std::string& app_name) const;
+  const AppProfile& get(const std::string& app_name) const;
+  std::size_t size() const { return profiles_.size(); }
+  /// All profiles by key (ordered) — for persistence and introspection.
+  const std::map<std::string, AppProfile>& all() const { return profiles_; }
+
+ private:
+  std::map<std::string, AppProfile> profiles_;
+};
+
+}  // namespace gsight::prof

@@ -1,0 +1,149 @@
+#include "profiling/profile_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace gsight::prof {
+
+namespace {
+
+constexpr const char* kMagic = "gsight-profile-v1";
+
+void expect(std::istream& in, const std::string& tag) {
+  std::string token;
+  if (!(in >> token) || token != tag) {
+    throw std::runtime_error("profile parse error: expected '" + tag +
+                             "', got '" + token + "'");
+  }
+}
+
+// App/function names may contain spaces in principle; encode length-prefixed.
+void write_string(std::ostream& out, const std::string& s) {
+  out << s.size() << ' ' << s;
+}
+
+std::string read_string(std::istream& in) {
+  std::size_t n = 0;
+  if (!(in >> n)) throw std::runtime_error("profile parse error: string size");
+  in.get();  // the separating space
+  std::string s(n, '\0');
+  if (!in.read(s.data(), static_cast<std::streamsize>(n))) {
+    throw std::runtime_error("profile parse error: string body");
+  }
+  return s;
+}
+
+void write_demand(std::ostream& out, const wl::ResourceDemand& d) {
+  out << d.cores << ' ' << d.llc_mb << ' ' << d.membw_gbps << ' '
+      << d.disk_mbps << ' ' << d.net_mbps << ' ' << d.mem_gb << ' '
+      << d.frac_cpu << ' ' << d.frac_disk << ' ' << d.frac_net;
+}
+
+wl::ResourceDemand read_demand(std::istream& in) {
+  wl::ResourceDemand d;
+  if (!(in >> d.cores >> d.llc_mb >> d.membw_gbps >> d.disk_mbps >>
+        d.net_mbps >> d.mem_gb >> d.frac_cpu >> d.frac_disk >> d.frac_net)) {
+    throw std::runtime_error("profile parse error: demand");
+  }
+  return d;
+}
+
+}  // namespace
+
+void write_profile(std::ostream& out, const AppProfile& profile) {
+  out << std::setprecision(17);
+  out << kMagic << '\n';
+  out << "app ";
+  write_string(out, profile.app_name);
+  out << ' ' << static_cast<int>(profile.cls) << ' '
+      << profile.solo_e2e_p99_s << ' ' << profile.solo_e2e_mean_s << ' '
+      << profile.solo_jct_s << ' ' << profile.solo_mean_ipc << ' '
+      << profile.functions.size() << '\n';
+  for (const auto& fn : profile.functions) {
+    out << "fn ";
+    write_string(out, fn.fn_name);
+    out << ' ' << fn.solo_duration_s << ' ' << fn.solo_mean_latency_s << ' '
+        << fn.solo_p99_latency_s << ' ' << fn.solo_ipc << ' '
+        << fn.mem_alloc_gb << '\n';
+    out << "demand ";
+    write_demand(out, fn.demand);
+    out << '\n';
+    out << "metrics";
+    for (double m : fn.metrics) out << ' ' << m;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("profile write failed");
+}
+
+AppProfile read_profile(std::istream& in) {
+  expect(in, kMagic);
+  expect(in, "app");
+  AppProfile profile;
+  profile.app_name = read_string(in);
+  int cls = 0;
+  std::size_t fn_count = 0;
+  if (!(in >> cls >> profile.solo_e2e_p99_s >> profile.solo_e2e_mean_s >>
+        profile.solo_jct_s >> profile.solo_mean_ipc >> fn_count)) {
+    throw std::runtime_error("profile parse error: app header");
+  }
+  profile.cls = static_cast<wl::WorkloadClass>(cls);
+  profile.functions.resize(fn_count);
+  for (auto& fn : profile.functions) {
+    expect(in, "fn");
+    fn.app_name = profile.app_name;
+    fn.fn_name = read_string(in);
+    if (!(in >> fn.solo_duration_s >> fn.solo_mean_latency_s >>
+          fn.solo_p99_latency_s >> fn.solo_ipc >> fn.mem_alloc_gb)) {
+      throw std::runtime_error("profile parse error: fn header");
+    }
+    expect(in, "demand");
+    fn.demand = read_demand(in);
+    expect(in, "metrics");
+    for (double& m : fn.metrics) {
+      if (!(in >> m)) throw std::runtime_error("profile parse error: metrics");
+    }
+  }
+  return profile;
+}
+
+std::vector<std::string> store_keys(const ProfileStore& store) {
+  std::vector<std::string> keys;
+  keys.reserve(store.size());
+  for (const auto& [key, profile] : store.all()) keys.push_back(key);
+  return keys;
+}
+
+void save_store(const ProfileStore& store, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "gsight-store-v1 " << store.size() << '\n';
+  for (const auto& [key, profile] : store.all()) {
+    out << "key ";
+    out << key.size() << ' ' << key << '\n';
+    write_profile(out, profile);
+  }
+  if (!out) throw std::runtime_error("store write failed: " + path);
+}
+
+ProfileStore load_store(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::string magic;
+  std::size_t count = 0;
+  if (!(in >> magic >> count) || magic != "gsight-store-v1") {
+    throw std::runtime_error("bad store header in " + path);
+  }
+  ProfileStore store;
+  for (std::size_t i = 0; i < count; ++i) {
+    expect(in, "key");
+    const std::string key = read_string(in);
+    AppProfile profile = read_profile(in);
+    profile.app_name = key;  // the composite key is the canonical name
+    store.put(std::move(profile));
+  }
+  return store;
+}
+
+}  // namespace gsight::prof

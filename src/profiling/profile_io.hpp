@@ -1,0 +1,30 @@
+// Persistence for profiles and datasets. Profiling is the expensive,
+// once-per-workload step of the Gsight pipeline (§3.2); persisting the
+// ProfileStore lets deployments reuse profiles across restarts, exactly
+// as the paper's artifact ships its initial training dataset as files.
+//
+// Format: a line-oriented, versioned text format (stable across platforms,
+// diff-able, no external dependencies). Not an interchange format — both
+// ends are this library.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "profiling/profile.hpp"
+
+namespace gsight::prof {
+
+/// Serialise one app profile / a whole store. Throws std::runtime_error
+/// on I/O failure.
+void write_profile(std::ostream& out, const AppProfile& profile);
+AppProfile read_profile(std::istream& in);
+
+void save_store(const ProfileStore& store, const std::string& path);
+ProfileStore load_store(const std::string& path);
+
+/// All profiles currently in a store, in key order (for save_store and
+/// introspection).
+std::vector<std::string> store_keys(const ProfileStore& store);
+
+}  // namespace gsight::prof

@@ -1,0 +1,110 @@
+#include "profiling/solo_profiler.hpp"
+
+#include "stats/summary.hpp"
+
+namespace gsight::prof {
+
+AppProfile SoloProfiler::profile(const wl::App& app) const {
+  sim::PlatformConfig pc;
+  pc.servers = app.function_count();
+  pc.server = config_.server;
+  pc.interference = config_.interference;
+  pc.seed = config_.seed;
+  if (!config_.include_cold_start) {
+    // Warm profile: make startup free so it never pollutes the metrics.
+    pc.instance.startup_cores = 0.0;
+    pc.instance.startup_disk_mbps = 0.0;
+  }
+  sim::Platform platform(pc);
+
+  std::vector<std::size_t> placement(app.function_count());
+  for (std::size_t i = 0; i < placement.size(); ++i) placement[i] = i;
+  const std::size_t id = platform.deploy(app, placement);
+
+  if (!config_.include_cold_start) {
+    // Pre-warm every instance with one throwaway request / job.
+    if (app.cls == wl::WorkloadClass::kLatencySensitive) {
+      platform.issue_request(id);
+    } else {
+      platform.submit_job(id);
+    }
+    platform.run_until(platform.now() + 2.0 * app.total_solo_s() + 30.0);
+    platform.recorder().clear();
+  }
+
+  const double t0 = platform.now();
+  if (app.cls == wl::WorkloadClass::kLatencySensitive) {
+    const double qps = config_.ls_qps > 0.0 ? config_.ls_qps : app.default_qps;
+    platform.set_open_loop(id, qps);
+    platform.run_until(t0 + config_.ls_profile_s);
+    platform.set_open_loop(id, 0.0);
+    // Drain in-flight requests.
+    platform.run_until(platform.now() + 5.0);
+  } else {
+    bool done = false;
+    platform.submit_job(id, [&done](double) { done = true; });
+    // Jobs run at solo speed; leave generous headroom for cold starts.
+    platform.run_until(t0 + 2.0 * app.total_solo_s() + 120.0);
+    (void)done;
+  }
+
+  // Discard pre-warm latencies if cold starts excluded: stats were gathered
+  // from t0 on for requests; the pre-warm request's latency is in stats too,
+  // so filter by completion time.
+  const auto& st = platform.stats(id);
+  AppProfile out;
+  out.app_name = app.name;
+  out.cls = app.cls;
+  out.functions.resize(app.function_count());
+
+  stats::Running ipc_all;
+  for (std::size_t fn = 0; fn < app.function_count(); ++fn) {
+    FunctionProfile& p = out.functions[fn];
+    p.app_name = app.name;
+    p.fn_name = app.function(fn).name;
+    p.mem_alloc_gb = app.function(fn).mem_alloc_gb;
+    p.demand = app.function(fn).average_demand();
+    p.solo_duration_s = app.function(fn).solo_duration_s();
+    const auto total = platform.recorder().total(id, fn);
+    // LS profiles duty-scale per-second metrics over the profiling span so
+    // the profile reflects the invocation frequency it was taken at. SC/BG
+    // jobs run continuously while active, so their rates are the busy
+    // means (the horizon includes idle drain time that would otherwise
+    // dilute them).
+    const double span = app.cls == wl::WorkloadClass::kLatencySensitive
+                            ? platform.now() - t0
+                            : 0.0;
+    p.metrics = metrics_from(total, p.mem_alloc_gb, span);
+    p.solo_ipc = total.ipc;  // already a mean after finalized()
+    ipc_all.add(p.solo_ipc);
+
+    std::vector<double> lat;
+    for (const auto& [t, l] : st.fn_latency[fn]) {
+      if (t >= t0) lat.push_back(l);
+    }
+    if (!lat.empty()) {
+      p.solo_mean_latency_s = stats::mean(lat);
+      p.solo_p99_latency_s = stats::percentile(std::move(lat), 99.0);
+    }
+  }
+  out.solo_mean_ipc = ipc_all.mean();
+
+  if (app.cls == wl::WorkloadClass::kLatencySensitive) {
+    auto e2e = st.e2e_values_between(t0, platform.now() + 1.0);
+    if (!e2e.empty()) {
+      out.solo_e2e_mean_s = stats::mean(e2e);
+      out.solo_e2e_p99_s = stats::percentile(std::move(e2e), 99.0);
+    }
+  } else if (!st.jct.empty()) {
+    out.solo_jct_s = st.jct.back().second;
+  }
+  return out;
+}
+
+ProfileStore SoloProfiler::profile_all(const std::vector<wl::App>& apps) const {
+  ProfileStore store;
+  for (const auto& app : apps) store.put(profile(app));
+  return store;
+}
+
+}  // namespace gsight::prof

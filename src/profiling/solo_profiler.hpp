@@ -1,0 +1,42 @@
+// SoloProfiler — Gsight's low-cost profiling path (§3.2): each function
+// runs on a dedicated server (no colocation even with its siblings), the
+// open-loop load generator drives LS apps for a few simulated minutes, SC
+// and BG apps run once, and the recorder's exact time-weighted integrals
+// become the profile. Cost is O(M + N) solo runs, the paper's headline
+// advantage over pairwise or microbenchmark profiling.
+#pragma once
+
+#include "profiling/profile.hpp"
+#include "sim/platform.hpp"
+
+namespace gsight::prof {
+
+struct SoloProfilerConfig {
+  /// Simulated wall-clock of an LS profiling run ("profiles within 5
+  /// minutes" in the paper; shorter keeps benches fast and is plenty for
+  /// converged means).
+  double ls_profile_s = 60.0;
+  /// Override for the LS request rate; 0 uses the app's default_qps.
+  double ls_qps = 0.0;
+  /// Whether cold starts are part of the profile (§5.2: if invocations may
+  /// hit cold starts in production, profile with the startup phase).
+  bool include_cold_start = false;
+  sim::ServerConfig server = sim::ServerConfig::tianjin_testbed();
+  sim::InterferenceParams interference;
+  std::uint64_t seed = 99;
+};
+
+class SoloProfiler {
+ public:
+  explicit SoloProfiler(SoloProfilerConfig config = {}) : config_(config) {}
+
+  /// Profile one app: fresh platform, one dedicated server per function.
+  AppProfile profile(const wl::App& app) const;
+  /// Profile many apps into a store.
+  ProfileStore profile_all(const std::vector<wl::App>& apps) const;
+
+ private:
+  SoloProfilerConfig config_;
+};
+
+}  // namespace gsight::prof

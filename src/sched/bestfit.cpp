@@ -1,0 +1,105 @@
+#include "sched/bestfit.hpp"
+
+#include <algorithm>
+
+namespace gsight::sched {
+
+BestFitScheduler::BestFitScheduler(core::ScenarioPredictor* ipc,
+                                   BestFitConfig config)
+    : ipc_(ipc), config_(config) {}
+
+bool BestFitScheduler::sla_ok(const DeploymentState& plus,
+                              std::size_t target_index) {
+  if (ipc_ == nullptr) return true;
+  for (std::size_t w = 0; w < plus.workloads.size(); ++w) {
+    const auto& dw = plus.workloads[w];
+    if (dw.cls != wl::WorkloadClass::kLatencySensitive) continue;
+    if (dw.sla.ipc_floor <= 0.0) continue;
+    if (w != target_index) continue;  // Pythia checks only the new workload
+    const auto scenario =
+        scenario_for(plus, w, nullptr, config_.max_scenario_slots);
+    if (ipc_->predict(scenario) < dw.sla.ipc_floor * config_.sla_margin) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t BestFitScheduler::pick(const prof::FunctionProfile& fn,
+                                   const DeploymentState& state,
+                                   const std::vector<double>& extra_cores) const {
+  // Smallest positive headroom that still fits the function.
+  std::size_t best = kRefuse;
+  double best_headroom = 1e18;
+  for (std::size_t s = 0; s < state.servers; ++s) {
+    const double free_cores = state.load[s].cores_capacity -
+                              state.load[s].cores_committed - extra_cores[s];
+    const double free_mem =
+        state.load[s].mem_capacity - state.load[s].mem_committed;
+    if (free_cores < fn.demand.cores || free_mem < fn.mem_alloc_gb) continue;
+    const double headroom = free_cores / state.load[s].cores_capacity;
+    if (headroom < best_headroom) {
+      best_headroom = headroom;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> BestFitScheduler::place_workload(
+    const prof::AppProfile& profile, const DeploymentState& state,
+    const core::Sla& sla) {
+  std::vector<double> extra(state.servers, 0.0);
+  std::vector<std::size_t> placement(profile.functions.size(), kRefuse);
+  for (std::size_t fn = 0; fn < profile.functions.size(); ++fn) {
+    const std::size_t s = pick(profile.functions[fn], state, extra);
+    if (s == kRefuse) return placement;
+    placement[fn] = s;
+    extra[s] += profile.functions[fn].demand.cores;
+  }
+  DeploymentState plus = state;
+  DeployedWorkload dw;
+  dw.profile = &profile;
+  dw.profile_key = profile.app_name;
+  dw.fn_to_server = placement;
+  dw.cls = profile.cls;
+  dw.sla = sla;
+  plus.workloads.push_back(std::move(dw));
+  if (!sla_ok(plus, plus.workloads.size() - 1)) {
+    std::fill(placement.begin(), placement.end(), kRefuse);
+  }
+  return placement;
+}
+
+std::size_t BestFitScheduler::place_replica(std::size_t w, std::size_t fn,
+                                            const DeploymentState& state) {
+  const std::vector<double> extra(state.servers, 0.0);
+  const auto& profile = *state.workloads[w].profile;
+  const std::size_t s = pick(profile.functions[fn], state, extra);
+  if (s == kRefuse) return kRefuse;
+  DeploymentState plus = state;
+  plus.workloads[w].fn_to_server[fn] = s;
+  // For scale-outs Pythia checks the workloads already in place, not the
+  // one being relieved (whose QoS the replica is meant to restore).
+  if (ipc_ != nullptr) {
+    for (std::size_t other = 0; other < plus.workloads.size(); ++other) {
+      if (other == w) continue;
+      const auto& dw = plus.workloads[other];
+      if (dw.cls != wl::WorkloadClass::kLatencySensitive) continue;
+      if (dw.sla.ipc_floor <= 0.0) continue;
+      bool shares = false;
+      for (std::size_t srv : dw.fn_to_server) {
+        if (srv == s) shares = true;
+      }
+      if (!shares) continue;
+      const auto scenario =
+          scenario_for(plus, other, nullptr, config_.max_scenario_slots);
+      if (ipc_->predict(scenario) < dw.sla.ipc_floor * config_.sla_margin) {
+        return kRefuse;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace gsight::sched

@@ -1,0 +1,43 @@
+// Best Fit — Pythia's scheduling policy (§6.1): each function goes to the
+// server with the *smallest* headroom that its predictor still deems SLA-
+// safe. With the Pythia predictor attached this is the paper's "Pythia"
+// scheduling competitor; with a perfect predictor it degenerates to
+// classic best-fit bin packing.
+#pragma once
+
+#include "core/predictor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace gsight::sched {
+
+struct BestFitConfig {
+  double sla_margin = 1.0;
+  std::size_t max_scenario_slots = 10;
+};
+
+class BestFitScheduler final : public Scheduler {
+ public:
+  /// `ipc` may be null: then Best Fit only enforces capacity limits.
+  explicit BestFitScheduler(core::ScenarioPredictor* ipc = nullptr,
+                            BestFitConfig config = {});
+
+  std::vector<std::size_t> place_workload(const prof::AppProfile& profile,
+                                          const DeploymentState& state,
+                                          const core::Sla& sla = {}) override;
+  std::size_t place_replica(std::size_t w, std::size_t fn,
+                            const DeploymentState& state) override;
+  std::string name() const override {
+    return ipc_ != nullptr ? "Pythia-BestFit" : "BestFit";
+  }
+
+ private:
+  bool sla_ok(const DeploymentState& plus, std::size_t target_index);
+  std::size_t pick(const prof::FunctionProfile& fn,
+                   const DeploymentState& state,
+                   const std::vector<double>& extra_cores) const;
+
+  core::ScenarioPredictor* ipc_;
+  BestFitConfig config_;
+};
+
+}  // namespace gsight::sched

@@ -1,0 +1,272 @@
+#include "sched/experiment.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/summary.hpp"
+#include "workloads/ecommerce.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+#include "workloads/sparkapps.hpp"
+
+namespace gsight::sched {
+
+double ExperimentReport::mean_density() const {
+  return stats::mean(density_samples);
+}
+double ExperimentReport::mean_cpu_util() const {
+  return stats::mean(cpu_util_samples);
+}
+double ExperimentReport::mean_mem_util() const {
+  return stats::mean(mem_util_samples);
+}
+
+SchedulingExperiment::SchedulingExperiment(const prof::ProfileStore* store,
+                                           ExperimentConfig config)
+    : store_(store), config_(config) {
+  assert(store_ != nullptr);
+}
+
+ExperimentReport SchedulingExperiment::run(Scheduler& scheduler,
+                                           core::ScenarioPredictor* online) {
+  ExperimentReport report;
+  report.scheduler = scheduler.name();
+
+  sim::PlatformConfig pc;
+  pc.servers = config_.servers;
+  pc.server = config_.server;
+  pc.interference = config_.interference;
+  pc.gateway = config_.gateway;
+  pc.seed = config_.seed;
+  pc.instance.idle_expiry_s = 60.0;  // Azure-style keep-alive (compressed)
+  sim::Platform platform(pc);
+  stats::Rng rng(config_.seed ^ 0xD1CE);
+  (void)rng;  // reserved for stochastic policies
+
+  // --- Deployment state shared between scheduler and autoscaler hooks ----
+  DeploymentState state;
+  state.servers = config_.servers;
+
+  const std::vector<wl::App> ls_apps = {wl::social_network(),
+                                        wl::e_commerce()};
+  std::vector<std::size_t> ls_ids;
+
+  std::vector<std::size_t> state_ls_ids;  // platform ids of LS workloads
+  std::vector<std::size_t> app_to_state;  // platform app id -> state index
+  auto refresh_load = [&] {
+    state.load = snapshot_load(platform);
+    // Live SLA check over the most recent window (the reactive signal
+    // Worst Fit freezes on).
+    state.violation_observed = false;
+    const double now = platform.now();
+    for (std::size_t i = 0; i < state_ls_ids.size(); ++i) {
+      const std::size_t w = app_to_state[i];
+      const double target = state.workloads[w].sla.p99_latency_s;
+      if (target <= 0.0) continue;
+      auto lat = platform.stats(state_ls_ids[i])
+                     .e2e_values_between(std::max(0.0, now - 10.0), now);
+      if (lat.size() >= 20 &&
+          stats::percentile(std::move(lat), 99.0) > target) {
+        state.violation_observed = true;
+        break;
+      }
+    }
+  };
+
+  auto deploy_with_scheduler = [&](const wl::App& app,
+                                   const prof::AppProfile& profile,
+                                   const core::Sla& sla) -> std::size_t {
+    refresh_load();
+    auto placement = scheduler.place_workload(profile, state, sla);
+    for (auto& s : placement) {
+      if (s != kRefuse) continue;
+      // The workload must run somewhere even when the scheduler refuses
+      // (e.g. a function whose core demand exceeds any single socket):
+      // fall back to the least-committed server to minimise the damage.
+      std::size_t best = 0;
+      double best_free = -1e18;
+      for (std::size_t srv = 0; srv < config_.servers; ++srv) {
+        const double free =
+            state.load[srv].cores_capacity - state.load[srv].cores_committed;
+        if (free > best_free) {
+          best_free = free;
+          best = srv;
+        }
+      }
+      s = best;
+    }
+    const std::size_t id = platform.deploy(app, placement);
+    DeployedWorkload dw;
+    dw.profile = &profile;
+    dw.profile_key = profile.app_name;
+    dw.fn_to_server = placement;
+    dw.cls = app.cls;
+    dw.sla = sla;
+    state.workloads.push_back(std::move(dw));
+    app_to_state.push_back(state.workloads.size() - 1);
+    return id;
+  };
+
+  // --- LS apps with Azure-trace load --------------------------------------
+  const auto weights = wl::zipf_weights(ls_apps.size());
+  std::vector<wl::AzureTraceGenerator> traces;
+  traces.reserve(ls_apps.size());  // pointers into `traces` are captured
+  for (std::size_t i = 0; i < ls_apps.size(); ++i) {
+    const auto& profile = store_->get(ls_apps[i].name);
+    core::Sla sla;
+    sla.p99_latency_s = config_.sla_budget * profile.solo_e2e_p99_s;
+    if (curve_ != nullptr) {
+      // Relative curve: latency budget (x solo) -> relative IPC floor,
+      // priced at the 75th latency percentile so the floor guards against
+      // the scatter, not just the median trend.
+      sla.ipc_floor =
+          curve_->ipc_for_latency_quantile(config_.sla_budget, 0.75) *
+          profile.solo_mean_ipc;
+    } else {
+      // No latency-IPC curve supplied: fall back to an IPC-degradation
+      // floor (at most 20% IPC loss) so predictive schedulers still have
+      // something to enforce.
+      sla.ipc_floor = 0.8 * profile.solo_mean_ipc;
+    }
+    const std::size_t id = deploy_with_scheduler(ls_apps[i], profile, sla);
+    ls_ids.push_back(id);
+    state_ls_ids.push_back(id);
+
+    wl::AzureTraceConfig tc = config_.trace;
+    tc.base_qps = config_.trace.base_qps * weights[i] *
+                  static_cast<double>(ls_apps.size());
+    tc.phase_shift = 0.7 * static_cast<double>(i);
+    traces.emplace_back(tc, config_.seed + i);
+    const wl::AzureTraceGenerator* gen = &traces.back();
+    const double peak = tc.base_qps * (1.0 + tc.diurnal_amplitude) *
+                        (1.0 + tc.weekly_amplitude);
+    platform.set_rate_function(
+        id, [gen](double t) { return gen->rate_at(t); }, peak);
+  }
+
+  // --- Autoscaler wired to the scheduler ----------------------------------
+  sim::Autoscaler autoscaler(
+      &platform, config_.autoscaler,
+      [&](std::size_t app, std::size_t fn) -> std::size_t {
+        refresh_load();
+        const std::size_t w = app_to_state.at(app);
+        const std::size_t server = scheduler.place_replica(w, fn, state);
+        if (server != kRefuse) {
+          // Track the newest replica's server as the function's primary
+          // location for prediction purposes.
+          state.workloads[w].fn_to_server[fn] = server;
+        }
+        return server;
+      });
+  autoscaler.start();
+
+  // --- Periodic SC/BG jobs --------------------------------------------------
+  std::vector<wl::App> sc_pool = {
+      wl::matmul(3.0 * config_.sc_scale), wl::dd(3.0 * config_.sc_scale),
+      wl::video_processing(4.0 * config_.sc_scale), wl::iot_collector()};
+  std::vector<std::size_t> sc_ids;
+  if (config_.sc_job_period_s > 0.0) {
+    for (const auto& app : sc_pool) {
+      const auto& profile = store_->get(app.name);
+      sc_ids.push_back(deploy_with_scheduler(app, profile, {}));
+    }
+    // Self-rescheduling submission loop, round-robin over the pool. The
+    // closure owns itself via shared_ptr so it survives past this scope.
+    auto next = std::make_shared<std::size_t>(0);
+    auto submit = std::make_shared<std::function<void()>>();
+    const double period = config_.sc_job_period_s;
+    const double stop_at = config_.duration_s;
+    ExperimentReport* rep = &report;
+    sim::Platform* plat = &platform;
+    *submit = [plat, rep, sc_ids, next, period, stop_at, submit] {
+      if (plat->now() >= stop_at) return;
+      const std::size_t id = sc_ids[*next % sc_ids.size()];
+      ++*next;
+      plat->submit_job(id, [rep](double) { ++rep->jobs_completed; });
+      plat->engine().after(period, [submit] { (*submit)(); });
+    };
+    platform.engine().after(period, [submit] { (*submit)(); });
+  }
+
+  // --- Sampling loop ---------------------------------------------------------
+  const double horizon = config_.duration_s;
+  double next_observe = config_.sla_window_s;
+  std::int64_t observed_until_window = 0;
+  for (double t = config_.sample_period_s; t <= horizon;
+       t += config_.sample_period_s) {
+    platform.run_until(t);
+    report.density_samples.push_back(platform.function_density());
+    report.cpu_util_samples.push_back(platform.cluster().cpu_utilization());
+    report.mem_util_samples.push_back(platform.cluster().memory_utilization());
+
+    // Online incremental updates: feed the predictor the measured mean IPC
+    // of each LS workload over the windows completed since the last visit,
+    // described by the *current* deployment scenario.
+    if (online != nullptr && platform.now() >= next_observe) {
+      next_observe += config_.sla_window_s;
+      const auto window_end = static_cast<std::int64_t>(
+          std::floor(platform.now() / platform.recorder().window_s()));
+      for (std::size_t i = 0; i < state_ls_ids.size(); ++i) {
+        const std::size_t w = app_to_state[i];
+        sim::MetricAccum acc;
+        for (std::size_t fn = 0;
+             fn < state.workloads[w].profile->functions.size(); ++fn) {
+          for (const auto& [win, m] :
+               platform.recorder().windows(state_ls_ids[i], fn)) {
+            if (win < observed_until_window || win >= window_end) continue;
+            sim::MetricAccum raw;
+            raw.dt = m.dt;
+            raw.ipc = m.ipc * m.dt;
+            acc.dt += raw.dt;
+            acc.ipc += raw.ipc;
+          }
+        }
+        if (acc.dt <= 0.0) continue;
+        const auto scenario = scenario_for(state, w, nullptr, 10);
+        online->observe(scenario, acc.ipc / acc.dt);
+      }
+      observed_until_window = window_end;
+      online->flush();
+    }
+  }
+  // Stop load and drain briefly.
+  for (std::size_t id : ls_ids) platform.set_open_loop(id, 0.0);
+  platform.run_until(horizon + 5.0);
+
+  // --- SLA accounting ---------------------------------------------------------
+  for (std::size_t i = 0; i < ls_ids.size(); ++i) {
+    const auto& st = platform.stats(ls_ids[i]);
+    const std::size_t w = app_to_state[i];
+    AppSlaReport app_report;
+    app_report.app = ls_apps[i].name;
+    app_report.sla_p99_s = state.workloads[w].sla.p99_latency_s;
+    std::size_t windows = 0, satisfied = 0;
+    std::vector<double> all;
+    for (double t0 = 0.0; t0 < horizon; t0 += config_.sla_window_s) {
+      auto lat = st.e2e_values_between(t0, t0 + config_.sla_window_s);
+      if (lat.size() < 10) continue;
+      all.insert(all.end(), lat.begin(), lat.end());
+      const double p99 = stats::percentile(std::move(lat), 99.0);
+      ++windows;
+      if (p99 <= app_report.sla_p99_s) ++satisfied;
+    }
+    app_report.satisfied_fraction =
+        windows > 0 ? static_cast<double>(satisfied) /
+                          static_cast<double>(windows)
+                    : 0.0;
+    if (!all.empty()) {
+      app_report.overall_p99_s = stats::percentile(std::move(all), 99.0);
+    }
+    report.sla.push_back(std::move(app_report));
+    report.requests_completed += st.e2e.size();
+    report.requests_failed += st.failed;
+  }
+  report.scale_outs = autoscaler.scale_out_events();
+  report.scale_ins = autoscaler.scale_in_events();
+  for (const auto* inst : platform.cluster().instances()) {
+    report.cold_starts += inst->cold_starts();
+  }
+  return report;
+}
+
+}  // namespace gsight::sched

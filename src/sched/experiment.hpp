@@ -1,0 +1,94 @@
+// SchedulingExperiment — the end-to-end cluster study of §6.3 / Figures
+// 11-12: LS apps driven by an Azure-style diurnal trace with autoscaling,
+// periodic SC/BG job arrivals, and the scheduler-under-test deciding every
+// placement. The driver records function density, CPU and memory
+// utilisation time series and per-window SLA satisfaction.
+#pragma once
+
+#include <memory>
+
+#include "core/predictor.hpp"
+#include "core/sla.hpp"
+#include "profiling/profile.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/autoscaler.hpp"
+#include "workloads/azure_trace.hpp"
+
+namespace gsight::sched {
+
+struct ExperimentConfig {
+  std::size_t servers = 8;
+  sim::ServerConfig server = sim::ServerConfig::tianjin_testbed();
+  sim::InterferenceParams interference;
+  sim::GatewayConfig gateway;
+  sim::AutoscalerConfig autoscaler;
+  wl::AzureTraceConfig trace;
+  double duration_s = 600.0;
+  double sample_period_s = 2.0;   ///< density / utilisation samples
+  double sla_window_s = 10.0;     ///< SLA-satisfaction windows
+  /// Period between SC/BG job submissions (0 disables).
+  double sc_job_period_s = 45.0;
+  /// LS SLA target as a multiple of the solo p99 at default load (the
+  /// paper defines SLAs at the *maximum allowable* load, which sits well
+  /// above the default-load p99 — e.g. 267 ms vs ~70 ms solo for the
+  /// social network).
+  double sla_budget = 4.0;
+  /// Time scale of the SC job pool.
+  double sc_scale = 0.08;
+  std::uint64_t seed = 31337;
+};
+
+struct AppSlaReport {
+  std::string app;
+  double sla_p99_s = 0.0;
+  double satisfied_fraction = 0.0;  ///< windows meeting the SLA
+  double overall_p99_s = 0.0;
+};
+
+struct ExperimentReport {
+  std::string scheduler;
+  std::vector<double> density_samples;   ///< instances per core over time
+  std::vector<double> cpu_util_samples;  ///< cluster CPU utilisation
+  std::vector<double> mem_util_samples;  ///< cluster memory utilisation
+  std::vector<AppSlaReport> sla;
+  std::uint64_t scale_outs = 0;
+  std::uint64_t scale_ins = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t jobs_completed = 0;
+
+  double mean_density() const;
+  double mean_cpu_util() const;
+  double mean_mem_util() const;
+};
+
+class SchedulingExperiment {
+ public:
+  /// LS apps and their SLAs must be profiled in `store` under their plain
+  /// names (default QPS). The store must outlive the experiment.
+  SchedulingExperiment(const prof::ProfileStore* store,
+                       ExperimentConfig config);
+
+  /// Run the full study under `scheduler`. A fresh platform is built per
+  /// call, so one experiment object can compare several schedulers.
+  /// `online` (optional) receives incremental (scenario, measured IPC)
+  /// observations every SLA window — the paper's Figure 6 feedback loop
+  /// that keeps the predictor honest about dense colocations it has not
+  /// seen offline. Pass the same predictor the scheduler consults.
+  ExperimentReport run(Scheduler& scheduler,
+                       core::ScenarioPredictor* online = nullptr);
+
+  /// Latency-IPC curve on *solo-normalised* axes (x = IPC / solo IPC,
+  /// y = p99 / solo p99). Used to turn each LS app's latency budget into
+  /// an absolute IPC floor: floor = curve.ipc_for_latency(budget) x solo
+  /// IPC. Without a curve a 20%-IPC-degradation floor is used.
+  void set_sla_curve(const core::LatencyIpcCurve* curve) { curve_ = curve; }
+
+ private:
+  const prof::ProfileStore* store_;
+  ExperimentConfig config_;
+  const core::LatencyIpcCurve* curve_ = nullptr;
+};
+
+}  // namespace gsight::sched

@@ -1,0 +1,167 @@
+#include "sched/gsight_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gsight::sched {
+
+GsightScheduler::GsightScheduler(core::ScenarioPredictor* ipc,
+                                 GsightSchedulerConfig config)
+    : ipc_(ipc), config_(config) {
+  assert(ipc_ != nullptr);
+}
+
+bool GsightScheduler::sla_ok(const DeploymentState& state_plus,
+                             std::size_t target_index, bool exclude_target) {
+  // Check the target (if LS) and every deployed LS workload that shares a
+  // server with it.
+  std::vector<bool> touched(state_plus.servers, false);
+  for (std::size_t s : state_plus.workloads[target_index].fn_to_server) {
+    touched[s] = true;
+  }
+  for (std::size_t w = 0; w < state_plus.workloads.size(); ++w) {
+    const auto& dw = state_plus.workloads[w];
+    if (dw.cls != wl::WorkloadClass::kLatencySensitive) continue;
+    if (dw.sla.ipc_floor <= 0.0) continue;
+    if (exclude_target && w == target_index) continue;
+    bool affected = w == target_index;
+    if (!affected) {
+      for (std::size_t s : dw.fn_to_server) {
+        if (touched[s]) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (!affected) continue;
+    const auto scenario =
+        scenario_for(state_plus, w, nullptr, config_.max_scenario_slots);
+    ++sla_checks_;
+    const double predicted_ipc = ipc_->predict(scenario);
+    if (predicted_ipc < dw.sla.ipc_floor * config_.sla_margin) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> GsightScheduler::greedy_assign(
+    const prof::AppProfile& profile, const std::vector<std::size_t>& servers,
+    const DeploymentState& state) const {
+  // Largest-demand function first onto the candidate server with the most
+  // remaining headroom (§4: "check only one configuration").
+  std::vector<std::size_t> order(profile.functions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return profile.functions[a].demand.cores >
+           profile.functions[b].demand.cores;
+  });
+  std::vector<double> extra_cores(state.servers, 0.0);
+  std::vector<std::size_t> placement(profile.functions.size(), kRefuse);
+  for (std::size_t fn : order) {
+    std::size_t best = kRefuse;
+    double best_headroom = -1e18;
+    for (std::size_t s : servers) {
+      const double headroom =
+          (state.load[s].cores_capacity - state.load[s].cores_committed -
+           extra_cores[s]);
+      // Capacity gate: a server whose committed cores would overflow is
+      // not a candidate — the predictor arbitrates interference, not
+      // outright overcommit.
+      if (headroom < profile.functions[fn].demand.cores) continue;
+      if (headroom > best_headroom) {
+        best_headroom = headroom;
+        best = s;
+      }
+    }
+    if (best == kRefuse) return placement;  // this k cannot fit; widen
+    placement[fn] = best;
+    extra_cores[best] += profile.functions[fn].demand.cores;
+  }
+  return placement;
+}
+
+std::vector<std::size_t> GsightScheduler::place_workload(
+    const prof::AppProfile& profile, const DeploymentState& state,
+    const core::Sla& sla) {
+  // Candidate servers ranked: active (occupied) servers by fullness first
+  // — density wants the fewest active servers — then idle ones.
+  std::vector<std::size_t> ranked(state.servers);
+  std::iota(ranked.begin(), ranked.end(), std::size_t{0});
+  std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+    const bool active_a = state.load[a].instances > 0;
+    const bool active_b = state.load[b].instances > 0;
+    if (active_a != active_b) return active_a;
+    return state.load[a].cpu_fraction() > state.load[b].cpu_fraction();
+  });
+
+  for (std::size_t k = 1; k <= state.servers; k *= 2) {
+    const std::vector<std::size_t> candidates(
+        ranked.begin(),
+        ranked.begin() + static_cast<std::ptrdiff_t>(std::min(k, state.servers)));
+    auto placement = greedy_assign(profile, candidates, state);
+    if (std::find(placement.begin(), placement.end(), kRefuse) !=
+        placement.end()) {
+      if (k >= state.servers) break;  // even the full cluster cannot fit
+      continue;                       // widen the candidate set
+    }
+    // Merge the candidate into a state copy for the SLA check.
+    DeploymentState plus = state;
+    DeployedWorkload dw;
+    dw.profile = &profile;
+    dw.profile_key = profile.app_name;
+    dw.fn_to_server = placement;
+    dw.cls = profile.cls;
+    dw.sla = sla;
+    plus.workloads.push_back(std::move(dw));
+    if (sla_ok(plus, plus.workloads.size() - 1)) return placement;
+    if (k >= state.servers) break;
+  }
+  ++refusals_;
+  return std::vector<std::size_t>(profile.functions.size(), kRefuse);
+}
+
+std::size_t GsightScheduler::place_replica(std::size_t w, std::size_t fn,
+                                           const DeploymentState& state) {
+  // Binary-search widening over fullness-ranked servers, single greedy
+  // choice per attempt (most headroom among candidates).
+  std::vector<std::size_t> ranked(state.servers);
+  std::iota(ranked.begin(), ranked.end(), std::size_t{0});
+  std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+    const bool active_a = state.load[a].instances > 0;
+    const bool active_b = state.load[b].instances > 0;
+    if (active_a != active_b) return active_a;
+    return state.load[a].cpu_fraction() > state.load[b].cpu_fraction();
+  });
+  const double need =
+      state.workloads[w].profile->functions[fn].demand.cores;
+  for (std::size_t k = 1; k <= state.servers; k *= 2) {
+    // Most headroom among the first k ranked candidates with capacity.
+    std::size_t best = kRefuse;
+    double best_headroom = -1e18;
+    for (std::size_t i = 0; i < std::min(k, state.servers); ++i) {
+      const auto& l = state.load[ranked[i]];
+      if (l.cores_capacity - l.cores_committed < need) continue;
+      const double h = l.headroom();
+      if (h > best_headroom) {
+        best_headroom = h;
+        best = ranked[i];
+      }
+    }
+    if (best == kRefuse) {
+      if (k >= state.servers) break;
+      continue;
+    }
+    DeploymentState plus = state;
+    auto placement = plus.workloads[w].fn_to_server;
+    placement[fn] = best;  // the new replica's server becomes primary
+    plus.workloads[w].fn_to_server = placement;
+    // Scale-outs are never vetoed by the scaled workload's own floor:
+    // adding a replica is how its degradation gets fixed.
+    if (sla_ok(plus, w, /*exclude_target=*/true)) return best;
+    if (k >= state.servers) break;
+  }
+  ++refusals_;
+  return kRefuse;
+}
+
+}  // namespace gsight::sched

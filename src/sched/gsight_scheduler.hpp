@@ -1,0 +1,61 @@
+// GsightScheduler — the §4 binary-search scheduling algorithm. Goal:
+// maximise density (fewest active servers) under predicted-SLA guarantees.
+// Attempt 1 packs all M functions on the single fullest active server
+// ("full overlap"); each failed SLA check doubles the number of candidate
+// servers ("half overlap"), so only O(log S) attempts run, each checking a
+// single greedy configuration (largest function → server with most
+// available resources). Complexity O(M · P · log S) vs O(P · S^M) brute
+// force. The SLA check asks the IPC predictor for the QoS of the new
+// workload and every already-deployed LS workload that shares a server.
+#pragma once
+
+#include <memory>
+
+#include "core/predictor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace gsight::sched {
+
+struct GsightSchedulerConfig {
+  /// Predicted IPC must exceed floor * margin to pass.
+  double sla_margin = 1.0;
+  /// Encoder slot budget when building check scenarios.
+  std::size_t max_scenario_slots = 10;
+};
+
+class GsightScheduler final : public Scheduler {
+ public:
+  /// `ipc` predicts workload mean IPC from a scenario; not owned.
+  GsightScheduler(core::ScenarioPredictor* ipc,
+                  GsightSchedulerConfig config = {});
+
+  std::vector<std::size_t> place_workload(const prof::AppProfile& profile,
+                                          const DeploymentState& state,
+                                          const core::Sla& sla = {}) override;
+  std::size_t place_replica(std::size_t w, std::size_t fn,
+                            const DeploymentState& state) override;
+  std::string name() const override { return "Gsight"; }
+
+  std::uint64_t sla_checks() const { return sla_checks_; }
+  std::uint64_t refusals() const { return refusals_; }
+
+ private:
+  /// All LS workloads pass their predicted-IPC floors under `candidate`
+  /// placed as described by `state_plus` (state with the candidate merged).
+  /// `exclude_target` skips the target's own floor — used for replica
+  /// scale-outs, where adding capacity is the remedy for the target's own
+  /// degradation and must not be vetoed by it.
+  bool sla_ok(const DeploymentState& state_plus, std::size_t target_index,
+              bool exclude_target = false);
+  /// Greedy assignment of profile's functions to `k` chosen servers.
+  std::vector<std::size_t> greedy_assign(const prof::AppProfile& profile,
+                                         const std::vector<std::size_t>& servers,
+                                         const DeploymentState& state) const;
+
+  core::ScenarioPredictor* ipc_;
+  GsightSchedulerConfig config_;
+  std::uint64_t sla_checks_ = 0;
+  std::uint64_t refusals_ = 0;
+};
+
+}  // namespace gsight::sched

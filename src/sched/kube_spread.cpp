@@ -1,0 +1,56 @@
+#include "sched/kube_spread.hpp"
+
+#include <cmath>
+
+namespace gsight::sched {
+
+std::size_t KubeSpreadScheduler::pick(const prof::FunctionProfile& fn,
+                                      const DeploymentState& state,
+                                      const std::vector<double>& extra_cores,
+                                      const std::vector<double>& extra_mem) const {
+  std::size_t best = kRefuse;
+  double best_score = -1e18;
+  for (std::size_t s = 0; s < state.servers; ++s) {
+    const auto& l = state.load[s];
+    const double cpu_after =
+        (l.cores_committed + extra_cores[s] + fn.demand.cores) /
+        l.cores_capacity;
+    const double mem_after =
+        (l.mem_committed + extra_mem[s] + fn.mem_alloc_gb) / l.mem_capacity;
+    if (cpu_after > 1.0 || mem_after > 1.0) continue;
+    // balancedResourceAllocation: favour balance, then low utilisation.
+    const double balance = 1.0 - std::abs(cpu_after - mem_after);
+    const double least = 1.0 - (cpu_after + mem_after) / 2.0;
+    const double score = balance + least;
+    if (score > best_score) {
+      best_score = score;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> KubeSpreadScheduler::place_workload(
+    const prof::AppProfile& profile, const DeploymentState& state,
+    const core::Sla& /*sla*/) {
+  std::vector<double> extra_cores(state.servers, 0.0);
+  std::vector<double> extra_mem(state.servers, 0.0);
+  std::vector<std::size_t> placement(profile.functions.size(), kRefuse);
+  for (std::size_t fn = 0; fn < profile.functions.size(); ++fn) {
+    const std::size_t s =
+        pick(profile.functions[fn], state, extra_cores, extra_mem);
+    if (s == kRefuse) return placement;
+    placement[fn] = s;
+    extra_cores[s] += profile.functions[fn].demand.cores;
+    extra_mem[s] += profile.functions[fn].mem_alloc_gb;
+  }
+  return placement;
+}
+
+std::size_t KubeSpreadScheduler::place_replica(std::size_t w, std::size_t fn,
+                                               const DeploymentState& state) {
+  const std::vector<double> zero(state.servers, 0.0);
+  return pick(state.workloads[w].profile->functions[fn], state, zero, zero);
+}
+
+}  // namespace gsight::sched

@@ -1,0 +1,29 @@
+// Kubernetes balancedResourceAllocation baseline (§1): score each feasible
+// server by how balanced its CPU and memory fractions would be after the
+// placement, ties broken toward least allocated. This is the default-
+// scheduler behaviour that spreads an app's n functions across up to n
+// servers, maximising exposure to partial interference — included so the
+// benches can demonstrate the phenomenon the paper motivates with.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace gsight::sched {
+
+class KubeSpreadScheduler final : public Scheduler {
+ public:
+  std::vector<std::size_t> place_workload(const prof::AppProfile& profile,
+                                          const DeploymentState& state,
+                                          const core::Sla& sla = {}) override;
+  std::size_t place_replica(std::size_t w, std::size_t fn,
+                            const DeploymentState& state) override;
+  std::string name() const override { return "K8s-BalancedAlloc"; }
+
+ private:
+  std::size_t pick(const prof::FunctionProfile& fn,
+                   const DeploymentState& state,
+                   const std::vector<double>& extra_cores,
+                   const std::vector<double>& extra_mem) const;
+};
+
+}  // namespace gsight::sched

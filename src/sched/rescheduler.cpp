@@ -1,0 +1,100 @@
+#include "sched/rescheduler.hpp"
+
+#include <cassert>
+
+namespace gsight::sched {
+
+Rescheduler::Rescheduler(core::ScenarioPredictor* ipc,
+                         ReschedulerConfig config)
+    : ipc_(ipc), config_(config) {
+  assert(ipc_ != nullptr);
+}
+
+bool Rescheduler::floors_hold(const DeploymentState& state) {
+  for (std::size_t w = 0; w < state.workloads.size(); ++w) {
+    const auto& dw = state.workloads[w];
+    if (dw.cls != wl::WorkloadClass::kLatencySensitive) continue;
+    if (dw.sla.ipc_floor <= 0.0) continue;
+    const auto scenario =
+        scenario_for(state, w, nullptr, config_.max_scenario_slots);
+    if (ipc_->predict(scenario) <
+        dw.sla.ipc_floor * config_.sla_margin) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Rescheduler::consolidation_source(
+    const DeploymentState& state) const {
+  std::size_t best = kRefuse;
+  std::size_t best_count = static_cast<std::size_t>(-1);
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < state.servers; ++s) {
+    if (state.load[s].instances == 0) continue;
+    ++active;
+    if (state.load[s].instances < best_count) {
+      best_count = state.load[s].instances;
+      best = s;
+    }
+  }
+  return active >= 2 ? best : kRefuse;
+}
+
+std::vector<Migration> Rescheduler::propose(const DeploymentState& state) {
+  std::vector<Migration> moves;
+  DeploymentState current = state;
+
+  while (moves.size() < config_.max_moves) {
+    const std::size_t source = consolidation_source(current);
+    if (source == kRefuse) break;
+
+    // Candidate: any function currently on `source`; try to move it to
+    // the fullest other server with core capacity, predictor willing.
+    Migration best_move;
+    bool found = false;
+    for (std::size_t w = 0; w < current.workloads.size() && !found; ++w) {
+      const auto& dw = current.workloads[w];
+      for (std::size_t fn = 0; fn < dw.fn_to_server.size() && !found; ++fn) {
+        if (dw.fn_to_server[fn] != source) continue;
+        const double need = dw.profile->functions[fn].demand.cores;
+        // Fullest feasible destination (consolidation goal).
+        std::size_t dest = kRefuse;
+        double dest_frac = -1.0;
+        for (std::size_t s = 0; s < current.servers; ++s) {
+          if (s == source || current.load[s].instances == 0) continue;
+          const auto& l = current.load[s];
+          if (l.cores_capacity - l.cores_committed < need) continue;
+          if (l.cpu_fraction() > dest_frac) {
+            dest_frac = l.cpu_fraction();
+            dest = s;
+          }
+        }
+        if (dest == kRefuse) continue;
+        DeploymentState plus = current;
+        plus.workloads[w].fn_to_server[fn] = dest;
+        plus.load[dest].cores_committed += need;
+        plus.load[source].cores_committed -= need;
+        plus.load[dest].instances += 1;
+        plus.load[source].instances -= 1;
+        if (!floors_hold(plus)) continue;
+        best_move.workload = w;
+        best_move.fn = fn;
+        best_move.from = source;
+        best_move.to = dest;
+        const auto scenario =
+            scenario_for(plus, w, nullptr, config_.max_scenario_slots);
+        best_move.predicted_ipc = ipc_->predict(scenario);
+        current = std::move(plus);
+        found = true;
+      }
+    }
+    if (!found) break;
+    moves.push_back(best_move);
+    // If the source server was vacated, the next iteration will pick a
+    // new consolidation source.
+  }
+  return moves;
+}
+
+}  // namespace gsight::sched

@@ -1,0 +1,55 @@
+// Rescheduler — the §4 optional optimisation: "when the invocation load
+// varies but does not yet cause scaling-out operations, it is also
+// possible to further optimize resource efficiency by rescheduling the
+// existing instances." This pass proposes single-function migrations that
+// the predictor scores as strict improvements: either consolidation
+// (vacating a nearly-empty server without violating any floor) or relief
+// (moving a function off a server whose LS workloads are predicted below
+// floor).
+#pragma once
+
+#include "core/predictor.hpp"
+#include "sched/scheduler.hpp"
+
+namespace gsight::sched {
+
+struct Migration {
+  std::size_t workload = 0;
+  std::size_t fn = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  /// Predicted IPC of the moved workload after the migration.
+  double predicted_ipc = 0.0;
+};
+
+struct ReschedulerConfig {
+  /// Only propose moves that keep every affected LS workload above
+  /// floor * margin.
+  double sla_margin = 1.0;
+  /// Maximum migrations proposed per pass (migrations are disruptive:
+  /// each one implies a cold start on the target server).
+  std::size_t max_moves = 2;
+  std::size_t max_scenario_slots = 10;
+};
+
+class Rescheduler {
+ public:
+  Rescheduler(core::ScenarioPredictor* ipc, ReschedulerConfig config = {});
+
+  /// Propose migrations for the current state. The returned moves are
+  /// compatible with each other (each is validated against the state with
+  /// the previous moves applied).
+  std::vector<Migration> propose(const DeploymentState& state);
+
+ private:
+  /// All LS floors hold in `state` (margin applied)?
+  bool floors_hold(const DeploymentState& state);
+  /// Least-occupied active server, by instance count (consolidation
+  /// source). Returns kRefuse when fewer than two servers are active.
+  std::size_t consolidation_source(const DeploymentState& state) const;
+
+  core::ScenarioPredictor* ipc_;
+  ReschedulerConfig config_;
+};
+
+}  // namespace gsight::sched

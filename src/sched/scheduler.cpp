@@ -1,0 +1,70 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gsight::sched {
+
+std::vector<ServerLoad> snapshot_load(sim::Platform& platform) {
+  auto& cluster = platform.cluster();
+  std::vector<ServerLoad> load(cluster.size());
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    const auto& server = cluster.server(s);
+    load[s].cores_capacity = server.config().cores;
+    load[s].mem_capacity = server.config().mem_gb;
+    load[s].mem_committed = server.resident_mem_gb();
+    load[s].instances = server.resident_count();
+  }
+  for (const auto* inst : cluster.instances()) {
+    load[inst->server().id()].cores_committed +=
+        inst->spec().average_demand().cores;
+  }
+  return load;
+}
+
+core::Scenario scenario_for(const DeploymentState& state, std::size_t target,
+                            const std::vector<std::size_t>* override_placement,
+                            std::size_t max_slots) {
+  assert(target < state.workloads.size());
+  core::Scenario scenario;
+  scenario.servers = state.servers;
+
+  auto deployment_of = [&](std::size_t w) {
+    core::WorkloadDeployment d;
+    d.profile = state.workloads[w].profile;
+    d.fn_to_server = (w == target && override_placement != nullptr)
+                         ? *override_placement
+                         : state.workloads[w].fn_to_server;
+    d.lifetime_s = state.workloads[w].cls == wl::WorkloadClass::kLatencySensitive
+                       ? 0.0
+                       : state.workloads[w].profile->solo_jct_s;
+    return d;
+  };
+
+  const auto target_dep = deployment_of(target);
+  std::vector<bool> target_servers(state.servers, false);
+  for (std::size_t s : target_dep.fn_to_server) target_servers[s] = true;
+
+  // Rank corunners by how many of their functions share a server with the
+  // target; keep the closest ones within the slot budget.
+  std::vector<std::pair<std::size_t, std::size_t>> ranked;  // (overlap, idx)
+  for (std::size_t w = 0; w < state.workloads.size(); ++w) {
+    if (w == target) continue;
+    std::size_t overlap = 0;
+    for (std::size_t s : state.workloads[w].fn_to_server) {
+      if (target_servers[s]) ++overlap;
+    }
+    ranked.emplace_back(overlap, w);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  scenario.workloads.push_back(target_dep);
+  for (const auto& [overlap, w] : ranked) {
+    if (scenario.workloads.size() >= max_slots) break;
+    scenario.workloads.push_back(deployment_of(w));
+  }
+  return scenario;
+}
+
+}  // namespace gsight::sched

@@ -1,0 +1,89 @@
+// Scheduler interface for the §4 case study. Schedulers place whole
+// workloads at submission and single replicas at autoscale-out, seeing a
+// DeploymentState snapshot: per-server committed resources plus the
+// profile-level description of everything currently deployed (enough to
+// build prediction Scenarios).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/overlap_coding.hpp"
+#include "core/sla.hpp"
+#include "sim/platform.hpp"
+
+namespace gsight::sched {
+
+/// Sentinel: the scheduler refuses the placement (SLA cannot be met).
+inline constexpr std::size_t kRefuse = static_cast<std::size_t>(-1);
+
+struct ServerLoad {
+  double cores_committed = 0.0;  ///< sum of avg core demand of residents
+  double mem_committed = 0.0;    ///< resident memory (GB)
+  double cores_capacity = 0.0;
+  double mem_capacity = 0.0;
+  std::size_t instances = 0;
+
+  double cpu_fraction() const {
+    return cores_capacity > 0.0 ? cores_committed / cores_capacity : 0.0;
+  }
+  double mem_fraction() const {
+    return mem_capacity > 0.0 ? mem_committed / mem_capacity : 0.0;
+  }
+  /// Headroom score: min of free CPU and memory fractions.
+  double headroom() const {
+    return std::min(1.0 - cpu_fraction(), 1.0 - mem_fraction());
+  }
+};
+
+/// One deployed workload as the schedulers and predictors see it.
+struct DeployedWorkload {
+  std::string profile_key;            ///< into the ProfileStore
+  const prof::AppProfile* profile = nullptr;
+  std::vector<std::size_t> fn_to_server;  ///< primary replica per function
+  wl::WorkloadClass cls = wl::WorkloadClass::kLatencySensitive;
+  core::Sla sla;                      ///< LS only
+};
+
+struct DeploymentState {
+  std::size_t servers = 0;
+  std::vector<ServerLoad> load;
+  std::vector<DeployedWorkload> workloads;
+  /// True while any LS workload's *observed* p99 currently breaches its
+  /// SLA (filled from live measurements by the experiment driver; the
+  /// reactive Worst Fit scheduler freezes admissions on it).
+  bool violation_observed = false;
+};
+
+/// Snapshot the platform's per-server committed resources.
+std::vector<ServerLoad> snapshot_load(sim::Platform& platform);
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Placement for all functions of a newly submitted workload. Entries
+  /// may be kRefuse if no feasible server exists. `sla` carries the new
+  /// workload's own guarantee (ignored by non-predictive schedulers).
+  virtual std::vector<std::size_t> place_workload(
+      const prof::AppProfile& profile, const DeploymentState& state,
+      const core::Sla& sla = {}) = 0;
+
+  /// Server for one additional replica of state.workloads[w], function fn;
+  /// kRefuse if none is acceptable.
+  virtual std::size_t place_replica(std::size_t w, std::size_t fn,
+                                    const DeploymentState& state) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Scenario describing `state` with workload `target` moved to slot 0 and
+/// (optionally) its placement overridden. Workloads beyond `max_slots - 1`
+/// corunners are dropped farthest-first (least shared servers with the
+/// target), keeping the encoder's n-slot budget for the relevant ones.
+core::Scenario scenario_for(const DeploymentState& state, std::size_t target,
+                            const std::vector<std::size_t>* override_placement,
+                            std::size_t max_slots);
+
+}  // namespace gsight::sched

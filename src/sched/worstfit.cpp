@@ -1,0 +1,64 @@
+#include "sched/worstfit.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gsight::sched {
+
+WorstFitScheduler::WorstFitScheduler(std::function<bool()> violation_observed)
+    : violation_observed_(std::move(violation_observed)) {}
+
+std::size_t WorstFitScheduler::pick(const prof::FunctionProfile& fn,
+                                    const DeploymentState& state,
+                                    const std::vector<double>& extra) const {
+  std::size_t best = kRefuse;
+  double best_free = -1e18;
+  for (std::size_t s = 0; s < state.servers; ++s) {
+    const double free_mem =
+        state.load[s].mem_capacity - state.load[s].mem_committed;
+    if (free_mem < fn.mem_alloc_gb) continue;
+    const double free_cores = state.load[s].cores_capacity -
+                              state.load[s].cores_committed - extra[s];
+    if (free_cores > best_free) {
+      best_free = free_cores;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> WorstFitScheduler::place_workload(
+    const prof::AppProfile& profile, const DeploymentState& state,
+    const core::Sla& /*sla*/) {
+  std::vector<std::size_t> placement(profile.functions.size(), kRefuse);
+  if (state.violation_observed) return placement;
+  if (violation_observed_ && violation_observed_()) return placement;
+  // Maximum-requirement function first.
+  std::vector<std::size_t> order(profile.functions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return profile.functions[a].demand.cores >
+           profile.functions[b].demand.cores;
+  });
+  std::vector<double> extra(state.servers, 0.0);
+  for (std::size_t fn : order) {
+    const std::size_t s = pick(profile.functions[fn], state, extra);
+    if (s == kRefuse) {
+      std::fill(placement.begin(), placement.end(), kRefuse);
+      return placement;
+    }
+    placement[fn] = s;
+    extra[s] += profile.functions[fn].demand.cores;
+  }
+  return placement;
+}
+
+std::size_t WorstFitScheduler::place_replica(std::size_t w, std::size_t fn,
+                                             const DeploymentState& state) {
+  // The freeze gates *new workloads*; replica scale-outs of an already
+  // deployed app are capacity relief and remain allowed.
+  const std::vector<double> extra(state.servers, 0.0);
+  return pick(state.workloads[w].profile->functions[fn], state, extra);
+}
+
+}  // namespace gsight::sched

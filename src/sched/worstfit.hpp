@@ -1,0 +1,36 @@
+// Worst Fit — the paper's second scheduling competitor (§6.1): always
+// schedules the function with the maximum resource requirement to the
+// server with the maximum available resources, *until an SLA violation
+// occurs* — it is reactive, not predictive: once any LS workload's
+// observed p99 breaches its SLA, further placements are refused until the
+// violation clears.
+#pragma once
+
+#include <functional>
+
+#include "sched/scheduler.hpp"
+
+namespace gsight::sched {
+
+class WorstFitScheduler final : public Scheduler {
+ public:
+  /// `violation_observed` returns true while any LS SLA is currently
+  /// breached (wired to live platform measurements by the experiment).
+  explicit WorstFitScheduler(std::function<bool()> violation_observed = {});
+
+  std::vector<std::size_t> place_workload(const prof::AppProfile& profile,
+                                          const DeploymentState& state,
+                                          const core::Sla& sla = {}) override;
+  std::size_t place_replica(std::size_t w, std::size_t fn,
+                            const DeploymentState& state) override;
+  std::string name() const override { return "WorstFit"; }
+
+ private:
+  std::size_t pick(const prof::FunctionProfile& fn,
+                   const DeploymentState& state,
+                   const std::vector<double>& extra_cores) const;
+
+  std::function<bool()> violation_observed_;
+};
+
+}  // namespace gsight::sched

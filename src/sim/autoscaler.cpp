@@ -1,0 +1,88 @@
+#include "sim/autoscaler.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gsight::sim {
+
+Autoscaler::Autoscaler(Platform* platform, AutoscalerConfig config,
+                       PlacementFn place)
+    : platform_(platform), config_(config), place_(std::move(place)) {
+  assert(platform_ != nullptr);
+}
+
+void Autoscaler::start() {
+  if (started_) return;
+  started_ = true;
+  platform_->engine().after(config_.tick_s, [this] { tick(); });
+}
+
+double Autoscaler::rate_estimate(std::size_t app) const {
+  return app < rate_.size() ? rate_[app] : 0.0;
+}
+
+std::size_t Autoscaler::last_target(std::size_t app, std::size_t fn) const {
+  if (app >= targets_.size() || fn >= targets_[app].size()) return 0;
+  return targets_[app][fn];
+}
+
+void Autoscaler::tick() {
+  const std::size_t apps = platform_->app_count();
+  rate_.resize(apps, 0.0);
+  targets_.resize(apps);
+  for (std::size_t a = 0; a < apps; ++a) {
+    const wl::App& app = platform_->app(a);
+    targets_[a].resize(app.function_count(), 1);
+    if (app.cls != wl::WorkloadClass::kLatencySensitive) continue;
+
+    const double observed =
+        static_cast<double>(platform_->drain_arrival_count(a)) /
+        config_.tick_s;
+    rate_[a] = config_.rate_alpha * observed +
+               (1.0 - config_.rate_alpha) * rate_[a];
+
+    for (std::size_t fn = 0; fn < app.function_count(); ++fn) {
+      const std::size_t current = platform_->replicas(a, fn).size();
+      // Replica-equivalents of demand over the last tick, from *measured*
+      // busy time (so interference-stretched service is priced in) plus
+      // the work already queued. Solo-rate formulas systematically
+      // under-provision packed deployments.
+      const double busy_now = platform_->recorder().busy_seconds(a, fn);
+      auto& seen = busy_seen_[{a, fn}];
+      const double busy_delta = std::max(0.0, busy_now - seen);
+      seen = busy_now;
+      const double queued = static_cast<double>(
+          platform_->queued_invocations(a, fn));
+      const double service = app.function(fn).solo_duration_s();
+      const double demand =
+          busy_delta / config_.tick_s + queued * service / config_.tick_s;
+      auto desired = static_cast<std::size_t>(
+          std::ceil(demand / config_.target_utilization));
+      desired = std::clamp<std::size_t>(desired, 1, config_.max_replicas);
+      targets_[a][fn] = desired;
+
+      if (desired > current) {
+        for (std::size_t i = current; i < desired; ++i) {
+          const std::size_t server = place_ ? place_(a, fn) : 0;
+          if (server == static_cast<std::size_t>(-1)) break;  // refused
+          platform_->add_replica(a, fn, server);
+          ++scale_outs_;
+        }
+      } else if (desired < current) {
+        // Hysteresis: only scale in after the lower target persists, and
+        // only one replica at a time (each scale-out costs a cold start,
+        // so churn is expensive).
+        auto& below = below_ticks_[{a, fn}];
+        if (++below >= config_.scale_in_patience) {
+          if (platform_->remove_replica(a, fn, desired)) ++scale_ins_;
+        }
+      } else {
+        below_ticks_[{a, fn}] = 0;
+      }
+      if (desired >= current) below_ticks_[{a, fn}] = 0;
+    }
+  }
+  platform_->engine().after(config_.tick_s, [this] { tick(); });
+}
+
+}  // namespace gsight::sim

@@ -1,0 +1,66 @@
+// Autoscaler — OpenFaaS-style replica scaling for LS apps. Every tick it
+// estimates each app's arrival rate, derives the replica count needed to
+// keep per-replica utilisation at `target_utilization`, and asks the
+// pluggable scheduler for a server whenever it must scale out. This is the
+// hook through which Gsight / Best Fit / Worst Fit drive placement in the
+// scheduling study (Figures 11-12).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace gsight::sim {
+
+struct AutoscalerConfig {
+  double tick_s = 5.0;
+  double target_utilization = 0.7;
+  std::size_t max_replicas = 32;
+  /// Exponential smoothing factor for the arrival-rate estimate.
+  double rate_alpha = 0.5;
+  /// Consecutive ticks a lower target must persist before scaling in
+  /// (one replica per tick) — damps diurnal churn and the cold starts
+  /// it would cause.
+  std::size_t scale_in_patience = 3;
+};
+
+class Autoscaler {
+ public:
+  /// Chooses the server for a new replica of (app, fn); returns the server
+  /// index, or SIZE_MAX to refuse the scale-out.
+  using PlacementFn =
+      std::function<std::size_t(std::size_t app, std::size_t fn)>;
+
+  Autoscaler(Platform* platform, AutoscalerConfig config,
+             PlacementFn place);
+
+  /// Begin ticking (idempotent).
+  void start();
+  /// Current smoothed arrival-rate estimate for an app.
+  double rate_estimate(std::size_t app) const;
+  /// Replica target computed at the last tick for (app, fn).
+  std::size_t last_target(std::size_t app, std::size_t fn) const;
+
+  std::uint64_t scale_out_events() const { return scale_outs_; }
+  std::uint64_t scale_in_events() const { return scale_ins_; }
+
+ private:
+  void tick();
+
+  Platform* platform_;
+  AutoscalerConfig config_;
+  PlacementFn place_;
+  bool started_ = false;
+  std::vector<double> rate_;                        // per app
+  std::vector<std::vector<std::size_t>> targets_;   // per app, fn
+  /// Cumulative busy-seconds seen at the last tick, per (app, fn).
+  std::map<std::pair<std::size_t, std::size_t>, double> busy_seen_;
+  /// Ticks in a row the target sat below the replica count.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> below_ticks_;
+  std::uint64_t scale_outs_ = 0;
+  std::uint64_t scale_ins_ = 0;
+};
+
+}  // namespace gsight::sim

@@ -1,0 +1,70 @@
+#include "sim/cluster.hpp"
+
+#include <cassert>
+
+namespace gsight::sim {
+
+Cluster::Cluster(Engine* engine, const InterferenceModel* model,
+                 std::vector<ServerConfig> servers, ExecSliceSink* sink,
+                 std::uint64_t seed)
+    : engine_(engine), model_(model), sink_(sink), rng_(seed) {
+  assert(!servers.empty());
+  servers_.reserve(servers.size());
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    servers_.push_back(std::make_unique<Server>(i, servers[i], engine_, model_));
+    servers_.back()->set_slice_sink(sink_);
+  }
+}
+
+Instance* Cluster::create_instance(std::size_t app, std::size_t fn,
+                                   const wl::FunctionSpec* spec,
+                                   std::size_t server_idx,
+                                   InstanceConfig config) {
+  assert(server_idx < servers_.size());
+  auto instance = std::make_unique<Instance>(
+      next_instance_id_++, app, fn, spec, servers_[server_idx].get(), engine_,
+      config, rng_.next());
+  Instance* raw = instance.get();
+  instances_.emplace(raw, std::move(instance));
+  return raw;
+}
+
+bool Cluster::destroy_instance(Instance* instance) {
+  const auto it = instances_.find(instance);
+  if (it == instances_.end()) return false;
+  if (!instance->idle()) return false;
+  instances_.erase(it);
+  return true;
+}
+
+std::size_t Cluster::total_backlog() const {
+  std::size_t backlog = 0;
+  for (const auto& [raw, inst] : instances_) {
+    backlog += inst->queue_depth() + (inst->busy() ? 1 : 0);
+  }
+  return backlog;
+}
+
+std::vector<Instance*> Cluster::instances() const {
+  std::vector<Instance*> out;
+  out.reserve(instances_.size());
+  for (const auto& [raw, inst] : instances_) out.push_back(raw);
+  return out;
+}
+
+double Cluster::cpu_utilization() const {
+  double sum = 0.0;
+  for (const auto& s : servers_) sum += s->cpu_utilization();
+  return sum / static_cast<double>(servers_.size());
+}
+
+double Cluster::memory_utilization() const {
+  double used = 0.0, cap = 0.0;
+  for (const auto& s : servers_) {
+    used += s->resident_mem_gb();
+    cap += s->config().mem_gb;
+  }
+  return cap > 0.0 ? used / cap : 0.0;
+}
+
+}  // namespace gsight::sim

@@ -1,0 +1,54 @@
+// Cluster — the set of servers plus instance lifecycle management.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/instance.hpp"
+#include "sim/server.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::sim {
+
+class Cluster {
+ public:
+  Cluster(Engine* engine, const InterferenceModel* model,
+          std::vector<ServerConfig> servers, ExecSliceSink* sink,
+          std::uint64_t seed);
+
+  std::size_t size() const { return servers_.size(); }
+  Server& server(std::size_t i) { return *servers_.at(i); }
+  const Server& server(std::size_t i) const { return *servers_.at(i); }
+
+  /// Create one replica of (app, fn) on `server_idx`.
+  Instance* create_instance(std::size_t app, std::size_t fn,
+                            const wl::FunctionSpec* spec,
+                            std::size_t server_idx, InstanceConfig config);
+  /// Destroy an instance. Must be idle (no running or queued work);
+  /// returns false (and leaves it alive) otherwise.
+  bool destroy_instance(Instance* instance);
+
+  std::size_t total_instances() const { return instances_.size(); }
+  /// Sum of queued invocations across all instances (the gateway's
+  /// backlog signal).
+  std::size_t total_backlog() const;
+  /// All live instances (unordered).
+  std::vector<Instance*> instances() const;
+
+  /// Cluster-wide CPU utilisation (mean over servers).
+  double cpu_utilization() const;
+  /// Cluster-wide memory utilisation from resident instances.
+  double memory_utilization() const;
+
+ private:
+  Engine* engine_;
+  const InterferenceModel* model_;
+  ExecSliceSink* sink_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::unordered_map<Instance*, std::unique_ptr<Instance>> instances_;
+  std::uint64_t next_instance_id_ = 1;
+  stats::Rng rng_;
+};
+
+}  // namespace gsight::sim

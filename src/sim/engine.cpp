@@ -1,0 +1,41 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace gsight::sim {
+
+void Engine::at(SimTime when, EventQueue::Callback cb) {
+  assert(when >= now_);
+  queue_.push(when, std::move(cb));
+}
+
+void Engine::after(SimTime delay, EventQueue::Callback cb) {
+  assert(delay >= 0.0);
+  at(now_ + delay, std::move(cb));
+}
+
+std::size_t Engine::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [when, cb] = queue_.pop();
+    now_ = when;
+    cb();
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+std::size_t Engine::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    auto [when, cb] = queue_.pop();
+    now_ = when;
+    cb();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace gsight::sim

@@ -1,0 +1,34 @@
+// Discrete-event simulation engine: a clock plus the event queue. Every
+// platform component schedules closures; the engine advances time to the
+// next event. Periodic activities (metric windows, autoscaler ticks) are
+// self-rescheduling events.
+#pragma once
+
+#include "sim/event_queue.hpp"
+
+namespace gsight::sim {
+
+class Engine {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `when` (>= now).
+  void at(SimTime when, EventQueue::Callback cb);
+  /// Schedule `cb` to run `delay` seconds from now.
+  void after(SimTime delay, EventQueue::Callback cb);
+
+  /// Run events until the queue empties or the clock passes `until`.
+  /// Events scheduled exactly at `until` still run. Returns the number of
+  /// events executed.
+  std::size_t run_until(SimTime until);
+  /// Drain the queue completely.
+  std::size_t run_all();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = 0.0;
+  EventQueue queue_;
+};
+
+}  // namespace gsight::sim

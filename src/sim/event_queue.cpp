@@ -1,0 +1,24 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace gsight::sim {
+
+void EventQueue::push(SimTime when, Callback cb) {
+  heap_.push(Entry{when, next_seq_++, std::make_shared<Callback>(std::move(cb))});
+}
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  assert(!heap_.empty());
+  Entry e = heap_.top();
+  heap_.pop();
+  return {e.when, std::move(*e.cb)};
+}
+
+}  // namespace gsight::sim

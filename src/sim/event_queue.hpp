@@ -1,0 +1,42 @@
+// Time-ordered event queue for the discrete-event engine. Events are
+// closures tagged with a sequence number so simultaneous events fire in
+// scheduling order (deterministic replay). Cancellation is by generation
+// counters at the call sites (lazy invalidation), not by queue surgery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace gsight::sim {
+
+using SimTime = double;  ///< seconds since simulation start
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void push(SimTime when, Callback cb);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  SimTime next_time() const;
+  /// Pop and return the earliest event (time, callback).
+  std::pair<SimTime, Callback> pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    // Shared-ptr'd so Entry stays copyable for priority_queue internals.
+    std::shared_ptr<Callback> cb;
+    bool operator>(const Entry& o) const {
+      return when > o.when || (when == o.when && seq > o.seq);
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gsight::sim

@@ -1,0 +1,46 @@
+#include "sim/gateway.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gsight::sim {
+
+Gateway::Gateway(Engine* engine, GatewayConfig config)
+    : engine_(engine), config_(config) {
+  assert(engine_ != nullptr);
+}
+
+double Gateway::current_service_s() const {
+  const double backlog =
+      static_cast<double>(backend_backlog_ ? backend_backlog_() : 0);
+  const double backlog_factor =
+      std::min(1.0 + config_.backlog_coeff * backlog,
+               config_.max_backlog_factor);
+  const double instances =
+      static_cast<double>(instance_count_ ? instance_count_() : 0);
+  const double knee =
+      1.0 + std::pow(instances / config_.instance_knee,
+                     config_.instance_exponent);
+  return config_.base_service_s * backlog_factor * knee;
+}
+
+void Gateway::forward(std::function<void()> deliver) {
+  queue_.push_back({engine_->now(), std::move(deliver)});
+  if (!busy_) serve_next();
+}
+
+void Gateway::serve_next() {
+  assert(!queue_.empty());
+  busy_ = true;
+  const double service = current_service_s();
+  engine_->after(service, [this] {
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    latencies_.add(engine_->now() - item.enqueued);
+    item.deliver();
+    busy_ = false;
+    if (!queue_.empty()) serve_next();
+  });
+}
+
+}  // namespace gsight::sim

@@ -1,0 +1,75 @@
+// Gateway — the shared frontend of OpenFaaS/OpenWhisk-style platforms.
+// Every invocation is received here and forwarded to a backend instance.
+// Two properties matter for the paper's observations:
+//  * per-forward cost grows with the queue the gateway manages, so one
+//    saturated function degrades invocation speed for all others
+//    (Observation 4, mechanism 2);
+//  * bookkeeping cost grows superlinearly with the number of instances,
+//    producing the >120-instance forwarding knee of Figure 14.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "stats/summary.hpp"
+
+namespace gsight::sim {
+
+struct GatewayConfig {
+  double base_service_s = 0.0001;  ///< cost of one forward, unloaded
+  /// Extra service cost per invocation queued at the *backends* (the
+  /// waiting queues of saturated functions the gateway must manage —
+  /// Observation 4's second mechanism), as a fraction of base. The
+  /// gateway's own queue is deliberately not priced: that feedback loop
+  /// would be unconditionally unstable once arrival exceeds capacity.
+  double backlog_coeff = 0.002;
+  /// Ceiling on the backlog multiplier (1 + coeff * backlog is clamped to
+  /// this) so a hopelessly saturated backend degrades the gateway without
+  /// killing it.
+  double max_backlog_factor = 3.0;
+  /// Instance-count knee: cost multiplier is 1 + (n / knee)^exponent.
+  double instance_knee = 120.0;
+  double instance_exponent = 6.0;
+};
+
+class Gateway {
+ public:
+  Gateway(Engine* engine, GatewayConfig config);
+
+  /// Counter of invocations queued at backends; maintained by the
+  /// platform so the gateway can price queue management.
+  void set_backend_backlog_source(std::function<std::size_t()> source) {
+    backend_backlog_ = std::move(source);
+  }
+  void set_instance_count_source(std::function<std::size_t()> source) {
+    instance_count_ = std::move(source);
+  }
+
+  /// Accept one invocation; `deliver` runs after the (load-dependent)
+  /// forwarding delay.
+  void forward(std::function<void()> deliver);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  const stats::Reservoir& forwarding_latencies() const { return latencies_; }
+  /// Instantaneous per-forward service time under current load.
+  double current_service_s() const;
+
+ private:
+  void serve_next();
+
+  Engine* engine_;
+  GatewayConfig config_;
+  std::function<std::size_t()> backend_backlog_;
+  std::function<std::size_t()> instance_count_;
+  struct Item {
+    SimTime enqueued;
+    std::function<void()> deliver;
+  };
+  std::deque<Item> queue_;
+  bool busy_ = false;
+  stats::Reservoir latencies_{8192, 0xFACE};
+};
+
+}  // namespace gsight::sim

@@ -1,0 +1,105 @@
+// FunctionInstance — one container replica of a function on a server.
+// Serverless semantics: concurrency 1, FIFO queue, cold start on the first
+// invocation after creation or after an idle expiry (§5.2 treats startup
+// as an ordinary leading phase of the execution, which is exactly how it
+// is modelled here).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/server.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace gsight::sim {
+
+struct InvocationResult {
+  double queue_wait_s = 0.0;
+  double exec_s = 0.0;       ///< busy time including any cold start
+  double local_latency_s = 0.0;  ///< queue_wait + exec
+  double mean_ipc = 0.0;
+  bool cold = false;
+};
+
+struct InstanceConfig {
+  /// Idle seconds after which the instance goes cold again (Azure-style
+  /// keep-alive). Infinite disables re-cooling.
+  double idle_expiry_s = 1e18;
+  /// Demands of the synthetic startup phase, scaled by the spec's
+  /// cold_start_s. Startup is CPU+disk heavy (image pull, runtime boot).
+  double startup_cores = 1.0;
+  double startup_disk_mbps = 150.0;
+};
+
+class Instance {
+ public:
+  using DoneFn = std::function<void(const InvocationResult&)>;
+
+  Instance(std::uint64_t id, std::size_t app, std::size_t fn,
+           const wl::FunctionSpec* spec, Server* server, Engine* engine,
+           InstanceConfig config, std::uint64_t seed);
+  ~Instance();
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  std::size_t app_index() const { return app_; }
+  std::size_t fn_index() const { return fn_; }
+  const wl::FunctionSpec& spec() const { return *spec_; }
+  Server& server() const { return *server_; }
+
+  /// Enqueue one invocation; `done` fires at completion.
+  void submit(DoneFn done);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  bool busy() const { return busy_; }
+  /// True once the instance has served its first invocation (and has
+  /// not re-cooled past the idle expiry).
+  bool warm() const { return warm_; }
+  bool draining() const { return retiring_; }
+  /// Mark the instance as retiring: the router stops sending it work and
+  /// the owner (Platform's gc) destroys it once `idle()` — an instance
+  /// cannot safely self-destruct mid-execution.
+  void retire() { retiring_ = true; }
+  bool idle() const { return !busy_ && queue_.empty(); }
+
+  std::uint64_t invocations() const { return invocations_; }
+  std::uint64_t cold_starts() const { return cold_starts_; }
+  const stats::Reservoir& local_latencies() const { return latencies_; }
+  const stats::Running& ipc_stats() const { return ipc_stats_; }
+
+ private:
+  struct Pending {
+    SimTime enqueued = 0.0;
+    DoneFn done;
+  };
+
+  void start_next();
+  std::vector<wl::Phase> materialize_phases(bool cold);
+
+  std::uint64_t id_;
+  std::size_t app_;
+  std::size_t fn_;
+  const wl::FunctionSpec* spec_;
+  Server* server_;
+  Engine* engine_;
+  InstanceConfig config_;
+  stats::Rng rng_;
+
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  bool warm_ = false;
+  bool retiring_ = false;
+  SimTime last_finish_ = 0.0;
+  ExecId current_exec_ = 0;
+
+  std::uint64_t invocations_ = 0;
+  std::uint64_t cold_starts_ = 0;
+  stats::Reservoir latencies_{4096};
+  stats::Running ipc_stats_;
+};
+
+}  // namespace gsight::sim

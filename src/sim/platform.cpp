@@ -1,0 +1,272 @@
+#include "sim/platform.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gsight::sim {
+
+std::vector<double> AppStats::e2e_values() const {
+  std::vector<double> out;
+  out.reserve(e2e.size());
+  for (const auto& [t, l] : e2e) out.push_back(l);
+  return out;
+}
+
+std::vector<double> AppStats::fn_latency_values(std::size_t fn) const {
+  std::vector<double> out;
+  const auto& src = fn_latency.at(fn);
+  out.reserve(src.size());
+  for (const auto& [t, l] : src) out.push_back(l);
+  return out;
+}
+
+std::vector<double> AppStats::e2e_values_between(double t0, double t1) const {
+  std::vector<double> out;
+  for (const auto& [t, l] : e2e) {
+    if (t >= t0 && t < t1) out.push_back(l);
+  }
+  return out;
+}
+
+Platform::Platform(PlatformConfig config)
+    : config_(config),
+      model_(config.interference),
+      recorder_(config.metric_window_s),
+      rng_(config.seed) {
+  std::vector<ServerConfig> servers(config_.servers, config_.server);
+  cluster_ = std::make_unique<Cluster>(&engine_, &model_, servers, &recorder_,
+                                       rng_.next());
+  gateway_ = std::make_unique<Gateway>(&engine_, config_.gateway);
+  gateway_->set_backend_backlog_source(
+      [this] { return cluster_->total_backlog(); });
+  gateway_->set_instance_count_source(
+      [this] { return cluster_->total_instances(); });
+}
+
+Platform::~Platform() = default;
+
+std::size_t Platform::deploy(const wl::App& app,
+                             const std::vector<std::size_t>& fn_to_server) {
+  app.validate();
+  if (fn_to_server.size() != app.function_count()) {
+    throw std::invalid_argument("deploy: placement size mismatch for " +
+                                app.name);
+  }
+  auto deployed = std::make_unique<DeployedApp>();
+  deployed->app = app;
+  deployed->replicas.resize(app.function_count());
+  deployed->rr.assign(app.function_count(), 0);
+  deployed->stats.fn_latency.resize(app.function_count());
+  deployed->stats.fn_ipc.resize(app.function_count());
+  const std::size_t id = apps_.size();
+  apps_.push_back(std::move(deployed));
+  for (std::size_t fn = 0; fn < app.function_count(); ++fn) {
+    add_replica(id, fn, fn_to_server[fn]);
+  }
+  return id;
+}
+
+std::vector<Instance*> Platform::replicas(std::size_t app,
+                                          std::size_t fn) const {
+  return apps_.at(app)->replicas.at(fn);
+}
+
+Instance* Platform::add_replica(std::size_t app, std::size_t fn,
+                                std::size_t server_idx) {
+  DeployedApp& d = *apps_.at(app);
+  Instance* inst = cluster_->create_instance(
+      app, fn, &d.app.function(fn), server_idx, config_.instance);
+  d.replicas.at(fn).push_back(inst);
+  // Pre-warm LS replicas (paper §5.2: cold starts can be hidden by
+  // pre-warmed functions): the warm-up invocation pays the startup cost
+  // off the request path; the router gates on warm().
+  if (d.app.cls == wl::WorkloadClass::kLatencySensitive) {
+    inst->submit([](const InvocationResult&) {});
+  }
+  return inst;
+}
+
+bool Platform::remove_replica(std::size_t app, std::size_t fn,
+                              std::size_t min_keep) {
+  DeployedApp& d = *apps_.at(app);
+  auto& reps = d.replicas.at(fn);
+  // Count replicas not already retiring.
+  std::size_t live = 0;
+  for (auto* r : reps) {
+    if (!r->draining()) ++live;
+  }
+  if (live <= min_keep) return false;
+  // Retire the most recently added live replica.
+  for (auto it = reps.rbegin(); it != reps.rend(); ++it) {
+    if (!(*it)->draining()) {
+      (*it)->retire();
+      retired_.push_back(*it);
+      gc_retired();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Platform::gc_retired() {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    Instance* inst = *it;
+    if (inst->idle()) {
+      // Unlink from the app's replica list, then destroy.
+      auto& reps = apps_.at(inst->app_index())->replicas.at(inst->fn_index());
+      reps.erase(std::remove(reps.begin(), reps.end(), inst), reps.end());
+      cluster_->destroy_instance(inst);
+      it = retired_.erase(it);
+    } else {
+      // Try again shortly; the instance is still draining.
+      ++it;
+    }
+  }
+  if (!retired_.empty()) {
+    engine_.after(0.5, [this] { gc_retired(); });
+  }
+}
+
+Instance* Platform::route(std::size_t app, std::size_t fn) {
+  DeployedApp& d = *apps_.at(app);
+  auto& reps = d.replicas.at(fn);
+  if (reps.empty()) return nullptr;
+  const std::size_t n = reps.size();
+  // Prefer warm replicas (readiness gating): a replica still executing its
+  // cold start should not receive live traffic — it is pre-warmed by
+  // add_replica and joins the rotation once ready.
+  Instance* cold_fallback = nullptr;
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    Instance* inst = reps[d.rr[fn] % n];
+    d.rr[fn] = (d.rr[fn] + 1) % n;
+    if (inst->draining()) continue;
+    if (inst->warm()) return inst;
+    if (cold_fallback == nullptr) cold_fallback = inst;
+  }
+  if (cold_fallback != nullptr) return cold_fallback;
+  return reps[0];  // all draining: deliver anyway rather than drop
+}
+
+void Platform::issue_request(std::size_t app,
+                             std::function<void(double, bool)> on_done) {
+  DeployedApp& d = *apps_.at(app);
+  ++d.arrivals_since_drain;
+  const std::size_t app_index = app;
+  AppStats* stats = &d.stats;
+  Engine* engine = &engine_;
+  auto done = std::make_shared<std::function<void(double, bool)>>(
+      std::move(on_done));
+  auto ctx = std::make_shared<RequestContext>(
+      &d.app, app_index, &engine_, gateway_.get(), this,
+      [stats, engine, done](double latency, bool ok) {
+        if (ok) {
+          stats->e2e.emplace_back(engine->now(), latency);
+        } else {
+          ++stats->failed;
+        }
+        if (*done) (*done)(latency, ok);
+      },
+      [stats, engine](std::size_t fn, const InvocationResult& r) {
+        stats->fn_latency[fn].emplace_back(engine->now(), r.local_latency_s);
+        stats->fn_ipc[fn].add(r.mean_ipc);
+      });
+  RequestContext::launch(ctx);
+}
+
+void Platform::submit_job(std::size_t app, std::function<void(double)> on_done) {
+  DeployedApp& d = *apps_.at(app);
+  AppStats* stats = &d.stats;
+  Engine* engine = &engine_;
+  auto done = std::make_shared<std::function<void(double)>>(std::move(on_done));
+  auto ctx = std::make_shared<RequestContext>(
+      &d.app, app, &engine_, gateway_.get(), this,
+      [stats, engine, done](double jct, bool ok) {
+        if (ok) stats->jct.emplace_back(engine->now(), jct);
+        if (*done) (*done)(jct);
+      },
+      [stats, engine](std::size_t fn, const InvocationResult& r) {
+        stats->fn_latency[fn].emplace_back(engine->now(), r.local_latency_s);
+        stats->fn_ipc[fn].add(r.mean_ipc);
+      });
+  RequestContext::launch(ctx);
+}
+
+std::size_t Platform::abort_executions(std::size_t app) {
+  std::size_t aborted = 0;
+  DeployedApp& d = *apps_.at(app);
+  for (auto& reps : d.replicas) {
+    for (Instance* inst : reps) {
+      Server& server = inst->server();
+      for (const ExecId id : server.executions_of(inst)) {
+        if (server.abort_execution(id)) ++aborted;
+      }
+    }
+  }
+  return aborted;
+}
+
+void Platform::schedule_next_arrival(std::size_t app, double rate_cap,
+                                     std::function<double(double)> rate,
+                                     std::uint64_t generation) {
+  // Thinned Poisson process: candidate arrivals at `rate_cap`, accepted
+  // with probability rate(now)/rate_cap.
+  const double gap = rng_.exponential(rate_cap);
+  engine_.after(gap, [this, app, rate_cap, rate, generation] {
+    DeployedApp& d = *apps_.at(app);
+    if (d.load_generation != generation) return;  // load was changed
+    const double r = rate(engine_.now());
+    if (r > 0.0 && rng_.uniform() < r / rate_cap) issue_request(app);
+    schedule_next_arrival(app, rate_cap, rate, generation);
+  });
+}
+
+void Platform::set_open_loop(std::size_t app, double qps) {
+  DeployedApp& d = *apps_.at(app);
+  ++d.load_generation;
+  if (qps <= 0.0) return;
+  schedule_next_arrival(
+      app, qps, [qps](double) { return qps; }, d.load_generation);
+}
+
+void Platform::set_rate_function(std::size_t app,
+                                 std::function<double(double)> rate,
+                                 double peak_rate) {
+  DeployedApp& d = *apps_.at(app);
+  ++d.load_generation;
+  if (peak_rate <= 0.0) return;
+  schedule_next_arrival(app, peak_rate, std::move(rate), d.load_generation);
+}
+
+std::uint64_t Platform::drain_arrival_count(std::size_t app) {
+  DeployedApp& d = *apps_.at(app);
+  const std::uint64_t n = d.arrivals_since_drain;
+  d.arrivals_since_drain = 0;
+  return n;
+}
+
+std::size_t Platform::queued_invocations(std::size_t app,
+                                         std::size_t fn) const {
+  std::size_t n = 0;
+  for (const Instance* inst : apps_.at(app)->replicas.at(fn)) {
+    n += inst->queue_depth() + (inst->busy() ? 1 : 0);
+  }
+  return n;
+}
+
+double Platform::function_density() const {
+  // Instances per core of the *active* servers (those hosting at least one
+  // instance): packing onto fewer servers raises density, which is the
+  // §4 objective ("minimum number of active servers").
+  double cores = 0.0;
+  for (std::size_t i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->server(i).resident_count() > 0) {
+      cores += cluster_->server(i).config().cores;
+    }
+  }
+  return cores > 0.0
+             ? static_cast<double>(cluster_->total_instances()) / cores
+             : 0.0;
+}
+
+}  // namespace gsight::sim

@@ -1,0 +1,128 @@
+#include "sim/recorder.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sim/instance.hpp"
+
+namespace gsight::sim {
+
+void MetricAccum::add(double slice_dt, const ExecObservation& obs,
+                      const wl::Phase& phase) {
+  dt += slice_dt;
+  ipc += slice_dt * obs.ipc;
+  l1i_mpki += slice_dt * obs.l1i_mpki;
+  l1d_mpki += slice_dt * obs.l1d_mpki;
+  l2_mpki += slice_dt * obs.l2_mpki;
+  l3_mpki += slice_dt * obs.l3_mpki;
+  branch_mpki += slice_dt * obs.branch_mpki;
+  dtlb_mpki += slice_dt * obs.dtlb_mpki;
+  itlb_mpki += slice_dt * obs.itlb_mpki;
+  mem_lp += slice_dt * obs.mem_lp;
+  ctx_per_s += slice_dt * obs.ctx_per_s;
+  cpu_freq_ghz += slice_dt * obs.cpu_freq_ghz;
+  llc_occupancy_mb += slice_dt * obs.llc_occupancy_mb;
+  membw_gbps += slice_dt * obs.membw_gbps;
+  disk_mbps += slice_dt * obs.disk_mbps;
+  net_mbps += slice_dt * obs.net_mbps;
+  cores_granted += slice_dt * phase.demand.cores * obs.cpu_share;
+  mem_gb += slice_dt * phase.demand.mem_gb;
+  cpu_util += slice_dt * obs.cpu_share;
+}
+
+void MetricAccum::merge(const MetricAccum& other) {
+  dt += other.dt;
+  ipc += other.ipc;
+  l1i_mpki += other.l1i_mpki;
+  l1d_mpki += other.l1d_mpki;
+  l2_mpki += other.l2_mpki;
+  l3_mpki += other.l3_mpki;
+  branch_mpki += other.branch_mpki;
+  dtlb_mpki += other.dtlb_mpki;
+  itlb_mpki += other.itlb_mpki;
+  mem_lp += other.mem_lp;
+  ctx_per_s += other.ctx_per_s;
+  cpu_freq_ghz += other.cpu_freq_ghz;
+  llc_occupancy_mb += other.llc_occupancy_mb;
+  membw_gbps += other.membw_gbps;
+  disk_mbps += other.disk_mbps;
+  net_mbps += other.net_mbps;
+  cores_granted += other.cores_granted;
+  mem_gb += other.mem_gb;
+  cpu_util += other.cpu_util;
+}
+
+MetricAccum MetricAccum::finalized() const {
+  MetricAccum f;
+  if (dt <= 0.0) return f;
+  f = *this;
+  const double inv = 1.0 / dt;
+  f.ipc *= inv;
+  f.l1i_mpki *= inv;
+  f.l1d_mpki *= inv;
+  f.l2_mpki *= inv;
+  f.l3_mpki *= inv;
+  f.branch_mpki *= inv;
+  f.dtlb_mpki *= inv;
+  f.itlb_mpki *= inv;
+  f.mem_lp *= inv;
+  f.ctx_per_s *= inv;
+  f.cpu_freq_ghz *= inv;
+  f.llc_occupancy_mb *= inv;
+  f.membw_gbps *= inv;
+  f.disk_mbps *= inv;
+  f.net_mbps *= inv;
+  f.cores_granted *= inv;
+  f.mem_gb *= inv;
+  f.cpu_util *= inv;
+  f.dt = dt;
+  return f;
+}
+
+void Recorder::on_exec_slice(void* owner, SimTime end, double dt,
+                             const ExecObservation& obs,
+                             const wl::Phase& phase) {
+  if (owner == nullptr || dt <= 0.0) return;
+  const auto* inst = static_cast<const Instance*>(owner);
+  auto& windows = data_[{inst->app_index(), inst->fn_index()}];
+  // Split the slice across window boundaries so long SC phases produce
+  // per-second samples, exactly like a 1 Hz collector would see.
+  double begin = end - dt;
+  while (dt > 0.0) {
+    const auto w = static_cast<std::int64_t>(std::floor(begin / window_s_));
+    const double w_end = (static_cast<double>(w) + 1.0) * window_s_;
+    const double piece = std::min(dt, w_end - begin);
+    if (piece <= 0.0) break;  // numeric guard at exact boundaries
+    windows[w].add(piece, obs, phase);
+    begin += piece;
+    dt -= piece;
+  }
+}
+
+std::vector<std::pair<std::int64_t, MetricAccum>> Recorder::windows(
+    std::size_t app, std::size_t fn) const {
+  std::vector<std::pair<std::int64_t, MetricAccum>> out;
+  const auto it = data_.find({app, fn});
+  if (it == data_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [w, acc] : it->second) out.emplace_back(w, acc.finalized());
+  return out;
+}
+
+MetricAccum Recorder::total(std::size_t app, std::size_t fn) const {
+  MetricAccum total;
+  const auto it = data_.find({app, fn});
+  if (it == data_.end()) return total;
+  for (const auto& [w, acc] : it->second) total.merge(acc);
+  return total.finalized();
+}
+
+double Recorder::busy_seconds(std::size_t app, std::size_t fn) const {
+  const auto it = data_.find({app, fn});
+  if (it == data_.end()) return 0.0;
+  double dt = 0.0;
+  for (const auto& [w, acc] : it->second) dt += acc.dt;
+  return dt;
+}
+
+}  // namespace gsight::sim

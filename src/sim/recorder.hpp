@@ -1,0 +1,63 @@
+// Recorder — exact, time-weighted metric accounting per (app, function),
+// bucketed into fixed windows (1 s by default, matching the paper's
+// "collected once per second" sampling). The server calls back with every
+// execution slice, so integrals are exact rather than sampled; slices that
+// span window boundaries are split across them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/server.hpp"
+
+namespace gsight::sim {
+
+/// Time-weighted sums of everything a profiler observes. Divide by `dt`
+/// (via `finalize`) to obtain mean values over the window.
+struct MetricAccum {
+  double dt = 0.0;
+  double ipc = 0.0;
+  double l1i_mpki = 0.0, l1d_mpki = 0.0, l2_mpki = 0.0, l3_mpki = 0.0;
+  double branch_mpki = 0.0, dtlb_mpki = 0.0, itlb_mpki = 0.0;
+  double mem_lp = 0.0;
+  double ctx_per_s = 0.0;
+  double cpu_freq_ghz = 0.0;
+  double llc_occupancy_mb = 0.0;
+  double membw_gbps = 0.0, disk_mbps = 0.0, net_mbps = 0.0;
+  double cores_granted = 0.0;
+  double mem_gb = 0.0;
+  double cpu_util = 0.0;  ///< granted cores / demanded cores
+
+  void add(double slice_dt, const ExecObservation& obs, const wl::Phase& phase);
+  void merge(const MetricAccum& other);
+  /// Means over the accumulated time (all-zero if dt == 0).
+  MetricAccum finalized() const;
+};
+
+class Recorder final : public ExecSliceSink {
+ public:
+  explicit Recorder(double window_s = 1.0) : window_s_(window_s) {}
+
+  void on_exec_slice(void* owner, SimTime end, double dt,
+                     const ExecObservation& obs,
+                     const wl::Phase& phase) override;
+
+  /// Per-window means for one function, ordered by window index.
+  std::vector<std::pair<std::int64_t, MetricAccum>> windows(
+      std::size_t app, std::size_t fn) const;
+  /// Whole-run aggregate for one function.
+  MetricAccum total(std::size_t app, std::size_t fn) const;
+  /// Busy seconds recorded for one function.
+  double busy_seconds(std::size_t app, std::size_t fn) const;
+
+  double window_s() const { return window_s_; }
+  void clear() { data_.clear(); }
+
+ private:
+  using Key = std::pair<std::size_t, std::size_t>;
+  double window_s_;
+  std::map<Key, std::map<std::int64_t, MetricAccum>> data_;
+};
+
+}  // namespace gsight::sim

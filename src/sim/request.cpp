@@ -1,0 +1,87 @@
+#include "sim/request.hpp"
+
+#include <cassert>
+
+namespace gsight::sim {
+
+RequestContext::RequestContext(const wl::App* app, std::size_t app_index,
+                               Engine* engine, Gateway* gateway, Router* router,
+                               Completion on_complete, FnObserver fn_observer)
+    : app_(app),
+      app_index_(app_index),
+      engine_(engine),
+      gateway_(gateway),
+      router_(router),
+      on_complete_(std::move(on_complete)),
+      fn_observer_(std::move(fn_observer)),
+      nodes_(app->function_count()) {}
+
+void RequestContext::launch(const std::shared_ptr<RequestContext>& ctx) {
+  ctx->start_ = ctx->engine_->now();
+  ctx->invoke(ctx->app_->graph.root(), std::nullopt);
+}
+
+void RequestContext::invoke(std::size_t node,
+                            std::optional<std::size_t> nested_parent) {
+  assert(node < nodes_.size());
+  NodeState& state = nodes_[node];
+  assert(!state.invoked && "tree-structured call graphs only");
+  state.invoked = true;
+  state.parent = nested_parent;
+
+  auto self = shared_from_this();
+  gateway_->forward([self, node] {
+    Instance* instance =
+        self->router_->route(self->app_index_, node);
+    if (instance == nullptr) {
+      self->finish(false);
+      return;
+    }
+    instance->submit([self, node](const InvocationResult& r) {
+      self->on_exec_done(node, r);
+    });
+  });
+}
+
+void RequestContext::on_exec_done(std::size_t node,
+                                  const InvocationResult& result) {
+  if (fn_observer_) fn_observer_(node, result);
+  NodeState& state = nodes_[node];
+  state.exec_done = true;
+  // Fan out to children now that this function returned its response.
+  for (const auto& edge : app_->graph.children(node)) {
+    if (edge.kind == wl::EdgeKind::kNested) ++state.pending_nested;
+  }
+  for (const auto& edge : app_->graph.children(node)) {
+    invoke(edge.callee, edge.kind == wl::EdgeKind::kNested
+                            ? std::optional<std::size_t>(node)
+                            : std::nullopt);
+  }
+  if (state.pending_nested == 0) complete_node(node);
+}
+
+void RequestContext::complete_node(std::size_t node) {
+  NodeState& state = nodes_[node];
+  if (state.completed) return;
+  state.completed = true;
+  if (node == app_->graph.root()) {
+    finish(true);
+    return;
+  }
+  if (state.parent.has_value()) {
+    NodeState& parent = nodes_[*state.parent];
+    assert(parent.pending_nested > 0);
+    if (--parent.pending_nested == 0 && parent.exec_done) {
+      complete_node(*state.parent);
+    }
+  }
+  // Async completions have no parent to notify.
+}
+
+void RequestContext::finish(bool ok) {
+  if (finished_) return;
+  finished_ = true;
+  if (on_complete_) on_complete_(engine_->now() - start_, ok);
+}
+
+}  // namespace gsight::sim

@@ -1,0 +1,72 @@
+// RequestContext — executes one end-to-end request through an App's call
+// graph: every function invocation is forwarded through the gateway,
+// queued at an instance, executed under interference, and then fans out to
+// its children (nested children gate the caller's completion; async
+// children do not). End-to-end latency is the root node's completion time,
+// so interference anywhere on the nested (critical) path stretches it
+// while side-branch interference does not (Observation 2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "sim/gateway.hpp"
+#include "sim/instance.hpp"
+#include "workloads/app.hpp"
+
+namespace gsight::sim {
+
+/// Resolves (app, fn) to the instance that should serve the next
+/// invocation (round-robin across healthy replicas in the platform).
+class Router {
+ public:
+  virtual ~Router() = default;
+  /// May return nullptr when no replica exists; the request then fails.
+  virtual Instance* route(std::size_t app, std::size_t fn) = 0;
+};
+
+class RequestContext : public std::enable_shared_from_this<RequestContext> {
+ public:
+  /// Called once, when the root completes (ok) or routing fails (not ok).
+  using Completion = std::function<void(double e2e_latency_s, bool ok)>;
+  /// Called for every finished function invocation of this request.
+  using FnObserver = std::function<void(
+      std::size_t fn, const InvocationResult& result)>;
+
+  RequestContext(const wl::App* app, std::size_t app_index, Engine* engine,
+                 Gateway* gateway, Router* router, Completion on_complete,
+                 FnObserver fn_observer = nullptr);
+
+  /// Kick off the request from its root function. The context keeps itself
+  /// alive via shared_from_this until every spawned invocation has
+  /// finished.
+  static void launch(const std::shared_ptr<RequestContext>& ctx);
+
+ private:
+  struct NodeState {
+    bool invoked = false;
+    bool exec_done = false;
+    bool completed = false;
+    std::size_t pending_nested = 0;
+    std::optional<std::size_t> parent;  ///< nested parent, if any
+  };
+
+  void invoke(std::size_t node, std::optional<std::size_t> nested_parent);
+  void on_exec_done(std::size_t node, const InvocationResult& result);
+  void complete_node(std::size_t node);
+  void finish(bool ok);
+
+  const wl::App* app_;
+  std::size_t app_index_;
+  Engine* engine_;
+  Gateway* gateway_;
+  Router* router_;
+  Completion on_complete_;
+  FnObserver fn_observer_;
+  SimTime start_ = 0.0;
+  std::vector<NodeState> nodes_;
+  bool finished_ = false;
+};
+
+}  // namespace gsight::sim

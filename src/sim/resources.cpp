@@ -1,0 +1,5 @@
+#include "sim/resources.hpp"
+
+// ServerConfig is all-inline; this translation unit anchors the header so
+// the library has a home for future out-of-line additions.
+namespace gsight::sim {}

@@ -1,0 +1,67 @@
+// Server hardware geometry (Table 4) and aggregate resource bookkeeping.
+#pragma once
+
+#include <string>
+
+#include "workloads/phase.hpp"
+
+namespace gsight::sim {
+
+struct ServerConfig {
+  double cores = 40.0;       ///< physical cores (we model cores, not SMT)
+  double llc_mb = 25.0;      ///< shared last-level cache
+  double mem_gb = 256.0;     ///< DRAM capacity
+  double membw_gbps = 60.0;  ///< sustained memory bandwidth
+  double disk_mbps = 2000.0; ///< SSD throughput
+  double net_mbps = 10000.0; ///< NIC throughput
+  double base_freq_ghz = 2.0;
+
+  /// The paper's testbed node: Intel Xeon E7-4820 v4, 4 sockets, 40 cores,
+  /// 25 MB LLC, 256 GB RAM, 960 GB SSD (Table 4).
+  static ServerConfig tianjin_testbed() { return {}; }
+  /// One socket of the testbed node — the paper's experiments bind
+  /// colocated workloads to a socket (§2.1), so sockets are the natural
+  /// contention domain and the default placement unit in the benches.
+  static ServerConfig socket() {
+    ServerConfig c;
+    c.cores = 10.0;
+    c.llc_mb = 25.0;
+    c.mem_gb = 64.0;
+    c.membw_gbps = 16.0;
+    c.disk_mbps = 1200.0;
+    c.net_mbps = 10000.0;
+    return c;
+  }
+  /// A deliberately small node for unit tests (contention easy to trigger).
+  static ServerConfig tiny() {
+    ServerConfig c;
+    c.cores = 4.0;
+    c.llc_mb = 8.0;
+    c.mem_gb = 16.0;
+    c.membw_gbps = 10.0;
+    c.disk_mbps = 400.0;
+    c.net_mbps = 1000.0;
+    return c;
+  }
+};
+
+/// Sum of demands over a set of colocated executions.
+struct DemandTotals {
+  double cores = 0.0;
+  double llc_mb = 0.0;
+  double membw_gbps = 0.0;
+  double disk_mbps = 0.0;
+  double net_mbps = 0.0;
+  double mem_gb = 0.0;
+
+  void add(const wl::ResourceDemand& d) {
+    cores += d.cores;
+    llc_mb += d.llc_mb;
+    membw_gbps += d.membw_gbps;
+    disk_mbps += d.disk_mbps;
+    net_mbps += d.net_mbps;
+    mem_gb += d.mem_gb;
+  }
+};
+
+}  // namespace gsight::sim

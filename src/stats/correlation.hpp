@@ -1,0 +1,21 @@
+// Pearson and Spearman correlation coefficients, used to reproduce Table 3
+// (metric <-> performance correlation) and to drive Gsight's feature
+// selection (metrics with |corr| < 0.1 are dropped, leaving 16 of 19).
+#pragma once
+
+#include <vector>
+
+namespace gsight::stats {
+
+/// Pearson product-moment correlation of two equally sized samples.
+/// Returns 0 when either sample has zero variance or fewer than 2 points.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson over mid-ranks; ties get the average
+/// rank, so the coefficient is exact in the presence of ties).
+double spearman(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Mid-ranks of a sample (1-based, ties averaged) — exposed for testing.
+std::vector<double> ranks(const std::vector<double>& x);
+
+}  // namespace gsight::stats

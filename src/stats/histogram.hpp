@@ -1,0 +1,44 @@
+// Histogram and empirical-CDF helpers used by the scheduling benches
+// (Figure 11 reports CDFs of function density and CPU/memory utilisation)
+// and by the text-mode "violin" summaries of Figure 5.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gsight::stats {
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  /// Fraction of mass at or below x (empirical CDF evaluated at bin edges).
+  double cdf(double x) const;
+
+  /// Render as rows of "lo..hi count bar" for bench output.
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Points of an empirical CDF: sorted (value, cumulative fraction) pairs
+/// thinned to at most `max_points` entries.
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> values,
+                                                     std::size_t max_points = 64);
+
+/// Five-number + moments summary line used as a textual "violin plot".
+std::string distribution_summary(const std::vector<double>& values);
+
+}  // namespace gsight::stats

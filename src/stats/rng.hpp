@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation for simulation and ML.
+//
+// We ship our own xoshiro256++ generator instead of std::mt19937 for two
+// reasons: (1) reproducibility across standard-library implementations —
+// std:: distributions are not bit-stable between libstdc++/libc++, and every
+// experiment in this repository must replay exactly from a seed; (2) speed —
+// the simulator draws per-invocation jitter on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gsight::stats {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator so it can feed std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed via SplitMix64, which
+  /// guarantees a well-mixed nonzero state for any seed (including 0).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Log-normal such that the *median* of the result is `median` and the
+  /// underlying normal has sigma `sigma`. Convenient for latency jitter.
+  double lognormal_median(double median, double sigma);
+  /// Exponential with the given rate (events per unit time). rate > 0.
+  double exponential(double rate);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::uint64_t poisson(double mean);
+
+  /// Fisher-Yates shuffle of an index range [0, n) returned as a vector.
+  std::vector<std::size_t> permutation(std::size_t n);
+  /// k distinct indices sampled uniformly from [0, n) (partial shuffle).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derive an independent child generator (for per-thread streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace gsight::stats

@@ -1,0 +1,122 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gsight::stats {
+
+void Running::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Running::merge(const Running& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Running::reset() { *this = Running{}; }
+
+double Running::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Running::stddev() const { return std::sqrt(variance()); }
+
+double Running::cov() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / std::abs(m);
+}
+
+double percentile_inplace(std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(lo),
+                   values.end());
+  const double vlo = values[lo];
+  std::nth_element(values.begin() + static_cast<std::ptrdiff_t>(lo),
+                   values.begin() + static_cast<std::ptrdiff_t>(hi), values.end());
+  const double vhi = values[hi];
+  const double frac = rank - static_cast<double>(lo);
+  return vlo + frac * (vhi - vlo);
+}
+
+double percentile(std::vector<double> values, double p) {
+  return percentile_inplace(values, p);
+}
+
+double mean(const std::vector<double>& values) {
+  Running r;
+  for (double v : values) r.add(v);
+  return r.mean();
+}
+
+double variance(const std::vector<double>& values) {
+  Running r;
+  for (double v : values) r.add(v);
+  return r.variance();
+}
+
+double stddev(const std::vector<double>& values) {
+  return std::sqrt(variance(values));
+}
+
+double cov(const std::vector<double>& values) {
+  Running r;
+  for (double v : values) r.add(v);
+  return r.cov();
+}
+
+double median(std::vector<double> values) {
+  return percentile_inplace(values, 50.0);
+}
+
+Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  assert(capacity > 0);
+  data_.reserve(capacity);
+}
+
+void Reservoir::add(double x) {
+  ++seen_;
+  if (data_.size() < capacity_) {
+    data_.push_back(x);
+    return;
+  }
+  const std::uint64_t j = rng_.uniform_index(seen_);
+  if (j < capacity_) data_[j] = x;
+}
+
+double Reservoir::percentile(double p) const {
+  if (data_.empty()) return 0.0;
+  return stats::percentile(data_, p);
+}
+
+double Reservoir::mean() const { return stats::mean(data_); }
+
+}  // namespace gsight::stats

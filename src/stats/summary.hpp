@@ -1,0 +1,77 @@
+// Descriptive statistics used throughout the simulator and benches:
+// streaming mean/variance (Welford), percentile extraction, coefficient of
+// variation, and a reservoir for bounded-memory tail-latency tracking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace gsight::stats {
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+class Running {
+ public:
+  void add(double x);
+  void merge(const Running& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation (stddev / |mean|); 0 when mean is 0.
+  double cov() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation between order
+/// statistics (the "R-7" / NumPy default definition). `p` in [0, 100].
+/// The input is copied; use `percentile_inplace` to avoid the copy.
+double percentile(std::vector<double> values, double p);
+
+/// As `percentile`, but reorders `values` in place (nth_element based).
+double percentile_inplace(std::vector<double>& values, double p);
+
+double mean(const std::vector<double>& values);
+double variance(const std::vector<double>& values);
+double stddev(const std::vector<double>& values);
+/// Coefficient of variation of a sample set.
+double cov(const std::vector<double>& values);
+double median(std::vector<double> values);
+
+/// Fixed-capacity uniform reservoir sample (Vitter's Algorithm R). Keeps an
+/// unbiased sample of an unbounded stream so long simulations can report
+/// percentiles without storing every observation.
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity, std::uint64_t seed = 42);
+
+  void add(double x);
+  std::size_t seen() const { return seen_; }
+  std::size_t size() const { return data_.size(); }
+  const std::vector<double>& data() const { return data_; }
+  /// Percentile over the retained sample. Returns 0 when empty.
+  double percentile(double p) const;
+  double mean() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::vector<double> data_;
+  Rng rng_;
+};
+
+}  // namespace gsight::stats

@@ -1,0 +1,38 @@
+#include "workloads/app.hpp"
+
+#include <stdexcept>
+
+namespace gsight::wl {
+
+double App::critical_path_solo_s() const {
+  double total = 0.0;
+  for (std::size_t node : graph.critical_path()) {
+    total += functions.at(node).solo_duration_s();
+  }
+  return total;
+}
+
+double App::total_solo_s() const {
+  double total = 0.0;
+  for (const auto& f : functions) total += f.solo_duration_s();
+  return total;
+}
+
+void App::validate() const {
+  if (functions.empty()) throw std::logic_error("App: no functions");
+  if (graph.function_count() != functions.size()) {
+    throw std::logic_error("App '" + name + "': graph size " +
+                           std::to_string(graph.function_count()) +
+                           " != function count " +
+                           std::to_string(functions.size()));
+  }
+  graph.validate();
+  for (const auto& f : functions) {
+    if (f.phases.empty()) {
+      throw std::logic_error("App '" + name + "': function '" + f.name +
+                             "' has no phases");
+    }
+  }
+}
+
+}  // namespace gsight::wl

@@ -1,0 +1,36 @@
+// App — a deployable serverless workload: a set of functions plus the call
+// graph connecting them, classified per Table 1 (BG / SC / LS).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workloads/callgraph.hpp"
+#include "workloads/function_spec.hpp"
+
+namespace gsight::wl {
+
+struct App {
+  std::string name;
+  WorkloadClass cls = WorkloadClass::kLatencySensitive;
+  std::vector<FunctionSpec> functions;
+  CallGraph graph;
+
+  /// LS: sustainable solo request rate used as the default load point
+  /// (requests/s toward the root function). Ignored for SC/BG.
+  double default_qps = 50.0;
+
+  std::size_t function_count() const { return functions.size(); }
+  const FunctionSpec& function(std::size_t i) const { return functions.at(i); }
+
+  /// Sum of solo durations along the critical path — the ideal end-to-end
+  /// latency (LS) or minimum JCT contribution (SC) of one request.
+  double critical_path_solo_s() const;
+  /// Sum of solo durations over all functions (total work per request).
+  double total_solo_s() const;
+  /// Throws std::logic_error when the graph and function list disagree.
+  void validate() const;
+};
+
+}  // namespace gsight::wl

@@ -1,0 +1,49 @@
+#include "workloads/azure_trace.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gsight::wl {
+
+double AzureTraceGenerator::rate_at(double t) const {
+  const double two_pi = 2.0 * std::numbers::pi;
+  const double day_angle = two_pi * t / config_.day_seconds + config_.phase_shift;
+  const double week_angle = day_angle / 7.0;
+  double rate = config_.base_qps *
+                (1.0 + config_.diurnal_amplitude * std::sin(day_angle)) *
+                (1.0 + config_.weekly_amplitude * std::sin(week_angle));
+  return std::max(rate, 0.0);
+}
+
+std::vector<double> AzureTraceGenerator::arrivals(double t0, double t1) {
+  // Thinning (Lewis & Shedler): simulate a homogeneous process at the peak
+  // rate and accept each point with probability rate(t)/peak.
+  const double peak = config_.base_qps * (1.0 + config_.diurnal_amplitude) *
+                      (1.0 + config_.weekly_amplitude) * 1.5;
+  std::vector<double> out;
+  if (peak <= 0.0) return out;
+  double t = t0;
+  for (;;) {
+    t += rng_.exponential(peak);
+    if (t >= t1) break;
+    double accept = rate_at(t) / peak;
+    if (config_.noise_sigma > 0.0) {
+      accept *= std::exp(config_.noise_sigma * rng_.normal());
+    }
+    if (rng_.uniform() < accept) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<double> zipf_weights(std::size_t n, double skew) {
+  std::vector<double> w(n, 0.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    sum += w[i];
+  }
+  for (auto& v : w) v /= sum;
+  return w;
+}
+
+}  // namespace gsight::wl

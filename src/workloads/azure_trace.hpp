@@ -1,0 +1,46 @@
+// Synthetic Azure-Functions-style invocation trace [49]: per-hour invocation
+// rates follow diurnal and weekly patterns; per-app popularity is heavy
+// tailed; arrivals within a rate window are Poisson. Used to drive the
+// scheduling study (Figures 11-12), where cold starts cluster on the rising
+// edge of the diurnal wave (~8/min in the paper's setup).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace gsight::wl {
+
+struct AzureTraceConfig {
+  double base_qps = 40.0;          ///< mean aggregate request rate
+  double diurnal_amplitude = 0.6;  ///< 0..1 swing around the mean over a day
+  double weekly_amplitude = 0.2;   ///< weekday/weekend modulation
+  double day_seconds = 600.0;      ///< compressed "day" so sims stay short
+  double phase_shift = 0.0;        ///< offset into the day at t=0 (radians)
+  double noise_sigma = 0.08;       ///< multiplicative log-normal rate noise
+};
+
+class AzureTraceGenerator {
+ public:
+  explicit AzureTraceGenerator(AzureTraceConfig config, std::uint64_t seed = 7)
+      : config_(config), rng_(seed) {}
+
+  /// Instantaneous request rate at simulated time t (requests/s, >= 0).
+  double rate_at(double t) const;
+  /// Arrival timestamps in [t0, t1) from a (non-homogeneous) Poisson
+  /// process thinned against rate_at.
+  std::vector<double> arrivals(double t0, double t1);
+
+  const AzureTraceConfig& config() const { return config_; }
+
+ private:
+  AzureTraceConfig config_;
+  stats::Rng rng_;
+};
+
+/// Heavy-tailed per-app weights (Zipf-like, normalised to sum 1) for
+/// splitting an aggregate trace across `n` applications.
+std::vector<double> zipf_weights(std::size_t n, double skew = 1.1);
+
+}  // namespace gsight::wl

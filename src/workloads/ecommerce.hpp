@@ -1,0 +1,23 @@
+// TPC-W-style e-commerce workload [36] ported to functions: a "place order"
+// request path with catalog lookup, cart, payment, inventory and
+// confirmation side effects. Used together with feature-generation as the
+// training workload of Observation 6 and as the second LS app in the
+// scheduling study (SLA 88 ms in the paper).
+#pragma once
+
+#include "workloads/app.hpp"
+
+namespace gsight::wl {
+
+enum ECommerceFn : std::size_t {
+  kFrontend = 0,
+  kCatalog = 1,
+  kCart = 2,
+  kPayment = 3,
+  kInventory = 4,
+  kConfirmation = 5,
+};
+
+App e_commerce();
+
+}  // namespace gsight::wl

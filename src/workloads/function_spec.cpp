@@ -1,0 +1,70 @@
+#include "workloads/function_spec.hpp"
+
+#include <cassert>
+
+namespace gsight::wl {
+
+std::string to_string(WorkloadClass c) {
+  switch (c) {
+    case WorkloadClass::kBackground:
+      return "BG";
+    case WorkloadClass::kShortCompute:
+      return "SC";
+    case WorkloadClass::kLatencySensitive:
+      return "LS";
+  }
+  return "?";
+}
+
+double FunctionSpec::solo_duration_s() const {
+  double total = 0.0;
+  for (const auto& p : phases) total += p.solo_duration_s;
+  return total;
+}
+
+ResourceDemand FunctionSpec::average_demand() const {
+  assert(!phases.empty());
+  ResourceDemand avg{};
+  avg.cores = avg.llc_mb = avg.membw_gbps = avg.disk_mbps = avg.net_mbps = 0.0;
+  avg.mem_gb = 0.0;
+  avg.frac_cpu = avg.frac_disk = avg.frac_net = 0.0;
+  const double total = solo_duration_s();
+  for (const auto& p : phases) {
+    const double w = total > 0.0 ? p.solo_duration_s / total
+                                 : 1.0 / static_cast<double>(phases.size());
+    avg.cores += w * p.demand.cores;
+    avg.llc_mb += w * p.demand.llc_mb;
+    avg.membw_gbps += w * p.demand.membw_gbps;
+    avg.disk_mbps += w * p.demand.disk_mbps;
+    avg.net_mbps += w * p.demand.net_mbps;
+    avg.mem_gb = std::max(avg.mem_gb, p.demand.mem_gb);  // peak footprint
+    avg.frac_cpu += w * p.demand.frac_cpu;
+    avg.frac_disk += w * p.demand.frac_disk;
+    avg.frac_net += w * p.demand.frac_net;
+  }
+  return avg;
+}
+
+MicroArchProfile FunctionSpec::average_uarch() const {
+  assert(!phases.empty());
+  MicroArchProfile avg{};
+  avg.base_ipc = avg.branch_mpki = avg.l1i_mpki = avg.l1d_mpki = 0.0;
+  avg.l2_mpki = avg.l3_mpki = avg.dtlb_mpki = avg.itlb_mpki = avg.mem_lp = 0.0;
+  const double total = solo_duration_s();
+  for (const auto& p : phases) {
+    const double w = total > 0.0 ? p.solo_duration_s / total
+                                 : 1.0 / static_cast<double>(phases.size());
+    avg.base_ipc += w * p.uarch.base_ipc;
+    avg.branch_mpki += w * p.uarch.branch_mpki;
+    avg.l1i_mpki += w * p.uarch.l1i_mpki;
+    avg.l1d_mpki += w * p.uarch.l1d_mpki;
+    avg.l2_mpki += w * p.uarch.l2_mpki;
+    avg.l3_mpki += w * p.uarch.l3_mpki;
+    avg.dtlb_mpki += w * p.uarch.dtlb_mpki;
+    avg.itlb_mpki += w * p.uarch.itlb_mpki;
+    avg.mem_lp += w * p.uarch.mem_lp;
+  }
+  return avg;
+}
+
+}  // namespace gsight::wl

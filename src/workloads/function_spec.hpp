@@ -1,0 +1,41 @@
+// FunctionSpec — the static description of one serverless function: its
+// phases, memory allocation, and cold-start behaviour. Instances of a
+// function are created by the platform (sim::FunctionInstance); the spec is
+// immutable shared data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/phase.hpp"
+
+namespace gsight::wl {
+
+/// Table 1's taxonomy of serverless workloads.
+enum class WorkloadClass : std::uint8_t {
+  kBackground,     ///< BG: scheduled/intermittent, no latency requirement
+  kShortCompute,   ///< SC: minute-scale jobs; JCT is the QoS metric
+  kLatencySensitive  ///< LS: frequent invocations; tail latency is the QoS
+};
+
+std::string to_string(WorkloadClass c);
+
+struct FunctionSpec {
+  std::string name;
+  std::vector<Phase> phases;        ///< executed in order per invocation
+  double mem_alloc_gb = 0.128;      ///< configured allocation (AWS-style)
+  double cold_start_s = 0.5;        ///< extra first-invocation latency
+  /// Multiplicative log-normal jitter (sigma) applied to per-invocation
+  /// phase durations; models input-dependent work.
+  double jitter_sigma = 0.05;
+
+  /// Total solo execution time of one invocation (sum of phases).
+  double solo_duration_s() const;
+  /// Demand averaged over phases, weighted by phase duration. Used for
+  /// placement decisions and the R (allocation) matrices.
+  ResourceDemand average_demand() const;
+  MicroArchProfile average_uarch() const;
+};
+
+}  // namespace gsight::wl

@@ -1,0 +1,146 @@
+#include "workloads/functionbench.hpp"
+
+namespace gsight::wl {
+
+namespace {
+
+App single_function_app(std::string name, WorkloadClass cls, FunctionSpec fn) {
+  App app;
+  app.name = std::move(name);
+  app.cls = cls;
+  app.functions.push_back(std::move(fn));
+  app.graph = CallGraph(1);
+  app.graph.set_root(0);
+  return app;
+}
+
+}  // namespace
+
+App matmul(double minutes) {
+  FunctionSpec fn;
+  fn.name = "matmul";
+  fn.mem_alloc_gb = 3.0;
+  fn.cold_start_s = 1.2;
+  // Dense BLAS-style kernel: pegs most of a socket and streams memory.
+  Phase p = cpu_phase("multiply", minutes * 60.0, /*cores=*/12.0,
+                      /*llc_mb=*/16.0, /*ipc=*/2.6);
+  p.demand.membw_gbps = 8.0;
+  p.demand.mem_gb = 2.5;
+  p.uarch.l1d_mpki = 24.0;
+  p.uarch.l2_mpki = 10.0;
+  p.uarch.l3_mpki = 3.0;
+  fn.phases.push_back(std::move(p));
+  return single_function_app("matmul", WorkloadClass::kShortCompute,
+                             std::move(fn));
+}
+
+App dd(double minutes) {
+  FunctionSpec fn;
+  fn.name = "dd";
+  fn.mem_alloc_gb = 0.5;
+  fn.cold_start_s = 0.6;
+  fn.phases.push_back(disk_phase("copy", minutes * 60.0, /*disk_mbps=*/350.0));
+  return single_function_app("dd", WorkloadClass::kShortCompute, std::move(fn));
+}
+
+App iperf(double minutes) {
+  FunctionSpec fn;
+  fn.name = "iperf";
+  fn.mem_alloc_gb = 0.25;
+  fn.cold_start_s = 0.4;
+  fn.phases.push_back(net_phase("stream", minutes * 60.0, /*net_mbps=*/2000.0));
+  return single_function_app("iperf", WorkloadClass::kShortCompute,
+                             std::move(fn));
+}
+
+App video_processing(double minutes) {
+  FunctionSpec fn;
+  fn.name = "video-processing";
+  fn.mem_alloc_gb = 3.0;
+  fn.cold_start_s = 1.5;
+  // Decode (disk+cpu), transcode (cpu+memory heavy), encode+upload.
+  Phase decode = mixed_phase("decode", minutes * 12.0);
+  decode.demand.disk_mbps = 120.0;
+  decode.demand.frac_disk = 0.3;
+  decode.demand.frac_cpu = 0.6;
+  Phase transcode = memory_phase("transcode", minutes * 36.0, /*cores=*/6.0,
+                                 /*llc_mb=*/18.0, /*membw_gbps=*/10.0);
+  transcode.demand.cores = 6.0;
+  transcode.demand.mem_gb = 2.8;
+  Phase encode = mixed_phase("encode-upload", minutes * 12.0);
+  encode.demand.net_mbps = 200.0;
+  encode.demand.frac_net = 0.25;
+  fn.phases = {std::move(decode), std::move(transcode), std::move(encode)};
+  return single_function_app("video-processing", WorkloadClass::kShortCompute,
+                             std::move(fn));
+}
+
+App float_operation() {
+  FunctionSpec fn;
+  fn.name = "float-operation";
+  fn.mem_alloc_gb = 0.128;
+  fn.cold_start_s = 0.3;
+  fn.phases.push_back(cpu_phase("fma-loop", 2.0, 1.0, 1.0, 3.0));
+  return single_function_app("float-operation", WorkloadClass::kShortCompute,
+                             std::move(fn));
+}
+
+App feature_generation() {
+  App app;
+  app.name = "feature-generation";
+  app.cls = WorkloadClass::kShortCompute;
+
+  FunctionSpec extract;
+  extract.name = "fg-extract";
+  extract.mem_alloc_gb = 1.0;
+  extract.phases.push_back(disk_phase("read-dataset", 40.0, 250.0));
+
+  FunctionSpec transform;
+  transform.name = "fg-transform";
+  transform.mem_alloc_gb = 2.0;
+  transform.phases.push_back(
+      memory_phase("vectorize", 90.0, 2.0, 10.0, 6.0));
+
+  FunctionSpec aggregate;
+  aggregate.name = "fg-aggregate";
+  aggregate.mem_alloc_gb = 1.0;
+  Phase agg = cpu_phase("reduce", 30.0, 2.0, 6.0, 2.0);
+  agg.demand.net_mbps = 150.0;
+  agg.demand.frac_net = 0.2;
+  agg.demand.frac_cpu = 0.75;
+  aggregate.phases.push_back(std::move(agg));
+
+  app.functions = {std::move(extract), std::move(transform),
+                   std::move(aggregate)};
+  app.graph = CallGraph(3);
+  app.graph.set_root(0);
+  app.graph.add_edge(0, 1, EdgeKind::kNested);
+  app.graph.add_edge(1, 2, EdgeKind::kNested);
+  return app;
+}
+
+App iot_collector() {
+  FunctionSpec fn;
+  fn.name = "iot-collector";
+  fn.mem_alloc_gb = 0.128;
+  fn.cold_start_s = 0.3;
+  Phase p = net_phase("collect", 5.0, 50.0);
+  p.demand.disk_mbps = 20.0;
+  p.demand.frac_disk = 0.1;
+  p.demand.frac_net = 0.6;
+  fn.phases.push_back(std::move(p));
+  return single_function_app("iot-collector", WorkloadClass::kBackground,
+                             std::move(fn));
+}
+
+App monitoring_probe() {
+  FunctionSpec fn;
+  fn.name = "monitoring-probe";
+  fn.mem_alloc_gb = 0.128;
+  fn.cold_start_s = 0.2;
+  fn.phases.push_back(cpu_phase("scrape-eval", 1.0, 0.5, 0.5, 1.5));
+  return single_function_app("monitoring-probe", WorkloadClass::kBackground,
+                             std::move(fn));
+}
+
+}  // namespace gsight::wl

@@ -1,0 +1,26 @@
+// FunctionBench-style microbenchmarks and applications [25], modelled as
+// phased synthetic functions. The four used in §2's characterization:
+//   matmul           — CPU-intensive (high IPC pressure, large LLC set)
+//   dd               — disk-I/O-intensive
+//   iperf            — network-intensive
+//   video_processing — high CPU+memory, medium disk/network pressure
+// plus float_operation (seconds-scale SC) and the multi-function
+// feature_generation pipeline used as training workload in Observation 6.
+#pragma once
+
+#include "workloads/app.hpp"
+
+namespace gsight::wl {
+
+App matmul(double minutes = 3.0);
+App dd(double minutes = 3.0);
+App iperf(double minutes = 3.0);
+App video_processing(double minutes = 4.0);
+App float_operation();
+/// Three-function SC pipeline: extract -> transform -> aggregate.
+App feature_generation();
+/// BG examples from Table 1: periodic IoT collection & monitoring probes.
+App iot_collector();
+App monitoring_probe();
+
+}  // namespace gsight::wl

@@ -1,0 +1,88 @@
+#include "workloads/phase.hpp"
+
+namespace gsight::wl {
+
+Phase cpu_phase(std::string name, double duration_s, double cores,
+                double llc_mb, double ipc) {
+  Phase p;
+  p.name = std::move(name);
+  p.solo_duration_s = duration_s;
+  p.demand.cores = cores;
+  p.demand.llc_mb = llc_mb;
+  p.demand.membw_gbps = 1.0;
+  p.demand.frac_cpu = 0.95;
+  p.uarch.base_ipc = ipc;
+  p.uarch.l3_mpki = 0.8;
+  p.uarch.l2_mpki = 4.0;
+  return p;
+}
+
+Phase memory_phase(std::string name, double duration_s, double cores,
+                   double llc_mb, double membw_gbps) {
+  Phase p;
+  p.name = std::move(name);
+  p.solo_duration_s = duration_s;
+  p.demand.cores = cores;
+  p.demand.llc_mb = llc_mb;
+  p.demand.membw_gbps = membw_gbps;
+  p.demand.frac_cpu = 0.9;
+  p.uarch.base_ipc = 0.9;
+  p.uarch.l1d_mpki = 35.0;
+  p.uarch.l2_mpki = 18.0;
+  p.uarch.l3_mpki = 8.0;
+  p.uarch.dtlb_mpki = 3.0;
+  p.uarch.mem_lp = 8.0;
+  return p;
+}
+
+Phase disk_phase(std::string name, double duration_s, double disk_mbps) {
+  Phase p;
+  p.name = std::move(name);
+  p.solo_duration_s = duration_s;
+  p.demand.cores = 0.3;
+  p.demand.llc_mb = 0.5;
+  p.demand.membw_gbps = 0.4;
+  p.demand.disk_mbps = disk_mbps;
+  p.demand.frac_cpu = 0.15;
+  p.demand.frac_disk = 0.8;
+  p.uarch.base_ipc = 0.7;
+  p.uarch.l3_mpki = 1.0;
+  return p;
+}
+
+Phase net_phase(std::string name, double duration_s, double net_mbps) {
+  Phase p;
+  p.name = std::move(name);
+  p.solo_duration_s = duration_s;
+  p.demand.cores = 0.3;
+  p.demand.llc_mb = 0.5;
+  p.demand.membw_gbps = 0.5;
+  p.demand.net_mbps = net_mbps;
+  p.demand.frac_cpu = 0.15;
+  p.demand.frac_net = 0.8;
+  p.uarch.base_ipc = 0.8;
+  p.uarch.l3_mpki = 0.6;
+  return p;
+}
+
+Phase mixed_phase(std::string name, double duration_s) {
+  Phase p;
+  p.name = std::move(name);
+  p.solo_duration_s = duration_s;
+  p.demand.cores = 1.5;
+  p.demand.llc_mb = 8.0;
+  p.demand.membw_gbps = 4.0;
+  p.demand.disk_mbps = 60.0;
+  p.demand.net_mbps = 100.0;
+  p.demand.frac_cpu = 0.6;
+  p.demand.frac_disk = 0.15;
+  p.demand.frac_net = 0.15;
+  p.uarch.base_ipc = 1.2;
+  p.uarch.l1d_mpki = 28.0;
+  p.uarch.l2_mpki = 12.0;
+  p.uarch.l3_mpki = 4.0;
+  p.uarch.dtlb_mpki = 2.0;
+  return p;
+}
+
+}  // namespace gsight::wl

@@ -1,0 +1,62 @@
+// Phase-level workload model. Every function execution is a sequence of
+// phases; each phase carries a resource-demand vector and a baseline
+// microarchitecture signature. Phases are what make partial interference
+// *temporally* varied (Observation 3): overlapping a corunner with an LR
+// job's shuffle phase hurts far more than overlapping its tail.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gsight::wl {
+
+/// Resources a phase occupies / consumes while running, plus the time
+/// decomposition of its solo execution. Fractions frac_* describe where the
+/// solo wall-clock time goes; the remainder (1 - sum) is contention-immune
+/// time (sleeps, remote waits).
+struct ResourceDemand {
+  double cores = 1.0;        ///< CPU threads occupied while running
+  double llc_mb = 1.0;       ///< last-level-cache working set
+  double membw_gbps = 0.5;   ///< sustained memory bandwidth
+  double disk_mbps = 0.0;    ///< disk throughput
+  double net_mbps = 0.0;     ///< NIC throughput
+  double mem_gb = 0.128;     ///< resident memory footprint
+
+  double frac_cpu = 1.0;     ///< share of solo time that is compute
+  double frac_disk = 0.0;    ///< share of solo time blocked on disk
+  double frac_net = 0.0;     ///< share of solo time blocked on network
+};
+
+/// Baseline microarchitecture signature of a phase under solo execution.
+/// MPKI = misses per thousand instructions. These seed the synthetic
+/// counters the profiler reports; contention shifts them (see
+/// sim::InterferenceModel).
+struct MicroArchProfile {
+  double base_ipc = 1.5;
+  double branch_mpki = 4.0;
+  double l1i_mpki = 6.0;
+  double l1d_mpki = 20.0;
+  double l2_mpki = 8.0;
+  double l3_mpki = 2.0;
+  double dtlb_mpki = 1.0;
+  double itlb_mpki = 0.5;
+  double mem_lp = 4.0;  ///< memory-level parallelism (excluded metric, Table 3)
+};
+
+struct Phase {
+  std::string name;
+  double solo_duration_s = 0.01;  ///< wall-clock duration under solo run
+  ResourceDemand demand;
+  MicroArchProfile uarch;
+};
+
+/// Convenience builders for the common phase archetypes used by the suite.
+Phase cpu_phase(std::string name, double duration_s, double cores = 1.0,
+                double llc_mb = 4.0, double ipc = 2.2);
+Phase memory_phase(std::string name, double duration_s, double cores = 1.0,
+                   double llc_mb = 12.0, double membw_gbps = 6.0);
+Phase disk_phase(std::string name, double duration_s, double disk_mbps = 200.0);
+Phase net_phase(std::string name, double duration_s, double net_mbps = 800.0);
+Phase mixed_phase(std::string name, double duration_s);
+
+}  // namespace gsight::wl

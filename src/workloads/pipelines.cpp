@@ -1,0 +1,152 @@
+#include "workloads/pipelines.hpp"
+
+namespace gsight::wl {
+
+App web_search() {
+  App app;
+  app.name = "web-search";
+  app.cls = WorkloadClass::kLatencySensitive;
+  app.default_qps = 50.0;
+  app.functions.resize(7);
+
+  auto ls = [](std::string name, Phase phase, double mem_gb) {
+    FunctionSpec fn;
+    fn.name = std::move(name);
+    fn.mem_alloc_gb = mem_gb;
+    fn.cold_start_s = 1.5;
+    fn.jitter_sigma = 0.12;
+    fn.phases.push_back(std::move(phase));
+    return fn;
+  };
+
+  app.functions[0] = ls("search-frontend", cpu_phase("parse", 0.002, 0.8, 1.0, 1.8), 0.25);
+  app.functions[1] = ls("query-rewrite", cpu_phase("rewrite", 0.003, 1.0, 2.0, 1.6), 0.25);
+  for (int shard = 0; shard < 3; ++shard) {
+    Phase lookup = memory_phase("posting-list", 0.008, 1.2, 12.0, 4.5);
+    lookup.uarch.dtlb_mpki = 4.0;
+    app.functions[2 + shard] =
+        ls("index-shard-" + std::to_string(shard), lookup, 1.0);
+  }
+  {
+    Phase rank = cpu_phase("rank", 0.005, 2.0, 6.0, 2.4);
+    rank.demand.membw_gbps = 3.0;
+    app.functions[5] = ls("ranker", rank, 0.5);
+  }
+  app.functions[6] =
+      ls("snippets", mixed_phase("snippets", 0.004), 0.5);
+
+  app.graph = CallGraph(7);
+  app.graph.set_root(0);
+  app.graph.add_edge(0, 1, EdgeKind::kNested);
+  // Scatter: the rewrite fans out to all three shards and waits for all.
+  app.graph.add_edge(1, 2, EdgeKind::kNested);
+  app.graph.add_edge(1, 3, EdgeKind::kNested);
+  app.graph.add_edge(1, 4, EdgeKind::kNested);
+  // Gather: ranking runs after the shards return (modelled as a nested
+  // call from the first shard; the rewrite still waits on all three).
+  app.graph.add_edge(2, 5, EdgeKind::kNested);
+  app.graph.add_edge(5, 6, EdgeKind::kNested);
+  app.validate();
+  return app;
+}
+
+App inference_pipeline() {
+  App app;
+  app.name = "inference-pipeline";
+  app.cls = WorkloadClass::kLatencySensitive;
+  app.default_qps = 40.0;
+  app.functions.resize(3);
+  {
+    Phase pre = mixed_phase("decode-resize", 0.006);
+    pre.demand.net_mbps = 150.0;
+    pre.demand.frac_net = 0.25;
+    pre.demand.frac_cpu = 0.6;
+    FunctionSpec fn;
+    fn.name = "preprocess";
+    fn.mem_alloc_gb = 0.5;
+    fn.cold_start_s = 2.0;
+    fn.jitter_sigma = 0.15;
+    fn.phases.push_back(std::move(pre));
+    app.functions[0] = std::move(fn);
+  }
+  {
+    Phase infer = cpu_phase("dense-infer", 0.015, 3.0, 8.0, 2.9);
+    infer.demand.membw_gbps = 5.0;
+    FunctionSpec fn;
+    fn.name = "infer";
+    fn.mem_alloc_gb = 2.0;
+    fn.cold_start_s = 5.0;  // model load
+    fn.jitter_sigma = 0.05;
+    fn.phases.push_back(std::move(infer));
+    app.functions[1] = std::move(fn);
+  }
+  {
+    FunctionSpec fn;
+    fn.name = "postprocess";
+    fn.mem_alloc_gb = 0.128;
+    fn.cold_start_s = 0.8;
+    fn.jitter_sigma = 0.1;
+    fn.phases.push_back(net_phase("notify", 0.002, 20.0));
+    app.functions[2] = std::move(fn);
+  }
+  app.graph = CallGraph(3);
+  app.graph.set_root(0);
+  app.graph.add_edge(0, 1, EdgeKind::kNested);
+  app.graph.add_edge(1, 2, EdgeKind::kAsync);
+  app.validate();
+  return app;
+}
+
+App wordcount(std::size_t mappers, double minutes) {
+  App app;
+  app.name = "wordcount";
+  app.cls = WorkloadClass::kShortCompute;
+  app.functions.resize(mappers + 2);
+
+  {
+    FunctionSpec split;
+    split.name = "wc-split";
+    split.mem_alloc_gb = 1.0;
+    split.cold_start_s = 1.0;
+    split.phases.push_back(
+        disk_phase("split-input", minutes * 10.0, 300.0));
+    app.functions[0] = std::move(split);
+  }
+  for (std::size_t m = 0; m < mappers; ++m) {
+    FunctionSpec map;
+    map.name = "wc-map-" + std::to_string(m);
+    map.mem_alloc_gb = 1.5;
+    map.cold_start_s = 1.0;
+    Phase count = memory_phase("count", minutes * 40.0, 2.0, 10.0, 5.0);
+    count.demand.disk_mbps = 60.0;
+    count.demand.frac_disk = 0.1;
+    count.demand.frac_cpu = 0.8;
+    map.phases.push_back(std::move(count));
+    app.functions[1 + m] = std::move(map);
+  }
+  {
+    FunctionSpec reduce;
+    reduce.name = "wc-reduce";
+    reduce.mem_alloc_gb = 1.0;
+    reduce.cold_start_s = 1.0;
+    Phase agg = cpu_phase("aggregate", minutes * 12.0, 1.5, 4.0, 1.8);
+    agg.demand.net_mbps = 400.0;
+    agg.demand.frac_net = 0.3;
+    agg.demand.frac_cpu = 0.65;
+    reduce.phases.push_back(std::move(agg));
+    app.functions[mappers + 1] = std::move(reduce);
+  }
+
+  app.graph = CallGraph(mappers + 2);
+  app.graph.set_root(0);
+  // Scatter to all mappers (nested: the job waits for all of them), then
+  // the first mapper chains to the reducer.
+  for (std::size_t m = 0; m < mappers; ++m) {
+    app.graph.add_edge(0, 1 + m, EdgeKind::kNested);
+  }
+  app.graph.add_edge(1, mappers + 1, EdgeKind::kNested);
+  app.validate();
+  return app;
+}
+
+}  // namespace gsight::wl

@@ -1,0 +1,25 @@
+// Additional serverless applications from the paper's Table 1 survey:
+// web search (LS, [9]), an ML inference pipeline (LS, preprocess ->
+// infer -> postprocess), and a MapReduce-style wordcount (SC, [22][26]) —
+// the latter exercises *parallel nested branches* (a scatter-gather DAG),
+// a call-graph shape the social network and e-commerce apps do not cover.
+#pragma once
+
+#include "workloads/app.hpp"
+
+namespace gsight::wl {
+
+/// Web search: frontend -> query-rewrite -> [3 parallel index shards,
+/// nested] -> rank -> snippets. End-to-end latency gated by the slowest
+/// shard (scatter-gather).
+App web_search();
+
+/// ML inference pipeline: preprocess (decode/resize) -> infer (dense
+/// CPU) -> postprocess (format/notify, async).
+App inference_pipeline();
+
+/// Wordcount: split -> [k parallel mappers, nested] -> reduce. JCT is the
+/// makespan of the scatter-gather job.
+App wordcount(std::size_t mappers = 4, double minutes = 1.0);
+
+}  // namespace gsight::wl

@@ -1,0 +1,160 @@
+#include "workloads/serverful.hpp"
+
+#include "workloads/sparkapps.hpp"
+
+namespace gsight::wl {
+
+App monolithize(const App& app) {
+  App mono;
+  mono.name = app.name + "-monolith";
+  mono.cls = app.cls;
+  mono.default_qps = app.default_qps;
+
+  FunctionSpec fused;
+  fused.name = mono.name;
+  double total_mem = 0.0;
+  double worst_cold = 0.0;
+  // One blended phase per request: the monolith executes the whole request
+  // inside one container, so the profiler sees only aggregate behaviour.
+  Phase blended;
+  blended.name = "monolith";
+  blended.solo_duration_s = 0.0;
+  blended.demand = ResourceDemand{};
+  blended.demand.cores = 0.0;
+  blended.demand.llc_mb = 0.0;
+  blended.demand.membw_gbps = 0.0;
+  blended.demand.frac_cpu = 0.0;
+  MicroArchProfile ua{};
+  ua.base_ipc = ua.branch_mpki = ua.l1i_mpki = ua.l1d_mpki = 0.0;
+  ua.l2_mpki = ua.l3_mpki = ua.dtlb_mpki = ua.itlb_mpki = ua.mem_lp = 0.0;
+
+  double total_time = 0.0;
+  for (const auto& fn : app.functions) total_time += fn.solo_duration_s();
+  for (const auto& fn : app.functions) {
+    const double w = total_time > 0.0 ? fn.solo_duration_s() / total_time : 0.0;
+    const auto d = fn.average_demand();
+    blended.demand.cores += w * d.cores;
+    blended.demand.llc_mb += w * d.llc_mb;
+    blended.demand.membw_gbps += w * d.membw_gbps;
+    blended.demand.disk_mbps += w * d.disk_mbps;
+    blended.demand.net_mbps += w * d.net_mbps;
+    blended.demand.frac_cpu += w * d.frac_cpu;
+    blended.demand.frac_disk += w * d.frac_disk;
+    blended.demand.frac_net += w * d.frac_net;
+    const auto u = fn.average_uarch();
+    ua.base_ipc += w * u.base_ipc;
+    ua.branch_mpki += w * u.branch_mpki;
+    ua.l1i_mpki += w * u.l1i_mpki;
+    ua.l1d_mpki += w * u.l1d_mpki;
+    ua.l2_mpki += w * u.l2_mpki;
+    ua.l3_mpki += w * u.l3_mpki;
+    ua.dtlb_mpki += w * u.dtlb_mpki;
+    ua.itlb_mpki += w * u.itlb_mpki;
+    ua.mem_lp += w * u.mem_lp;
+    total_mem += fn.mem_alloc_gb;
+    worst_cold = std::max(worst_cold, fn.cold_start_s);
+  }
+  blended.solo_duration_s = app.critical_path_solo_s();
+  blended.demand.mem_gb = total_mem;
+  blended.uarch = ua;
+  fused.phases.push_back(std::move(blended));
+  fused.mem_alloc_gb = total_mem;
+  fused.cold_start_s = worst_cold;
+
+  mono.functions.push_back(std::move(fused));
+  mono.graph = CallGraph(1);
+  mono.graph.set_root(0);
+  return mono;
+}
+
+App redis_server() {
+  App app;
+  app.name = "redis";
+  app.cls = WorkloadClass::kLatencySensitive;
+  app.default_qps = 200.0;
+  FunctionSpec fn;
+  fn.name = "redis";
+  fn.mem_alloc_gb = 8.0;
+  fn.cold_start_s = 5.0;
+  fn.jitter_sigma = 0.1;
+  Phase op = memory_phase("kv-op", 0.0008, 1.0, 6.0, 2.0);
+  op.demand.net_mbps = 50.0;
+  op.demand.frac_net = 0.2;
+  op.demand.frac_cpu = 0.7;
+  fn.phases.push_back(std::move(op));
+  app.functions.push_back(std::move(fn));
+  app.graph = CallGraph(1);
+  app.graph.set_root(0);
+  return app;
+}
+
+App solr_search() {
+  App app;
+  app.name = "solr";
+  app.cls = WorkloadClass::kLatencySensitive;
+  app.default_qps = 50.0;
+  FunctionSpec fn;
+  fn.name = "solr";
+  fn.mem_alloc_gb = 12.0;
+  fn.cold_start_s = 20.0;
+  fn.jitter_sigma = 0.15;
+  Phase q = memory_phase("query", 0.02, 2.0, 16.0, 5.0);
+  q.demand.disk_mbps = 40.0;
+  q.demand.frac_disk = 0.15;
+  q.demand.frac_cpu = 0.75;
+  q.uarch.itlb_mpki = 2.0;
+  fn.phases.push_back(std::move(q));
+  app.functions.push_back(std::move(fn));
+  app.graph = CallGraph(1);
+  app.graph.set_root(0);
+  return app;
+}
+
+App mongodb_server() {
+  App app;
+  app.name = "mongodb";
+  app.cls = WorkloadClass::kLatencySensitive;
+  app.default_qps = 80.0;
+  FunctionSpec fn;
+  fn.name = "mongodb";
+  fn.mem_alloc_gb = 16.0;
+  fn.cold_start_s = 10.0;
+  fn.jitter_sigma = 0.12;
+  Phase q = disk_phase("doc-op", 0.005, 90.0);
+  q.demand.frac_cpu = 0.35;
+  q.demand.frac_disk = 0.5;
+  q.demand.llc_mb = 6.0;
+  q.demand.membw_gbps = 2.0;
+  fn.phases.push_back(std::move(q));
+  app.functions.push_back(std::move(fn));
+  app.graph = CallGraph(1);
+  app.graph.set_root(0);
+  return app;
+}
+
+App bigdata_sort() {
+  App app;
+  app.name = "bigdatabench-sort";
+  app.cls = WorkloadClass::kShortCompute;
+  FunctionSpec fn;
+  fn.name = "bigdatabench-sort";
+  fn.mem_alloc_gb = 24.0;
+  fn.cold_start_s = 4.0;
+  Phase read = disk_phase("read", 40.0, 450.0);
+  read.demand.mem_gb = 20.0;
+  Phase sort = memory_phase("sort", 160.0, 4.0, 22.0, 14.0);
+  sort.demand.mem_gb = 24.0;
+  Phase write = disk_phase("write", 50.0, 380.0);
+  fn.phases = {std::move(read), std::move(sort), std::move(write)};
+  app.functions.push_back(std::move(fn));
+  app.graph = CallGraph(1);
+  app.graph.set_root(0);
+  return app;
+}
+
+std::vector<App> serverful_suite() {
+  return {monolithize(logistic_regression()), bigdata_sort(), redis_server(),
+          solr_search(), mongodb_server()};
+}
+
+}  // namespace gsight::wl

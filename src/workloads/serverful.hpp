@@ -1,0 +1,26 @@
+// Serverful (monolithic) counterparts used for the Figure 10(a) convergence
+// comparison: SparkBench, BigDataBench, Redis, Solr and MongoDB as single
+// coarse workloads. `monolithize` is the generic transform that fuses any
+// multi-function app into one workload-level container — the exact
+// degradation Observation 6 studies (function-level detail is lost; all
+// phases are blended into a single averaged profile).
+#pragma once
+
+#include "workloads/app.hpp"
+
+namespace gsight::wl {
+
+/// Fuse all functions of `app` into a single function whose phase list is
+/// the duration-weighted blend of the original functions; call structure is
+/// erased. The result models workload-level profiling granularity.
+App monolithize(const App& app);
+
+App redis_server();
+App solr_search();
+App mongodb_server();
+App bigdata_sort();
+
+/// The five serverful benchmarks of §6.2's convergence experiment.
+std::vector<App> serverful_suite();
+
+}  // namespace gsight::wl

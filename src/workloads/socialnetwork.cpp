@@ -1,0 +1,91 @@
+#include "workloads/socialnetwork.hpp"
+
+namespace gsight::wl {
+
+namespace {
+
+FunctionSpec ls_function(std::string name, Phase phase, double mem_gb,
+                         double cold_start_s = 2.0) {
+  FunctionSpec fn;
+  fn.name = std::move(name);
+  fn.mem_alloc_gb = mem_gb;
+  fn.cold_start_s = cold_start_s;
+  fn.jitter_sigma = 0.12;
+  fn.phases.push_back(std::move(phase));
+  return fn;
+}
+
+}  // namespace
+
+App social_network() {
+  App app;
+  app.name = "social-network";
+  app.cls = WorkloadClass::kLatencySensitive;
+  app.default_qps = 60.0;
+  app.functions.resize(9);
+
+  // Service times are millisecond-scale per Observation 3 / Azure data.
+  app.functions[kComposePost] =
+      ls_function("compose-post", cpu_phase("compose", 0.004, 1.0, 2.0, 1.8),
+                  0.25);
+  {
+    Phase media = mixed_phase("media", 0.010);
+    media.demand.disk_mbps = 150.0;
+    media.demand.frac_disk = 0.35;
+    media.demand.frac_cpu = 0.5;
+    media.demand.net_mbps = 80.0;
+    app.functions[kUploadMedia] = ls_function("upload-media", media, 0.5);
+  }
+  app.functions[kUploadText] =
+      ls_function("upload-text", cpu_phase("text", 0.003, 0.8, 1.0, 1.6), 0.128);
+  app.functions[kUploadUrls] =
+      ls_function("upload-urls", net_phase("shorten", 0.003, 30.0), 0.128);
+  app.functions[kUploadUniqueId] =
+      ls_function("upload-unique-id", cpu_phase("uuid", 0.001, 0.3, 0.3, 2.0),
+                  0.128);
+  {
+    Phase compose = memory_phase("assemble", 0.008, 1.5, 6.0, 3.0);
+    compose.demand.net_mbps = 60.0;
+    compose.demand.frac_net = 0.15;
+    compose.demand.frac_cpu = 0.75;
+    app.functions[kComposeAndUpload] =
+        ls_function("compose-and-upload", compose, 0.5);
+  }
+  {
+    Phase storage = disk_phase("persist", 0.006, 120.0);
+    storage.demand.frac_cpu = 0.25;
+    storage.demand.frac_disk = 0.65;
+    app.functions[kPostStorage] = ls_function("post-storage", storage, 0.5);
+  }
+  {
+    Phase timeline = memory_phase("fanout", 0.007, 1.2, 8.0, 4.0);
+    timeline.demand.net_mbps = 100.0;
+    timeline.demand.frac_net = 0.2;
+    timeline.demand.frac_cpu = 0.7;
+    app.functions[kUploadHomeTimeline] =
+        ls_function("upload-home-timeline", timeline, 0.5);
+  }
+  {
+    // Graph lookup: cache/TLB hungry, the most interference-sensitive
+    // function (the paper sees 3x worse p99 when matmul lands on it).
+    Phase follow = memory_phase("graph-walk", 0.009, 1.0, 14.0, 5.0);
+    follow.uarch.dtlb_mpki = 5.0;
+    follow.uarch.l3_mpki = 10.0;
+    app.functions[kGetFollowers] = ls_function("get-followers", follow, 0.75);
+  }
+
+  app.graph = CallGraph(9);
+  app.graph.set_root(kComposePost);
+  app.graph.add_edge(kComposePost, kUploadMedia, EdgeKind::kNested);
+  app.graph.add_edge(kComposePost, kUploadText, EdgeKind::kAsync);
+  app.graph.add_edge(kComposePost, kUploadUrls, EdgeKind::kAsync);
+  app.graph.add_edge(kComposePost, kUploadUniqueId, EdgeKind::kAsync);
+  app.graph.add_edge(kUploadMedia, kComposeAndUpload, EdgeKind::kNested);
+  app.graph.add_edge(kComposeAndUpload, kPostStorage, EdgeKind::kAsync);
+  app.graph.add_edge(kComposeAndUpload, kUploadHomeTimeline, EdgeKind::kNested);
+  app.graph.add_edge(kUploadHomeTimeline, kGetFollowers, EdgeKind::kNested);
+  app.validate();
+  return app;
+}
+
+}  // namespace gsight::wl

@@ -1,0 +1,33 @@
+// The DeathStarBench social-network message-posting workflow [16], ported
+// to functions exactly as Figure 2 of the paper:
+//   (1) compose-post        -> (2) upload-media [nested, critical]
+//                              (3) upload-text        [async]
+//                              (4) upload-urls        [async]
+//                              (5) upload-unique-id   [async]
+//   (2) -> (6) compose-and-upload [nested]
+//   (6) -> (7) post-storage       [async]
+//          (8) upload-home-timeline [nested]
+//   (8) -> (9) get-followers       [nested]
+// Critical path: 1 -> 2 -> 6 -> 8 -> 9 (Observation 2).
+#pragma once
+
+#include "workloads/app.hpp"
+
+namespace gsight::wl {
+
+/// Indices of the nine functions (0-based; paper numbering minus one).
+enum SocialNetworkFn : std::size_t {
+  kComposePost = 0,
+  kUploadMedia = 1,
+  kUploadText = 2,
+  kUploadUrls = 3,
+  kUploadUniqueId = 4,
+  kComposeAndUpload = 5,
+  kPostStorage = 6,
+  kUploadHomeTimeline = 7,
+  kGetFollowers = 8,
+};
+
+App social_network();
+
+}  // namespace gsight::wl

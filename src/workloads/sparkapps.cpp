@@ -1,0 +1,107 @@
+#include "workloads/sparkapps.hpp"
+
+namespace gsight::wl {
+
+namespace {
+
+App phased_job(std::string name, std::vector<Phase> phases, double mem_gb) {
+  App app;
+  app.name = name;
+  app.cls = WorkloadClass::kShortCompute;
+  FunctionSpec fn;
+  fn.name = std::move(name);
+  fn.mem_alloc_gb = mem_gb;
+  fn.cold_start_s = 3.0;
+  fn.phases = std::move(phases);
+  app.functions.push_back(std::move(fn));
+  app.graph = CallGraph(1);
+  app.graph.set_root(0);
+  return app;
+}
+
+std::vector<Phase> lr_phases(double scale) {
+  Phase load = disk_phase("load", 60.0 * scale, 250.0);
+  load.demand.mem_gb = 12.0;
+
+  Phase map_early = cpu_phase("map-early", 120.0 * scale, 3.0, 8.0, 2.0);
+  map_early.demand.membw_gbps = 3.0;
+  map_early.demand.mem_gb = 14.0;
+
+  // Working set outgrows the cache: bandwidth-bound, cache-sensitive and
+  // with little memory-level parallelism to hide added latency — this is
+  // the phase that makes mid-run overlap hurt most (Figure 3(b)).
+  Phase map_late = memory_phase("map-late", 150.0 * scale, 3.5, 20.0, 12.0);
+  map_late.demand.mem_gb = 15.0;
+  map_late.uarch.mem_lp = 3.0;
+  map_late.uarch.l3_mpki = 12.0;
+
+  Phase shuffle = memory_phase("shuffle", 60.0 * scale, 2.0, 10.0, 8.0);
+  shuffle.demand.net_mbps = 1500.0;
+  shuffle.demand.frac_net = 0.4;
+  shuffle.demand.frac_cpu = 0.5;
+  shuffle.demand.mem_gb = 15.0;
+
+  Phase reduce = cpu_phase("reduce", 40.0 * scale, 2.0, 6.0, 1.8);
+  reduce.demand.mem_gb = 8.0;
+  return {std::move(load), std::move(map_early), std::move(map_late),
+          std::move(shuffle), std::move(reduce)};
+}
+
+std::vector<Phase> kmeans_phases(double scale) {
+  Phase load = disk_phase("load", 50.0 * scale, 250.0);
+  load.demand.mem_gb = 12.0;
+
+  Phase assign = memory_phase("assign", 180.0 * scale, 3.5, 18.0, 11.0);
+  assign.demand.mem_gb = 15.0;
+  assign.uarch.mem_lp = 3.0;
+  assign.uarch.l3_mpki = 11.0;
+
+  Phase update = memory_phase("update-shuffle", 70.0 * scale, 2.0, 10.0, 7.0);
+  update.demand.net_mbps = 1200.0;
+  update.demand.frac_net = 0.35;
+  update.demand.frac_cpu = 0.55;
+  update.demand.mem_gb = 15.0;
+
+  Phase converge = cpu_phase("converge", 50.0 * scale, 2.0, 6.0, 2.0);
+  converge.demand.mem_gb = 8.0;
+  return {std::move(load), std::move(assign), std::move(update),
+          std::move(converge)};
+}
+
+}  // namespace
+
+App logistic_regression() {
+  return phased_job("logistic-regression", lr_phases(1.0), 15.0);
+}
+
+App kmeans() { return phased_job("kmeans", kmeans_phases(1.0), 15.0); }
+
+App logistic_regression_small() {
+  return phased_job("logistic-regression-small", lr_phases(0.02), 2.0);
+}
+
+App kmeans_small() {
+  return phased_job("kmeans-small", kmeans_phases(0.02), 2.0);
+}
+
+App ml_serving() {
+  App app;
+  app.name = "ml-serving";
+  app.cls = WorkloadClass::kLatencySensitive;
+  app.default_qps = 40.0;
+  FunctionSpec fn;
+  fn.name = "ml-serving";
+  fn.mem_alloc_gb = 1.5;
+  fn.cold_start_s = 4.0;
+  fn.jitter_sigma = 0.08;
+  // Dense inference: very high IPC, modest cache, minimal IO.
+  Phase infer = cpu_phase("infer", 0.012, 2.0, 6.0, 2.8);
+  infer.demand.membw_gbps = 4.0;
+  fn.phases.push_back(std::move(infer));
+  app.functions.push_back(std::move(fn));
+  app.graph = CallGraph(1);
+  app.graph.set_root(0);
+  return app;
+}
+
+}  // namespace gsight::wl

@@ -1,0 +1,28 @@
+// SparkBench-style SC workloads [30] with explicit execution phases,
+// reproducing the temporal-variation study of Observation 3 / Figure 3(b):
+// LogisticRegression (4M examples, 15 GB) and KMeans (2x4M points, 15 GB).
+// The later map iterations and the shuffle phase are the interference-
+// sensitive windows, so JCT depends strongly on the corunner's start delay.
+#pragma once
+
+#include "workloads/app.hpp"
+
+namespace gsight::wl {
+
+/// LR: load -> early map iterations (cache-resident, mildly sensitive) ->
+/// late map iterations (bandwidth-bound, very sensitive) -> shuffle
+/// (network+memory, very sensitive) -> reduce.
+App logistic_regression();
+
+/// KMeans: load -> assign (bandwidth-bound) -> update/shuffle -> converge.
+App kmeans();
+
+/// Scaled-down variants (seconds instead of minutes) for unit tests.
+App logistic_regression_small();
+App kmeans_small();
+
+/// ML model serving: CPU-intensive LS inference endpoint (used as the
+/// "CPU intensive" domain of the Figure 13 recovery study).
+App ml_serving();
+
+}  // namespace gsight::wl

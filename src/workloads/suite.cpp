@@ -1,0 +1,43 @@
+#include "workloads/suite.hpp"
+
+#include <stdexcept>
+
+#include "workloads/ecommerce.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+#include "workloads/pipelines.hpp"
+#include "workloads/sparkapps.hpp"
+
+namespace gsight::wl {
+
+std::vector<App> characterization_corunners() {
+  return {matmul(), dd(), iperf(), video_processing()};
+}
+
+std::vector<App> ls_suite() {
+  return {social_network(), e_commerce(), ml_serving(), web_search(),
+          inference_pipeline()};
+}
+
+std::vector<App> sc_suite() {
+  return {matmul(), dd(), iperf(), video_processing(), float_operation(),
+          feature_generation(), logistic_regression(), kmeans(), wordcount()};
+}
+
+std::vector<App> bg_suite() { return {iot_collector(), monitoring_probe()}; }
+
+std::vector<App> full_suite() {
+  std::vector<App> all = ls_suite();
+  for (auto& a : sc_suite()) all.push_back(std::move(a));
+  for (auto& a : bg_suite()) all.push_back(std::move(a));
+  return all;
+}
+
+App by_name(const std::string& name) {
+  for (auto& a : full_suite()) {
+    if (a.name == name) return a;
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+}  // namespace gsight::wl

@@ -1,0 +1,24 @@
+// Registry of every workload in the repository, grouped the way the
+// paper's experiments consume them.
+#pragma once
+
+#include <vector>
+
+#include "workloads/app.hpp"
+
+namespace gsight::wl {
+
+/// The four §2.1 characterization corunners (matmul, dd, iperf, video).
+std::vector<App> characterization_corunners();
+/// All serverless LS apps (social network, e-commerce, ml-serving, ...).
+std::vector<App> ls_suite();
+/// All serverless SC apps.
+std::vector<App> sc_suite();
+/// All serverless BG apps.
+std::vector<App> bg_suite();
+/// Everything serverless.
+std::vector<App> full_suite();
+/// Look up an app by name across the full suite; throws std::out_of_range.
+App by_name(const std::string& name);
+
+}  // namespace gsight::wl

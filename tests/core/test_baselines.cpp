@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "baselines/esp.hpp"
+#include "baselines/pythia.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::baselines {
+namespace {
+
+prof::AppProfile make_profile(const std::string& name, std::size_t fns,
+                              double ipc, double l3) {
+  prof::AppProfile p;
+  p.app_name = name;
+  for (std::size_t i = 0; i < fns; ++i) {
+    prof::FunctionProfile fp;
+    fp.app_name = name;
+    fp.metrics[static_cast<std::size_t>(prof::Metric::kIpc)] = ipc;
+    fp.metrics[static_cast<std::size_t>(prof::Metric::kL2Mpki)] = l3 * 2.0;
+    fp.metrics[static_cast<std::size_t>(prof::Metric::kL3Mpki)] = l3;
+    fp.metrics[static_cast<std::size_t>(prof::Metric::kMemIo)] = l3 * 0.8;
+    fp.metrics[static_cast<std::size_t>(prof::Metric::kCtxSwitches)] = 100.0;
+    p.functions.push_back(fp);
+  }
+  return p;
+}
+
+core::Scenario two_workload_scenario(const prof::AppProfile* a,
+                                     const prof::AppProfile* b) {
+  core::Scenario s;
+  s.servers = 2;
+  s.workloads.push_back(
+      {a, std::vector<std::size_t>(a->functions.size(), 0), 0.0, 0.0});
+  s.workloads.push_back(
+      {b, std::vector<std::size_t>(b->functions.size(), 0), 0.0, 0.0});
+  return s;
+}
+
+TEST(Esp, FeatureVectorShape) {
+  const auto a = make_profile("a", 3, 1.5, 2.0);
+  const auto b = make_profile("b", 1, 0.8, 8.0);
+  const auto x = EspPredictor::featurize(two_workload_scenario(&a, &b));
+  // 8 base + upper triangle of 8x8 (36) = 44.
+  EXPECT_EQ(x.size(), 44u);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);  // target IPC (workload-level mean)
+  EXPECT_DOUBLE_EQ(x[4], 0.8);  // corunner IPC sum
+}
+
+TEST(Esp, PredictsZeroUntrained) {
+  const auto a = make_profile("a", 2, 1.5, 2.0);
+  const auto b = make_profile("b", 1, 0.8, 8.0);
+  EspPredictor esp;
+  EXPECT_DOUBLE_EQ(esp.predict(two_workload_scenario(&a, &b)), 0.0);
+}
+
+TEST(Esp, LearnsSimpleContention) {
+  // Ground truth: target QoS = own ipc - 0.1 * corunner L3 pressure.
+  stats::Rng rng(3);
+  EspPredictor esp(EspConfig{.l2 = 1e-4, .update_batch = 1000});
+  std::vector<prof::AppProfile> profiles;
+  profiles.reserve(200);
+  for (int i = 0; i < 100; ++i) {
+    profiles.push_back(
+        make_profile("t", 2, rng.uniform(0.8, 2.5), rng.uniform(0.5, 4.0)));
+    profiles.push_back(
+        make_profile("c", 1, rng.uniform(0.8, 2.5), rng.uniform(0.5, 8.0)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto& t = profiles[2 * i];
+    const auto& c = profiles[2 * i + 1];
+    const double qos =
+        t.functions[0].metrics[static_cast<std::size_t>(prof::Metric::kIpc)] -
+        0.1 * c.functions[0]
+                  .metrics[static_cast<std::size_t>(prof::Metric::kL3Mpki)];
+    esp.observe(two_workload_scenario(&t, &c), qos);
+  }
+  esp.flush();
+  EXPECT_EQ(esp.samples_seen(), 100u);
+  // In-distribution check.
+  const auto t = make_profile("t", 2, 1.4, 2.0);
+  const auto c = make_profile("c", 1, 1.0, 6.0);
+  EXPECT_NEAR(esp.predict(two_workload_scenario(&t, &c)), 1.4 - 0.6, 0.1);
+}
+
+TEST(Pythia, FeatureVectorShape) {
+  const auto a = make_profile("a", 3, 1.5, 2.0);
+  const auto b = make_profile("b", 2, 0.8, 8.0);
+  const auto x = PythiaPredictor::featurize(two_workload_scenario(&a, &b));
+  EXPECT_EQ(x.size(), 2 * prof::kSelectedCount);
+}
+
+TEST(Pythia, PlacementBlind) {
+  // Pythia ignores *where* functions run: different placements of the same
+  // workloads featurize identically (this is exactly the weakness the
+  // paper exploits).
+  const auto a = make_profile("a", 3, 1.5, 2.0);
+  const auto b = make_profile("b", 2, 0.8, 8.0);
+  auto s1 = two_workload_scenario(&a, &b);
+  auto s2 = two_workload_scenario(&a, &b);
+  s2.workloads[1].fn_to_server = {1, 1};  // moved away
+  EXPECT_EQ(PythiaPredictor::featurize(s1), PythiaPredictor::featurize(s2));
+}
+
+TEST(Pythia, LearnsLinearMixture) {
+  stats::Rng rng(5);
+  PythiaPredictor pythia(PythiaConfig{.l2 = 1e-4, .update_batch = 1000});
+  std::vector<prof::AppProfile> keep;
+  keep.reserve(300);
+  for (int i = 0; i < 150; ++i) {
+    keep.push_back(
+        make_profile("t", 1, rng.uniform(0.8, 2.5), rng.uniform(0.5, 4.0)));
+    keep.push_back(
+        make_profile("c", 1, rng.uniform(0.8, 2.5), rng.uniform(0.5, 8.0)));
+  }
+  for (int i = 0; i < 150; ++i) {
+    const auto& t = keep[2 * i];
+    const auto& c = keep[2 * i + 1];
+    const double own =
+        t.functions[0].metrics[static_cast<std::size_t>(prof::Metric::kIpc)];
+    const double pressure =
+        c.functions[0]
+            .metrics[static_cast<std::size_t>(prof::Metric::kL3Mpki)];
+    pythia.observe(two_workload_scenario(&t, &c), own - 0.05 * pressure);
+  }
+  pythia.flush();
+  const auto t = make_profile("t", 1, 2.0, 1.0);
+  const auto c = make_profile("c", 1, 1.0, 4.0);
+  EXPECT_NEAR(pythia.predict(two_workload_scenario(&t, &c)), 2.0 - 0.2, 0.1);
+}
+
+TEST(Baselines, NamesDistinct) {
+  EspPredictor esp;
+  PythiaPredictor pythia;
+  EXPECT_EQ(esp.name(), "ESP");
+  EXPECT_EQ(pythia.name(), "Pythia");
+}
+
+}  // namespace
+}  // namespace gsight::baselines

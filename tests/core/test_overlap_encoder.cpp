@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+
+namespace gsight::core {
+namespace {
+
+// Hand-built profiles (no simulation needed for coding tests).
+prof::AppProfile make_profile(const std::string& name, std::size_t fns,
+                              double ipc_base) {
+  prof::AppProfile p;
+  p.app_name = name;
+  for (std::size_t i = 0; i < fns; ++i) {
+    prof::FunctionProfile fp;
+    fp.app_name = name;
+    fp.fn_name = name + "-fn" + std::to_string(i);
+    for (std::size_t k = 0; k < prof::kMetricCount; ++k) {
+      fp.metrics[k] = ipc_base + static_cast<double>(i) +
+                      0.01 * static_cast<double>(k);
+    }
+    fp.demand.cores = 1.0 + static_cast<double>(i);
+    fp.mem_alloc_gb = 0.5;
+    fp.solo_duration_s = 0.01;
+    fp.solo_ipc = ipc_base;
+    p.functions.push_back(fp);
+  }
+  return p;
+}
+
+struct EncoderFixture : ::testing::Test {
+  prof::AppProfile a = make_profile("a", 3, 1.0);
+  prof::AppProfile b = make_profile("b", 2, 2.0);
+
+  Scenario scenario(std::size_t servers = 4) {
+    Scenario s;
+    s.servers = servers;
+    s.workloads.push_back({&a, {0, 1, 1}, 0.0, 0.0});
+    s.workloads.push_back({&b, {1, 3}, 12.0, 200.0});
+    return s;
+  }
+};
+
+TEST_F(EncoderFixture, ScenarioValidation) {
+  EXPECT_NO_THROW(scenario().validate());
+  Scenario bad = scenario();
+  bad.workloads[0].fn_to_server = {0};  // size mismatch
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  Scenario oob = scenario();
+  oob.workloads[1].fn_to_server = {1, 9};  // server out of range
+  EXPECT_THROW(oob.validate(), std::invalid_argument);
+  Scenario nop;
+  EXPECT_THROW(nop.validate(), std::invalid_argument);
+  Scenario noprof = scenario();
+  noprof.workloads[0].profile = nullptr;
+  EXPECT_THROW(noprof.validate(), std::invalid_argument);
+}
+
+TEST_F(EncoderFixture, UtilizationCodeZeroRowsWhereAbsent) {
+  const auto s = scenario();
+  const auto u = utilization_code(s.workloads[1], 4);
+  ASSERT_EQ(u.size(), 4 * kCodeWidth);
+  // Workload b occupies servers 1 and 3; rows 0 and 2 must be zero.
+  for (std::size_t k = 0; k < kCodeWidth; ++k) {
+    EXPECT_DOUBLE_EQ(u[0 * kCodeWidth + k], 0.0);
+    EXPECT_DOUBLE_EQ(u[2 * kCodeWidth + k], 0.0);
+  }
+  // Occupied rows carry the selected solo metrics.
+  const auto sel0 = prof::select(b.functions[0].metrics);
+  for (std::size_t k = 0; k < kCodeWidth; ++k) {
+    EXPECT_DOUBLE_EQ(u[1 * kCodeWidth + k], sel0[k]);
+  }
+}
+
+TEST_F(EncoderFixture, VirtualLargerFunctionAveragesColocated) {
+  // Workload a puts fn1 and fn2 both on server 1 -> row 1 is their mean
+  // (the "virtual larger function" of §3.3).
+  const auto s = scenario();
+  const auto u = utilization_code(s.workloads[0], 4);
+  const auto sel1 = prof::select(a.functions[1].metrics);
+  const auto sel2 = prof::select(a.functions[2].metrics);
+  for (std::size_t k = 0; k < kCodeWidth; ++k) {
+    EXPECT_NEAR(u[1 * kCodeWidth + k], 0.5 * (sel1[k] + sel2[k]), 1e-12);
+  }
+}
+
+TEST_F(EncoderFixture, AllocationCodeCarriesDemand) {
+  const auto s = scenario();
+  const auto r = allocation_code(s.workloads[0], 4);
+  // fn0 (cores=1) on server 0: first entry of row 0 is the core demand.
+  EXPECT_DOUBLE_EQ(r[0 * kCodeWidth + 0], 1.0);
+  // Row 1 averages fn1 (cores=2) and fn2 (cores=3).
+  EXPECT_DOUBLE_EQ(r[1 * kCodeWidth + 0], 2.5);
+}
+
+TEST_F(EncoderFixture, DimensionFormula) {
+  for (const auto& [n, s] : {std::pair<std::size_t, std::size_t>{10, 8},
+                             {4, 4},
+                             {2, 16}}) {
+    EncoderConfig cfg;
+    cfg.max_workloads = n;
+    cfg.servers = s;
+    EXPECT_EQ(Encoder(cfg).dimension(), 32 * n * s + 2 * n);
+  }
+  // The paper's configuration: n=10, S=8 -> 2 580 dims (§6.4).
+  EncoderConfig paper;
+  EXPECT_EQ(Encoder(paper).dimension(), 2580u);
+}
+
+TEST_F(EncoderFixture, EncodePadsEmptySlots) {
+  EncoderConfig cfg;
+  cfg.canonical_server_order = false;  // positional assertions below
+  cfg.max_workloads = 3;
+  cfg.servers = 4;
+  const Encoder enc(cfg);
+  const auto x = enc.encode(scenario());
+  ASSERT_EQ(x.size(), enc.dimension());
+  // Slot 2 (empty) must be all zeros: it spans [2*2*4*16, 3*2*4*16).
+  const std::size_t slot_w = 2 * 4 * kCodeWidth;
+  for (std::size_t i = 2 * slot_w; i < 3 * slot_w; ++i) {
+    EXPECT_DOUBLE_EQ(x[i], 0.0) << i;
+  }
+}
+
+TEST_F(EncoderFixture, TemporalCodesAtTail) {
+  EncoderConfig cfg;
+  cfg.canonical_server_order = false;  // positional assertions below
+  cfg.max_workloads = 3;
+  cfg.servers = 4;
+  const Encoder enc(cfg);
+  const auto x = enc.encode(scenario());
+  const std::size_t base = 2 * 3 * 4 * kCodeWidth;
+  // D vector: [0, 12, 0(pad)]; T vector: [0, 200, 0(pad)].
+  EXPECT_DOUBLE_EQ(x[base + 0], 0.0);
+  EXPECT_DOUBLE_EQ(x[base + 1], 12.0);
+  EXPECT_DOUBLE_EQ(x[base + 2], 0.0);
+  EXPECT_DOUBLE_EQ(x[base + 3], 0.0);
+  EXPECT_DOUBLE_EQ(x[base + 4], 200.0);
+  EXPECT_DOUBLE_EQ(x[base + 5], 0.0);
+}
+
+TEST_F(EncoderFixture, TemporalAblationZeroesDandT) {
+  EncoderConfig cfg;
+  cfg.canonical_server_order = false;  // positional assertions below
+  cfg.max_workloads = 3;
+  cfg.servers = 4;
+  cfg.temporal_coding = false;
+  const Encoder enc(cfg);
+  const auto x = enc.encode(scenario());
+  const std::size_t base = 2 * 3 * 4 * kCodeWidth;
+  for (std::size_t i = base; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x[i], 0.0);
+  }
+}
+
+TEST_F(EncoderFixture, SpatialAblationCollapsesRows) {
+  EncoderConfig cfg;
+  cfg.canonical_server_order = false;  // positional assertions below
+  cfg.max_workloads = 2;
+  cfg.servers = 4;
+  cfg.spatial_coding = false;
+  const Encoder enc(cfg);
+  const auto x = enc.encode(scenario());
+  // For workload b, the U matrix occupies the second half of slot 1's
+  // block; rows 1..3 must be zero, row 0 holds the aggregate.
+  const std::size_t slot1 = 2 * 4 * kCodeWidth;       // slot 1 offset
+  const std::size_t u_off = slot1 + 4 * kCodeWidth;   // after R matrix
+  bool row0_nonzero = false;
+  for (std::size_t k = 0; k < kCodeWidth; ++k) {
+    if (x[u_off + k] != 0.0) row0_nonzero = true;
+  }
+  EXPECT_TRUE(row0_nonzero);
+  for (std::size_t row = 1; row < 4; ++row) {
+    for (std::size_t k = 0; k < kCodeWidth; ++k) {
+      EXPECT_DOUBLE_EQ(x[u_off + row * kCodeWidth + k], 0.0);
+    }
+  }
+}
+
+TEST_F(EncoderFixture, TooManyWorkloadsRejected) {
+  EncoderConfig cfg;
+  cfg.canonical_server_order = false;  // positional assertions below
+  cfg.max_workloads = 1;
+  cfg.servers = 4;
+  EXPECT_THROW(Encoder(cfg).encode(scenario()), std::invalid_argument);
+}
+
+TEST_F(EncoderFixture, ServerMismatchRejected) {
+  EncoderConfig cfg;
+  cfg.canonical_server_order = false;  // positional assertions below
+  cfg.max_workloads = 4;
+  cfg.servers = 8;
+  EXPECT_THROW(Encoder(cfg).encode(scenario(4)), std::invalid_argument);
+}
+
+TEST_F(EncoderFixture, PlacementChangesCode) {
+  EncoderConfig cfg;
+  cfg.canonical_server_order = false;  // positional assertions below
+  cfg.max_workloads = 2;
+  cfg.servers = 4;
+  const Encoder enc(cfg);
+  auto s1 = scenario();
+  auto s2 = scenario();
+  s2.workloads[1].fn_to_server = {2, 2};  // moved
+  EXPECT_NE(enc.encode(s1), enc.encode(s2));
+}
+
+TEST_F(EncoderFixture, CanonicalOrderIsServerPermutationInvariant) {
+  EncoderConfig cfg;
+  cfg.max_workloads = 2;
+  cfg.servers = 4;
+  cfg.canonical_server_order = true;
+  const Encoder enc(cfg);
+  // Relabel servers 0..3 -> 2,3,0,1 consistently in both workloads: the
+  // canonical code must be identical (server identity is a nuisance).
+  const std::size_t perm[4] = {2, 3, 0, 1};
+  auto s1 = scenario();
+  auto s2 = scenario();
+  for (auto& w : s2.workloads) {
+    for (auto& srv : w.fn_to_server) srv = perm[srv];
+  }
+  EXPECT_EQ(enc.encode(s1), enc.encode(s2));
+}
+
+TEST_F(EncoderFixture, CanonicalOrderStillSeparatesOverlapStructure) {
+  EncoderConfig cfg;
+  cfg.max_workloads = 2;
+  cfg.servers = 4;
+  cfg.canonical_server_order = true;
+  const Encoder enc(cfg);
+  // b colocated with a's fn0 vs b on an empty server: structurally
+  // different, so codes must differ even after canonicalisation.
+  auto s_on = scenario();
+  s_on.workloads[1].fn_to_server = {0, 0};
+  auto s_off = scenario();
+  s_off.workloads[1].fn_to_server = {2, 2};
+  EXPECT_NE(enc.encode(s_on), enc.encode(s_off));
+}
+
+}  // namespace
+}  // namespace gsight::core

@@ -1,0 +1,169 @@
+// End-to-end integration of the Gsight pipeline: solo profiles -> scenario
+// execution -> overlap-coded dataset -> incremental model -> prediction.
+// Sizes are kept small so the suite stays fast; the benches run the
+// full-scale versions.
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "ml/metrics.hpp"
+#include "workloads/functionbench.hpp"
+
+namespace gsight::core {
+namespace {
+
+BuilderConfig small_builder_config() {
+  BuilderConfig cfg;
+  cfg.runner.servers = 3;
+  cfg.runner.server = sim::ServerConfig::socket();
+  cfg.runner.warmup_s = 3.0;
+  cfg.runner.ls_measure_s = 12.0;
+  cfg.runner.label_window_s = 3.0;
+  cfg.encoder.servers = 3;
+  cfg.encoder.max_workloads = 3;
+  cfg.ls_qps_levels = {40.0};
+  cfg.min_workloads = 2;
+  cfg.max_workloads = 2;
+  cfg.sc_scale = 0.08;
+  cfg.profiler.ls_profile_s = 15.0;
+  cfg.profiler.server = sim::ServerConfig::socket();
+  return cfg;
+}
+
+TEST(ProfileKey, Composite) {
+  EXPECT_EQ(profile_key("app", 0.0), "app");
+  EXPECT_EQ(profile_key("app", 40.0), "app@40");
+  EXPECT_EQ(profile_key("app", 39.6), "app@40");
+}
+
+struct TrainerFixture : ::testing::Test {
+  prof::ProfileStore store;
+  BuilderConfig cfg = small_builder_config();
+};
+
+TEST_F(TrainerFixture, EnsureProfileCachesByKey) {
+  const auto app = wl::iperf(0.2);
+  const auto key = ensure_profile(store, app, 0.0, cfg.profiler);
+  EXPECT_EQ(key, "iperf");
+  EXPECT_TRUE(store.contains("iperf"));
+  const std::size_t before = store.size();
+  ensure_profile(store, app, 0.0, cfg.profiler);  // cached, no re-profile
+  EXPECT_EQ(store.size(), before);
+}
+
+TEST_F(TrainerFixture, RunnerMeasuresLsScenario) {
+  DatasetBuilder builder(&store, cfg, 11);
+  const auto spec = builder.sample_spec(ColocationClass::kLsScBg);
+  ScenarioRunner runner(&store, cfg.runner);
+  const auto outcome = runner.run(spec);
+  EXPECT_GT(outcome.mean_ipc, 0.0);
+  EXPECT_FALSE(outcome.window_ipc.empty());
+  EXPECT_EQ(outcome.scenario.workloads.size(), spec.members.size());
+  EXPECT_NO_THROW(outcome.scenario.validate());
+}
+
+TEST_F(TrainerFixture, RunnerMeasuresScScenario) {
+  DatasetBuilder builder(&store, cfg, 13);
+  // Sample until the target is a genuine SC job (pool contains BG too).
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const auto spec = builder.sample_spec(ColocationClass::kScScBg);
+    ScenarioRunner runner(&store, cfg.runner);
+    const auto outcome = runner.run(spec);
+    if (outcome.jct_s > 0.0) {
+      EXPECT_TRUE(outcome.completed);
+      EXPECT_GT(outcome.jct_s, 0.5);
+      return;
+    }
+  }
+  FAIL() << "no SC scenario produced a JCT";
+}
+
+TEST_F(TrainerFixture, BuildProducesLabelledSamples) {
+  DatasetBuilder builder(&store, cfg, 17);
+  const auto samples = builder.build(ColocationClass::kLsScBg,
+                                     QosKind::kIpc, /*scenario_count=*/4);
+  ASSERT_GE(samples.size(), 3u);
+  const auto dim = builder.encoder().dimension();
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.features.size(), dim);
+    EXPECT_FALSE(s.labels.empty());
+    for (double l : s.labels) EXPECT_GT(l, 0.0);
+  }
+  const auto flat = DatasetBuilder::flatten(samples, dim);
+  EXPECT_GE(flat.size(), samples.size());
+}
+
+TEST_F(TrainerFixture, PredictorLearnsIpcWithinTolerance) {
+  DatasetBuilder builder(&store, cfg, 19);
+  auto samples =
+      builder.build(ColocationClass::kLsScBg, QosKind::kIpc, 12);
+  ASSERT_GE(samples.size(), 8u);
+  // Split scenarios (not windows) into train/test to avoid leakage.
+  const std::size_t cut = samples.size() - 3;
+  PredictorConfig pcfg;
+  pcfg.encoder = cfg.encoder;
+  pcfg.model = ModelKind::kIRFR;
+  GsightPredictor predictor(pcfg);
+  ml::Dataset train(predictor.encoder().dimension());
+  for (std::size_t i = 0; i < cut; ++i) {
+    for (double l : samples[i].labels) train.add(samples[i].features, l);
+  }
+  predictor.train(train);
+  EXPECT_GT(predictor.samples_seen(), 0u);
+
+  std::vector<double> truth, pred;
+  for (std::size_t i = cut; i < samples.size(); ++i) {
+    const double mean_label = stats::mean(samples[i].labels);
+    truth.push_back(mean_label);
+    pred.push_back(predictor.predict(samples[i].outcome.scenario));
+  }
+  // Coarse bound for a tiny training set (9 scenarios); the benches verify
+  // the paper's 1.71% at full scale.
+  EXPECT_LT(ml::mape(truth, pred), 50.0);
+}
+
+TEST_F(TrainerFixture, ObserveFlushesInBatches) {
+  PredictorConfig pcfg;
+  pcfg.encoder = cfg.encoder;
+  pcfg.update_batch = 4;
+  GsightPredictor predictor(pcfg);
+
+  DatasetBuilder builder(&store, cfg, 23);
+  const auto spec = builder.sample_spec(ColocationClass::kLsLs);
+  ScenarioRunner runner(&store, cfg.runner);
+  const auto outcome = runner.run(spec);
+  ASSERT_GE(outcome.window_ipc.size(), 1u);
+  for (int i = 0; i < 3; ++i) {
+    predictor.observe(outcome.scenario, outcome.window_ipc[0]);
+  }
+  EXPECT_EQ(predictor.samples_seen(), 0u);  // below batch threshold
+  predictor.observe(outcome.scenario, outcome.window_ipc[0]);
+  EXPECT_EQ(predictor.samples_seen(), 4u);  // auto-flushed
+  predictor.observe(outcome.scenario, outcome.window_ipc[0]);
+  predictor.flush();
+  EXPECT_EQ(predictor.samples_seen(), 5u);
+}
+
+TEST_F(TrainerFixture, TrainRejectsWrongDimension) {
+  GsightPredictor predictor;
+  ml::Dataset bad(7);
+  bad.add(std::vector<double>(7, 0.0), 1.0);
+  EXPECT_THROW(predictor.train(bad), std::invalid_argument);
+}
+
+TEST(ModelFactory, AllKindsConstruct) {
+  for (auto kind : {ModelKind::kIRFR, ModelKind::kIKNN, ModelKind::kILR,
+                    ModelKind::kISVR, ModelKind::kIMLP}) {
+    const auto model = make_model(kind);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), to_string(kind));
+  }
+}
+
+TEST(ColocationClassNames, Stable) {
+  EXPECT_STREQ(to_string(ColocationClass::kLsLs), "LS+LS");
+  EXPECT_STREQ(to_string(ColocationClass::kLsScBg), "LS+SC/BG");
+  EXPECT_STREQ(to_string(ColocationClass::kScScBg), "SC+SC/BG");
+}
+
+}  // namespace
+}  // namespace gsight::core

@@ -1,0 +1,97 @@
+#include "profiling/profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace gsight::prof {
+namespace {
+
+AppProfile sample_profile(const std::string& name) {
+  AppProfile p;
+  p.app_name = name;
+  p.cls = wl::WorkloadClass::kLatencySensitive;
+  p.solo_e2e_p99_s = 0.0711;
+  p.solo_e2e_mean_s = 0.021;
+  p.solo_mean_ipc = 1.2345678901234567;
+  for (int i = 0; i < 3; ++i) {
+    FunctionProfile fp;
+    fp.app_name = name;
+    fp.fn_name = "fn with spaces " + std::to_string(i);
+    fp.solo_duration_s = 0.004 * (i + 1);
+    fp.solo_mean_latency_s = 0.005;
+    fp.solo_p99_latency_s = 0.009;
+    fp.solo_ipc = 1.5 + i;
+    fp.mem_alloc_gb = 0.25;
+    fp.demand.cores = 1.5;
+    fp.demand.net_mbps = 80.0;
+    for (std::size_t k = 0; k < kMetricCount; ++k) {
+      fp.metrics[k] = 0.1 * static_cast<double>(k) + i;
+    }
+    p.functions.push_back(fp);
+  }
+  return p;
+}
+
+TEST(ProfileIo, RoundTripSingleProfile) {
+  const auto original = sample_profile("round trip app");
+  std::stringstream buffer;
+  write_profile(buffer, original);
+  const auto loaded = read_profile(buffer);
+  EXPECT_EQ(loaded.app_name, original.app_name);
+  EXPECT_EQ(loaded.cls, original.cls);
+  EXPECT_DOUBLE_EQ(loaded.solo_e2e_p99_s, original.solo_e2e_p99_s);
+  EXPECT_DOUBLE_EQ(loaded.solo_mean_ipc, original.solo_mean_ipc);
+  ASSERT_EQ(loaded.functions.size(), original.functions.size());
+  for (std::size_t i = 0; i < loaded.functions.size(); ++i) {
+    const auto& a = loaded.functions[i];
+    const auto& b = original.functions[i];
+    EXPECT_EQ(a.fn_name, b.fn_name);
+    EXPECT_DOUBLE_EQ(a.solo_duration_s, b.solo_duration_s);
+    EXPECT_DOUBLE_EQ(a.demand.cores, b.demand.cores);
+    EXPECT_DOUBLE_EQ(a.demand.net_mbps, b.demand.net_mbps);
+    for (std::size_t k = 0; k < kMetricCount; ++k) {
+      EXPECT_DOUBLE_EQ(a.metrics[k], b.metrics[k]) << i << "," << k;
+    }
+  }
+}
+
+TEST(ProfileIo, RejectsCorruptHeader) {
+  std::stringstream buffer("not-a-profile at all");
+  EXPECT_THROW(read_profile(buffer), std::runtime_error);
+}
+
+TEST(ProfileIo, RejectsTruncatedBody) {
+  const auto original = sample_profile("x");
+  std::stringstream buffer;
+  write_profile(buffer, original);
+  std::string text = buffer.str();
+  std::stringstream truncated(text.substr(0, text.size() / 2));
+  EXPECT_THROW(read_profile(truncated), std::runtime_error);
+}
+
+TEST(ProfileIo, StoreRoundTripViaFile) {
+  ProfileStore store;
+  store.put(sample_profile("alpha"));
+  store.put(sample_profile("beta@40"));  // composite QPS key survives
+  const std::string path = "/tmp/gsight_store_test.txt";
+  save_store(store, path);
+  const auto loaded = load_store(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.contains("alpha"));
+  EXPECT_TRUE(loaded.contains("beta@40"));
+  EXPECT_DOUBLE_EQ(loaded.get("alpha").solo_mean_ipc,
+                   store.get("alpha").solo_mean_ipc);
+  EXPECT_EQ(store_keys(loaded),
+            (std::vector<std::string>{"alpha", "beta@40"}));
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_store("/tmp/definitely_missing_gsight_store.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gsight::prof

@@ -1,0 +1,150 @@
+#include "core/sla.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace gsight::core {
+namespace {
+
+// Synthetic knee data mirroring Figure 7: above ipc=1.0 latency follows
+// exp(a - b*ipc) tightly; below the knee latency is wild.
+std::vector<LatencyIpcPoint> knee_points(std::size_t n_above,
+                                         std::size_t n_below,
+                                         stats::Rng& rng) {
+  std::vector<LatencyIpcPoint> pts;
+  for (std::size_t i = 0; i < n_above; ++i) {
+    const double ipc = rng.uniform(1.0, 2.0);
+    pts.push_back({ipc, std::exp(-1.0 - 2.0 * ipc) *
+                            rng.lognormal_median(1.0, 0.05)});
+  }
+  for (std::size_t i = 0; i < n_below; ++i) {
+    const double ipc = rng.uniform(0.3, 1.0);
+    // Saturated regime: latency decoupled from IPC — enormous scatter
+    // (orders of magnitude) so correlation collapses until these points
+    // are excluded.
+    pts.push_back({ipc, std::exp(rng.normal(-2.0, 2.5))});
+  }
+  return pts;
+}
+
+TEST(LatencyIpcCurve, NeedsEnoughPoints) {
+  EXPECT_THROW(LatencyIpcCurve(std::vector<LatencyIpcPoint>(3)),
+               std::invalid_argument);
+}
+
+TEST(LatencyIpcCurve, FindsKneeNearRegimeBoundary) {
+  stats::Rng rng(3);
+  // Enough saturated points that correlation stays weak until they are
+  // excluded, forcing the knee up toward the regime boundary.
+  LatencyIpcCurve curve(knee_points(400, 120, rng));
+  EXPECT_GT(curve.knee_ipc(), 0.5);
+  EXPECT_LT(curve.knee_ipc(), 1.25);
+  EXPECT_LT(curve.correlation_above_knee(), -0.8);  // strong negative
+}
+
+TEST(LatencyIpcCurve, FractionBelowKneeSmall) {
+  stats::Rng rng(5);
+  // ~7% of points below the knee (paper: 4.1%).
+  LatencyIpcCurve curve(knee_points(930, 70, rng));
+  EXPECT_LT(curve.fraction_below_knee(), 0.15);
+}
+
+TEST(LatencyIpcCurve, CleanDataHasNoKnee) {
+  stats::Rng rng(7);
+  LatencyIpcCurve curve(knee_points(300, 0, rng));
+  // With no saturated regime the knee sits at the very bottom.
+  EXPECT_LT(curve.fraction_below_knee(), 0.05);
+  EXPECT_LT(curve.correlation_above_knee(), -0.9);
+}
+
+TEST(LatencyIpcCurve, LatencyPredictionAboveKnee) {
+  stats::Rng rng(9);
+  LatencyIpcCurve curve(knee_points(500, 40, rng));
+  // At ipc = 1.5 the generative model says exp(-1 - 3).
+  EXPECT_NEAR(curve.latency_for_ipc(1.5), std::exp(-4.0),
+              std::exp(-4.0) * 0.25);
+}
+
+TEST(LatencyIpcCurve, IpcForLatencyInverts) {
+  stats::Rng rng(11);
+  LatencyIpcCurve curve(knee_points(500, 40, rng));
+  for (double ipc : {1.2, 1.5, 1.8}) {
+    const double lat = curve.latency_for_ipc(ipc);
+    EXPECT_NEAR(curve.ipc_for_latency(lat), ipc, 1e-9);
+  }
+}
+
+TEST(LatencyIpcCurve, IpcFloorNeverBelowKnee) {
+  stats::Rng rng(13);
+  LatencyIpcCurve curve(knee_points(500, 40, rng));
+  // A huge latency target would naively map to a tiny IPC; the curve must
+  // clamp to the knee because latency is unpredictable down there.
+  EXPECT_GE(curve.ipc_for_latency(100.0), curve.knee_ipc() - 1e-9);
+}
+
+TEST(MakeSla, CombinesTargetAndFloor) {
+  stats::Rng rng(15);
+  LatencyIpcCurve curve(knee_points(500, 40, rng));
+  const Sla sla = make_sla(0.02, curve);
+  EXPECT_DOUBLE_EQ(sla.p99_latency_s, 0.02);
+  EXPECT_GT(sla.ipc_floor, 0.0);
+  // Tighter latency target => higher IPC floor.
+  const Sla tight = make_sla(0.005, curve);
+  EXPECT_GE(tight.ipc_floor, sla.ipc_floor);
+}
+
+TEST(LatencyIpcCurve, QuantileFloorGuardsScatter) {
+  stats::Rng rng(19);
+  // Above ipc=1.0: latency tight around 1.0x. Between 0.6 and 1.0:
+  // median fine but heavy upper tail (the scatter an SLA must fear).
+  std::vector<LatencyIpcPoint> pts;
+  for (int i = 0; i < 400; ++i) {
+    pts.push_back({rng.uniform(1.0, 1.5), rng.uniform(0.9, 1.1)});
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double lat = rng.chance(0.3) ? rng.uniform(5.0, 50.0)
+                                       : rng.uniform(0.9, 1.2);
+    pts.push_back({rng.uniform(0.6, 1.0), lat});
+  }
+  LatencyIpcCurve curve(pts);
+  // The floor answers "above which IPC do `quantile` of windows meet the
+  // target?". A p97 guarantee tolerates almost none of the band's 30%-bad
+  // windows, so its floor sits near the band's top; p50 tolerates the
+  // whole band (its median is fine). Stricter quantiles => higher floors.
+  const double floor97 = curve.ipc_for_latency_quantile(2.0, 0.97);
+  const double floor90 = curve.ipc_for_latency_quantile(2.0, 0.90);
+  const double floor50 = curve.ipc_for_latency_quantile(2.0, 0.50);
+  EXPECT_GE(floor97, 0.85);
+  EXPECT_GE(floor97, floor90 - 1e-9);
+  EXPECT_GE(floor90, floor50 - 1e-9);
+  // Floors never drop below the knee: latency is unpredictable there, so
+  // even a lenient p50 target is clamped to it.
+  EXPECT_GE(floor50, curve.knee_ipc() - 1e-9);
+}
+
+TEST(LatencyIpcCurve, QuantileFloorInfeasibleFallsBackToKnee) {
+  stats::Rng rng(23);
+  std::vector<LatencyIpcPoint> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.uniform(0.5, 1.5), rng.uniform(10.0, 20.0)});
+  }
+  LatencyIpcCurve curve(pts);
+  // No threshold achieves p75 latency <= 1.0 anywhere.
+  EXPECT_DOUBLE_EQ(curve.ipc_for_latency_quantile(1.0, 0.75),
+                   curve.knee_ipc());
+}
+
+TEST(LatencyIpcCurve, PointsSortedByIpc) {
+  stats::Rng rng(17);
+  LatencyIpcCurve curve(knee_points(100, 10, rng));
+  const auto& pts = curve.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].ipc, pts[i - 1].ipc);
+  }
+}
+
+}  // namespace
+}  // namespace gsight::core

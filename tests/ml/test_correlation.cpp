@@ -1,0 +1,92 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace gsight::stats {
+namespace {
+
+TEST(Pearson, PerfectPositiveAndNegative) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  for (auto& v : y) v = -v;
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(Pearson, TooFewPointsIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Pearson, KnownHandComputedValue) {
+  // x = {1,2,3}, y = {1,2,4}: r = 0.981...
+  const double r = pearson({1, 2, 3}, {1, 2, 4});
+  EXPECT_NEAR(r, 0.9819805, 1e-6);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng(5);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+}
+
+TEST(Ranks, SimpleAndTied) {
+  const auto r1 = ranks({10.0, 30.0, 20.0});
+  EXPECT_EQ(r1, (std::vector<double>{1.0, 3.0, 2.0}));
+  const auto r2 = ranks({5.0, 1.0, 5.0, 2.0});
+  // 1 -> rank 1, 2 -> rank 2, the two 5s share (3+4)/2 = 3.5.
+  EXPECT_EQ(r2, (std::vector<double>{3.5, 1.0, 3.5, 2.0}));
+}
+
+TEST(Ranks, AllTied) {
+  const auto r = ranks({7.0, 7.0, 7.0});
+  EXPECT_EQ(r, (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  std::vector<double> x(50), y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = std::exp(0.1 * static_cast<double>(i));  // monotone, nonlinear
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  // Pearson must be noticeably below 1 for this convex curve.
+  EXPECT_LT(pearson(x, y), 0.95);
+}
+
+TEST(Spearman, InvariantUnderMonotoneTransform) {
+  Rng rng(11);
+  std::vector<double> x(500), y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x[i] = rng.normal();
+    y[i] = x[i] + rng.normal() * 0.5;
+  }
+  const double base = spearman(x, y);
+  std::vector<double> y_cubed = y;
+  for (auto& v : y_cubed) v = v * v * v;  // strictly monotone
+  EXPECT_NEAR(spearman(x, y_cubed), base, 1e-12);
+}
+
+TEST(Spearman, HandlesTiesGracefully) {
+  const std::vector<double> x{1, 2, 3, 4, 5, 6};
+  const std::vector<double> y{1, 1, 2, 2, 3, 3};
+  const double r = spearman(x, y);
+  EXPECT_GT(r, 0.9);
+  EXPECT_LE(r, 1.0);
+}
+
+}  // namespace
+}  // namespace gsight::stats

@@ -1,0 +1,87 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gsight::stats {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.0);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bin_count(0), 3u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i / 100.0);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    const double c = h.cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(h.cdf(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.cdf(0.5), 0.5, 0.05);
+}
+
+TEST(Histogram, EmptyCdfZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.cdf(0.7), 0.0);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(EmpiricalCdf, SortedAndEndsAtOne) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().first, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, ThinsToMaxPoints) {
+  std::vector<double> v(10000);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const auto cdf = empirical_cdf(v, 32);
+  EXPECT_LE(cdf.size(), 34u);
+}
+
+TEST(EmpiricalCdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(DistributionSummary, MentionsKeyStats) {
+  const auto s = distribution_summary({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_NE(s.find("median=3"), std::string::npos);
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+  EXPECT_EQ(distribution_summary({}), "(empty)");
+}
+
+}  // namespace
+}  // namespace gsight::stats

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+#include "ml/matrix.hpp"
+
+namespace gsight::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m.row(0)[1], 7.0);
+}
+
+TEST(Matrix, PushRowDefinesColumns) {
+  Matrix m;
+  const double r0[] = {1.0, 2.0};
+  m.push_row(r0);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 2u);
+  const double r1[] = {3.0, 4.0};
+  m.push_row(r1);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, MatvecKnown) {
+  Matrix m(2, 3);
+  // [[1,2,3],[4,5,6]] * [1,1,1] = [6,15]
+  for (std::size_t c = 0; c < 3; ++c) {
+    m(0, c) = static_cast<double>(c + 1);
+    m(1, c) = static_cast<double>(c + 4);
+  }
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const auto y = m.matvec(x);
+  EXPECT_EQ(y, (std::vector<double>{6.0, 15.0}));
+}
+
+TEST(Matrix, MatvecTransposedKnown) {
+  Matrix m(2, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    m(0, c) = static_cast<double>(c + 1);
+    m(1, c) = static_cast<double>(c + 4);
+  }
+  const std::vector<double> x{1.0, 2.0};
+  // M^T x = [1+8, 2+10, 3+12] = [9, 12, 15]
+  EXPECT_EQ(m.matvec_transposed(x), (std::vector<double>{9.0, 12.0, 15.0}));
+}
+
+TEST(Matrix, DotAndDistance) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 27.0);
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, 2.0}, 10.0);
+  d.add(std::vector<double>{3.0, 4.0}, 20.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_DOUBLE_EQ(d.x(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(d.y(0), 10.0);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  Dataset a(1), b(1);
+  a.add(std::vector<double>{1.0}, 1.0);
+  b.add(std::vector<double>{2.0}, 2.0);
+  b.add(std::vector<double>{3.0}, 3.0);
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.y(2), 3.0);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset d(1);
+  for (int i = 0; i < 5; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, i * 10.0);
+  }
+  const std::vector<std::size_t> idx{4, 0, 4};
+  const auto s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.y(0), 40.0);
+  EXPECT_DOUBLE_EQ(s.y(1), 0.0);
+  EXPECT_DOUBLE_EQ(s.y(2), 40.0);  // repetition allowed (bootstrap)
+}
+
+TEST(Dataset, HeadTruncates) {
+  Dataset d(1);
+  for (int i = 0; i < 5; ++i) {
+    d.add(std::vector<double>{0.0}, static_cast<double>(i));
+  }
+  EXPECT_EQ(d.head(3).size(), 3u);
+  EXPECT_EQ(d.head(99).size(), 5u);
+}
+
+TEST(Dataset, SplitPartitions) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, static_cast<double>(i));
+  }
+  stats::Rng rng(3);
+  const auto [train, test] = d.split(0.8, rng);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  // Every label appears exactly once across the two parts.
+  std::vector<int> seen(100, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    ++seen[static_cast<int>(train.y(i))];
+  }
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    ++seen[static_cast<int>(test.y(i))];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Dataset, ShufflePreservesPairs) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)}, i * 2.0);
+  }
+  stats::Rng rng(7);
+  d.shuffle(rng);
+  EXPECT_EQ(d.size(), 50u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d.y(i), d.x(i)[0] * 2.0);  // pairing intact
+  }
+}
+
+}  // namespace
+}  // namespace gsight::ml

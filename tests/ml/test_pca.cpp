@@ -1,0 +1,148 @@
+#include "ml/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace gsight::ml {
+namespace {
+
+// Data living on a 2-D plane embedded in 10-D space plus small noise.
+Dataset planar_data(std::size_t n, double noise, stats::Rng& rng) {
+  Dataset d(10);
+  std::vector<double> u(10), v(10);
+  for (std::size_t j = 0; j < 10; ++j) {
+    u[j] = j < 5 ? 1.0 : 0.0;
+    v[j] = j % 2 == 0 ? 0.5 : -0.5;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.normal(0.0, 3.0);
+    const double b = rng.normal(0.0, 1.0);
+    std::vector<double> x(10);
+    for (std::size_t j = 0; j < 10; ++j) {
+      x[j] = 2.0 + a * u[j] + b * v[j] + noise * rng.normal();
+    }
+    d.add(x, 0.0);
+  }
+  return d;
+}
+
+TEST(Pca, RequiresTwoRows) {
+  Pca pca;
+  Dataset d(3);
+  d.add(std::vector<double>{1, 2, 3}, 0.0);
+  EXPECT_THROW(pca.fit(d), std::invalid_argument);
+}
+
+TEST(Pca, RecoversIntrinsicDimension) {
+  stats::Rng rng(5);
+  const auto d = planar_data(400, 0.01, rng);
+  PcaConfig cfg;
+  cfg.components = 4;
+  Pca pca(cfg);
+  pca.fit(d);
+  ASSERT_GE(pca.components(), 2u);
+  const auto& var = pca.explained_variance();
+  // The first two components dominate; the rest is noise-level.
+  EXPECT_GT(var[0], var[1]);
+  if (var.size() > 2) EXPECT_GT(var[1], 20.0 * var[2]);
+  EXPECT_GT(pca.explained_variance_ratio(), 0.99);
+}
+
+TEST(Pca, TransformDimensionsAndCentering) {
+  stats::Rng rng(7);
+  const auto d = planar_data(200, 0.05, rng);
+  PcaConfig cfg;
+  cfg.components = 3;
+  Pca pca(cfg);
+  pca.fit(d);
+  const auto z = pca.transform(d.x(0));
+  EXPECT_EQ(z.size(), pca.components());
+  // Projections of the dataset should be zero-mean.
+  std::vector<double> sum(pca.components(), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto zi = pca.transform(d.x(i));
+    for (std::size_t c = 0; c < zi.size(); ++c) sum[c] += zi[c];
+  }
+  for (double s : sum) {
+    EXPECT_NEAR(s / static_cast<double>(d.size()), 0.0, 1e-6);
+  }
+}
+
+TEST(Pca, InverseTransformReconstructsPlanarData) {
+  stats::Rng rng(9);
+  const auto d = planar_data(300, 0.01, rng);
+  PcaConfig cfg;
+  cfg.components = 2;
+  Pca pca(cfg);
+  pca.fit(d);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto x = d.x(i);
+    const auto back = pca.inverse_transform(pca.transform(x));
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      worst = std::max(worst, std::abs(back[j] - x[j]));
+    }
+  }
+  EXPECT_LT(worst, 0.1);  // noise-level reconstruction error
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  stats::Rng rng(11);
+  const auto d = planar_data(300, 0.5, rng);
+  PcaConfig cfg;
+  cfg.components = 4;
+  Pca pca(cfg);
+  pca.fit(d);
+  // Re-derive component vectors by transforming unit deviations is
+  // awkward; instead verify via transform of the components themselves:
+  // transform(mean + c_i) should be ~e_i * 1.
+  for (std::size_t a = 0; a < pca.components(); ++a) {
+    // Build mean + component_a via inverse transform of e_a.
+    std::vector<double> e(pca.components(), 0.0);
+    e[a] = 1.0;
+    const auto x = pca.inverse_transform(e);
+    const auto z = pca.transform(x);
+    for (std::size_t b = 0; b < z.size(); ++b) {
+      // Noise-level components have nearly degenerate eigenvalues, which
+      // bounds power-iteration accuracy; 1e-4 is ample for feature use.
+      EXPECT_NEAR(z[b], a == b ? 1.0 : 0.0, 1e-4) << a << "," << b;
+    }
+  }
+}
+
+TEST(Pca, DatasetTransformKeepsTargets) {
+  stats::Rng rng(13);
+  auto d = planar_data(50, 0.1, rng);
+  Dataset labelled(10);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    labelled.add(d.x(i), static_cast<double>(i));
+  }
+  PcaConfig cfg;
+  cfg.components = 2;
+  Pca pca(cfg);
+  pca.fit(labelled);
+  const auto reduced = pca.transform(labelled);
+  EXPECT_EQ(reduced.feature_count(), 2u);
+  EXPECT_EQ(reduced.size(), labelled.size());
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reduced.y(i), static_cast<double>(i));
+  }
+}
+
+TEST(Pca, RankDeficientDataStopsEarly) {
+  // All rows identical: zero variance, no components.
+  Dataset d(4);
+  for (int i = 0; i < 10; ++i) {
+    d.add(std::vector<double>{1.0, 2.0, 3.0, 4.0}, 0.0);
+  }
+  Pca pca;
+  pca.fit(d);
+  EXPECT_EQ(pca.components(), 0u);
+  EXPECT_FALSE(pca.fitted());
+}
+
+}  // namespace
+}  // namespace gsight::ml

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::ml {
+namespace {
+
+TEST(RidgeClosedForm, ExactOnNoiselessLinear) {
+  stats::Rng rng(1);
+  Dataset d(2);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-5.0, 5.0);
+    const double b = rng.uniform(-5.0, 5.0);
+    d.add(std::vector<double>{a, b}, 2.0 * a - 3.0 * b + 7.0);
+  }
+  RidgeClosedForm ridge(1e-8);
+  ridge.fit(d);
+  ASSERT_EQ(ridge.weights().size(), 2u);
+  EXPECT_NEAR(ridge.weights()[0], 2.0, 1e-4);
+  EXPECT_NEAR(ridge.weights()[1], -3.0, 1e-4);
+  EXPECT_NEAR(ridge.bias(), 7.0, 1e-3);
+  EXPECT_NEAR(ridge.predict(std::vector<double>{1.0, 1.0}), 6.0, 1e-3);
+}
+
+TEST(RidgeClosedForm, RegularizationShrinksWeights) {
+  stats::Rng rng(2);
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{x}, 4.0 * x);
+  }
+  RidgeClosedForm weak(1e-8), strong(1e4);
+  weak.fit(d);
+  strong.fit(d);
+  EXPECT_GT(std::abs(weak.weights()[0]), std::abs(strong.weights()[0]) * 5);
+}
+
+TEST(RidgeClosedForm, HandlesCollinearFeatures) {
+  stats::Rng rng(3);
+  Dataset d(2);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    d.add(std::vector<double>{x, x}, 2.0 * x);  // perfectly collinear
+  }
+  RidgeClosedForm ridge(1e-3);
+  ridge.fit(d);
+  // Must not blow up; combined effect ~2.
+  const double p = ridge.predict(std::vector<double>{1.0, 1.0});
+  EXPECT_NEAR(p, 2.0, 0.1);
+}
+
+TEST(RidgeClosedForm, UnfittedPredictsZero) {
+  RidgeClosedForm ridge;
+  EXPECT_FALSE(ridge.fitted());
+  EXPECT_DOUBLE_EQ(ridge.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(RidgeClosedForm, EmptyFitIsNoop) {
+  RidgeClosedForm ridge;
+  ridge.fit(Dataset(3));
+  EXPECT_FALSE(ridge.fitted());
+}
+
+TEST(RidgeClosedForm, NoisyDataReasonableR2) {
+  stats::Rng rng(4);
+  Dataset train(3), test(3);
+  auto gen = [&](Dataset& d, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1),
+                   c = rng.uniform(-1, 1);
+      d.add(std::vector<double>{a, b, c},
+            a + 2.0 * b - c + 0.1 * rng.normal());
+    }
+  };
+  gen(train, 500);
+  gen(test, 200);
+  RidgeClosedForm ridge(1e-4);
+  ridge.fit(train);
+  std::vector<double> pred;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    pred.push_back(ridge.predict(test.x(i)));
+  }
+  EXPECT_GT(r2(test.targets(), pred), 0.95);
+}
+
+}  // namespace
+}  // namespace gsight::ml

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::ml {
+namespace {
+
+TEST(StandardScaler, TransformsToZeroMeanUnitVariance) {
+  stats::Rng rng(3);
+  Dataset d(2);
+  for (int i = 0; i < 2000; ++i) {
+    d.add(std::vector<double>{rng.normal(10.0, 3.0), rng.normal(-5.0, 0.5)},
+          0.0);
+  }
+  StandardScaler s;
+  s.partial_fit(d);
+  double m0 = 0.0, m1 = 0.0, v0 = 0.0, v1 = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto t = s.transform(d.x(i));
+    m0 += t[0];
+    m1 += t[1];
+    v0 += t[0] * t[0];
+    v1 += t[1] * t[1];
+  }
+  const double n = static_cast<double>(d.size());
+  EXPECT_NEAR(m0 / n, 0.0, 1e-9);
+  EXPECT_NEAR(m1 / n, 0.0, 1e-9);
+  EXPECT_NEAR(v0 / n, 1.0, 0.01);
+  EXPECT_NEAR(v1 / n, 1.0, 0.01);
+}
+
+TEST(StandardScaler, IncrementalMatchesBatch) {
+  stats::Rng rng(5);
+  Dataset a(1), b(1);
+  for (int i = 0; i < 500; ++i) {
+    a.add(std::vector<double>{rng.normal(2.0, 1.0)}, 0.0);
+    b.add(std::vector<double>{rng.normal(2.0, 1.0)}, 0.0);
+  }
+  StandardScaler incremental, batch;
+  incremental.partial_fit(a);
+  incremental.partial_fit(b);
+  Dataset both(1);
+  both.append(a);
+  both.append(b);
+  batch.partial_fit(both);
+  EXPECT_NEAR(incremental.mean()[0], batch.mean()[0], 1e-9);
+  EXPECT_NEAR(incremental.stddev()[0], batch.stddev()[0], 1e-9);
+}
+
+TEST(StandardScaler, ConstantFeatureDoesNotExplode) {
+  StandardScaler s;
+  for (int i = 0; i < 10; ++i) {
+    s.partial_fit(std::vector<double>{5.0});
+  }
+  const auto t = s.transform(std::vector<double>{5.0});
+  EXPECT_TRUE(std::isfinite(t[0]));
+  EXPECT_NEAR(t[0], 0.0, 1e-6);
+}
+
+TEST(Metrics, MapeBasic) {
+  const std::vector<double> truth{100.0, 200.0};
+  const std::vector<double> pred{110.0, 180.0};
+  EXPECT_NEAR(mape(truth, pred), 10.0, 1e-12);  // (10% + 10%) / 2
+}
+
+TEST(Metrics, MapeSkipsNearZeroTruth) {
+  const std::vector<double> truth{0.0, 100.0};
+  const std::vector<double> pred{50.0, 150.0};
+  EXPECT_NEAR(mape(truth, pred), 50.0, 1e-12);
+}
+
+TEST(Metrics, ApePerSample) {
+  const auto errs = ape({10.0, 20.0}, {11.0, 16.0});
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_NEAR(errs[0], 10.0, 1e-12);
+  EXPECT_NEAR(errs[1], 20.0, 1e-12);
+}
+
+TEST(Metrics, MaeRmse) {
+  const std::vector<double> truth{0.0, 0.0, 0.0, 0.0};
+  const std::vector<double> pred{1.0, -1.0, 3.0, -3.0};
+  EXPECT_DOUBLE_EQ(mae(truth, pred), 2.0);
+  EXPECT_NEAR(rmse(truth, pred), std::sqrt(5.0), 1e-12);
+}
+
+TEST(Metrics, R2PerfectAndMeanPredictor) {
+  const std::vector<double> truth{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r2(truth, truth), 1.0);
+  const std::vector<double> mean_pred{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r2(truth, mean_pred), 0.0, 1e-12);
+}
+
+TEST(Metrics, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mape({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(mae({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(rmse({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace gsight::ml

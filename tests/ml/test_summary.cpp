@@ -1,0 +1,149 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace gsight::stats {
+namespace {
+
+TEST(Running, EmptyIsZero) {
+  Running r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.mean(), 0.0);
+  EXPECT_EQ(r.variance(), 0.0);
+  EXPECT_EQ(r.cov(), 0.0);
+}
+
+TEST(Running, KnownValues) {
+  Running r;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(v);
+  EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+  EXPECT_NEAR(r.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(r.min(), 2.0);
+  EXPECT_DOUBLE_EQ(r.max(), 9.0);
+  EXPECT_DOUBLE_EQ(r.sum(), 40.0);
+}
+
+TEST(Running, SingleValueVarianceZero) {
+  Running r;
+  r.add(3.0);
+  EXPECT_EQ(r.variance(), 0.0);
+  EXPECT_EQ(r.stddev(), 0.0);
+}
+
+TEST(Running, MergeMatchesSequential) {
+  Rng rng(5);
+  Running all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Running, MergeWithEmpty) {
+  Running a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Running, CovMatchesDefinition) {
+  Running r;
+  for (double v : {1.0, 2.0, 3.0}) r.add(v);
+  EXPECT_NEAR(r.cov(), r.stddev() / 2.0, 1e-12);
+}
+
+TEST(Percentile, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Percentile, EndpointsAndInterpolation) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 15.0);  // linear interpolation
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, AgreesWithFullSort) {
+  Rng rng(9);
+  std::vector<double> v(1001);
+  for (auto& x : v) x = rng.uniform(0.0, 100.0);
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {1.0, 10.0, 50.0, 90.0, 99.0}) {
+    const double rank = p / 100.0 * 1000.0;
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    const double expected =
+        sorted[lo] + frac * (sorted[std::min<std::size_t>(lo + 1, 1000)] -
+                             sorted[lo]);
+    EXPECT_NEAR(percentile(v, p), expected, 1e-9) << p;
+  }
+}
+
+TEST(SummaryHelpers, MeanVarStd) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_NEAR(variance(v), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(cov(v), std::sqrt(5.0 / 3.0) / 2.5, 1e-12);
+}
+
+TEST(Reservoir, KeepsEverythingBelowCapacity) {
+  Reservoir res(100);
+  for (int i = 0; i < 50; ++i) res.add(i);
+  EXPECT_EQ(res.size(), 50u);
+  EXPECT_EQ(res.seen(), 50u);
+}
+
+TEST(Reservoir, CapsMemory) {
+  Reservoir res(64);
+  for (int i = 0; i < 10000; ++i) res.add(i);
+  EXPECT_EQ(res.size(), 64u);
+  EXPECT_EQ(res.seen(), 10000u);
+}
+
+TEST(Reservoir, SampleIsApproximatelyUniform) {
+  // Feed uniform(0,1); the reservoir's mean over many reservoirs should be
+  // ~0.5 and its percentiles close to the stream's.
+  Rng rng(77);
+  Reservoir res(512, 123);
+  for (int i = 0; i < 100000; ++i) res.add(rng.uniform());
+  EXPECT_NEAR(res.mean(), 0.5, 0.05);
+  EXPECT_NEAR(res.percentile(50.0), 0.5, 0.07);
+  EXPECT_NEAR(res.percentile(90.0), 0.9, 0.07);
+}
+
+TEST(Reservoir, EmptyPercentileZero) {
+  Reservoir res(8);
+  EXPECT_DOUBLE_EQ(res.percentile(99.0), 0.0);
+}
+
+}  // namespace
+}  // namespace gsight::stats

@@ -1,0 +1,102 @@
+// Smoke-level integration of the full scheduling study (the benches run
+// the paper-scale version).
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "sched/bestfit.hpp"
+#include "sched/experiment.hpp"
+#include "sched/gsight_scheduler.hpp"
+#include "sched/kube_spread.hpp"
+#include "sched/worstfit.hpp"
+#include "workloads/ecommerce.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+
+namespace gsight::sched {
+namespace {
+
+struct ExperimentFixture : ::testing::Test {
+  prof::ProfileStore store;
+  ExperimentConfig cfg;
+
+  void SetUp() override {
+    cfg.servers = 4;
+    cfg.server = sim::ServerConfig::socket();
+    cfg.duration_s = 90.0;
+    cfg.sample_period_s = 3.0;
+    cfg.sla_window_s = 15.0;
+    cfg.sc_job_period_s = 30.0;
+    cfg.sc_scale = 0.05;
+    cfg.trace.base_qps = 50.0;
+    cfg.trace.day_seconds = 90.0;
+    cfg.autoscaler.tick_s = 5.0;
+    cfg.autoscaler.max_replicas = 6;
+
+    prof::SoloProfilerConfig pcfg;
+    pcfg.ls_profile_s = 15.0;
+    pcfg.server = cfg.server;
+    prof::SoloProfiler profiler(pcfg);
+    store.put(profiler.profile(wl::social_network()));
+    store.put(profiler.profile(wl::e_commerce()));
+    store.put(profiler.profile(wl::matmul(3.0 * cfg.sc_scale)));
+    store.put(profiler.profile(wl::dd(3.0 * cfg.sc_scale)));
+    store.put(profiler.profile(wl::video_processing(4.0 * cfg.sc_scale)));
+    store.put(profiler.profile(wl::iot_collector()));
+  }
+};
+
+TEST_F(ExperimentFixture, WorstFitRunsAndReports) {
+  SchedulingExperiment experiment(&store, cfg);
+  WorstFitScheduler worstfit;
+  const auto report = experiment.run(worstfit);
+  EXPECT_EQ(report.scheduler, "WorstFit");
+  EXPECT_GT(report.density_samples.size(), 10u);
+  EXPECT_GT(report.mean_density(), 0.0);
+  EXPECT_GT(report.mean_cpu_util(), 0.0);
+  EXPECT_GT(report.mean_mem_util(), 0.0);
+  EXPECT_GT(report.requests_completed, 100u);
+  ASSERT_EQ(report.sla.size(), 2u);
+  for (const auto& s : report.sla) {
+    EXPECT_GT(s.sla_p99_s, 0.0);
+    EXPECT_GE(s.satisfied_fraction, 0.0);
+    EXPECT_LE(s.satisfied_fraction, 1.0);
+  }
+  EXPECT_GT(report.jobs_completed, 0u);
+}
+
+TEST_F(ExperimentFixture, GsightWithOptimisticPredictorPacksDenser) {
+  struct Optimist final : core::ScenarioPredictor {
+    double predict(const core::Scenario&) const override { return 100.0; }
+    void observe(const core::Scenario&, double) override {}
+    void flush() override {}
+    std::string name() const override { return "optimist"; }
+  } optimist;
+
+  SchedulingExperiment experiment(&store, cfg);
+  GsightScheduler gsight(&optimist);
+  const auto g = experiment.run(gsight);
+
+  EXPECT_EQ(g.scheduler, "Gsight");
+  // The blind optimist packs everything onto one socket — throughput may
+  // suffer, but the study must still run end-to-end and report sanely.
+  EXPECT_GT(g.requests_completed + g.requests_failed, 50u);
+  EXPECT_GT(g.density_samples.size(), 10u);
+  ASSERT_EQ(g.sla.size(), 2u);
+  EXPECT_GT(gsight.sla_checks(), 0u);
+}
+
+TEST_F(ExperimentFixture, AutoscalerEngagesUnderDiurnalLoad) {
+  SchedulingExperiment experiment(&store, cfg);
+  KubeSpreadScheduler kube;
+  const auto report = experiment.run(kube);
+  EXPECT_GT(report.scale_outs, 0u);
+  // Density varies over the diurnal wave.
+  const double lo = *std::min_element(report.density_samples.begin(),
+                                      report.density_samples.end());
+  const double hi = *std::max_element(report.density_samples.begin(),
+                                      report.density_samples.end());
+  EXPECT_GT(hi, lo);
+}
+
+}  // namespace
+}  // namespace gsight::sched

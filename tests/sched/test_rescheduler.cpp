@@ -1,0 +1,148 @@
+#include "sched/rescheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gsight::sched {
+namespace {
+
+prof::AppProfile make_profile(const std::string& name, std::size_t fns,
+                              double cores) {
+  prof::AppProfile p;
+  p.app_name = name;
+  p.cls = wl::WorkloadClass::kLatencySensitive;
+  for (std::size_t i = 0; i < fns; ++i) {
+    prof::FunctionProfile fp;
+    fp.app_name = name;
+    fp.fn_name = name + std::to_string(i);
+    fp.demand.cores = cores;
+    fp.mem_alloc_gb = 0.5;
+    fp.solo_ipc = 1.5;
+    p.functions.push_back(fp);
+  }
+  return p;
+}
+
+struct StubPredictor final : core::ScenarioPredictor {
+  double value = 2.0;
+  mutable std::size_t calls = 0;
+  double predict(const core::Scenario&) const override {
+    ++calls;
+    return value;
+  }
+  void observe(const core::Scenario&, double) override {}
+  void flush() override {}
+  std::string name() const override { return "stub"; }
+};
+
+DeploymentState two_server_state(const prof::AppProfile* a,
+                                 const prof::AppProfile* b) {
+  DeploymentState state;
+  state.servers = 3;
+  state.load.resize(3);
+  for (auto& l : state.load) {
+    l.cores_capacity = 10.0;
+    l.mem_capacity = 64.0;
+  }
+  // a's two functions on server 0, b's single function alone on server 1.
+  state.workloads.push_back({"a", a, {0, 0}, a->cls, core::Sla{0.1, 1.0}});
+  state.workloads.push_back({"b", b, {1}, b->cls, core::Sla{0.1, 1.0}});
+  state.load[0].cores_committed = 2.0;
+  state.load[0].instances = 2;
+  state.load[1].cores_committed = 1.0;
+  state.load[1].instances = 1;
+  return state;
+}
+
+TEST(Rescheduler, ConsolidatesWhenPredictorApproves) {
+  StubPredictor stub;
+  stub.value = 10.0;  // everything passes
+  Rescheduler rescheduler(&stub);
+  auto a = make_profile("a", 2, 1.0);
+  auto b = make_profile("b", 1, 1.0);
+  const auto state = two_server_state(&a, &b);
+  const auto moves = rescheduler.propose(state);
+  ASSERT_FALSE(moves.empty());
+  // b's lone function (server 1 is the emptier active server) moves onto
+  // server 0, vacating server 1.
+  EXPECT_EQ(moves[0].workload, 1u);
+  EXPECT_EQ(moves[0].from, 1u);
+  EXPECT_EQ(moves[0].to, 0u);
+  EXPECT_GT(stub.calls, 0u);
+}
+
+TEST(Rescheduler, RefusesWhenFloorsWouldBreak) {
+  StubPredictor stub;
+  stub.value = 0.1;  // below every floor
+  Rescheduler rescheduler(&stub);
+  auto a = make_profile("a", 2, 1.0);
+  auto b = make_profile("b", 1, 1.0);
+  const auto state = two_server_state(&a, &b);
+  EXPECT_TRUE(rescheduler.propose(state).empty());
+}
+
+TEST(Rescheduler, NoMovesWithSingleActiveServer) {
+  StubPredictor stub;
+  Rescheduler rescheduler(&stub);
+  auto a = make_profile("a", 2, 1.0);
+  DeploymentState state;
+  state.servers = 2;
+  state.load.resize(2);
+  for (auto& l : state.load) {
+    l.cores_capacity = 10.0;
+    l.mem_capacity = 64.0;
+  }
+  state.workloads.push_back({"a", &a, {0, 0}, a.cls, core::Sla{0.1, 1.0}});
+  state.load[0].cores_committed = 2.0;
+  state.load[0].instances = 2;
+  EXPECT_TRUE(rescheduler.propose(state).empty());
+}
+
+TEST(Rescheduler, RespectsMaxMoves) {
+  StubPredictor stub;
+  stub.value = 10.0;
+  ReschedulerConfig cfg;
+  cfg.max_moves = 1;
+  Rescheduler rescheduler(&stub, cfg);
+  auto a = make_profile("a", 2, 1.0);
+  auto b = make_profile("b", 2, 1.0);
+  DeploymentState state;
+  state.servers = 4;
+  state.load.resize(4);
+  for (auto& l : state.load) {
+    l.cores_capacity = 10.0;
+    l.mem_capacity = 64.0;
+  }
+  state.workloads.push_back({"a", &a, {0, 1}, a.cls, core::Sla{0.1, 1.0}});
+  state.workloads.push_back({"b", &b, {2, 3}, b.cls, core::Sla{0.1, 1.0}});
+  for (std::size_t s = 0; s < 4; ++s) {
+    state.load[s].cores_committed = 1.0;
+    state.load[s].instances = 1;
+  }
+  EXPECT_LE(rescheduler.propose(state).size(), 1u);
+}
+
+TEST(Rescheduler, RespectsCapacity) {
+  StubPredictor stub;
+  stub.value = 10.0;
+  Rescheduler rescheduler(&stub);
+  auto a = make_profile("a", 1, 9.0);  // nearly fills a server
+  auto b = make_profile("b", 1, 9.0);
+  DeploymentState state;
+  state.servers = 2;
+  state.load.resize(2);
+  for (auto& l : state.load) {
+    l.cores_capacity = 10.0;
+    l.mem_capacity = 64.0;
+  }
+  state.workloads.push_back({"a", &a, {0}, a.cls, core::Sla{0.1, 1.0}});
+  state.workloads.push_back({"b", &b, {1}, b.cls, core::Sla{0.1, 1.0}});
+  state.load[0].cores_committed = 9.0;
+  state.load[0].instances = 1;
+  state.load[1].cores_committed = 9.0;
+  state.load[1].instances = 1;
+  // Neither 9-core function fits beside the other: no proposals.
+  EXPECT_TRUE(rescheduler.propose(state).empty());
+}
+
+}  // namespace
+}  // namespace gsight::sched

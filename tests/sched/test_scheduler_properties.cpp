@@ -1,0 +1,121 @@
+// Property sweeps shared by every scheduler implementation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/bestfit.hpp"
+#include "sched/gsight_scheduler.hpp"
+#include "sched/kube_spread.hpp"
+#include "sched/worstfit.hpp"
+
+namespace gsight::sched {
+namespace {
+
+struct Always final : core::ScenarioPredictor {
+  double predict(const core::Scenario&) const override { return 100.0; }
+  void observe(const core::Scenario&, double) override {}
+  void flush() override {}
+  std::string name() const override { return "always"; }
+};
+
+prof::AppProfile random_profile(stats::Rng& rng, std::size_t fns) {
+  prof::AppProfile p;
+  p.app_name = "p";
+  p.cls = wl::WorkloadClass::kLatencySensitive;
+  for (std::size_t i = 0; i < fns; ++i) {
+    prof::FunctionProfile fp;
+    fp.fn_name = "f" + std::to_string(i);
+    fp.demand.cores = rng.uniform(0.5, 3.0);
+    fp.mem_alloc_gb = rng.uniform(0.1, 2.0);
+    fp.solo_ipc = rng.uniform(0.8, 2.5);
+    p.functions.push_back(fp);
+  }
+  return p;
+}
+
+DeploymentState random_state(stats::Rng& rng, std::size_t servers) {
+  DeploymentState state;
+  state.servers = servers;
+  state.load.resize(servers);
+  for (auto& l : state.load) {
+    l.cores_capacity = 10.0;
+    l.mem_capacity = 64.0;
+    l.cores_committed = rng.uniform(0.0, 6.0);
+    l.mem_committed = rng.uniform(0.0, 20.0);
+    l.instances = rng.chance(0.7) ? 1 + rng.uniform_index(4) : 0;
+  }
+  return state;
+}
+
+enum class Kind { kGsight, kBestFit, kWorstFit, kKube };
+
+std::unique_ptr<Scheduler> make(Kind kind, core::ScenarioPredictor* pred) {
+  switch (kind) {
+    case Kind::kGsight:
+      return std::make_unique<GsightScheduler>(pred);
+    case Kind::kBestFit:
+      return std::make_unique<BestFitScheduler>(pred);
+    case Kind::kWorstFit:
+      return std::make_unique<WorstFitScheduler>();
+    case Kind::kKube:
+      return std::make_unique<KubeSpreadScheduler>();
+  }
+  return nullptr;
+}
+
+class SchedulerSweep : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(SchedulerSweep, PlacementsAreInRangeOrRefuse) {
+  Always always;
+  const auto scheduler = make(GetParam(), &always);
+  stats::Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t servers = 2 + rng.uniform_index(7);
+    auto state = random_state(rng, servers);
+    const auto profile = random_profile(rng, 1 + rng.uniform_index(5));
+    const auto placement = scheduler->place_workload(profile, state);
+    ASSERT_EQ(placement.size(), profile.functions.size());
+    for (std::size_t s : placement) {
+      EXPECT_TRUE(s == kRefuse || s < servers) << scheduler->name();
+    }
+  }
+}
+
+TEST_P(SchedulerSweep, DeterministicGivenIdenticalState) {
+  Always always;
+  const auto scheduler = make(GetParam(), &always);
+  stats::Rng rng(37);
+  auto state = random_state(rng, 6);
+  const auto profile = random_profile(rng, 4);
+  const auto a = scheduler->place_workload(profile, state);
+  const auto b = scheduler->place_workload(profile, state);
+  EXPECT_EQ(a, b) << scheduler->name();
+}
+
+TEST_P(SchedulerSweep, ReplicaPlacementInRangeOrRefuse) {
+  Always always;
+  const auto scheduler = make(GetParam(), &always);
+  stats::Rng rng(41);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t servers = 2 + rng.uniform_index(7);
+    auto state = random_state(rng, servers);
+    auto profile =
+        std::make_unique<prof::AppProfile>(random_profile(rng, 3));
+    DeployedWorkload dw;
+    dw.profile = profile.get();
+    dw.cls = wl::WorkloadClass::kLatencySensitive;
+    for (std::size_t i = 0; i < 3; ++i) {
+      dw.fn_to_server.push_back(rng.uniform_index(servers));
+    }
+    state.workloads.push_back(dw);
+    const std::size_t s = scheduler->place_replica(0, 1, state);
+    EXPECT_TRUE(s == kRefuse || s < servers) << scheduler->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerSweep,
+                         ::testing::Values(Kind::kGsight, Kind::kBestFit,
+                                           Kind::kWorstFit, Kind::kKube));
+
+}  // namespace
+}  // namespace gsight::sched

@@ -1,0 +1,88 @@
+#include "workloads/azure_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gsight::wl {
+namespace {
+
+TEST(AzureTrace, RateIsNonNegativeEverywhere) {
+  AzureTraceConfig cfg;
+  cfg.diurnal_amplitude = 1.0;  // extreme swing
+  AzureTraceGenerator gen(cfg);
+  for (double t = 0.0; t < 3.0 * cfg.day_seconds; t += 7.3) {
+    EXPECT_GE(gen.rate_at(t), 0.0);
+  }
+}
+
+TEST(AzureTrace, DiurnalPeriodicity) {
+  AzureTraceConfig cfg;
+  cfg.weekly_amplitude = 0.0;  // isolate the daily wave
+  AzureTraceGenerator gen(cfg);
+  for (double t = 0.0; t < cfg.day_seconds; t += 50.0) {
+    EXPECT_NEAR(gen.rate_at(t), gen.rate_at(t + cfg.day_seconds), 1e-9);
+  }
+}
+
+TEST(AzureTrace, PeakAndTroughDiffer) {
+  AzureTraceConfig cfg;
+  cfg.diurnal_amplitude = 0.6;
+  AzureTraceGenerator gen(cfg);
+  double lo = 1e18, hi = 0.0;
+  for (double t = 0.0; t < cfg.day_seconds; t += 1.0) {
+    lo = std::min(lo, gen.rate_at(t));
+    hi = std::max(hi, gen.rate_at(t));
+  }
+  EXPECT_GT(hi, 2.0 * lo);  // 0.6 amplitude => (1.6)/(0.4) = 4x swing
+}
+
+TEST(AzureTrace, ArrivalsMatchRateIntegral) {
+  AzureTraceConfig cfg;
+  cfg.base_qps = 50.0;
+  cfg.noise_sigma = 0.0;
+  cfg.weekly_amplitude = 0.0;  // so the daily sine integrates to ~0
+  AzureTraceGenerator gen(cfg, 3);
+  const double t1 = 2.0 * cfg.day_seconds;
+  const auto arrivals = gen.arrivals(0.0, t1);
+  const double expected = cfg.base_qps * t1;
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), expected,
+              0.1 * expected);
+}
+
+TEST(AzureTrace, ArrivalsSortedWithinRange) {
+  AzureTraceGenerator gen({}, 5);
+  const auto arrivals = gen.arrivals(10.0, 50.0);
+  ASSERT_FALSE(arrivals.empty());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], 10.0);
+    EXPECT_LT(arrivals[i], 50.0);
+    if (i > 0) EXPECT_GE(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+TEST(AzureTrace, DeterministicForSeed) {
+  AzureTraceGenerator a({}, 11), b({}, 11);
+  EXPECT_EQ(a.arrivals(0.0, 100.0), b.arrivals(0.0, 100.0));
+}
+
+TEST(ZipfWeights, NormalizedAndDecreasing) {
+  const auto w = zipf_weights(10, 1.1);
+  ASSERT_EQ(w.size(), 10u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    sum += w[i];
+    if (i > 0) EXPECT_LT(w[i], w[i - 1]);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(w[0], 3.0 * w[9]);  // heavy tail
+}
+
+TEST(ZipfWeights, SingleApp) {
+  const auto w = zipf_weights(1);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+}  // namespace
+}  // namespace gsight::wl

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "workloads/callgraph.hpp"
+#include "workloads/ecommerce.hpp"
+#include "workloads/serverful.hpp"
+#include "workloads/socialnetwork.hpp"
+#include "workloads/sparkapps.hpp"
+#include "workloads/suite.hpp"
+
+namespace gsight::wl {
+namespace {
+
+TEST(CallGraph, CriticalPathFollowsNestedEdges) {
+  CallGraph g(4);
+  g.set_root(0);
+  g.add_edge(0, 1, EdgeKind::kNested);
+  g.add_edge(0, 2, EdgeKind::kAsync);
+  g.add_edge(1, 3, EdgeKind::kNested);
+  EXPECT_EQ(g.critical_path(), (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_TRUE(g.on_critical_path(0));
+  EXPECT_TRUE(g.on_critical_path(3));
+  EXPECT_FALSE(g.on_critical_path(2));
+}
+
+TEST(CallGraph, TopologicalOrderRespectsEdges) {
+  CallGraph g(5);
+  g.set_root(0);
+  g.add_edge(0, 1, EdgeKind::kNested);
+  g.add_edge(0, 2, EdgeKind::kAsync);
+  g.add_edge(1, 3, EdgeKind::kNested);
+  g.add_edge(2, 4, EdgeKind::kAsync);
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](std::size_t n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(4));
+}
+
+TEST(CallGraph, CycleDetected) {
+  CallGraph g(2);
+  g.add_edge(0, 1, EdgeKind::kNested);
+  g.add_edge(1, 0, EdgeKind::kNested);
+  EXPECT_THROW(g.topological_order(), std::logic_error);
+  EXPECT_THROW(g.validate(), std::logic_error);
+}
+
+TEST(CallGraph, BadIndicesThrow) {
+  CallGraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, EdgeKind::kNested), std::logic_error);
+  EXPECT_THROW(g.add_edge(7, 0, EdgeKind::kNested), std::logic_error);
+}
+
+TEST(SocialNetwork, MatchesFigure2) {
+  const App app = social_network();
+  EXPECT_EQ(app.function_count(), 9u);
+  EXPECT_EQ(app.cls, WorkloadClass::kLatencySensitive);
+  // Critical path 1 -> 2 -> 6 -> 8 -> 9 (0-based: 0,1,5,7,8).
+  EXPECT_EQ(app.graph.critical_path(),
+            (std::vector<std::size_t>{kComposePost, kUploadMedia,
+                                      kComposeAndUpload, kUploadHomeTimeline,
+                                      kGetFollowers}));
+  // Non-critical: 3, 4, 5, 7 (0-based 2, 3, 4, 6).
+  EXPECT_FALSE(app.graph.on_critical_path(kUploadText));
+  EXPECT_FALSE(app.graph.on_critical_path(kUploadUrls));
+  EXPECT_FALSE(app.graph.on_critical_path(kUploadUniqueId));
+  EXPECT_FALSE(app.graph.on_critical_path(kPostStorage));
+}
+
+TEST(SocialNetwork, MillisecondScaleFunctions) {
+  const App app = social_network();
+  for (const auto& fn : app.functions) {
+    EXPECT_GT(fn.solo_duration_s(), 0.0005) << fn.name;
+    EXPECT_LT(fn.solo_duration_s(), 0.05) << fn.name;
+  }
+  EXPECT_LT(app.critical_path_solo_s(), app.total_solo_s());
+}
+
+TEST(ECommerce, ValidStructure) {
+  const App app = e_commerce();
+  EXPECT_EQ(app.function_count(), 6u);
+  EXPECT_NO_THROW(app.validate());
+  EXPECT_TRUE(app.graph.on_critical_path(kPayment));
+  EXPECT_FALSE(app.graph.on_critical_path(kConfirmation));
+}
+
+TEST(SparkApps, PhasesHaveDistinctPressure) {
+  const App lr = logistic_regression();
+  ASSERT_EQ(lr.functions.size(), 1u);
+  const auto& phases = lr.functions[0].phases;
+  ASSERT_EQ(phases.size(), 5u);
+  // The late-map phase is the bandwidth-hungry one (Observation 3).
+  EXPECT_GT(phases[2].demand.membw_gbps, phases[1].demand.membw_gbps);
+  // Shuffle is network-heavy.
+  EXPECT_GT(phases[3].demand.net_mbps, 500.0);
+  EXPECT_GT(lr.total_solo_s(), 300.0);
+}
+
+TEST(SparkApps, SmallVariantsScaleDown) {
+  EXPECT_LT(logistic_regression_small().total_solo_s(),
+            logistic_regression().total_solo_s() / 10.0);
+  EXPECT_LT(kmeans_small().total_solo_s(), kmeans().total_solo_s() / 10.0);
+}
+
+TEST(Suite, AllAppsValidate) {
+  for (const auto& app : full_suite()) {
+    EXPECT_NO_THROW(app.validate()) << app.name;
+    EXPECT_GT(app.total_solo_s(), 0.0) << app.name;
+  }
+}
+
+TEST(Suite, ClassesPartitionCorrectly) {
+  for (const auto& app : ls_suite()) {
+    EXPECT_EQ(app.cls, WorkloadClass::kLatencySensitive) << app.name;
+  }
+  for (const auto& app : sc_suite()) {
+    EXPECT_EQ(app.cls, WorkloadClass::kShortCompute) << app.name;
+  }
+  for (const auto& app : bg_suite()) {
+    EXPECT_EQ(app.cls, WorkloadClass::kBackground) << app.name;
+  }
+}
+
+TEST(Suite, ByNameFindsAndThrows) {
+  EXPECT_EQ(by_name("social-network").function_count(), 9u);
+  EXPECT_THROW(by_name("nonexistent"), std::out_of_range);
+}
+
+TEST(Suite, CharacterizationCorunnersCoverChannels) {
+  const auto corunners = characterization_corunners();
+  ASSERT_EQ(corunners.size(), 4u);
+  const auto& mm = corunners[0].functions[0].average_demand();
+  const auto& d = corunners[1].functions[0].average_demand();
+  const auto& ip = corunners[2].functions[0].average_demand();
+  EXPECT_GT(mm.cores, 2.0);          // matmul: CPU
+  EXPECT_GT(d.disk_mbps, 100.0);     // dd: disk
+  EXPECT_GT(ip.net_mbps, 1000.0);    // iperf: net
+}
+
+TEST(Monolithize, FusesFunctions) {
+  const App mono = monolithize(social_network());
+  EXPECT_EQ(mono.function_count(), 1u);
+  EXPECT_NO_THROW(mono.validate());
+  // Memory adds up; duration collapses to the critical path.
+  double mem = 0.0;
+  for (const auto& fn : social_network().functions) mem += fn.mem_alloc_gb;
+  EXPECT_NEAR(mono.functions[0].mem_alloc_gb, mem, 1e-9);
+}
+
+TEST(FunctionSpec, AverageDemandWeightsByDuration) {
+  FunctionSpec fn;
+  fn.phases.push_back(cpu_phase("a", 3.0, /*cores=*/4.0));
+  fn.phases.push_back(disk_phase("b", 1.0, 100.0));
+  const auto avg = fn.average_demand();
+  // cores: 0.75*4 + 0.25*0.3 = 3.075
+  EXPECT_NEAR(avg.cores, 3.075, 1e-9);
+  EXPECT_NEAR(avg.disk_mbps, 25.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gsight::wl

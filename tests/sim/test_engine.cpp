@@ -1,0 +1,89 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gsight::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.push(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine e;
+  double seen = -1.0;
+  e.at(5.0, [&] { seen = e.now(); });
+  e.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, AfterIsRelative) {
+  Engine e;
+  e.run_until(2.0);
+  double fired_at = -1.0;
+  e.after(3.0, [&] { fired_at = e.now(); });
+  e.run_until(100.0);
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine e;
+  int fired = 0;
+  e.at(1.0, [&] { ++fired; });
+  e.at(5.0, [&] { ++fired; });
+  e.at(5.0 + 1e-9, [&] { ++fired; });
+  EXPECT_EQ(e.run_until(5.0), 2u);  // events at exactly `until` run
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(e.now());
+    if (times.size() < 4) e.after(1.0, chain);
+  };
+  e.at(0.0, chain);
+  e.run_until(10.0);
+  EXPECT_EQ(times, (std::vector<double>{0.0, 1.0, 2.0, 3.0}));
+}
+
+TEST(Engine, RunAllDrainsEverything) {
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    e.at(static_cast<double>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(e.run_all(), 10u);
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, RunUntilPastEmptyQueueAdvancesClock) {
+  Engine e;
+  EXPECT_EQ(e.run_until(7.5), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 7.5);
+}
+
+}  // namespace
+}  // namespace gsight::sim

@@ -1,0 +1,109 @@
+// The scatter-gather workloads (web search, wordcount) exercise parallel
+// *nested* branches — the caller must wait for ALL children.
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+#include "workloads/pipelines.hpp"
+
+namespace gsight::sim {
+namespace {
+
+PlatformConfig warm_sockets(std::size_t servers) {
+  PlatformConfig pc;
+  pc.servers = servers;
+  pc.server = ServerConfig::socket();
+  pc.seed = 3;
+  pc.instance.startup_cores = 0.0;
+  pc.instance.startup_disk_mbps = 0.0;
+  return pc;
+}
+
+TEST(Pipelines, AppsValidate) {
+  EXPECT_NO_THROW(wl::web_search().validate());
+  EXPECT_NO_THROW(wl::inference_pipeline().validate());
+  EXPECT_NO_THROW(wl::wordcount().validate());
+  EXPECT_NO_THROW(wl::wordcount(8, 0.5).validate());
+  EXPECT_EQ(wl::wordcount(8).function_count(), 10u);
+}
+
+TEST(Pipelines, WebSearchWaitsForAllShards) {
+  Platform platform(warm_sockets(4));
+  auto app = wl::web_search();
+  for (auto& fn : app.functions) {
+    fn.cold_start_s = 0.0;
+    fn.jitter_sigma = 0.0;
+  }
+  // Make shard 2 slow: the end-to-end latency must follow the slowest
+  // shard even though shards 0/1 finish early (scatter-gather).
+  app.functions[4].phases[0].solo_duration_s = 0.5;
+  const std::size_t id =
+      platform.deploy(app, std::vector<std::size_t>(7, 0));
+  platform.issue_request(id);
+  platform.run_until(5.0);
+  const auto& st = platform.stats(id);
+  ASSERT_EQ(st.e2e.size(), 1u);
+  EXPECT_GT(st.e2e[0].second, 0.5);
+}
+
+TEST(Pipelines, WordcountMakespanIsSlowestMapperPath) {
+  Platform platform(warm_sockets(8));
+  auto app = wl::wordcount(4, 0.02);  // seconds-scale
+  for (auto& fn : app.functions) {
+    fn.cold_start_s = 0.0;
+    fn.jitter_sigma = 0.0;
+  }
+  std::vector<std::size_t> placement(app.function_count());
+  for (std::size_t i = 0; i < placement.size(); ++i) placement[i] = i % 8;
+  const std::size_t id = platform.deploy(app, placement);
+  double jct = 0.0;
+  platform.submit_job(id, [&](double v) { jct = v; });
+  platform.run_until(60.0);
+  // split (0.2 s) + map (0.8 s, parallel) + reduce (0.24 s).
+  const double expected = 0.02 * 60.0 * (10.0 + 40.0 + 12.0) / 60.0;
+  EXPECT_NEAR(jct, expected, 0.15);
+}
+
+TEST(Pipelines, ParallelMappersContendWhenColocated) {
+  // All four mappers on one socket vs spread over four: the colocated
+  // makespan must be longer (memory-bandwidth contention).
+  auto run = [](bool colocated) {
+    Platform platform(warm_sockets(4));
+    auto app = wl::wordcount(4, 0.05);
+    for (auto& fn : app.functions) {
+      fn.cold_start_s = 0.0;
+      fn.jitter_sigma = 0.0;
+    }
+    std::vector<std::size_t> placement(app.function_count(), 0);
+    if (!colocated) {
+      for (std::size_t i = 0; i < placement.size(); ++i) placement[i] = i % 4;
+    }
+    const std::size_t id = platform.deploy(app, placement);
+    double jct = 0.0;
+    platform.submit_job(id, [&](double v) { jct = v; });
+    platform.run_until(300.0);
+    return jct;
+  };
+  const double packed = run(true);
+  const double spread = run(false);
+  EXPECT_GT(packed, spread * 1.1);
+}
+
+TEST(Pipelines, InferencePipelineAsyncPostprocess) {
+  Platform platform(warm_sockets(2));
+  auto app = wl::inference_pipeline();
+  for (auto& fn : app.functions) {
+    fn.cold_start_s = 0.0;
+    fn.jitter_sigma = 0.0;
+  }
+  // Blow up the async postprocess: e2e must not follow.
+  app.functions[2].phases[0].solo_duration_s = 2.0;
+  const std::size_t id =
+      platform.deploy(app, std::vector<std::size_t>(3, 0));
+  platform.issue_request(id);
+  platform.run_until(10.0);
+  ASSERT_EQ(platform.stats(id).e2e.size(), 1u);
+  EXPECT_LT(platform.stats(id).e2e[0].second, 0.5);
+}
+
+}  // namespace
+}  // namespace gsight::sim

@@ -1,0 +1,88 @@
+#include "workloads/serverful.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+#include "workloads/socialnetwork.hpp"
+
+namespace gsight::wl {
+namespace {
+
+TEST(Serverful, SuiteValidates) {
+  const auto suite = serverful_suite();
+  EXPECT_EQ(suite.size(), 5u);
+  for (const auto& app : suite) {
+    EXPECT_NO_THROW(app.validate()) << app.name;
+    EXPECT_EQ(app.function_count(), 1u) << app.name;  // monolithic
+  }
+}
+
+TEST(Serverful, ClassesMatchTheirRoles) {
+  EXPECT_EQ(redis_server().cls, WorkloadClass::kLatencySensitive);
+  EXPECT_EQ(solr_search().cls, WorkloadClass::kLatencySensitive);
+  EXPECT_EQ(mongodb_server().cls, WorkloadClass::kLatencySensitive);
+  EXPECT_EQ(bigdata_sort().cls, WorkloadClass::kShortCompute);
+}
+
+TEST(Serverful, MonolithizePreservesWorkAndBlendsDemand) {
+  const auto sn = social_network();
+  const auto mono = monolithize(sn);
+  // The monolith's single-request duration is the critical path (one
+  // container executes the chain inline).
+  EXPECT_NEAR(mono.functions[0].solo_duration_s(), sn.critical_path_solo_s(),
+              1e-12);
+  // Blended demand is a convex combination: within the min/max of the
+  // original functions.
+  const auto blended = mono.functions[0].average_demand();
+  double lo = 1e18, hi = 0.0;
+  for (const auto& fn : sn.functions) {
+    lo = std::min(lo, fn.average_demand().cores);
+    hi = std::max(hi, fn.average_demand().cores);
+  }
+  EXPECT_GE(blended.cores, lo - 1e-12);
+  EXPECT_LE(blended.cores, hi + 1e-12);
+}
+
+TEST(Serverful, MonolithizeIsIdempotentInShape) {
+  const auto once = monolithize(social_network());
+  const auto twice = monolithize(once);
+  EXPECT_EQ(twice.function_count(), 1u);
+  EXPECT_NEAR(twice.functions[0].solo_duration_s(),
+              once.functions[0].solo_duration_s(), 1e-12);
+}
+
+TEST(Serverful, RedisServesHighQpsSolo) {
+  sim::PlatformConfig pc;
+  pc.servers = 1;
+  pc.server = sim::ServerConfig::socket();
+  pc.instance.startup_cores = 0.0;
+  sim::Platform platform(pc);
+  auto app = redis_server();
+  app.functions[0].cold_start_s = 0.0;
+  const std::size_t id = platform.deploy(app, {0});
+  platform.set_open_loop(id, 200.0);
+  platform.run_until(20.0);
+  const auto lat = platform.stats(id).e2e_values_between(5.0, 20.0);
+  ASSERT_GT(lat.size(), 1000u);
+  // Sub-millisecond service at 200 qps: p99 stays low-millisecond.
+  EXPECT_LT(stats::percentile(lat, 99.0), 0.01);
+}
+
+TEST(Serverful, BigdataSortRunsAsJob) {
+  sim::PlatformConfig pc;
+  pc.servers = 1;
+  pc.server = sim::ServerConfig::socket();
+  pc.instance.startup_cores = 0.0;
+  sim::Platform platform(pc);
+  auto app = bigdata_sort();
+  app.functions[0].cold_start_s = 0.0;
+  app.functions[0].jitter_sigma = 0.0;
+  const std::size_t id = platform.deploy(app, {0});
+  double jct = 0.0;
+  platform.submit_job(id, [&](double v) { jct = v; });
+  platform.run_until(1000.0);
+  EXPECT_NEAR(jct, app.total_solo_s(), app.total_solo_s() * 0.05);
+}
+
+}  // namespace
+}  // namespace gsight::wl

@@ -1,0 +1,212 @@
+// gsight — command-line front end for the library's main workflows.
+//
+//   gsight list                         workloads in the built-in suite
+//   gsight profile <app> [qps] [out]    solo-profile an app (optionally save)
+//   gsight train <store> <model-out>    build a training stream from the
+//                                       suite and fit + persist an IRFR
+//   gsight predict <store> <model> <target> <corunner> <same|apart>
+//                                       what-if: predict target IPC with the
+//                                       corunner colocated or isolated
+//   gsight demo                         30-second end-to-end tour
+//
+// Everything runs on the simulator; profiles/models persist via the text
+// formats in profiling/profile_io.hpp and ml/forest_io.hpp.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "ml/forest_io.hpp"
+#include "profiling/profile_io.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace gsight;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  gsight list\n"
+               "  gsight profile <app> [qps] [store-out]\n"
+               "  gsight train <store-in> <model-out> [scenarios]\n"
+               "  gsight predict <store-in> <model-in> <target-key> "
+               "<corunner-key> <same|apart>\n"
+               "  gsight demo\n");
+  return 2;
+}
+
+prof::SoloProfilerConfig profiler_config() {
+  prof::SoloProfilerConfig cfg;
+  cfg.server = sim::ServerConfig::socket();
+  cfg.ls_profile_s = 25.0;
+  return cfg;
+}
+
+int cmd_list() {
+  std::printf("%-24s %-4s %10s %12s\n", "name", "cls", "functions",
+              "solo(s)");
+  for (const auto& app : wl::full_suite()) {
+    std::printf("%-24s %-4s %10zu %12.3f\n", app.name.c_str(),
+                wl::to_string(app.cls).c_str(), app.function_count(),
+                app.total_solo_s());
+  }
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string name = argv[0];
+  const double qps = argc >= 2 ? std::atof(argv[1]) : 0.0;
+  const auto app = wl::by_name(name);
+  prof::ProfileStore store;
+  const auto key = core::ensure_profile(store, app, qps, profiler_config());
+  const auto& profile = store.get(key);
+  std::printf("profiled %s: %zu functions", key.c_str(),
+              profile.functions.size());
+  if (app.cls == wl::WorkloadClass::kLatencySensitive) {
+    std::printf(", solo p99 %.2f ms, mean IPC %.3f\n",
+                profile.solo_e2e_p99_s * 1e3, profile.solo_mean_ipc);
+  } else {
+    std::printf(", solo JCT %.1f s\n", profile.solo_jct_s);
+  }
+  for (const auto& fn : profile.functions) {
+    std::printf("  %-24s solo %.4gs  ipc %.3f  %.1f cores\n",
+                fn.fn_name.c_str(), fn.solo_duration_s, fn.solo_ipc,
+                fn.demand.cores);
+  }
+  if (argc >= 3) {
+    prof::save_store(store, argv[2]);
+    std::printf("store written to %s\n", argv[2]);
+  }
+  return 0;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string store_path = argv[0];
+  const std::string model_path = argv[1];
+  const std::size_t scenarios = argc >= 3
+                                    ? static_cast<std::size_t>(
+                                          std::atol(argv[2]))
+                                    : 120;
+
+  prof::ProfileStore store;
+  core::BuilderConfig cfg;
+  cfg.runner.servers = 8;
+  cfg.runner.server = sim::ServerConfig::socket();
+  cfg.encoder.servers = 8;
+  cfg.profiler = profiler_config();
+  core::DatasetBuilder builder(&store, cfg, /*seed=*/2026);
+  std::printf("building %zu LS+SC/BG scenarios (profiles on demand)...\n",
+              scenarios);
+  const auto stream =
+      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc,
+                    scenarios);
+
+  ml::IncrementalForestConfig fc;
+  fc.forest.n_trees = 80;
+  fc.forest.tree.split_mode = ml::SplitMode::kRandom;
+  fc.forest.tree.max_features = 128;
+  ml::IncrementalForest model(fc, 1);
+  ml::Dataset train(builder.encoder().dimension());
+  for (const auto& s : stream) {
+    for (double l : s.labels) train.add(s.features, l);
+  }
+  model.partial_fit(train);
+  std::printf("trained IRFR on %zu samples from %zu scenarios\n",
+              train.size(), stream.size());
+
+  prof::save_store(store, store_path);
+  ml::save_incremental_forest(model, model_path);
+  std::printf("store -> %s\nmodel -> %s\n", store_path.c_str(),
+              model_path.c_str());
+  return 0;
+}
+
+int cmd_predict(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto store = prof::load_store(argv[0]);
+  auto model = ml::load_incremental_forest(argv[1]);
+  const auto& target = store.get(argv[2]);
+  const auto& corunner = store.get(argv[3]);
+  const bool same = argc >= 5 && std::strcmp(argv[4], "apart") != 0;
+
+  core::EncoderConfig ec;
+  ec.servers = 8;
+  const core::Encoder encoder(ec);
+  core::Scenario scenario;
+  scenario.servers = 8;
+  core::WorkloadDeployment t;
+  t.profile = &target;
+  for (std::size_t i = 0; i < target.functions.size(); ++i) {
+    t.fn_to_server.push_back(i % 4);  // spread over the first 4 sockets
+  }
+  core::WorkloadDeployment c;
+  c.profile = &corunner;
+  c.fn_to_server.assign(corunner.functions.size(), same ? 0 : 7);
+  c.lifetime_s = corunner.solo_jct_s;
+  scenario.workloads = {t, c};
+
+  const double ipc = model.predict(encoder.encode(scenario));
+  std::printf("predicted IPC of %s with %s %s: %.3f (solo %.3f)\n", argv[2],
+              argv[3], same ? "colocated" : "isolated", ipc,
+              target.solo_mean_ipc);
+  return 0;
+}
+
+int cmd_demo() {
+  std::printf("== gsight demo: profile -> observe -> predict ==\n");
+  prof::ProfileStore store;
+  core::BuilderConfig cfg;
+  cfg.runner.servers = 4;
+  cfg.encoder.servers = 4;
+  cfg.encoder.max_workloads = 4;
+  cfg.runner.server = sim::ServerConfig::socket();
+  cfg.profiler = profiler_config();
+  cfg.profiler.ls_profile_s = 15.0;
+  cfg.ls_qps_levels = {40.0};
+  core::DatasetBuilder builder(&store, cfg, 7);
+
+  core::PredictorConfig pc;
+  pc.encoder = cfg.encoder;
+  core::GsightPredictor predictor(pc);
+  const auto stream =
+      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc, 30);
+  ml::Dataset train(predictor.encoder().dimension());
+  for (const auto& s : stream) {
+    for (double l : s.labels) train.add(s.features, l);
+  }
+  predictor.train(train);
+  std::printf("trained on %zu samples (%zu scenarios)\n", train.size(),
+              stream.size());
+  // Prequential check on a few fresh scenarios.
+  const auto fresh =
+      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc, 6);
+  for (const auto& s : fresh) {
+    const double truth = stats::mean(s.labels);
+    const double pred = predictor.predict(s.outcome.scenario);
+    std::printf("  %-18s measured IPC %.3f predicted %.3f (%.1f%% error)\n",
+                s.outcome.scenario.workloads[0].profile->app_name.c_str(),
+                truth, pred, 100.0 * std::abs(pred - truth) / truth);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "profile") return cmd_profile(argc - 2, argv + 2);
+    if (cmd == "train") return cmd_train(argc - 2, argv + 2);
+    if (cmd == "predict") return cmd_predict(argc - 2, argv + 2);
+    if (cmd == "demo") return cmd_demo();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
