@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_scheduling.dir/bench_fig11_scheduling.cpp.o"
+  "CMakeFiles/bench_fig11_scheduling.dir/bench_fig11_scheduling.cpp.o.d"
+  "bench_fig11_scheduling"
+  "bench_fig11_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_sla.dir/bench_fig12_sla.cpp.o"
+  "CMakeFiles/bench_fig12_sla.dir/bench_fig12_sla.cpp.o.d"
+  "bench_fig12_sla"
+  "bench_fig12_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

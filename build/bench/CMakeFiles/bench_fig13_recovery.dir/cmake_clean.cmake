@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_recovery.dir/bench_fig13_recovery.cpp.o"
+  "CMakeFiles/bench_fig13_recovery.dir/bench_fig13_recovery.cpp.o.d"
+  "bench_fig13_recovery"
+  "bench_fig13_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_overhead.dir/bench_fig14_overhead.cpp.o"
+  "CMakeFiles/bench_fig14_overhead.dir/bench_fig14_overhead.cpp.o.d"
+  "bench_fig14_overhead"
+  "bench_fig14_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_volatility.dir/bench_fig3_volatility.cpp.o"
+  "CMakeFiles/bench_fig3_volatility.dir/bench_fig3_volatility.cpp.o.d"
+  "bench_fig3_volatility"
+  "bench_fig3_volatility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_volatility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_propagation.dir/bench_fig4_propagation.cpp.o"
+  "CMakeFiles/bench_fig4_propagation.dir/bench_fig4_propagation.cpp.o.d"
+  "bench_fig4_propagation"
+  "bench_fig4_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_knee.dir/bench_fig7_knee.cpp.o"
+  "CMakeFiles/bench_fig7_knee.dir/bench_fig7_knee.cpp.o.d"
+  "bench_fig7_knee"
+  "bench_fig7_knee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_knee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

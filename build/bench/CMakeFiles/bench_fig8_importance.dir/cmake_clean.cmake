@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_importance.dir/bench_fig8_importance.cpp.o"
+  "CMakeFiles/bench_fig8_importance.dir/bench_fig8_importance.cpp.o.d"
+  "bench_fig8_importance"
+  "bench_fig8_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_correlation.dir/bench_table3_correlation.cpp.o"
+  "CMakeFiles/bench_table3_correlation.dir/bench_table3_correlation.cpp.o.d"
+  "bench_table3_correlation"
+  "bench_table3_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

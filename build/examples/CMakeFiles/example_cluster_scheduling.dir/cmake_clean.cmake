@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_scheduling.dir/cluster_scheduling.cpp.o"
+  "CMakeFiles/example_cluster_scheduling.dir/cluster_scheduling.cpp.o.d"
+  "example_cluster_scheduling"
+  "example_cluster_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/profile_explorer.cpp" "examples/CMakeFiles/example_profile_explorer.dir/profile_explorer.cpp.o" "gcc" "examples/CMakeFiles/example_profile_explorer.dir/profile_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_profile_explorer.dir/profile_explorer.cpp.o"
+  "CMakeFiles/example_profile_explorer.dir/profile_explorer.cpp.o.d"
+  "example_profile_explorer"
+  "example_profile_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_profile_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

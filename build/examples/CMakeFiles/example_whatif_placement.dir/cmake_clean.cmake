@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_whatif_placement.dir/whatif_placement.cpp.o"
+  "CMakeFiles/example_whatif_placement.dir/whatif_placement.cpp.o.d"
+  "example_whatif_placement"
+  "example_whatif_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_whatif_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

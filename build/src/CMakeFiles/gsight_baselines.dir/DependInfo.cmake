@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/esp.cpp" "src/CMakeFiles/gsight_baselines.dir/baselines/esp.cpp.o" "gcc" "src/CMakeFiles/gsight_baselines.dir/baselines/esp.cpp.o.d"
+  "/root/repo/src/baselines/pythia.cpp" "src/CMakeFiles/gsight_baselines.dir/baselines/pythia.cpp.o" "gcc" "src/CMakeFiles/gsight_baselines.dir/baselines/pythia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_baselines.dir/baselines/esp.cpp.o"
+  "CMakeFiles/gsight_baselines.dir/baselines/esp.cpp.o.d"
+  "CMakeFiles/gsight_baselines.dir/baselines/pythia.cpp.o"
+  "CMakeFiles/gsight_baselines.dir/baselines/pythia.cpp.o.d"
+  "libgsight_baselines.a"
+  "libgsight_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

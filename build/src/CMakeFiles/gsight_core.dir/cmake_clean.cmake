@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_core.dir/core/encoder.cpp.o"
+  "CMakeFiles/gsight_core.dir/core/encoder.cpp.o.d"
+  "CMakeFiles/gsight_core.dir/core/overlap_coding.cpp.o"
+  "CMakeFiles/gsight_core.dir/core/overlap_coding.cpp.o.d"
+  "CMakeFiles/gsight_core.dir/core/predictor.cpp.o"
+  "CMakeFiles/gsight_core.dir/core/predictor.cpp.o.d"
+  "CMakeFiles/gsight_core.dir/core/sla.cpp.o"
+  "CMakeFiles/gsight_core.dir/core/sla.cpp.o.d"
+  "CMakeFiles/gsight_core.dir/core/trainer.cpp.o"
+  "CMakeFiles/gsight_core.dir/core/trainer.cpp.o.d"
+  "libgsight_core.a"
+  "libgsight_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

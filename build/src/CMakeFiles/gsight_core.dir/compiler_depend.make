@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gsight_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/gsight_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/CMakeFiles/gsight_ml.dir/ml/decision_tree.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/forest_io.cpp" "src/CMakeFiles/gsight_ml.dir/ml/forest_io.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/forest_io.cpp.o.d"
+  "/root/repo/src/ml/incremental_forest.cpp" "src/CMakeFiles/gsight_ml.dir/ml/incremental_forest.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/incremental_forest.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/gsight_ml.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/CMakeFiles/gsight_ml.dir/ml/linear.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/linear.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/CMakeFiles/gsight_ml.dir/ml/matrix.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/gsight_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/gsight_ml.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/CMakeFiles/gsight_ml.dir/ml/model.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/model.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/CMakeFiles/gsight_ml.dir/ml/pca.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/pca.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/CMakeFiles/gsight_ml.dir/ml/random_forest.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/random_forest.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/CMakeFiles/gsight_ml.dir/ml/scaler.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/scaler.cpp.o.d"
+  "/root/repo/src/ml/svr.cpp" "src/CMakeFiles/gsight_ml.dir/ml/svr.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/svr.cpp.o.d"
+  "/root/repo/src/ml/thread_pool.cpp" "src/CMakeFiles/gsight_ml.dir/ml/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gsight_ml.dir/ml/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/decision_tree.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/decision_tree.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/forest_io.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/forest_io.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/incremental_forest.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/incremental_forest.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/knn.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/knn.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/linear.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/linear.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/matrix.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/matrix.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/mlp.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/mlp.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/model.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/model.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/pca.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/pca.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/random_forest.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/random_forest.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/scaler.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/scaler.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/svr.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/svr.cpp.o.d"
+  "CMakeFiles/gsight_ml.dir/ml/thread_pool.cpp.o"
+  "CMakeFiles/gsight_ml.dir/ml/thread_pool.cpp.o.d"
+  "libgsight_ml.a"
+  "libgsight_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

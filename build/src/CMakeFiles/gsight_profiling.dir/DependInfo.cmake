@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/load_generator.cpp" "src/CMakeFiles/gsight_profiling.dir/profiling/load_generator.cpp.o" "gcc" "src/CMakeFiles/gsight_profiling.dir/profiling/load_generator.cpp.o.d"
+  "/root/repo/src/profiling/metric_set.cpp" "src/CMakeFiles/gsight_profiling.dir/profiling/metric_set.cpp.o" "gcc" "src/CMakeFiles/gsight_profiling.dir/profiling/metric_set.cpp.o.d"
+  "/root/repo/src/profiling/profile.cpp" "src/CMakeFiles/gsight_profiling.dir/profiling/profile.cpp.o" "gcc" "src/CMakeFiles/gsight_profiling.dir/profiling/profile.cpp.o.d"
+  "/root/repo/src/profiling/profile_io.cpp" "src/CMakeFiles/gsight_profiling.dir/profiling/profile_io.cpp.o" "gcc" "src/CMakeFiles/gsight_profiling.dir/profiling/profile_io.cpp.o.d"
+  "/root/repo/src/profiling/solo_profiler.cpp" "src/CMakeFiles/gsight_profiling.dir/profiling/solo_profiler.cpp.o" "gcc" "src/CMakeFiles/gsight_profiling.dir/profiling/solo_profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

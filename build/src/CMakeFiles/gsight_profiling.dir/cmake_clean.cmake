@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_profiling.dir/profiling/load_generator.cpp.o"
+  "CMakeFiles/gsight_profiling.dir/profiling/load_generator.cpp.o.d"
+  "CMakeFiles/gsight_profiling.dir/profiling/metric_set.cpp.o"
+  "CMakeFiles/gsight_profiling.dir/profiling/metric_set.cpp.o.d"
+  "CMakeFiles/gsight_profiling.dir/profiling/profile.cpp.o"
+  "CMakeFiles/gsight_profiling.dir/profiling/profile.cpp.o.d"
+  "CMakeFiles/gsight_profiling.dir/profiling/profile_io.cpp.o"
+  "CMakeFiles/gsight_profiling.dir/profiling/profile_io.cpp.o.d"
+  "CMakeFiles/gsight_profiling.dir/profiling/solo_profiler.cpp.o"
+  "CMakeFiles/gsight_profiling.dir/profiling/solo_profiler.cpp.o.d"
+  "libgsight_profiling.a"
+  "libgsight_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bestfit.cpp" "src/CMakeFiles/gsight_sched.dir/sched/bestfit.cpp.o" "gcc" "src/CMakeFiles/gsight_sched.dir/sched/bestfit.cpp.o.d"
+  "/root/repo/src/sched/experiment.cpp" "src/CMakeFiles/gsight_sched.dir/sched/experiment.cpp.o" "gcc" "src/CMakeFiles/gsight_sched.dir/sched/experiment.cpp.o.d"
+  "/root/repo/src/sched/gsight_scheduler.cpp" "src/CMakeFiles/gsight_sched.dir/sched/gsight_scheduler.cpp.o" "gcc" "src/CMakeFiles/gsight_sched.dir/sched/gsight_scheduler.cpp.o.d"
+  "/root/repo/src/sched/kube_spread.cpp" "src/CMakeFiles/gsight_sched.dir/sched/kube_spread.cpp.o" "gcc" "src/CMakeFiles/gsight_sched.dir/sched/kube_spread.cpp.o.d"
+  "/root/repo/src/sched/rescheduler.cpp" "src/CMakeFiles/gsight_sched.dir/sched/rescheduler.cpp.o" "gcc" "src/CMakeFiles/gsight_sched.dir/sched/rescheduler.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/gsight_sched.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/gsight_sched.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sched/worstfit.cpp" "src/CMakeFiles/gsight_sched.dir/sched/worstfit.cpp.o" "gcc" "src/CMakeFiles/gsight_sched.dir/sched/worstfit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_sched.dir/sched/bestfit.cpp.o"
+  "CMakeFiles/gsight_sched.dir/sched/bestfit.cpp.o.d"
+  "CMakeFiles/gsight_sched.dir/sched/experiment.cpp.o"
+  "CMakeFiles/gsight_sched.dir/sched/experiment.cpp.o.d"
+  "CMakeFiles/gsight_sched.dir/sched/gsight_scheduler.cpp.o"
+  "CMakeFiles/gsight_sched.dir/sched/gsight_scheduler.cpp.o.d"
+  "CMakeFiles/gsight_sched.dir/sched/kube_spread.cpp.o"
+  "CMakeFiles/gsight_sched.dir/sched/kube_spread.cpp.o.d"
+  "CMakeFiles/gsight_sched.dir/sched/rescheduler.cpp.o"
+  "CMakeFiles/gsight_sched.dir/sched/rescheduler.cpp.o.d"
+  "CMakeFiles/gsight_sched.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/gsight_sched.dir/sched/scheduler.cpp.o.d"
+  "CMakeFiles/gsight_sched.dir/sched/worstfit.cpp.o"
+  "CMakeFiles/gsight_sched.dir/sched/worstfit.cpp.o.d"
+  "libgsight_sched.a"
+  "libgsight_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgsight_sched.a"
+)

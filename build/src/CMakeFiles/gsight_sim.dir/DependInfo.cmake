@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/autoscaler.cpp" "src/CMakeFiles/gsight_sim.dir/sim/autoscaler.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/autoscaler.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/gsight_sim.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/gsight_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/gsight_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/gateway.cpp" "src/CMakeFiles/gsight_sim.dir/sim/gateway.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/gateway.cpp.o.d"
+  "/root/repo/src/sim/instance.cpp" "src/CMakeFiles/gsight_sim.dir/sim/instance.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/instance.cpp.o.d"
+  "/root/repo/src/sim/interference.cpp" "src/CMakeFiles/gsight_sim.dir/sim/interference.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/interference.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/CMakeFiles/gsight_sim.dir/sim/platform.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/platform.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/CMakeFiles/gsight_sim.dir/sim/recorder.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/recorder.cpp.o.d"
+  "/root/repo/src/sim/request.cpp" "src/CMakeFiles/gsight_sim.dir/sim/request.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/request.cpp.o.d"
+  "/root/repo/src/sim/resources.cpp" "src/CMakeFiles/gsight_sim.dir/sim/resources.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/resources.cpp.o.d"
+  "/root/repo/src/sim/server.cpp" "src/CMakeFiles/gsight_sim.dir/sim/server.cpp.o" "gcc" "src/CMakeFiles/gsight_sim.dir/sim/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_sim.dir/sim/autoscaler.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/autoscaler.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/cluster.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/cluster.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/gateway.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/gateway.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/instance.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/instance.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/interference.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/interference.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/platform.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/platform.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/recorder.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/recorder.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/request.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/request.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/resources.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/resources.cpp.o.d"
+  "CMakeFiles/gsight_sim.dir/sim/server.cpp.o"
+  "CMakeFiles/gsight_sim.dir/sim/server.cpp.o.d"
+  "libgsight_sim.a"
+  "libgsight_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

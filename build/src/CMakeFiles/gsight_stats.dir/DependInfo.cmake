@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/CMakeFiles/gsight_stats.dir/stats/correlation.cpp.o" "gcc" "src/CMakeFiles/gsight_stats.dir/stats/correlation.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/gsight_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/gsight_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/CMakeFiles/gsight_stats.dir/stats/rng.cpp.o" "gcc" "src/CMakeFiles/gsight_stats.dir/stats/rng.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/gsight_stats.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/gsight_stats.dir/stats/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_stats.dir/stats/correlation.cpp.o"
+  "CMakeFiles/gsight_stats.dir/stats/correlation.cpp.o.d"
+  "CMakeFiles/gsight_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/gsight_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/gsight_stats.dir/stats/rng.cpp.o"
+  "CMakeFiles/gsight_stats.dir/stats/rng.cpp.o.d"
+  "CMakeFiles/gsight_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/gsight_stats.dir/stats/summary.cpp.o.d"
+  "libgsight_stats.a"
+  "libgsight_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/app.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/app.cpp.o.d"
+  "/root/repo/src/workloads/azure_trace.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/azure_trace.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/azure_trace.cpp.o.d"
+  "/root/repo/src/workloads/callgraph.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/callgraph.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/callgraph.cpp.o.d"
+  "/root/repo/src/workloads/ecommerce.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/ecommerce.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/ecommerce.cpp.o.d"
+  "/root/repo/src/workloads/function_spec.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/function_spec.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/function_spec.cpp.o.d"
+  "/root/repo/src/workloads/functionbench.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/functionbench.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/functionbench.cpp.o.d"
+  "/root/repo/src/workloads/phase.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/phase.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/phase.cpp.o.d"
+  "/root/repo/src/workloads/pipelines.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/pipelines.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/pipelines.cpp.o.d"
+  "/root/repo/src/workloads/serverful.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/serverful.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/serverful.cpp.o.d"
+  "/root/repo/src/workloads/socialnetwork.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/socialnetwork.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/socialnetwork.cpp.o.d"
+  "/root/repo/src/workloads/sparkapps.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/sparkapps.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/sparkapps.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/gsight_workloads.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/gsight_workloads.dir/workloads/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_workloads.dir/workloads/app.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/app.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/azure_trace.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/azure_trace.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/callgraph.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/callgraph.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/ecommerce.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/ecommerce.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/function_spec.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/function_spec.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/functionbench.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/functionbench.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/phase.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/phase.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/pipelines.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/pipelines.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/serverful.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/serverful.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/socialnetwork.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/socialnetwork.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/sparkapps.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/sparkapps.cpp.o.d"
+  "CMakeFiles/gsight_workloads.dir/workloads/suite.cpp.o"
+  "CMakeFiles/gsight_workloads.dir/workloads/suite.cpp.o.d"
+  "libgsight_workloads.a"
+  "libgsight_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

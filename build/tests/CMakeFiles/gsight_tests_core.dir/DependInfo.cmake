@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_baselines.cpp" "tests/CMakeFiles/gsight_tests_core.dir/core/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_core.dir/core/test_baselines.cpp.o.d"
+  "/root/repo/tests/core/test_overlap_encoder.cpp" "tests/CMakeFiles/gsight_tests_core.dir/core/test_overlap_encoder.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_core.dir/core/test_overlap_encoder.cpp.o.d"
+  "/root/repo/tests/core/test_predictor_trainer.cpp" "tests/CMakeFiles/gsight_tests_core.dir/core/test_predictor_trainer.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_core.dir/core/test_predictor_trainer.cpp.o.d"
+  "/root/repo/tests/core/test_profile_io.cpp" "tests/CMakeFiles/gsight_tests_core.dir/core/test_profile_io.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_core.dir/core/test_profile_io.cpp.o.d"
+  "/root/repo/tests/core/test_profiling.cpp" "tests/CMakeFiles/gsight_tests_core.dir/core/test_profiling.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_core.dir/core/test_profiling.cpp.o.d"
+  "/root/repo/tests/core/test_sla.cpp" "tests/CMakeFiles/gsight_tests_core.dir/core/test_sla.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_core.dir/core/test_sla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_tests_core.dir/core/test_baselines.cpp.o"
+  "CMakeFiles/gsight_tests_core.dir/core/test_baselines.cpp.o.d"
+  "CMakeFiles/gsight_tests_core.dir/core/test_overlap_encoder.cpp.o"
+  "CMakeFiles/gsight_tests_core.dir/core/test_overlap_encoder.cpp.o.d"
+  "CMakeFiles/gsight_tests_core.dir/core/test_predictor_trainer.cpp.o"
+  "CMakeFiles/gsight_tests_core.dir/core/test_predictor_trainer.cpp.o.d"
+  "CMakeFiles/gsight_tests_core.dir/core/test_profile_io.cpp.o"
+  "CMakeFiles/gsight_tests_core.dir/core/test_profile_io.cpp.o.d"
+  "CMakeFiles/gsight_tests_core.dir/core/test_profiling.cpp.o"
+  "CMakeFiles/gsight_tests_core.dir/core/test_profiling.cpp.o.d"
+  "CMakeFiles/gsight_tests_core.dir/core/test_sla.cpp.o"
+  "CMakeFiles/gsight_tests_core.dir/core/test_sla.cpp.o.d"
+  "gsight_tests_core"
+  "gsight_tests_core.pdb"
+  "gsight_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

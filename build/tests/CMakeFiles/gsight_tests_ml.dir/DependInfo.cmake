@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_correlation.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_correlation.cpp.o.d"
+  "/root/repo/tests/ml/test_forest_io.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_forest_io.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_forest_io.cpp.o.d"
+  "/root/repo/tests/ml/test_histogram.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_histogram.cpp.o.d"
+  "/root/repo/tests/ml/test_incremental_models.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_incremental_models.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_incremental_models.cpp.o.d"
+  "/root/repo/tests/ml/test_matrix_dataset.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_matrix_dataset.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_matrix_dataset.cpp.o.d"
+  "/root/repo/tests/ml/test_pca.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_pca.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_pca.cpp.o.d"
+  "/root/repo/tests/ml/test_ridge.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_ridge.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_ridge.cpp.o.d"
+  "/root/repo/tests/ml/test_rng.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_rng.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_rng.cpp.o.d"
+  "/root/repo/tests/ml/test_scaler_metrics.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_scaler_metrics.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_scaler_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_summary.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_summary.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_summary.cpp.o.d"
+  "/root/repo/tests/ml/test_thread_pool.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/ml/test_tree_forest.cpp" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_tree_forest.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_ml.dir/ml/test_tree_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_correlation.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_correlation.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_forest_io.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_forest_io.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_histogram.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_histogram.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_incremental_models.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_incremental_models.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_matrix_dataset.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_matrix_dataset.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_pca.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_pca.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_ridge.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_ridge.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_rng.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_rng.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_scaler_metrics.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_scaler_metrics.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_summary.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_summary.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_thread_pool.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_thread_pool.cpp.o.d"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_tree_forest.cpp.o"
+  "CMakeFiles/gsight_tests_ml.dir/ml/test_tree_forest.cpp.o.d"
+  "gsight_tests_ml"
+  "gsight_tests_ml.pdb"
+  "gsight_tests_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_tests_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

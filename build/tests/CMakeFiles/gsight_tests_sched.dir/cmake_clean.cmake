@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_tests_sched.dir/sched/test_experiment.cpp.o"
+  "CMakeFiles/gsight_tests_sched.dir/sched/test_experiment.cpp.o.d"
+  "CMakeFiles/gsight_tests_sched.dir/sched/test_rescheduler.cpp.o"
+  "CMakeFiles/gsight_tests_sched.dir/sched/test_rescheduler.cpp.o.d"
+  "CMakeFiles/gsight_tests_sched.dir/sched/test_scheduler_properties.cpp.o"
+  "CMakeFiles/gsight_tests_sched.dir/sched/test_scheduler_properties.cpp.o.d"
+  "CMakeFiles/gsight_tests_sched.dir/sched/test_schedulers.cpp.o"
+  "CMakeFiles/gsight_tests_sched.dir/sched/test_schedulers.cpp.o.d"
+  "gsight_tests_sched"
+  "gsight_tests_sched.pdb"
+  "gsight_tests_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_tests_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_azure_trace.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_azure_trace.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_azure_trace.cpp.o.d"
+  "/root/repo/tests/sim/test_callgraph_apps.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_callgraph_apps.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_callgraph_apps.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_instance_gateway.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_instance_gateway.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_instance_gateway.cpp.o.d"
+  "/root/repo/tests/sim/test_interference.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_interference.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_interference.cpp.o.d"
+  "/root/repo/tests/sim/test_observations.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_observations.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_observations.cpp.o.d"
+  "/root/repo/tests/sim/test_pipelines.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_pipelines.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_pipelines.cpp.o.d"
+  "/root/repo/tests/sim/test_properties.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_request_platform.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_request_platform.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_request_platform.cpp.o.d"
+  "/root/repo/tests/sim/test_server.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_server.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_server.cpp.o.d"
+  "/root/repo/tests/sim/test_serverful.cpp" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_serverful.cpp.o" "gcc" "tests/CMakeFiles/gsight_tests_sim.dir/sim/test_serverful.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gsight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gsight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

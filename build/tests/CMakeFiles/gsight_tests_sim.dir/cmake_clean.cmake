@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_azure_trace.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_azure_trace.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_callgraph_apps.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_callgraph_apps.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_engine.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_instance_gateway.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_instance_gateway.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_interference.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_interference.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_observations.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_observations.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_pipelines.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_pipelines.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_properties.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_properties.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_request_platform.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_request_platform.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_server.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_server.cpp.o.d"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_serverful.cpp.o"
+  "CMakeFiles/gsight_tests_sim.dir/sim/test_serverful.cpp.o.d"
+  "gsight_tests_sim"
+  "gsight_tests_sim.pdb"
+  "gsight_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/gsight_tests_ml[1]_include.cmake")
+include("/root/repo/build/tests/gsight_tests_sim[1]_include.cmake")
+include("/root/repo/build/tests/gsight_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/gsight_tests_sched[1]_include.cmake")

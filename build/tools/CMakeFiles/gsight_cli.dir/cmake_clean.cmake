@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsight_cli.dir/gsight_cli.cpp.o"
+  "CMakeFiles/gsight_cli.dir/gsight_cli.cpp.o.d"
+  "gsight"
+  "gsight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsight_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
