@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# check.sh — the repo's full correctness gate. Runs, in order:
+#   1. gsight_lint (determinism/hygiene linter) + its self-test
+#   2. clang-tidy over src/ (skipped with a notice when not installed)
+#   3. ASan+UBSan build + the entire ctest suite
+#   4. TSan build + the thread-pool / forest / trainer tests (the only
+#      multi-threaded code paths)
+#
+# Each stage gets its own build tree under build-check/ so the developer's
+# main build/ directory is never clobbered. Warnings are errors everywhere.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitizer stages (lint + tidy only)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+configure_build() {
+  # configure_build <dir> <extra cmake args...>
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$ROOT" -DGSIGHT_WERROR=ON \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" > "$dir.configure.log" 2>&1 \
+    || { cat "$dir.configure.log"; return 1; }
+  cmake --build "$dir" -j "$JOBS" > "$dir.build.log" 2>&1 \
+    || { tail -n 60 "$dir.build.log"; return 1; }
+}
+
+# --- 1. Lint ---------------------------------------------------------------
+banner "gsight_lint"
+LINT_DIR="$ROOT/build-check/lint"
+mkdir -p "$ROOT/build-check"
+cmake -B "$LINT_DIR" -S "$ROOT" -DGSIGHT_WERROR=ON \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > "$LINT_DIR.configure.log" 2>&1
+cmake --build "$LINT_DIR" -j "$JOBS" --target gsight_lint \
+      > "$LINT_DIR.build.log" 2>&1 || { tail -n 40 "$LINT_DIR.build.log"; exit 1; }
+"$LINT_DIR/tools/gsight_lint" --self-test
+"$LINT_DIR/tools/gsight_lint" "$ROOT"
+
+# --- 2. clang-tidy ---------------------------------------------------------
+banner "clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  mapfile -t TIDY_SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
+  clang-tidy -p "$LINT_DIR/compile_commands.json" --quiet "${TIDY_SOURCES[@]}"
+else
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+if [[ "$FAST" == "1" ]]; then
+  banner "--fast: skipping sanitizer stages"
+  exit 0
+fi
+
+# --- 3. ASan + UBSan -------------------------------------------------------
+banner "ASan+UBSan build + full ctest"
+ASAN_DIR="$ROOT/build-check/asan"
+configure_build "$ASAN_DIR" "-DGSIGHT_SANITIZE=address;undefined"
+# halt_on_error so UBSan findings fail the run instead of just printing.
+( cd "$ASAN_DIR" && \
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --output-on-failure -j "$JOBS" )
+
+# --- 4. TSan ---------------------------------------------------------------
+banner "TSan build + threaded tests"
+TSAN_DIR="$ROOT/build-check/tsan"
+configure_build "$TSAN_DIR" "-DGSIGHT_SANITIZE=thread"
+# The multi-threaded surface: ThreadPool itself plus its users (forest
+# training/inference, incremental models, trainer).
+( cd "$TSAN_DIR" && \
+  TSAN_OPTIONS=halt_on_error=1 \
+  ctest --output-on-failure -j "$JOBS" \
+        -R 'ThreadPool|Forest|Incremental|Trainer' )
+
+banner "all checks passed"

@@ -1,0 +1,140 @@
+// Runtime contracts — lightweight, compile-time selectable assertions for
+// simulation invariants. Unlike <cassert>, contracts (a) survive NDEBUG
+// builds unless explicitly compiled out, (b) report through a swappable
+// handler so tests can observe violations without death tests, and (c)
+// distinguish cheap precondition checks (GSIGHT_ASSERT) from heavier
+// structural invariants (GSIGHT_INVARIANT) that can be compiled out
+// independently.
+//
+// Levels (set GSIGHT_CONTRACT_LEVEL, normally via the CMake cache variable
+// of the same name):
+//   0 — all contracts compiled out (shipping / benchmark builds)
+//   1 — GSIGHT_ASSERT only (cheap pre/postconditions)
+//   2 — GSIGHT_ASSERT + GSIGHT_INVARIANT (default; full checking)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#ifndef GSIGHT_CONTRACT_LEVEL
+#define GSIGHT_CONTRACT_LEVEL 2
+#endif
+
+namespace gsight::core {
+
+/// Thrown by `throwing_contract_handler` — the handler tests install to
+/// observe violations as exceptions instead of process aborts.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// kind is "assertion" or "invariant"; msg may be empty.
+using ContractHandler = void (*)(const char* kind, const char* expr,
+                                 const char* file, int line, const char* msg);
+
+namespace detail {
+
+inline std::string format_violation(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const char* msg) {
+  std::string out = std::string(file) + ":" + std::to_string(line) +
+                    ": contract " + kind + " failed: " + expr;
+  if (msg != nullptr && msg[0] != '\0') {
+    out += " (";
+    out += msg;
+    out += ")";
+  }
+  return out;
+}
+
+[[noreturn]] inline void aborting_contract_handler(const char* kind,
+                                                   const char* expr,
+                                                   const char* file, int line,
+                                                   const char* msg) {
+  std::fputs(format_violation(kind, expr, file, line, msg).c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+inline ContractHandler& handler_slot() {
+  static ContractHandler handler = &aborting_contract_handler;
+  return handler;
+}
+
+[[noreturn]] inline void contract_failed(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const char* msg) {
+  handler_slot()(kind, expr, file, line, msg);
+  // A custom handler must not return normally (it should throw or abort);
+  // guarantee [[noreturn]] regardless.
+  std::abort();
+}
+
+}  // namespace detail
+
+/// Install a new violation handler; returns the previous one. The handler
+/// must not return normally — throw (tests) or abort (production).
+inline ContractHandler set_contract_handler(ContractHandler handler) {
+  ContractHandler previous = detail::handler_slot();
+  detail::handler_slot() = handler;
+  return previous;
+}
+
+/// Handler that throws ContractViolation — install in tests to assert that
+/// a contract fires (EXPECT_THROW) without killing the process.
+[[noreturn]] inline void throwing_contract_handler(const char* kind,
+                                                   const char* expr,
+                                                   const char* file, int line,
+                                                   const char* msg) {
+  throw ContractViolation(
+      detail::format_violation(kind, expr, file, line, msg));
+}
+
+/// RAII: installs `handler` (default: throwing) for the enclosing scope.
+class ScopedContractHandler {
+ public:
+  explicit ScopedContractHandler(
+      ContractHandler handler = &throwing_contract_handler)
+      : previous_(set_contract_handler(handler)) {}
+  ~ScopedContractHandler() { set_contract_handler(previous_); }
+  ScopedContractHandler(const ScopedContractHandler&) = delete;
+  ScopedContractHandler& operator=(const ScopedContractHandler&) = delete;
+
+ private:
+  ContractHandler previous_;
+};
+
+}  // namespace gsight::core
+
+// Message argument is optional: GSIGHT_ASSERT(cond) or
+// GSIGHT_ASSERT(cond, "context"). Messages are only materialised on the
+// failure path.
+#if GSIGHT_CONTRACT_LEVEL >= 1
+#define GSIGHT_ASSERT(cond, ...)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::gsight::core::detail::contract_failed(                         \
+          "assertion", #cond, __FILE__, __LINE__,                      \
+          ::std::string{__VA_ARGS__}.c_str());                         \
+    }                                                                  \
+  } while (false)
+#else
+#define GSIGHT_ASSERT(cond, ...) ((void)0)
+#endif
+
+#if GSIGHT_CONTRACT_LEVEL >= 2
+#define GSIGHT_INVARIANT(cond, ...)                                    \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::gsight::core::detail::contract_failed(                         \
+          "invariant", #cond, __FILE__, __LINE__,                      \
+          ::std::string{__VA_ARGS__}.c_str());                         \
+    }                                                                  \
+  } while (false)
+#else
+#define GSIGHT_INVARIANT(cond, ...) ((void)0)
+#endif

@@ -47,13 +47,20 @@ std::size_t LoadGenerator::run_closed_loop(sim::Platform& platform,
     std::size_t issued = 0;
   };
   auto state = std::make_shared<State>(State{&platform, app, deadline});
-  // Forward declaration via shared function object for self-reference.
+  // Forward declaration via shared function object for self-reference. The
+  // lambda must capture itself weakly: a shared self-capture is a reference
+  // cycle that leaks the State (found by the ASan stage of check.sh).
   auto issue = std::make_shared<std::function<void()>>();
-  *issue = [state, issue] {
+  const std::weak_ptr<std::function<void()>> weak_issue = issue;
+  *issue = [state, weak_issue] {
     if (state->platform->now() >= state->deadline) return;
     ++state->issued;
     state->platform->issue_request(
-        state->app, [issue](double, bool) { (*issue)(); });
+        state->app, [weak_issue](double, bool) {
+          // Completions can fire while the engine drains after the run;
+          // by then the loop is gone and there is nothing to re-issue.
+          if (const auto fn = weak_issue.lock()) (*fn)();
+        });
   };
   for (std::size_t u = 0; u < concurrency; ++u) (*issue)();
   platform.run_until(deadline);

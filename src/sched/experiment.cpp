@@ -170,20 +170,26 @@ ExperimentReport SchedulingExperiment::run(Scheduler& scheduler,
       const auto& profile = store_->get(app.name);
       sc_ids.push_back(deploy_with_scheduler(app, profile, {}));
     }
-    // Self-rescheduling submission loop, round-robin over the pool. The
-    // closure owns itself via shared_ptr so it survives past this scope.
+    // Self-rescheduling submission loop, round-robin over the pool. Each
+    // scheduled event holds a strong reference to the closure while the
+    // closure itself only holds a weak self-reference: the chain of events
+    // keeps it alive exactly as long as it keeps rescheduling, and nothing
+    // cycles (a strong self-capture would leak — ASan stage of check.sh).
     auto next = std::make_shared<std::size_t>(0);
     auto submit = std::make_shared<std::function<void()>>();
+    const std::weak_ptr<std::function<void()>> weak_submit = submit;
     const double period = config_.sc_job_period_s;
     const double stop_at = config_.duration_s;
     ExperimentReport* rep = &report;
     sim::Platform* plat = &platform;
-    *submit = [plat, rep, sc_ids, next, period, stop_at, submit] {
+    *submit = [plat, rep, sc_ids, next, period, stop_at, weak_submit] {
       if (plat->now() >= stop_at) return;
       const std::size_t id = sc_ids[*next % sc_ids.size()];
       ++*next;
       plat->submit_job(id, [rep](double) { ++rep->jobs_completed; });
-      plat->engine().after(period, [submit] { (*submit)(); });
+      if (const auto self = weak_submit.lock()) {
+        plat->engine().after(period, [self] { (*self)(); });
+      }
     };
     platform.engine().after(period, [submit] { (*submit)(); });
   }

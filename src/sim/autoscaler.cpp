@@ -1,14 +1,15 @@
 #include "sim/autoscaler.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hpp"
 
 namespace gsight::sim {
 
 Autoscaler::Autoscaler(Platform* platform, AutoscalerConfig config,
                        PlacementFn place)
     : platform_(platform), config_(config), place_(std::move(place)) {
-  assert(platform_ != nullptr);
+  GSIGHT_ASSERT(platform_ != nullptr);
 }
 
 void Autoscaler::start() {

@@ -1,6 +1,6 @@
 #include "sim/cluster.hpp"
 
-#include <cassert>
+#include "core/contracts.hpp"
 
 namespace gsight::sim {
 
@@ -8,7 +8,7 @@ Cluster::Cluster(Engine* engine, const InterferenceModel* model,
                  std::vector<ServerConfig> servers, ExecSliceSink* sink,
                  std::uint64_t seed)
     : engine_(engine), model_(model), sink_(sink), rng_(seed) {
-  assert(!servers.empty());
+  GSIGHT_ASSERT(!servers.empty(), "cluster needs at least one server");
   servers_.reserve(servers.size());
   for (std::size_t i = 0; i < servers.size(); ++i) {
     servers_.push_back(std::make_unique<Server>(i, servers[i], engine_, model_));
@@ -20,26 +20,38 @@ Instance* Cluster::create_instance(std::size_t app, std::size_t fn,
                                    const wl::FunctionSpec* spec,
                                    std::size_t server_idx,
                                    InstanceConfig config) {
-  assert(server_idx < servers_.size());
+  GSIGHT_ASSERT(server_idx < servers_.size(), "instance placed off-cluster");
+  const std::uint64_t id = next_instance_id_++;
   auto instance = std::make_unique<Instance>(
-      next_instance_id_++, app, fn, spec, servers_[server_idx].get(), engine_,
-      config, rng_.next());
+      id, app, fn, spec, servers_[server_idx].get(), engine_, config,
+      rng_.next());
   Instance* raw = instance.get();
-  instances_.emplace(raw, std::move(instance));
+  instances_.emplace(id, std::move(instance));
+  ++created_;
+  GSIGHT_INVARIANT(created_ - destroyed_ == instances_.size(),
+                   "instance accounting drifted");
   return raw;
 }
 
 bool Cluster::destroy_instance(Instance* instance) {
-  const auto it = instances_.find(instance);
+  GSIGHT_ASSERT(instance != nullptr, "destroy_instance(nullptr)");
+  return destroy_instance(instance->id());
+}
+
+bool Cluster::destroy_instance(std::uint64_t id) {
+  const auto it = instances_.find(id);
   if (it == instances_.end()) return false;
-  if (!instance->idle()) return false;
+  if (!it->second->idle()) return false;
   instances_.erase(it);
+  ++destroyed_;
+  GSIGHT_INVARIANT(created_ - destroyed_ == instances_.size(),
+                   "instance accounting drifted");
   return true;
 }
 
 std::size_t Cluster::total_backlog() const {
   std::size_t backlog = 0;
-  for (const auto& [raw, inst] : instances_) {
+  for (const auto& [id, inst] : instances_) {
     backlog += inst->queue_depth() + (inst->busy() ? 1 : 0);
   }
   return backlog;
@@ -48,7 +60,7 @@ std::size_t Cluster::total_backlog() const {
 std::vector<Instance*> Cluster::instances() const {
   std::vector<Instance*> out;
   out.reserve(instances_.size());
-  for (const auto& [raw, inst] : instances_) out.push_back(raw);
+  for (const auto& [id, inst] : instances_) out.push_back(inst.get());
   return out;
 }
 

@@ -1,8 +1,8 @@
 // Cluster — the set of servers plus instance lifecycle management.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/instance.hpp"
@@ -26,15 +26,26 @@ class Cluster {
                             const wl::FunctionSpec* spec,
                             std::size_t server_idx, InstanceConfig config);
   /// Destroy an instance. Must be idle (no running or queued work);
-  /// returns false (and leaves it alive) otherwise.
+  /// returns false (and leaves it alive) otherwise. The pointer must be a
+  /// live instance of this cluster — pass the id instead when the instance
+  /// may already be gone.
   bool destroy_instance(Instance* instance);
+  /// Destroy by id; returns false when no such instance exists (safe for
+  /// ids that may already have been destroyed).
+  bool destroy_instance(std::uint64_t id);
 
   std::size_t total_instances() const { return instances_.size(); }
   /// Sum of queued invocations across all instances (the gateway's
   /// backlog signal).
   std::size_t total_backlog() const;
-  /// All live instances (unordered).
+  /// All live instances, ordered by creation (instance id) so callers that
+  /// iterate — schedulers, autoscalers, metric sweeps — are
+  /// replay-deterministic.
   std::vector<Instance*> instances() const;
+  /// Lifetime counters (instance-accounting invariant: created - destroyed
+  /// == live).
+  std::uint64_t instances_created() const { return created_; }
+  std::uint64_t instances_destroyed() const { return destroyed_; }
 
   /// Cluster-wide CPU utilisation (mean over servers).
   double cpu_utilization() const;
@@ -46,8 +57,14 @@ class Cluster {
   const InterferenceModel* model_;
   ExecSliceSink* sink_;
   std::vector<std::unique_ptr<Server>> servers_;
-  std::unordered_map<Instance*, std::unique_ptr<Instance>> instances_;
+  // Keyed by the monotonically assigned instance id, *not* by pointer:
+  // pointer-keyed unordered maps iterate in allocator-dependent order,
+  // which silently breaks bit-exact replay (backlog sums and instance
+  // sweeps would visit instances in address order).
+  std::map<std::uint64_t, std::unique_ptr<Instance>> instances_;
   std::uint64_t next_instance_id_ = 1;
+  std::uint64_t created_ = 0;
+  std::uint64_t destroyed_ = 0;
   stats::Rng rng_;
 };
 

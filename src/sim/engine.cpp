@@ -1,17 +1,19 @@
 #include "sim/engine.hpp"
 
-#include <cassert>
-#include <limits>
+#include <cmath>
+
+#include "core/contracts.hpp"
 
 namespace gsight::sim {
 
 void Engine::at(SimTime when, EventQueue::Callback cb) {
-  assert(when >= now_);
+  GSIGHT_ASSERT(when >= now_, "event scheduled in the past");
   queue_.push(when, std::move(cb));
 }
 
 void Engine::after(SimTime delay, EventQueue::Callback cb) {
-  assert(delay >= 0.0);
+  GSIGHT_ASSERT(!std::isnan(delay), "event delay is NaN");
+  GSIGHT_ASSERT(delay >= 0.0, "negative event delay");
   at(now_ + delay, std::move(cb));
 }
 

@@ -1,23 +1,31 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
+#include <cmath>
 #include <memory>
+
+#include "core/contracts.hpp"
 
 namespace gsight::sim {
 
 void EventQueue::push(SimTime when, Callback cb) {
+  GSIGHT_ASSERT(!std::isnan(when), "event time is NaN");
+  GSIGHT_ASSERT(std::isfinite(when), "event time is infinite");
+  GSIGHT_ASSERT(when >= 0.0, "event time is negative");
   heap_.push(Entry{when, next_seq_++, std::make_shared<Callback>(std::move(cb))});
 }
 
 SimTime EventQueue::next_time() const {
-  assert(!heap_.empty());
+  GSIGHT_ASSERT(!heap_.empty(), "next_time on empty queue");
   return heap_.top().when;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
-  assert(!heap_.empty());
+  GSIGHT_ASSERT(!heap_.empty(), "pop on empty queue");
   Entry e = heap_.top();
   heap_.pop();
+  GSIGHT_INVARIANT(e.when >= last_popped_,
+                   "event times dequeued out of order");
+  last_popped_ = e.when;
   return {e.when, std::move(*e.cb)};
 }
 

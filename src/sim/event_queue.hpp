@@ -18,11 +18,13 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
+  /// Contract: `when` must be finite (non-NaN) and non-negative.
   void push(SimTime when, Callback cb);
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
   SimTime next_time() const;
-  /// Pop and return the earliest event (time, callback).
+  /// Pop and return the earliest event (time, callback). Contract: popped
+  /// times are monotonically non-decreasing over the queue's lifetime.
   std::pair<SimTime, Callback> pop();
 
  private:
@@ -32,11 +34,15 @@ class EventQueue {
     // Shared-ptr'd so Entry stays copyable for priority_queue internals.
     std::shared_ptr<Callback> cb;
     bool operator>(const Entry& o) const {
-      return when > o.when || (when == o.when && seq > o.seq);
+      // Exact comparison of stored (not computed) times is the tie-break
+      // that makes replay deterministic, so the lint rule is waived here.
+      return when > o.when ||
+             (when == o.when && seq > o.seq);  // gsight-lint: allow(simtime-eq)
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::uint64_t next_seq_ = 0;
+  SimTime last_popped_ = 0.0;
 };
 
 }  // namespace gsight::sim

@@ -1,13 +1,16 @@
 #include "sim/gateway.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hpp"
 
 namespace gsight::sim {
 
 Gateway::Gateway(Engine* engine, GatewayConfig config)
     : engine_(engine), config_(config) {
-  assert(engine_ != nullptr);
+  GSIGHT_ASSERT(engine_ != nullptr);
+  GSIGHT_ASSERT(config_.base_service_s >= 0.0,
+                "negative gateway service time");
 }
 
 double Gateway::current_service_s() const {
@@ -27,13 +30,21 @@ double Gateway::current_service_s() const {
 void Gateway::forward(std::function<void()> deliver) {
   queue_.push_back({engine_->now(), std::move(deliver)});
   if (!busy_) serve_next();
+  // Queue-length invariant: while the gateway is busy, the item in service
+  // remains at the front, so the queue can never be observed empty.
+  GSIGHT_INVARIANT(!busy_ || !queue_.empty(),
+                   "gateway busy with an empty queue");
 }
 
 void Gateway::serve_next() {
-  assert(!queue_.empty());
+  GSIGHT_ASSERT(!queue_.empty(), "serve_next on an empty gateway queue");
   busy_ = true;
   const double service = current_service_s();
+  GSIGHT_INVARIANT(std::isfinite(service) && service >= 0.0,
+                   "bad gateway service time");
   engine_->after(service, [this] {
+    GSIGHT_ASSERT(busy_ && !queue_.empty(),
+                  "gateway completion without an item in service");
     Item item = std::move(queue_.front());
     queue_.pop_front();
     latencies_.add(engine_->now() - item.enqueued);

@@ -1,7 +1,8 @@
 #include "sim/instance.hpp"
 
-#include <cassert>
 #include <memory>
+
+#include "core/contracts.hpp"
 
 namespace gsight::sim {
 
@@ -58,7 +59,8 @@ void Instance::submit(DoneFn done) {
 }
 
 void Instance::start_next() {
-  assert(!busy_ && !queue_.empty());
+  GSIGHT_ASSERT(!busy_ && !queue_.empty(),
+                "start_next needs an idle instance with queued work");
   busy_ = true;
   Pending pending = std::move(queue_.front());
   queue_.pop_front();

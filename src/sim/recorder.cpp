@@ -1,7 +1,9 @@
 #include "sim/recorder.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
 
 #include "sim/instance.hpp"
 
@@ -115,6 +117,43 @@ MetricAccum Recorder::total(std::size_t app, std::size_t fn) const {
   if (it == data_.end()) return total;
   for (const auto& [w, acc] : it->second) total.merge(acc);
   return total.finalized();
+}
+
+namespace {
+
+// Hex-float rendering: loss-free (every bit of the mantissa survives) and
+// locale-independent, unlike iostream's default %g formatting.
+void put_hex(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Recorder::dump(std::ostream& os) const {
+  for (const auto& [key, windows] : data_) {
+    for (const auto& [w, acc] : windows) {
+      os << key.first << '/' << key.second << '@' << w;
+      const double fields[] = {
+          acc.dt,          acc.ipc,        acc.l1i_mpki,  acc.l1d_mpki,
+          acc.l2_mpki,     acc.l3_mpki,    acc.branch_mpki, acc.dtlb_mpki,
+          acc.itlb_mpki,   acc.mem_lp,     acc.ctx_per_s, acc.cpu_freq_ghz,
+          acc.llc_occupancy_mb, acc.membw_gbps, acc.disk_mbps, acc.net_mbps,
+          acc.cores_granted, acc.mem_gb,   acc.cpu_util};
+      for (const double f : fields) {
+        os << ' ';
+        put_hex(os, f);
+      }
+      os << '\n';
+    }
+  }
+}
+
+std::string Recorder::dump_string() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
 }
 
 double Recorder::busy_seconds(std::size_t app, std::size_t fn) const {

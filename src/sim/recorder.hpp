@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "sim/server.hpp"
@@ -53,6 +55,13 @@ class Recorder final : public ExecSliceSink {
 
   double window_s() const { return window_s_; }
   void clear() { data_.clear(); }
+
+  /// Deterministic serialization of every (app, fn, window) accumulator.
+  /// Doubles are hex-float formatted, so two dumps compare equal iff the
+  /// recordings are bit-identical — the replay/determinism harness diffs
+  /// this across twin same-seed runs.
+  void dump(std::ostream& os) const;
+  std::string dump_string() const;
 
  private:
   using Key = std::pair<std::size_t, std::size_t>;

@@ -1,6 +1,6 @@
 #include "sim/request.hpp"
 
-#include <cassert>
+#include "core/contracts.hpp"
 
 namespace gsight::sim {
 
@@ -23,9 +23,9 @@ void RequestContext::launch(const std::shared_ptr<RequestContext>& ctx) {
 
 void RequestContext::invoke(std::size_t node,
                             std::optional<std::size_t> nested_parent) {
-  assert(node < nodes_.size());
+  GSIGHT_ASSERT(node < nodes_.size(), "invoked unknown call-graph node");
   NodeState& state = nodes_[node];
-  assert(!state.invoked && "tree-structured call graphs only");
+  GSIGHT_ASSERT(!state.invoked, "tree-structured call graphs only");
   state.invoked = true;
   state.parent = nested_parent;
 
@@ -70,7 +70,8 @@ void RequestContext::complete_node(std::size_t node) {
   }
   if (state.parent.has_value()) {
     NodeState& parent = nodes_[*state.parent];
-    assert(parent.pending_nested > 0);
+    GSIGHT_ASSERT(parent.pending_nested > 0,
+                  "nested completion without a pending child");
     if (--parent.pending_nested == 0 && parent.exec_done) {
       complete_node(*state.parent);
     }

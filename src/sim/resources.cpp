@@ -1,5 +1,42 @@
 #include "sim/resources.hpp"
 
-// ServerConfig is all-inline; this translation unit anchors the header so
-// the library has a home for future out-of-line additions.
-namespace gsight::sim {}
+#include <cmath>
+
+namespace gsight::sim {
+
+namespace {
+// Release tolerance: acquire/release pairs sum floating-point amounts in
+// different orders, so allow an epsilon before declaring non-conservation.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+ResourceLedger::ResourceLedger(double capacity, Policy policy)
+    : capacity_(capacity), policy_(policy) {
+  GSIGHT_ASSERT(std::isfinite(capacity), "ledger capacity must be finite");
+  GSIGHT_ASSERT(capacity >= 0.0, "ledger capacity must be non-negative");
+}
+
+bool ResourceLedger::can_acquire(double amount) const {
+  return std::isfinite(amount) && amount >= 0.0 &&
+         used_ + amount <= capacity_ + kSlack;
+}
+
+void ResourceLedger::acquire(double amount) {
+  GSIGHT_ASSERT(std::isfinite(amount), "acquire amount must be finite");
+  GSIGHT_ASSERT(amount >= 0.0, "acquire amount must be non-negative");
+  if (policy_ == Policy::kStrict) {
+    GSIGHT_ASSERT(used_ + amount <= capacity_ + kSlack,
+                  "allocation exceeds capacity");
+  }
+  used_ += amount;
+}
+
+void ResourceLedger::release(double amount) {
+  GSIGHT_ASSERT(std::isfinite(amount), "release amount must be finite");
+  GSIGHT_ASSERT(amount >= 0.0, "release amount must be non-negative");
+  GSIGHT_ASSERT(used_ - amount >= -kSlack,
+                "release drives allocation negative");
+  used_ = std::max(0.0, used_ - amount);
+}
+
+}  // namespace gsight::sim

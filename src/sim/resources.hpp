@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/contracts.hpp"
 #include "workloads/phase.hpp"
 
 namespace gsight::sim {
@@ -43,6 +44,37 @@ struct ServerConfig {
     c.net_mbps = 1000.0;
     return c;
   }
+};
+
+/// Conservation-checked bookkeeping for one scalar resource (memory,
+/// cores, bandwidth, ...). Every acquire/release is validated by runtime
+/// contracts: amounts must be finite and non-negative, the balance can
+/// never go negative, and — unless the ledger is created oversubscribable
+/// (serverless platforms deliberately over-commit memory) — the balance
+/// can never exceed capacity.
+class ResourceLedger {
+ public:
+  enum class Policy { kStrict, kOversubscribe };
+
+  explicit ResourceLedger(double capacity, Policy policy = Policy::kStrict);
+
+  double capacity() const { return capacity_; }
+  double used() const { return used_; }
+  double available() const { return capacity_ - used_; }
+  bool oversubscribable() const { return policy_ == Policy::kOversubscribe; }
+
+  /// True iff a strict ledger could acquire `amount` right now.
+  bool can_acquire(double amount) const;
+  /// Take `amount` out of the ledger. Contract: amount finite and >= 0;
+  /// strict ledgers additionally require used + amount <= capacity.
+  void acquire(double amount);
+  /// Return `amount` to the ledger. Contract: never drives `used` negative.
+  void release(double amount);
+
+ private:
+  double capacity_;
+  double used_ = 0.0;
+  Policy policy_;
 };
 
 /// Sum of demands over a set of colocated executions.

@@ -1,19 +1,36 @@
 #include "sim/server.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hpp"
 
 namespace gsight::sim {
 
 Server::Server(std::size_t id, ServerConfig config, Engine* engine,
                const InterferenceModel* model)
-    : id_(id), config_(config), engine_(engine), model_(model) {
-  assert(engine_ != nullptr && model_ != nullptr);
+    : id_(id),
+      config_(config),
+      engine_(engine),
+      model_(model),
+      resident_mem_(config.mem_gb, ResourceLedger::Policy::kOversubscribe) {
+  GSIGHT_ASSERT(engine_ != nullptr && model_ != nullptr);
+}
+
+void Server::add_resident(double mem_gb) {
+  resident_mem_.acquire(mem_gb);
+  ++resident_count_;
+}
+
+void Server::remove_resident(double mem_gb) {
+  GSIGHT_ASSERT(resident_count_ > 0,
+                "remove_resident with no resident instances");
+  resident_mem_.release(mem_gb);
+  --resident_count_;
 }
 
 ExecId Server::begin_execution(std::vector<wl::Phase> phases,
                                CompletionFn on_complete, void* owner) {
-  assert(!phases.empty());
+  GSIGHT_ASSERT(!phases.empty(), "execution needs at least one phase");
   Exec e;
   e.id = next_id_++;
   e.phases = std::move(phases);
@@ -70,6 +87,7 @@ void Server::recompute() {
   // 1. Bank progress under the rates that were in force.
   for (auto& [id, e] : execs_) {
     const double dt = now - e.last_update;
+    GSIGHT_INVARIANT(dt >= 0.0, "execution progressed backwards in time");
     if (dt > 0.0) {
       e.remaining = std::max(0.0, e.remaining - e.rate * dt);
       e.ipc_integral += e.obs.ipc * dt;
@@ -95,6 +113,9 @@ void Server::recompute() {
     Exec& e = *order[i];
     e.obs = observations[i];
     e.rate = std::max(e.obs.rate, 1e-9);
+    GSIGHT_INVARIANT(std::isfinite(e.rate) && e.rate > 0.0,
+                     "interference model produced a bad progress rate");
+    GSIGHT_INVARIANT(e.remaining >= 0.0, "negative remaining work");
     schedule_completion(e);
   }
 }

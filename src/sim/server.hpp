@@ -8,7 +8,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -69,10 +69,12 @@ class Server {
   /// Sum of demands of the currently running phases.
   DemandTotals active_demand() const;
 
-  /// Residency accounting (idle instances still hold memory).
-  void add_resident(double mem_gb) { resident_mem_gb_ += mem_gb; ++resident_count_; }
-  void remove_resident(double mem_gb) { resident_mem_gb_ -= mem_gb; --resident_count_; }
-  double resident_mem_gb() const { return resident_mem_gb_; }
+  /// Residency accounting (idle instances still hold memory). Memory is
+  /// deliberately oversubscribable — serverless platforms over-commit —
+  /// but the ledger contracts still guarantee it never goes negative.
+  void add_resident(double mem_gb);
+  void remove_resident(double mem_gb);
+  double resident_mem_gb() const { return resident_mem_.used(); }
   std::size_t resident_count() const { return resident_count_; }
 
   /// Fraction of cores granted to running executions right now (0..1+).
@@ -108,9 +110,13 @@ class Server {
   Engine* engine_;
   const InterferenceModel* model_;
   ExecSliceSink* sink_ = nullptr;
-  std::unordered_map<ExecId, Exec> execs_;
+  // Ordered by ExecId (= start order) so every iteration — in particular
+  // the colocation vector handed to the interference model in recompute()
+  // — is replay-deterministic. An unordered_map here would make rates
+  // depend on hash-table layout.
+  std::map<ExecId, Exec> execs_;
   ExecId next_id_ = 1;
-  double resident_mem_gb_ = 0.0;
+  ResourceLedger resident_mem_;
   std::size_t resident_count_ = 0;
 };
 

@@ -47,7 +47,9 @@ TEST(Pca, RecoversIntrinsicDimension) {
   const auto& var = pca.explained_variance();
   // The first two components dominate; the rest is noise-level.
   EXPECT_GT(var[0], var[1]);
-  if (var.size() > 2) EXPECT_GT(var[1], 20.0 * var[2]);
+  if (var.size() > 2) {
+    EXPECT_GT(var[1], 20.0 * var[2]);
+  }
   EXPECT_GT(pca.explained_variance_ratio(), 0.99);
 }
 

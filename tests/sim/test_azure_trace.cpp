@@ -57,7 +57,9 @@ TEST(AzureTrace, ArrivalsSortedWithinRange) {
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     EXPECT_GE(arrivals[i], 10.0);
     EXPECT_LT(arrivals[i], 50.0);
-    if (i > 0) EXPECT_GE(arrivals[i], arrivals[i - 1]);
+    if (i > 0) {
+      EXPECT_GE(arrivals[i], arrivals[i - 1]);
+    }
   }
 }
 
@@ -72,7 +74,9 @@ TEST(ZipfWeights, NormalizedAndDecreasing) {
   double sum = 0.0;
   for (std::size_t i = 0; i < w.size(); ++i) {
     sum += w[i];
-    if (i > 0) EXPECT_LT(w[i], w[i - 1]);
+    if (i > 0) {
+      EXPECT_LT(w[i], w[i - 1]);
+    }
   }
   EXPECT_NEAR(sum, 1.0, 1e-12);
   EXPECT_GT(w[0], 3.0 * w[9]);  // heavy tail

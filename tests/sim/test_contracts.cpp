@@ -1,0 +1,192 @@
+// Contract-violation coverage: the runtime contracts of the sim layer must
+// actually fire on bad inputs, and EventQueue's deterministic tie-break
+// must hold under interleaved push/pop traffic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "sim/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/gateway.hpp"
+#include "sim/resources.hpp"
+
+namespace gsight::sim {
+namespace {
+
+using core::ContractViolation;
+using core::ScopedContractHandler;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- EventQueue time contracts ---------------------------------------------
+
+TEST(Contracts, EventQueueRejectsNaNTime) {
+  ScopedContractHandler guard;
+  EventQueue q;
+  EXPECT_THROW(q.push(kNaN, [] {}), ContractViolation);
+}
+
+TEST(Contracts, EventQueueRejectsInfiniteTime) {
+  ScopedContractHandler guard;
+  EventQueue q;
+  EXPECT_THROW(q.push(kInf, [] {}), ContractViolation);
+}
+
+TEST(Contracts, EventQueueRejectsNegativeTime) {
+  ScopedContractHandler guard;
+  EventQueue q;
+  EXPECT_THROW(q.push(-1.0, [] {}), ContractViolation);
+}
+
+TEST(Contracts, EventQueueRejectsPopWhenEmpty) {
+  ScopedContractHandler guard;
+  EventQueue q;
+  EXPECT_THROW(q.pop(), ContractViolation);
+  EXPECT_THROW(q.next_time(), ContractViolation);
+}
+
+TEST(Contracts, EngineRejectsSchedulingInThePast) {
+  ScopedContractHandler guard;
+  Engine e;
+  e.at(2.0, [] {});
+  e.run_until(2.0);
+  EXPECT_THROW(e.at(1.0, [] {}), ContractViolation);
+  EXPECT_THROW(e.after(-0.5, [] {}), ContractViolation);
+  EXPECT_THROW(e.after(kNaN, [] {}), ContractViolation);
+}
+
+// --- EventQueue tie-break determinism ---------------------------------------
+
+TEST(EventQueueOrdering, EqualTimesFireInPushOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.push(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  std::vector<int> expect(16);
+  for (int i = 0; i < 16; ++i) expect[i] = i;
+  EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueueOrdering, TieBreakSurvivesInterleavedPushPop) {
+  // Pops interleaved with pushes must not disturb the push-order tie-break
+  // within each timestamp (the heap reshuffles internally; the seq tag is
+  // what keeps replay stable).
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, [&] { order.push_back(10); });
+  q.push(2.0, [&] { order.push_back(20); });
+  q.push(2.0, [&] { order.push_back(21); });
+  q.pop().second();  // fires 10
+  q.push(2.0, [&] { order.push_back(22); });
+  q.push(3.0, [&] { order.push_back(30); });
+  q.push(2.0, [&] { order.push_back(23); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 21, 22, 23, 30}));
+}
+
+TEST(EventQueueOrdering, PoppedTimesAreMonotone) {
+  EventQueue q;
+  q.push(5.0, [] {});
+  q.push(1.0, [] {});
+  q.push(3.0, [] {});
+  SimTime last = 0.0;
+  while (!q.empty()) {
+    const auto [when, cb] = q.pop();
+    EXPECT_GE(when, last);
+    last = when;
+  }
+}
+
+// --- ResourceLedger conservation --------------------------------------------
+
+TEST(Contracts, LedgerRejectsOverAllocation) {
+  ScopedContractHandler guard;
+  ResourceLedger ledger(10.0);
+  ledger.acquire(6.0);
+  EXPECT_THROW(ledger.acquire(5.0), ContractViolation);
+  EXPECT_DOUBLE_EQ(ledger.used(), 6.0);
+}
+
+TEST(Contracts, LedgerRejectsNegativeBalance) {
+  ScopedContractHandler guard;
+  ResourceLedger ledger(10.0);
+  ledger.acquire(2.0);
+  EXPECT_THROW(ledger.release(3.0), ContractViolation);
+}
+
+TEST(Contracts, LedgerRejectsNaNAmounts) {
+  ScopedContractHandler guard;
+  ResourceLedger ledger(10.0);
+  EXPECT_THROW(ledger.acquire(kNaN), ContractViolation);
+  EXPECT_THROW(ledger.acquire(-1.0), ContractViolation);
+  EXPECT_THROW(ledger.release(kNaN), ContractViolation);
+}
+
+TEST(Contracts, OversubscribableLedgerAllowsOverCapacityButNotNegative) {
+  ScopedContractHandler guard;
+  ResourceLedger ledger(10.0, ResourceLedger::Policy::kOversubscribe);
+  ledger.acquire(25.0);  // over-commit is the point
+  EXPECT_DOUBLE_EQ(ledger.used(), 25.0);
+  ledger.release(25.0);
+  EXPECT_THROW(ledger.release(1.0), ContractViolation);
+}
+
+TEST(Contracts, LedgerCanAcquireTracksCapacity) {
+  ResourceLedger ledger(10.0);
+  EXPECT_TRUE(ledger.can_acquire(10.0));
+  EXPECT_FALSE(ledger.can_acquire(10.5));
+  EXPECT_FALSE(ledger.can_acquire(kNaN));
+  ledger.acquire(4.0);
+  EXPECT_DOUBLE_EQ(ledger.available(), 6.0);
+  EXPECT_FALSE(ledger.can_acquire(6.5));
+}
+
+// --- Cluster / Gateway accounting -------------------------------------------
+
+TEST(Contracts, ClusterRejectsOffClusterPlacement) {
+  ScopedContractHandler guard;
+  Engine engine;
+  InterferenceModel model{InterferenceParams{}};
+  Cluster cluster(&engine, &model, {ServerConfig::tiny()}, nullptr, 42);
+  wl::FunctionSpec spec;
+  EXPECT_THROW(cluster.create_instance(0, 0, &spec, /*server_idx=*/5, {}),
+               ContractViolation);
+  EXPECT_THROW(cluster.destroy_instance(nullptr), ContractViolation);
+}
+
+TEST(Contracts, ClusterInstanceAccountingBalances) {
+  Engine engine;
+  InterferenceModel model{InterferenceParams{}};
+  Cluster cluster(&engine, &model, {ServerConfig::tiny()}, nullptr, 42);
+  wl::FunctionSpec spec;
+  Instance* a = cluster.create_instance(0, 0, &spec, 0, {});
+  Instance* b = cluster.create_instance(0, 1, &spec, 0, {});
+  const std::uint64_t a_id = a->id();
+  EXPECT_EQ(cluster.instances_created(), 2u);
+  EXPECT_EQ(cluster.total_instances(), 2u);
+  EXPECT_TRUE(cluster.destroy_instance(a));
+  EXPECT_FALSE(cluster.destroy_instance(a_id));  // already gone
+  EXPECT_EQ(cluster.instances_destroyed(), 1u);
+  EXPECT_EQ(cluster.total_instances(), 1u);
+  // Creation-ordered iteration: remaining instance is b.
+  ASSERT_EQ(cluster.instances().size(), 1u);
+  EXPECT_EQ(cluster.instances()[0], b);
+}
+
+TEST(Contracts, GatewayRejectsNegativeServiceTime) {
+  ScopedContractHandler guard;
+  Engine engine;
+  GatewayConfig config;
+  config.base_service_s = -1.0;
+  EXPECT_THROW(Gateway(&engine, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gsight::sim

@@ -1,0 +1,111 @@
+// Twin-run determinism harness: the whole platform — gateway, cluster,
+// interference, autoscaler churn, open-loop Poisson load — executed twice
+// from the same seed must produce bit-identical recorder output and QoS
+// bookkeeping. This is the property every experiment in the repo leans on
+// (replay from a seed), promoted to an enforced test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/autoscaler.hpp"
+#include "sim/platform.hpp"
+#include "workloads/ecommerce.hpp"
+#include "workloads/socialnetwork.hpp"
+
+namespace gsight::sim {
+namespace {
+
+struct RunResult {
+  std::string recorder_dump;
+  std::vector<std::pair<double, double>> e2e_a;
+  std::vector<std::pair<double, double>> e2e_b;
+  std::uint64_t failed_a = 0;
+  std::size_t instances = 0;
+  std::uint64_t created = 0;
+  double cpu_util = 0.0;
+  double mem_util = 0.0;
+  std::size_t gateway_queue = 0;
+};
+
+/// One full platform run: two apps, autoscaled open-loop load, 40 simulated
+/// seconds. Everything that feeds experiment figures is captured.
+RunResult run_once(std::uint64_t seed) {
+  PlatformConfig pc;
+  pc.servers = 4;
+  pc.server = ServerConfig::socket();
+  pc.seed = seed;
+  Platform platform(pc);
+
+  const auto social = wl::social_network();
+  const auto shop = wl::e_commerce();
+  const std::size_t a =
+      platform.deploy(social, std::vector<std::size_t>(
+                                  social.function_count(), 0));
+  const std::size_t b = platform.deploy(
+      shop, std::vector<std::size_t>(shop.function_count(), 1));
+
+  // Round-robin placement keeps the autoscaler deterministic without
+  // dragging the whole scheduler stack into this test.
+  std::size_t cursor = 0;
+  Autoscaler scaler(&platform, AutoscalerConfig{},
+                    [&cursor, &pc](std::size_t, std::size_t) {
+                      return cursor++ % pc.servers;
+                    });
+  scaler.start();
+
+  platform.set_open_loop(a, 30.0);
+  platform.set_open_loop(b, 15.0);
+  platform.run_until(40.0);
+
+  RunResult r;
+  r.recorder_dump = platform.recorder().dump_string();
+  r.e2e_a = platform.stats(a).e2e;
+  r.e2e_b = platform.stats(b).e2e;
+  r.failed_a = platform.stats(a).failed;
+  r.instances = platform.total_instances();
+  r.created = platform.cluster().instances_created();
+  r.cpu_util = platform.cluster().cpu_utilization();
+  r.mem_util = platform.cluster().memory_utilization();
+  r.gateway_queue = platform.gateway().queue_depth();
+  return r;
+}
+
+TEST(Determinism, TwinRunsProduceBitIdenticalRecorderOutput) {
+  const RunResult first = run_once(0xD5EED);
+  const RunResult second = run_once(0xD5EED);
+
+  ASSERT_FALSE(first.recorder_dump.empty());
+  // Bit-exact: the dumps are hex-float serialisations, so string equality
+  // is double equality down to the last mantissa bit.
+  EXPECT_EQ(first.recorder_dump, second.recorder_dump);
+
+  ASSERT_EQ(first.e2e_a.size(), second.e2e_a.size());
+  for (std::size_t i = 0; i < first.e2e_a.size(); ++i) {
+    EXPECT_EQ(first.e2e_a[i], second.e2e_a[i]) << "request " << i;
+  }
+  EXPECT_EQ(first.e2e_b, second.e2e_b);
+  EXPECT_EQ(first.failed_a, second.failed_a);
+  EXPECT_EQ(first.instances, second.instances);
+  EXPECT_EQ(first.created, second.created);
+  EXPECT_EQ(first.cpu_util, second.cpu_util);
+  EXPECT_EQ(first.mem_util, second.mem_util);
+  EXPECT_EQ(first.gateway_queue, second.gateway_queue);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  // Guards against the harness degenerating into comparing constants: a
+  // different seed must actually change the recording.
+  const RunResult first = run_once(1);
+  const RunResult second = run_once(2);
+  EXPECT_NE(first.recorder_dump, second.recorder_dump);
+}
+
+TEST(Determinism, RecorderDumpIsStableAcrossIdenticalReplays) {
+  // dump_string itself must be a pure function of the recording.
+  const RunResult r = run_once(7);
+  EXPECT_EQ(r.recorder_dump, run_once(7).recorder_dump);
+}
+
+}  // namespace
+}  // namespace gsight::sim

@@ -1,0 +1,449 @@
+// gsight_lint — repo-specific determinism and hygiene linter.
+//
+// Scans the C++ sources under src/, tests/, and bench/ for hazards that
+// break bit-exact replay or basic header hygiene. It is deliberately a
+// line-oriented lexical tool (comments and string literals are stripped
+// before matching) rather than a compiler plugin: every rule below is a
+// *repo convention*, not a C++ legality question, and conventions are
+// exactly what survives a cheap lexical check.
+//
+// Rules
+//   banned-random   rand()/srand()/std::mt19937/std::random_device/
+//                   drand48 anywhere: all randomness must flow through
+//                   stats::Rng, which is bit-stable across standard
+//                   libraries. (stats/rng.* itself is exempt.)
+//   wall-clock      time(), gettimeofday(), clock_gettime(),
+//                   std::chrono::{system,steady,high_resolution}_clock,
+//                   localtime/gmtime in src/ — simulation code must take
+//                   time from sim::Engine::now(), never from the host.
+//                   (bench/ and tests/ may measure real time.)
+//   ptr-key-container  unordered_map/unordered_set keyed by a pointer
+//                   type in src/sim — iteration order follows the
+//                   allocator, which silently breaks replay.
+//   simtime-eq      ==/!= on a variable declared SimTime in the same
+//                   file — floating-point simulation clocks must be
+//                   compared with tolerances or orderings.
+//   pragma-once     every header under the scan roots must contain
+//                   #pragma once.
+//
+// Escape hatch: a line carrying `// gsight-lint: allow(rule)` (or
+// `allow(rule-a,rule-b)`) waives those rules for that line. File-wide
+// waivers are intentionally not offered — each exception should be
+// visible where it happens.
+//
+// Exit status: 0 when clean, 1 when violations were found, 2 on usage or
+// I/O errors — so `ctest` can run it as an ordinary test.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Lexical preprocessing: strip comments and string/char literals so rule
+// patterns never fire on prose or on quoted text (this file's own rule
+// tables, for instance). The annotation parser runs on the raw line first.
+// ---------------------------------------------------------------------------
+
+struct CleanFile {
+  std::vector<std::string> raw;    ///< original lines (for reporting)
+  std::vector<std::string> code;   ///< lines with comments/strings blanked
+};
+
+CleanFile strip(const std::string& text) {
+  CleanFile out;
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // raw-string closing delimiter, e.g. )foo"
+  std::string raw_line, code_line;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      // Line comments never continue; everything else carries over.
+      out.raw.push_back(raw_line);
+      out.code.push_back(code_line);
+      raw_line.clear();
+      code_line.clear();
+      continue;
+    }
+    raw_line.push_back(c);
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          // Consume to end of line (the newline handler emits the line).
+          while (i + 1 < text.size() && text[i + 1] != '\n') {
+            raw_line.push_back(text[++i]);
+          }
+          code_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          raw_line.push_back(text[++i]);
+          code_line.append("  ");
+        } else if (c == 'R' && next == '"') {
+          // Raw string literal: R"delim( ... )delim"
+          state = State::kRawString;
+          std::string delim;
+          std::size_t j = i + 2;
+          while (j < text.size() && text[j] != '(') delim.push_back(text[j++]);
+          raw_delim = ")" + delim + "\"";
+          code_line.push_back(' ');
+        } else if (c == '"') {
+          state = State::kString;
+          code_line.push_back(' ');
+        } else if (c == '\'' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // Apostrophes inside identifiers are digit separators (1'000).
+          state = State::kChar;
+          code_line.push_back(' ');
+        } else {
+          code_line.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          raw_line.push_back(text[++i]);
+          code_line.append("  ");
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          raw_line.push_back(text[++i]);
+          code_line.append("  ");
+        } else if (c == '"') {
+          state = State::kCode;
+          code_line.push_back(' ');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          raw_line.push_back(text[++i]);
+          code_line.append("  ");
+        } else if (c == '\'') {
+          state = State::kCode;
+          code_line.push_back(' ');
+        } else {
+          code_line.push_back(' ');
+        }
+        break;
+      case State::kRawString: {
+        // Check whether the raw delimiter starts here.
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            raw_line.push_back(text[++i]);
+          }
+          state = State::kCode;
+        }
+        code_line.push_back(' ');
+        break;
+      }
+    }
+  }
+  if (!raw_line.empty() || !code_line.empty()) {
+    out.raw.push_back(raw_line);
+    out.code.push_back(code_line);
+  }
+  return out;
+}
+
+/// Rules waived on this raw line via `gsight-lint: allow(a,b)`.
+std::set<std::string> allowed_rules(const std::string& raw_line) {
+  std::set<std::string> out;
+  static const std::regex kAllow(
+      R"(gsight-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
+  std::smatch m;
+  if (std::regex_search(raw_line, m, kAllow)) {
+    std::stringstream ss(m[1].str());
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
+                 rule.end());
+      if (!rule.empty()) out.insert(rule);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct Rule {
+  std::string name;
+  std::regex pattern;
+  std::string message;
+  /// Return true when the rule applies to this file path (relative).
+  bool (*applies)(const std::string& rel);
+};
+
+bool in_src(const std::string& rel) { return rel.rfind("src/", 0) == 0; }
+bool in_sim(const std::string& rel) { return rel.rfind("src/sim/", 0) == 0; }
+bool not_rng(const std::string& rel) {
+  return rel != "src/stats/rng.hpp" && rel != "src/stats/rng.cpp";
+}
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"banned-random",
+       std::regex(R"((^|[^\w:])(rand|srand|rand_r|drand48|lrand48)\s*\()"),
+       "C random APIs are not replay-deterministic; draw from stats::Rng",
+       +[](const std::string& rel) { return not_rng(rel); }},
+      {"banned-random",
+       std::regex(R"(std\s*::\s*(mt19937(_64)?|minstd_rand0?|random_device|)"
+                  R"(default_random_engine|uniform_int_distribution|)"
+                  R"(uniform_real_distribution|normal_distribution|)"
+                  R"(bernoulli_distribution|poisson_distribution))"),
+       "std <random> is not bit-stable across standard libraries; use "
+       "stats::Rng",
+       +[](const std::string& rel) { return not_rng(rel); }},
+      {"wall-clock",
+       std::regex(R"((^|[^\w:.])(time|gettimeofday|clock_gettime|clock|)"
+                  R"(localtime|gmtime|mktime|strftime)\s*\()"),
+       "wall-clock calls in simulation code; take time from Engine::now()",
+       &in_src},
+      {"wall-clock",
+       std::regex(R"(std\s*::\s*chrono\s*::\s*(system_clock|steady_clock|)"
+                  R"(high_resolution_clock))"),
+       "std::chrono clocks in simulation code; take time from Engine::now()",
+       &in_src},
+      {"ptr-key-container",
+       std::regex(R"(unordered_(map|set)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*)"),
+       "pointer-keyed unordered container iterates in allocator order and "
+       "breaks replay; key by a stable id",
+       &in_sim},
+  };
+  return kRules;
+}
+
+/// simtime-eq: collect identifiers declared `SimTime name` in this file,
+/// then flag ==/!= comparisons that touch one of them.
+void check_simtime_eq(const std::string& rel, const CleanFile& file,
+                      std::vector<Violation>* out) {
+  static const std::regex kDecl(R"(\bSimTime\s+([A-Za-z_]\w*)\s*[;=,){])");
+  std::set<std::string> names;
+  for (const auto& line : file.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      names.insert((*it)[1].str());
+    }
+  }
+  if (names.empty()) return;
+  static const std::regex kCompare(
+      R"(([A-Za-z_][\w.\->]*)\s*[=!]=\s*([A-Za-z_][\w.\->]*))");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (std::sregex_iterator it(line.begin(), line.end(), kCompare), end;
+         it != end; ++it) {
+      auto last_component = [](std::string s) {
+        const auto dot = s.find_last_of(".>");
+        return dot == std::string::npos ? s : s.substr(dot + 1);
+      };
+      // Skip operands that are calls (`x == v.end()`): only *variables*
+      // declared SimTime are tracked, and begin()/end()-style members
+      // would otherwise collide with SimTime parameters named `end`.
+      const std::size_t after =
+          static_cast<std::size_t>(it->position(0) + it->length(0));
+      const bool rhs_is_call = after < line.size() && line[after] == '(';
+      const std::string lhs = last_component((*it)[1].str());
+      const std::string rhs = last_component((*it)[2].str());
+      if (names.count(lhs) != 0 || (!rhs_is_call && names.count(rhs) != 0)) {
+        if (allowed_rules(file.raw[i]).count("simtime-eq") != 0) continue;
+        out->push_back({rel, i + 1, "simtime-eq",
+                        "exact ==/!= on a SimTime; compare with a tolerance "
+                        "or ordering"});
+      }
+    }
+  }
+}
+
+void check_pragma_once(const std::string& rel, const CleanFile& file,
+                       std::vector<Violation>* out) {
+  if (rel.size() < 4 || rel.compare(rel.size() - 4, 4, ".hpp") != 0) return;
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    if (file.raw[i].find("#pragma once") != std::string::npos) {
+      if (allowed_rules(file.raw[i]).count("pragma-once") != 0) return;
+      return;
+    }
+  }
+  out->push_back({rel, 1, "pragma-once", "header lacks #pragma once"});
+}
+
+void check_file(const std::string& rel, const std::string& text,
+                std::vector<Violation>* out) {
+  const CleanFile file = strip(text);
+  for (const auto& rule : rules()) {
+    if (!rule.applies(rel)) continue;
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      if (!std::regex_search(file.code[i], rule.pattern)) continue;
+      if (allowed_rules(file.raw[i]).count(rule.name) != 0) continue;
+      out->push_back({rel, i + 1, rule.name, rule.message});
+    }
+  }
+  check_simtime_eq(rel, file, out);
+  check_pragma_once(rel, file, out);
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+// ---------------------------------------------------------------------------
+// Self test: feed synthetic sources through check_file and verify each rule
+// fires where it should and stays quiet where it should not. Registered as
+// its own ctest so the linter cannot silently rot.
+// ---------------------------------------------------------------------------
+
+int self_test() {
+  struct Case {
+    const char* name;
+    const char* rel;
+    const char* text;
+    const char* expect_rule;  // nullptr = expect clean
+  };
+  const Case cases[] = {
+      {"rand call", "src/foo.cpp", "#include <x>\nint x = rand();\n",
+       "banned-random"},
+      {"mt19937", "tests/t.cpp", "std::mt19937 gen(42);\n", "banned-random"},
+      {"random in comment", "src/foo.cpp", "// uses std::mt19937 internally\n",
+       nullptr},
+      {"random in string", "src/foo.cpp",
+       "const char* s = \"std::mt19937\";\n", nullptr},
+      {"rng.hpp exempt", "src/stats/rng.hpp",
+       "#pragma once\n// replacement for std::mt19937\nstd::mt19937 g;\n",
+       nullptr},
+      {"rand-like identifier", "src/foo.cpp", "int strand(int);\nbrand();\n",
+       nullptr},
+      {"wall clock in src", "src/sim/x.cpp", "auto t = time(nullptr);\n",
+       "wall-clock"},
+      {"steady_clock in src", "src/sim/x.cpp",
+       "auto t = std::chrono::steady_clock::now();\n", "wall-clock"},
+      {"steady_clock in bench ok", "bench/b.cpp",
+       "auto t = std::chrono::steady_clock::now();\n", nullptr},
+      {"next_time not wall clock", "src/sim/x.cpp",
+       "auto t = queue.next_time();\n", nullptr},
+      {"ptr-keyed map in sim", "src/sim/x.hpp",
+       "#pragma once\nstd::unordered_map<Instance*, int> m_;\n",
+       "ptr-key-container"},
+      {"ptr-keyed map outside sim ok", "src/ml/x.hpp",
+       "#pragma once\nstd::unordered_map<Node*, int> m_;\n", nullptr},
+      {"id-keyed map ok", "src/sim/x.hpp",
+       "#pragma once\nstd::unordered_map<ExecId, int> m_;\n", nullptr},
+      {"simtime equality", "src/sim/x.cpp",
+       "SimTime when = 0.0;\nif (when == other) {}\n", "simtime-eq"},
+      {"simtime tolerance ok", "src/sim/x.cpp",
+       "SimTime when = 0.0;\nif (when <= other) {}\n", nullptr},
+      {"allow waives", "src/sim/x.cpp",
+       "SimTime when = 0.0;\n"
+       "if (when == o) {}  // gsight-lint: allow(simtime-eq)\n",
+       nullptr},
+      {"allow is per-rule", "src/sim/x.cpp",
+       "SimTime when = 0.0;\n"
+       "if (when == o) {}  // gsight-lint: allow(banned-random)\n",
+       "simtime-eq"},
+      {"missing pragma once", "src/sim/x.hpp", "struct A {};\n",
+       "pragma-once"},
+      {"pragma once present", "src/sim/x.hpp", "#pragma once\nstruct A {};\n",
+       nullptr},
+  };
+  int failures = 0;
+  for (const auto& c : cases) {
+    std::vector<Violation> vs;
+    check_file(c.rel, c.text, &vs);
+    const bool ok =
+        c.expect_rule == nullptr
+            ? vs.empty()
+            : std::any_of(vs.begin(), vs.end(), [&](const Violation& v) {
+                return v.rule == c.expect_rule;
+              });
+    if (!ok) {
+      ++failures;
+      std::cout << "self-test FAIL: " << c.name << " (expected "
+                << (c.expect_rule ? c.expect_rule : "clean") << ", got "
+                << vs.size() << " violation(s)";
+      for (const auto& v : vs) std::cout << " [" << v.rule << "]";
+      std::cout << ")\n";
+    }
+  }
+  std::cout << "gsight_lint --self-test: "
+            << (sizeof(cases) / sizeof(cases[0])) << " cases, " << failures
+            << " failure" << (failures == 1 ? "" : "s") << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string(argv[1]) == "--self-test") return self_test();
+  if (argc != 2) {
+    std::cerr << "usage: gsight_lint <repo-root> | --self-test\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  const std::vector<std::string> roots = {"src", "tests", "bench"};
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+
+  for (const auto& top : roots) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) {
+      std::cerr << "gsight_lint: missing scan root " << dir << "\n";
+      return 2;
+    }
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << "gsight_lint: cannot read " << path << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const std::string rel =
+          fs::relative(path, root).generic_string();
+      check_file(rel, ss.str(), &violations);
+      ++files_scanned;
+    }
+  }
+
+  for (const auto& v : violations) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  std::cout << "gsight_lint: " << files_scanned << " files, "
+            << violations.size() << " violation"
+            << (violations.size() == 1 ? "" : "s") << "\n";
+  return violations.empty() ? 0 : 1;
+}
