@@ -60,6 +60,7 @@ double prequential_irfr(const std::vector<core::ScenarioSamples>& stream_raw,
 
 int main() {
   bench::Stopwatch total;
+  bench::Run run("ablation");
   auto cfg = bench::quick_builder_config();
   prof::ProfileStore store;
   core::DatasetBuilder builder(&store, cfg, /*seed=*/1919);
@@ -87,8 +88,9 @@ int main() {
     enc.spatial_coding = v.spatial;
     enc.temporal_coding = v.temporal;
     enc.canonical_server_order = v.canonical;
-    std::printf("%-24s %8.2f\n", v.name,
-                prequential_irfr(stream, enc, core::QosKind::kIpc));
+    const double err = prequential_irfr(stream, enc, core::QosKind::kIpc);
+    std::printf("%-24s %8.2f\n", v.name, err);
+    run.result(std::string("coding.") + v.name + ".ipc_error_pct", err, "%");
   }
 
   bench::header("Ablation 4: incremental refresh fraction (IPC error % / "
@@ -99,6 +101,9 @@ int main() {
         prequential_irfr(stream, cfg.encoder, core::QosKind::kIpc, frac);
     std::printf("refresh %.0f%% of trees: error %6.2f%%  (wall %5.1f s)\n",
                 frac * 100.0, err, sw.seconds());
+    run.result("refresh_" + std::to_string(static_cast<int>(frac * 100.0)) +
+                   "pct.ipc_error_pct",
+               err, "%");
   }
 
   bench::header("Ablation 5: PCA feature reduction (the paper's \u00a76.4 "
@@ -175,6 +180,8 @@ int main() {
   std::printf("tail-latency error: %.2f%% unfiltered -> %.2f%% after "
               "dropping below-knee samples (paper: 28.6%% -> 18.7%%)\n",
               unfiltered, filtered);
+  run.result("tail_latency_error_unfiltered_pct", unfiltered, "%");
+  run.result("tail_latency_error_knee_filtered_pct", filtered, "%");
 
   std::printf("\n[bench_ablation done in %.1f s]\n", total.seconds());
   return 0;

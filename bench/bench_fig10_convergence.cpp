@@ -54,6 +54,7 @@ std::vector<std::pair<std::size_t, double>> convergence_curve(
 
 int main() {
   bench::Stopwatch total;
+  bench::Run run("fig10_convergence");
   auto cfg = bench::quick_builder_config();
   cfg.runner.label_window_s = 2.0;  // denser samples per scenario
 
@@ -94,10 +95,23 @@ int main() {
   const auto sful = convergence_curve(serverless, workload_level, checkpoints);
   std::printf("%12s %14s %14s\n", "samples", "serverless", "serverful");
   bench::rule();
+  auto curve_series = obs::Json::array();
   for (std::size_t i = 0; i < checkpoints.size(); ++i) {
     std::printf("%12zu %14.2f %14.2f\n", checkpoints[i],
                 i < sless.size() ? sless[i].second : -1.0,
                 i < sful.size() ? sful[i].second : -1.0);
+    auto row = obs::Json::object();
+    row.set("samples", checkpoints[i]);
+    if (i < sless.size()) row.set("serverless_error_pct", sless[i].second);
+    if (i < sful.size()) row.set("serverful_error_pct", sful[i].second);
+    curve_series.push_back(std::move(row));
+  }
+  run.report().add_series("convergence", std::move(curve_series));
+  if (!sless.empty()) {
+    run.result("serverless_final_error_pct", sless.back().second, "%");
+  }
+  if (!sful.empty()) {
+    run.result("serverful_final_error_pct", sful.back().second, "%");
   }
   bench::rule();
   std::printf("paper: serverless 3.41/2.55/2.09%% at 1k/2k/3k vs serverful "
@@ -134,8 +148,9 @@ int main() {
         predictor.observe(stream[i].outcome.scenario, l);
       }
     }
-    std::printf("%12zu %12.2f %12zu\n", k, ml::mape(truth, pred),
-                stream.size());
+    const double err = ml::mape(truth, pred);
+    std::printf("%12zu %12.2f %12zu\n", k, err, stream.size());
+    run.result("error_pct_at_" + std::to_string(k) + "_workloads", err, "%");
   }
   bench::rule();
   std::printf("paper: error stays below 3%% for any number of colocated "

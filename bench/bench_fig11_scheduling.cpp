@@ -23,6 +23,7 @@ void print_cdf(const char* title, const std::vector<double>& samples) {
 
 int main() {
   bench::Stopwatch total;
+  bench::Run run("fig11_scheduling");
   auto setup = bench::prepare_study();
   std::printf("[setup] predictors trained, curve knee=%.3f, %.1f s\n",
               setup->curve->knee_ipc(), total.seconds());
@@ -45,6 +46,13 @@ int main() {
     print_cdf("  density", r.density_samples);
     print_cdf("  cpu    ", r.cpu_util_samples);
     print_cdf("  memory ", r.mem_util_samples);
+    const std::string prefix = r.scheduler + ".";
+    run.result(prefix + "mean_density", r.mean_density(), "inst/core");
+    run.result(prefix + "mean_cpu_util", r.mean_cpu_util());
+    run.result(prefix + "mean_mem_util", r.mean_mem_util());
+    run.result(prefix + "requests_completed",
+               static_cast<double>(r.requests_completed));
+    run.result(prefix + "cold_starts", static_cast<double>(r.cold_starts));
   }
   bench::rule();
   const auto& g = reports[0];
@@ -62,6 +70,10 @@ int main() {
               "vs WorstFit (paper +76.91%%)\n",
               100.0 * (g.mean_mem_util() / p.mean_mem_util() - 1.0),
               100.0 * (g.mean_mem_util() / w.mean_mem_util() - 1.0));
+  run.result("density_gain_vs_pythia_pct",
+             100.0 * (g.mean_density() / p.mean_density() - 1.0), "%");
+  run.result("density_gain_vs_worstfit_pct",
+             100.0 * (g.mean_density() / w.mean_density() - 1.0), "%");
 
   std::printf("\n[bench_fig11_scheduling done in %.1f s]\n", total.seconds());
   return 0;

@@ -8,6 +8,7 @@
 int main() {
   using namespace gsight;
   bench::Stopwatch total;
+  bench::Run run("fig12_sla");
   auto setup = bench::prepare_study(/*seed=*/2022);
   const auto reports = bench::run_all_schedulers(*setup);
 
@@ -23,6 +24,10 @@ int main() {
     for (const auto& app : r.sla) {
       std::printf(" %14.2f%% (p99 %3.0fms)", 100.0 * app.satisfied_fraction,
                   app.overall_p99_s * 1e3);
+      run.result(r.scheduler + "." + app.app + ".sla_satisfied_pct",
+                 100.0 * app.satisfied_fraction, "%");
+      run.result(r.scheduler + "." + app.app + ".overall_p99_ms",
+                 app.overall_p99_s * 1e3, "ms");
     }
     std::printf("\n");
   }

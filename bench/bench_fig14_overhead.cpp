@@ -13,6 +13,7 @@
 int main() {
   using namespace gsight;
   bench::Stopwatch total;
+  bench::Run run("fig14_overhead");
 
   // --- Train a small IRFR so inference/update timings are realistic ------
   auto cfg = bench::quick_builder_config();
@@ -40,8 +41,9 @@ int main() {
     for (std::size_t i = 0; i < reps; ++i) {
       sink += predictor.predict(stream[i % stream.size()].outcome.scenario);
     }
-    std::printf("%-28s %10.3f ms   (paper: 3.48 ms)\n",
-                "model inference", sw.millis() / reps);
+    const double ms = sw.millis() / static_cast<double>(reps);
+    std::printf("%-28s %10.3f ms   (paper: 3.48 ms)\n", "model inference", ms);
+    run.result("model_inference_ms", ms, "ms");
     (void)sink;
   }
   // Incremental update latency.
@@ -56,8 +58,10 @@ int main() {
       }
       upd.flush();
     }
+    const double ms = sw.millis() / static_cast<double>(reps);
     std::printf("%-28s %10.3f ms   (paper: 24.784 ms)\n",
-                "incremental update (batch)", sw.millis() / reps);
+                "incremental update (batch)", ms);
+    run.result("incremental_update_ms", ms, "ms");
   }
   // Scheduling decision (binary-search placement incl. predictions).
   {
@@ -83,8 +87,10 @@ int main() {
     for (std::size_t i = 0; i < reps; ++i) {
       (void)scheduler.place_workload(*profile, state, core::Sla{0.1, 0.5});
     }
+    const double ms = sw.millis() / static_cast<double>(reps);
     std::printf("%-28s %10.3f ms   (paper: a few ms)\n",
-                "scheduling decision", sw.millis() / reps);
+                "scheduling decision", ms);
+    run.result("scheduling_decision_ms", ms, "ms");
   }
   // Instance start and invocation forwarding come from the simulator's
   // model (simulated time, matching the paper's measured platform).
@@ -97,6 +103,7 @@ int main() {
   bench::header("Figure 14(b): gateway forwarding latency vs #instances");
   std::printf("%12s %22s\n", "#instances", "mean forward (ms)");
   bench::rule();
+  auto knee_series = obs::Json::array();
   for (const std::size_t instances :
        {20u, 60u, 100u, 110u, 120u, 140u, 170u, 200u}) {
     sim::PlatformConfig pc;
@@ -121,9 +128,15 @@ int main() {
     }
     platform.set_open_loop(id, 60.0);
     platform.run_until(20.0);
-    std::printf("%12zu %22.3f\n", platform.total_instances(),
-                platform.gateway().forwarding_latencies().mean() * 1e3);
+    const double forward_ms =
+        platform.gateway().forwarding_latencies().mean() * 1e3;
+    std::printf("%12zu %22.3f\n", platform.total_instances(), forward_ms);
+    auto row = obs::Json::object();
+    row.set("instances", platform.total_instances());
+    row.set("forward_ms", forward_ms);
+    knee_series.push_back(std::move(row));
   }
+  run.report().add_series("forward_ms_vs_instances", std::move(knee_series));
   bench::rule();
   std::printf("paper: stable below ~110 instances, rapid slowdown past 120 "
               "(gateway bottleneck)\n");

@@ -62,7 +62,7 @@ ScenarioResult run_scenario(const wl::App* corunner, std::size_t victim) {
   return r;
 }
 
-void figure_3a() {
+void figure_3a(bench::Run& run) {
   bench::header("Figure 3(a): 36 partial-interference scenarios (social network @ 50 qps)");
   const auto corunners = wl::characterization_corunners();
   const auto sn = wl::social_network();
@@ -87,9 +87,11 @@ void figure_3a() {
   bench::rule();
   std::printf("p99 spread across scenarios: %.1fx (paper reports up to 7x)\n",
               max_p99 / min_p99);
+  run.result("solo_p99_ms", solo.p99_ms, "ms");
+  run.result("p99_spread_x", max_p99 / min_p99);
 }
 
-void figure_3b() {
+void figure_3b(bench::Run& run) {
   bench::header("Figure 3(b): LR + KMeans JCT vs start delay (one socket)");
   std::printf("%-6s %12s %14s %14s\n", "cfg", "delay(s)", "LR JCT(s)",
               "KMeans JCT(s)");
@@ -131,14 +133,16 @@ void figure_3b() {
   std::printf("LR JCT swing: %.2fx (paper: 429 s -> 785 s, ~1.8x; max diff >2x "
               "for KMeans)\n",
               lr_max / lr_min);
+  run.result("lr_jct_swing_x", lr_max / lr_min);
 }
 
 }  // namespace
 
 int main() {
   bench::Stopwatch total;
-  figure_3a();
-  figure_3b();
+  bench::Run run("fig3_volatility");
+  figure_3a(run);
+  figure_3b(run);
   std::printf("\n[bench_fig3_volatility done in %.1f s]\n", total.seconds());
   return 0;
 }

@@ -87,7 +87,8 @@ CaseResult run_case(std::size_t interfered_fn) {
   return result;
 }
 
-void print_case(const char* title, std::size_t interfered_fn) {
+void print_case(bench::Run& run, const char* key, const char* title,
+                std::size_t interfered_fn) {
   const auto sn = wl::social_network();
   bench::header(title);
   const auto r = run_case(interfered_fn);
@@ -124,15 +125,25 @@ void print_case(const char* title, std::size_t interfered_fn) {
               r.after.p99_ms[interfered_fn] /
                   r.baseline.p99_ms[interfered_fn],
               others_rebound);
+  run.result(std::string(key) + ".intf_p99_x_baseline",
+             r.during.p99_ms[interfered_fn] /
+                 r.baseline.p99_ms[interfered_fn]);
+  run.result(std::string(key) + ".others_at_or_below_baseline",
+             static_cast<double>(others_lower));
+  run.result(std::string(key) + ".others_rebound_after_control",
+             static_cast<double>(others_rebound));
 }
 
 }  // namespace
 
 int main() {
   bench::Stopwatch total;
-  print_case("Figure 4(a): interference & control at (1) compose-post",
+  bench::Run run("fig4_propagation");
+  print_case(run, "compose_post",
+             "Figure 4(a): interference & control at (1) compose-post",
              wl::kComposePost);
-  print_case("Figure 4(b): interference & control at (6) compose-and-upload",
+  print_case(run, "compose_and_upload",
+             "Figure 4(b): interference & control at (6) compose-and-upload",
              wl::kComposeAndUpload);
   std::printf("\n[bench_fig4_propagation done in %.1f s]\n", total.seconds());
   return 0;

@@ -145,6 +145,7 @@ GranularityResult evaluate(prof::ProfileStore& store,
 
 int main() {
   bench::Stopwatch total;
+  bench::Run run("fig5_granularity");
   auto cfg = bench::quick_builder_config();
 
   const std::vector<core::ModelKind> models = {
@@ -184,6 +185,11 @@ int main() {
               "workload-level %.2f (%.1fx lower; paper: ~13x lower)\n",
               var_fn_sum / 5.0, var_wl_sum / 5.0,
               var_fn_sum > 0 ? var_wl_sum / var_fn_sum : 0.0);
+  run.result("median_ipc_error_fn_pct", med_fn_sum / 5.0, "%");
+  run.result("median_ipc_error_wl_pct", med_wl_sum / 5.0, "%");
+  run.result("median_error_ratio_wl_over_fn", med_wl_sum / med_fn_sum);
+  run.result("variance_ratio_wl_over_fn",
+             var_fn_sum > 0 ? var_wl_sum / var_fn_sum : 0.0);
 
   std::printf("\n[bench_fig5_granularity done in %.1f s]\n", total.seconds());
   return 0;

@@ -9,6 +9,7 @@
 int main() {
   using namespace gsight;
   bench::Stopwatch total;
+  bench::Run run("fig7_knee");
 
   auto cfg = bench::quick_builder_config();
   cfg.ls_qps_levels = {25.0, 50.0, 75.0, 95.0};  // the top levels push some colocations past saturation
@@ -69,6 +70,10 @@ int main() {
   std::printf("latency->IPC floor: p99 budget 1.5x solo -> IPC >= %.3f x "
               "solo IPC\n",
               curve.ipc_for_latency(1.5));
+  run.result("windows", static_cast<double>(points.size()));
+  run.result("knee_ipc", curve.knee_ipc());
+  run.result("corr_above_knee", curve.correlation_above_knee());
+  run.result("below_knee_pct", 100.0 * curve.fraction_below_knee(), "%");
 
   std::printf("\n[bench_fig7_knee done in %.1f s]\n", total.seconds());
   return 0;

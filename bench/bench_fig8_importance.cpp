@@ -14,6 +14,7 @@
 int main() {
   using namespace gsight;
   bench::Stopwatch total;
+  bench::Run run("fig8_importance");
 
   auto cfg = bench::quick_builder_config();
   prof::ProfileStore store;
@@ -90,6 +91,16 @@ int main() {
   }
   std::printf("%zu/16 metrics carry non-trivial importance (paper: all "
               "except disk IO)\n", informative);
+  run.result("informative_metrics", static_cast<double>(informative));
+  run.result("r_matrix_importance", r_importance);
+  auto imp_series = obs::Json::array();
+  for (std::size_t i : order) {
+    auto row = obs::Json::object();
+    row.set("metric", prof::metric_name(prof::selected_metrics()[i]));
+    row.set("importance", metric_importance[i]);
+    imp_series.push_back(std::move(row));
+  }
+  run.report().add_series("metric_importance", std::move(imp_series));
 
   std::printf("\n[bench_fig8_importance done in %.1f s]\n", total.seconds());
   return 0;

@@ -91,6 +91,7 @@ double run_baseline(bool pythia,
 
 int main() {
   bench::Stopwatch total;
+  bench::Run run("fig9_models");
   auto cfg = bench::quick_builder_config();
   prof::ProfileStore store;
   core::DatasetBuilder builder(&store, cfg, /*seed=*/404);
@@ -127,6 +128,10 @@ int main() {
                                 core::QosKind::kJct, cfg.encoder);
     if (model == core::ModelKind::kIRFR) irfr_ls_scbg = b;
     std::printf("%-10s %10.2f %10.2f %14.2f\n", to_string(model), a, b, c);
+    const std::string prefix = std::string(to_string(model)) + ".";
+    run.result(prefix + "ipc_error_ls_ls_pct", a, "%");
+    run.result(prefix + "ipc_error_ls_scbg_pct", b, "%");
+    run.result(prefix + "jct_error_sc_scbg_pct", c, "%");
   }
   for (const bool pythia : {true, false}) {
     const double a = run_baseline(pythia, data[core::ColocationClass::kLsLs],
@@ -141,6 +146,7 @@ int main() {
   bench::rule();
   std::printf("IRFR LS+SC/BG IPC error: %.2f%% (paper: 1.71%%)\n",
               irfr_ls_scbg);
+  run.result("irfr_ipc_error_ls_scbg_pct", irfr_ls_scbg, "%");
 
   bench::header("Figure 9(b): online tail-latency prediction error (%)");
   std::printf("%-10s %10s %10s\n", "model", "LS+LS", "LS+SC/BG");

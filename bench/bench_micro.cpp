@@ -1,8 +1,12 @@
 // Microbenchmarks (google-benchmark) for the kernels on the scheduling
 // fast path: overlap-code encoding, forest inference and incremental
 // update, interference evaluation, and event-queue throughput.
+// A custom reporter mirrors every run into a RunReport, so this binary
+// emits BENCH_micro.json like every other bench (validated by
+// tools/bench_schema_check in the check.sh smoke stage).
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "core/encoder.hpp"
 #include "ml/incremental_forest.hpp"
 #include "sim/engine.hpp"
@@ -131,6 +135,33 @@ void BM_EventQueueThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueThroughput)->Unit(benchmark::kMicrosecond);
 
+// Console output as usual, plus each finished run recorded as a RunReport
+// result row (name = benchmark name, value = adjusted real time).
+class ReportingReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(bench::Run* run) : run_(run) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& r : runs) {
+      if (r.error_occurred) continue;
+      run_->result(r.benchmark_name(), r.GetAdjustedRealTime(),
+                   benchmark::GetTimeUnitString(r.time_unit));
+    }
+  }
+
+ private:
+  bench::Run* run_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::Run run("micro");
+  ReportingReporter reporter(&run);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -19,6 +19,7 @@
 int main() {
   using namespace gsight;
   bench::Stopwatch total;
+  bench::Run run("table3_correlation");
 
   // Colocate the social network with each characterization corunner;
   // collect per-window metric vectors and per-window performance for every
@@ -120,13 +121,21 @@ int main() {
   std::printf("%-20s %10s %10s   %s\n", "metric", "Pearson", "Spearman",
               "selected?");
   bench::rule();
+  auto corr_series = obs::Json::array();
   for (std::size_t k = 0; k < prof::kMetricCount; ++k) {
     const auto m = static_cast<prof::Metric>(k);
     const double p = stats::pearson(metric_series[k], perf_series);
     const double s = stats::spearman(metric_series[k], perf_series);
     std::printf("%-20s %10.2f %10.2f   %s\n", prof::metric_name(m), p, s,
                 prof::is_selected(m) ? "yes" : "no (|corr|<0.1 in paper)");
+    auto row = obs::Json::object();
+    row.set("metric", prof::metric_name(m));
+    row.set("pearson", p);
+    row.set("spearman", s);
+    corr_series.push_back(std::move(row));
   }
+  run.result("windows", static_cast<double>(perf_series.size()));
+  run.report().add_series("correlations", std::move(corr_series));
   bench::rule();
   std::printf("paper's strongest positives: context_switches 0.96, "
               "network_bandwidth 0.94, ipc 0.85, llc 0.83, cpu_util 0.81;\n"

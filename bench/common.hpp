@@ -5,11 +5,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/trainer.hpp"
 #include "ml/metrics.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "stats/summary.hpp"
 
 namespace gsight::bench {
@@ -63,6 +68,71 @@ class Stopwatch {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Per-bench harness: owns the RunReport and the optional trace sink.
+///
+///   int main() {
+///     gsight::bench::Run run("fig14_overhead");
+///     ...
+///     run.result("forward_p50_us", v, "us");
+///   }  // <- BENCH_fig14_overhead.json written here
+///
+/// Environment knobs (read here, in bench/, where wall clocks and getenv
+/// are allowed — src/ is lint-clean of both):
+///   GSIGHT_TRACE=<path>    — install a StreamTraceSink as the process
+///                            default sink; any sim::Platform built
+///                            without an explicit sink then emits a
+///                            Chrome trace to <path>.
+///   GSIGHT_BENCH_DIR=<dir> — where BENCH_<name>.json lands (default .).
+class Run {
+ public:
+  explicit Run(std::string name) : report_(std::move(name)) {
+    if (const char* path = std::getenv("GSIGHT_TRACE")) {
+      trace_file_.open(path);
+      if (trace_file_) {
+        trace_path_ = path;
+        trace_sink_ = std::make_unique<obs::StreamTraceSink>(trace_file_);
+        obs::set_default_trace_sink(trace_sink_.get());
+      } else {
+        std::fprintf(stderr, "[bench] cannot open GSIGHT_TRACE=%s\n", path);
+      }
+    }
+  }
+
+  ~Run() {
+    if (trace_sink_) {
+      obs::set_default_trace_sink(nullptr);
+      trace_sink_->close();
+      trace_sink_.reset();
+      std::printf("[bench] chrome trace written to %s\n", trace_path_.c_str());
+    }
+    report_.set_wall_time_s(stopwatch_.seconds());
+    const char* dir = std::getenv("GSIGHT_BENCH_DIR");
+    const std::string path = report_.write(dir != nullptr ? dir : ".");
+    if (path.empty()) {
+      std::fprintf(stderr, "[bench] failed to write run report\n");
+    } else {
+      std::printf("[bench] report written to %s\n", path.c_str());
+    }
+  }
+
+  Run(const Run&) = delete;
+  Run& operator=(const Run&) = delete;
+
+  void result(const std::string& name, double value,
+              const std::string& unit = "") {
+    report_.add_result(name, value, unit);
+  }
+  obs::RunReport& report() { return report_; }
+  double elapsed_s() const { return stopwatch_.seconds(); }
+
+ private:
+  obs::RunReport report_;
+  Stopwatch stopwatch_;
+  std::ofstream trace_file_;
+  std::string trace_path_;
+  std::unique_ptr<obs::StreamTraceSink> trace_sink_;
 };
 
 /// Train/test split over per-scenario sample groups (no window leakage).

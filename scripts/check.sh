@@ -5,6 +5,8 @@
 #   3. ASan+UBSan build + the entire ctest suite
 #   4. TSan build + the thread-pool / forest / trainer tests (the only
 #      multi-threaded code paths)
+#   5. bench smoke: run bench_micro with RunReport enabled and validate
+#      the emitted BENCH_micro.json with tools/bench_schema_check
 #
 # Each stage gets its own build tree under build-check/ so the developer's
 # main build/ directory is never clobbered. Warnings are errors everywhere.
@@ -74,5 +76,24 @@ configure_build "$TSAN_DIR" "-DGSIGHT_SANITIZE=thread"
   TSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure -j "$JOBS" \
         -R 'ThreadPool|Forest|Incremental|Trainer' )
+
+# --- 5. Bench smoke --------------------------------------------------------
+banner "bench smoke: bench_micro -> BENCH_micro.json -> bench_schema_check"
+BENCH_DIR="$ROOT/build-check/bench"
+cmake -B "$BENCH_DIR" -S "$ROOT" -DGSIGHT_WERROR=ON \
+      > "$BENCH_DIR.configure.log" 2>&1 \
+  || { cat "$BENCH_DIR.configure.log"; exit 1; }
+cmake --build "$BENCH_DIR" -j "$JOBS" --target bench_micro bench_schema_check \
+      > "$BENCH_DIR.build.log" 2>&1 || { tail -n 40 "$BENCH_DIR.build.log"; exit 1; }
+SMOKE_DIR="$BENCH_DIR/smoke"
+rm -rf "$SMOKE_DIR" && mkdir -p "$SMOKE_DIR"
+# NOTE: the installed google-benchmark wants a plain double for
+# --benchmark_min_time (no "0.01s" suffix form).
+GSIGHT_BENCH_DIR="$SMOKE_DIR" "$BENCH_DIR/bench/bench_micro" \
+  --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_EventQueueThroughput|BM_EncoderEncode'
+[[ -f "$SMOKE_DIR/BENCH_micro.json" ]] \
+  || { echo "bench smoke: BENCH_micro.json was not written"; exit 1; }
+"$BENCH_DIR/tools/bench_schema_check" "$SMOKE_DIR/BENCH_micro.json"
 
 banner "all checks passed"

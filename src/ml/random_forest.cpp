@@ -93,17 +93,47 @@ void RandomForestRegressor::save(std::ostream& out) const {
 }
 
 void RandomForestRegressor::load(std::istream& in) {
+  // Parse into locals and validate before committing anything: a header
+  // that fails validation must not leave the forest half-mutated.
   std::string tag;
   std::size_t tree_count = 0;
+  std::size_t feature_count = 0;
+  ForestConfig config;
   int split_mode = 0;
-  if (!(in >> tag >> tree_count >> feature_count_ >> config_.n_trees >>
-        config_.bootstrap_fraction >> config_.tree.max_depth >>
-        config_.tree.min_samples_split >> config_.tree.min_samples_leaf >>
-        config_.tree.max_features >> split_mode) ||
+  if (!(in >> tag >> tree_count >> feature_count >> config.n_trees >>
+        config.bootstrap_fraction >> config.tree.max_depth >>
+        config.tree.min_samples_split >> config.tree.min_samples_leaf >>
+        config.tree.max_features >> split_mode) ||
       tag != "forest") {
     throw std::runtime_error("forest parse error: header");
   }
-  config_.tree.split_mode = static_cast<SplitMode>(split_mode);
+  // Bounds checks: a corrupt or hostile header must fail cleanly, not
+  // drive a multi-gigabyte trees_.assign or an out-of-range enum.
+  constexpr std::size_t kMaxTrees = 100000;
+  constexpr std::size_t kMaxFeatures = 1000000;
+  if (tree_count > kMaxTrees || config.n_trees > kMaxTrees) {
+    throw std::runtime_error("forest parse error: implausible tree count");
+  }
+  if (feature_count > kMaxFeatures) {
+    throw std::runtime_error("forest parse error: implausible feature count");
+  }
+  if (!std::isfinite(config.bootstrap_fraction) ||
+      config.bootstrap_fraction <= 0.0 || config.bootstrap_fraction > 1.0) {
+    throw std::runtime_error(
+        "forest parse error: bootstrap_fraction outside (0, 1]");
+  }
+  if (split_mode != static_cast<int>(SplitMode::kBest) &&
+      split_mode != static_cast<int>(SplitMode::kRandom)) {
+    throw std::runtime_error("forest parse error: unknown split mode");
+  }
+  if (config.tree.max_depth == 0 || config.tree.min_samples_split < 2 ||
+      config.tree.min_samples_leaf == 0) {
+    throw std::runtime_error("forest parse error: degenerate tree config");
+  }
+  config.tree.split_mode = static_cast<SplitMode>(split_mode);
+  config.threads = config_.threads;  // runtime knob, not persisted
+  config_ = config;
+  feature_count_ = feature_count;
   trees_.assign(tree_count, DecisionTreeRegressor(config_.tree));
   for (auto& tree : trees_) tree.load(in);
 }

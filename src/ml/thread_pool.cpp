@@ -1,6 +1,6 @@
 #include "ml/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
 
 namespace gsight::ml {
 
@@ -32,14 +32,26 @@ void ThreadPool::worker_loop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
-      ++in_flight_;
     }
     task();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
+  }
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    std::exception_ptr err;
+    try {
+      (*batch.body)(i);
+    } catch (...) {
+      err = std::current_exception();
     }
-    done_.notify_all();
+    std::lock_guard lock(batch.m);
+    if (err && !batch.error) batch.error = err;
+    // Notify under the lock: the waiter owns the batch via shared_ptr, so
+    // it cannot be destroyed between our unlock and notify.
+    if (++batch.completed == batch.n) batch.cv.notify_all();
   }
 }
 
@@ -50,32 +62,25 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  const std::size_t chunks = std::min(n, workers_.size());
-  auto drain = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
+  auto batch = std::make_shared<Batch>(n, &body);
+  // The caller drains too, so at most n-1 helpers can ever find work.
+  const std::size_t helpers = std::min(n - 1, workers_.size());
   {
     std::lock_guard lock(mutex_);
-    for (std::size_t c = 0; c < chunks; ++c) tasks_.push(drain);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.push([batch] { run_batch(*batch); });
+    }
   }
   wake_.notify_all();
+  // Caller participates in its own batch: a nested parallel_for issued
+  // from inside a worker task therefore always makes progress, and
+  // concurrent callers never wait on each other's work.
+  run_batch(*batch);
   {
-    std::unique_lock lock(mutex_);
-    done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+    std::unique_lock lock(batch->m);
+    batch->cv.wait(lock, [&] { return batch->completed == batch->n; });
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (batch->error) std::rethrow_exception(batch->error);
 }
 
 ThreadPool& ThreadPool::shared() {

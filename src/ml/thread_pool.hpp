@@ -5,10 +5,12 @@
 // the caller of parallel_for.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -29,23 +31,40 @@ class ThreadPool {
 
   /// Run body(i) for i in [0, n), distributing across the pool, and block
   /// until all iterations complete. The first exception thrown by any
-  /// iteration is rethrown here. Reentrant calls from within a task are not
-  /// supported (they would deadlock on a single-thread pool); callers in
-  /// this codebase never nest.
+  /// iteration is rethrown here. Completion is tracked per batch and the
+  /// caller participates in draining its own batch, so concurrent calls
+  /// from several threads and nested calls from inside a task are both
+  /// safe: a nested call makes progress on the caller's thread even when
+  /// every worker is busy.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// Process-wide pool for library internals.
   static ThreadPool& shared();
 
  private:
+  /// One parallel_for invocation. Queued helper tasks hold a shared_ptr,
+  /// so a helper that runs after the batch is exhausted (the caller
+  /// already returned) safely no-ops: it reads only `next`/`n`, never the
+  /// caller-owned body.
+  struct Batch {
+    Batch(std::size_t count, const std::function<void(std::size_t)>* fn)
+        : n(count), body(fn) {}
+    const std::size_t n;
+    const std::function<void(std::size_t)>* body;
+    std::atomic<std::size_t> next{0};
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t completed = 0;
+    std::exception_ptr error;
+  };
+
+  static void run_batch(Batch& batch);
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::condition_variable done_;
   std::queue<std::function<void()>> tasks_;
-  std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
 

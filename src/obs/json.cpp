@@ -1,0 +1,160 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace gsight::obs {
+
+Json& Json::push_back(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  switch (kind_) {
+    case Kind::kArray:
+      return items_.size();
+    case Kind::kObject:
+      return members_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integers up to 2^53 print without an exponent or decimal point; other
+  // values round-trip through %.17g.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                               ' ')
+                 : std::string();
+  const std::string closing_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : std::string();
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* colon = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      os << json_number(number_);
+      break;
+    case Kind::kString:
+      os << '"' << json_escape(string_) << '"';
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[' << nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        os << pad;
+        items_[i].dump_impl(os, indent, depth + 1);
+        if (i + 1 < items_.size()) os << ',';
+        os << nl;
+      }
+      os << closing_pad << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{' << nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        os << pad << '"' << json_escape(members_[i].first) << '"' << colon;
+        members_[i].second.dump_impl(os, indent, depth + 1);
+        if (i + 1 < members_.size()) os << ',';
+        os << nl;
+      }
+      os << closing_pad << '}';
+      break;
+    }
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Json::dump_string(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+}  // namespace gsight::obs

@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/contracts.hpp"
+
+namespace gsight::obs {
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  GSIGHT_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bounds must be ascending");
+  for (const double b : bounds_) {
+    GSIGHT_ASSERT(std::isfinite(b), "histogram bounds must be finite");
+  }
+}
+
+void HistogramMetric::observe(double x) {
+  if (!std::isfinite(x)) {
+    ++nonfinite_;
+    return;
+  }
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+}
+
+std::vector<double> HistogramMetric::default_bounds() {
+  // 100 µs .. 100 s, half-decade steps.
+  return {1e-4,    3.16e-4, 1e-3,    3.16e-3, 1e-2, 3.16e-2, 1e-1,
+          3.16e-1, 1.0,     3.16,    10.0,    31.6, 100.0};
+}
+
+std::string canonical_labels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  auto& slot = counters_[name][canonical_labels(labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  auto& slot = gauges_[name][canonical_labels(labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            const Labels& labels,
+                                            std::vector<double> bounds) {
+  auto& slot = histograms_[name][canonical_labels(labels)];
+  if (!slot) {
+    if (bounds.empty()) bounds = HistogramMetric::default_bounds();
+    slot = std::make_unique<HistogramMetric>(std::move(bounds));
+  }
+  return *slot;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::size_t n = 0;
+  for (const auto& [name, family] : counters_) n += family.size();
+  for (const auto& [name, family] : gauges_) n += family.size();
+  for (const auto& [name, family] : histograms_) n += family.size();
+  return n;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+template <typename T, typename ValueFn>
+Json family_json(const char* type,
+                 const std::map<std::string,
+                                std::map<std::string, std::unique_ptr<T>>>& fam,
+                 ValueFn value) {
+  Json out = Json::array();
+  for (const auto& [name, instances] : fam) {
+    Json metric = Json::object();
+    metric.set("name", name);
+    metric.set("type", type);
+    Json series = Json::array();
+    for (const auto& [labels, instance] : instances) {
+      Json point = Json::object();
+      point.set("labels", labels);
+      value(point, *instance);
+      series.push_back(std::move(point));
+    }
+    metric.set("series", std::move(series));
+    out.push_back(std::move(metric));
+  }
+  return out;
+}
+
+}  // namespace
+
+Json MetricsRegistry::to_json() const {
+  Json out = Json::array();
+  auto append = [&out](Json family) {
+    for (auto& m : family.items()) out.push_back(m);
+  };
+  append(family_json<Counter>("counter", counters_,
+                              [](Json& p, const Counter& c) {
+                                p.set("value", c.value());
+                              }));
+  append(family_json<Gauge>("gauge", gauges_, [](Json& p, const Gauge& g) {
+    p.set("value", g.value());
+  }));
+  append(family_json<HistogramMetric>(
+      "histogram", histograms_, [](Json& p, const HistogramMetric& h) {
+        p.set("count", h.count());
+        p.set("sum", h.sum());
+        p.set("nonfinite", h.nonfinite_count());
+        Json bounds = Json::array();
+        for (const double b : h.bounds()) bounds.push_back(b);
+        p.set("bounds", std::move(bounds));
+        Json counts = Json::array();
+        for (const auto c : h.bucket_counts()) counts.push_back(c);
+        p.set("counts", std::move(counts));
+      }));
+  return out;
+}
+
+std::string MetricsRegistry::to_json_string(int indent) const {
+  return to_json().dump_string(indent);
+}
+
+}  // namespace gsight::obs

@@ -1,0 +1,109 @@
+// MetricsRegistry — named counters, gauges and histograms with label
+// support, the simulator's equivalent of the paper's 19-metric sampling
+// substrate. Metric objects are created once (name + label set) and then
+// updated through plain pointers, so the hot path never touches the
+// registry map. Export is a deterministic JSON document: metrics are
+// keyed by (name, sorted labels), so two identical runs serialise
+// byte-identically.
+//
+// The registry is single-threaded by design, like the simulation engine
+// that feeds it; guard it externally if you ever update from ml::ThreadPool
+// workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace gsight::obs {
+
+/// Label set attached to a metric instance, e.g. {{"app","social"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value (events, requests, cold starts).
+class Counter {
+ public:
+  void inc(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Point-in-time value (queue depth, replica count, utilisation).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Cumulative histogram over fixed bucket upper bounds (Prometheus
+/// style: counts[i] counts samples <= bounds[i]; an implicit +inf bucket
+/// catches the rest). Non-finite samples are routed to a dedicated
+/// `nonfinite` count instead of being binned — binning a NaN is UB.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  void observe(double x);
+  std::uint64_t count() const { return count_; }
+  std::uint64_t nonfinite_count() const { return nonfinite_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Default latency-ish buckets (seconds, log-spaced 100 µs .. 100 s).
+  static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;        // ascending upper bounds
+  std::vector<std::uint64_t> counts_; // bounds_.size() + 1 (last = +inf)
+  std::uint64_t count_ = 0;
+  std::uint64_t nonfinite_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Returned references stay valid for the registry's
+  /// lifetime (instances are heap-allocated behind the map).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  HistogramMetric& histogram(const std::string& name, const Labels& labels = {},
+                             std::vector<double> bounds = {});
+
+  std::size_t size() const;
+  void clear();
+
+  /// Deterministic export: one object per metric family, instances
+  /// ordered by their sorted label string.
+  Json to_json() const;
+  std::string to_json_string(int indent = 2) const;
+
+ private:
+  // Key: label set canonicalised to a sorted "k=v,k=v" string.
+  template <typename T>
+  using Family = std::map<std::string, std::map<std::string, std::unique_ptr<T>>>;
+
+  Family<Counter> counters_;
+  Family<Gauge> gauges_;
+  Family<HistogramMetric> histograms_;
+};
+
+/// Canonical "k=v,k=v" form of a label set (sorted by key).
+std::string canonical_labels(const Labels& labels);
+
+}  // namespace gsight::obs

@@ -38,6 +38,7 @@ ExperimentReport SchedulingExperiment::run(Scheduler& scheduler,
   pc.interference = config_.interference;
   pc.gateway = config_.gateway;
   pc.seed = config_.seed;
+  pc.trace_sink = config_.trace_sink;
   pc.instance.idle_expiry_s = 60.0;  // Azure-style keep-alive (compressed)
   sim::Platform platform(pc);
   stats::Rng rng(config_.seed ^ 0xD1CE);
@@ -272,6 +273,11 @@ ExperimentReport SchedulingExperiment::run(Scheduler& scheduler,
   for (const auto* inst : platform.cluster().instances()) {
     report.cold_starts += inst->cold_starts();
   }
+  platform.metrics()
+      .gauge("cluster.cold_starts")
+      .set(static_cast<double>(report.cold_starts));
+  platform.refresh_metrics();
+  report.metrics_json = platform.metrics().to_json().dump_string(0);
   return report;
 }
 

@@ -36,6 +36,9 @@ struct ExperimentConfig {
   /// Time scale of the SC job pool.
   double sc_scale = 0.08;
   std::uint64_t seed = 31337;
+  /// Optional span-trace sink, forwarded to the platform (nullptr: the
+  /// process default sink, usually null — tracing off).
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 struct AppSlaReport {
@@ -57,6 +60,10 @@ struct ExperimentReport {
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_failed = 0;
   std::uint64_t jobs_completed = 0;
+  /// Compact JSON dump of the platform's metrics registry at end of run
+  /// (counters, gauges, histograms) — machine-readable companion to the
+  /// scalar fields above.
+  std::string metrics_json;
 
   double mean_density() const;
   double mean_cpu_util() const;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/contracts.hpp"
+#include "obs/json.hpp"
 
 namespace gsight::sim {
 
@@ -10,6 +11,8 @@ Autoscaler::Autoscaler(Platform* platform, AutoscalerConfig config,
                        PlacementFn place)
     : platform_(platform), config_(config), place_(std::move(place)) {
   GSIGHT_ASSERT(platform_ != nullptr);
+  scale_out_counter_ = &platform_->metrics().counter("autoscaler.scale_outs");
+  scale_in_counter_ = &platform_->metrics().counter("autoscaler.scale_ins");
 }
 
 void Autoscaler::start() {
@@ -68,6 +71,16 @@ void Autoscaler::tick() {
           if (server == static_cast<std::size_t>(-1)) break;  // refused
           platform_->add_replica(a, fn, server);
           ++scale_outs_;
+          scale_out_counter_->inc();
+          obs::Tracer& tracer = platform_->tracer();
+          if (tracer.enabled()) {
+            tracer.instant(
+                platform_->now(), "autoscaler.scale_out", "autoscaler",
+                obs::Lanes::kPlatform, /*tid=*/0,
+                {{"app", obs::json_number(static_cast<double>(a))},
+                 {"fn", obs::json_number(static_cast<double>(fn))},
+                 {"server", obs::json_number(static_cast<double>(server))}});
+          }
         }
       } else if (desired < current) {
         // Hysteresis: only scale in after the lower target persists, and
@@ -75,7 +88,18 @@ void Autoscaler::tick() {
         // so churn is expensive).
         auto& below = below_ticks_[{a, fn}];
         if (++below >= config_.scale_in_patience) {
-          if (platform_->remove_replica(a, fn, desired)) ++scale_ins_;
+          if (platform_->remove_replica(a, fn, desired)) {
+            ++scale_ins_;
+            scale_in_counter_->inc();
+            obs::Tracer& tracer = platform_->tracer();
+            if (tracer.enabled()) {
+              tracer.instant(
+                  platform_->now(), "autoscaler.scale_in", "autoscaler",
+                  obs::Lanes::kPlatform, /*tid=*/0,
+                  {{"app", obs::json_number(static_cast<double>(a))},
+                   {"fn", obs::json_number(static_cast<double>(fn))}});
+            }
+          }
         }
       } else {
         below_ticks_[{a, fn}] = 0;

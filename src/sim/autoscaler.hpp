@@ -61,6 +61,8 @@ class Autoscaler {
   std::map<std::pair<std::size_t, std::size_t>, std::size_t> below_ticks_;
   std::uint64_t scale_outs_ = 0;
   std::uint64_t scale_ins_ = 0;
+  obs::Counter* scale_out_counter_ = nullptr;
+  obs::Counter* scale_in_counter_ = nullptr;
 };
 
 }  // namespace gsight::sim

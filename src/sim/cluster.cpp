@@ -49,6 +49,10 @@ bool Cluster::destroy_instance(std::uint64_t id) {
   return true;
 }
 
+void Cluster::set_tracer(obs::Tracer* tracer) {
+  for (auto& s : servers_) s->set_tracer(tracer);
+}
+
 std::size_t Cluster::total_backlog() const {
   std::size_t backlog = 0;
   for (const auto& [id, inst] : instances_) {

@@ -47,6 +47,10 @@ class Cluster {
   std::uint64_t instances_created() const { return created_; }
   std::uint64_t instances_destroyed() const { return destroyed_; }
 
+  /// Observability: forwards the platform tracer to every server so
+  /// completed executions land on per-server trace lanes.
+  void set_tracer(obs::Tracer* tracer);
+
   /// Cluster-wide CPU utilisation (mean over servers).
   double cpu_utilization() const;
   /// Cluster-wide memory utilisation from resident instances.

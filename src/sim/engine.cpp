@@ -24,6 +24,7 @@ std::size_t Engine::run_until(SimTime until) {
     now_ = when;
     cb();
     ++executed;
+    ++events_executed_;
   }
   now_ = std::max(now_, until);
   return executed;
@@ -36,6 +37,7 @@ std::size_t Engine::run_all() {
     now_ = when;
     cb();
     ++executed;
+    ++events_executed_;
   }
   return executed;
 }

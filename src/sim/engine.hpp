@@ -25,10 +25,14 @@ class Engine {
   std::size_t run_all();
 
   std::size_t pending() const { return queue_.size(); }
+  /// Cumulative count of events executed over the engine's lifetime — the
+  /// observability layer samples this into its "engine.events" counter.
+  std::uint64_t events_executed() const { return events_executed_; }
 
  private:
   SimTime now_ = 0.0;
   EventQueue queue_;
+  std::uint64_t events_executed_ = 0;
 };
 
 }  // namespace gsight::sim

@@ -47,7 +47,18 @@ void Gateway::serve_next() {
                   "gateway completion without an item in service");
     Item item = std::move(queue_.front());
     queue_.pop_front();
-    latencies_.add(engine_->now() - item.enqueued);
+    const double latency = engine_->now() - item.enqueued;
+    latencies_.add(latency);
+    ++forwards_;
+    if (forward_counter_ != nullptr) forward_counter_->inc();
+    if (forward_hist_ != nullptr) forward_hist_->observe(latency);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->complete(item.enqueued, latency, "gateway.forward", "gateway",
+                        obs::Lanes::kPlatform, /*tid=*/0);
+      tracer_->counter(
+          engine_->now(), "gateway.queue_depth", obs::Lanes::kPlatform,
+          {{"depth", obs::json_number(static_cast<double>(queue_.size()))}});
+    }
     item.deliver();
     busy_ = false;
     if (!queue_.empty()) serve_next();

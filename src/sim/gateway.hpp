@@ -12,6 +12,8 @@
 #include <deque>
 #include <functional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "stats/summary.hpp"
 
@@ -52,9 +54,20 @@ class Gateway {
   void forward(std::function<void()> deliver);
 
   std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t forwards() const { return forwards_; }
   const stats::Reservoir& forwarding_latencies() const { return latencies_; }
   /// Instantaneous per-forward service time under current load.
   double current_service_s() const;
+
+  /// Observability wiring (Platform). `tracer` may be the platform's
+  /// always-present tracer (cost is one null-sink check per forward);
+  /// `forward_hist` receives every forwarding latency.
+  void set_observability(obs::Tracer* tracer, obs::Counter* forward_counter,
+                         obs::HistogramMetric* forward_hist) {
+    tracer_ = tracer;
+    forward_counter_ = forward_counter;
+    forward_hist_ = forward_hist;
+  }
 
  private:
   void serve_next();
@@ -69,7 +82,11 @@ class Gateway {
   };
   std::deque<Item> queue_;
   bool busy_ = false;
+  std::uint64_t forwards_ = 0;
   stats::Reservoir latencies_{8192, 0xFACE};
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* forward_counter_ = nullptr;
+  obs::HistogramMetric* forward_hist_ = nullptr;
 };
 
 }  // namespace gsight::sim

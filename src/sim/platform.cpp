@@ -42,6 +42,12 @@ Platform::Platform(PlatformConfig config)
       [this] { return cluster_->total_backlog(); });
   gateway_->set_instance_count_source(
       [this] { return cluster_->total_instances(); });
+  tracer_.set_sink(config_.trace_sink != nullptr ? config_.trace_sink
+                                                 : obs::default_trace_sink());
+  cluster_->set_tracer(&tracer_);
+  gateway_->set_observability(
+      &tracer_, &metrics_.counter("gateway.forwards"),
+      &metrics_.histogram("gateway.forward_latency_s"));
 }
 
 Platform::~Platform() = default;
@@ -170,7 +176,8 @@ void Platform::issue_request(std::size_t app,
       [stats, engine](std::size_t fn, const InvocationResult& r) {
         stats->fn_latency[fn].emplace_back(engine->now(), r.local_latency_s);
         stats->fn_ipc[fn].add(r.mean_ipc);
-      });
+      },
+      &tracer_, next_request_id_++);
   RequestContext::launch(ctx);
 }
 
@@ -188,7 +195,8 @@ void Platform::submit_job(std::size_t app, std::function<void(double)> on_done) 
       [stats, engine](std::size_t fn, const InvocationResult& r) {
         stats->fn_latency[fn].emplace_back(engine->now(), r.local_latency_s);
         stats->fn_ipc[fn].add(r.mean_ipc);
-      });
+      },
+      &tracer_, next_request_id_++);
   RequestContext::launch(ctx);
 }
 
@@ -252,6 +260,36 @@ std::size_t Platform::queued_invocations(std::size_t app,
     n += inst->queue_depth() + (inst->busy() ? 1 : 0);
   }
   return n;
+}
+
+void Platform::refresh_metrics() {
+  metrics_.gauge("engine.events")
+      .set(static_cast<double>(engine_.events_executed()));
+  metrics_.gauge("engine.sim_time_s").set(engine_.now());
+  metrics_.gauge("cluster.instances")
+      .set(static_cast<double>(cluster_->total_instances()));
+  metrics_.gauge("cluster.instances_created")
+      .set(static_cast<double>(cluster_->instances_created()));
+  metrics_.gauge("cluster.instances_destroyed")
+      .set(static_cast<double>(cluster_->instances_destroyed()));
+  metrics_.gauge("cluster.backlog")
+      .set(static_cast<double>(cluster_->total_backlog()));
+  metrics_.gauge("cluster.function_density").set(function_density());
+  metrics_.gauge("cluster.cpu_utilization").set(cluster_->cpu_utilization());
+  metrics_.gauge("cluster.mem_utilization")
+      .set(cluster_->memory_utilization());
+  metrics_.gauge("gateway.queue_depth")
+      .set(static_cast<double>(gateway_->queue_depth()));
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const DeployedApp& d = *apps_[i];
+    const obs::Labels labels{{"app", d.app.name}};
+    metrics_.gauge("app.requests_ok", labels)
+        .set(static_cast<double>(d.stats.e2e.size()));
+    metrics_.gauge("app.requests_failed", labels)
+        .set(static_cast<double>(d.stats.failed));
+    metrics_.gauge("app.jobs_done", labels)
+        .set(static_cast<double>(d.stats.jct.size()));
+  }
 }
 
 double Platform::function_density() const {

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "sim/gateway.hpp"
 #include "sim/recorder.hpp"
@@ -25,6 +27,10 @@ struct PlatformConfig {
   InstanceConfig instance;
   double metric_window_s = 1.0;
   std::uint64_t seed = 1234;
+  /// Trace sink for the platform's span tracer. nullptr falls back to
+  /// obs::default_trace_sink() (set by the bench harness from
+  /// $GSIGHT_TRACE), which is itself null by default — tracing off.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Per-app QoS bookkeeping.
@@ -55,6 +61,19 @@ class Platform final : public Router {
   Gateway& gateway() { return *gateway_; }
   Recorder& recorder() { return recorder_; }
   const PlatformConfig& config() const { return config_; }
+
+  // --- Observability ------------------------------------------------------
+  /// The platform's span tracer; shared by the gateway, servers, scaler
+  /// and request contexts. Swap sinks at any time (null disables).
+  obs::Tracer& tracer() { return tracer_; }
+  void set_trace_sink(obs::TraceSink* sink) { tracer_.set_sink(sink); }
+  /// Live metrics registry. Counters/histograms update as the sim runs;
+  /// gauges are snapshotted by refresh_metrics().
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Update the gauge metrics (instances, density, utilisation, engine
+  /// events, per-app request totals) from current platform state.
+  void refresh_metrics();
 
   // --- Deployment --------------------------------------------------------
   /// Deploy an app with one replica of function i on fn_to_server[i].
@@ -128,6 +147,9 @@ class Platform final : public Router {
   Engine engine_;
   InterferenceModel model_;
   Recorder recorder_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  std::uint64_t next_request_id_ = 1;
   // Instances (owned by the cluster) hold pointers into the deployed apps'
   // FunctionSpecs, so `apps_` must outlive `cluster_`: members below are
   // destroyed in reverse declaration order.

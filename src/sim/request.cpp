@@ -1,12 +1,14 @@
 #include "sim/request.hpp"
 
 #include "core/contracts.hpp"
+#include "obs/json.hpp"
 
 namespace gsight::sim {
 
 RequestContext::RequestContext(const wl::App* app, std::size_t app_index,
                                Engine* engine, Gateway* gateway, Router* router,
-                               Completion on_complete, FnObserver fn_observer)
+                               Completion on_complete, FnObserver fn_observer,
+                               obs::Tracer* tracer, std::uint64_t request_id)
     : app_(app),
       app_index_(app_index),
       engine_(engine),
@@ -14,10 +16,16 @@ RequestContext::RequestContext(const wl::App* app, std::size_t app_index,
       router_(router),
       on_complete_(std::move(on_complete)),
       fn_observer_(std::move(fn_observer)),
+      tracer_(tracer),
+      request_id_(request_id),
       nodes_(app->function_count()) {}
 
 void RequestContext::launch(const std::shared_ptr<RequestContext>& ctx) {
   ctx->start_ = ctx->engine_->now();
+  if (ctx->tracer_ != nullptr && ctx->tracer_->enabled()) {
+    ctx->tracer_->async_begin(ctx->start_, "request", "request",
+                              ctx->request_id_, {{"app", ctx->app_->name}});
+  }
   ctx->invoke(ctx->app_->graph.root(), std::nullopt);
 }
 
@@ -30,12 +38,36 @@ void RequestContext::invoke(std::size_t node,
   state.parent = nested_parent;
 
   auto self = shared_from_this();
-  gateway_->forward([self, node] {
+  const SimTime forwarded = engine_->now();
+  gateway_->forward([self, node, forwarded] {
+    const bool tracing =
+        self->tracer_ != nullptr && self->tracer_->enabled();
+    if (tracing) {
+      // The gateway leg of this node: enqueue at the shared gateway until
+      // delivery to a backend replica.
+      self->tracer_->complete(
+          forwarded, self->engine_->now() - forwarded, "request.gateway",
+          "request", obs::Lanes::kRequests, self->request_id_,
+          {{"fn", obs::json_number(static_cast<double>(node))}});
+    }
     Instance* instance =
         self->router_->route(self->app_index_, node);
     if (instance == nullptr) {
+      if (tracing) {
+        self->tracer_->instant(self->engine_->now(), "request.drop", "request",
+                               obs::Lanes::kRequests, self->request_id_);
+      }
       self->finish(false);
       return;
+    }
+    if (tracing) {
+      self->tracer_->instant(
+          self->engine_->now(), "request.dispatch", "request",
+          obs::Lanes::kRequests, self->request_id_,
+          {{"fn", obs::json_number(static_cast<double>(node))},
+           {"instance", obs::json_number(static_cast<double>(instance->id()))},
+           {"server",
+            obs::json_number(static_cast<double>(instance->server().id()))}});
     }
     instance->submit([self, node](const InvocationResult& r) {
       self->on_exec_done(node, r);
@@ -45,6 +77,24 @@ void RequestContext::invoke(std::size_t node,
 
 void RequestContext::on_exec_done(std::size_t node,
                                   const InvocationResult& result) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const SimTime now = engine_->now();
+    if (result.cold) {
+      // The cold start is modelled as a leading phase of the execution;
+      // mark its onset so traces show where startup cost lands.
+      tracer_->instant(now - result.exec_s, "request.cold_start", "request",
+                       obs::Lanes::kRequests, request_id_,
+                       {{"fn", obs::json_number(static_cast<double>(node))}});
+    }
+    tracer_->complete(
+        now - result.local_latency_s, result.local_latency_s, "request.exec",
+        "request", obs::Lanes::kRequests, request_id_,
+        {{"fn", obs::json_number(static_cast<double>(node))},
+         {"queue_wait_s", obs::json_number(result.queue_wait_s)},
+         {"exec_s", obs::json_number(result.exec_s)},
+         {"ipc", obs::json_number(result.mean_ipc)},
+         {"cold", result.cold ? "1" : "0"}});
+  }
   if (fn_observer_) fn_observer_(node, result);
   NodeState& state = nodes_[node];
   state.exec_done = true;
@@ -82,6 +132,10 @@ void RequestContext::complete_node(std::size_t node) {
 void RequestContext::finish(bool ok) {
   if (finished_) return;
   finished_ = true;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->async_end(engine_->now(), "request", "request", request_id_,
+                       {{"ok", ok ? "1" : "0"}});
+  }
   if (on_complete_) on_complete_(engine_->now() - start_, ok);
 }
 

@@ -34,9 +34,12 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   using FnObserver = std::function<void(
       std::size_t fn, const InvocationResult& result)>;
 
+  /// `tracer` (optional) receives the request's lifecycle spans; `request_id`
+  /// correlates them across lanes (Platform hands out monotonic ids).
   RequestContext(const wl::App* app, std::size_t app_index, Engine* engine,
                  Gateway* gateway, Router* router, Completion on_complete,
-                 FnObserver fn_observer = nullptr);
+                 FnObserver fn_observer = nullptr,
+                 obs::Tracer* tracer = nullptr, std::uint64_t request_id = 0);
 
   /// Kick off the request from its root function. The context keeps itself
   /// alive via shared_from_this until every spawned invocation has
@@ -64,6 +67,8 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   Router* router_;
   Completion on_complete_;
   FnObserver fn_observer_;
+  obs::Tracer* tracer_;
+  std::uint64_t request_id_;
   SimTime start_ = 0.0;
   std::vector<NodeState> nodes_;
   bool finished_ = false;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/contracts.hpp"
+#include "obs/json.hpp"
 
 namespace gsight::sim {
 
@@ -159,6 +160,13 @@ void Server::on_phase_event(ExecId id, std::uint64_t gen) {
       e.busy_integral > 0.0 ? e.ipc_integral / e.busy_integral : 0.0;
   result.mean_slowdown =
       result.solo_s > 0.0 ? result.duration_s / result.solo_s : 1.0;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->complete(
+        e.started, result.duration_s, "server.exec", "server",
+        obs::Lanes::kPlatform, /*tid=*/100 + id_,
+        {{"slowdown", obs::json_number(result.mean_slowdown)},
+         {"ipc", obs::json_number(result.mean_ipc)}});
+  }
   CompletionFn on_complete = std::move(e.on_complete);
   execs_.erase(it);
   recompute();

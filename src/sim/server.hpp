@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/interference.hpp"
 #include "sim/resources.hpp"
@@ -81,6 +82,9 @@ class Server {
   double cpu_utilization() const;
 
   void set_slice_sink(ExecSliceSink* sink) { sink_ = sink; }
+  /// Observability: when the tracer is enabled, every completed execution
+  /// emits an "exec" span on this server's trace lane.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   struct Exec {
@@ -110,6 +114,7 @@ class Server {
   Engine* engine_;
   const InterferenceModel* model_;
   ExecSliceSink* sink_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
   // Ordered by ExecId (= start order) so every iteration — in particular
   // the colocation vector handed to the interference model in recompute()
   // — is replay-deterministic. An unordered_map here would make rates

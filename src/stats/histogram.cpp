@@ -1,25 +1,34 @@
 #include "stats/histogram.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
+#include "core/contracts.hpp"
 #include "stats/summary.hpp"
 
 namespace gsight::stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
-  assert(hi > lo && bins > 0);
+  GSIGHT_ASSERT(std::isfinite(lo) && std::isfinite(hi) && hi > lo,
+                "histogram range must be finite and non-empty");
+  GSIGHT_ASSERT(bins > 0, "histogram needs at least one bin");
 }
 
 void Histogram::add(double x) {
+  // NaN/inf cannot be binned: casting the scaled position to an integer
+  // would be undefined behaviour. Count them aside instead of clamping —
+  // a NaN clamped into a bin would silently corrupt the distribution.
+  if (!std::isfinite(x)) {
+    ++nonfinite_;
+    return;
+  }
   const double t = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  const double pos =
+      std::clamp(t * static_cast<double>(counts_.size()), 0.0,
+                 static_cast<double>(counts_.size()) - 1.0);
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 
@@ -64,6 +73,7 @@ std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> values,
                                                      std::size_t max_points) {
   std::vector<std::pair<double, double>> pts;
   if (values.empty()) return pts;
+  if (max_points == 0) max_points = 1;  // n / 0 below otherwise
   std::sort(values.begin(), values.end());
   const std::size_t n = values.size();
   const std::size_t step = std::max<std::size_t>(1, n / max_points);
@@ -71,7 +81,14 @@ std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> values,
     pts.emplace_back(values[i],
                      static_cast<double>(i + 1) / static_cast<double>(n));
   }
-  if (pts.back().first != values.back()) pts.emplace_back(values.back(), 1.0);
+  // Ensure the curve ends at (max, 1.0). Comparing values alone is wrong
+  // when the maximum is duplicated: the last emitted point can carry the
+  // max value with a fraction < 1, so patch the fraction in place.
+  if (pts.back().first == values.back()) {  // gsight-lint: allow(simtime-eq)
+    pts.back().second = 1.0;
+  } else {
+    pts.emplace_back(values.back(), 1.0);
+  }
   return pts;
 }
 

@@ -14,8 +14,13 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// Record a sample. Non-finite samples (NaN, ±inf would otherwise be UB
+  /// in the bin cast) are tallied separately and excluded from the bins
+  /// and the CDF denominator.
   void add(double x);
   std::size_t count() const { return total_; }
+  /// Samples rejected by add() for being NaN or infinite.
+  std::size_t nonfinite_count() const { return nonfinite_; }
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   double bin_low(std::size_t i) const;
@@ -31,6 +36,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nonfinite_ = 0;
 };
 
 /// Points of an empirical CDF: sorted (value, cumulative fraction) pairs

@@ -119,5 +119,73 @@ TEST(ForestIo, RejectsCorruptInput) {
                std::runtime_error);
 }
 
+// Header layout (RandomForestRegressor::save):
+//   forest <tree_count> <feature_count> <n_trees> <bootstrap_fraction>
+//          <max_depth> <min_samples_split> <min_samples_leaf>
+//          <max_features> <split_mode>
+TEST(ForestIo, RejectsHostileHeaders) {
+  const auto expect_rejects = [](const std::string& header) {
+    std::stringstream in(header);
+    RandomForestRegressor forest;
+    EXPECT_THROW(forest.load(in), std::runtime_error) << header;
+  };
+  // Implausible tree count must fail before any multi-GB allocation.
+  expect_rejects("forest 99999999999 4 20 0.8 10 2 1 4 0\n");
+  expect_rejects("forest 20 4 99999999999 0.8 10 2 1 4 0\n");
+  // Implausible feature count.
+  expect_rejects("forest 20 99999999999 20 0.8 10 2 1 4 0\n");
+  // split_mode outside the enum range would be UB after static_cast.
+  expect_rejects("forest 2 4 2 0.8 10 2 1 4 7\n");
+  expect_rejects("forest 2 4 2 0.8 10 2 1 4 -1\n");
+  // bootstrap_fraction must be finite and in (0, 1].
+  expect_rejects("forest 2 4 2 nan 10 2 1 4 0\n");
+  expect_rejects("forest 2 4 2 inf 10 2 1 4 0\n");
+  expect_rejects("forest 2 4 2 1.5 10 2 1 4 0\n");
+  expect_rejects("forest 2 4 2 0.0 10 2 1 4 0\n");
+  expect_rejects("forest 2 4 2 -0.5 10 2 1 4 0\n");
+  // Degenerate tree configs.
+  expect_rejects("forest 2 4 2 0.8 0 2 1 4 0\n");   // max_depth == 0
+  expect_rejects("forest 2 4 2 0.8 10 1 1 4 0\n");  // min_samples_split < 2
+  expect_rejects("forest 2 4 2 0.8 10 2 0 4 0\n");  // min_samples_leaf == 0
+  // Truncated header.
+  expect_rejects("forest 2 4\n");
+  expect_rejects("");
+}
+
+TEST(ForestIo, FailedLoadLeavesForestUsable) {
+  stats::Rng rng(5);
+  const auto data = make_data(200, rng);
+  ForestConfig cfg;
+  cfg.n_trees = 5;
+  RandomForestRegressor forest(cfg);
+  forest.fit(data, rng);
+  const double before = forest.predict(data.x(0));
+
+  std::stringstream corrupt("forest 2 4 2 0.8 10 2 1 4 7\n");
+  EXPECT_THROW(forest.load(corrupt), std::runtime_error);
+  // Validation happens before any state is committed, so the forest
+  // still answers with its pre-load model.
+  EXPECT_EQ(forest.tree_count(), 5u);
+  EXPECT_DOUBLE_EQ(forest.predict(data.x(0)), before);
+}
+
+TEST(ForestIo, LoadPreservesRuntimeThreadKnob) {
+  stats::Rng rng(6);
+  const auto data = make_data(150, rng);
+  ForestConfig save_cfg;
+  save_cfg.n_trees = 4;
+  RandomForestRegressor source(save_cfg);
+  source.fit(data, rng);
+  std::stringstream buffer;
+  source.save(buffer);
+
+  ForestConfig load_cfg;
+  load_cfg.threads = 3;  // runtime knob: must survive load
+  RandomForestRegressor loaded(load_cfg);
+  loaded.load(buffer);
+  EXPECT_EQ(loaded.config().threads, 3u);
+  EXPECT_EQ(loaded.tree_count(), 4u);
+}
+
 }  // namespace
 }  // namespace gsight::ml

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace gsight::stats {
 namespace {
 
@@ -53,6 +55,31 @@ TEST(Histogram, AsciiRendersOneLinePerBin) {
   EXPECT_NE(art.find('#'), std::string::npos);
 }
 
+// Regression: NaN used to flow into the bin-index computation, where
+// casting the non-finite intermediate to an integer is UB. Non-finite
+// samples are now routed to a dedicated count instead of being binned.
+TEST(Histogram, NonFiniteSamplesAreRoutedAside) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(5.0);
+  EXPECT_EQ(h.nonfinite_count(), 3u);
+  EXPECT_EQ(h.count(), 1u);  // only the finite sample is binned
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < 5; ++b) binned += h.bin_count(b);
+  EXPECT_EQ(binned, 1u);
+}
+
+TEST(Histogram, HugeFiniteValuesClampWithoutOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::max());     // would overflow a naive
+  h.add(-std::numeric_limits<double>::max());    // integer bin index
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.nonfinite_count(), 0u);
+}
+
 TEST(EmpiricalCdf, SortedAndEndsAtOne) {
   std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
   const auto cdf = empirical_cdf(v);
@@ -74,6 +101,39 @@ TEST(EmpiricalCdf, ThinsToMaxPoints) {
 
 TEST(EmpiricalCdf, EmptyInput) {
   EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+// Regression: when the maximum value appeared more than once, thinning
+// could keep a point exactly at the max with CDF < 1 and the
+// exact-equality tail append skipped the final (max, 1.0) point — the
+// CDF never reached 1.0.
+TEST(EmpiricalCdf, DuplicatedMaximumStillReachesOne) {
+  std::vector<double> v(1000);
+  for (std::size_t i = 0; i < 600; ++i) v[i] = static_cast<double>(i);
+  for (std::size_t i = 600; i < v.size(); ++i) v[i] = 599.0;  // heavy tail tie
+  const auto cdf = empirical_cdf(v, 16);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().first, 599.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  // No duplicate abscissa with conflicting CDF values at the tail.
+  if (cdf.size() >= 2 && cdf[cdf.size() - 2].first == cdf.back().first) {
+    EXPECT_LE(cdf[cdf.size() - 2].second, cdf.back().second);
+  }
+}
+
+TEST(EmpiricalCdf, MaxPointsZeroIsSafe) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  const auto cdf = empirical_cdf(v, 0);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, AllValuesEqual) {
+  const auto cdf = empirical_cdf({7.0, 7.0, 7.0, 7.0}, 8);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().first, 7.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
 }
 
 TEST(DistributionSummary, MentionsKeyStats) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace gsight::ml {
@@ -69,6 +71,72 @@ TEST(ThreadPool, SequentialCallsCompose) {
     pool.parallel_for(25, [&](std::size_t) { ++count; });
   }
   EXPECT_EQ(count.load(), 500);
+}
+
+// Regression: completion used to be tracked pool-globally, so a
+// parallel_for issued from inside a worker task deadlocked (the caller
+// waited for tasks only it could have drained). Per-batch tracking with
+// a participating caller makes nesting terminate.
+TEST(ThreadPool, NestedParallelForTerminates) {
+  ThreadPool pool(4);
+  std::vector<std::array<std::atomic<int>, 8>> hits(8);
+  pool.parallel_for(8, [&](std::size_t outer) {
+    pool.parallel_for(8, [&](std::size_t inner) { ++hits[outer][inner]; });
+  });
+  for (const auto& row : hits) {
+    for (const auto& h : row) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForTerminates) {
+  ThreadPool pool(2);  // fewer workers than nesting width
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { ++count; });
+    });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+// Regression: the pool-global completion count also made concurrent
+// callers from *different* threads wait on each other's work — and a
+// caller could return while its own iterations were still running.
+// Each batch now waits on exactly its own completions.
+TEST(ThreadPool, ConcurrentCallersSeeOwnBatchComplete) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr int kIters = 200;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<int>> counts(kCallers);
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 5; ++round) {
+        counts[c] = 0;
+        pool.parallel_for(kIters, [&](std::size_t) { ++counts[c]; });
+        // parallel_for returning means THIS batch fully completed.
+        if (counts[c].load() != kIters) ++failures;
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesToInnerCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> outer_caught{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    try {
+      pool.parallel_for(8, [](std::size_t i) {
+        if (i == 3) throw std::runtime_error("inner");
+      });
+    } catch (const std::runtime_error&) {
+      ++outer_caught;
+    }
+  });
+  EXPECT_EQ(outer_caught.load(), 4);
 }
 
 TEST(ThreadPool, SharedPoolSingleton) {

@@ -1,0 +1,120 @@
+// Tests for the ordered JSON writer (src/obs/json.hpp): insertion-order
+// objects, deterministic number formatting, escaping, and the null
+// handling the exporters rely on.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace {
+
+using gsight::obs::Json;
+using gsight::obs::json_escape;
+using gsight::obs::json_number;
+
+TEST(Json, ScalarKindsSerialise) {
+  EXPECT_EQ(Json().dump_string(0), "null");
+  EXPECT_EQ(Json(true).dump_string(0), "true");
+  EXPECT_EQ(Json(false).dump_string(0), "false");
+  EXPECT_EQ(Json(42).dump_string(0), "42");
+  EXPECT_EQ(Json("hi").dump_string(0), "\"hi\"");
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json j = Json::object();
+  j.set("zeta", 1);
+  j.set("alpha", 2);
+  j.set("mid", 3);
+  EXPECT_EQ(j.dump_string(0), R"({"zeta":1,"alpha":2,"mid":3})");
+}
+
+TEST(Json, SetOverwritesInPlaceWithoutReordering) {
+  Json j = Json::object();
+  j.set("a", 1);
+  j.set("b", 2);
+  j.set("a", 9);
+  EXPECT_EQ(j.dump_string(0), R"({"a":9,"b":2})");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, NullPromotesToContainerOnFirstUse) {
+  Json arr;  // null
+  arr.push_back(1);
+  arr.push_back("x");
+  EXPECT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.dump_string(0), R"([1,"x"])");
+
+  Json obj;  // null
+  obj.set("k", true);
+  EXPECT_TRUE(obj.is_object());
+  EXPECT_EQ(obj.dump_string(0), R"({"k":true})");
+}
+
+TEST(Json, FindReturnsMemberOrNull) {
+  Json j = Json::object();
+  j.set("present", 7);
+  ASSERT_NE(j.find("present"), nullptr);
+  EXPECT_EQ(j.find("present")->number(), 7.0);
+  EXPECT_EQ(j.find("absent"), nullptr);
+  EXPECT_EQ(Json(3.0).find("anything"), nullptr);
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  Json j = Json::array();
+  j.push_back(std::numeric_limits<double>::quiet_NaN());
+  j.push_back(std::numeric_limits<double>::infinity());
+  j.push_back(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(j.dump_string(0), "[null,null,null]");
+}
+
+TEST(Json, NumberFormattingIsDeterministicAndRoundTrips) {
+  // Equal doubles must serialise identically (byte-stable exports), and
+  // the representation must round-trip exactly.
+  const double values[] = {0.0,    -0.0,   1.0,        1.0 / 3.0,
+                           1e-300, 2.5e17, 1234.56789, -7.25};
+  for (const double v : values) {
+    const std::string a = json_number(v);
+    const std::string b = json_number(v);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(std::stod(a), v) << a;
+  }
+  // Integral doubles print without an exponent or fraction.
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(-12.0), "-12");
+}
+
+TEST(Json, EscapingControlCharactersAndQuotes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, PrettyPrintNestsWithIndent) {
+  Json j = Json::object();
+  j.set("list", Json::array());
+  Json inner = Json::object();
+  inner.set("x", 1);
+  j.set("obj", inner);
+  const std::string pretty = j.dump_string(2);
+  EXPECT_NE(pretty.find("{\n"), std::string::npos);
+  EXPECT_NE(pretty.find("  \"list\""), std::string::npos);
+  // Compact form has no whitespace at all.
+  const std::string compact = j.dump_string(0);
+  EXPECT_EQ(compact.find(' '), std::string::npos);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+}
+
+TEST(Json, DumpToStreamMatchesDumpString) {
+  Json j = Json::object();
+  j.set("a", Json::array());
+  std::ostringstream os;
+  j.dump(os, 2);
+  EXPECT_EQ(os.str(), j.dump_string(2));
+}
+
+}  // namespace

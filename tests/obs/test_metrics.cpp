@@ -1,0 +1,111 @@
+// Tests for MetricsRegistry (src/obs/metrics.hpp): find-or-create
+// semantics, label canonicalisation, histogram bucket edges and
+// non-finite routing, and deterministic JSON export.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace {
+
+using gsight::obs::canonical_labels;
+using gsight::obs::HistogramMetric;
+using gsight::obs::Labels;
+using gsight::obs::MetricsRegistry;
+
+TEST(Metrics, CounterFindOrCreateReturnsSameInstance) {
+  MetricsRegistry reg;
+  auto& c1 = reg.counter("requests");
+  auto& c2 = reg.counter("requests");
+  EXPECT_EQ(&c1, &c2);
+  c1.inc();
+  c2.inc(2.0);
+  EXPECT_DOUBLE_EQ(reg.counter("requests").value(), 3.0);
+}
+
+TEST(Metrics, LabelsDistinguishInstancesRegardlessOfOrder) {
+  MetricsRegistry reg;
+  auto& a = reg.counter("reqs", {{"app", "social"}, {"fn", "home"}});
+  auto& same = reg.counter("reqs", {{"fn", "home"}, {"app", "social"}});
+  auto& other = reg.counter("reqs", {{"app", "media"}});
+  EXPECT_EQ(&a, &same);  // canonicalised by sorted key
+  EXPECT_NE(&a, &other);
+}
+
+TEST(Metrics, CanonicalLabelsSortsByKey) {
+  EXPECT_EQ(canonical_labels({{"b", "2"}, {"a", "1"}}), "a=1,b=2");
+  EXPECT_EQ(canonical_labels({}), "");
+}
+
+TEST(Metrics, GaugeSetOverwrites) {
+  MetricsRegistry reg;
+  reg.gauge("depth").set(5.0);
+  reg.gauge("depth").set(2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 2.0);
+}
+
+TEST(Metrics, HistogramBucketsAreUpperBoundInclusive) {
+  HistogramMetric h({1.0, 10.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (inclusive upper bound)
+  h.observe(5.0);   // <= 10
+  h.observe(100.0); // +inf bucket
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.5);
+}
+
+TEST(Metrics, HistogramRoutesNonFiniteSamplesAside) {
+  HistogramMetric h({1.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(0.5);
+  EXPECT_EQ(h.nonfinite_count(), 3u);
+  EXPECT_EQ(h.count(), 1u);       // only the finite sample is counted
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5); // and summed
+}
+
+TEST(Metrics, RegistrySizeCountsAllInstances) {
+  MetricsRegistry reg;
+  reg.counter("a");
+  reg.counter("a", {{"k", "v"}});
+  reg.gauge("b");
+  reg.histogram("c");
+  EXPECT_EQ(reg.size(), 4u);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Metrics, ExportIsDeterministicAcrossInsertionOrder) {
+  // Two registries populated in different orders with identical final
+  // state must serialise byte-identically (map-ordered export).
+  MetricsRegistry a;
+  a.counter("reqs", {{"app", "x"}}).inc(3.0);
+  a.counter("reqs", {{"app", "y"}}).inc(1.0);
+  a.gauge("depth").set(2.0);
+
+  MetricsRegistry b;
+  b.gauge("depth").set(2.0);
+  b.counter("reqs", {{"app", "y"}}).inc(1.0);
+  b.counter("reqs", {{"app", "x"}}).inc(3.0);
+
+  EXPECT_EQ(a.to_json_string(0), b.to_json_string(0));
+}
+
+TEST(Metrics, ExportContainsValuesAndLabels) {
+  MetricsRegistry reg;
+  reg.counter("hits", {{"app", "social"}}).inc(7.0);
+  reg.histogram("lat", {}, {0.1, 1.0}).observe(0.05);
+  const std::string out = reg.to_json_string(0);
+  EXPECT_NE(out.find("\"hits\""), std::string::npos) << out;
+  EXPECT_NE(out.find("app=social"), std::string::npos) << out;
+  EXPECT_NE(out.find("7"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"lat\""), std::string::npos) << out;
+}
+
+}  // namespace

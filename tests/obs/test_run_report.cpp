@@ -1,0 +1,108 @@
+// Tests for RunReport (src/obs/run_report.hpp): document assembly,
+// schema shape, optional sections, and file writing.
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using gsight::obs::Json;
+using gsight::obs::MetricsRegistry;
+using gsight::obs::RunReport;
+
+TEST(RunReport, MinimalDocumentHasSchemaFields) {
+  RunReport r("micro");
+  r.set_wall_time_s(1.25);
+  const Json doc = r.to_json();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->string(), "gsight-bench-report/v1");
+  ASSERT_NE(doc.find("bench"), nullptr);
+  EXPECT_EQ(doc.find("bench")->string(), "micro");
+  ASSERT_NE(doc.find("wall_time_s"), nullptr);
+  EXPECT_DOUBLE_EQ(doc.find("wall_time_s")->number(), 1.25);
+  ASSERT_NE(doc.find("results"), nullptr);
+  EXPECT_TRUE(doc.find("results")->is_array());
+  EXPECT_EQ(doc.find("results")->size(), 0u);
+}
+
+TEST(RunReport, ResultsKeepInsertionOrderAndUnits) {
+  RunReport r("fig9");
+  r.add_result("irfr_error_pct", 6.2, "%");
+  r.add_result("samples", 1000.0);
+  EXPECT_EQ(r.result_count(), 2u);
+  const Json doc = r.to_json();
+  const Json* results = doc.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->size(), 2u);
+  const Json& first = results->items()[0];
+  EXPECT_EQ(first.find("name")->string(), "irfr_error_pct");
+  EXPECT_DOUBLE_EQ(first.find("value")->number(), 6.2);
+  EXPECT_EQ(first.find("unit")->string(), "%");
+  // Unit-less rows omit the key entirely rather than writing "".
+  EXPECT_EQ(results->items()[1].find("unit"), nullptr);
+}
+
+TEST(RunReport, OptionalSectionsOnlyAppearWhenUsed) {
+  RunReport bare("a");
+  const Json doc = bare.to_json();
+  EXPECT_EQ(doc.find("series"), nullptr);
+  EXPECT_EQ(doc.find("meta"), nullptr);
+  EXPECT_EQ(doc.find("metrics"), nullptr);
+
+  RunReport full("b");
+  Json curve = Json::array();
+  curve.push_back(1.0);
+  curve.push_back(2.0);
+  full.add_series("latency_curve", curve);
+  full.set_meta("seed", "1313");
+  MetricsRegistry reg;
+  reg.counter("events").inc(10.0);
+  full.attach_metrics(reg);
+  const Json doc2 = full.to_json();
+  ASSERT_NE(doc2.find("series"), nullptr);
+  ASSERT_NE(doc2.find("series")->find("latency_curve"), nullptr);
+  ASSERT_NE(doc2.find("meta"), nullptr);
+  EXPECT_EQ(doc2.find("meta")->find("seed")->string(), "1313");
+  EXPECT_NE(doc2.find("metrics"), nullptr);
+}
+
+TEST(RunReport, WriteProducesBenchNamedFile) {
+  const std::string dir = ::testing::TempDir();
+  RunReport r("smoke_test");
+  r.add_result("x", 1.0);
+  r.set_wall_time_s(0.1);
+  const std::string path = r.write(dir);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("BENCH_smoke_test.json"), std::string::npos) << path;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), r.to_json().dump_string(2) + "\n");
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, WriteFileFailsGracefullyOnBadPath) {
+  RunReport r("x");
+  EXPECT_FALSE(r.write_file("/nonexistent-dir-zz/nope.json"));
+  EXPECT_EQ(r.write("/nonexistent-dir-zz"), "");
+}
+
+TEST(RunReport, DocumentIsByteStable) {
+  auto build = [] {
+    RunReport r("stable");
+    r.set_wall_time_s(2.0);
+    r.add_result("a", 1.0 / 3.0, "s");
+    r.set_meta("note", "twin");
+    return r.to_json().dump_string(2);
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Tests for the tracer and sinks (src/obs/trace.hpp): disabled-path
+// behaviour, Chrome trace-event serialisation, streaming vs in-memory
+// parity, and the process-wide default sink hook.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using gsight::obs::chrome_trace_event_json;
+using gsight::obs::Lanes;
+using gsight::obs::MemoryTraceSink;
+using gsight::obs::StreamTraceSink;
+using gsight::obs::TraceEvent;
+using gsight::obs::Tracer;
+
+TEST(Trace, DisabledTracerEmitsNothing) {
+  Tracer t;  // null sink
+#if GSIGHT_OBS_ENABLED
+  EXPECT_FALSE(t.enabled());
+#endif
+  // All helpers must be safe no-ops without a sink.
+  t.complete(0.0, 1.0, "x", "c", 1, 0);
+  t.instant(0.0, "x", "c", 1, 0);
+  t.counter(0.0, "x", 1, {{"v", "1"}});
+  t.async_begin(0.0, "x", "c", 7);
+  t.async_end(1.0, "x", "c", 7);
+}
+
+TEST(Trace, HelpersPopulateEventFields) {
+  MemoryTraceSink sink;
+  Tracer t(&sink);
+  t.complete(1.5, 0.25, "server.exec", "sim", Lanes::kPlatform, 103,
+             {{"ipc", "1.2"}});
+  t.async_begin(0.5, "request", "req", 42, {{"app", "social"}});
+  t.async_end(2.0, "request", "req", 42);
+#if GSIGHT_OBS_ENABLED
+  ASSERT_EQ(sink.size(), 3u);
+  const auto& e = sink.events()[0];
+  EXPECT_EQ(e.kind, TraceEvent::Kind::kComplete);
+  EXPECT_STREQ(e.name, "server.exec");
+  EXPECT_DOUBLE_EQ(e.ts_s, 1.5);
+  EXPECT_DOUBLE_EQ(e.dur_s, 0.25);
+  EXPECT_EQ(e.pid, Lanes::kPlatform);
+  EXPECT_EQ(e.tid, 103u);
+  ASSERT_EQ(e.args.size(), 1u);
+  EXPECT_EQ(e.args[0].second, "1.2");
+  EXPECT_EQ(sink.events()[1].id, 42u);
+  EXPECT_EQ(sink.events()[1].pid, Lanes::kRequests);
+#else
+  EXPECT_EQ(sink.size(), 0u);  // compiled out
+#endif
+}
+
+TEST(Trace, EventJsonUsesMicrosecondTimestamps) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kComplete;
+  e.name = "span";
+  e.cat = "sim";
+  e.ts_s = 0.001;   // 1000 µs
+  e.dur_s = 0.0005; // 500 µs
+  e.pid = 1;
+  e.tid = 2;
+  const std::string json = chrome_trace_event_json(e);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"span\""), std::string::npos) << json;
+}
+
+TEST(Trace, AsyncEventsCarryCorrelationId) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kAsyncBegin;
+  e.name = "request";
+  e.cat = "req";
+  e.id = 99;
+  const std::string json = chrome_trace_event_json(e);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\":99"), std::string::npos) << json;
+}
+
+#if GSIGHT_OBS_ENABLED
+TEST(Trace, StreamingSinkMatchesMemorySink) {
+  MemoryTraceSink mem;
+  std::ostringstream os;
+  {
+    StreamTraceSink stream(os);
+    Tracer tm(&mem);
+    Tracer ts(&stream);
+    for (Tracer* t : {&tm, &ts}) {
+      t->instant(0.0, "a", "c", 1, 0);
+      t->complete(0.5, 0.1, "b", "c", 1, 0, {{"k", "v"}});
+      t->counter(1.0, "depth", 1, {{"queue", "3"}});
+    }
+    stream.close();
+  }
+  EXPECT_EQ(os.str(), mem.chrome_trace_string());
+}
+
+TEST(Trace, EmptyTraceIsStillValidDocument) {
+  MemoryTraceSink mem;
+  const std::string doc = mem.chrome_trace_string();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos) << doc;
+  std::ostringstream os;
+  {
+    StreamTraceSink stream(os);
+    stream.close();
+  }
+  EXPECT_EQ(os.str(), doc);
+}
+
+TEST(Trace, DefaultSinkIsProcessWideAndResettable) {
+  EXPECT_EQ(gsight::obs::default_trace_sink(), nullptr);
+  MemoryTraceSink sink;
+  gsight::obs::set_default_trace_sink(&sink);
+  EXPECT_EQ(gsight::obs::default_trace_sink(), &sink);
+  gsight::obs::set_default_trace_sink(nullptr);
+  EXPECT_EQ(gsight::obs::default_trace_sink(), nullptr);
+}
+#endif  // GSIGHT_OBS_ENABLED
+
+}  // namespace

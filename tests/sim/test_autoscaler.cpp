@@ -1,0 +1,163 @@
+// Autoscaler behaviour tests, focused on scale-in hysteresis: a lower
+// target must persist `scale_in_patience` ticks before any replica is
+// retired, replicas then leave one per tick, and a demand spike resets
+// the patience counter. Also covers the per-(app, fn) bookkeeping maps
+// when the app set grows between ticks.
+#include "sim/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+#include "workloads/socialnetwork.hpp"
+
+namespace gsight::sim {
+namespace {
+
+PlatformConfig quiet_config() {
+  PlatformConfig pc;
+  pc.servers = 4;
+  pc.server = ServerConfig::tianjin_testbed();
+  pc.seed = 11;
+  pc.instance.startup_cores = 0.0;
+  pc.instance.startup_disk_mbps = 0.0;
+  return pc;
+}
+
+wl::App warm_social() {
+  auto app = wl::social_network();
+  for (auto& fn : app.functions) {
+    fn.jitter_sigma = 0.0;
+    fn.cold_start_s = 0.0;  // pre-warm invocations finish immediately
+  }
+  return app;
+}
+
+// Refuse every scale-out so tests observe scale-in behaviour in
+// isolation (current replica counts never grow under load spikes).
+Autoscaler::PlacementFn refuse_placement() {
+  return [](std::size_t, std::size_t) {
+    return static_cast<std::size_t>(-1);
+  };
+}
+
+TEST(Autoscaler, ScaleInWaitsForPatienceThenOneReplicaPerTick) {
+  Platform platform(quiet_config());
+  const std::size_t id =
+      platform.deploy(warm_social(), std::vector<std::size_t>(9, 0));
+  // 3 surplus replicas of fn 0: idle demand says desired == 1.
+  for (int i = 0; i < 3; ++i) platform.add_replica(id, 0, 0);
+  ASSERT_EQ(platform.replicas(id, 0).size(), 4u);
+
+  AutoscalerConfig cfg;
+  cfg.tick_s = 1.0;
+  cfg.scale_in_patience = 3;
+  Autoscaler scaler(&platform, cfg, refuse_placement());
+  scaler.start();
+
+  // Ticks fire at t = 1, 2, 3, ... Patience of 3 means the first removal
+  // happens on the third consecutive below-target tick.
+  platform.run_until(1.5);
+  EXPECT_EQ(scaler.scale_in_events(), 0u);
+  platform.run_until(2.5);
+  EXPECT_EQ(scaler.scale_in_events(), 0u);
+  platform.run_until(3.5);
+  EXPECT_EQ(scaler.scale_in_events(), 1u);  // first removal at tick 3
+  platform.run_until(4.5);
+  EXPECT_EQ(scaler.scale_in_events(), 2u);  // then exactly one per tick
+  platform.run_until(5.5);
+  EXPECT_EQ(scaler.scale_in_events(), 3u);
+  // All surplus gone; min_keep stops further removals.
+  platform.run_until(9.5);
+  EXPECT_EQ(scaler.scale_in_events(), 3u);
+  EXPECT_EQ(scaler.last_target(id, 0), 1u);
+}
+
+TEST(Autoscaler, DemandSpikeResetsPatienceCounter) {
+  Platform platform(quiet_config());
+  const std::size_t id =
+      platform.deploy(warm_social(), std::vector<std::size_t>(9, 0));
+  platform.add_replica(id, 0, 0);  // one surplus replica of the root fn
+  ASSERT_EQ(platform.replicas(id, 0).size(), 2u);
+
+  AutoscalerConfig cfg;
+  cfg.tick_s = 1.0;
+  cfg.scale_in_patience = 2;
+  Autoscaler scaler(&platform, cfg, refuse_placement());
+  scaler.start();
+
+  // Tick 1 (t=1): idle, below-target streak starts. Without intervention
+  // tick 2 would remove the surplus replica (patience 2).
+  platform.run_until(1.1);
+  EXPECT_EQ(scaler.scale_in_events(), 0u);
+  // Burst enough root-fn work that tick 2 sees demand needing both
+  // replicas — the streak must reset instead of removing.
+  for (int i = 0; i < 200; ++i) platform.issue_request(id);
+  platform.run_until(2.5);
+  EXPECT_EQ(scaler.scale_in_events(), 0u);
+  // Once the burst drains, the full patience must elapse again before
+  // the surplus replica goes.
+  platform.run_until(12.0);
+  EXPECT_EQ(scaler.scale_in_events(), 1u);
+}
+
+TEST(Autoscaler, AppDeployedBetweenTicksGetsOwnHysteresisState) {
+  Platform platform(quiet_config());
+  const std::size_t first =
+      platform.deploy(warm_social(), std::vector<std::size_t>(9, 0));
+
+  AutoscalerConfig cfg;
+  cfg.tick_s = 1.0;
+  cfg.scale_in_patience = 2;
+  Autoscaler scaler(&platform, cfg, refuse_placement());
+  scaler.start();
+
+  // Let the scaler tick twice with a single app, then grow the app set —
+  // the per-(app, fn) maps and per-app vectors must absorb the new keys.
+  platform.run_until(2.5);
+  const std::size_t second =
+      platform.deploy(warm_social(), std::vector<std::size_t>(9, 1));
+  platform.add_replica(second, 0, 1);
+  platform.add_replica(second, 0, 1);
+  ASSERT_EQ(platform.replicas(second, 0).size(), 3u);
+
+  // Ticks 3 and 4 build the new app's streak; removals at ticks 4 and 5.
+  platform.run_until(3.5);
+  EXPECT_EQ(scaler.scale_in_events(), 0u);
+  platform.run_until(4.5);
+  EXPECT_EQ(scaler.scale_in_events(), 1u);
+  platform.run_until(5.5);
+  EXPECT_EQ(scaler.scale_in_events(), 2u);
+  platform.run_until(8.5);
+  EXPECT_EQ(scaler.scale_in_events(), 2u);  // back at min_keep
+  // The first app never had surplus: its targets stay at one replica.
+  EXPECT_EQ(scaler.last_target(first, 0), 1u);
+  EXPECT_EQ(scaler.last_target(second, 0), 1u);
+}
+
+TEST(Autoscaler, AccessorsAreBoundsSafeForUnknownIds) {
+  Platform platform(quiet_config());
+  AutoscalerConfig cfg;
+  Autoscaler scaler(&platform, cfg, refuse_placement());
+  EXPECT_DOUBLE_EQ(scaler.rate_estimate(99), 0.0);
+  EXPECT_EQ(scaler.last_target(99, 0), 0u);
+}
+
+TEST(Autoscaler, ScaleEventsAppearInMetricsRegistry) {
+  Platform platform(quiet_config());
+  const std::size_t id =
+      platform.deploy(warm_social(), std::vector<std::size_t>(9, 0));
+  platform.add_replica(id, 0, 0);
+  AutoscalerConfig cfg;
+  cfg.tick_s = 1.0;
+  cfg.scale_in_patience = 1;
+  Autoscaler scaler(&platform, cfg, refuse_placement());
+  scaler.start();
+  platform.run_until(3.0);
+  EXPECT_GT(scaler.scale_in_events(), 0u);
+  EXPECT_DOUBLE_EQ(
+      platform.metrics().counter("autoscaler.scale_ins").value(),
+      static_cast<double>(scaler.scale_in_events()));
+}
+
+}  // namespace
+}  // namespace gsight::sim

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/autoscaler.hpp"
 #include "sim/platform.hpp"
 #include "workloads/ecommerce.hpp"
@@ -18,6 +19,8 @@ namespace {
 
 struct RunResult {
   std::string recorder_dump;
+  std::string trace_dump;
+  std::string metrics_dump;
   std::vector<std::pair<double, double>> e2e_a;
   std::vector<std::pair<double, double>> e2e_b;
   std::uint64_t failed_a = 0;
@@ -29,12 +32,16 @@ struct RunResult {
 };
 
 /// One full platform run: two apps, autoscaled open-loop load, 40 simulated
-/// seconds. Everything that feeds experiment figures is captured.
-RunResult run_once(std::uint64_t seed) {
+/// seconds. Everything that feeds experiment figures is captured. With
+/// `traced` the full span-tracing pipeline records into a memory sink —
+/// tracing must never perturb the simulation it observes.
+RunResult run_once(std::uint64_t seed, bool traced = false) {
+  obs::MemoryTraceSink trace_sink;
   PlatformConfig pc;
   pc.servers = 4;
   pc.server = ServerConfig::socket();
   pc.seed = seed;
+  if (traced) pc.trace_sink = &trace_sink;
   Platform platform(pc);
 
   const auto social = wl::social_network();
@@ -60,6 +67,9 @@ RunResult run_once(std::uint64_t seed) {
 
   RunResult r;
   r.recorder_dump = platform.recorder().dump_string();
+  r.trace_dump = trace_sink.chrome_trace_string();
+  platform.refresh_metrics();
+  r.metrics_dump = platform.metrics().to_json_string(0);
   r.e2e_a = platform.stats(a).e2e;
   r.e2e_b = platform.stats(b).e2e;
   r.failed_a = platform.stats(a).failed;
@@ -105,6 +115,31 @@ TEST(Determinism, RecorderDumpIsStableAcrossIdenticalReplays) {
   // dump_string itself must be a pure function of the recording.
   const RunResult r = run_once(7);
   EXPECT_EQ(r.recorder_dump, run_once(7).recorder_dump);
+}
+
+TEST(Determinism, TracingDoesNotPerturbTheSimulation) {
+  // The tracer must be a pure observer: a traced run and an untraced run
+  // from the same seed record bit-identical simulations.
+  const RunResult plain = run_once(0xD5EED, /*traced=*/false);
+  const RunResult traced = run_once(0xD5EED, /*traced=*/true);
+  EXPECT_EQ(plain.recorder_dump, traced.recorder_dump);
+  EXPECT_EQ(plain.e2e_a, traced.e2e_a);
+  EXPECT_EQ(plain.e2e_b, traced.e2e_b);
+  EXPECT_EQ(plain.metrics_dump, traced.metrics_dump);
+  EXPECT_TRUE(plain.trace_dump.find("\"ph\"") == std::string::npos);
+#if GSIGHT_OBS_ENABLED
+  // The traced run actually captured the request lifecycle.
+  EXPECT_NE(traced.trace_dump.find("request.exec"), std::string::npos);
+  EXPECT_NE(traced.trace_dump.find("gateway.forward"), std::string::npos);
+#endif
+}
+
+TEST(Determinism, TwinTracedRunsEmitBitIdenticalTraces) {
+  const RunResult first = run_once(0xD5EED, /*traced=*/true);
+  const RunResult second = run_once(0xD5EED, /*traced=*/true);
+  EXPECT_EQ(first.trace_dump, second.trace_dump);
+  EXPECT_EQ(first.metrics_dump, second.metrics_dump);
+  ASSERT_FALSE(first.metrics_dump.empty());
 }
 
 }  // namespace

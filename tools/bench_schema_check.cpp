@@ -1,0 +1,426 @@
+// bench_schema_check — validates BENCH_*.json run reports against the
+// gsight-bench-report/v1 schema (src/obs/run_report.hpp). Standalone: no
+// dependency on the gsight libraries, so the check.sh bench-smoke stage
+// can build it next to the lint tool and validate reports produced by any
+// bench binary.
+//
+// Usage:
+//   bench_schema_check <report.json>...   validate each file; exit 1 on
+//                                         the first failure
+//   bench_schema_check --self-test        run the built-in cases
+//
+// Schema requirements enforced:
+//   * top level is an object
+//   * "schema" == "gsight-bench-report/v1"
+//   * "bench" is a non-empty string
+//   * "wall_time_s" is a finite number >= 0
+//   * "results" is an array of objects, each with a non-empty string
+//     "name", a finite number "value", and (optionally) a string "unit"
+//   * "series" / "meta" / "metrics", when present, are object/object/array
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (reader side of src/obs/json.hpp's
+// writer; deliberately independent so the validator cannot inherit a
+// writer bug and declare its own output valid).
+// ---------------------------------------------------------------------------
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  bool number_is_null = false;  // "null" in a numeric position
+  std::string string;
+  std::vector<Value> items;
+  std::vector<std::pair<std::string, Value>> members;
+
+  const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Value v;
+      v.kind = Value::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return Value{};
+    return parse_number();
+  }
+
+  Value parse_object() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape digit");
+              }
+            }
+            // Reports only escape control characters, so non-ASCII
+            // codepoints are passed through as '?' rather than UTF-8
+            // encoded — the validator never needs their value.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+    fail("unterminated string");
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    try {
+      std::size_t used = 0;
+      v.number = std::stod(text_.substr(start, pos_ - start), &used);
+      if (used != pos_ - start) fail("malformed number");
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema validation
+// ---------------------------------------------------------------------------
+
+struct Failure {
+  std::string what;
+};
+
+void check(bool ok, const std::string& what) {
+  if (!ok) throw Failure{what};
+}
+
+void validate_report(const Value& doc) {
+  check(doc.kind == Value::Kind::kObject, "top level is not an object");
+
+  const Value* schema = doc.find("schema");
+  check(schema != nullptr && schema->kind == Value::Kind::kString,
+        "missing string field 'schema'");
+  check(schema->string == "gsight-bench-report/v1",
+        "unknown schema '" + schema->string + "'");
+
+  const Value* bench = doc.find("bench");
+  check(bench != nullptr && bench->kind == Value::Kind::kString &&
+            !bench->string.empty(),
+        "missing non-empty string field 'bench'");
+
+  const Value* wall = doc.find("wall_time_s");
+  check(wall != nullptr && wall->kind == Value::Kind::kNumber,
+        "missing numeric field 'wall_time_s'");
+  check(std::isfinite(wall->number) && wall->number >= 0.0,
+        "'wall_time_s' must be finite and >= 0");
+
+  const Value* results = doc.find("results");
+  check(results != nullptr && results->kind == Value::Kind::kArray,
+        "missing array field 'results'");
+  for (std::size_t i = 0; i < results->items.size(); ++i) {
+    const Value& row = results->items[i];
+    const std::string at = "results[" + std::to_string(i) + "]";
+    check(row.kind == Value::Kind::kObject, at + " is not an object");
+    const Value* name = row.find("name");
+    check(name != nullptr && name->kind == Value::Kind::kString &&
+              !name->string.empty(),
+          at + " missing non-empty string 'name'");
+    const Value* value = row.find("value");
+    check(value != nullptr && value->kind == Value::Kind::kNumber,
+          at + " missing numeric 'value'");
+    check(std::isfinite(value->number), at + " 'value' is not finite");
+    if (const Value* unit = row.find("unit")) {
+      check(unit->kind == Value::Kind::kString, at + " 'unit' is not a string");
+    }
+  }
+
+  if (const Value* series = doc.find("series")) {
+    check(series->kind == Value::Kind::kObject, "'series' is not an object");
+  }
+  if (const Value* meta = doc.find("meta")) {
+    check(meta->kind == Value::Kind::kObject, "'meta' is not an object");
+  }
+  if (const Value* metrics = doc.find("metrics")) {
+    check(metrics->kind == Value::Kind::kArray, "'metrics' is not an array");
+  }
+}
+
+bool validate_text(const std::string& text, std::string* error) {
+  try {
+    const Value doc = Parser(text).parse();
+    validate_report(doc);
+    return true;
+  } catch (const Failure& f) {
+    *error = f.what;
+    return false;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+}
+
+int validate_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_schema_check: cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  if (!validate_text(ss.str(), &error)) {
+    std::fprintf(stderr, "bench_schema_check: %s: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::printf("bench_schema_check: %s: OK\n", path);
+  return 0;
+}
+
+int self_test() {
+  struct Case {
+    const char* name;
+    const char* text;
+    bool ok;
+  };
+  const Case cases[] = {
+      {"minimal valid",
+       R"({"schema":"gsight-bench-report/v1","bench":"x","wall_time_s":0,)"
+       R"("results":[]})",
+       true},
+      {"full valid",
+       R"({"schema":"gsight-bench-report/v1","bench":"fig14","wall_time_s":1.5,)"
+       R"("results":[{"name":"a","value":1.0,"unit":"ms"},{"name":"b","value":-2}],)"
+       R"("series":{"curve":[1,2,3]},"metrics":[{"name":"m"}],"meta":{"k":"v"}})",
+       true},
+      {"wrong schema tag",
+       R"({"schema":"other/v9","bench":"x","wall_time_s":0,"results":[]})",
+       false},
+      {"missing bench",
+       R"({"schema":"gsight-bench-report/v1","wall_time_s":0,"results":[]})",
+       false},
+      {"negative wall time",
+       R"({"schema":"gsight-bench-report/v1","bench":"x","wall_time_s":-1,)"
+       R"("results":[]})",
+       false},
+      {"result without value",
+       R"({"schema":"gsight-bench-report/v1","bench":"x","wall_time_s":0,)"
+       R"("results":[{"name":"a"}]})",
+       false},
+      {"null result value",
+       R"({"schema":"gsight-bench-report/v1","bench":"x","wall_time_s":0,)"
+       R"("results":[{"name":"a","value":null}]})",
+       false},
+      {"results not an array",
+       R"({"schema":"gsight-bench-report/v1","bench":"x","wall_time_s":0,)"
+       R"("results":{}})",
+       false},
+      {"string escapes in names",
+       R"({"schema":"gsight-bench-report/v1","bench":"q\"\\u0041","wall_time_s":0,)"
+       R"("results":[{"name":"tab\tname","value":3e-5}]})",
+       true},
+      {"truncated document",
+       R"({"schema":"gsight-bench-report/v1","bench":"x")", false},
+      {"not json at all", "hello", false},
+  };
+  int failures = 0;
+  for (const auto& c : cases) {
+    std::string error;
+    const bool ok = validate_text(c.text, &error);
+    if (ok != c.ok) {
+      std::fprintf(stderr, "self-test FAIL: %s (expected %s, got %s%s%s)\n",
+                   c.name, c.ok ? "valid" : "invalid",
+                   ok ? "valid" : "invalid", ok ? "" : ": ",
+                   ok ? "" : error.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("bench_schema_check self-test: all %zu cases passed\n",
+                sizeof(cases) / sizeof(cases[0]));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: bench_schema_check <report.json>... | --self-test\n");
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--self-test") == 0) return self_test();
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    rc |= validate_file(argv[i]);
+  }
+  return rc;
+}
