@@ -67,7 +67,7 @@ int main() {
   std::vector<core::ScenarioSamples> stream;
   for (const auto cls :
        {core::ColocationClass::kLsLs, core::ColocationClass::kLsScBg}) {
-    auto part = builder.build(cls, core::QosKind::kIpc, 150);
+    auto part = builder.build(bench::build_request(cls, core::QosKind::kIpc, 150));
     for (auto& s : part) stream.push_back(std::move(s));
   }
   std::printf("[setup] %zu scenarios in %.1f s\n", stream.size(),

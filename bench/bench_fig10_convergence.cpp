@@ -9,6 +9,7 @@
 // (b) the serverless error keeps falling and stays stable (~1% at 9k).
 // (c) error vs number of colocated workloads (2..6): below 3% throughout.
 #include "common.hpp"
+#include "stats/seed_stream.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -67,7 +68,7 @@ int main() {
   std::vector<core::ScenarioSamples> serverless;
   for (const auto cls :
        {core::ColocationClass::kLsLs, core::ColocationClass::kLsScBg}) {
-    auto part = builder.build(cls, core::QosKind::kIpc, 170);
+    auto part = builder.build(bench::build_request(cls, core::QosKind::kIpc, 170));
     for (auto& s : part) serverless.push_back(std::move(s));
   }
   // Interleave the two classes deterministically.
@@ -126,11 +127,13 @@ int main() {
     core::BuilderConfig kcfg = cfg;
     kcfg.min_workloads = k;
     kcfg.max_workloads = k;
-    core::DatasetBuilder kbuilder(&store, kcfg, 7000 + k);
+    core::DatasetBuilder kbuilder(&store, kcfg,
+                                  stats::SeedStream::derive(7000, k));
     // Larger colocations span a bigger scenario space; give the online
     // learner proportionally more of the stream before judging it.
-    auto stream = kbuilder.build(core::ColocationClass::kLsScBg,
-                                 core::QosKind::kIpc, 120 + 60 * (k - 2));
+    auto stream = kbuilder.build(bench::build_request(
+        core::ColocationClass::kLsScBg, core::QosKind::kIpc,
+        120 + 60 * (k - 2)));
     core::PredictorConfig pcfg;
     pcfg.encoder = kcfg.encoder;
     pcfg.model = core::ModelKind::kIRFR;

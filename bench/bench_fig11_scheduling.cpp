@@ -1,7 +1,8 @@
 // Figure 11 — scheduling case study: CDFs and means of function density
 // (instances per core), cluster CPU utilisation and memory utilisation
 // over an Azure-trace-driven run, for Gsight vs Pythia(BestFit) vs
-// WorstFit.
+// WorstFit. Each scheduler runs as a GSIGHT_REPS-replication campaign
+// (default 1); means carry a 95% CI when replicated.
 // Paper: Gsight densities +18.79% over Pythia and +48.48% over WorstFit;
 // CPU util +30.02%/+67.51%; memory util +31.04%/+76.91%.
 #include "sched_study.hpp"
@@ -19,61 +20,76 @@ void print_cdf(const char* title, const std::vector<double>& samples) {
   std::printf("\n");
 }
 
+double metric_mean(const sched::CampaignResult& c, const std::string& name) {
+  const auto* m = c.find(name);
+  return m != nullptr ? m->mean : 0.0;
+}
+
 }  // namespace
 
 int main() {
   bench::Stopwatch total;
   bench::Run run("fig11_scheduling");
   auto setup = bench::prepare_study();
-  std::printf("[setup] predictors trained, curve knee=%.3f, %.1f s\n",
+  std::printf("[setup] stream built, curve knee=%.3f, %.1f s\n",
               setup->curve->knee_ipc(), total.seconds());
 
-  const auto reports = bench::run_all_schedulers(*setup);
+  const std::size_t reps = bench::env_reps();
+  const auto campaigns =
+      bench::run_all_campaigns(*setup, reps, bench::campaign_options());
 
   bench::header("Figure 11: density / CPU / memory utilisation by scheduler");
-  for (const auto& r : reports) {
-    std::printf("\n[%s]  requests=%llu failed=%llu jobs=%llu scale-outs=%llu "
-                "cold-starts=%llu\n",
-                r.scheduler.c_str(),
-                static_cast<unsigned long long>(r.requests_completed),
-                static_cast<unsigned long long>(r.requests_failed),
-                static_cast<unsigned long long>(r.jobs_completed),
-                static_cast<unsigned long long>(r.scale_outs),
-                static_cast<unsigned long long>(r.cold_starts));
-    std::printf("  mean density %.4f inst/core | mean CPU util %.3f | mean "
-                "mem util %.3f\n",
-                r.mean_density(), r.mean_cpu_util(), r.mean_mem_util());
-    print_cdf("  density", r.density_samples);
-    print_cdf("  cpu    ", r.cpu_util_samples);
-    print_cdf("  memory ", r.mem_util_samples);
-    const std::string prefix = r.scheduler + ".";
-    run.result(prefix + "mean_density", r.mean_density(), "inst/core");
-    run.result(prefix + "mean_cpu_util", r.mean_cpu_util());
-    run.result(prefix + "mean_mem_util", r.mean_mem_util());
-    run.result(prefix + "requests_completed",
-               static_cast<double>(r.requests_completed));
-    run.result(prefix + "cold_starts", static_cast<double>(r.cold_starts));
+  for (const auto& c : campaigns) {
+    // CDFs come from replication 0; scalar rows are means ± CI over reps.
+    const auto& r0 = c.reports.front();
+    std::printf("\n[%s] reps=%zu requests=%llu failed=%llu jobs=%llu "
+                "scale-outs=%llu cold-starts=%llu (rep 0)\n",
+                c.scheduler.c_str(), c.replications,
+                static_cast<unsigned long long>(r0.requests_completed),
+                static_cast<unsigned long long>(r0.requests_failed),
+                static_cast<unsigned long long>(r0.jobs_completed),
+                static_cast<unsigned long long>(r0.scale_outs),
+                static_cast<unsigned long long>(r0.cold_starts));
+    const auto* density = c.find("mean_density");
+    const auto* cpu = c.find("cpu_utilization");
+    const auto* mem = c.find("mem_utilization");
+    std::printf("  mean density %.4f±%.4f inst/core | mean CPU util "
+                "%.3f±%.3f | mean mem util %.3f±%.3f\n",
+                density->mean, density->ci95, cpu->mean, cpu->ci95, mem->mean,
+                mem->ci95);
+    print_cdf("  density", r0.density_samples);
+    print_cdf("  cpu    ", r0.cpu_util_samples);
+    print_cdf("  memory ", r0.mem_util_samples);
+    c.write_into(run.report(), c.scheduler + ".");
   }
   bench::rule();
-  const auto& g = reports[0];
-  const auto& p = reports[1];
-  const auto& w = reports[2];
+  const auto& g = campaigns[0];
+  const auto& p = campaigns[1];
+  const auto& w = campaigns[2];
+  const double gd = metric_mean(g, "mean_density");
+  const double pd = metric_mean(p, "mean_density");
+  const double wd = metric_mean(w, "mean_density");
   std::printf("Gsight density : +%.2f%% vs Pythia (paper +18.79%%), +%.2f%% "
               "vs WorstFit (paper +48.48%%)\n",
-              100.0 * (g.mean_density() / p.mean_density() - 1.0),
-              100.0 * (g.mean_density() / w.mean_density() - 1.0));
+              100.0 * (gd / pd - 1.0), 100.0 * (gd / wd - 1.0));
   std::printf("Gsight CPU util: +%.2f%% vs Pythia (paper +30.02%%), +%.2f%% "
               "vs WorstFit (paper +67.51%%)\n",
-              100.0 * (g.mean_cpu_util() / p.mean_cpu_util() - 1.0),
-              100.0 * (g.mean_cpu_util() / w.mean_cpu_util() - 1.0));
+              100.0 * (metric_mean(g, "cpu_utilization") /
+                           metric_mean(p, "cpu_utilization") -
+                       1.0),
+              100.0 * (metric_mean(g, "cpu_utilization") /
+                           metric_mean(w, "cpu_utilization") -
+                       1.0));
   std::printf("Gsight mem util: +%.2f%% vs Pythia (paper +31.04%%), +%.2f%% "
               "vs WorstFit (paper +76.91%%)\n",
-              100.0 * (g.mean_mem_util() / p.mean_mem_util() - 1.0),
-              100.0 * (g.mean_mem_util() / w.mean_mem_util() - 1.0));
-  run.result("density_gain_vs_pythia_pct",
-             100.0 * (g.mean_density() / p.mean_density() - 1.0), "%");
-  run.result("density_gain_vs_worstfit_pct",
-             100.0 * (g.mean_density() / w.mean_density() - 1.0), "%");
+              100.0 * (metric_mean(g, "mem_utilization") /
+                           metric_mean(p, "mem_utilization") -
+                       1.0),
+              100.0 * (metric_mean(g, "mem_utilization") /
+                           metric_mean(w, "mem_utilization") -
+                       1.0));
+  run.result("density_gain_vs_pythia_pct", 100.0 * (gd / pd - 1.0), "%");
+  run.result("density_gain_vs_worstfit_pct", 100.0 * (gd / wd - 1.0), "%");
 
   std::printf("\n[bench_fig11_scheduling done in %.1f s]\n", total.seconds());
   return 0;

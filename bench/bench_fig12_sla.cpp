@@ -1,6 +1,8 @@
 // Figure 12 — SLA guarantees under Gsight scheduling. SLAs follow §6.3:
 // each LS app's target is its solo p99 under sustained load; scheduling
 // enforces the IPC floor derived through the latency-IPC curve (Figure 7).
+// Each scheduler runs as a GSIGHT_REPS-replication campaign (default 1);
+// the satisfied-window fractions are means ± 95% CI over replications.
 // Paper: the social network meets its SLA in 95.39% of windows and
 // e-commerce in 93.33% under Gsight.
 #include "sched_study.hpp"
@@ -10,29 +12,34 @@ int main() {
   bench::Stopwatch total;
   bench::Run run("fig12_sla");
   auto setup = bench::prepare_study(/*seed=*/2022);
-  const auto reports = bench::run_all_schedulers(*setup);
+  const std::size_t reps = bench::env_reps();
+  const auto campaigns =
+      bench::run_all_campaigns(*setup, reps, bench::campaign_options());
 
   bench::header("Figure 12: fraction of windows meeting the p99 SLA");
   std::printf("%-16s", "scheduler");
-  for (const auto& app : reports[0].sla) {
+  for (const auto& app : campaigns[0].reports.front().sla) {
     std::printf(" %22s", app.app.c_str());
   }
   std::printf("\n");
   bench::rule();
-  for (const auto& r : reports) {
-    std::printf("%-16s", r.scheduler.c_str());
-    for (const auto& app : r.sla) {
-      std::printf(" %14.2f%% (p99 %3.0fms)", 100.0 * app.satisfied_fraction,
-                  app.overall_p99_s * 1e3);
-      run.result(r.scheduler + "." + app.app + ".sla_satisfied_pct",
-                 100.0 * app.satisfied_fraction, "%");
-      run.result(r.scheduler + "." + app.app + ".overall_p99_ms",
-                 app.overall_p99_s * 1e3, "ms");
+  for (const auto& c : campaigns) {
+    std::printf("%-16s", c.scheduler.c_str());
+    for (const auto& app : c.reports.front().sla) {
+      const auto* sat = c.find("sla_satisfied." + app.app);
+      const auto* p99 = c.find("p99_latency." + app.app);
+      std::printf(" %8.2f%%±%4.2f (p99 %3.0fms)", 100.0 * sat->mean,
+                  100.0 * sat->ci95, p99->mean * 1e3);
+      run.result(c.scheduler + "." + app.app + ".sla_satisfied_pct",
+                 100.0 * sat->mean, "%");
+      run.result(c.scheduler + "." + app.app + ".overall_p99_ms",
+                 p99->mean * 1e3, "ms");
     }
     std::printf("\n");
+    c.write_into(run.report(), c.scheduler + ".");
   }
   bench::rule();
-  for (const auto& app : reports[0].sla) {
+  for (const auto& app : campaigns[0].reports.front().sla) {
     std::printf("SLA target %s: %.0f ms\n", app.app.c_str(),
                 app.sla_p99_s * 1e3);
   }

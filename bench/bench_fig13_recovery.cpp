@@ -24,9 +24,8 @@ int main() {
                           std::size_t want) {
     std::vector<core::ScenarioSamples> out;
     while (out.size() < want) {
-      auto part =
-          builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc,
-                        32);
+      auto part = builder.build(bench::build_request(
+          core::ColocationClass::kLsScBg, core::QosKind::kIpc, 32));
       for (auto& s : part) {
         const bool is_cpu =
             s.outcome.scenario.workloads[0].profile->app_name.rfind(

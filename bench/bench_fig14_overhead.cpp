@@ -8,6 +8,7 @@
 #include "common.hpp"
 #include "sched/gsight_scheduler.hpp"
 #include "sim/platform.hpp"
+#include "stats/seed_stream.hpp"
 #include "workloads/socialnetwork.hpp"
 
 int main() {
@@ -20,7 +21,8 @@ int main() {
   prof::ProfileStore store;
   core::DatasetBuilder builder(&store, cfg, /*seed=*/1414);
   auto stream =
-      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc, 60);
+      builder.build(bench::build_request(core::ColocationClass::kLsScBg,
+                                         core::QosKind::kIpc, 60));
   core::PredictorConfig pcfg;
   pcfg.encoder = cfg.encoder;
   pcfg.model = core::ModelKind::kIRFR;
@@ -109,7 +111,7 @@ int main() {
     sim::PlatformConfig pc;
     pc.servers = 8;
     pc.server = sim::ServerConfig::socket();
-    pc.seed = 7 + instances;
+    pc.seed = stats::SeedStream::derive(7, instances);
     pc.instance.startup_cores = 0.0;
     pc.instance.startup_disk_mbps = 0.0;
     sim::Platform platform(pc);

@@ -12,6 +12,7 @@
 
 #include "common.hpp"
 #include "sim/platform.hpp"
+#include "stats/seed_stream.hpp"
 #include "workloads/functionbench.hpp"
 #include "workloads/socialnetwork.hpp"
 #include "workloads/sparkapps.hpp"
@@ -31,7 +32,7 @@ ScenarioResult run_scenario(const wl::App* corunner, std::size_t victim) {
   sim::PlatformConfig pc;
   pc.servers = 9;
   pc.server = sim::ServerConfig::socket();
-  pc.seed = 42 + victim;
+  pc.seed = stats::SeedStream::derive(42, victim);
   pc.instance.startup_cores = 0.0;
   pc.instance.startup_disk_mbps = 0.0;
   sim::Platform platform(pc);
@@ -102,7 +103,7 @@ void figure_3b(bench::Run& run) {
     sim::PlatformConfig pc;
     pc.servers = 1;
     pc.server = sim::ServerConfig::socket();
-    pc.seed = 1000 + g;
+    pc.seed = stats::SeedStream::derive(1000, static_cast<std::uint64_t>(g));
     pc.instance.startup_cores = 0.0;
     pc.instance.startup_disk_mbps = 0.0;
     sim::Platform platform(pc);

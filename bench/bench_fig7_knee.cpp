@@ -21,7 +21,7 @@ int main() {
   std::vector<core::LatencyIpcPoint> points;
   for (const auto cls :
        {core::ColocationClass::kLsLs, core::ColocationClass::kLsScBg}) {
-    const auto samples = builder.build(cls, core::QosKind::kIpc, 120);
+    const auto samples = builder.build(bench::build_request(cls, core::QosKind::kIpc, 120));
     for (const auto& s : samples) {
       const auto* profile = s.outcome.scenario.workloads[0].profile;
       if (profile->solo_mean_ipc <= 0.0 || profile->solo_e2e_p99_s <= 0.0) {

@@ -24,7 +24,7 @@ int main() {
   std::vector<core::ScenarioSamples> samples;
   for (const auto cls :
        {core::ColocationClass::kLsLs, core::ColocationClass::kLsScBg}) {
-    auto part = builder.build(cls, core::QosKind::kIpc, 150);
+    auto part = builder.build(bench::build_request(cls, core::QosKind::kIpc, 150));
     for (auto& s : part) samples.push_back(std::move(s));
   }
   const core::Encoder encoder(cfg.encoder);

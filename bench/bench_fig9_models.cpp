@@ -104,9 +104,40 @@ int main() {
   std::map<core::ColocationClass, std::vector<core::ScenarioSamples>> data;
   for (const auto& [cls, count] : classes) {
     bench::Stopwatch sw;
-    data[cls] = builder.build(cls, core::QosKind::kIpc, count);
+    data[cls] =
+        builder.build(bench::build_request(cls, core::QosKind::kIpc, count));
     std::printf("[setup] %-9s: %zu scenarios in %.1f s\n", to_string(cls),
                 data[cls].size(), sw.seconds());
+    run.result(std::string("setup.") + to_string(cls) + ".seconds",
+               sw.seconds(), "s");
+  }
+
+  // --- Campaign speedup probe ----------------------------------------------
+  // Serial vs parallel rebuild of one class on the now-warm profile store
+  // (fresh builder + pinned root seed per leg, so both legs execute the
+  // exact same scenarios and the ratio is pure fan-out speedup).
+  {
+    auto probe = [&](std::size_t threads) {
+      core::DatasetBuilder probe_builder(&store, cfg, /*seed=*/505);
+      core::BuildRequest request;
+      request.cls = core::ColocationClass::kLsScBg;
+      request.qos = core::QosKind::kIpc;
+      request.count = 48;
+      request.campaign.threads = threads;
+      request.campaign.root_seed = 0xF16'9000;
+      bench::Stopwatch sw;
+      const auto samples = probe_builder.build(request);
+      return std::make_pair(sw.seconds(), samples.size());
+    };
+    const auto [serial_s, serial_n] = probe(1);
+    const auto [parallel_s, parallel_n] = probe(bench::env_threads());
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+    std::printf("[setup] campaign speedup: serial %.1f s, parallel %.1f s "
+                "-> %.2fx (%zu/%zu scenarios)\n",
+                serial_s, parallel_s, speedup, serial_n, parallel_n);
+    run.result("setup_serial_s", serial_s, "s");
+    run.result("setup_parallel_s", parallel_s, "s");
+    run.result("setup_speedup", speedup, "x");
   }
 
   const std::vector<core::ModelKind> models = {
@@ -142,6 +173,10 @@ int main() {
                                   core::QosKind::kJct);
     std::printf("%-10s %10.2f %10.2f %14.2f\n", pythia ? "Pythia" : "ESP", a,
                 b, c);
+    const std::string prefix = pythia ? "Pythia." : "ESP.";
+    run.result(prefix + "ipc_error_ls_ls_pct", a, "%");
+    run.result(prefix + "ipc_error_ls_scbg_pct", b, "%");
+    run.result(prefix + "jct_error_sc_scbg_pct", c, "%");
   }
   bench::rule();
   std::printf("IRFR LS+SC/BG IPC error: %.2f%% (paper: 1.71%%)\n",
@@ -157,13 +192,19 @@ int main() {
     const double b = run_gsight(model, data[core::ColocationClass::kLsScBg],
                                 core::QosKind::kTailLatency, cfg.encoder);
     std::printf("%-10s %10.2f %10.2f\n", to_string(model), a, b);
+    const std::string prefix = std::string(to_string(model)) + ".";
+    run.result(prefix + "lat_error_ls_ls_pct", a, "%");
+    run.result(prefix + "lat_error_ls_scbg_pct", b, "%");
   }
   for (const bool pythia : {true, false}) {
-    std::printf("%-10s %10.2f %10.2f\n", pythia ? "Pythia" : "ESP",
-                run_baseline(pythia, data[core::ColocationClass::kLsLs],
-                             core::QosKind::kTailLatency),
-                run_baseline(pythia, data[core::ColocationClass::kLsScBg],
-                             core::QosKind::kTailLatency));
+    const double a = run_baseline(pythia, data[core::ColocationClass::kLsLs],
+                                  core::QosKind::kTailLatency);
+    const double b = run_baseline(pythia, data[core::ColocationClass::kLsScBg],
+                                  core::QosKind::kTailLatency);
+    std::printf("%-10s %10.2f %10.2f\n", pythia ? "Pythia" : "ESP", a, b);
+    const std::string prefix = pythia ? "Pythia." : "ESP.";
+    run.result(prefix + "lat_error_ls_ls_pct", a, "%");
+    run.result(prefix + "lat_error_ls_scbg_pct", b, "%");
   }
   bench::rule();
   std::printf("(paper: tail latency is much harder than IPC — 28.6%% for "

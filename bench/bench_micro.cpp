@@ -12,6 +12,7 @@
 #include "sim/engine.hpp"
 #include "sim/interference.hpp"
 #include "stats/rng.hpp"
+#include "stats/seed_stream.hpp"
 #include "workloads/socialnetwork.hpp"
 
 namespace {
@@ -121,6 +122,15 @@ void BM_InterferenceEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InterferenceEvaluate)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SeedStreamDerive(benchmark::State& state) {
+  std::uint64_t root = 0x9E3779B97F4A7C15ULL;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SeedStream::derive(root, i++));
+  }
+}
+BENCHMARK(BM_SeedStreamDerive);
 
 void BM_EventQueueThroughput(benchmark::State& state) {
   for (auto _ : state) {

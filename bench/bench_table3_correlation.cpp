@@ -12,6 +12,7 @@
 #include "stats/correlation.hpp"
 #include "profiling/metric_set.hpp"
 #include "sim/platform.hpp"
+#include "stats/seed_stream.hpp"
 #include "workloads/functionbench.hpp"
 #include "workloads/socialnetwork.hpp"
 #include "workloads/suite.hpp"
@@ -37,13 +38,14 @@ int main() {
   // Fixed request rate; performance varies through *contention* only
   // (corunner type x victim function), as in the paper's characterization.
   const auto corunners = wl::characterization_corunners();
-  std::uint64_t seed = 5000;
+  const stats::SeedStream seeds(5000);
+  std::uint64_t run_index = 0;
   for (std::size_t ci = 0; ci <= corunners.size(); ++ci) {
     for (std::size_t victim = 0; victim < 9; victim += 2) {
       sim::PlatformConfig pc;
       pc.servers = 9;
       pc.server = sim::ServerConfig::socket();
-      pc.seed = ++seed;
+      pc.seed = seeds.derive(run_index++);
       pc.instance.startup_cores = 0.0;
       pc.instance.startup_disk_mbps = 0.0;
       sim::Platform platform(pc);

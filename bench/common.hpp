@@ -6,11 +6,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/trainer.hpp"
 #include "ml/metrics.hpp"
 #include "obs/run_report.hpp"
@@ -18,6 +21,48 @@
 #include "stats/summary.hpp"
 
 namespace gsight::bench {
+
+/// Campaign thread budget from the environment (read here in bench/,
+/// where getenv is allowed): GSIGHT_THREADS=N caps the fan-out, 1 forces
+/// serial, unset/0 uses all hardware threads. Thread count never changes
+/// bench numbers (campaigns are bit-identical across thread counts), only
+/// the wall-clock.
+inline std::size_t env_threads() {
+  if (const char* s = std::getenv("GSIGHT_THREADS")) {
+    return static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
+  }
+  return 0;
+}
+
+/// Replication count for the scheduling campaigns (fig11/fig12):
+/// GSIGHT_REPS=N runs each scheduler N times on derived seeds and reports
+/// mean ± 95% CI. Default 1 keeps the default bench wall-clock flat.
+inline std::size_t env_reps() {
+  if (const char* s = std::getenv("GSIGHT_REPS")) {
+    const auto n = static_cast<std::size_t>(std::strtoul(s, nullptr, 10));
+    return n > 0 ? n : 1;
+  }
+  return 1;
+}
+
+/// CampaignOptions honouring GSIGHT_THREADS.
+inline core::CampaignOptions campaign_options() {
+  core::CampaignOptions opts;
+  opts.threads = env_threads();
+  return opts;
+}
+
+/// The common bench pattern: a BuildRequest wired to GSIGHT_THREADS.
+inline core::BuildRequest build_request(core::ColocationClass cls,
+                                        core::QosKind qos,
+                                        std::size_t count) {
+  core::BuildRequest request;
+  request.cls = cls;
+  request.qos = qos;
+  request.count = count;
+  request.campaign = campaign_options();
+  return request;
+}
 
 /// Paper-scale dataset-builder configuration: 8 sockets as placement
 /// units, encoder slots n=10 (dims = 32*10*8 + 20 = 2 580, §6.4).
@@ -84,7 +129,8 @@ class Stopwatch {
 ///                            default sink; any sim::Platform built
 ///                            without an explicit sink then emits a
 ///                            Chrome trace to <path>.
-///   GSIGHT_BENCH_DIR=<dir> — where BENCH_<name>.json lands (default .).
+///   GSIGHT_BENCH_DIR=<dir> — where BENCH_<name>.json lands (default .);
+///                            created if missing.
 class Run {
  public:
   explicit Run(std::string name) : report_(std::move(name)) {
@@ -109,6 +155,10 @@ class Run {
     }
     report_.set_wall_time_s(stopwatch_.seconds());
     const char* dir = std::getenv("GSIGHT_BENCH_DIR");
+    if (dir != nullptr) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);  // best-effort
+    }
     const std::string path = report_.write(dir != nullptr ? dir : ".");
     if (path.empty()) {
       std::fprintf(stderr, "[bench] failed to write run report\n");

@@ -1,28 +1,39 @@
-// Shared setup for the Figures 11-12 scheduling study: trains the Gsight
-// IPC predictor and the Pythia baseline on a colocation stream, builds the
-// latency-IPC knee curve, profiles every app the experiment deploys, and
-// runs the three schedulers (Gsight, Pythia-BestFit, WorstFit).
+// Shared setup for the Figures 11-12 scheduling study: builds the
+// predictor training stream and the latency-IPC knee curve, profiles every
+// app the experiment deploys, and runs the three schedulers (Gsight,
+// Pythia-BestFit, WorstFit) as multi-replication sched::Campaigns.
+// Predictors are trained *per replication* (online learning mutates them,
+// so parallel replications must not share one).
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/pythia.hpp"
 #include "common.hpp"
 #include "core/sla.hpp"
 #include "sched/bestfit.hpp"
+#include "sched/campaign.hpp"
 #include "sched/experiment.hpp"
 #include "sched/gsight_scheduler.hpp"
 #include "sched/worstfit.hpp"
+#include "stats/seed_stream.hpp"
 #include "workloads/ecommerce.hpp"
 #include "workloads/functionbench.hpp"
 #include "workloads/socialnetwork.hpp"
 
 namespace gsight::bench {
 
+/// Sub-stream of the study seed feeding the experiment (DESIGN.md §9).
+inline constexpr std::uint64_t kExperimentSeedStream = 1;
+
 struct StudySetup {
   prof::ProfileStore store;
-  std::unique_ptr<core::GsightPredictor> gsight_ipc;
-  std::unique_ptr<baselines::PythiaPredictor> pythia_ipc;
+  /// Colocation training stream both predictors learn from.
+  std::vector<core::ScenarioSamples> stream;
+  core::PredictorConfig pcfg;
   std::unique_ptr<core::LatencyIpcCurve> curve;
   sched::ExperimentConfig experiment;
 };
@@ -34,28 +45,19 @@ inline std::unique_ptr<StudySetup> prepare_study(std::uint64_t seed = 2021) {
 
   // --- Training stream for both predictors --------------------------------
   core::DatasetBuilder builder(&setup->store, cfg, seed);
-  std::vector<core::ScenarioSamples> stream;
   for (const auto cls :
        {core::ColocationClass::kLsLs, core::ColocationClass::kLsScBg}) {
-    auto part = builder.build(cls, core::QosKind::kIpc, 130);
-    for (auto& s : part) stream.push_back(std::move(s));
+    auto part = builder.build(build_request(cls, core::QosKind::kIpc, 130));
+    for (auto& s : part) setup->stream.push_back(std::move(s));
   }
 
-  core::PredictorConfig pcfg;
-  pcfg.encoder = cfg.encoder;
-  pcfg.model = core::ModelKind::kIRFR;
-  setup->gsight_ipc = std::make_unique<core::GsightPredictor>(pcfg);
-  setup->pythia_ipc = std::make_unique<baselines::PythiaPredictor>();
+  setup->pcfg.encoder = cfg.encoder;
+  setup->pcfg.model = core::ModelKind::kIRFR;
 
-  ml::Dataset train(setup->gsight_ipc->encoder().dimension());
   // Knee curve on solo-normalised axes (x = IPC/solo IPC, y = p99/solo
   // p99) so all services pool onto one curve; see bench_fig7_knee.
   std::vector<core::LatencyIpcPoint> knee_points;
-  for (const auto& s : stream) {
-    for (double l : s.labels) {
-      train.add(s.features, l);
-      setup->pythia_ipc->observe(s.outcome.scenario, l);
-    }
+  for (const auto& s : setup->stream) {
     const auto* profile = s.outcome.scenario.workloads[0].profile;
     if (profile->solo_mean_ipc <= 0.0 || profile->solo_e2e_p99_s <= 0.0) {
       continue;
@@ -65,20 +67,26 @@ inline std::unique_ptr<StudySetup> prepare_study(std::uint64_t seed = 2021) {
           {ipc / profile->solo_mean_ipc, p99 / profile->solo_e2e_p99_s});
     }
   }
-  setup->gsight_ipc->train(train);
-  setup->pythia_ipc->flush();
   setup->curve = std::make_unique<core::LatencyIpcCurve>(knee_points);
 
   // --- Profiles the experiment looks up by plain name ---------------------
-  prof::SoloProfilerConfig spc = cfg.profiler;
-  prof::SoloProfiler profiler(spc);
+  // Only the apps the dataset phase has not already profiled; the batch
+  // fans out across GSIGHT_THREADS like the builder does.
+  std::vector<prof::ProfileRequest> missing;
   for (const auto& app :
        {wl::social_network(), wl::e_commerce(), wl::matmul(3.0 * cfg.sc_scale),
         wl::dd(3.0 * cfg.sc_scale), wl::video_processing(4.0 * cfg.sc_scale),
         wl::iot_collector()}) {
     if (!setup->store.contains(app.name)) {
-      setup->store.put(profiler.profile(app));
+      prof::ProfileRequest request;
+      request.app = app;
+      missing.push_back(std::move(request));
     }
+  }
+  const prof::ProfileStore profiled =
+      core::profile_all(cfg.profiler, missing, campaign_options());
+  for (const auto& [name, profile] : profiled.all()) {
+    setup->store.put(profile);
   }
 
   // --- Experiment configuration -------------------------------------------
@@ -95,38 +103,90 @@ inline std::unique_ptr<StudySetup> prepare_study(std::uint64_t seed = 2021) {
   ec.trace.diurnal_amplitude = 0.55;
   ec.autoscaler.tick_s = 5.0;
   ec.autoscaler.max_replicas = 24;
-  ec.seed = seed ^ 0xABCD;
+  ec.seed = stats::SeedStream::derive(seed, kExperimentSeedStream);
   return setup;
 }
 
-inline std::vector<sched::ExperimentReport> run_all_schedulers(
-    StudySetup& setup) {
-  sched::SchedulingExperiment experiment(&setup.store, setup.experiment);
-  experiment.set_sla_curve(setup.curve.get());
+/// Fresh Gsight IPC predictor trained on the study stream.
+inline std::unique_ptr<core::GsightPredictor> train_gsight(
+    const StudySetup& setup) {
+  auto predictor = std::make_unique<core::GsightPredictor>(setup.pcfg);
+  ml::Dataset train(predictor->encoder().dimension());
+  for (const auto& s : setup.stream) {
+    for (double l : s.labels) train.add(s.features, l);
+  }
+  predictor->train(train);
+  return predictor;
+}
 
-  std::vector<sched::ExperimentReport> reports;
-  {
-    // Gsight runs with its Figure 6 feedback loop: the predictor absorbs
-    // measured IPC under the live deployment every SLA window.
+/// Fresh Pythia baseline trained on the same stream.
+inline std::unique_ptr<baselines::PythiaPredictor> train_pythia(
+    const StudySetup& setup) {
+  auto predictor = std::make_unique<baselines::PythiaPredictor>();
+  for (const auto& s : setup.stream) {
+    for (double l : s.labels) predictor->observe(s.outcome.scenario, l);
+  }
+  predictor->flush();
+  return predictor;
+}
+
+/// The three §6.3 schedulers as replicate factories. Each replication
+/// trains its own predictor: the experiment's Figure 6 feedback loop
+/// mutates it, so replications (possibly parallel) must not share one.
+inline std::vector<sched::ReplicateFactory> study_factories(
+    const StudySetup& setup) {
+  std::vector<sched::ReplicateFactory> factories;
+  factories.push_back([&setup](std::size_t, std::uint64_t) {
+    auto predictor = train_gsight(setup);
     sched::GsightSchedulerConfig gc;
     gc.sla_margin = 0.85;
-    sched::GsightScheduler scheduler(setup.gsight_ipc.get(), gc);
-    reports.push_back(experiment.run(scheduler, setup.gsight_ipc.get()));
-  }
-  {
+    sched::Replicate r;
+    r.online = predictor.get();
+    r.scheduler =
+        std::make_unique<sched::GsightScheduler>(predictor.get(), gc);
+    r.keepalive = std::shared_ptr<core::GsightPredictor>(std::move(predictor));
+    return r;
+  });
+  factories.push_back([&setup](std::size_t, std::uint64_t) {
     // Same margin as Gsight: what differentiates the two is prediction
     // quality — Pythia's workload-level model both over-refuses safe
     // placements and over-admits harmful ones.
+    auto predictor = train_pythia(setup);
     sched::BestFitConfig bf;
     bf.sla_margin = 0.85;
-    sched::BestFitScheduler scheduler(setup.pythia_ipc.get(), bf);
-    reports.push_back(experiment.run(scheduler, setup.pythia_ipc.get()));
+    sched::Replicate r;
+    r.online = predictor.get();
+    r.scheduler =
+        std::make_unique<sched::BestFitScheduler>(predictor.get(), bf);
+    r.keepalive =
+        std::shared_ptr<baselines::PythiaPredictor>(std::move(predictor));
+    return r;
+  });
+  factories.push_back([](std::size_t, std::uint64_t) {
+    sched::Replicate r;
+    r.scheduler = std::make_unique<sched::WorstFitScheduler>();
+    return r;
+  });
+  return factories;
+}
+
+/// Run every scheduler as a `reps`-replication campaign (GSIGHT_REPS in
+/// the benches). Results come back in factory order: Gsight, Pythia
+/// BestFit, WorstFit.
+inline std::vector<sched::CampaignResult> run_all_campaigns(
+    StudySetup& setup, std::size_t reps,
+    const core::CampaignOptions& options = {}) {
+  sched::CampaignConfig cc;
+  cc.experiment = setup.experiment;
+  cc.replications = reps > 0 ? reps : 1;
+  cc.campaign = options;
+  sched::Campaign campaign(&setup.store, cc);
+  campaign.set_sla_curve(setup.curve.get());
+  std::vector<sched::CampaignResult> results;
+  for (const auto& factory : study_factories(setup)) {
+    results.push_back(campaign.run(factory));
   }
-  {
-    sched::WorstFitScheduler scheduler;
-    reports.push_back(experiment.run(scheduler));
-  }
-  return reports;
+  return results;
 }
 
 }  // namespace gsight::bench

@@ -5,6 +5,7 @@
 // Worst Fit spreader.
 #include <cstdio>
 
+#include "core/campaign.hpp"
 #include "core/trainer.hpp"
 #include "sched/experiment.hpp"
 #include "sched/gsight_scheduler.hpp"
@@ -31,20 +32,31 @@ int main() {
   core::PredictorConfig pcfg;
   pcfg.encoder = cfg.encoder;
   core::GsightPredictor predictor(pcfg);
-  const auto stream =
-      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc, 80);
+  core::BuildRequest request;
+  request.cls = core::ColocationClass::kLsScBg;
+  request.qos = core::QosKind::kIpc;
+  request.count = 80;
+  const auto stream = builder.build(request);
   ml::Dataset train(predictor.encoder().dimension());
   for (const auto& s : stream) {
     for (double l : s.labels) train.add(s.features, l);
   }
   predictor.train(train);
 
-  prof::SoloProfiler profiler(cfg.profiler);
+  std::vector<prof::ProfileRequest> missing;
   for (const auto& app :
        {wl::social_network(), wl::e_commerce(), wl::matmul(3.0 * cfg.sc_scale),
         wl::dd(3.0 * cfg.sc_scale), wl::video_processing(4.0 * cfg.sc_scale),
         wl::iot_collector()}) {
-    if (!store.contains(app.name)) store.put(profiler.profile(app));
+    if (!store.contains(app.name)) {
+      prof::ProfileRequest pr;
+      pr.app = app;
+      missing.push_back(std::move(pr));
+    }
+  }
+  const prof::ProfileStore profiled = core::profile_all(cfg.profiler, missing);
+  for (const auto& [name, profile] : profiled.all()) {
+    store.put(profile);
   }
 
   // --- 2. The experiment ---------------------------------------------------

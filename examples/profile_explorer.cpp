@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& app : apps) {
-    const auto profile = profiler.profile(app);
+    prof::ProfileRequest request;
+    request.app = app;
+    const auto profile = profiler.profile(request);
     std::printf("\n=== %s [%s] ===\n", profile.app_name.c_str(),
                 wl::to_string(app.cls).c_str());
     if (app.cls == wl::WorkloadClass::kLatencySensitive) {

@@ -3,10 +3,13 @@
 #   1. gsight_lint (determinism/hygiene linter) + its self-test
 #   2. clang-tidy over src/ (skipped with a notice when not installed)
 #   3. ASan+UBSan build + the entire ctest suite
-#   4. TSan build + the thread-pool / forest / trainer tests (the only
-#      multi-threaded code paths)
+#   4. TSan build + the thread-pool / forest / trainer / campaign tests
+#      (the only multi-threaded code paths)
 #   5. bench smoke: run bench_micro with RunReport enabled and validate
 #      the emitted BENCH_micro.json with tools/bench_schema_check
+#   6. campaign-equivalence: `gsight campaign` serial vs parallel sample
+#      dumps must be byte-identical (the determinism contract of
+#      core::CampaignRunner, DESIGN.md §9)
 #
 # Each stage gets its own build tree under build-check/ so the developer's
 # main build/ directory is never clobbered. Warnings are errors everywhere.
@@ -71,11 +74,11 @@ banner "TSan build + threaded tests"
 TSAN_DIR="$ROOT/build-check/tsan"
 configure_build "$TSAN_DIR" "-DGSIGHT_SANITIZE=thread"
 # The multi-threaded surface: ThreadPool itself plus its users (forest
-# training/inference, incremental models, trainer).
+# training/inference, incremental models, trainer, campaigns).
 ( cd "$TSAN_DIR" && \
   TSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|Forest|Incremental|Trainer' )
+        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign' )
 
 # --- 5. Bench smoke --------------------------------------------------------
 banner "bench smoke: bench_micro -> BENCH_micro.json -> bench_schema_check"
@@ -95,5 +98,21 @@ GSIGHT_BENCH_DIR="$SMOKE_DIR" "$BENCH_DIR/bench/bench_micro" \
 [[ -f "$SMOKE_DIR/BENCH_micro.json" ]] \
   || { echo "bench smoke: BENCH_micro.json was not written"; exit 1; }
 "$BENCH_DIR/tools/bench_schema_check" "$SMOKE_DIR/BENCH_micro.json"
+
+# --- 6. Campaign equivalence -----------------------------------------------
+banner "campaign-equivalence: serial vs parallel sample streams"
+cmake --build "$BENCH_DIR" -j "$JOBS" --target gsight_cli \
+      > "$BENCH_DIR.cli.log" 2>&1 || { tail -n 40 "$BENCH_DIR.cli.log"; exit 1; }
+EQ_DIR="$BENCH_DIR/campaign-eq"
+rm -rf "$EQ_DIR" && mkdir -p "$EQ_DIR"
+# Same seed, same scenario count; only the thread count differs. The dumps
+# are hexfloat-exact, so cmp catches any bit-level divergence.
+"$BENCH_DIR/tools/gsight" campaign --threads 1 --seed 4242 --count 8 \
+  --dump "$EQ_DIR/serial.dump" > /dev/null
+"$BENCH_DIR/tools/gsight" campaign --threads 8 --seed 4242 --count 8 \
+  --dump "$EQ_DIR/parallel.dump" > /dev/null
+cmp "$EQ_DIR/serial.dump" "$EQ_DIR/parallel.dump" \
+  || { echo "campaign-equivalence: serial/parallel dumps differ"; exit 1; }
+echo "serial and parallel campaign dumps are byte-identical"
 
 banner "all checks passed"

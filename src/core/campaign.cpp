@@ -1,0 +1,22 @@
+#include "core/campaign.hpp"
+
+namespace gsight::core {
+
+prof::ProfileStore profile_all(const prof::SoloProfilerConfig& config,
+                               const std::vector<prof::ProfileRequest>& apps,
+                               const CampaignOptions& options) {
+  CampaignRunner runner(options);
+  auto profiles = runner.map<prof::AppProfile>(
+      apps.size(), config.seed,
+      [&](std::size_t i, std::uint64_t seed) {
+        prof::SoloProfilerConfig task_config = config;
+        task_config.seed = seed;
+        task_config.use_default_trace_sink = false;
+        return prof::SoloProfiler(task_config).profile(apps[i]);
+      });
+  prof::ProfileStore store;
+  for (auto& profile : profiles) store.put(std::move(profile));
+  return store;
+}
+
+}  // namespace gsight::core

@@ -1,0 +1,100 @@
+// CampaignRunner — the fan-out layer behind every aggregate result in the
+// repo. A Gsight "campaign" is N independent seeded simulations (dataset
+// scenarios, solo profiles, multi-seed scheduling replications) whose
+// outputs are consumed as an ordered stream. The runner executes the
+// tasks across ml::ThreadPool and guarantees the parallel output is
+// bit-identical to serial execution:
+//
+//   * every task i receives its own seed stats::SeedStream::derive(root, i)
+//     — no task ever draws from another task's stream, so execution order
+//     cannot leak into the results;
+//   * results land in slot i of the output vector regardless of which
+//     worker finishes first;
+//   * tasks must not touch shared mutable state (the compiler cannot check
+//     this; the twin-run ctest and the check.sh campaign-equivalence stage
+//     do).
+//
+// Campaign workers run their platforms with use_default_trace_sink off:
+// per-request span traces from concurrent simulations would interleave
+// nondeterministically in the process-wide sink. Campaigns are traced at
+// task granularity (progress callback) instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "ml/thread_pool.hpp"
+#include "profiling/profile.hpp"
+#include "profiling/solo_profiler.hpp"
+#include "stats/seed_stream.hpp"
+
+namespace gsight::core {
+
+/// How a campaign executes — shared by every request struct that fans out
+/// (core::BuildRequest, sched::CampaignConfig, the gsight CLI).
+struct CampaignOptions {
+  /// Worker threads: 0 = one per hardware thread, 1 = serial (inline on
+  /// the calling thread). Any value yields bit-identical results; threads
+  /// only trade wall-clock. Benches default this from $GSIGHT_THREADS.
+  std::size_t threads = 0;
+  /// Root seed for per-task derivation where the owning API does not
+  /// supply one. 0 means "let the owner pick" (e.g. DatasetBuilder draws
+  /// the root from its own stream so successive builds stay independent).
+  std::uint64_t root_seed = 0;
+  /// Invoked after each task completes, serialised under a mutex, with
+  /// (tasks done, tasks total). Completion order is nondeterministic —
+  /// treat this as progress telemetry, never as data.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {})
+      : options_(std::move(options)) {}
+
+  const CampaignOptions& options() const { return options_; }
+
+  /// Run task(i, derive(root, i)) for i in [0, n) and collect the results
+  /// by index. R must be default-constructible and movable. The first
+  /// exception thrown by any task is rethrown after the fan-out drains.
+  template <typename R>
+  std::vector<R> map(
+      std::size_t n, std::uint64_t root,
+      const std::function<R(std::size_t, std::uint64_t)>& task) {
+    std::vector<R> results(n);
+    const stats::SeedStream seeds(root);
+    std::size_t done = 0;
+    std::mutex progress_mutex;
+    auto body = [&](std::size_t i) {
+      results[i] = task(i, seeds.derive(i));
+      if (options_.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options_.progress(++done, n);
+      }
+    };
+    if (options_.threads == 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    } else {
+      ml::ThreadPool pool(options_.threads);
+      pool.parallel_for(n, body);
+    }
+    return results;
+  }
+
+ private:
+  CampaignOptions options_;
+};
+
+/// Solo-profile every request across the pool. Bit-identical to
+/// prof::SoloProfiler::profile_all (both honour the per-index seed
+/// contract: request i runs under derive(config.seed, i)); this is the
+/// entry point the benches use so M+N profiling runs cost max(solo) wall-
+/// clock instead of sum(solo). Lives here rather than in prof:: because
+/// the campaign layer sits above profiling in the dependency order.
+prof::ProfileStore profile_all(const prof::SoloProfilerConfig& config,
+                               const std::vector<prof::ProfileRequest>& apps,
+                               const CampaignOptions& options = {});
+
+}  // namespace gsight::core

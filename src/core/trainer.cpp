@@ -22,10 +22,11 @@ std::string ensure_profile(prof::ProfileStore& store, const wl::App& app,
   const bool ls = app.cls == wl::WorkloadClass::kLatencySensitive;
   const std::string key = ls ? profile_key(app.name, qps) : app.name;
   if (store.contains(key)) return key;
-  prof::SoloProfilerConfig pc = cfg;
-  if (ls && qps > 0.0) pc.ls_qps = qps;
-  prof::SoloProfiler profiler(pc);
-  prof::AppProfile profile = profiler.profile(app);
+  prof::SoloProfiler profiler(cfg);
+  prof::ProfileRequest request;
+  request.app = app;
+  if (ls && qps > 0.0) request.qps = qps;
+  prof::AppProfile profile = profiler.profile(request);
   profile.app_name = key;  // stored under the composite key
   store.put(std::move(profile));
   return key;
@@ -62,9 +63,9 @@ RunOutcome ScenarioRunner::run(const ScenarioSpec& spec) {
   out.scenario = describe(spec);
 
   sim::PlatformConfig pc;
-  pc.servers = config_.servers;
-  pc.server = config_.server;
-  pc.interference = config_.interference;
+  // Copy the whole cluster slice (shape, interference, trace-sink policy)
+  // so campaign workers inherit use_default_trace_sink = false.
+  static_cast<sim::ClusterSpec&>(pc) = config_;
   pc.seed = rng_.next();
   // Scenario measurement assumes warm instances (cold-start interference is
   // studied separately through profiles that include the startup phase).
@@ -298,35 +299,58 @@ ScenarioSpec DatasetBuilder::sample_spec(ColocationClass cls) {
   return spec;
 }
 
-std::vector<ScenarioSamples> DatasetBuilder::build(ColocationClass cls,
-                                                   QosKind qos,
-                                                   std::size_t scenario_count) {
-  std::vector<ScenarioSamples> out;
-  out.reserve(scenario_count);
-  RunnerConfig rc = config_.runner;
-  rc.seed = rng_.next();
-  ScenarioRunner runner(store_, rc);
-  for (std::size_t i = 0; i < scenario_count; ++i) {
-    const ScenarioSpec spec = sample_spec(cls);
-    RunOutcome outcome = runner.run(spec);
-    ScenarioSamples s;
-    s.features = encoder_.encode(outcome.scenario);
-    switch (qos) {
-      case QosKind::kIpc:
-        if (!outcome.window_ipc.empty()) {
-          s.labels = outcome.window_ipc;
-        } else if (outcome.mean_ipc > 0.0) {
-          s.labels.push_back(outcome.mean_ipc);
+std::vector<ScenarioSamples> DatasetBuilder::build(const BuildRequest& request) {
+  // Phase 1 (serial): sample the specs. This draws from the builder's own
+  // stream and profiles unseen apps into the store, so it must not fan
+  // out — and it is cheap next to the simulation runs.
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(request.count);
+  for (std::size_t i = 0; i < request.count; ++i) {
+    specs.push_back(sample_spec(request.cls));
+  }
+  // One root per build() call keeps successive builds on one builder
+  // independent; deriving per-scenario seeds from it (instead of a shared
+  // runner Rng advanced run-to-run) is what decouples the tasks.
+  const std::uint64_t root = request.campaign.root_seed != 0
+                                 ? request.campaign.root_seed
+                                 : rng_.next();
+
+  // Phase 2 (parallel): execute + encode. Each task reads the shared
+  // profile store and encoder (both const here) and touches nothing else.
+  CampaignRunner campaign(request.campaign);
+  const QosKind qos = request.qos;
+  auto runs = campaign.map<ScenarioSamples>(
+      specs.size(), root, [&](std::size_t i, std::uint64_t seed) {
+        RunnerConfig rc = config_.runner;
+        rc.seed = seed;
+        rc.use_default_trace_sink = false;
+        ScenarioRunner runner(store_, rc);
+        RunOutcome outcome = runner.run(specs[i]);
+        ScenarioSamples s;
+        s.features = encoder_.encode(outcome.scenario);
+        switch (qos) {
+          case QosKind::kIpc:
+            if (!outcome.window_ipc.empty()) {
+              s.labels = outcome.window_ipc;
+            } else if (outcome.mean_ipc > 0.0) {
+              s.labels.push_back(outcome.mean_ipc);
+            }
+            break;
+          case QosKind::kTailLatency:
+            s.labels = outcome.window_p99;
+            break;
+          case QosKind::kJct:
+            if (outcome.jct_s > 0.0) s.labels.push_back(outcome.jct_s);
+            break;
         }
-        break;
-      case QosKind::kTailLatency:
-        s.labels = outcome.window_p99;
-        break;
-      case QosKind::kJct:
-        if (outcome.jct_s > 0.0) s.labels.push_back(outcome.jct_s);
-        break;
-    }
-    s.outcome = std::move(outcome);
+        s.outcome = std::move(outcome);
+        return s;
+      });
+
+  // Phase 3 (serial): drop label-less scenarios, preserving index order.
+  std::vector<ScenarioSamples> out;
+  out.reserve(runs.size());
+  for (auto& s : runs) {
     if (!s.labels.empty()) out.push_back(std::move(s));
   }
   return out;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/encoder.hpp"
 #include "core/predictor.hpp"
 #include "ml/dataset.hpp"
@@ -17,16 +18,16 @@
 
 namespace gsight::core {
 
-struct RunnerConfig {
-  std::size_t servers = 8;
-  sim::ServerConfig server = sim::ServerConfig::tianjin_testbed();
-  sim::InterferenceParams interference;
+/// Cluster shape and root seed live in the embedded sim::ClusterSpec;
+/// the fields below are measurement-protocol knobs.
+struct RunnerConfig : sim::ClusterSpec {
+  RunnerConfig() { seed = 2024; }
+
   double warmup_s = 5.0;        ///< LS: discard this prefix
   double ls_measure_s = 30.0;   ///< LS: measurement span after warmup
   double label_window_s = 5.0;  ///< bucket width for per-window labels
   /// SC horizon cap as a multiple of the solo JCT (plus slack).
   double sc_horizon_factor = 6.0;
-  std::uint64_t seed = 2024;
 };
 
 /// A scenario to *execute* (concrete apps + load), as opposed to
@@ -109,15 +110,43 @@ struct ScenarioSamples {
   RunOutcome outcome;
 };
 
+/// What to build: the entry-point request struct that replaced the old
+/// positional build(cls, qos, count) signature. `campaign` controls the
+/// fan-out (threads, progress); thread count never changes the returned
+/// stream, only the wall-clock.
+struct BuildRequest {
+  ColocationClass cls = ColocationClass::kLsScBg;
+  QosKind qos = QosKind::kIpc;
+  std::size_t count = 0;
+  CampaignOptions campaign;
+};
+
 class DatasetBuilder {
  public:
   DatasetBuilder(prof::ProfileStore* store, BuilderConfig config,
                  std::uint64_t seed = 7);
 
-  /// Sample and execute `scenario_count` random scenarios of the class and
-  /// return per-scenario samples labelled with `qos`.
+  /// Sample and execute `request.count` random scenarios of the class and
+  /// return per-scenario samples labelled with `request.qos`, in sampling
+  /// order. Scenario sampling and on-demand profiling stay serial (they
+  /// advance the builder's own stream and mutate the store); the
+  /// simulation runs fan out across `request.campaign.threads` with
+  /// per-scenario seeds derived from one root, so the stream is
+  /// bit-identical whatever the thread count. The root is drawn from the
+  /// builder's stream unless `request.campaign.root_seed` pins it.
+  std::vector<ScenarioSamples> build(const BuildRequest& request);
+
+  /// Deprecated positional shim (one PR of grace; pass a BuildRequest).
+  [[deprecated("pass a BuildRequest")]]
   std::vector<ScenarioSamples> build(ColocationClass cls, QosKind qos,
-                                     std::size_t scenario_count);
+                                     std::size_t scenario_count) {
+    BuildRequest request;
+    request.cls = cls;
+    request.qos = qos;
+    request.count = scenario_count;
+    request.campaign.threads = 1;
+    return build(request);
+  }
 
   /// Draw a random executable spec of the class (exposed for benches that
   /// need matched train/deploy distributions).

@@ -1,15 +1,18 @@
 #include "profiling/solo_profiler.hpp"
 
+#include "stats/seed_stream.hpp"
 #include "stats/summary.hpp"
 
 namespace gsight::prof {
 
-AppProfile SoloProfiler::profile(const wl::App& app) const {
+AppProfile SoloProfiler::profile(const ProfileRequest& request) const {
+  const wl::App& app = request.app;
   sim::PlatformConfig pc;
   pc.servers = app.function_count();
   pc.server = config_.server;
   pc.interference = config_.interference;
   pc.seed = config_.seed;
+  pc.use_default_trace_sink = config_.use_default_trace_sink;
   if (!config_.include_cold_start) {
     // Warm profile: make startup free so it never pollutes the metrics.
     pc.instance.startup_cores = 0.0;
@@ -34,7 +37,10 @@ AppProfile SoloProfiler::profile(const wl::App& app) const {
 
   const double t0 = platform.now();
   if (app.cls == wl::WorkloadClass::kLatencySensitive) {
-    const double qps = config_.ls_qps > 0.0 ? config_.ls_qps : app.default_qps;
+    const double qps = request.qps > 0.0
+                           ? request.qps
+                           : (config_.ls_qps > 0.0 ? config_.ls_qps
+                                                   : app.default_qps);
     platform.set_open_loop(id, qps);
     platform.run_until(t0 + config_.ls_profile_s);
     platform.set_open_loop(id, 0.0);
@@ -101,9 +107,16 @@ AppProfile SoloProfiler::profile(const wl::App& app) const {
   return out;
 }
 
-ProfileStore SoloProfiler::profile_all(const std::vector<wl::App>& apps) const {
+ProfileStore SoloProfiler::profile_all(
+    const std::vector<ProfileRequest>& requests) const {
+  // Per-index derived seeds — the same derivation core::profile_all uses
+  // for its parallel tasks, which is what makes the two bit-identical.
   ProfileStore store;
-  for (const auto& app : apps) store.put(profile(app));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    SoloProfilerConfig task_config = config_;
+    task_config.seed = stats::SeedStream::derive(config_.seed, i);
+    store.put(SoloProfiler(task_config).profile(requests[i]));
+  }
   return store;
 }
 

@@ -4,6 +4,12 @@
 // and BG apps run once, and the recorder's exact time-weighted integrals
 // become the profile. Cost is O(M + N) solo runs, the paper's headline
 // advantage over pairwise or microbenchmark profiling.
+//
+// Entry points take a ProfileRequest (what to profile, at which rate)
+// rather than positional arguments; batch profiling follows the seed
+// contract of DESIGN.md §9 — request i runs under SeedStream::derive(
+// config.seed, i) — so core::profile_all can fan the same batch across
+// threads with bit-identical results.
 #pragma once
 
 #include "profiling/profile.hpp"
@@ -16,7 +22,8 @@ struct SoloProfilerConfig {
   /// minutes" in the paper; shorter keeps benches fast and is plenty for
   /// converged means).
   double ls_profile_s = 60.0;
-  /// Override for the LS request rate; 0 uses the app's default_qps.
+  /// Override for the LS request rate; 0 uses the app's default_qps. A
+  /// per-request qps takes precedence over both.
   double ls_qps = 0.0;
   /// Whether cold starts are part of the profile (§5.2: if invocations may
   /// hit cold starts in production, profile with the startup phase).
@@ -24,16 +31,45 @@ struct SoloProfilerConfig {
   sim::ServerConfig server = sim::ServerConfig::tianjin_testbed();
   sim::InterferenceParams interference;
   std::uint64_t seed = 99;
+  /// Cleared by campaign workers (core::profile_all) so concurrent
+  /// profiling runs never race on the process-wide default trace sink.
+  bool use_default_trace_sink = true;
+};
+
+/// One profiling task: the app plus its request-rate operating point.
+struct ProfileRequest {
+  wl::App app;
+  /// LS driving rate for this profile; 0 falls back to config.ls_qps,
+  /// then to the app's default_qps. Ignored for SC/BG apps.
+  double qps = 0.0;
 };
 
 class SoloProfiler {
  public:
   explicit SoloProfiler(SoloProfilerConfig config = {}) : config_(config) {}
 
-  /// Profile one app: fresh platform, one dedicated server per function.
-  AppProfile profile(const wl::App& app) const;
-  /// Profile many apps into a store.
-  ProfileStore profile_all(const std::vector<wl::App>& apps) const;
+  /// Profile one request: fresh platform, one dedicated server per
+  /// function.
+  AppProfile profile(const ProfileRequest& request) const;
+  /// Profile a batch serially under per-index derived seeds. For the
+  /// parallel equivalent (identical output), see core::profile_all.
+  ProfileStore profile_all(const std::vector<ProfileRequest>& requests) const;
+
+  /// Deprecated positional shims (one PR of grace; migrate to the
+  /// request-struct overloads above).
+  [[deprecated("pass a ProfileRequest")]]
+  AppProfile profile(const wl::App& app) const {
+    return profile(ProfileRequest{app});
+  }
+  [[deprecated("pass ProfileRequests")]]
+  ProfileStore profile_all(const std::vector<wl::App>& apps) const {
+    std::vector<ProfileRequest> requests;
+    requests.reserve(apps.size());
+    for (const auto& app : apps) requests.push_back({app, 0.0});
+    return profile_all(requests);
+  }
+
+  const SoloProfilerConfig& config() const { return config_; }
 
  private:
   SoloProfilerConfig config_;

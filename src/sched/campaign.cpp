@@ -1,0 +1,147 @@
+#include "sched/campaign.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace gsight::sched {
+
+namespace {
+
+MetricSummary summarise(std::string name, std::string unit,
+                        std::vector<double> values) {
+  MetricSummary s;
+  s.name = std::move(name);
+  s.unit = std::move(unit);
+  s.mean = stats::mean(values);
+  s.stddev = stats::stddev(values);
+  const auto n = static_cast<double>(values.size());
+  s.ci95 = n > 0.0 ? 1.96 * s.stddev / std::sqrt(n) : 0.0;
+  s.values = std::move(values);
+  return s;
+}
+
+/// Collect `get(report)` across all replications into one summary.
+template <typename Fn>
+MetricSummary collect(const std::vector<ExperimentReport>& reports,
+                      std::string name, std::string unit, Fn get) {
+  std::vector<double> values;
+  values.reserve(reports.size());
+  for (const auto& r : reports) values.push_back(get(r));
+  return summarise(std::move(name), std::move(unit), std::move(values));
+}
+
+}  // namespace
+
+const MetricSummary* CampaignResult::find(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void CampaignResult::write_into(obs::RunReport& report,
+                                const std::string& prefix) const {
+  for (const auto& m : metrics) {
+    report.add_result(prefix + m.name + ".mean", m.mean, m.unit);
+    report.add_result(prefix + m.name + ".ci95", m.ci95, m.unit);
+  }
+  obs::Json reps = obs::Json::object();
+  reps.set("scheduler", scheduler);
+  reps.set("replications", static_cast<std::uint64_t>(replications));
+  obs::Json per_metric = obs::Json::object();
+  for (const auto& m : metrics) {
+    obs::Json values = obs::Json::array();
+    for (double v : m.values) values.push_back(v);
+    per_metric.set(m.name, std::move(values));
+  }
+  reps.set("values", std::move(per_metric));
+  report.add_series(prefix + "replications", std::move(reps));
+}
+
+Campaign::Campaign(const prof::ProfileStore* store, CampaignConfig config)
+    : store_(store), config_(std::move(config)) {
+  assert(store_ != nullptr);
+}
+
+CampaignResult Campaign::run(const ReplicateFactory& make) const {
+  if (!make) {
+    throw std::invalid_argument("Campaign: null replicate factory");
+  }
+  const std::size_t reps = config_.replications > 0 ? config_.replications : 1;
+
+  core::CampaignRunner runner(config_.campaign);
+  auto reports = runner.map<ExperimentReport>(
+      reps, config_.experiment.seed,
+      [&](std::size_t rep, std::uint64_t seed) {
+        ExperimentConfig ec = config_.experiment;
+        ec.seed = seed;
+        // Campaign workers must not race on the process-default sink; an
+        // explicitly configured ec.trace_sink still applies.
+        ec.use_default_trace_sink = false;
+        Replicate r = make(rep, seed);
+        if (r.scheduler == nullptr) {
+          throw std::invalid_argument("Campaign: factory returned no scheduler");
+        }
+        SchedulingExperiment experiment(store_, ec);
+        if (curve_ != nullptr) experiment.set_sla_curve(curve_);
+        return experiment.run(*r.scheduler, r.online);
+      });
+
+  CampaignResult result;
+  result.replications = reports.size();
+  result.reports = std::move(reports);
+  if (!result.reports.empty()) {
+    result.scheduler = result.reports.front().scheduler;
+  }
+  const auto& rs = result.reports;
+  result.metrics.push_back(collect(rs, "mean_density", "inst/core",
+                                   [](const ExperimentReport& r) {
+                                     return r.mean_density();
+                                   }));
+  result.metrics.push_back(collect(rs, "cpu_utilization", "frac",
+                                   [](const ExperimentReport& r) {
+                                     return r.mean_cpu_util();
+                                   }));
+  result.metrics.push_back(collect(rs, "mem_utilization", "frac",
+                                   [](const ExperimentReport& r) {
+                                     return r.mean_mem_util();
+                                   }));
+  result.metrics.push_back(collect(
+      rs, "requests_completed", "count", [](const ExperimentReport& r) {
+        return static_cast<double>(r.requests_completed);
+      }));
+  result.metrics.push_back(collect(
+      rs, "requests_failed", "count", [](const ExperimentReport& r) {
+        return static_cast<double>(r.requests_failed);
+      }));
+  result.metrics.push_back(collect(
+      rs, "jobs_completed", "count", [](const ExperimentReport& r) {
+        return static_cast<double>(r.jobs_completed);
+      }));
+  result.metrics.push_back(collect(
+      rs, "cold_starts", "count", [](const ExperimentReport& r) {
+        return static_cast<double>(r.cold_starts);
+      }));
+  // Per-app SLA satisfaction: every replication runs the same app list, so
+  // index i names the same app in each report.
+  if (!rs.empty()) {
+    for (std::size_t i = 0; i < rs.front().sla.size(); ++i) {
+      result.metrics.push_back(collect(
+          rs, "sla_satisfied." + rs.front().sla[i].app, "frac",
+          [i](const ExperimentReport& r) {
+            return r.sla.at(i).satisfied_fraction;
+          }));
+      result.metrics.push_back(collect(
+          rs, "p99_latency." + rs.front().sla[i].app, "s",
+          [i](const ExperimentReport& r) {
+            return r.sla.at(i).overall_p99_s;
+          }));
+    }
+  }
+  return result;
+}
+
+}  // namespace gsight::sched

@@ -1,0 +1,96 @@
+// sched::Campaign — multi-replication SchedulingExperiment driver. The
+// paper's §6.3 cluster numbers are means over repeated runs; a Campaign
+// executes R independent replications of one experiment (per-replication
+// seeds derived from the experiment seed, fanned out across a
+// core::CampaignRunner) and condenses them into mean ± 95% CI summaries
+// merged into a single obs::RunReport. The merged report is bit-identical
+// whatever the thread count.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "obs/run_report.hpp"
+#include "sched/experiment.hpp"
+
+namespace gsight::sched {
+
+/// One replication's scheduler under test. Built fresh per replication by
+/// the factory: schedulers and online predictors carry mutable state
+/// (incremental learning), so replications must not share them.
+struct Replicate {
+  std::unique_ptr<Scheduler> scheduler;
+  /// Optional online predictor fed by the experiment's feedback loop; must
+  /// be the predictor the scheduler consults. Owned via `keepalive`.
+  core::ScenarioPredictor* online = nullptr;
+  /// Owns whatever `scheduler`/`online` point into (predictor, model…);
+  /// released when the replication finishes.
+  std::shared_ptr<void> keepalive;
+};
+
+/// Factory invoked once per replication with the replication index and its
+/// derived seed (stats::SeedStream::derive(experiment.seed, rep)).
+using ReplicateFactory =
+    std::function<Replicate(std::size_t rep, std::uint64_t seed)>;
+
+struct CampaignConfig {
+  /// Template for every replication; `experiment.seed` is the campaign
+  /// root from which per-replication seeds are derived.
+  ExperimentConfig experiment;
+  std::size_t replications = 3;
+  /// Fan-out control (threads, progress). Thread count never changes the
+  /// merged report, only the wall-clock.
+  core::CampaignOptions campaign;
+};
+
+/// Mean ± CI of one scalar metric over the replications.
+struct MetricSummary {
+  std::string name;
+  std::string unit;
+  double mean = 0.0;
+  double stddev = 0.0;          ///< sample stddev (n-1); 0 for R < 2
+  double ci95 = 0.0;            ///< 1.96 * stddev / sqrt(R) half-width
+  std::vector<double> values;   ///< per-replication values, in rep order
+};
+
+struct CampaignResult {
+  std::string scheduler;
+  std::size_t replications = 0;
+  std::vector<ExperimentReport> reports;  ///< per replication, in order
+  std::vector<MetricSummary> metrics;
+
+  /// Lookup by metric name; nullptr when absent.
+  const MetricSummary* find(const std::string& name) const;
+  /// Merge into a RunReport: "<prefix><name>.mean" / ".ci95" result rows
+  /// plus a "<prefix>replications" series with the per-rep values.
+  void write_into(obs::RunReport& report, const std::string& prefix = "") const;
+};
+
+class Campaign {
+ public:
+  /// Same store contract as SchedulingExperiment; the store must outlive
+  /// the campaign.
+  Campaign(const prof::ProfileStore* store, CampaignConfig config);
+
+  /// Run `config.replications` independent replications, each on a fresh
+  /// scheduler from `make`, and summarise. Campaign workers never fall
+  /// back to the process-default trace sink (an explicit
+  /// experiment.trace_sink is still honoured).
+  CampaignResult run(const ReplicateFactory& make) const;
+
+  /// Forwarded to every replication's experiment (see
+  /// SchedulingExperiment::set_sla_curve).
+  void set_sla_curve(const core::LatencyIpcCurve* curve) { curve_ = curve; }
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  const prof::ProfileStore* store_;
+  CampaignConfig config_;
+  const core::LatencyIpcCurve* curve_ = nullptr;
+};
+
+}  // namespace gsight::sched

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "stats/seed_stream.hpp"
 #include "stats/summary.hpp"
 #include "workloads/ecommerce.hpp"
 #include "workloads/functionbench.hpp"
@@ -10,6 +11,13 @@
 #include "workloads/sparkapps.hpp"
 
 namespace gsight::sched {
+
+namespace {
+/// Named sub-streams of the experiment seed (DESIGN.md §9). The Azure
+/// trace generators take kTraceStreamBase + app index.
+constexpr std::uint64_t kPolicyRngStream = 1;
+constexpr std::uint64_t kTraceStreamBase = 16;
+}  // namespace
 
 double ExperimentReport::mean_density() const {
   return stats::mean(density_samples);
@@ -33,15 +41,13 @@ ExperimentReport SchedulingExperiment::run(Scheduler& scheduler,
   report.scheduler = scheduler.name();
 
   sim::PlatformConfig pc;
-  pc.servers = config_.servers;
-  pc.server = config_.server;
-  pc.interference = config_.interference;
+  // Copy the whole cluster slice (shape, seed, trace-sink policy) so
+  // campaign replications inherit use_default_trace_sink = false.
+  static_cast<sim::ClusterSpec&>(pc) = config_;
   pc.gateway = config_.gateway;
-  pc.seed = config_.seed;
-  pc.trace_sink = config_.trace_sink;
   pc.instance.idle_expiry_s = 60.0;  // Azure-style keep-alive (compressed)
   sim::Platform platform(pc);
-  stats::Rng rng(config_.seed ^ 0xD1CE);
+  stats::Rng rng(stats::SeedStream::derive(config_.seed, kPolicyRngStream));
   (void)rng;  // reserved for stochastic policies
 
   // --- Deployment state shared between scheduler and autoscaler hooks ----
@@ -137,7 +143,8 @@ ExperimentReport SchedulingExperiment::run(Scheduler& scheduler,
     tc.base_qps = config_.trace.base_qps * weights[i] *
                   static_cast<double>(ls_apps.size());
     tc.phase_shift = 0.7 * static_cast<double>(i);
-    traces.emplace_back(tc, config_.seed + i);
+    traces.emplace_back(
+        tc, stats::SeedStream::derive(config_.seed, kTraceStreamBase + i));
     const wl::AzureTraceGenerator* gen = &traces.back();
     const double peak = tc.base_qps * (1.0 + tc.diurnal_amplitude) *
                         (1.0 + tc.weekly_amplitude);

@@ -12,14 +12,16 @@
 #include "profiling/profile.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/autoscaler.hpp"
+#include "sim/cluster_spec.hpp"
 #include "workloads/azure_trace.hpp"
 
 namespace gsight::sched {
 
-struct ExperimentConfig {
-  std::size_t servers = 8;
-  sim::ServerConfig server = sim::ServerConfig::tianjin_testbed();
-  sim::InterferenceParams interference;
+/// Cluster shape, root seed and trace sink live in the embedded
+/// sim::ClusterSpec; the fields below are study-protocol knobs.
+struct ExperimentConfig : sim::ClusterSpec {
+  ExperimentConfig() { seed = 31337; }
+
   sim::GatewayConfig gateway;
   sim::AutoscalerConfig autoscaler;
   wl::AzureTraceConfig trace;
@@ -35,10 +37,6 @@ struct ExperimentConfig {
   double sla_budget = 4.0;
   /// Time scale of the SC job pool.
   double sc_scale = 0.08;
-  std::uint64_t seed = 31337;
-  /// Optional span-trace sink, forwarded to the platform (nullptr: the
-  /// process default sink, usually null — tracing off).
-  obs::TraceSink* trace_sink = nullptr;
 };
 
 struct AppSlaReport {

@@ -3,8 +3,15 @@
 #include <memory>
 
 #include "core/contracts.hpp"
+#include "stats/seed_stream.hpp"
 
 namespace gsight::sim {
+
+namespace {
+/// Named sub-stream of the instance's seed (DESIGN.md §9): the latency
+/// reservoir must sample independently of the jitter Rng.
+constexpr std::uint64_t kLatencyReservoirStream = 1;
+}  // namespace
 
 Instance::Instance(std::uint64_t id, std::size_t app, std::size_t fn,
                    const wl::FunctionSpec* spec, Server* server, Engine* engine,
@@ -17,7 +24,8 @@ Instance::Instance(std::uint64_t id, std::size_t app, std::size_t fn,
       engine_(engine),
       config_(config),
       rng_(seed),
-      latencies_(4096, seed ^ 0xBEEF) {
+      latencies_(4096,
+                 stats::SeedStream::derive(seed, kLatencyReservoirStream)) {
   server_->add_resident(spec_->mem_alloc_gb);
 }
 

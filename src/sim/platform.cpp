@@ -34,6 +34,7 @@ Platform::Platform(PlatformConfig config)
       model_(config.interference),
       recorder_(config.metric_window_s),
       rng_(config.seed) {
+  config_.validate();
   std::vector<ServerConfig> servers(config_.servers, config_.server);
   cluster_ = std::make_unique<Cluster>(&engine_, &model_, servers, &recorder_,
                                        rng_.next());
@@ -42,8 +43,11 @@ Platform::Platform(PlatformConfig config)
       [this] { return cluster_->total_backlog(); });
   gateway_->set_instance_count_source(
       [this] { return cluster_->total_instances(); });
-  tracer_.set_sink(config_.trace_sink != nullptr ? config_.trace_sink
-                                                 : obs::default_trace_sink());
+  tracer_.set_sink(config_.trace_sink != nullptr
+                       ? config_.trace_sink
+                       : (config_.use_default_trace_sink
+                              ? obs::default_trace_sink()
+                              : nullptr));
   cluster_->set_tracer(&tracer_);
   gateway_->set_observability(
       &tracer_, &metrics_.counter("gateway.forwards"),

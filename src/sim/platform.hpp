@@ -12,6 +12,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/cluster.hpp"
+#include "sim/cluster_spec.hpp"
 #include "sim/gateway.hpp"
 #include "sim/recorder.hpp"
 #include "sim/request.hpp"
@@ -19,18 +20,13 @@
 
 namespace gsight::sim {
 
-struct PlatformConfig {
-  std::size_t servers = 8;
-  ServerConfig server = ServerConfig::tianjin_testbed();
+/// Cluster shape, seed and trace sink come from the embedded ClusterSpec
+/// (validated in the Platform constructor); the fields below are the
+/// platform-only knobs.
+struct PlatformConfig : ClusterSpec {
   GatewayConfig gateway;
-  InterferenceParams interference;
   InstanceConfig instance;
   double metric_window_s = 1.0;
-  std::uint64_t seed = 1234;
-  /// Trace sink for the platform's span tracer. nullptr falls back to
-  /// obs::default_trace_sink() (set by the bench harness from
-  /// $GSIGHT_TRACE), which is itself null by default — tracing off.
-  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Per-app QoS bookkeeping.

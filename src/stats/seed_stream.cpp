@@ -1,0 +1,25 @@
+#include "stats/seed_stream.hpp"
+
+namespace gsight::stats {
+
+namespace {
+
+/// SplitMix64 finaliser (Steele, Lea & Flood): bijective on 64-bit words
+/// with full avalanche, the same mixer Rng::reseed uses for state setup.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t SeedStream::derive(std::uint64_t root, std::uint64_t index) {
+  // Mix the root before folding in the index so low-entropy roots (0, 1,
+  // 2...) do not produce correlated child lattices, then mix again so
+  // consecutive indices land in unrelated regions of seed space.
+  return mix(mix(root) ^ (index * 0xD1B54A32D192ED03ULL));
+}
+
+}  // namespace gsight::stats

@@ -1,0 +1,42 @@
+// SeedStream — the repo's single seed-derivation primitive. Every place
+// that needs "the i-th independent random stream under root seed R"
+// (parallel campaign tasks, per-trace generators, per-subsystem Rngs)
+// derives it as SeedStream::derive(R, i) instead of ad-hoc arithmetic like
+// `R + i` or `R ^ 0xBEEF`. Ad-hoc offsets are dangerous twice over: two
+// sites that pick overlapping offsets silently share streams, and
+// low-entropy roots (0, 1, 2...) keep their correlation through xor/add.
+// derive() runs both operands through the SplitMix64 finaliser, so any
+// (root, index) pair yields a well-mixed 64-bit seed and distinct pairs
+// collide only at the 2^-64 birthday rate.
+//
+// Contract (DESIGN.md §9): a component that owns a root seed derives
+//   * index streams with derive(root, i) for array-like children, and
+//   * named sub-streams with derive(root, kTag) for fixed constants kTag,
+// never reusing an index. Derivation is pure — safe to call concurrently
+// and guaranteed identical between serial and parallel execution orders.
+#pragma once
+
+#include <cstdint>
+
+namespace gsight::stats {
+
+class SeedStream {
+ public:
+  explicit SeedStream(std::uint64_t root) : root_(root) {}
+
+  std::uint64_t root() const { return root_; }
+
+  /// The i-th child seed of this stream's root.
+  std::uint64_t derive(std::uint64_t index) const {
+    return derive(root_, index);
+  }
+
+  /// Pure SplitMix64-style derivation: mix(root) xor-folded with the
+  /// index, mixed again. Stateless and order-independent.
+  static std::uint64_t derive(std::uint64_t root, std::uint64_t index);
+
+ private:
+  std::uint64_t root_;
+};
+
+}  // namespace gsight::stats

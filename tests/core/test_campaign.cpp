@@ -1,0 +1,192 @@
+// core::CampaignRunner — deterministic parallel fan-out. The load-bearing
+// property is bit-identity: a campaign's output stream must not depend on
+// the thread count, only on the root seed. The twin-run tests execute the
+// same work serially and on a pool and compare every double bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/trainer.hpp"
+#include "stats/seed_stream.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/suite.hpp"
+
+namespace gsight::core {
+namespace {
+
+TEST(CampaignRunner, ResultsArriveInIndexOrderWithDerivedSeeds) {
+  CampaignOptions options;
+  options.threads = 4;
+  CampaignRunner runner(options);
+  const std::uint64_t root = 77;
+  const auto out = runner.map<std::pair<std::size_t, std::uint64_t>>(
+      32, root, [](std::size_t i, std::uint64_t seed) {
+        return std::make_pair(i, seed);
+      });
+  ASSERT_EQ(out.size(), 32u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].first, i);
+    EXPECT_EQ(out[i].second, stats::SeedStream::derive(root, i));
+  }
+}
+
+TEST(CampaignRunner, SerialAndParallelMapsAgree) {
+  auto task = [](std::size_t i, std::uint64_t seed) {
+    return static_cast<double>(seed % 1000003) + static_cast<double>(i);
+  };
+  CampaignOptions serial;
+  serial.threads = 1;
+  CampaignOptions parallel;
+  parallel.threads = 8;
+  const auto a = CampaignRunner(serial).map<double>(100, 5, task);
+  const auto b = CampaignRunner(parallel).map<double>(100, 5, task);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CampaignRunner, ProgressSeesEveryCompletion) {
+  std::atomic<std::size_t> calls{0};
+  std::size_t last_total = 0;
+  CampaignOptions options;
+  options.threads = 4;
+  options.progress = [&](std::size_t done, std::size_t total) {
+    ++calls;
+    last_total = total;
+    EXPECT_GE(done, 1u);
+    EXPECT_LE(done, total);
+  };
+  CampaignRunner runner(options);
+  runner.map<int>(25, 1, [](std::size_t, std::uint64_t) { return 0; });
+  EXPECT_EQ(calls.load(), 25u);
+  EXPECT_EQ(last_total, 25u);
+}
+
+TEST(CampaignRunner, TaskExceptionPropagates) {
+  CampaignOptions options;
+  options.threads = 4;
+  CampaignRunner runner(options);
+  EXPECT_THROW(runner.map<int>(8, 3,
+                               [](std::size_t i, std::uint64_t) -> int {
+                                 if (i == 5) {
+                                   throw std::runtime_error("task 5 failed");
+                                 }
+                                 return 0;
+                               }),
+               std::runtime_error);
+}
+
+BuilderConfig tiny_builder_config() {
+  BuilderConfig cfg;
+  cfg.runner.servers = 3;
+  cfg.runner.server = sim::ServerConfig::socket();
+  cfg.runner.warmup_s = 3.0;
+  cfg.runner.ls_measure_s = 10.0;
+  cfg.runner.label_window_s = 2.5;
+  cfg.encoder.servers = 3;
+  cfg.encoder.max_workloads = 3;
+  cfg.ls_qps_levels = {40.0};
+  cfg.min_workloads = 2;
+  cfg.max_workloads = 2;
+  cfg.sc_scale = 0.06;
+  cfg.profiler.ls_profile_s = 12.0;
+  cfg.profiler.server = sim::ServerConfig::socket();
+  return cfg;
+}
+
+std::vector<ScenarioSamples> build_twin(std::size_t threads) {
+  prof::ProfileStore store;
+  DatasetBuilder builder(&store, tiny_builder_config(), /*seed=*/23);
+  BuildRequest request;
+  request.cls = ColocationClass::kLsScBg;
+  request.qos = QosKind::kIpc;
+  request.count = 6;
+  request.campaign.threads = threads;
+  return builder.build(request);
+}
+
+void expect_bit_identical(const std::vector<ScenarioSamples>& a,
+                          const std::vector<ScenarioSamples>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    // Exact double equality throughout: the parallel stream must be the
+    // serial stream, not a statistical twin of it.
+    EXPECT_EQ(a[i].features, b[i].features);
+    EXPECT_EQ(a[i].labels, b[i].labels);
+    const RunOutcome& x = a[i].outcome;
+    const RunOutcome& y = b[i].outcome;
+    EXPECT_EQ(x.mean_ipc, y.mean_ipc);
+    EXPECT_EQ(x.p99_latency_s, y.p99_latency_s);
+    EXPECT_EQ(x.jct_s, y.jct_s);
+    EXPECT_EQ(x.window_ipc, y.window_ipc);
+    EXPECT_EQ(x.window_p99, y.window_p99);
+    EXPECT_EQ(x.window_ipc_p99, y.window_ipc_p99);
+    EXPECT_EQ(x.completed, y.completed);
+    EXPECT_EQ(x.scenario.workloads.size(), y.scenario.workloads.size());
+  }
+}
+
+TEST(CampaignTwinRun, DatasetBuildIsThreadCountInvariant) {
+  const auto serial = build_twin(1);
+  const auto parallel = build_twin(8);
+  ASSERT_FALSE(serial.empty());
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(CampaignTwinRun, PinnedRootSeedReproducesAcrossBuilders) {
+  // With campaign.root_seed pinned, two builders with the same
+  // constructor seed produce the same stream even though the second
+  // builder's internal stream position would otherwise differ.
+  prof::ProfileStore store;
+  auto build_once = [&store](std::size_t threads) {
+    DatasetBuilder builder(&store, tiny_builder_config(), /*seed=*/29);
+    BuildRequest request;
+    request.cls = ColocationClass::kLsScBg;
+    request.qos = QosKind::kIpc;
+    request.count = 4;
+    request.campaign.threads = threads;
+    request.campaign.root_seed = 0xC0FFEE;
+    return builder.build(request);
+  };
+  expect_bit_identical(build_once(1), build_once(4));
+}
+
+TEST(CampaignProfileAll, ParallelMatchesSerialBatch) {
+  prof::SoloProfilerConfig cfg;
+  cfg.server = sim::ServerConfig::socket();
+  cfg.ls_profile_s = 12.0;
+
+  std::vector<prof::ProfileRequest> requests;
+  requests.push_back(prof::ProfileRequest{wl::iperf(0.2)});
+  requests.push_back(prof::ProfileRequest{wl::float_operation()});
+  requests.push_back(prof::ProfileRequest{wl::matmul(0.3)});
+
+  const prof::SoloProfiler profiler(cfg);
+  const prof::ProfileStore serial = profiler.profile_all(requests);
+
+  CampaignOptions options;
+  options.threads = 3;
+  const prof::ProfileStore parallel = profile_all(cfg, requests, options);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [name, expected] : serial.all()) {
+    ASSERT_TRUE(parallel.contains(name)) << name;
+    const prof::AppProfile& got = parallel.get(name);
+    EXPECT_EQ(got.solo_mean_ipc, expected.solo_mean_ipc) << name;
+    EXPECT_EQ(got.solo_jct_s, expected.solo_jct_s) << name;
+    EXPECT_EQ(got.solo_e2e_p99_s, expected.solo_e2e_p99_s) << name;
+    ASSERT_EQ(got.functions.size(), expected.functions.size()) << name;
+    for (std::size_t fn = 0; fn < got.functions.size(); ++fn) {
+      EXPECT_EQ(got.functions[fn].metrics, expected.functions[fn].metrics)
+          << name << " fn " << fn;
+      EXPECT_EQ(got.functions[fn].solo_ipc, expected.functions[fn].solo_ipc)
+          << name << " fn " << fn;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsight::core

@@ -79,8 +79,11 @@ TEST_F(TrainerFixture, RunnerMeasuresScScenario) {
 
 TEST_F(TrainerFixture, BuildProducesLabelledSamples) {
   DatasetBuilder builder(&store, cfg, 17);
-  const auto samples = builder.build(ColocationClass::kLsScBg,
-                                     QosKind::kIpc, /*scenario_count=*/4);
+  BuildRequest request;
+  request.cls = ColocationClass::kLsScBg;
+  request.qos = QosKind::kIpc;
+  request.count = 4;
+  const auto samples = builder.build(request);
   ASSERT_GE(samples.size(), 3u);
   const auto dim = builder.encoder().dimension();
   for (const auto& s : samples) {
@@ -94,8 +97,11 @@ TEST_F(TrainerFixture, BuildProducesLabelledSamples) {
 
 TEST_F(TrainerFixture, PredictorLearnsIpcWithinTolerance) {
   DatasetBuilder builder(&store, cfg, 19);
-  auto samples =
-      builder.build(ColocationClass::kLsScBg, QosKind::kIpc, 12);
+  BuildRequest request;
+  request.cls = ColocationClass::kLsScBg;
+  request.qos = QosKind::kIpc;
+  request.count = 12;
+  auto samples = builder.build(request);
   ASSERT_GE(samples.size(), 8u);
   // Split scenarios (not windows) into train/test to avoid leakage.
   const std::size_t cut = samples.size() - 3;

@@ -91,7 +91,7 @@ struct ProfilerFixture : ::testing::Test {
 
 TEST_F(ProfilerFixture, LsProfileIsSane) {
   SoloProfiler profiler(cfg);
-  const auto profile = profiler.profile(wl::social_network());
+  const auto profile = profiler.profile(ProfileRequest{wl::social_network()});
   EXPECT_EQ(profile.app_name, "social-network");
   ASSERT_EQ(profile.functions.size(), 9u);
   EXPECT_GT(profile.solo_e2e_p99_s, 0.0);
@@ -108,7 +108,7 @@ TEST_F(ProfilerFixture, LsProfileIsSane) {
 
 TEST_F(ProfilerFixture, SoloIpcMatchesSpec) {
   SoloProfiler profiler(cfg);
-  const auto profile = profiler.profile(wl::social_network());
+  const auto profile = profiler.profile(ProfileRequest{wl::social_network()});
   // Solo-run IPC must equal the phase's base IPC (no interference).
   const auto& cp = profile.functions[wl::kComposePost];
   const double expected =
@@ -118,14 +118,14 @@ TEST_F(ProfilerFixture, SoloIpcMatchesSpec) {
 
 TEST_F(ProfilerFixture, ScProfileHasJctAndLifetime) {
   SoloProfiler profiler(cfg);
-  const auto profile = profiler.profile(wl::logistic_regression_small());
+  const auto profile = profiler.profile(ProfileRequest{wl::logistic_regression_small()});
   EXPECT_GT(profile.solo_jct_s, 5.0);
   EXPECT_GT(profile.functions[0].solo_duration_s, 5.0);
 }
 
 TEST_F(ProfilerFixture, NetworkFunctionShowsNetTraffic) {
   SoloProfiler profiler(cfg);
-  const auto profile = profiler.profile(wl::iperf(0.2));
+  const auto profile = profiler.profile(ProfileRequest{wl::iperf(0.2)});
   const auto& m = profile.functions[0].metrics;
   EXPECT_GT(m[static_cast<std::size_t>(Metric::kNetBw)], 100.0);
   EXPECT_LT(m[static_cast<std::size_t>(Metric::kDiskIo)], 1.0);
@@ -135,8 +135,8 @@ TEST_F(ProfilerFixture, HigherQpsRaisesActivityMetrics) {
   SoloProfilerConfig lo = cfg, hi = cfg;
   lo.ls_qps = 20.0;
   hi.ls_qps = 120.0;
-  const auto p_lo = SoloProfiler(lo).profile(wl::social_network());
-  const auto p_hi = SoloProfiler(hi).profile(wl::social_network());
+  const auto p_lo = SoloProfiler(lo).profile(ProfileRequest{wl::social_network()});
+  const auto p_hi = SoloProfiler(hi).profile(ProfileRequest{wl::social_network()});
   // CPU utilisation of the root function grows with request rate... the
   // *per-execution* metrics are rate-independent, but tail latency rises
   // with load (queueing).
@@ -154,8 +154,8 @@ TEST_F(ProfilerFixture, ColdStartProfilesCaptureStartupPhase) {
   warm_cfg.include_cold_start = false;
   SoloProfilerConfig cold_cfg = cfg;
   cold_cfg.include_cold_start = true;
-  const auto warm = SoloProfiler(warm_cfg).profile(app);
-  const auto cold = SoloProfiler(cold_cfg).profile(app);
+  const auto warm = SoloProfiler(warm_cfg).profile(ProfileRequest{app});
+  const auto cold = SoloProfiler(cold_cfg).profile(ProfileRequest{app});
   const auto disk = static_cast<std::size_t>(Metric::kDiskIo);
   EXPECT_GT(cold.functions[0].metrics[disk],
             warm.functions[0].metrics[disk] + 1.0);
@@ -166,7 +166,8 @@ TEST_F(ProfilerFixture, ColdStartProfilesCaptureStartupPhase) {
 TEST_F(ProfilerFixture, ProfileAllFillsStore) {
   SoloProfiler profiler(cfg);
   const auto store =
-      profiler.profile_all({wl::iperf(0.2), wl::float_operation()});
+      profiler.profile_all(
+      {ProfileRequest{wl::iperf(0.2)}, ProfileRequest{wl::float_operation()}});
   EXPECT_EQ(store.size(), 2u);
   EXPECT_TRUE(store.contains("iperf"));
   EXPECT_TRUE(store.contains("float-operation"));

@@ -1,0 +1,79 @@
+// stats::SeedStream — the repo-wide seed-derivation contract (DESIGN.md
+// §9): pure, bit-stable across platforms and releases, and collision-free
+// enough that derived per-task seeds never alias in practice.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "stats/seed_stream.hpp"
+
+namespace gsight::stats {
+namespace {
+
+TEST(SeedStream, GoldenValuesAreBitStable) {
+  // Pinned outputs of the SplitMix64-based finalizer. If these change, any
+  // persisted experiment seeded through SeedStream silently reruns with
+  // different randomness — treat a failure here as an ABI break.
+  EXPECT_EQ(SeedStream::derive(0, 0), 0xA706DD2F4D197E6FULL);
+  EXPECT_EQ(SeedStream::derive(0, 1), 0xF161346224370DF2ULL);
+  EXPECT_EQ(SeedStream::derive(1234, 0), 0x9E17E35F6D9238EDULL);
+  EXPECT_EQ(SeedStream::derive(1234, 7), 0xD49B441CC79DB39EULL);
+  EXPECT_EQ(SeedStream::derive(0xDEADBEEFULL, 42), 0x208C1F84487661C1ULL);
+}
+
+TEST(SeedStream, InstanceMatchesStatic) {
+  const SeedStream stream(97);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(stream.derive(i), SeedStream::derive(97, i));
+  }
+}
+
+TEST(SeedStream, DeriveIsPure) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(SeedStream::derive(5, i), SeedStream::derive(5, i));
+  }
+}
+
+TEST(SeedStreamCampaign, NoCollisionsAcross1e5Derivations) {
+  // A campaign of 1e5 tasks must get 1e5 distinct seeds; also check the
+  // derived stream never reproduces the root itself.
+  constexpr std::uint64_t kRoot = 2024;
+  constexpr std::uint64_t kN = 100000;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const std::uint64_t s = SeedStream::derive(kRoot, i);
+    EXPECT_NE(s, kRoot);
+    EXPECT_TRUE(seen.insert(s).second) << "collision at index " << i;
+  }
+  EXPECT_EQ(seen.size(), kN);
+}
+
+TEST(SeedStream, AdjacentRootsProduceDisjointStreams) {
+  // seed+1-style root choices must still give unrelated streams — the
+  // whole point of the finalizer over the old `seed + i` arithmetic.
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t root = 100; root < 104; ++root) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(seen.insert(SeedStream::derive(root, i)).second)
+          << "root " << root << " index " << i;
+    }
+  }
+}
+
+TEST(SeedStream, IndexStridePatternsDoNotCollide) {
+  // Common sub-stream layouts: named tags (small constants) next to dense
+  // array indices, as used by sim::Instance and sched::Experiment.
+  std::unordered_set<std::uint64_t> seen;
+  const SeedStream stream(31337);
+  for (std::uint64_t tag = 0; tag < 32; ++tag) {
+    EXPECT_TRUE(seen.insert(stream.derive(tag)).second);
+  }
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    EXPECT_TRUE(seen.insert(stream.derive(1000 + i)).second);
+  }
+}
+
+}  // namespace
+}  // namespace gsight::stats

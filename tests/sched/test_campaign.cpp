@@ -1,0 +1,147 @@
+// sched::Campaign — multi-replication experiment driver. The merged
+// report must be bit-identical whatever the thread count, and the
+// summaries must actually be the statistics of the per-replication runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+#include "sched/campaign.hpp"
+#include "sched/worstfit.hpp"
+#include "workloads/ecommerce.hpp"
+#include "workloads/functionbench.hpp"
+#include "workloads/socialnetwork.hpp"
+
+namespace gsight::sched {
+namespace {
+
+struct CampaignFixture : ::testing::Test {
+  prof::ProfileStore store;
+  CampaignConfig cfg;
+
+  void SetUp() override {
+    cfg.experiment.servers = 4;
+    cfg.experiment.server = sim::ServerConfig::socket();
+    cfg.experiment.duration_s = 60.0;
+    cfg.experiment.sample_period_s = 3.0;
+    cfg.experiment.sla_window_s = 15.0;
+    cfg.experiment.sc_job_period_s = 30.0;
+    cfg.experiment.sc_scale = 0.05;
+    cfg.experiment.trace.base_qps = 50.0;
+    cfg.experiment.trace.day_seconds = 60.0;
+    cfg.experiment.autoscaler.tick_s = 5.0;
+    cfg.experiment.autoscaler.max_replicas = 6;
+    cfg.replications = 3;
+
+    prof::SoloProfilerConfig pcfg;
+    pcfg.ls_profile_s = 15.0;
+    pcfg.server = cfg.experiment.server;
+    prof::SoloProfiler profiler(pcfg);
+    store.put(profiler.profile(prof::ProfileRequest{wl::social_network()}));
+    store.put(profiler.profile(prof::ProfileRequest{wl::e_commerce()}));
+    store.put(profiler.profile(
+        prof::ProfileRequest{wl::matmul(3.0 * cfg.experiment.sc_scale)}));
+    store.put(profiler.profile(
+        prof::ProfileRequest{wl::dd(3.0 * cfg.experiment.sc_scale)}));
+    store.put(profiler.profile(prof::ProfileRequest{
+        wl::video_processing(4.0 * cfg.experiment.sc_scale)}));
+    store.put(profiler.profile(prof::ProfileRequest{wl::iot_collector()}));
+  }
+
+  static ReplicateFactory worstfit_factory() {
+    return [](std::size_t, std::uint64_t) {
+      Replicate r;
+      r.scheduler = std::make_unique<WorstFitScheduler>();
+      return r;
+    };
+  }
+
+  CampaignResult run_with_threads(std::size_t threads) const {
+    CampaignConfig c = cfg;
+    c.campaign.threads = threads;
+    Campaign campaign(&store, c);
+    return campaign.run(worstfit_factory());
+  }
+
+  static std::string merged_json(const CampaignResult& result) {
+    obs::RunReport report("campaign_test");
+    result.write_into(report, result.scheduler + ".");
+    return report.to_json().dump_string();
+  }
+};
+
+TEST_F(CampaignFixture, CampaignRunsAndSummarises) {
+  const CampaignResult result = run_with_threads(1);
+  EXPECT_EQ(result.scheduler, "WorstFit");
+  EXPECT_EQ(result.replications, 3u);
+  ASSERT_EQ(result.reports.size(), 3u);
+  for (const auto& report : result.reports) {
+    EXPECT_EQ(report.scheduler, "WorstFit");
+    EXPECT_GT(report.requests_completed, 50u);
+  }
+
+  const MetricSummary* density = result.find("mean_density");
+  ASSERT_NE(density, nullptr);
+  EXPECT_GT(density->mean, 0.0);
+  EXPECT_GE(density->ci95, 0.0);
+  ASSERT_EQ(density->values.size(), 3u);
+  double sum = 0.0;
+  for (double v : density->values) sum += v;
+  EXPECT_NEAR(density->mean, sum / 3.0, 1e-12);
+  EXPECT_NEAR(density->ci95, 1.96 * density->stddev / std::sqrt(3.0), 1e-12);
+
+  // Per-app SLA metrics exist for both LS apps.
+  EXPECT_NE(result.find("sla_satisfied.social-network"), nullptr);
+  EXPECT_NE(result.find("sla_satisfied.e-commerce"), nullptr);
+  EXPECT_EQ(result.find("no_such_metric"), nullptr);
+}
+
+TEST_F(CampaignFixture, ReplicationsUseDistinctSeeds) {
+  // Different derived seeds must produce genuinely different replications
+  // (if all reps shared one seed, every CI would collapse to zero).
+  const CampaignResult result = run_with_threads(1);
+  const MetricSummary* completed = result.find("requests_completed");
+  ASSERT_NE(completed, nullptr);
+  bool any_differ = false;
+  for (std::size_t i = 1; i < completed->values.size(); ++i) {
+    if (completed->values[i] != completed->values[0]) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST_F(CampaignFixture, MergedReportIsThreadCountInvariant) {
+  // The ISSUE's twin-run contract: threads=1 vs threads=8 byte-identical
+  // merged-report JSON.
+  const std::string serial = merged_json(run_with_threads(1));
+  const std::string parallel = merged_json(run_with_threads(8));
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(CampaignFixture, SingleReplicationHasZeroSpread) {
+  CampaignConfig c = cfg;
+  c.replications = 1;
+  Campaign campaign(&store, c);
+  const CampaignResult result = campaign.run(worstfit_factory());
+  ASSERT_EQ(result.reports.size(), 1u);
+  const MetricSummary* density = result.find("mean_density");
+  ASSERT_NE(density, nullptr);
+  EXPECT_EQ(density->stddev, 0.0);
+  EXPECT_EQ(density->ci95, 0.0);
+  EXPECT_EQ(density->mean, density->values[0]);
+}
+
+TEST_F(CampaignFixture, WriteIntoEmitsRowsAndSeries) {
+  const CampaignResult result = run_with_threads(1);
+  obs::RunReport report("campaign_test");
+  result.write_into(report, "WorstFit.");
+  EXPECT_GT(report.result_count(), 0u);
+  const std::string doc = report.to_json().dump_string();
+  EXPECT_NE(doc.find("WorstFit.mean_density.mean"), std::string::npos);
+  EXPECT_NE(doc.find("WorstFit.mean_density.ci95"), std::string::npos);
+  EXPECT_NE(doc.find("WorstFit.replications"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsight::sched

@@ -36,12 +36,12 @@ struct ExperimentFixture : ::testing::Test {
     pcfg.ls_profile_s = 15.0;
     pcfg.server = cfg.server;
     prof::SoloProfiler profiler(pcfg);
-    store.put(profiler.profile(wl::social_network()));
-    store.put(profiler.profile(wl::e_commerce()));
-    store.put(profiler.profile(wl::matmul(3.0 * cfg.sc_scale)));
-    store.put(profiler.profile(wl::dd(3.0 * cfg.sc_scale)));
-    store.put(profiler.profile(wl::video_processing(4.0 * cfg.sc_scale)));
-    store.put(profiler.profile(wl::iot_collector()));
+    store.put(profiler.profile(prof::ProfileRequest{wl::social_network()}));
+    store.put(profiler.profile(prof::ProfileRequest{wl::e_commerce()}));
+    store.put(profiler.profile(prof::ProfileRequest{wl::matmul(3.0 * cfg.sc_scale)}));
+    store.put(profiler.profile(prof::ProfileRequest{wl::dd(3.0 * cfg.sc_scale)}));
+    store.put(profiler.profile(prof::ProfileRequest{wl::video_processing(4.0 * cfg.sc_scale)}));
+    store.put(profiler.profile(prof::ProfileRequest{wl::iot_collector()}));
   }
 };
 

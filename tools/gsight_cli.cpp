@@ -7,17 +7,25 @@
 //   gsight predict <store> <model> <target> <corunner> <same|apart>
 //                                       what-if: predict target IPC with the
 //                                       corunner colocated or isolated
+//   gsight campaign [options]           deterministic parallel scenario
+//                                       campaign (see --help below); the
+//                                       sample stream is bit-identical for
+//                                       any --threads value
 //   gsight demo                         30-second end-to-end tour
 //
 // Everything runs on the simulator; profiles/models persist via the text
-// formats in profiling/profile_io.hpp and ml/forest_io.hpp.
+// formats in profiling/profile_io.hpp and ml/forest_io.hpp. GSIGHT_THREADS
+// caps campaign fan-out when --threads is not given (0/unset = hardware).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "core/campaign.hpp"
 #include "core/trainer.hpp"
 #include "ml/forest_io.hpp"
 #include "profiling/profile_io.hpp"
+#include "stats/summary.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -32,8 +40,19 @@ int usage() {
                "  gsight train <store-in> <model-out> [scenarios]\n"
                "  gsight predict <store-in> <model-in> <target-key> "
                "<corunner-key> <same|apart>\n"
+               "  gsight campaign [--threads N] [--seed S] [--count N]\n"
+               "                  [--qos ipc|lat|jct] [--cls ls+ls|ls+sc|sc+sc]\n"
+               "                  [--dump FILE]\n"
                "  gsight demo\n");
   return 2;
+}
+
+/// Campaign fan-out from GSIGHT_THREADS (0/unset = all hardware threads).
+std::size_t env_threads() {
+  if (const char* v = std::getenv("GSIGHT_THREADS")) {
+    return static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+  }
+  return 0;
 }
 
 prof::SoloProfilerConfig profiler_config() {
@@ -100,9 +119,12 @@ int cmd_train(int argc, char** argv) {
   core::DatasetBuilder builder(&store, cfg, /*seed=*/2026);
   std::printf("building %zu LS+SC/BG scenarios (profiles on demand)...\n",
               scenarios);
-  const auto stream =
-      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc,
-                    scenarios);
+  core::BuildRequest request;
+  request.cls = core::ColocationClass::kLsScBg;
+  request.qos = core::QosKind::kIpc;
+  request.count = scenarios;
+  request.campaign.threads = env_threads();
+  const auto stream = builder.build(request);
 
   ml::IncrementalForestConfig fc;
   fc.forest.n_trees = 80;
@@ -171,8 +193,12 @@ int cmd_demo() {
   core::PredictorConfig pc;
   pc.encoder = cfg.encoder;
   core::GsightPredictor predictor(pc);
-  const auto stream =
-      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc, 30);
+  core::BuildRequest request;
+  request.cls = core::ColocationClass::kLsScBg;
+  request.qos = core::QosKind::kIpc;
+  request.count = 30;
+  request.campaign.threads = env_threads();
+  const auto stream = builder.build(request);
   ml::Dataset train(predictor.encoder().dimension());
   for (const auto& s : stream) {
     for (double l : s.labels) train.add(s.features, l);
@@ -181,14 +207,135 @@ int cmd_demo() {
   std::printf("trained on %zu samples (%zu scenarios)\n", train.size(),
               stream.size());
   // Prequential check on a few fresh scenarios.
-  const auto fresh =
-      builder.build(core::ColocationClass::kLsScBg, core::QosKind::kIpc, 6);
+  request.count = 6;
+  const auto fresh = builder.build(request);
   for (const auto& s : fresh) {
     const double truth = stats::mean(s.labels);
     const double pred = predictor.predict(s.outcome.scenario);
     std::printf("  %-18s measured IPC %.3f predicted %.3f (%.1f%% error)\n",
                 s.outcome.scenario.workloads[0].profile->app_name.c_str(),
                 truth, pred, 100.0 * std::abs(pred - truth) / truth);
+  }
+  return 0;
+}
+
+/// Byte-stable hexfloat dump of a campaign's sample stream. check.sh
+/// compares dumps across thread counts: equal files prove the parallel
+/// fan-out is bit-identical to the serial run.
+bool dump_samples(const std::vector<core::ScenarioSamples>& samples,
+                  const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "gsight-campaign-dump/v1 samples=%zu\n", samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& s = samples[i];
+    std::fprintf(f, "scenario %zu features=%zu labels=%zu\n", i,
+                 s.features.size(), s.labels.size());
+    for (double v : s.features) std::fprintf(f, "f %a\n", v);
+    for (double v : s.labels) std::fprintf(f, "l %a\n", v);
+    std::fprintf(f, "o %a %a %a %d\n", s.outcome.mean_ipc,
+                 s.outcome.p99_latency_s, s.outcome.jct_s,
+                 s.outcome.completed ? 1 : 0);
+    for (double v : s.outcome.window_ipc) std::fprintf(f, "wi %a\n", v);
+    for (double v : s.outcome.window_p99) std::fprintf(f, "wp %a\n", v);
+    for (const auto& [ipc, p99] : s.outcome.window_ipc_p99) {
+      std::fprintf(f, "wx %a %a\n", ipc, p99);
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  std::size_t threads = env_threads();
+  std::uint64_t seed = 2027;
+  std::size_t count = 8;
+  core::QosKind qos = core::QosKind::kIpc;
+  core::ColocationClass cls = core::ColocationClass::kLsScBg;
+  std::string dump_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--threads" && value != nullptr) {
+      threads = static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--seed" && value != nullptr) {
+      seed = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--count" && value != nullptr) {
+      count = static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--qos" && value != nullptr) {
+      const std::string v = value;
+      if (v == "ipc") {
+        qos = core::QosKind::kIpc;
+      } else if (v == "lat") {
+        qos = core::QosKind::kTailLatency;
+      } else if (v == "jct") {
+        qos = core::QosKind::kJct;
+      } else {
+        return usage();
+      }
+      ++i;
+    } else if (arg == "--cls" && value != nullptr) {
+      const std::string v = value;
+      if (v == "ls+ls") {
+        cls = core::ColocationClass::kLsLs;
+      } else if (v == "ls+sc") {
+        cls = core::ColocationClass::kLsScBg;
+      } else if (v == "sc+sc") {
+        cls = core::ColocationClass::kScScBg;
+      } else {
+        return usage();
+      }
+      ++i;
+    } else if (arg == "--dump" && value != nullptr) {
+      dump_path = value;
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+
+  // Small, fast geometry (the demo's): the subcommand exists to exercise
+  // and verify the deterministic fan-out, not to build paper-scale data.
+  prof::ProfileStore store;
+  core::BuilderConfig cfg;
+  cfg.runner.servers = 4;
+  cfg.encoder.servers = 4;
+  cfg.encoder.max_workloads = 4;
+  cfg.runner.server = sim::ServerConfig::socket();
+  cfg.profiler = profiler_config();
+  cfg.profiler.ls_profile_s = 15.0;
+  cfg.ls_qps_levels = {40.0};
+  core::DatasetBuilder builder(&store, cfg, seed);
+
+  core::BuildRequest request;
+  request.cls = cls;
+  request.qos = qos;
+  request.count = count;
+  request.campaign.threads = threads;
+  std::printf("campaign: %zu %s scenarios, seed %llu, threads %zu%s\n",
+              count, core::to_string(cls),
+              static_cast<unsigned long long>(seed), threads,
+              threads == 0 ? " (hardware)" : "");
+  const auto samples = builder.build(request);
+
+  std::size_t label_count = 0;
+  stats::Running label_stats;
+  for (const auto& s : samples) {
+    label_count += s.labels.size();
+    for (double l : s.labels) label_stats.add(l);
+  }
+  std::printf("built %zu labelled scenarios, %zu label windows, mean label "
+              "%.4f\n",
+              samples.size(), label_count, label_stats.mean());
+  if (!dump_path.empty()) {
+    if (!dump_samples(samples, dump_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", dump_path.c_str());
+      return 1;
+    }
+    std::printf("sample stream dumped to %s\n", dump_path.c_str());
   }
   return 0;
 }
@@ -203,6 +350,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(argc - 2, argv + 2);
     if (cmd == "train") return cmd_train(argc - 2, argv + 2);
     if (cmd == "predict") return cmd_predict(argc - 2, argv + 2);
+    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "demo") return cmd_demo();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
