@@ -9,6 +9,7 @@
 #include "common.hpp"
 #include "core/encoder.hpp"
 #include "ml/incremental_forest.hpp"
+#include "ml/random_forest.hpp"
 #include "sim/engine.hpp"
 #include "sim/interference.hpp"
 #include "stats/rng.hpp"
@@ -80,6 +81,132 @@ void BM_ForestPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestPredict)->Arg(256)->Arg(2580);
+
+// Paper-scale training set: Table-4 dimensionality (2580-dim overlap
+// codes) with the deployed Extra-Trees config from core::make_model.
+// `threads = 1` isolates the algorithmic kernel speedup from the pool.
+ml::Dataset table4_train_data(std::size_t dims, std::size_t rows,
+                              stats::Rng& rng) {
+  ml::Dataset data(dims);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (auto& v : x) v = rng.uniform();
+    data.add(x, rng.uniform());
+  }
+  return data;
+}
+
+ml::ForestConfig deployed_forest_config(ml::SplitMode mode,
+                                        ml::TreeKernel kernel) {
+  ml::ForestConfig cfg;
+  cfg.n_trees = 8;
+  cfg.threads = 1;
+  cfg.tree.split_mode = mode;
+  cfg.tree.max_depth = 22;
+  cfg.tree.min_samples_leaf = 2;
+  cfg.tree.max_features = 128;
+  cfg.tree.kernel = kernel;
+  return cfg;
+}
+
+// Legacy vs columnar training kernel, kRandom (the deployed split mode)
+// at full 2580-dim scale and kBest at a presortable width. The RunReport
+// rows for these four benchmarks are the record of the legacy-vs-fast
+// speedup claimed in DESIGN.md §10.
+void BM_ForestTrain(benchmark::State& state, ml::SplitMode mode,
+                    ml::TreeKernel kernel, std::size_t dims) {
+  stats::Rng data_rng(7);
+  const auto data = table4_train_data(dims, 500, data_rng);
+  const auto cfg = deployed_forest_config(mode, kernel);
+  std::uint64_t seed = 11;
+  for (auto _ : state) {
+    ml::RandomForestRegressor forest(cfg);
+    stats::Rng rng(seed++);
+    forest.fit(data, rng);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+void BM_ForestTrainLegacy(benchmark::State& state) {
+  BM_ForestTrain(state, ml::SplitMode::kRandom, ml::TreeKernel::kLegacy,
+                 2580);
+}
+BENCHMARK(BM_ForestTrainLegacy)->Unit(benchmark::kMillisecond);
+void BM_ForestTrainColumnar(benchmark::State& state) {
+  BM_ForestTrain(state, ml::SplitMode::kRandom, ml::TreeKernel::kColumnar,
+                 2580);
+}
+BENCHMARK(BM_ForestTrainColumnar)->Unit(benchmark::kMillisecond);
+void BM_ForestTrainBestLegacy(benchmark::State& state) {
+  BM_ForestTrain(state, ml::SplitMode::kBest, ml::TreeKernel::kLegacy, 256);
+}
+BENCHMARK(BM_ForestTrainBestLegacy)->Unit(benchmark::kMillisecond);
+void BM_ForestTrainBestColumnar(benchmark::State& state) {
+  BM_ForestTrain(state, ml::SplitMode::kBest, ml::TreeKernel::kColumnar,
+                 256);
+}
+BENCHMARK(BM_ForestTrainBestColumnar)->Unit(benchmark::kMillisecond);
+
+// Legacy inference (per-tree node-vector walks, the pre-flattening
+// forest predict) against the flattened layouts: single predict() calls
+// and the predict_batch API — the shape of query batch the placement
+// fast path in GsightScheduler::sla_ok issues.
+enum class PredictPath { kLegacyTreeWalk, kFlatSingles, kFlatBatch };
+
+void BM_ForestPredictImpl(benchmark::State& state, PredictPath path) {
+  stats::Rng rng(19);
+  const std::size_t dims = 2580;
+  const auto data = table4_train_data(dims, 500, rng);
+  auto cfg = deployed_forest_config(ml::SplitMode::kRandom,
+                                    ml::TreeKernel::kColumnar);
+  cfg.n_trees = 80;  // deployed ensemble size (core::make_model)
+  ml::RandomForestRegressor forest(cfg);
+  stats::Rng fit_rng(23);
+  forest.fit(data, fit_rng);
+  ml::Matrix queries(0, dims);
+  std::vector<double> x(dims);
+  for (int i = 0; i < 32; ++i) {
+    for (auto& v : x) v = rng.uniform();
+    queries.push_row(x);
+  }
+  for (auto _ : state) {
+    switch (path) {
+      case PredictPath::kLegacyTreeWalk: {
+        double acc = 0.0;
+        const auto trees = forest.trees();
+        for (std::size_t r = 0; r < queries.rows(); ++r) {
+          double sum = 0.0;
+          for (const auto& tree : trees) sum += tree.predict(queries.row(r));
+          acc += sum / static_cast<double>(trees.size());
+        }
+        benchmark::DoNotOptimize(acc);
+        break;
+      }
+      case PredictPath::kFlatSingles: {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < queries.rows(); ++r) {
+          acc += forest.predict(queries.row(r));
+        }
+        benchmark::DoNotOptimize(acc);
+        break;
+      }
+      case PredictPath::kFlatBatch:
+        benchmark::DoNotOptimize(forest.predict_batch(queries));
+        break;
+    }
+  }
+}
+void BM_ForestPredictLegacy(benchmark::State& state) {
+  BM_ForestPredictImpl(state, PredictPath::kLegacyTreeWalk);
+}
+BENCHMARK(BM_ForestPredictLegacy)->Unit(benchmark::kMicrosecond);
+void BM_ForestPredictSingles(benchmark::State& state) {
+  BM_ForestPredictImpl(state, PredictPath::kFlatSingles);
+}
+BENCHMARK(BM_ForestPredictSingles)->Unit(benchmark::kMicrosecond);
+void BM_ForestPredictBatched(benchmark::State& state) {
+  BM_ForestPredictImpl(state, PredictPath::kFlatBatch);
+}
+BENCHMARK(BM_ForestPredictBatched)->Unit(benchmark::kMicrosecond);
 
 void BM_ForestIncrementalUpdate(benchmark::State& state) {
   stats::Rng rng(3);

@@ -7,6 +7,8 @@
 #      (the only multi-threaded code paths)
 #   5. bench smoke: run bench_micro with RunReport enabled and validate
 #      the emitted BENCH_micro.json with tools/bench_schema_check
+#   5b. model kernels: legacy-vs-columnar forest train and predict
+#      benchmarks under GSIGHT_THREADS=1, schema-checked like any bench
 #   6. campaign-equivalence: `gsight campaign` serial vs parallel sample
 #      dumps must be byte-identical (the determinism contract of
 #      core::CampaignRunner, DESIGN.md §9)
@@ -98,6 +100,20 @@ GSIGHT_BENCH_DIR="$SMOKE_DIR" "$BENCH_DIR/bench/bench_micro" \
 [[ -f "$SMOKE_DIR/BENCH_micro.json" ]] \
   || { echo "bench smoke: BENCH_micro.json was not written"; exit 1; }
 "$BENCH_DIR/tools/bench_schema_check" "$SMOKE_DIR/BENCH_micro.json"
+
+# --- 5b. Model-kernel bench ------------------------------------------------
+# The legacy-vs-columnar forest kernels and the flattened predict paths,
+# pinned to one thread so the numbers measure the kernels, not the pool.
+# Their RunReport must satisfy the same schema as every other bench.
+banner "model kernels: legacy vs columnar forest train/predict"
+KERNEL_DIR="$BENCH_DIR/model-kernels"
+rm -rf "$KERNEL_DIR" && mkdir -p "$KERNEL_DIR"
+GSIGHT_THREADS=1 GSIGHT_BENCH_DIR="$KERNEL_DIR" "$BENCH_DIR/bench/bench_micro" \
+  --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_ForestTrain|BM_ForestPredict(Legacy|Singles|Batched)'
+[[ -f "$KERNEL_DIR/BENCH_micro.json" ]] \
+  || { echo "model kernels: BENCH_micro.json was not written"; exit 1; }
+"$BENCH_DIR/tools/bench_schema_check" "$KERNEL_DIR/BENCH_micro.json"
 
 # --- 6. Campaign equivalence -----------------------------------------------
 banner "campaign-equivalence: serial vs parallel sample streams"

@@ -24,8 +24,16 @@ const char* to_string(ModelKind kind) {
   return "?";
 }
 
-std::unique_ptr<ml::IncrementalRegressor> make_model(ModelKind kind,
-                                                     std::uint64_t seed) {
+std::vector<double> ScenarioPredictor::predict_batch(
+    std::span<const Scenario> scenarios) const {
+  std::vector<double> out;
+  out.reserve(scenarios.size());
+  for (const auto& s : scenarios) out.push_back(predict(s));
+  return out;
+}
+
+std::unique_ptr<ml::IncrementalRegressor> make_model(
+    ModelKind kind, std::uint64_t seed, ml::TreeKernel forest_kernel) {
   switch (kind) {
     case ModelKind::kIRFR: {
       ml::IncrementalForestConfig cfg;
@@ -39,6 +47,7 @@ std::unique_ptr<ml::IncrementalRegressor> make_model(ModelKind kind,
       cfg.forest.tree.max_depth = 22;
       cfg.forest.tree.min_samples_leaf = 2;
       cfg.forest.tree.max_features = 128;
+      cfg.forest.tree.kernel = forest_kernel;
       return std::make_unique<ml::IncrementalForest>(cfg, seed);
     }
     case ModelKind::kIKNN:
@@ -54,7 +63,8 @@ std::unique_ptr<ml::IncrementalRegressor> make_model(ModelKind kind,
 }
 
 GsightPredictor::GsightPredictor(PredictorConfig config)
-    : GsightPredictor(config, make_model(config.model, config.seed)) {}
+    : GsightPredictor(config, make_model(config.model, config.seed,
+                                         config.forest_kernel)) {}
 
 GsightPredictor::GsightPredictor(PredictorConfig config,
                                  std::unique_ptr<ml::IncrementalRegressor> model)
@@ -65,6 +75,14 @@ GsightPredictor::GsightPredictor(PredictorConfig config,
 
 double GsightPredictor::predict(const Scenario& scenario) const {
   return model_->predict(encoder_.encode(scenario));
+}
+
+std::vector<double> GsightPredictor::predict_batch(
+    std::span<const Scenario> scenarios) const {
+  ml::Matrix xs(0, encoder_.dimension());
+  xs.reserve_rows(scenarios.size());
+  for (const auto& s : scenarios) xs.push_row(encoder_.encode(s));
+  return model_->predict_batch(xs);
 }
 
 void GsightPredictor::observe(const Scenario& scenario, double actual_qos) {

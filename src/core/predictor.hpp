@@ -6,6 +6,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/encoder.hpp"
 #include "ml/incremental_forest.hpp"
@@ -25,8 +27,9 @@ const char* to_string(QosKind kind);
 enum class ModelKind { kIRFR, kIKNN, kILR, kISVR, kIMLP };
 
 const char* to_string(ModelKind kind);
-std::unique_ptr<ml::IncrementalRegressor> make_model(ModelKind kind,
-                                                     std::uint64_t seed = 1);
+std::unique_ptr<ml::IncrementalRegressor> make_model(
+    ModelKind kind, std::uint64_t seed = 1,
+    ml::TreeKernel forest_kernel = ml::TreeKernel::kColumnar);
 
 /// Common interface for everything that predicts a target workload's QoS
 /// from a colocation scenario — Gsight itself and the ESP / Pythia
@@ -35,6 +38,12 @@ class ScenarioPredictor {
  public:
   virtual ~ScenarioPredictor() = default;
   virtual double predict(const Scenario& scenario) const = 0;
+  /// One QoS value per scenario, bit-identical to calling predict() on
+  /// each. The default is that loop; Gsight overrides it to encode the
+  /// whole batch and issue one tree-major forest traversal, which is how
+  /// the scheduler's SLA sweep turns N model calls into one.
+  virtual std::vector<double> predict_batch(
+      std::span<const Scenario> scenarios) const;
   virtual void observe(const Scenario& scenario, double actual_qos) = 0;
   virtual void flush() = 0;
   virtual std::string name() const = 0;
@@ -48,6 +57,10 @@ struct PredictorConfig {
   /// have accumulated (amortises incremental updates).
   std::size_t update_batch = 32;
   std::uint64_t seed = 1;
+  /// Forest training kernel (IRFR only). kColumnar is the fast path;
+  /// kLegacy keeps the original row-major kernel, retained one release
+  /// for equivalence checking (the two produce bit-identical models).
+  ml::TreeKernel forest_kernel = ml::TreeKernel::kColumnar;
 };
 
 class GsightPredictor final : public ScenarioPredictor {
@@ -59,6 +72,9 @@ class GsightPredictor final : public ScenarioPredictor {
 
   /// Predict the target workload's QoS under the scenario.
   double predict(const Scenario& scenario) const override;
+  /// Batched predict: encode every scenario, then one batched model call.
+  std::vector<double> predict_batch(
+      std::span<const Scenario> scenarios) const override;
 
   /// Record an observed (scenario, actual QoS) pair; the model updates
   /// once `update_batch` observations accumulate (or on flush()).

@@ -1,8 +1,44 @@
 #include "ml/dataset.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace gsight::ml {
+
+void ColumnStore::sync(const Matrix& features) {
+  if (features_ != features.cols() || rows_synced_ > features.rows()) {
+    flat_.clear();
+    features_ = features.cols();
+    stride_ = 0;
+    rows_synced_ = 0;
+  }
+  const std::size_t end = features.rows();
+  if (rows_synced_ == end || features_ == 0) return;
+  if (end > stride_) {
+    // Geometric growth keeps appends amortised O(1) per element: columns
+    // are re-packed at the wider stride only when the capacity doubles.
+    const std::size_t new_stride = std::max(end, 2 * stride_);
+    std::vector<double> wider(features_ * new_stride);
+    for (std::size_t f = 0; f < features_; ++f) {
+      std::copy_n(flat_.data() + f * stride_, rows_synced_,
+                  wider.data() + f * new_stride);
+    }
+    flat_ = std::move(wider);
+    stride_ = new_stride;
+  }
+  for (std::size_t r = rows_synced_; r < end; ++r) {
+    const auto row = features.row(r);
+    for (std::size_t f = 0; f < features_; ++f) {
+      flat_[f * stride_ + r] = row[f];
+    }
+  }
+  rows_synced_ = end;
+}
+
+const ColumnStore& Dataset::columns() const {
+  columns_.sync(features_);
+  return columns_;
+}
 
 void Dataset::add(std::span<const double> x, double y) {
   features_.push_row(x);

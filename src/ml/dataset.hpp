@@ -1,6 +1,7 @@
 // Supervised-regression dataset: a feature matrix plus a target vector.
 // Supports the operations the incremental learners need: append, subset,
-// shuffle/split, and growing sample buffers.
+// shuffle/split, and growing sample buffers. A lazily built feature-major
+// mirror (ColumnStore) backs the columnar tree-training fast path.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +13,34 @@
 #include "stats/rng.hpp"
 
 namespace gsight::ml {
+
+/// Feature-major mirror of a row-major feature matrix: all columns in one
+/// contiguous buffer at a fixed stride, so split scans in tree training
+/// stride unit-length instead of `cols()` and `column(f)` is a pure
+/// pointer offset (no per-column vector metadata between the scan and the
+/// data). Syncs are incremental — rows appended to the source matrix
+/// since the last sync are transposed in place; the row capacity grows
+/// geometrically, so full re-transposes amortise away. That is what makes
+/// IncrementalForest refreshes cheap: each partial_fit only pays for the
+/// new batch, not the whole buffer.
+class ColumnStore {
+ public:
+  std::size_t rows() const { return rows_synced_; }
+  std::size_t feature_count() const { return features_; }
+  std::span<const double> column(std::size_t f) const {
+    return {flat_.data() + f * stride_, rows_synced_};
+  }
+
+  /// Mirror `features` exactly: appends rows [rows(), features.rows());
+  /// rebuilds from scratch only if the source shrank or changed width.
+  void sync(const Matrix& features);
+
+ private:
+  std::vector<double> flat_;      // features_ columns, each stride_ long
+  std::size_t features_ = 0;
+  std::size_t stride_ = 0;        // per-column row capacity
+  std::size_t rows_synced_ = 0;
+};
 
 class Dataset {
  public:
@@ -40,9 +69,17 @@ class Dataset {
   /// Deterministic shuffle of rows.
   void shuffle(stats::Rng& rng);
 
+  /// Feature-major view of features(), built lazily and extended
+  /// incrementally as rows are added. NOT thread-safe while it (re)builds:
+  /// callers that share one Dataset across threads (forest training) must
+  /// prime it with a single call before fanning out; afterwards concurrent
+  /// use is read-only and safe.
+  const ColumnStore& columns() const;
+
  private:
   Matrix features_;
   std::vector<double> targets_;
+  mutable ColumnStore columns_;  // lazy cache; see columns()
 };
 
 }  // namespace gsight::ml

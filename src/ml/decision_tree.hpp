@@ -23,6 +23,17 @@ namespace gsight::ml {
 ///             scanning would dominate training time.
 enum class SplitMode { kBest, kRandom };
 
+/// Which training kernel builds the tree. Both produce bit-identical
+/// trees (same splits, thresholds, node order, importances, RNG stream);
+/// they differ only in memory access pattern:
+///   kColumnar — feature-major scans over the dataset's ColumnStore, with
+///               per-tree presorted index lists (sklearn/LightGBM style)
+///               replacing kBest's per-node gather+sort. The default.
+///   kLegacy   — the original row-major gather kernel, kept for one
+///               release as the golden reference (see
+///               tests/ml/test_forest_equivalence.cpp).
+enum class TreeKernel { kColumnar, kLegacy };
+
 struct TreeConfig {
   std::size_t max_depth = 24;
   std::size_t min_samples_split = 4;
@@ -30,10 +41,24 @@ struct TreeConfig {
   /// Features examined per split; 0 means sqrt(feature_count).
   std::size_t max_features = 0;
   SplitMode split_mode = SplitMode::kBest;
+  /// Training kernel; runtime knob, not persisted by save()/load().
+  TreeKernel kernel = TreeKernel::kColumnar;
 };
 
 class DecisionTreeRegressor {
  public:
+  /// Flat tree node. Public so RandomForestRegressor can concatenate the
+  /// node arrays of all trees into one cache-friendly inference buffer.
+  struct Node {
+    // Leaf when feature == kLeaf; then `value` is the prediction.
+    static constexpr std::uint32_t kLeaf = 0xFFFFFFFFu;
+    std::uint32_t feature = kLeaf;
+    double threshold = 0.0;
+    std::uint32_t left = 0;
+    std::uint32_t right = 0;
+    double value = 0.0;
+  };
+
   explicit DecisionTreeRegressor(TreeConfig config = {}) : config_(config) {}
 
   /// Train on the rows of `data` selected by `rows` (with repetition
@@ -47,6 +72,8 @@ class DecisionTreeRegressor {
   bool fitted() const { return !nodes_.empty(); }
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t depth() const;
+  /// The flat node array (root at index 0).
+  std::span<const Node> nodes() const { return nodes_; }
 
   /// Sum of weighted variance reductions contributed by each feature
   /// (unnormalised impurity importance).
@@ -58,16 +85,6 @@ class DecisionTreeRegressor {
   void load(std::istream& in);
 
  private:
-  struct Node {
-    // Leaf when feature == kLeaf; then `value` is the prediction.
-    static constexpr std::uint32_t kLeaf = 0xFFFFFFFFu;
-    std::uint32_t feature = kLeaf;
-    double threshold = 0.0;
-    std::uint32_t left = 0;
-    std::uint32_t right = 0;
-    double value = 0.0;
-  };
-
   std::uint32_t build(const Dataset& data, std::vector<std::size_t>& rows,
                       std::size_t begin, std::size_t end, std::size_t depth,
                       stats::Rng& rng);

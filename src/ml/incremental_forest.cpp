@@ -9,31 +9,34 @@ IncrementalForest::IncrementalForest(IncrementalForestConfig config,
                                      std::uint64_t seed)
     : config_(config), forest_(config.forest), rng_(seed) {}
 
-Dataset IncrementalForest::refit_view() {
+const Dataset& IncrementalForest::refit_view() {
   if (config_.max_refit_rows == 0 || buffer_.size() <= config_.max_refit_rows) {
     return buffer_;
   }
   const auto rows =
       rng_.sample_without_replacement(buffer_.size(), config_.max_refit_rows);
-  return buffer_.subset(rows);
+  subsample_ = buffer_.subset(rows);
+  return subsample_;
 }
 
 void IncrementalForest::partial_fit(const Dataset& batch) {
   if (batch.empty()) return;
   buffer_.append(batch);
   if (!forest_.fitted()) {
-    const Dataset view = refit_view();
-    forest_.fit(view, rng_);
+    forest_.fit(refit_view(), rng_);
     return;
   }
   const auto count = static_cast<std::size_t>(std::ceil(
       config_.refresh_fraction * static_cast<double>(config_.forest.n_trees)));
-  const Dataset view = refit_view();
-  forest_.refresh_trees(view, std::max<std::size_t>(1, count), rng_);
+  forest_.refresh_trees(refit_view(), std::max<std::size_t>(1, count), rng_);
 }
 
 double IncrementalForest::predict(std::span<const double> x) const {
   return forest_.predict(x);
+}
+
+std::vector<double> IncrementalForest::predict_batch(const Matrix& xs) const {
+  return forest_.predict_batch(xs);
 }
 
 }  // namespace gsight::ml

@@ -27,6 +27,7 @@ class IncrementalForest final : public IncrementalRegressor {
 
   void partial_fit(const Dataset& batch) override;
   double predict(std::span<const double> x) const override;
+  std::vector<double> predict_batch(const Matrix& xs) const override;
   std::string name() const override { return "IRFR"; }
   std::size_t samples_seen() const override { return buffer_.size(); }
 
@@ -42,11 +43,18 @@ class IncrementalForest final : public IncrementalRegressor {
   }
 
  private:
-  Dataset refit_view();
+  /// The rows the next refresh trains on. Returns buffer_ itself (no
+  /// copy) unless the max_refit_rows cap forces a subsample, which is
+  /// materialised into subsample_. Training straight off buffer_ is what
+  /// lets its feature-major ColumnStore persist across refreshes: each
+  /// partial_fit only transposes the new batch in, never the whole
+  /// buffer.
+  const Dataset& refit_view();
 
   IncrementalForestConfig config_;
   RandomForestRegressor forest_;
   Dataset buffer_;
+  Dataset subsample_;  ///< scratch for the capped-refit path
   stats::Rng rng_;
 };
 

@@ -33,6 +33,8 @@ class Matrix {
   /// Append one row; the row length must equal cols() (or define cols()
   /// when the matrix is still empty).
   void push_row(std::span<const double> values);
+  /// Preallocate storage for `rows` total rows (batch builders).
+  void reserve_rows(std::size_t rows) { data_.reserve(rows * cols_); }
 
   /// y = M x  (x has cols() entries, result has rows()).
   std::vector<double> matvec(std::span<const double> x) const;

@@ -4,10 +4,14 @@
 
 namespace gsight::ml {
 
-std::vector<double> IncrementalRegressor::predict_all(const Dataset& data) const {
-  std::vector<double> out(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.x(i));
+std::vector<double> IncrementalRegressor::predict_batch(const Matrix& xs) const {
+  std::vector<double> out(xs.rows());
+  for (std::size_t i = 0; i < xs.rows(); ++i) out[i] = predict(xs.row(i));
   return out;
+}
+
+std::vector<double> IncrementalRegressor::predict_all(const Dataset& data) const {
+  return predict_batch(data.features());
 }
 
 void BufferedRegressor::partial_fit(const Dataset& batch) {

@@ -30,6 +30,11 @@ class IncrementalRegressor {
   /// any training (returns 0 in that case) so schedulers can run cold.
   virtual double predict(std::span<const double> x) const = 0;
 
+  /// One prediction per row of `xs`. Bit-identical to calling predict()
+  /// row by row (the default does exactly that); the forest overrides it
+  /// with a tree-major batched traversal.
+  virtual std::vector<double> predict_batch(const Matrix& xs) const;
+
   virtual std::string name() const = 0;
 
   /// Number of samples absorbed so far.

@@ -31,6 +31,10 @@ void RandomForestRegressor::fit(const Dataset& data, stats::Rng& rng) {
   trees_.assign(config_.n_trees, DecisionTreeRegressor(config_.tree));
   std::vector<std::uint64_t> seeds(config_.n_trees);
   for (auto& s : seeds) s = rng.next();
+  // Prime the shared feature-major view on this thread before fanning
+  // out: Dataset::columns() is lazy and not safe to first-build
+  // concurrently.
+  if (config_.tree.kernel == TreeKernel::kColumnar) data.columns();
   std::optional<ThreadPool> local;
   ThreadPool* pool = &ThreadPool::shared();
   if (config_.threads != 0) {
@@ -39,13 +43,63 @@ void RandomForestRegressor::fit(const Dataset& data, stats::Rng& rng) {
   }
   pool->parallel_for(config_.n_trees,
                      [&](std::size_t i) { fit_one(data, i, seeds[i]); });
+  rebuild_flat();
 }
 
-double RandomForestRegressor::predict(std::span<const double> x) const {
+void RandomForestRegressor::rebuild_flat() {
+  flat_offsets_.assign(trees_.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    flat_offsets_[t] = total;
+    total += trees_[t].nodes().size();
+  }
+  flat_offsets_[trees_.size()] = total;
+  flat_nodes_.clear();
+  flat_nodes_.reserve(total);
+  for (const auto& tree : trees_) {
+    const auto nodes = tree.nodes();
+    flat_nodes_.insert(flat_nodes_.end(), nodes.begin(), nodes.end());
+  }
+}
+
+double RandomForestRegressor::traverse(std::size_t tree,
+                                       std::span<const double> x) const {
+  const DecisionTreeRegressor::Node* base =
+      flat_nodes_.data() + flat_offsets_[tree];
+  std::uint32_t i = 0;
+  for (;;) {
+    const auto& node = base[i];
+    if (node.feature == DecisionTreeRegressor::Node::kLeaf) return node.value;
+    assert(node.feature < x.size());
+    i = x[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+// noinline keeps exactly one copy of the branchy node walk: duplicated
+// inlined copies (e.g. inside predict_batch) measured up to 20% slower
+// purely from code-placement luck, and one shared copy makes the batch
+// API's throughput match N single calls instead of diverging with the
+// inliner's mood.
+__attribute__((noinline)) double RandomForestRegressor::predict(
+    std::span<const double> x) const {
   if (trees_.empty()) return 0.0;
   double sum = 0.0;
-  for (const auto& t : trees_) sum += t.predict(x);
+  for (std::size_t t = 0; t < trees_.size(); ++t) sum += traverse(t, x);
   return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForestRegressor::predict_batch(
+    const Matrix& xs) const {
+  std::vector<double> out(xs.rows(), 0.0);
+  if (trees_.empty() || xs.rows() == 0) return out;
+  // Query-major: each query row stays cache-resident while every tree
+  // visits it (overlap-code rows are wide — 2580 dims at paper scale —
+  // so rows dwarf the flat node array). Delegating to predict() per row
+  // makes the bit-identity contract true by construction.
+  for (std::size_t r = 0; r < xs.rows(); ++r) {
+    out[r] = predict(xs.row(r));
+  }
+  return out;
 }
 
 std::vector<double> RandomForestRegressor::importance() const {
@@ -75,8 +129,10 @@ void RandomForestRegressor::refresh_trees(const Dataset& data, std::size_t count
   const auto slots = rng.sample_without_replacement(trees_.size(), count);
   std::vector<std::uint64_t> seeds(count);
   for (auto& s : seeds) s = rng.next();
+  if (config_.tree.kernel == TreeKernel::kColumnar) data.columns();
   ThreadPool::shared().parallel_for(
       count, [&](std::size_t i) { fit_one(data, slots[i], seeds[i]); });
+  rebuild_flat();
 }
 
 
@@ -136,6 +192,7 @@ void RandomForestRegressor::load(std::istream& in) {
   feature_count_ = feature_count;
   trees_.assign(tree_count, DecisionTreeRegressor(config_.tree));
   for (auto& tree : trees_) tree.load(in);
+  rebuild_flat();
 }
 
 }  // namespace gsight::ml

@@ -1,6 +1,11 @@
 // Bagged random-forest regressor (Breiman) with impurity-based feature
 // importance (Figure 8) and thread-pool-parallel training. This is the
 // batch core reused by the incremental wrapper (IRFR) that Gsight deploys.
+// Inference runs over a flattened layout — every tree's node array
+// concatenated into one contiguous buffer — and predict_batch() walks each
+// tree over the whole query batch before moving to the next, so a tree's
+// nodes stay cache-resident across scenarios (the access pattern
+// GsightScheduler::sla_ok generates thousands of times per placement).
 #pragma once
 
 #include <iosfwd>
@@ -26,8 +31,16 @@ class RandomForestRegressor {
 
   void fit(const Dataset& data, stats::Rng& rng);
   double predict(std::span<const double> x) const;
+  /// One prediction per row of `xs`, bit-identical to calling predict()
+  /// on each row: one virtual-free pass over the flattened node arrays,
+  /// query-major so each (wide) query row stays cache-resident while all
+  /// trees visit it.
+  std::vector<double> predict_batch(const Matrix& xs) const;
   bool fitted() const { return !trees_.empty(); }
   std::size_t tree_count() const { return trees_.size(); }
+  /// The fitted trees (read-only; benchmarks compare per-tree walks
+  /// against the flattened traversal).
+  std::span<const DecisionTreeRegressor> trees() const { return trees_; }
 
   /// Impurity importance, normalised to sum to 1 (zeros if unfitted).
   std::vector<double> importance() const;
@@ -44,10 +57,18 @@ class RandomForestRegressor {
 
  private:
   void fit_one(const Dataset& data, std::size_t slot, std::uint64_t seed);
+  /// Rebuild the flattened inference buffer from trees_ (after any
+  /// training or load).
+  void rebuild_flat();
+  double traverse(std::size_t tree, std::span<const double> x) const;
 
   ForestConfig config_;
   std::vector<DecisionTreeRegressor> trees_;
   std::size_t feature_count_ = 0;
+  /// All trees' node arrays back to back; tree t occupies
+  /// [flat_offsets_[t], flat_offsets_[t + 1]) with tree-local child links.
+  std::vector<DecisionTreeRegressor::Node> flat_nodes_;
+  std::vector<std::size_t> flat_offsets_;
 };
 
 }  // namespace gsight::ml

@@ -15,11 +15,16 @@ GsightScheduler::GsightScheduler(core::ScenarioPredictor* ipc,
 bool GsightScheduler::sla_ok(const DeploymentState& state_plus,
                              std::size_t target_index, bool exclude_target) {
   // Check the target (if LS) and every deployed LS workload that shares a
-  // server with it.
+  // server with it. All affected workloads' scenarios are gathered first
+  // and submitted as ONE batched predictor call: the forest then walks
+  // each tree across the whole batch while its nodes are cache-hot,
+  // instead of re-faulting the model in per workload.
   std::vector<bool> touched(state_plus.servers, false);
   for (std::size_t s : state_plus.workloads[target_index].fn_to_server) {
     touched[s] = true;
   }
+  std::vector<core::Scenario> scenarios;
+  std::vector<double> floors;
   for (std::size_t w = 0; w < state_plus.workloads.size(); ++w) {
     const auto& dw = state_plus.workloads[w];
     if (dw.cls != wl::WorkloadClass::kLatencySensitive) continue;
@@ -35,11 +40,15 @@ bool GsightScheduler::sla_ok(const DeploymentState& state_plus,
       }
     }
     if (!affected) continue;
-    const auto scenario =
-        scenario_for(state_plus, w, nullptr, config_.max_scenario_slots);
-    ++sla_checks_;
-    const double predicted_ipc = ipc_->predict(scenario);
-    if (predicted_ipc < dw.sla.ipc_floor * config_.sla_margin) return false;
+    scenarios.push_back(
+        scenario_for(state_plus, w, nullptr, config_.max_scenario_slots));
+    floors.push_back(dw.sla.ipc_floor);
+  }
+  if (scenarios.empty()) return true;
+  sla_checks_ += scenarios.size();
+  const auto predicted = ipc_->predict_batch(scenarios);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] < floors[i] * config_.sla_margin) return false;
   }
   return true;
 }
@@ -94,6 +103,19 @@ std::vector<std::size_t> GsightScheduler::place_workload(
     return state.load[a].cpu_fraction() > state.load[b].cpu_fraction();
   });
 
+  // One state copy per placement attempt, not per widening step: the
+  // candidate workload is appended once and only its fn_to_server is
+  // rewritten as the candidate set widens.
+  DeploymentState plus = state;
+  {
+    DeployedWorkload dw;
+    dw.profile = &profile;
+    dw.profile_key = profile.app_name;
+    dw.cls = profile.cls;
+    dw.sla = sla;
+    plus.workloads.push_back(std::move(dw));
+  }
+  const std::size_t target = plus.workloads.size() - 1;
   for (std::size_t k = 1; k <= state.servers; k *= 2) {
     const std::vector<std::size_t> candidates(
         ranked.begin(),
@@ -104,16 +126,8 @@ std::vector<std::size_t> GsightScheduler::place_workload(
       if (k >= state.servers) break;  // even the full cluster cannot fit
       continue;                       // widen the candidate set
     }
-    // Merge the candidate into a state copy for the SLA check.
-    DeploymentState plus = state;
-    DeployedWorkload dw;
-    dw.profile = &profile;
-    dw.profile_key = profile.app_name;
-    dw.fn_to_server = placement;
-    dw.cls = profile.cls;
-    dw.sla = sla;
-    plus.workloads.push_back(std::move(dw));
-    if (sla_ok(plus, plus.workloads.size() - 1)) return placement;
+    plus.workloads[target].fn_to_server = placement;
+    if (sla_ok(plus, target)) return placement;
     if (k >= state.servers) break;
   }
   ++refusals_;
@@ -134,6 +148,11 @@ std::size_t GsightScheduler::place_replica(std::size_t w, std::size_t fn,
   });
   const double need =
       state.workloads[w].profile->functions[fn].demand.cores;
+  // One state copy per scale-out attempt; each widening step only swaps
+  // the replica's server in and restores it if the SLA check vetoes.
+  DeploymentState plus = state;
+  auto& target_placement = plus.workloads[w].fn_to_server;
+  const std::size_t original_server = target_placement[fn];
   for (std::size_t k = 1; k <= state.servers; k *= 2) {
     // Most headroom among the first k ranked candidates with capacity.
     std::size_t best = kRefuse;
@@ -151,13 +170,11 @@ std::size_t GsightScheduler::place_replica(std::size_t w, std::size_t fn,
       if (k >= state.servers) break;
       continue;
     }
-    DeploymentState plus = state;
-    auto placement = plus.workloads[w].fn_to_server;
-    placement[fn] = best;  // the new replica's server becomes primary
-    plus.workloads[w].fn_to_server = placement;
+    target_placement[fn] = best;  // the new replica's server becomes primary
     // Scale-outs are never vetoed by the scaled workload's own floor:
     // adding a replica is how its degradation gets fixed.
     if (sla_ok(plus, w, /*exclude_target=*/true)) return best;
+    target_placement[fn] = original_server;
     if (k >= state.servers) break;
   }
   ++refusals_;

@@ -1,32 +1,61 @@
 #include "sim/event_queue.hpp"
 
 #include <cmath>
-#include <memory>
+#include <utility>
 
 #include "core/contracts.hpp"
 
 namespace gsight::sim {
 
+void EventQueue::sift_up(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(e);
+}
+
+// Re-seat `e` starting from the root after the minimum was removed.
+void EventQueue::sift_down(Entry&& e) {
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], e)) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(e);
+}
+
 void EventQueue::push(SimTime when, Callback cb) {
   GSIGHT_ASSERT(!std::isnan(when), "event time is NaN");
   GSIGHT_ASSERT(std::isfinite(when), "event time is infinite");
   GSIGHT_ASSERT(when >= 0.0, "event time is negative");
-  heap_.push(Entry{when, next_seq_++, std::make_shared<Callback>(std::move(cb))});
+  heap_.push_back(Entry{when, next_seq_++, std::move(cb)});
+  sift_up(heap_.size() - 1);
 }
 
 SimTime EventQueue::next_time() const {
   GSIGHT_ASSERT(!heap_.empty(), "next_time on empty queue");
-  return heap_.top().when;
+  return heap_.front().when;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   GSIGHT_ASSERT(!heap_.empty(), "pop on empty queue");
-  Entry e = heap_.top();
-  heap_.pop();
+  Entry e = std::move(heap_.front());
+  Entry last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(std::move(last));
   GSIGHT_INVARIANT(e.when >= last_popped_,
                    "event times dequeued out of order");
   last_popped_ = e.when;
-  return {e.when, std::move(*e.cb)};
+  return {e.when, std::move(e.cb)};
 }
 
 }  // namespace gsight::sim

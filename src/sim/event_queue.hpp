@@ -6,8 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 namespace gsight::sim {
@@ -31,16 +29,24 @@ class EventQueue {
   struct Entry {
     SimTime when;
     std::uint64_t seq;
-    // Shared-ptr'd so Entry stays copyable for priority_queue internals.
-    std::shared_ptr<Callback> cb;
-    bool operator>(const Entry& o) const {
-      // Exact comparison of stored (not computed) times is the tie-break
-      // that makes replay deterministic, so the lint rule is waived here.
-      return when > o.when ||
-             (when == o.when && seq > o.seq);  // gsight-lint: allow(simtime-eq)
-    }
+    Callback cb;
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  /// Strict total order on (when, seq) — seq is unique, so pop order is
+  /// fully determined and replay-deterministic regardless of heap shape.
+  static bool earlier(const Entry& a, const Entry& b) {
+    // Exact comparison of stored (not computed) times is the tie-break
+    // that makes replay deterministic, so the lint rule is waived here.
+    return a.when < b.when ||
+           (a.when == b.when && a.seq < b.seq);  // gsight-lint: allow(simtime-eq)
+  }
+  void sift_up(std::size_t i);
+  void sift_down(Entry&& e);
+
+  // Hand-rolled binary min-heap. std::priority_queue is copy-based (top()
+  // is const), which forced each Callback behind a shared_ptr; holding
+  // entries by value lets push/pop move the closures instead of
+  // allocating a control block per event on the hottest simulator path.
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
   SimTime last_popped_ = 0.0;
 };

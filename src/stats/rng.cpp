@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace gsight::stats {
 
@@ -137,6 +138,33 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
   }
   idx.resize(k);
   return idx;
+}
+
+void Rng::sample_without_replacement(std::size_t n, std::size_t k,
+                                     std::vector<std::size_t>& out) {
+  assert(k <= n);
+  // Scratch identity permutation shared across calls: the partial
+  // Fisher-Yates records its swaps and reverts them afterwards, so
+  // restoring the invariant costs O(k) instead of re-initialising O(n).
+  thread_local std::vector<std::size_t> idx;
+  thread_local std::vector<std::pair<std::size_t, std::size_t>> swaps;
+  if (idx.size() < n) {
+    const std::size_t old = idx.size();
+    idx.resize(n);
+    for (std::size_t i = old; i < n; ++i) idx[i] = i;
+  }
+  swaps.clear();
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_index(n - i);
+    if (j != i) {
+      std::swap(idx[i], idx[j]);
+      swaps.emplace_back(i, j);
+    }
+  }
+  out.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+  for (auto it = swaps.rbegin(); it != swaps.rend(); ++it) {
+    std::swap(idx[it->first], idx[it->second]);
+  }
 }
 
 Rng Rng::split() {

@@ -58,6 +58,11 @@ class Rng {
   /// k distinct indices sampled uniformly from [0, n) (partial shuffle).
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
+  /// Same draw sequence and selection as the vector overload, but writes
+  /// into `out` (resized to k) without allocating per call: hot loops
+  /// (per-node feature sampling in tree training) reuse their buffer.
+  void sample_without_replacement(std::size_t n, std::size_t k,
+                                  std::vector<std::size_t>& out);
 
   /// Derive an independent child generator (for per-thread streams).
   Rng split();

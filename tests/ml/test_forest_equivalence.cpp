@@ -1,0 +1,227 @@
+// Golden equivalence between the legacy row-major training kernel and the
+// columnar fast path (TreeKernel::kColumnar): same splits, same
+// tie-breaking, same node arrays, same importances — bit-identical, not
+// just statistically close. Serialised dumps are compared because
+// save() prints doubles at max_digits10, which round-trips every distinct
+// double to a distinct string. Also covers the batched-inference
+// contract: predict_batch must equal N single predict() calls exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "ml/incremental_forest.hpp"
+#include "ml/random_forest.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::ml {
+namespace {
+
+std::string dump(const DecisionTreeRegressor& tree) {
+  std::ostringstream out;
+  tree.save(out);
+  return out.str();
+}
+
+std::string dump(const RandomForestRegressor& forest) {
+  std::ostringstream out;
+  forest.save(out);
+  return out.str();
+}
+
+// Tie-heavy dataset: quantised features (many equal values per column), a
+// constant column, and duplicated rows — the cases where split
+// tie-breaking and accumulation order can silently diverge.
+Dataset tie_heavy_data(std::size_t n, std::size_t dims, stats::Rng& rng) {
+  Dataset d(dims);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < dims; ++f) {
+      x[f] = f == 0 ? 1.0  // constant feature
+                    : static_cast<double>(rng.uniform_index(5));
+    }
+    const double y = x[1] * 2.0 - x[2] + 0.25 * rng.normal();
+    d.add(x, y);
+    if (i % 7 == 0) d.add(x, y);  // exact duplicate rows
+  }
+  return d;
+}
+
+Dataset smooth_data(std::size_t n, std::size_t dims, stats::Rng& rng) {
+  Dataset d(dims);
+  std::vector<double> x(dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+    d.add(x, x[0] * x[0] - 3.0 * x[1] + rng.normal());
+  }
+  return d;
+}
+
+TreeConfig tree_config(SplitMode mode, TreeKernel kernel) {
+  TreeConfig cfg;
+  cfg.split_mode = mode;
+  cfg.kernel = kernel;
+  cfg.max_features = 3;
+  return cfg;
+}
+
+class SplitModeEquivalence : public ::testing::TestWithParam<SplitMode> {};
+
+TEST_P(SplitModeEquivalence, ForestTreesBitIdenticalOnTies) {
+  stats::Rng data_rng(11);
+  const auto data = tie_heavy_data(300, 6, data_rng);
+  ForestConfig legacy_cfg;
+  legacy_cfg.n_trees = 12;
+  legacy_cfg.tree = tree_config(GetParam(), TreeKernel::kLegacy);
+  ForestConfig fast_cfg = legacy_cfg;
+  fast_cfg.tree.kernel = TreeKernel::kColumnar;
+
+  RandomForestRegressor legacy(legacy_cfg), fast(fast_cfg);
+  stats::Rng rng_a(42), rng_b(42);
+  legacy.fit(data, rng_a);
+  fast.fit(data, rng_b);
+  EXPECT_EQ(dump(legacy), dump(fast));
+
+  // Importances feed Figure 8; they must match to the bit as well.
+  const auto imp_a = legacy.importance();
+  const auto imp_b = fast.importance();
+  ASSERT_EQ(imp_a.size(), imp_b.size());
+  for (std::size_t i = 0; i < imp_a.size(); ++i) {
+    EXPECT_EQ(imp_a[i], imp_b[i]) << "importance[" << i << "]";
+  }
+}
+
+TEST_P(SplitModeEquivalence, TreeBitIdenticalOnBootstrapMultiset) {
+  stats::Rng data_rng(12);
+  const auto data = smooth_data(250, 5, data_rng);
+  // Bootstrap multiset: repeated indices, unsorted order.
+  stats::Rng boot(5);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < 400; ++i) {
+    rows.push_back(boot.uniform_index(data.size()));
+  }
+  DecisionTreeRegressor legacy(tree_config(GetParam(), TreeKernel::kLegacy));
+  DecisionTreeRegressor fast(tree_config(GetParam(), TreeKernel::kColumnar));
+  stats::Rng rng_a(7), rng_b(7);
+  legacy.fit(data, rows, rng_a);
+  fast.fit(data, rows, rng_b);
+  EXPECT_EQ(dump(legacy), dump(fast));
+  // The RNG streams must also stay in lockstep (same draw sequence).
+  EXPECT_EQ(rng_a.next(), rng_b.next());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, SplitModeEquivalence,
+                         ::testing::Values(SplitMode::kBest,
+                                           SplitMode::kRandom));
+
+TEST(ForestEquivalence, WideFeatureBestSplitFallbackBitIdentical) {
+  // Feature count above the presort cap exercises the columnar
+  // gather+sort fallback of the kBest path.
+  stats::Rng data_rng(13);
+  const auto data = smooth_data(80, 600, data_rng);
+  TreeConfig legacy_cfg = tree_config(SplitMode::kBest, TreeKernel::kLegacy);
+  legacy_cfg.max_features = 0;  // sqrt(600)
+  TreeConfig fast_cfg = legacy_cfg;
+  fast_cfg.kernel = TreeKernel::kColumnar;
+  DecisionTreeRegressor legacy(legacy_cfg), fast(fast_cfg);
+  stats::Rng rng_a(21), rng_b(21);
+  legacy.fit(data, rng_a);
+  fast.fit(data, rng_b);
+  EXPECT_EQ(dump(legacy), dump(fast));
+}
+
+TEST(ForestEquivalence, IncrementalRefreshesStayBitIdentical) {
+  // Several partial_fit rounds: the columnar path appends to the shared
+  // ColumnStore across refreshes; the models must never diverge.
+  IncrementalForestConfig legacy_cfg;
+  legacy_cfg.forest.n_trees = 10;
+  legacy_cfg.forest.tree = tree_config(SplitMode::kRandom, TreeKernel::kLegacy);
+  IncrementalForestConfig fast_cfg = legacy_cfg;
+  fast_cfg.forest.tree.kernel = TreeKernel::kColumnar;
+  IncrementalForest legacy(legacy_cfg, 3), fast(fast_cfg, 3);
+
+  stats::Rng data_rng(14);
+  for (int round = 0; round < 5; ++round) {
+    const auto batch = tie_heavy_data(60, 6, data_rng);
+    legacy.partial_fit(batch);
+    // Replays the same draws because tie_heavy_data consumed data_rng;
+    // rebuild an identical batch from the stored buffer instead.
+    const auto view = legacy.buffer();
+    Dataset same(batch.feature_count());
+    for (std::size_t i = view.size() - batch.size(); i < view.size(); ++i) {
+      same.add(view.x(i), view.y(i));
+    }
+    fast.partial_fit(same);
+    EXPECT_EQ(dump(legacy.forest()), dump(fast.forest())) << "round " << round;
+  }
+}
+
+TEST(ForestEquivalence, PredictBatchMatchesSinglePredictions) {
+  stats::Rng data_rng(15);
+  const auto data = smooth_data(400, 8, data_rng);
+  ForestConfig cfg;
+  cfg.n_trees = 25;
+  RandomForestRegressor forest(cfg);
+  stats::Rng rng(9);
+  forest.fit(data, rng);
+
+  Matrix queries(0, data.feature_count());
+  std::vector<double> q(data.feature_count());
+  for (int i = 0; i < 64; ++i) {
+    for (auto& v : q) v = data_rng.uniform(-2.5, 2.5);
+    queries.push_row(q);
+  }
+  const auto batch = forest.predict_batch(queries);
+  ASSERT_EQ(batch.size(), queries.rows());
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    EXPECT_EQ(batch[i], forest.predict(queries.row(i))) << "row " << i;
+  }
+}
+
+TEST(ForestEquivalence, IncrementalPredictBatchMatchesSingles) {
+  IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 15;
+  IncrementalForest model(cfg, 4);
+  stats::Rng data_rng(16);
+  model.partial_fit(smooth_data(200, 5, data_rng));
+
+  Matrix queries(0, 5);
+  std::vector<double> q(5);
+  for (int i = 0; i < 32; ++i) {
+    for (auto& v : q) v = data_rng.uniform(-2.0, 2.0);
+    queries.push_row(q);
+  }
+  const auto batch = model.predict_batch(queries);
+  for (std::size_t i = 0; i < queries.rows(); ++i) {
+    EXPECT_EQ(batch[i], model.predict(queries.row(i))) << "row " << i;
+  }
+}
+
+TEST(ForestEquivalence, PredictBatchOnUnfittedForestIsZero) {
+  RandomForestRegressor forest;
+  Matrix queries(0, 3);
+  queries.push_row(std::vector<double>{1.0, 2.0, 3.0});
+  const auto out = forest.predict_batch(queries);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 0.0);
+}
+
+TEST(ForestEquivalence, ParallelColumnarTrainingMatchesSerial) {
+  // The shared ColumnStore is primed once and read concurrently; a
+  // 4-thread fit must equal the single-thread fit bit for bit.
+  stats::Rng data_rng(17);
+  const auto data = tie_heavy_data(200, 6, data_rng);
+  ForestConfig serial_cfg;
+  serial_cfg.n_trees = 16;
+  serial_cfg.threads = 1;
+  ForestConfig parallel_cfg = serial_cfg;
+  parallel_cfg.threads = 4;
+  RandomForestRegressor serial(serial_cfg), parallel(parallel_cfg);
+  stats::Rng rng_a(33), rng_b(33);
+  serial.fit(data, rng_a);
+  parallel.fit(data, rng_b);
+  EXPECT_EQ(dump(serial), dump(parallel));
+}
+
+}  // namespace
+}  // namespace gsight::ml
