@@ -6,10 +6,14 @@
 // tools/bench_schema_check in the check.sh smoke stage).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common.hpp"
 #include "core/encoder.hpp"
 #include "ml/incremental_forest.hpp"
 #include "ml/random_forest.hpp"
+#include "serve/service.hpp"
 #include "sim/engine.hpp"
 #include "sim/interference.hpp"
 #include "stats/rng.hpp"
@@ -207,6 +211,108 @@ void BM_ForestPredictBatched(benchmark::State& state) {
   BM_ForestPredictImpl(state, PredictPath::kFlatBatch);
 }
 BENCHMARK(BM_ForestPredictBatched)->Unit(benchmark::kMicrosecond);
+
+// Serving-layer inference kernels: what the micro-batching queue costs
+// relative to raw model calls, and what it buys under trainer contention.
+// All three use the same trained incremental forest at Table-4 scale and
+// the same 32-request sweep as BM_ForestPredict*:
+//
+//   Singles   — 32 direct predict() calls, single-threaded: the naive
+//               per-request serving baseline.
+//   Batch     — the same 32 requests through the synchronous service
+//               (bounded queue + micro-batch + predict_batch): queue and
+//               dispatch overhead on top of the batched fast path.
+//   Contended — the threaded service with workers batching while the
+//               background trainer keeps folding observations and
+//               hot-swapping snapshots: the production shape.
+ml::IncrementalForest serve_bench_model(std::size_t dims) {
+  stats::Rng rng(29);
+  ml::Dataset data(dims);
+  std::vector<double> x(dims);
+  for (int i = 0; i < 500; ++i) {
+    for (auto& v : x) v = rng.uniform();
+    data.add(x, rng.uniform());
+  }
+  ml::IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 80;
+  cfg.forest.tree.split_mode = ml::SplitMode::kRandom;
+  cfg.forest.tree.max_features = 128;
+  ml::IncrementalForest forest(cfg, 1);
+  forest.partial_fit(data);
+  return forest;
+}
+
+std::vector<std::vector<double>> serve_bench_queries(std::size_t dims,
+                                                     std::size_t n) {
+  stats::Rng rng(31);
+  std::vector<std::vector<double>> queries(n, std::vector<double>(dims));
+  for (auto& q : queries) {
+    for (auto& v : q) v = rng.uniform();
+  }
+  return queries;
+}
+
+constexpr std::size_t kServeDims = 2580;
+constexpr std::size_t kServeSweep = 32;
+
+void BM_ServePredictSingles(benchmark::State& state) {
+  const auto model = serve_bench_model(kServeDims);
+  const auto queries = serve_bench_queries(kServeDims, kServeSweep);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& q : queries) acc += model.predict(q);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ServePredictSingles)->Unit(benchmark::kMicrosecond);
+
+void BM_ServePredictBatchService(benchmark::State& state) {
+  serve::ServiceConfig cfg;
+  cfg.feature_dim = kServeDims;
+  cfg.max_batch = kServeSweep;
+  cfg.worker_threads = 0;  // synchronous: the caller is the batcher
+  serve::PredictionService service(cfg, serve_bench_model(kServeDims));
+  service.start();
+  const auto queries = serve_bench_queries(kServeDims, kServeSweep);
+  for (auto _ : state) {
+    for (const auto& q : queries) {
+      service.submit(std::vector<double>(q), nullptr);
+    }
+    std::size_t served = 0;
+    while (served < kServeSweep) served += service.poll();
+    benchmark::DoNotOptimize(served);
+  }
+}
+BENCHMARK(BM_ServePredictBatchService)->Unit(benchmark::kMicrosecond);
+
+void BM_ServePredictBatchContended(benchmark::State& state) {
+  serve::ServiceConfig cfg;
+  cfg.feature_dim = kServeDims;
+  cfg.max_batch = kServeSweep;
+  cfg.worker_threads = 2;
+  cfg.train_batch = 64;  // every other sweep triggers a background round
+  serve::PredictionService service(cfg, serve_bench_model(kServeDims));
+  service.start();
+  const auto queries = serve_bench_queries(kServeDims, kServeSweep);
+  stats::Rng label_rng(37);
+  for (auto _ : state) {
+    std::atomic<std::size_t> done{0};
+    for (const auto& q : queries) {
+      service.observe(std::vector<double>(q), label_rng.uniform());
+      service.submit(std::vector<double>(q),
+                     [&done](const serve::PredictResult&) {
+                       done.fetch_add(1, std::memory_order_release);
+                     });
+    }
+    while (done.load(std::memory_order_acquire) < kServeSweep) {
+      std::this_thread::yield();
+    }
+  }
+  state.counters["snapshot_swaps"] =
+      static_cast<double>(service.stats().snapshot_swaps);
+  service.stop();
+}
+BENCHMARK(BM_ServePredictBatchContended)->Unit(benchmark::kMicrosecond);
 
 void BM_ForestIncrementalUpdate(benchmark::State& state) {
   stats::Rng rng(3);

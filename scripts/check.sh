@@ -3,15 +3,20 @@
 #   1. gsight_lint (determinism/hygiene linter) + its self-test
 #   2. clang-tidy over src/ (skipped with a notice when not installed)
 #   3. ASan+UBSan build + the entire ctest suite
-#   4. TSan build + the thread-pool / forest / trainer / campaign tests
-#      (the only multi-threaded code paths)
+#   4. TSan build + the thread-pool / forest / trainer / campaign / serve
+#      tests (the multi-threaded code paths)
 #   5. bench smoke: run bench_micro with RunReport enabled and validate
 #      the emitted BENCH_micro.json with tools/bench_schema_check
 #   5b. model kernels: legacy-vs-columnar forest train and predict
-#      benchmarks under GSIGHT_THREADS=1, schema-checked like any bench
+#      benchmarks plus the serving-layer inference kernels under
+#      GSIGHT_THREADS=1, schema-checked like any bench
 #   6. campaign-equivalence: `gsight campaign` serial vs parallel sample
 #      dumps must be byte-identical (the determinism contract of
 #      core::CampaignRunner, DESIGN.md §9)
+#   7. serve smoke: short `gsight serve-bench` runs. The synchronous twin
+#      (--threads 0) must emit byte-identical BENCH_serve.json across two
+#      runs (modulo wall_time_s) with at least one hot swap; the threaded
+#      run must schema-check and hot-swap under load too
 #
 # Each stage gets its own build tree under build-check/ so the developer's
 # main build/ directory is never clobbered. Warnings are errors everywhere.
@@ -76,11 +81,12 @@ banner "TSan build + threaded tests"
 TSAN_DIR="$ROOT/build-check/tsan"
 configure_build "$TSAN_DIR" "-DGSIGHT_SANITIZE=thread"
 # The multi-threaded surface: ThreadPool itself plus its users (forest
-# training/inference, incremental models, trainer, campaigns).
+# training/inference, incremental models, trainer, campaigns) and the
+# online serving stack (workers, background trainer, snapshot hot swap).
 ( cd "$TSAN_DIR" && \
   TSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign' )
+        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign|Serve' )
 
 # --- 5. Bench smoke --------------------------------------------------------
 banner "bench smoke: bench_micro -> BENCH_micro.json -> bench_schema_check"
@@ -110,7 +116,7 @@ KERNEL_DIR="$BENCH_DIR/model-kernels"
 rm -rf "$KERNEL_DIR" && mkdir -p "$KERNEL_DIR"
 GSIGHT_THREADS=1 GSIGHT_BENCH_DIR="$KERNEL_DIR" "$BENCH_DIR/bench/bench_micro" \
   --benchmark_min_time=0.01 \
-  --benchmark_filter='BM_ForestTrain|BM_ForestPredict(Legacy|Singles|Batched)'
+  --benchmark_filter='BM_ForestTrain|BM_ForestPredict(Legacy|Singles|Batched)|BM_ServePredict'
 [[ -f "$KERNEL_DIR/BENCH_micro.json" ]] \
   || { echo "model kernels: BENCH_micro.json was not written"; exit 1; }
 "$BENCH_DIR/tools/bench_schema_check" "$KERNEL_DIR/BENCH_micro.json"
@@ -130,5 +136,35 @@ rm -rf "$EQ_DIR" && mkdir -p "$EQ_DIR"
 cmp "$EQ_DIR/serial.dump" "$EQ_DIR/parallel.dump" \
   || { echo "campaign-equivalence: serial/parallel dumps differ"; exit 1; }
 echo "serial and parallel campaign dumps are byte-identical"
+
+# --- 7. Serve smoke ---------------------------------------------------------
+banner "serve smoke: serve-bench determinism twin + threaded hot-swap"
+SERVE_DIR="$BENCH_DIR/serve-smoke"
+rm -rf "$SERVE_DIR" && mkdir -p "$SERVE_DIR/twin1" "$SERVE_DIR/twin2" "$SERVE_DIR/threaded"
+SERVE_ARGS=(--requests 3000 --dim 64 --warm 128 --rate 200000 --seed 99)
+# Synchronous twin: two identical runs on the virtual clock must produce
+# byte-identical reports except for the harness-measured wall_time_s.
+"$BENCH_DIR/tools/gsight" serve-bench --threads 0 "${SERVE_ARGS[@]}" \
+  --out "$SERVE_DIR/twin1" > /dev/null
+"$BENCH_DIR/tools/gsight" serve-bench --threads 0 "${SERVE_ARGS[@]}" \
+  --out "$SERVE_DIR/twin2" > /dev/null
+grep -v '"wall_time_s"' "$SERVE_DIR/twin1/BENCH_serve.json" > "$SERVE_DIR/twin1.stripped"
+grep -v '"wall_time_s"' "$SERVE_DIR/twin2/BENCH_serve.json" > "$SERVE_DIR/twin2.stripped"
+cmp "$SERVE_DIR/twin1.stripped" "$SERVE_DIR/twin2.stripped" \
+  || { echo "serve smoke: twin serve-bench reports differ"; exit 1; }
+echo "synchronous serve-bench twins are byte-identical (modulo wall_time_s)"
+# Threaded run: schema-valid report and at least one hot swap under load.
+"$BENCH_DIR/tools/gsight" serve-bench --threads 2 "${SERVE_ARGS[@]}" \
+  --rate 50000 --out "$SERVE_DIR/threaded" > /dev/null
+for report in "$SERVE_DIR/twin1/BENCH_serve.json" "$SERVE_DIR/threaded/BENCH_serve.json"; do
+  "$BENCH_DIR/tools/bench_schema_check" "$report"
+  grep -q '"name": "hot_swaps_under_load"' "$report" \
+    || { echo "serve smoke: $report lacks hot_swaps_under_load"; exit 1; }
+  swaps=$(grep -A1 '"name": "hot_swaps_under_load"' "$report" \
+          | grep '"value"' | grep -o '[0-9.]\+')
+  awk -v s="$swaps" 'BEGIN { exit (s >= 1 ? 0 : 1) }' \
+    || { echo "serve smoke: $report reports no hot swap under load"; exit 1; }
+done
+echo "serve-bench hot-swapped under load in both regimes"
 
 banner "all checks passed"

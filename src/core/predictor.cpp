@@ -32,24 +32,28 @@ std::vector<double> ScenarioPredictor::predict_batch(
   return out;
 }
 
+ml::IncrementalForestConfig deployed_irfr_config(ml::TreeKernel forest_kernel) {
+  ml::IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 80;
+  // The overlap-coded feature space is wide (hundreds to thousands of
+  // dims); Extra-Trees-style random thresholds keep fitting cheap with
+  // no measurable accuracy loss at this dimensionality. The feature
+  // subsample per split is raised above sqrt(d) because informative
+  // dimensions (occupied server rows) are a small fraction of the code.
+  cfg.forest.tree.split_mode = ml::SplitMode::kRandom;
+  cfg.forest.tree.max_depth = 22;
+  cfg.forest.tree.min_samples_leaf = 2;
+  cfg.forest.tree.max_features = 128;
+  cfg.forest.tree.kernel = forest_kernel;
+  return cfg;
+}
+
 std::unique_ptr<ml::IncrementalRegressor> make_model(
     ModelKind kind, std::uint64_t seed, ml::TreeKernel forest_kernel) {
   switch (kind) {
-    case ModelKind::kIRFR: {
-      ml::IncrementalForestConfig cfg;
-      cfg.forest.n_trees = 80;
-      // The overlap-coded feature space is wide (hundreds to thousands of
-      // dims); Extra-Trees-style random thresholds keep fitting cheap with
-      // no measurable accuracy loss at this dimensionality. The feature
-      // subsample per split is raised above sqrt(d) because informative
-      // dimensions (occupied server rows) are a small fraction of the code.
-      cfg.forest.tree.split_mode = ml::SplitMode::kRandom;
-      cfg.forest.tree.max_depth = 22;
-      cfg.forest.tree.min_samples_leaf = 2;
-      cfg.forest.tree.max_features = 128;
-      cfg.forest.tree.kernel = forest_kernel;
-      return std::make_unique<ml::IncrementalForest>(cfg, seed);
-    }
+    case ModelKind::kIRFR:
+      return std::make_unique<ml::IncrementalForest>(
+          deployed_irfr_config(forest_kernel), seed);
     case ModelKind::kIKNN:
       return std::make_unique<ml::IncrementalKnn>(ml::KnnConfig{}, seed);
     case ModelKind::kILR:

@@ -27,6 +27,15 @@ const char* to_string(QosKind kind);
 enum class ModelKind { kIRFR, kIKNN, kILR, kISVR, kIMLP };
 
 const char* to_string(ModelKind kind);
+
+/// The IRFR configuration Gsight deploys (80 extra-trees with random
+/// thresholds over the wide overlap-coded feature space). Single source
+/// of truth shared by make_model and the online serving stack, so the
+/// model served by `gsight serve-bench` is the model the experiments
+/// evaluate.
+ml::IncrementalForestConfig deployed_irfr_config(
+    ml::TreeKernel forest_kernel = ml::TreeKernel::kColumnar);
+
 std::unique_ptr<ml::IncrementalRegressor> make_model(
     ModelKind kind, std::uint64_t seed = 1,
     ml::TreeKernel forest_kernel = ml::TreeKernel::kColumnar);

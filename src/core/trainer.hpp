@@ -136,18 +136,6 @@ class DatasetBuilder {
   /// builder's stream unless `request.campaign.root_seed` pins it.
   std::vector<ScenarioSamples> build(const BuildRequest& request);
 
-  /// Deprecated positional shim (one PR of grace; pass a BuildRequest).
-  [[deprecated("pass a BuildRequest")]]
-  std::vector<ScenarioSamples> build(ColocationClass cls, QosKind qos,
-                                     std::size_t scenario_count) {
-    BuildRequest request;
-    request.cls = cls;
-    request.qos = qos;
-    request.count = scenario_count;
-    request.campaign.threads = 1;
-    return build(request);
-  }
-
   /// Draw a random executable spec of the class (exposed for benches that
   /// need matched train/deploy distributions).
   ScenarioSpec sample_spec(ColocationClass cls);

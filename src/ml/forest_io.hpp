@@ -21,9 +21,17 @@ void write_forest(std::ostream& out, const RandomForestRegressor& forest);
 RandomForestRegressor read_forest(std::istream& in);
 
 /// Full incremental state: forest + sample buffer + configuration knobs
-/// needed to keep updating after reload.
+/// + the monotonic model version stamp + the updater's RNG stream, i.e.
+/// everything needed to keep updating after reload *bit-identically* to
+/// an uninterrupted run (format `gsight-irfr-v2`; the stamp-less v1
+/// format is still readable and resumes at version 0 with a fresh
+/// stream). The version stamp is what serve::SnapshotSlot orders model
+/// hot-swaps by.
 void save_incremental_forest(const IncrementalForest& model,
                              const std::string& path);
+void save_incremental_forest(const IncrementalForest& model,
+                             std::ostream& out);
 IncrementalForest load_incremental_forest(const std::string& path);
+IncrementalForest load_incremental_forest(std::istream& in);
 
 }  // namespace gsight::ml

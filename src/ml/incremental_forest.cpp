@@ -24,11 +24,13 @@ void IncrementalForest::partial_fit(const Dataset& batch) {
   buffer_.append(batch);
   if (!forest_.fitted()) {
     forest_.fit(refit_view(), rng_);
+    ++version_;
     return;
   }
   const auto count = static_cast<std::size_t>(std::ceil(
       config_.refresh_fraction * static_cast<double>(config_.forest.n_trees)));
   forest_.refresh_trees(refit_view(), std::max<std::size_t>(1, count), rng_);
+  ++version_;
 }
 
 double IncrementalForest::predict(std::span<const double> x) const {

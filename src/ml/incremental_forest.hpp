@@ -36,11 +36,26 @@ class IncrementalForest final : public IncrementalRegressor {
   const RandomForestRegressor& forest() const { return forest_; }
   const Dataset& buffer() const { return buffer_; }
   const IncrementalForestConfig& config() const { return config_; }
+
+  /// Monotonic model version: 0 until the first partial_fit, then bumped
+  /// once per absorbed batch. Serving snapshots (serve::SnapshotSlot) use
+  /// it to order hot-swaps and reject stale publishes; forest_io persists
+  /// it so a reloaded model keeps counting where it left off.
+  std::uint64_t version() const { return version_; }
+
   /// Restore persisted state (see ml/forest_io.hpp).
-  void restore(RandomForestRegressor forest, Dataset buffer) {
+  void restore(RandomForestRegressor forest, Dataset buffer,
+               std::uint64_t version = 0) {
     forest_ = std::move(forest);
     buffer_ = std::move(buffer);
+    version_ = version;
   }
+
+  /// Updater-stream state, persisted alongside the forest so a reloaded
+  /// model continues its refresh schedule bit-identically to an
+  /// uninterrupted run (ForestIo.MidStreamRoundTrip).
+  stats::Rng::State rng_state() const { return rng_.state(); }
+  void set_rng_state(const stats::Rng::State& st) { rng_.set_state(st); }
 
  private:
   /// The rows the next refresh trains on. Returns buffer_ itself (no
@@ -56,6 +71,7 @@ class IncrementalForest final : public IncrementalRegressor {
   Dataset buffer_;
   Dataset subsample_;  ///< scratch for the capped-refit path
   stats::Rng rng_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace gsight::ml

@@ -10,10 +10,14 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace gsight::ml {
@@ -37,6 +41,29 @@ class ThreadPool {
   /// safe: a nested call makes progress on the caller's thread even when
   /// every worker is busy.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Enqueue one task and return a future for its result. Unlike
+  /// parallel_for this never blocks the caller: it is the fire-and-forget
+  /// path (background model training in serve::PredictionService). An
+  /// exception thrown by the task is captured in the future and rethrown
+  /// by get(). Tasks submitted before destruction are all executed — the
+  /// destructor drains the queue before joining.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stop_) {
+        throw std::runtime_error("ThreadPool::submit on a stopping pool");
+      }
+      tasks_.push([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
 
   /// Process-wide pool for library internals.
   static ThreadPool& shared();

@@ -55,20 +55,6 @@ class SoloProfiler {
   /// parallel equivalent (identical output), see core::profile_all.
   ProfileStore profile_all(const std::vector<ProfileRequest>& requests) const;
 
-  /// Deprecated positional shims (one PR of grace; migrate to the
-  /// request-struct overloads above).
-  [[deprecated("pass a ProfileRequest")]]
-  AppProfile profile(const wl::App& app) const {
-    return profile(ProfileRequest{app});
-  }
-  [[deprecated("pass ProfileRequests")]]
-  ProfileStore profile_all(const std::vector<wl::App>& apps) const {
-    std::vector<ProfileRequest> requests;
-    requests.reserve(apps.size());
-    for (const auto& app : apps) requests.push_back({app, 0.0});
-    return profile_all(requests);
-  }
-
   const SoloProfilerConfig& config() const { return config_; }
 
  private:

@@ -1,0 +1,54 @@
+// Time source for the serving layer. Everything in src/serve that needs
+// "now" takes it through this interface so the same service code runs in
+// two regimes:
+//
+//   * SteadyClock — the host's monotonic clock, used by the threaded
+//     service in production shape. This is the single sanctioned
+//     wall-clock exception in src/ (the serving layer is a real daemon,
+//     not simulation code; see the allow() annotations in clock.cpp).
+//   * ManualClock — a virtual clock advanced explicitly by the caller.
+//     The synchronous service mode and the deterministic LoadDriver use
+//     it, which is what makes single-threaded serve-bench twin runs
+//     byte-identical: latencies are derived purely from the virtual
+//     timeline, never from the host.
+//
+// Timestamps are nanoseconds from an arbitrary epoch; only differences
+// are meaningful.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gsight::serve {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_ns() const = 0;
+};
+
+/// Deterministic, externally advanced clock. Thread-safe: readers load a
+/// single atomic, so it can also pace multi-threaded tests that advance
+/// time from one thread.
+class ManualClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override {
+    return ns_.load(std::memory_order_acquire);
+  }
+  void set_ns(std::uint64_t ns) { ns_.store(ns, std::memory_order_release); }
+  void advance_ns(std::uint64_t delta) {
+    ns_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ns_{0};
+};
+
+/// The host's monotonic clock (threaded serving only).
+class SteadyClock final : public Clock {
+ public:
+  std::uint64_t now_ns() const override;
+  static const SteadyClock& instance();
+};
+
+}  // namespace gsight::serve

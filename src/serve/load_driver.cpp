@@ -1,0 +1,230 @@
+#include "serve/load_driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "core/contracts.hpp"
+#include "stats/seed_stream.hpp"
+#include "stats/summary.hpp"
+
+namespace gsight::serve {
+
+namespace {
+
+constexpr double kNsPerSecond = 1e9;
+constexpr double kNsPerMicro = 1e3;
+
+}  // namespace
+
+LoadDriver::LoadDriver(LoadDriverConfig config) : config_(config) {
+  GSIGHT_ASSERT(config_.requests > 0, "LoadDriver needs requests > 0");
+  GSIGHT_ASSERT(config_.rate_hz > 0.0, "LoadDriver needs rate_hz > 0");
+  GSIGHT_ASSERT(config_.clients > 0, "LoadDriver needs clients > 0");
+}
+
+std::vector<double> LoadDriver::make_features(std::size_t dim,
+                                              stats::Rng& rng) const {
+  std::vector<double> x(dim);
+  for (auto& v : x) v = rng.uniform();
+  return x;
+}
+
+double LoadDriver::label_of(const std::vector<double>& features) {
+  // Smooth, deterministic pseudo-QoS: weighted mean plus a mild
+  // nonlinearity so the forest has structure to learn.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    acc += features[i] * (1.0 + static_cast<double>(i % 7) * 0.25);
+  }
+  const double mean = acc / static_cast<double>(features.size());
+  return mean + 0.1 * mean * mean;
+}
+
+LoadOutcome LoadDriver::finalise(std::vector<double>& latencies_us,
+                                 std::size_t submitted, std::size_t shed,
+                                 double duration_s) const {
+  LoadOutcome out;
+  out.submitted = submitted;
+  out.shed = shed;
+  out.completed = latencies_us.size();
+  out.duration_s = duration_s;
+  if (duration_s > 0.0) {
+    out.throughput_rps = static_cast<double>(out.completed) / duration_s;
+  }
+  if (!latencies_us.empty()) {
+    out.latency_p50_us = stats::percentile_inplace(latencies_us, 50.0);
+    out.latency_p95_us = stats::percentile_inplace(latencies_us, 95.0);
+    out.latency_p99_us = stats::percentile_inplace(latencies_us, 99.0);
+    out.latency_max_us =
+        *std::max_element(latencies_us.begin(), latencies_us.end());
+    out.latency_mean_us = stats::mean(latencies_us);
+  }
+  return out;
+}
+
+LoadOutcome LoadDriver::run_deterministic(PredictionService& service) {
+  GSIGHT_ASSERT(config_.mode == LoadDriverConfig::Mode::kOpenLoop,
+                "deterministic runs are open-loop (closed-loop latency "
+                "needs a real clock)");
+  GSIGHT_ASSERT(service.config().worker_threads == 0,
+                "deterministic runs need a synchronous service");
+  ManualClock* clock = service.manual_clock();
+  GSIGHT_ASSERT(clock != nullptr,
+                "deterministic runs need the service's own ManualClock");
+
+  const std::size_t dim = service.config().feature_dim;
+  const auto linger_ns =
+      static_cast<std::uint64_t>(service.config().batch_linger.count());
+  const std::size_t max_batch = service.config().max_batch;
+  stats::Rng rng(stats::SeedStream::derive(config_.seed, 0));
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(config_.requests);
+  auto on_done = [&latencies_us](const PredictResult& r) {
+    latencies_us.push_back(static_cast<double>(r.latency_ns) / kNsPerMicro);
+  };
+
+  // FIFO mirror of queued submit times: the queue serves in submission
+  // order, so mirror.front() is always the oldest pending arrival —
+  // which is what the batch-forming deadline is measured from.
+  std::deque<std::uint64_t> pending;
+  auto drain_one = [&] {
+    const std::size_t served = service.poll();
+    for (std::size_t i = 0; i < served; ++i) pending.pop_front();
+    return served;
+  };
+
+  std::size_t shed = 0;
+  double arrival_s = 0.0;
+  std::uint64_t first_ns = 0;
+  for (std::size_t i = 0; i < config_.requests; ++i) {
+    arrival_s += rng.exponential(config_.rate_hz);
+    const auto arrival_ns =
+        static_cast<std::uint64_t>(arrival_s * kNsPerSecond);
+    if (i == 0) first_ns = arrival_ns;
+    // Fire every batch deadline that elapses before this arrival.
+    while (!pending.empty() && pending.front() + linger_ns <= arrival_ns) {
+      clock->set_ns(pending.front() + linger_ns);
+      if (drain_one() == 0) break;
+    }
+    clock->set_ns(arrival_ns);
+    auto features = make_features(dim, rng);
+    const bool feed_observation =
+        config_.observe_every > 0 && i % config_.observe_every == 0;
+    if (feed_observation) {
+      // Same vector as the request: prediction and ground truth pair up.
+      service.observe(features, label_of(features));
+    }
+    if (service.submit(std::move(features), on_done)) {
+      pending.push_back(arrival_ns);
+    } else {
+      ++shed;
+    }
+    // A full batch is served immediately — no reason to linger.
+    while (pending.size() >= max_batch) {
+      if (drain_one() == 0) break;
+    }
+  }
+  // Tail: serve remaining requests at their deadlines.
+  while (!pending.empty()) {
+    clock->set_ns(pending.front() + linger_ns);
+    if (drain_one() == 0) break;
+  }
+  service.train_now();  // fold any leftover observations
+
+  const double duration_s =
+      static_cast<double>(clock->now_ns() - first_ns) / kNsPerSecond;
+  return finalise(latencies_us, config_.requests, shed, duration_s);
+}
+
+LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
+  GSIGHT_ASSERT(service.config().worker_threads > 0,
+                "run_threaded needs a threaded service");
+  service.start();
+  const std::size_t dim = service.config().feature_dim;
+  const Clock* clock = service.clock();
+
+  std::mutex lat_mutex;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(config_.requests);
+  std::atomic<std::size_t> completed{0};
+  auto on_done = [&](const PredictResult& r) {
+    {
+      std::lock_guard lock(lat_mutex);
+      latencies_us.push_back(static_cast<double>(r.latency_ns) / kNsPerMicro);
+    }
+    completed.fetch_add(1, std::memory_order_release);
+  };
+
+  const std::uint64_t start_ns = clock->now_ns();
+  std::size_t shed = 0;
+  std::size_t accepted = 0;
+
+  if (config_.mode == LoadDriverConfig::Mode::kOpenLoop) {
+    stats::Rng rng(stats::SeedStream::derive(config_.seed, 0));
+    double arrival_s = 0.0;
+    for (std::size_t i = 0; i < config_.requests; ++i) {
+      arrival_s += rng.exponential(config_.rate_hz);
+      const auto due_ns =
+          start_ns + static_cast<std::uint64_t>(arrival_s * kNsPerSecond);
+      // Open loop: hold the schedule regardless of completions.
+      for (;;) {
+        const std::uint64_t now = clock->now_ns();
+        if (now >= due_ns) break;
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            std::min<std::uint64_t>(due_ns - now, 200'000)));
+      }
+      auto features = make_features(dim, rng);
+      if (config_.observe_every > 0 && i % config_.observe_every == 0) {
+        service.observe(features, label_of(features));
+      }
+      if (service.submit(std::move(features), on_done)) {
+        ++accepted;
+      } else {
+        ++shed;
+      }
+    }
+    // Wait for in-flight work to complete (bounded: the queue is bounded
+    // and workers drain it, so this terminates).
+    while (completed.load(std::memory_order_acquire) < accepted) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> shed_count{0};
+    std::vector<std::thread> clients;
+    clients.reserve(config_.clients);
+    for (std::size_t c = 0; c < config_.clients; ++c) {
+      clients.emplace_back([&, c] {
+        stats::Rng rng(stats::SeedStream::derive(config_.seed, c + 1));
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= config_.requests) return;
+          auto features = make_features(dim, rng);
+          if (config_.observe_every > 0 && i % config_.observe_every == 0) {
+            service.observe(features, label_of(features));
+          }
+          const auto result = service.predict_wait(std::move(features));
+          if (!result.has_value()) {
+            shed_count.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          on_done(*result);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    shed = shed_count.load();
+    accepted = config_.requests - shed;
+  }
+
+  const double duration_s =
+      static_cast<double>(clock->now_ns() - start_ns) / kNsPerSecond;
+  std::lock_guard lock(lat_mutex);
+  return finalise(latencies_us, config_.requests, shed, duration_s);
+}
+
+}  // namespace gsight::serve

@@ -1,0 +1,93 @@
+// LoadDriver — synthetic load against a PredictionService, the harness
+// behind `gsight serve-bench`. Two loop disciplines (classic load-testing
+// shapes):
+//
+//   open loop   — requests arrive on a Poisson schedule at rate_hz
+//                 regardless of completions, the arrival process a
+//                 serverless gateway actually sees. Overload therefore
+//                 shows up as shedding, not as a silently slowed client.
+//   closed loop — `clients` concurrent callers each submit, wait for the
+//                 result, and repeat: the scheduler-in-the-loop shape.
+//
+// Against a synchronous service (worker_threads == 0) the driver runs the
+// open loop on a virtual timeline (ManualClock): arrivals, batch-forming
+// deadlines and completions all advance deterministically, so two runs
+// with the same seed produce byte-identical latency distributions and
+// shed/batch counters — the serve-bench determinism gate. Against a
+// threaded service both loops run in real time.
+//
+// A configurable fraction of requests doubles as labelled observations
+// (features + synthetic ground truth) so the background trainer publishes
+// fresh snapshots *under load* — the hot-swap path the bench certifies.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::serve {
+
+struct LoadDriverConfig {
+  enum class Mode { kOpenLoop, kClosedLoop };
+  Mode mode = Mode::kOpenLoop;
+  /// Total requests to submit (open loop) / to complete (closed loop).
+  std::size_t requests = 10000;
+  /// Open-loop Poisson arrival rate.
+  double rate_hz = 50'000.0;
+  /// Closed-loop concurrent clients.
+  std::size_t clients = 4;
+  /// Every n-th request also feeds a labelled observation to the
+  /// trainer (0 = never): this is what drives hot swaps under load.
+  std::size_t observe_every = 8;
+  std::uint64_t seed = 1;
+};
+
+struct LoadOutcome {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  /// Virtual seconds (deterministic run) or real seconds (threaded run)
+  /// from first submission to last completion.
+  double duration_s = 0.0;
+  double throughput_rps = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_mean_us = 0.0;
+  double latency_max_us = 0.0;
+};
+
+class LoadDriver {
+ public:
+  explicit LoadDriver(LoadDriverConfig config);
+
+  /// Deterministic open-loop drive of a synchronous service (requires
+  /// worker_threads == 0 and the service's own ManualClock). Virtual
+  /// latency measures the batching policy: queueing delay between
+  /// arrival and the batch that served it.
+  LoadOutcome run_deterministic(PredictionService& service);
+
+  /// Real-time drive of a started, threaded service (either mode).
+  LoadOutcome run_threaded(PredictionService& service);
+
+  const LoadDriverConfig& config() const { return config_; }
+
+  /// Synthetic ground truth: a fixed smooth function of the features,
+  /// so the model actually converges on something under online updates.
+  /// Public so `gsight serve-bench` can warm the model on the same
+  /// function the driver labels with.
+  static double label_of(const std::vector<double>& features);
+
+ private:
+  std::vector<double> make_features(std::size_t dim, stats::Rng& rng) const;
+  LoadOutcome finalise(std::vector<double>& latencies_us,
+                       std::size_t submitted, std::size_t shed,
+                       double duration_s) const;
+
+  LoadDriverConfig config_;
+};
+
+}  // namespace gsight::serve

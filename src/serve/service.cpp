@@ -1,0 +1,264 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/contracts.hpp"
+#include "ml/matrix.hpp"
+
+namespace gsight::serve {
+
+PredictionService::PredictionService(ServiceConfig config,
+                                     ml::IncrementalForest model)
+    : config_(config),
+      requests_(config.queue_capacity),
+      observations_(config.observe_capacity),
+      model_(std::move(model)),
+      batch_size_counts_(config.max_batch) {
+  GSIGHT_ASSERT(config_.feature_dim > 0,
+                "ServiceConfig.feature_dim is required");
+  GSIGHT_ASSERT(config_.max_batch > 0, "ServiceConfig.max_batch must be > 0");
+  GSIGHT_ASSERT(config_.train_batch > 0,
+                "ServiceConfig.train_batch must be > 0");
+  if (config_.clock != nullptr) {
+    clock_ = config_.clock;
+  } else if (config_.worker_threads == 0) {
+    own_clock_ = std::make_unique<ManualClock>();
+    clock_ = own_clock_.get();
+  } else {
+    clock_ = &SteadyClock::instance();
+  }
+  // A pre-trained model goes live immediately; a cold one serves zeros
+  // until the first training round publishes version 1.
+  if (model_.version() > 0) {
+    slot_.publish(ModelSnapshot::freeze(model_));
+  }
+}
+
+PredictionService::~PredictionService() { stop(); }
+
+void PredictionService::start() {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  if (config_.worker_threads == 0) return;  // synchronous mode: poll-driven
+  trainer_pool_ = std::make_unique<ml::ThreadPool>(1);
+  workers_.reserve(config_.worker_threads);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void PredictionService::stop() {
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    accepting_.store(false, std::memory_order_release);
+  }
+  // Closing wakes blocked workers; they drain what is already queued
+  // (every accepted request gets its callback) and exit.
+  requests_.close();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  observations_.close();
+  // The trainer pool destructor runs any still-queued training task
+  // before joining, so accepted observations are folded; accepting_ is
+  // already false, so those tasks cannot schedule successors.
+  trainer_pool_.reset();
+}
+
+bool PredictionService::submit(std::vector<double> features, Callback done) {
+  if (features.size() != config_.feature_dim) {
+    throw std::invalid_argument(
+        "PredictionService::submit: feature dimension mismatch");
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Request req;
+  req.features = std::move(features);
+  req.submit_ns = clock_->now_ns();
+  req.done = std::move(done);
+  if (!requests_.try_push(std::move(req))) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<PredictResult> PredictionService::predict_wait(
+    std::vector<double> features) {
+  GSIGHT_ASSERT(config_.worker_threads > 0,
+                "predict_wait needs worker threads (synchronous mode would "
+                "deadlock; use submit + poll)");
+  auto state = std::make_shared<std::promise<PredictResult>>();
+  auto result = state->get_future();
+  if (!submit(std::move(features),
+              [state](const PredictResult& r) { state->set_value(r); })) {
+    return std::nullopt;
+  }
+  return result.get();
+}
+
+bool PredictionService::observe(std::vector<double> features, double label) {
+  if (features.size() != config_.feature_dim) {
+    throw std::invalid_argument(
+        "PredictionService::observe: feature dimension mismatch");
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    observed_shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Observation obs;
+  obs.features = std::move(features);
+  obs.label = label;
+  if (!observations_.try_push(std::move(obs))) {
+    observed_shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  observed_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.worker_threads > 0) maybe_schedule_train();
+  return true;
+}
+
+std::size_t PredictionService::poll() {
+  GSIGHT_ASSERT(config_.worker_threads == 0,
+                "poll drives synchronous mode only; threaded services "
+                "batch on their own workers");
+  std::vector<Request> batch;
+  requests_.try_pop_batch(batch, config_.max_batch);
+  const std::size_t served = batch.empty() ? 0 : process_batch(batch);
+  if (observations_.size() >= config_.train_batch) train_round();
+  return served;
+}
+
+bool PredictionService::train_now() { return train_round(); }
+
+void PredictionService::worker_loop() {
+  std::vector<Request> batch;
+  for (;;) {
+    batch.clear();
+    const std::size_t n =
+        requests_.pop_batch(batch, config_.max_batch, config_.batch_linger);
+    if (n == 0) return;  // closed and drained
+    process_batch(batch);
+  }
+}
+
+std::size_t PredictionService::process_batch(std::vector<Request>& batch) {
+  const auto snap = slot_.load();
+  ml::Matrix xs(0, config_.feature_dim);
+  xs.reserve_rows(batch.size());
+  for (const auto& req : batch) xs.push_row(req.features);
+  std::vector<double> values;
+  if (snap) {
+    values = snap->forest.predict_batch(xs);
+  } else {
+    values.assign(batch.size(), 0.0);  // cold model: IncrementalRegressor
+                                       // contract is predict() == 0
+  }
+  const std::uint64_t done_ns = clock_->now_ns();
+  const auto size = static_cast<std::uint32_t>(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PredictResult result;
+    result.value = values[i];
+    result.model_version = snap ? snap->version : 0;
+    result.latency_ns = done_ns >= batch[i].submit_ns
+                            ? done_ns - batch[i].submit_ns
+                            : 0;
+    result.batch_size = size;
+    if (batch[i].done) batch[i].done(result);
+  }
+  predicted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_size_counts_[batch.size() - 1].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  return batch.size();
+}
+
+bool PredictionService::train_round() {
+  std::lock_guard lock(train_mutex_);
+  std::vector<Observation> drained;
+  observations_.try_pop_batch(drained, config_.max_train_drain);
+  if (drained.empty()) return false;
+  ml::Dataset batch(config_.feature_dim);
+  for (const auto& obs : drained) batch.add(obs.features, obs.label);
+  model_.partial_fit(batch);
+  train_rounds_.fetch_add(1, std::memory_order_relaxed);
+  // Freeze under the training lock (the model cannot advance mid-copy),
+  // publish outside no later than here: the slot rejects stale versions,
+  // so even a delayed publish can never roll the serving model back.
+  return slot_.publish(ModelSnapshot::freeze(model_));
+}
+
+void PredictionService::maybe_schedule_train() {
+  if (observations_.size() < config_.train_batch) return;
+  if (train_pending_.exchange(true, std::memory_order_acq_rel)) return;
+  std::lock_guard lock(lifecycle_mutex_);
+  if (!accepting_.load(std::memory_order_acquire) || !trainer_pool_) {
+    train_pending_.store(false, std::memory_order_release);
+    return;
+  }
+  // Fire-and-forget: the future is intentionally dropped; failures
+  // cannot occur past this point (train_round swallows nothing but also
+  // throws nothing in normal operation), and sequencing is enforced by
+  // train_mutex_ plus the single-threaded pool.
+  trainer_pool_->submit([this] {
+    train_round();
+    train_pending_.store(false, std::memory_order_release);
+    // Re-check: observations may have crossed the threshold again while
+    // this round was running and submissions stopped arriving.
+    maybe_schedule_train();
+  });
+}
+
+ServiceStats PredictionService::stats() const {
+  ServiceStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.predicted = predicted_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.observations = observed_.load(std::memory_order_relaxed);
+  s.observations_shed = observed_shed_.load(std::memory_order_relaxed);
+  s.train_rounds = train_rounds_.load(std::memory_order_relaxed);
+  s.snapshot_swaps = slot_.swap_count();
+  s.model_version = slot_.version();
+  s.batch_size_counts.reserve(batch_size_counts_.size());
+  for (const auto& c : batch_size_counts_) {
+    s.batch_size_counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void PredictionService::export_metrics(obs::MetricsRegistry& registry) const {
+  const ServiceStats s = stats();
+  registry.counter("serve.requests_accepted").inc(static_cast<double>(s.accepted));
+  registry.counter("serve.requests_shed").inc(static_cast<double>(s.shed));
+  registry.counter("serve.predictions").inc(static_cast<double>(s.predicted));
+  registry.counter("serve.batches").inc(static_cast<double>(s.batches));
+  registry.counter("serve.observations").inc(static_cast<double>(s.observations));
+  registry.counter("serve.observations_shed")
+      .inc(static_cast<double>(s.observations_shed));
+  registry.counter("serve.train_rounds").inc(static_cast<double>(s.train_rounds));
+  registry.counter("serve.snapshot_swaps")
+      .inc(static_cast<double>(s.snapshot_swaps));
+  registry.gauge("serve.model_version").set(static_cast<double>(s.model_version));
+  // Batch-size histogram: bucket upper bounds 1..max_batch, one sample
+  // per served micro-batch.
+  std::vector<double> bounds;
+  bounds.reserve(s.batch_size_counts.size());
+  for (std::size_t i = 0; i < s.batch_size_counts.size(); ++i) {
+    bounds.push_back(static_cast<double>(i + 1));
+  }
+  auto& hist = registry.histogram("serve.batch_size", {}, std::move(bounds));
+  for (std::size_t i = 0; i < s.batch_size_counts.size(); ++i) {
+    for (std::uint64_t k = 0; k < s.batch_size_counts[i]; ++k) {
+      hist.observe(static_cast<double>(i + 1));
+    }
+  }
+}
+
+}  // namespace gsight::serve

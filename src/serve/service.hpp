@@ -1,0 +1,209 @@
+// PredictionService — the resident, online serving loop around Gsight's
+// incremental forest. Production inference-stack shape: requests enter an
+// admission-controlled bounded queue, worker threads coalesce them into
+// micro-batches (configurable max size and batch-forming deadline) that
+// hit the forest's batched fast path, and a background trainer folds
+// observed (features, QoS) samples into the model and atomically
+// publishes fresh versioned snapshots — predictions never block on
+// training and never observe a half-built model.
+//
+// Two execution regimes share all of this code:
+//
+//   worker_threads > 0 — the real daemon. Workers and the background
+//     trainer (fire-and-forget ml::ThreadPool::submit tasks) run
+//     concurrently; time comes from SteadyClock.
+//
+//   worker_threads == 0 — synchronous mode. No threads are spawned; the
+//     caller drives batching and training explicitly through poll(),
+//     and time comes from a ManualClock. Same queue, same admission
+//     control, same batch policy — but fully deterministic, which is
+//     what makes the serve-bench twin-run determinism gate possible.
+//
+// Overload degrades gracefully instead of stretching latency: when the
+// request queue is full, submit() fails immediately and the shed counter
+// ticks (load shedding); the observation queue sheds the same way, since
+// losing a training sample is always acceptable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "ml/incremental_forest.hpp"
+#include "ml/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/clock.hpp"
+#include "serve/snapshot.hpp"
+
+namespace gsight::serve {
+
+struct ServiceConfig {
+  /// Width of request feature vectors (required; submissions of any
+  /// other width are rejected with std::invalid_argument).
+  std::size_t feature_dim = 0;
+  /// Request-queue bound: admission control. Full queue = shed.
+  std::size_t queue_capacity = 1024;
+  /// Micro-batch cap: at most this many requests per forest traversal.
+  std::size_t max_batch = 32;
+  /// Batch-forming deadline: how long a worker lingers for a batch to
+  /// fill once its first request is in hand. 0 = serve immediately.
+  std::chrono::nanoseconds batch_linger{50'000};
+  /// Prediction workers. 0 selects synchronous mode (poll-driven).
+  std::size_t worker_threads = 1;
+  /// Observation-queue bound (training samples awaiting folding).
+  std::size_t observe_capacity = 4096;
+  /// Observations that trigger a background training round.
+  std::size_t train_batch = 64;
+  /// Cap on rows folded per round (bounds per-round latency).
+  std::size_t max_train_drain = 1024;
+  /// Time source; nullptr = SteadyClock in threaded mode, an internal
+  /// ManualClock in synchronous mode.
+  const Clock* clock = nullptr;
+};
+
+/// What a completed prediction reports back to its submitter.
+struct PredictResult {
+  double value = 0.0;
+  std::uint64_t model_version = 0;
+  std::uint64_t latency_ns = 0;   ///< completion - submission
+  std::uint32_t batch_size = 0;   ///< size of the micro-batch it rode in
+};
+
+/// Counter snapshot (see export_metrics for the registry form).
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t predicted = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t observations_shed = 0;
+  std::uint64_t train_rounds = 0;
+  std::uint64_t snapshot_swaps = 0;
+  std::uint64_t model_version = 0;
+  /// batch_size_counts[i] = micro-batches of size i + 1.
+  std::vector<std::uint64_t> batch_size_counts;
+};
+
+class PredictionService {
+ public:
+  using Callback = std::function<void(const PredictResult&)>;
+
+  /// Takes ownership of the serving model. If the model has already been
+  /// trained (version > 0) its state is frozen and published as the
+  /// initial snapshot; a cold model leaves the slot empty and
+  /// predictions return 0 until the first training round publishes.
+  PredictionService(ServiceConfig config, ml::IncrementalForest model);
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  /// Spawn workers and the trainer (no-op in synchronous mode).
+  void start();
+  /// Close intake, drain queued work, join everything. Idempotent.
+  void stop();
+
+  /// Admission-controlled submit. False = shed (queue full or service
+  /// stopping); the callback then never fires. On success the callback
+  /// runs exactly once, on whichever thread completes the micro-batch
+  /// (the caller's own thread in synchronous mode).
+  bool submit(std::vector<double> features, Callback done);
+
+  /// Blocking convenience for closed-loop clients (threaded mode only:
+  /// in synchronous mode nothing else can poll while the caller waits).
+  std::optional<PredictResult> predict_wait(std::vector<double> features);
+
+  /// Feed one labelled observation toward the background trainer.
+  /// False = shed (observation queue full or service stopping).
+  bool observe(std::vector<double> features, double label);
+
+  /// Synchronous mode: serve at most one micro-batch from the queue and,
+  /// if enough observations have accumulated, fold them and publish.
+  /// Returns the number of predictions served.
+  std::size_t poll();
+
+  /// Fold any queued observations into the model right now (caller
+  /// thread) and publish if the model advanced. Returns true if a new
+  /// snapshot was published.
+  bool train_now();
+
+  /// Current model snapshot (nullptr before the first publish). The
+  /// direct read path for in-process batch consumers (ServingPredictor):
+  /// scheduler sweeps are already batched, so they bypass the queue but
+  /// still see only fully published, versioned models.
+  std::shared_ptr<const ModelSnapshot> snapshot() const {
+    return slot_.load();
+  }
+
+  ServiceStats stats() const;
+  /// Export counters + the batch-size histogram into a registry
+  /// (single-threaded registry: call from one thread, normally after the
+  /// run). Metric names are prefixed "serve.".
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+  const ServiceConfig& config() const { return config_; }
+  // Not the C clock() call: an accessor for the injected time source.
+  const Clock* clock() const { return clock_; }  // gsight-lint: allow(wall-clock)
+  /// The internal manual clock (synchronous mode with no explicit clock
+  /// configured); nullptr otherwise.
+  ManualClock* manual_clock() { return own_clock_.get(); }
+
+ private:
+  struct Request {
+    std::vector<double> features;
+    std::uint64_t submit_ns = 0;
+    Callback done;
+  };
+  struct Observation {
+    std::vector<double> features;
+    double label = 0.0;
+  };
+
+  void worker_loop();
+  /// Predict one micro-batch and deliver results. Returns batch size.
+  std::size_t process_batch(std::vector<Request>& batch);
+  /// One training round: drain observations, partial_fit, publish.
+  bool train_round();
+  /// Fire-and-forget a training round if the threshold is crossed.
+  void maybe_schedule_train();
+
+  ServiceConfig config_;
+  std::unique_ptr<ManualClock> own_clock_;  ///< sync-mode default clock
+  const Clock* clock_ = nullptr;
+
+  BoundedQueue<Request> requests_;
+  BoundedQueue<Observation> observations_;
+  SnapshotSlot slot_;
+
+  /// The training copy of the model. Only touched under train_mutex_.
+  std::mutex train_mutex_;
+  ml::IncrementalForest model_;
+
+  /// Lifecycle: guards accepting_ flips and trainer-pool submission so
+  /// stop() can fence out new training tasks before draining the pool.
+  std::mutex lifecycle_mutex_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> train_pending_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::vector<std::thread> workers_;
+  std::unique_ptr<ml::ThreadPool> trainer_pool_;  ///< threaded mode only
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> predicted_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> observed_{0};
+  std::atomic<std::uint64_t> observed_shed_{0};
+  std::atomic<std::uint64_t> train_rounds_{0};
+  std::vector<std::atomic<std::uint64_t>> batch_size_counts_;
+};
+
+}  // namespace gsight::serve

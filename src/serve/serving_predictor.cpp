@@ -1,0 +1,42 @@
+#include "serve/serving_predictor.hpp"
+
+#include "core/contracts.hpp"
+#include "ml/matrix.hpp"
+
+namespace gsight::serve {
+
+ServingPredictor::ServingPredictor(core::EncoderConfig encoder_config,
+                                   PredictionService* service)
+    : encoder_(encoder_config), service_(service) {
+  GSIGHT_ASSERT(service != nullptr, "ServingPredictor needs a service");
+  GSIGHT_ASSERT(service->config().feature_dim == encoder_.dimension(),
+                "service feature_dim must match encoder dimension");
+}
+
+double ServingPredictor::predict(const core::Scenario& scenario) const {
+  const auto snap = service_->snapshot();
+  if (!snap) return 0.0;  // cold model contract
+  return snap->forest.predict(encoder_.encode(scenario));
+}
+
+std::vector<double> ServingPredictor::predict_batch(
+    std::span<const core::Scenario> scenarios) const {
+  const auto snap = service_->snapshot();
+  if (!snap) return std::vector<double>(scenarios.size(), 0.0);
+  ml::Matrix xs(0, encoder_.dimension());
+  xs.reserve_rows(scenarios.size());
+  for (const auto& s : scenarios) xs.push_row(encoder_.encode(s));
+  // One snapshot for the whole sweep: every row of this batch is
+  // answered by the same model version even if the trainer publishes
+  // mid-call.
+  return snap->forest.predict_batch(xs);
+}
+
+void ServingPredictor::observe(const core::Scenario& scenario,
+                               double actual_qos) {
+  service_->observe(encoder_.encode(scenario), actual_qos);
+}
+
+void ServingPredictor::flush() { service_->train_now(); }
+
+}  // namespace gsight::serve

@@ -1,0 +1,46 @@
+// ServingPredictor — the bridge between the scheduler's ScenarioPredictor
+// interface and the online serving layer. A scheduler embedded in the
+// same process as the service does not need the request queue: its SLA
+// sweeps are already batched (GsightScheduler::sla_ok issues one
+// predict_batch per placement attempt), so this adapter encodes the
+// scenarios and walks the *current published snapshot* directly — it
+// still sees only fully published, versioned models (hot swaps apply
+// between calls, never inside one), while observe() feeds the measured
+// QoS back through the service's admission-controlled training path.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/predictor.hpp"
+#include "serve/service.hpp"
+
+namespace gsight::serve {
+
+class ServingPredictor final : public core::ScenarioPredictor {
+ public:
+  /// `service` must outlive the predictor and must have been configured
+  /// with feature_dim == Encoder(encoder_config).dimension().
+  ServingPredictor(core::EncoderConfig encoder_config,
+                   PredictionService* service);
+
+  double predict(const core::Scenario& scenario) const override;
+  std::vector<double> predict_batch(
+      std::span<const core::Scenario> scenarios) const override;
+  /// Feeds the service's training queue (sheds under overload — a lost
+  /// training sample never blocks the scheduling path).
+  void observe(const core::Scenario& scenario, double actual_qos) override;
+  /// Folds queued observations and publishes synchronously.
+  void flush() override;
+  std::string name() const override { return "Gsight-Serve"; }
+
+  const core::Encoder& encoder() const { return encoder_; }
+
+ private:
+  core::Encoder encoder_;
+  PredictionService* service_;
+};
+
+}  // namespace gsight::serve

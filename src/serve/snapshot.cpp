@@ -1,0 +1,25 @@
+#include "serve/snapshot.hpp"
+
+namespace gsight::serve {
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::freeze(
+    const ml::IncrementalForest& model) {
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->version = model.version();
+  snap->samples_seen = model.samples_seen();
+  snap->forest = model.forest();
+  return snap;
+}
+
+bool SnapshotSlot::publish(std::shared_ptr<const ModelSnapshot> next) {
+  if (!next) return false;
+  {
+    std::lock_guard lock(mutex_);
+    if (snap_ && next->version <= snap_->version) return false;
+    snap_ = std::move(next);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace gsight::serve

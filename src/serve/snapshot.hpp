@@ -1,0 +1,79 @@
+// Versioned, atomically hot-swappable model snapshots. A ModelSnapshot is
+// an immutable copy of the trained forest taken at publish time; readers
+// on the prediction path grab a shared_ptr and keep predicting against it
+// even while the trainer publishes a successor, so a hot swap never blocks
+// an in-flight batch and no prediction can ever observe a half-built
+// model: the snapshot is fully constructed before the pointer is swapped,
+// and the swap is atomic with respect to every reader.
+//
+// The slot deliberately uses a mutex around a bare shared_ptr instead of
+// std::atomic<shared_ptr>: libstdc++'s lock-free _Sp_atomic guards its
+// raw pointer with an embedded spin-lock bit that TSan cannot model, so
+// the repo's TSan gate reports races inside the library. The mutex is
+// held for a pointer copy only (one refcount bump) — never while a
+// prediction runs — so the serving path is unaffected.
+//
+// Versions are the monotonic stamp maintained by ml::IncrementalForest
+// (one bump per absorbed batch, persisted by ml/forest_io). SnapshotSlot
+// enforces strict monotonicity: publishing a stale or duplicate version
+// is rejected, which is what makes restart-and-republish flows safe — a
+// lagging trainer can never roll the serving model backwards.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "ml/incremental_forest.hpp"
+#include "ml/random_forest.hpp"
+
+namespace gsight::serve {
+
+struct ModelSnapshot {
+  /// Monotonic model version (ml::IncrementalForest::version()).
+  std::uint64_t version = 0;
+  /// Samples the model had absorbed when the snapshot was taken.
+  std::size_t samples_seen = 0;
+  /// The frozen forest. Immutable after publish by convention: nothing
+  /// in the serving layer mutates a snapshot once it is in the slot.
+  ml::RandomForestRegressor forest;
+
+  /// Freeze the current state of an incremental model.
+  static std::shared_ptr<const ModelSnapshot> freeze(
+      const ml::IncrementalForest& model);
+};
+
+class SnapshotSlot {
+ public:
+  /// The current snapshot; nullptr before the first publish. The lock
+  /// covers only the shared_ptr copy, so readers never wait on a
+  /// publish-in-progress beyond that pointer swap.
+  std::shared_ptr<const ModelSnapshot> load() const {
+    std::lock_guard lock(mutex_);
+    return snap_;
+  }
+
+  /// Install `next` iff its version is strictly newer than the current
+  /// one (a null slot accepts any version). Returns false — and leaves
+  /// the slot untouched — for stale or duplicate versions.
+  bool publish(std::shared_ptr<const ModelSnapshot> next);
+
+  /// Version of the current snapshot (0 when empty).
+  std::uint64_t version() const {
+    const auto snap = load();
+    return snap ? snap->version : 0;
+  }
+
+  /// Successful publishes so far.
+  std::uint64_t swap_count() const {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> snap_;
+  std::atomic<std::uint64_t> swaps_{0};
+};
+
+}  // namespace gsight::serve

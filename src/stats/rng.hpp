@@ -67,6 +67,24 @@ class Rng {
   /// Derive an independent child generator (for per-thread streams).
   Rng split();
 
+  /// Full serialisable generator state: the four xoshiro words plus the
+  /// cached Marsaglia spare. Persisting it (ml/forest_io) lets an
+  /// incremental model resume mid-stream bit-identically to an
+  /// uninterrupted run.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool have_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+  State state() const {
+    return {{s_[0], s_[1], s_[2], s_[3]}, have_spare_normal_, spare_normal_};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    have_spare_normal_ = st.have_spare_normal;
+    spare_normal_ = st.spare_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   bool have_spare_normal_ = false;

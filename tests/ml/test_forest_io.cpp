@@ -109,6 +109,84 @@ TEST(ForestIo, IncrementalForestSurvivesRestart) {
             0.8);
 }
 
+TEST(ForestIo, VersionStampCountsUpdateRoundsAndRoundTrips) {
+  stats::Rng rng(8);
+  IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 10;
+  IncrementalForest model(cfg, 11);
+  EXPECT_EQ(model.version(), 0u);  // cold model: nothing published yet
+  model.partial_fit(make_data(100, rng));
+  EXPECT_EQ(model.version(), 1u);
+  model.partial_fit(make_data(60, rng));
+  model.partial_fit(make_data(60, rng));
+  EXPECT_EQ(model.version(), 3u);
+  // Empty batches are no-ops and must not mint a new version.
+  model.partial_fit(Dataset(4));
+  EXPECT_EQ(model.version(), 3u);
+
+  std::stringstream buffer;
+  save_incremental_forest(model, buffer);
+  const auto loaded = load_incremental_forest(buffer);
+  EXPECT_EQ(loaded.version(), 3u);
+}
+
+// The mid-stream contract: saving after k update rounds and resuming from
+// the file is indistinguishable from never having stopped. This is what
+// makes the serving layer's persisted models trustworthy — an operator
+// can snapshot, restart, and keep folding observations with bit-identical
+// results. Requires the updater RNG stream to survive the round trip.
+TEST(ForestIo, MidStreamReloadContinuesBitIdentically) {
+  stats::Rng data_rng(9);
+  std::vector<Dataset> batches;
+  for (int i = 0; i < 6; ++i) batches.push_back(make_data(80, data_rng));
+
+  IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 12;
+  cfg.refresh_fraction = 0.5;  // make refreshes (and thus RNG draws) matter
+  IncrementalForest uninterrupted(cfg, 13);
+  IncrementalForest checkpointed(cfg, 13);
+  for (int i = 0; i < 3; ++i) {
+    uninterrupted.partial_fit(batches[i]);
+    checkpointed.partial_fit(batches[i]);
+  }
+  // Checkpoint after k = 3 rounds, reload, continue on the copy.
+  std::stringstream buffer;
+  save_incremental_forest(checkpointed, buffer);
+  auto resumed = load_incremental_forest(buffer);
+  EXPECT_EQ(resumed.version(), 3u);
+  for (int i = 3; i < 6; ++i) {
+    uninterrupted.partial_fit(batches[i]);
+    resumed.partial_fit(batches[i]);
+  }
+  EXPECT_EQ(resumed.version(), uninterrupted.version());
+  EXPECT_EQ(resumed.samples_seen(), uninterrupted.samples_seen());
+  const auto probe = make_data(50, data_rng);
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    // Exact equality: the resumed model must be bit-identical, not close.
+    EXPECT_EQ(resumed.predict(probe.x(i)), uninterrupted.predict(probe.x(i)))
+        << "diverged at probe " << i;
+  }
+}
+
+TEST(ForestIo, RejectsCorruptRngState) {
+  stats::Rng rng(10);
+  IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 4;
+  IncrementalForest model(cfg, 17);
+  model.partial_fit(make_data(60, rng));
+  std::stringstream buffer;
+  save_incremental_forest(model, buffer);
+  // Zero out the serialized xoshiro words: a degenerate (stuck) stream
+  // that can only come from corruption must be rejected on load.
+  std::string text = buffer.str();
+  const auto rng_pos = text.find("\nrng ");
+  ASSERT_NE(rng_pos, std::string::npos);
+  const auto line_end = text.find('\n', rng_pos + 1);
+  text.replace(rng_pos, line_end - rng_pos, "\nrng 0 0 0 0 0 0");
+  std::stringstream corrupt(text);
+  EXPECT_THROW(load_incremental_forest(corrupt), std::runtime_error);
+}
+
 TEST(ForestIo, RejectsCorruptInput) {
   std::stringstream garbage("this is not a forest");
   RandomForestRegressor forest;

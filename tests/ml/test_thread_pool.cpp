@@ -4,8 +4,11 @@
 
 #include <array>
 #include <atomic>
+#include <future>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -142,6 +145,76 @@ TEST(ThreadPool, NestedExceptionPropagatesToInnerCaller) {
 TEST(ThreadPool, SharedPoolSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
   EXPECT_GE(ThreadPool::shared().thread_count(), 1u);
+}
+
+TEST(ThreadPoolSubmit, ReturnsTaskValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolSubmit, VoidTaskCompletes) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto f = pool.submit([&ran] { ran.store(true); });
+  f.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolSubmit, MoveOnlyResultType) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return std::make_unique<int>(7); });
+  auto p = f.get();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ThreadPoolSubmit, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  try {
+    f.get();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ThreadPoolSubmit, ExceptionDoesNotPoisonPool) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("x"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  auto good = pool.submit([] { return std::string("still alive"); });
+  EXPECT_EQ(good.get(), "still alive");
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolSubmit, ManyConcurrentSubmitsAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<std::size_t>> futures;
+  futures.reserve(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+// The destructor drains already-submitted tasks before joining: a
+// fire-and-forget submit (the serve-layer background trainer's pattern)
+// is never silently dropped by pool teardown.
+TEST(ThreadPoolSubmit, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
 }
 
 }  // namespace

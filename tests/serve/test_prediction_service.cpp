@@ -1,0 +1,507 @@
+// Serving-layer tests. Suite names carry the "Serve" prefix on purpose:
+// scripts/check.sh runs them under TSan via -R '...|Serve' — these tests
+// are the data-race gate for the worker/trainer/hot-swap surface.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "profiling/profile.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/serving_predictor.hpp"
+#include "serve/snapshot.hpp"
+#include "stats/rng.hpp"
+
+namespace gsight::serve {
+namespace {
+
+constexpr std::size_t kDim = 8;
+
+ml::Dataset labelled_rows(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  ml::Dataset data(kDim);
+  std::vector<double> x(kDim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : x) v = rng.uniform();
+    data.add(x, x[0] + 0.5 * x[1]);
+  }
+  return data;
+}
+
+ml::IncrementalForest small_model(std::uint64_t seed = 3,
+                                  std::size_t warm_rows = 0) {
+  ml::IncrementalForestConfig cfg;
+  cfg.forest.n_trees = 8;
+  ml::IncrementalForest model(cfg, seed);
+  if (warm_rows > 0) model.partial_fit(labelled_rows(warm_rows, seed));
+  return model;
+}
+
+std::vector<double> probe_row(std::uint64_t seed = 17) {
+  stats::Rng rng(seed);
+  std::vector<double> x(kDim);
+  for (auto& v : x) v = rng.uniform();
+  return x;
+}
+
+// --- BoundedQueue ----------------------------------------------------------
+
+TEST(ServeBoundedQueue, FifoOrderAndBatchCap) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  std::vector<int> out;
+  EXPECT_EQ(q.try_pop_batch(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.try_pop_batch(out, 100), 6u);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.back(), 9);
+  EXPECT_EQ(q.try_pop_batch(out, 1), 0u);
+}
+
+TEST(ServeBoundedQueue, ShedsWhenFullRecoversAfterPop) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full = shed
+  std::vector<int> out;
+  q.try_pop_batch(out, 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(ServeBoundedQueue, CloseRejectsPushesButDrains) {
+  BoundedQueue<int> q(8);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  EXPECT_FALSE(q.try_push(3));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 8, std::chrono::nanoseconds(0)), 2u);
+  EXPECT_EQ(q.pop_batch(out, 8, std::chrono::nanoseconds(0)), 0u);
+}
+
+TEST(ServeBoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(8);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    std::vector<int> out;
+    const auto n = q.pop_batch(out, 4, std::chrono::milliseconds(100));
+    EXPECT_EQ(n, 0u);  // closed-and-drained signal
+    woke.store(true);
+  });
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(ServeBoundedQueue, ProducersAndConsumersDeliverEverythingOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> q(64);
+  std::atomic<int> shed{0};
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        while (!q.try_push(std::move(item))) {
+          std::this_thread::yield();  // full: retry (test wants all items)
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      for (;;) {
+        batch.clear();
+        if (q.pop_batch(batch, 16, std::chrono::microseconds(50)) == 0) {
+          return;
+        }
+        for (int item : batch) ++seen[static_cast<std::size_t>(item)];
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(shed.load(), 0);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+// --- SnapshotSlot ----------------------------------------------------------
+
+TEST(ServeSnapshot, FreezeCapturesVersionSamplesAndPredictions) {
+  auto model = small_model(5, 64);
+  const auto snap = ModelSnapshot::freeze(model);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, model.version());
+  EXPECT_EQ(snap->samples_seen, model.samples_seen());
+  const auto x = probe_row();
+  EXPECT_EQ(snap->forest.predict(x), model.predict(x));
+}
+
+TEST(ServeSnapshot, PublishRejectsStaleAndDuplicateVersions) {
+  SnapshotSlot slot;
+  auto v2 = std::make_shared<ModelSnapshot>();
+  v2->version = 2;
+  auto v2_dup = std::make_shared<ModelSnapshot>();
+  v2_dup->version = 2;
+  auto v1 = std::make_shared<ModelSnapshot>();
+  v1->version = 1;
+  auto v3 = std::make_shared<ModelSnapshot>();
+  v3->version = 3;
+
+  EXPECT_TRUE(slot.publish(v2));
+  EXPECT_EQ(slot.version(), 2u);
+  EXPECT_FALSE(slot.publish(v2_dup)) << "duplicate version must be rejected";
+  EXPECT_FALSE(slot.publish(v1)) << "stale version must be rejected";
+  EXPECT_EQ(slot.version(), 2u);
+  EXPECT_EQ(slot.swap_count(), 1u);
+  EXPECT_TRUE(slot.publish(v3));
+  EXPECT_EQ(slot.version(), 3u);
+  EXPECT_EQ(slot.swap_count(), 2u);
+  EXPECT_FALSE(slot.publish(nullptr));
+}
+
+TEST(ServeSnapshot, ConcurrentPublishersKeepVersionMonotonic) {
+  SnapshotSlot slot;
+  constexpr int kThreads = 4;
+  constexpr int kVersions = 200;
+  std::atomic<bool> stop_readers{false};
+  std::atomic<int> violations{0};
+  // Readers continuously verify they only ever see fully built snapshots
+  // with monotonically non-decreasing versions.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!stop_readers.load(std::memory_order_acquire)) {
+        const auto snap = slot.load();
+        if (snap == nullptr) continue;
+        if (snap->version < last || snap->samples_seen != snap->version) {
+          ++violations;  // torn or rolled-back snapshot
+        }
+        last = snap->version;
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      for (int v = 1 + w; v <= kVersions; v += kThreads) {
+        auto snap = std::make_shared<ModelSnapshot>();
+        snap->version = static_cast<std::uint64_t>(v);
+        snap->samples_seen = static_cast<std::size_t>(v);
+        slot.publish(std::move(snap));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop_readers.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  // Version 200 always lands (every lower competitor loses to it).
+  EXPECT_EQ(slot.version(), static_cast<std::uint64_t>(kVersions));
+  EXPECT_GE(slot.swap_count(), 1u);
+  EXPECT_LE(slot.swap_count(), static_cast<std::uint64_t>(kVersions));
+}
+
+// --- PredictionService, synchronous mode -----------------------------------
+
+ServiceConfig sync_config() {
+  ServiceConfig cfg;
+  cfg.feature_dim = kDim;
+  cfg.worker_threads = 0;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 16;
+  cfg.train_batch = 8;
+  return cfg;
+}
+
+TEST(ServePredictionService, SyncServesMicroBatchesWithWarmModel) {
+  PredictionService service(sync_config(), small_model(7, 64));
+  service.start();
+  std::vector<PredictResult> results;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(service.submit(
+        probe_row(static_cast<std::uint64_t>(i)),
+        [&results](const PredictResult& r) { results.push_back(r); }));
+  }
+  EXPECT_EQ(service.poll(), 4u);  // max_batch caps the first micro-batch
+  EXPECT_EQ(service.poll(), 2u);
+  EXPECT_EQ(service.poll(), 0u);
+  ASSERT_EQ(results.size(), 6u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].model_version, 1u);
+    EXPECT_EQ(results[i].batch_size, i < 4 ? 4u : 2u);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.accepted, 6u);
+  EXPECT_EQ(stats.predicted, 6u);
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.shed, 0u);
+  ASSERT_EQ(stats.batch_size_counts.size(), 4u);
+  EXPECT_EQ(stats.batch_size_counts[3], 1u);  // one batch of 4
+  EXPECT_EQ(stats.batch_size_counts[1], 1u);  // one batch of 2
+}
+
+TEST(ServePredictionService, AdmissionControlShedsWhenQueueFull) {
+  auto cfg = sync_config();
+  cfg.queue_capacity = 3;
+  PredictionService service(cfg, small_model());
+  service.start();
+  int accepted = 0;
+  int shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (service.submit(probe_row(), nullptr)) {
+      ++accepted;
+    } else {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(accepted, 3);
+  EXPECT_EQ(shed, 7);
+  EXPECT_EQ(service.stats().shed, 7u);
+  // Shedding is immediate rejection, never a dropped accepted request:
+  std::size_t served = 0;
+  while (const auto n = service.poll()) served += n;
+  EXPECT_EQ(served, 3u);
+}
+
+TEST(ServePredictionService, ColdModelServesZeroThenHotSwapsAfterTraining) {
+  PredictionService service(sync_config(), small_model(9, 0));
+  service.start();
+  EXPECT_EQ(service.snapshot(), nullptr);  // nothing published yet
+  double cold_value = -1.0;
+  std::uint64_t cold_version = 99;
+  service.submit(probe_row(), [&](const PredictResult& r) {
+    cold_value = r.value;
+    cold_version = r.model_version;
+  });
+  service.poll();
+  EXPECT_EQ(cold_value, 0.0);  // cold-model contract
+  EXPECT_EQ(cold_version, 0u);
+
+  // Feed a training batch; the next poll folds it and publishes v1.
+  const auto rows = labelled_rows(8, 21);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::vector<double> x(rows.x(i).begin(), rows.x(i).end());
+    EXPECT_TRUE(service.observe(std::move(x), rows.y(i)));
+  }
+  service.poll();
+  ASSERT_NE(service.snapshot(), nullptr);
+  EXPECT_EQ(service.snapshot()->version, 1u);
+  EXPECT_EQ(service.stats().snapshot_swaps, 1u);
+  EXPECT_EQ(service.stats().train_rounds, 1u);
+
+  std::uint64_t warm_version = 0;
+  service.submit(probe_row(), [&](const PredictResult& r) {
+    warm_version = r.model_version;
+  });
+  service.poll();
+  EXPECT_EQ(warm_version, 1u);
+}
+
+TEST(ServePredictionService, TrainNowFoldsObservationsSynchronously) {
+  PredictionService service(sync_config(), small_model(11, 32));
+  service.start();
+  EXPECT_FALSE(service.train_now());  // nothing queued
+  EXPECT_TRUE(service.observe(probe_row(1), 0.5));
+  EXPECT_TRUE(service.observe(probe_row(2), 0.7));
+  EXPECT_TRUE(service.train_now());  // below train_batch, but explicit
+  EXPECT_EQ(service.snapshot()->version, 2u);
+}
+
+TEST(ServePredictionService, RejectsWrongDimension) {
+  PredictionService service(sync_config(), small_model());
+  service.start();
+  EXPECT_THROW(service.submit(std::vector<double>(kDim + 1, 0.0), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(service.observe(std::vector<double>(kDim - 1, 0.0), 1.0),
+               std::invalid_argument);
+}
+
+TEST(ServePredictionService, StopShedsLateSubmissions) {
+  PredictionService service(sync_config(), small_model());
+  service.start();
+  service.stop();
+  EXPECT_FALSE(service.submit(probe_row(), nullptr));
+  EXPECT_FALSE(service.observe(probe_row(), 1.0));
+  EXPECT_GE(service.stats().shed, 1u);
+}
+
+// --- PredictionService, threaded mode (the TSan surface) -------------------
+
+ServiceConfig threaded_config() {
+  ServiceConfig cfg;
+  cfg.feature_dim = kDim;
+  cfg.worker_threads = 2;
+  cfg.max_batch = 8;
+  cfg.queue_capacity = 256;
+  cfg.train_batch = 16;
+  cfg.batch_linger = std::chrono::microseconds(20);
+  return cfg;
+}
+
+TEST(ServePredictionServiceThreaded, PredictWaitCompletesUnderLoad) {
+  PredictionService service(threaded_config(), small_model(13, 64));
+  service.start();
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const auto r = service.predict_wait(
+            probe_row(static_cast<std::uint64_t>(c * 1000 + i)));
+        if (r.has_value()) {
+          ++completed;
+          EXPECT_GE(r->batch_size, 1u);
+          EXPECT_EQ(r->model_version, 1u);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  service.stop();
+  // Queue capacity far exceeds in-flight load: nothing sheds.
+  EXPECT_EQ(completed.load(), kClients * kPerClient);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.predicted, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_LE(stats.batches, stats.predicted);
+}
+
+TEST(ServePredictionServiceThreaded, BackgroundTrainerHotSwapsUnderLoad) {
+  PredictionService service(threaded_config(), small_model(15, 64));
+  service.start();
+  const std::uint64_t version_before = service.stats().model_version;
+  std::atomic<bool> stop_predicting{false};
+  std::atomic<int> torn{0};
+  // Prediction threads hammer the snapshot while observations drive the
+  // background trainer through several publishes.
+  std::vector<std::thread> predictors;
+  for (int p = 0; p < 2; ++p) {
+    predictors.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!stop_predicting.load(std::memory_order_acquire)) {
+        const auto r = service.predict_wait(probe_row());
+        if (!r.has_value()) continue;
+        if (r->model_version < last) ++torn;  // rollback = torn publish
+        last = r->model_version;
+      }
+    });
+  }
+  stats::Rng rng(77);
+  std::vector<double> x(kDim);
+  for (int i = 0; i < 200; ++i) {
+    for (auto& v : x) v = rng.uniform();
+    service.observe(std::vector<double>(x), x[0]);
+    if (i % 50 == 49) std::this_thread::yield();
+  }
+  // Wait (bounded) for at least one background round to land.
+  for (int spin = 0; spin < 10000; ++spin) {
+    if (service.stats().model_version > version_before) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  stop_predicting.store(true, std::memory_order_release);
+  for (auto& t : predictors) t.join();
+  service.stop();
+  const auto stats = service.stats();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(stats.model_version, version_before) << "no hot swap happened";
+  EXPECT_GE(stats.train_rounds, 1u);
+  EXPECT_GE(stats.snapshot_swaps, 2u);  // initial publish + >=1 under load
+}
+
+TEST(ServePredictionServiceThreaded, StopDrainsEveryAcceptedRequest) {
+  auto cfg = threaded_config();
+  cfg.batch_linger = std::chrono::milliseconds(1);
+  PredictionService service(cfg, small_model(19, 64));
+  service.start();
+  std::atomic<int> callbacks{0};
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (service.submit(probe_row(static_cast<std::uint64_t>(i)),
+                       [&callbacks](const PredictResult&) { ++callbacks; })) {
+      ++accepted;
+    }
+  }
+  service.stop();  // must drain, not drop
+  EXPECT_EQ(callbacks.load(), accepted);
+  EXPECT_EQ(service.stats().predicted, static_cast<std::uint64_t>(accepted));
+}
+
+TEST(ServePredictionServiceThreaded, StopIsIdempotentAndDestructorSafe) {
+  auto service = std::make_unique<PredictionService>(threaded_config(),
+                                                     small_model(23, 32));
+  service->start();
+  service->predict_wait(probe_row());
+  service->stop();
+  service->stop();
+  service.reset();  // destructor after explicit stop: no double join
+}
+
+// --- ServingPredictor ------------------------------------------------------
+
+TEST(ServeServingPredictor, BridgesEncoderToServiceSnapshot) {
+  core::EncoderConfig ec;
+  ec.servers = 4;
+  ec.max_workloads = 2;
+  const core::Encoder encoder(ec);
+  ServiceConfig cfg;
+  cfg.feature_dim = encoder.dimension();
+  cfg.worker_threads = 0;
+  cfg.train_batch = 4;
+  ml::IncrementalForestConfig mc;
+  mc.forest.n_trees = 4;
+  PredictionService service(cfg, ml::IncrementalForest(mc, 29));
+  service.start();
+  ServingPredictor predictor(ec, &service);
+  EXPECT_EQ(predictor.name(), "Gsight-Serve");
+
+  prof::AppProfile profile;
+  profile.app_name = "synthetic";
+  stats::Rng rng(31);
+  for (int i = 0; i < 2; ++i) {
+    prof::FunctionProfile fp;
+    for (auto& m : fp.metrics) m = rng.uniform(0.0, 10.0);
+    fp.solo_duration_s = 0.01;
+    profile.functions.push_back(fp);
+  }
+  core::Scenario scenario;
+  scenario.servers = 4;
+  core::WorkloadDeployment w;
+  w.profile = &profile;
+  w.fn_to_server = {0, 1};
+  scenario.workloads = {w};
+
+  // Cold service: the ScenarioPredictor contract is predict == 0.
+  EXPECT_EQ(predictor.predict(scenario), 0.0);
+  const std::vector<core::Scenario> sweep(3, scenario);
+  EXPECT_EQ(predictor.predict_batch(sweep),
+            (std::vector<double>{0.0, 0.0, 0.0}));
+
+  // observe() + flush() route through the service's training path and
+  // publish a snapshot the predictor immediately serves from.
+  for (int i = 0; i < 4; ++i) predictor.observe(scenario, 0.8);
+  predictor.flush();
+  ASSERT_NE(service.snapshot(), nullptr);
+  const double warm = predictor.predict(scenario);
+  EXPECT_NE(warm, 0.0);
+  // Batch and single paths read the same snapshot.
+  EXPECT_EQ(predictor.predict_batch(sweep),
+            (std::vector<double>{warm, warm, warm}));
+}
+
+}  // namespace
+}  // namespace gsight::serve

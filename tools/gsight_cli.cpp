@@ -11,20 +11,30 @@
 //                                       campaign (see --help below); the
 //                                       sample stream is bit-identical for
 //                                       any --threads value
+//   gsight serve-bench [options]        drive the online prediction service
+//                                       (micro-batching + hot swap) under
+//                                       synthetic load; emits
+//                                       BENCH_serve.json. --threads 0 runs
+//                                       the deterministic synchronous twin
 //   gsight demo                         30-second end-to-end tour
 //
 // Everything runs on the simulator; profiles/models persist via the text
 // formats in profiling/profile_io.hpp and ml/forest_io.hpp. GSIGHT_THREADS
 // caps campaign fan-out when --threads is not given (0/unset = hardware).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/campaign.hpp"
+#include "core/predictor.hpp"
 #include "core/trainer.hpp"
 #include "ml/forest_io.hpp"
+#include "obs/run_report.hpp"
 #include "profiling/profile_io.hpp"
+#include "serve/load_driver.hpp"
+#include "serve/service.hpp"
 #include "stats/summary.hpp"
 #include "workloads/suite.hpp"
 
@@ -43,6 +53,11 @@ int usage() {
                "  gsight campaign [--threads N] [--seed S] [--count N]\n"
                "                  [--qos ipc|lat|jct] [--cls ls+ls|ls+sc|sc+sc]\n"
                "                  [--dump FILE]\n"
+               "  gsight serve-bench [--threads N] [--requests N] [--rate HZ]\n"
+               "                  [--dim D] [--batch N] [--linger-us U]\n"
+               "                  [--queue N] [--warm N] [--observe-every N]\n"
+               "                  [--mode open|closed] [--clients N]\n"
+               "                  [--seed S] [--out DIR]\n"
                "  gsight demo\n");
   return 2;
 }
@@ -126,11 +141,7 @@ int cmd_train(int argc, char** argv) {
   request.campaign.threads = env_threads();
   const auto stream = builder.build(request);
 
-  ml::IncrementalForestConfig fc;
-  fc.forest.n_trees = 80;
-  fc.forest.tree.split_mode = ml::SplitMode::kRandom;
-  fc.forest.tree.max_features = 128;
-  ml::IncrementalForest model(fc, 1);
+  ml::IncrementalForest model(core::deployed_irfr_config(), 1);
   ml::Dataset train(builder.encoder().dimension());
   for (const auto& s : stream) {
     for (double l : s.labels) train.add(s.features, l);
@@ -340,6 +351,173 @@ int cmd_campaign(int argc, char** argv) {
   return 0;
 }
 
+// Online serving bench: drive serve::PredictionService with synthetic
+// Poisson load and emit BENCH_serve.json. With --threads 0 the whole run
+// is synchronous on a virtual clock: two invocations with the same
+// arguments produce byte-identical reports modulo "wall_time_s" (the
+// determinism gate in scripts/check.sh). Table-4 scale is the default
+// geometry: 2580-dim overlap codes through the 80-tree deployed IRFR.
+int cmd_serve_bench(int argc, char** argv) {
+  serve::ServiceConfig sc;
+  sc.feature_dim = 2580;
+  sc.worker_threads = 2;
+  serve::LoadDriverConfig lc;
+  std::size_t warm_rows = 256;
+  std::string out_dir = ".";
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--threads" && value != nullptr) {
+      sc.worker_threads = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--requests" && value != nullptr) {
+      lc.requests = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--rate" && value != nullptr) {
+      lc.rate_hz = std::atof(value);
+      ++i;
+    } else if (arg == "--dim" && value != nullptr) {
+      sc.feature_dim = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--batch" && value != nullptr) {
+      sc.max_batch = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--linger-us" && value != nullptr) {
+      sc.batch_linger = std::chrono::microseconds(
+          std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--queue" && value != nullptr) {
+      sc.queue_capacity = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--warm" && value != nullptr) {
+      warm_rows = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--observe-every" && value != nullptr) {
+      lc.observe_every = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--mode" && value != nullptr) {
+      const std::string v = value;
+      if (v == "open") {
+        lc.mode = serve::LoadDriverConfig::Mode::kOpenLoop;
+      } else if (v == "closed") {
+        lc.mode = serve::LoadDriverConfig::Mode::kClosedLoop;
+      } else {
+        return usage();
+      }
+      ++i;
+    } else if (arg == "--clients" && value != nullptr) {
+      lc.clients = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--seed" && value != nullptr) {
+      lc.seed = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--out" && value != nullptr) {
+      out_dir = value;
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // The serving model is the deployed IRFR, warmed on `warm_rows`
+  // synthetic samples of the driver's ground-truth function so the
+  // initial snapshot is a real model and under-load publishes are
+  // genuine hot swaps (v1 -> v2 -> ...), not the cold first fit.
+  ml::IncrementalForest model(core::deployed_irfr_config(), lc.seed);
+  if (warm_rows > 0) {
+    stats::Rng rng(lc.seed ^ 0x5EEDF00DULL);
+    ml::Dataset warm(sc.feature_dim);
+    std::vector<double> row(sc.feature_dim);
+    for (std::size_t i = 0; i < warm_rows; ++i) {
+      for (auto& v : row) v = rng.uniform();
+      warm.add(row, serve::LoadDriver::label_of(row));
+    }
+    model.partial_fit(warm);
+  }
+
+  serve::PredictionService service(sc, std::move(model));
+  const std::uint64_t swaps_before = service.stats().snapshot_swaps;
+  const std::uint64_t version_before = service.stats().model_version;
+
+  serve::LoadDriver driver(lc);
+  serve::LoadOutcome outcome;
+  if (sc.worker_threads == 0) {
+    service.start();
+    outcome = driver.run_deterministic(service);
+  } else {
+    outcome = driver.run_threaded(service);
+  }
+  service.stop();
+  const serve::ServiceStats svc = service.stats();
+
+  obs::RunReport report("serve");
+  report.add_result("requests", static_cast<double>(outcome.submitted));
+  report.add_result("completed", static_cast<double>(outcome.completed));
+  report.add_result("shed", static_cast<double>(outcome.shed));
+  report.add_result("shed_rate",
+                    outcome.submitted > 0
+                        ? static_cast<double>(outcome.shed) /
+                              static_cast<double>(outcome.submitted)
+                        : 0.0);
+  report.add_result("throughput", outcome.throughput_rps, "req/s");
+  report.add_result("latency_p50", outcome.latency_p50_us, "us");
+  report.add_result("latency_p95", outcome.latency_p95_us, "us");
+  report.add_result("latency_p99", outcome.latency_p99_us, "us");
+  report.add_result("latency_mean", outcome.latency_mean_us, "us");
+  report.add_result("latency_max", outcome.latency_max_us, "us");
+  report.add_result("batches", static_cast<double>(svc.batches));
+  report.add_result("mean_batch_size",
+                    svc.batches > 0
+                        ? static_cast<double>(svc.predicted) /
+                              static_cast<double>(svc.batches)
+                        : 0.0);
+  report.add_result("train_rounds", static_cast<double>(svc.train_rounds));
+  report.add_result("snapshot_swaps",
+                    static_cast<double>(svc.snapshot_swaps));
+  report.add_result("hot_swaps_under_load",
+                    static_cast<double>(svc.snapshot_swaps - swaps_before));
+  report.add_result("model_version", static_cast<double>(svc.model_version));
+  obs::Json hist = obs::Json::array();
+  for (std::uint64_t c : svc.batch_size_counts) {
+    hist.push_back(static_cast<double>(c));
+  }
+  report.add_series("batch_size_counts", std::move(hist));
+  obs::MetricsRegistry registry;
+  service.export_metrics(registry);
+  report.attach_metrics(registry);
+  report.set_meta("mode", lc.mode == serve::LoadDriverConfig::Mode::kOpenLoop
+                              ? "open"
+                              : "closed");
+  report.set_meta("worker_threads", std::to_string(sc.worker_threads));
+  report.set_meta("feature_dim", std::to_string(sc.feature_dim));
+  report.set_meta("max_batch", std::to_string(sc.max_batch));
+  report.set_meta("seed", std::to_string(lc.seed));
+  report.set_wall_time_s(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+
+  const std::string path = report.write(out_dir);
+  if (path.empty()) {
+    std::fprintf(stderr, "error: cannot write report to %s\n",
+                 out_dir.c_str());
+    return 1;
+  }
+  std::printf(
+      "serve-bench: %zu requests (%zu completed, %zu shed), %.0f req/s, "
+      "p50/p95/p99 %.1f/%.1f/%.1f us, %llu batches, %llu hot swaps "
+      "(model v%llu -> v%llu)\nreport -> %s\n",
+      outcome.submitted, outcome.completed, outcome.shed,
+      outcome.throughput_rps, outcome.latency_p50_us, outcome.latency_p95_us,
+      outcome.latency_p99_us,
+      static_cast<unsigned long long>(svc.batches),
+      static_cast<unsigned long long>(svc.snapshot_swaps - swaps_before),
+      static_cast<unsigned long long>(version_before),
+      static_cast<unsigned long long>(svc.model_version), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -351,6 +529,7 @@ int main(int argc, char** argv) {
     if (cmd == "train") return cmd_train(argc - 2, argv + 2);
     if (cmd == "predict") return cmd_predict(argc - 2, argv + 2);
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
+    if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
     if (cmd == "demo") return cmd_demo();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
