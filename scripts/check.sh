@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
 # check.sh — the repo's full correctness gate. Runs, in order:
 #   1. gsight_lint (determinism/hygiene linter) + its self-test
-#   2. clang-tidy over src/ (skipped with a notice when not installed)
+#   2. clang-tidy over src/ with -warnings-as-errors='*' (skipped with a
+#      notice when not installed)
+#   2b. gsight_analyze: seeded-violation self-tests for every pass, then
+#      the full-tree run (layering, determinism, lock-discipline) which
+#      must come back clean
+#   2c. clang -Wthread-safety build (-DGSIGHT_THREAD_SAFETY=ON with
+#      -Werror=thread-safety; skipped with a notice when clang++ is not
+#      installed)
 #   3. ASan+UBSan build + the entire ctest suite
 #   4. TSan build + the thread-pool / forest / trainer / campaign / serve
 #      tests (the multi-threaded code paths)
@@ -22,7 +29,7 @@
 # main build/ directory is never clobbered. Warnings are errors everywhere.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip the sanitizer stages (lint + tidy only)
+#   --fast  skip the sanitizer stages (static analysis stages 1-2c only)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -48,7 +55,7 @@ LINT_DIR="$ROOT/build-check/lint"
 mkdir -p "$ROOT/build-check"
 cmake -B "$LINT_DIR" -S "$ROOT" -DGSIGHT_WERROR=ON \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > "$LINT_DIR.configure.log" 2>&1
-cmake --build "$LINT_DIR" -j "$JOBS" --target gsight_lint \
+cmake --build "$LINT_DIR" -j "$JOBS" --target gsight_lint gsight_analyze \
       > "$LINT_DIR.build.log" 2>&1 || { tail -n 40 "$LINT_DIR.build.log"; exit 1; }
 "$LINT_DIR/tools/gsight_lint" --self-test
 "$LINT_DIR/tools/gsight_lint" "$ROOT"
@@ -57,9 +64,40 @@ cmake --build "$LINT_DIR" -j "$JOBS" --target gsight_lint \
 banner "clang-tidy"
 if command -v clang-tidy > /dev/null 2>&1; then
   mapfile -t TIDY_SOURCES < <(find "$ROOT/src" -name '*.cpp' | sort)
-  clang-tidy -p "$LINT_DIR/compile_commands.json" --quiet "${TIDY_SOURCES[@]}"
+  # Gate, not advice: any finding from the .clang-tidy profile fails the
+  # run (the profile itself documents which checks are excluded and why).
+  clang-tidy -p "$LINT_DIR/compile_commands.json" --quiet \
+    -warnings-as-errors='*' "${TIDY_SOURCES[@]}"
 else
   echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+fi
+
+# --- 2b. gsight_analyze ----------------------------------------------------
+banner "gsight_analyze: pass self-tests + full-tree run"
+"$LINT_DIR/tools/gsight_analyze" --self-test
+"$LINT_DIR/tools/gsight_analyze" --dump-graph "$LINT_DIR/include-graph.json" "$ROOT"
+echo "include graph dumped to $LINT_DIR/include-graph.json"
+
+# --- 2c. clang thread-safety -----------------------------------------------
+# The GSIGHT_GUARDED_BY / GSIGHT_REQUIRES annotations are only *analysed*
+# by clang; this stage compiles the tree with -Wthread-safety promoted to
+# an error. Only thread-safety diagnostics are fatal here — unrelated
+# clang warnings must not break a gate that GCC-only developers cannot
+# reproduce locally.
+banner "clang -Wthread-safety build"
+if command -v clang++ > /dev/null 2>&1; then
+  TSAFE_DIR="$ROOT/build-check/thread-safety"
+  cmake -B "$TSAFE_DIR" -S "$ROOT" -DCMAKE_CXX_COMPILER=clang++ \
+        -DGSIGHT_THREAD_SAFETY=ON \
+        -DCMAKE_CXX_FLAGS="-Werror=thread-safety" \
+        > "$TSAFE_DIR.configure.log" 2>&1 \
+    || { cat "$TSAFE_DIR.configure.log"; exit 1; }
+  cmake --build "$TSAFE_DIR" -j "$JOBS" > "$TSAFE_DIR.build.log" 2>&1 \
+    || { tail -n 60 "$TSAFE_DIR.build.log"; exit 1; }
+  echo "clang thread-safety build clean"
+else
+  echo "clang++ not installed; skipping (the gsight_analyze lock-discipline"
+  echo "pass above still enforces annotation coverage)"
 fi
 
 if [[ "$FAST" == "1" ]]; then

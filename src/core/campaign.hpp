@@ -22,9 +22,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "core/lock.hpp"
 #include "ml/thread_pool.hpp"
 #include "profiling/profile.hpp"
 #include "profiling/solo_profiler.hpp"
@@ -66,11 +66,11 @@ class CampaignRunner {
     std::vector<R> results(n);
     const stats::SeedStream seeds(root);
     std::size_t done = 0;
-    std::mutex progress_mutex;
+    Mutex progress_mutex;
     auto body = [&](std::size_t i) {
       results[i] = task(i, seeds.derive(i));
       if (options_.progress) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
+        const MutexLock lock(progress_mutex);
         options_.progress(++done, n);
       }
     };

@@ -138,3 +138,65 @@ class ScopedContractHandler {
 #else
 #define GSIGHT_INVARIANT(cond, ...) ((void)0)
 #endif
+
+// ---------------------------------------------------------------------------
+// Thread-safety annotations (compile-time lock discipline).
+//
+// Wrappers over Clang's thread-safety attributes: under clang every
+// annotation is a real attribute checked by -Wthread-safety (enable the
+// build with -DGSIGHT_THREAD_SAFETY=ON; clang-only, a no-op elsewhere),
+// under any other compiler they expand to nothing. Two tools consume
+// them:
+//   * clang -Wthread-safety proves lock/unlock pairing and guarded
+//     access along every path (check.sh stage 2c);
+//   * tools/gsight_analyze's lock-discipline pass enforces the weaker —
+//     but compiler-independent — rule that any class owning a mutex
+//     annotates (or explicitly waives) every mutable member.
+//
+// Conventions (see DESIGN.md §12):
+//   * mutex-owning classes use gsight::core::Mutex (core/lock.hpp), the
+//     capability-annotated wrapper, never bare std::mutex members;
+//   * every member protected by that mutex carries
+//     GSIGHT_GUARDED_BY(mutex_) (GSIGHT_PT_GUARDED_BY for the pointee
+//     of an owned pointer);
+//   * private helpers called with the lock held are GSIGHT_REQUIRES(m);
+//     public entry points that take the lock are GSIGHT_EXCLUDES(m);
+//   * members that are deliberately unguarded (atomics aside, which are
+//     exempt) carry a `// gsight-analyze: allow(unguarded-member)`
+//     waiver stating why.
+
+#if defined(__clang__) && !defined(SWIG)
+#define GSIGHT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GSIGHT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a class to *be* a lock (capability); GSIGHT_SCOPED_CAPABILITY
+/// marks RAII guards that acquire on construction and release on
+/// destruction.
+#define GSIGHT_CAPABILITY(x) GSIGHT_THREAD_ANNOTATION(capability(x))
+#define GSIGHT_SCOPED_CAPABILITY GSIGHT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member annotations: the data is protected by the named mutex (the
+/// _PT_ form protects what an owned pointer points at).
+#define GSIGHT_GUARDED_BY(x) GSIGHT_THREAD_ANNOTATION(guarded_by(x))
+#define GSIGHT_PT_GUARDED_BY(x) GSIGHT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function annotations: caller must hold / must not hold the lock.
+#define GSIGHT_REQUIRES(...) \
+  GSIGHT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GSIGHT_EXCLUDES(...) \
+  GSIGHT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-implementation annotations (used by core::Mutex and its guards).
+#define GSIGHT_ACQUIRE(...) \
+  GSIGHT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GSIGHT_RELEASE(...) \
+  GSIGHT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GSIGHT_TRY_ACQUIRE(...) \
+  GSIGHT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GSIGHT_RETURN_CAPABILITY(x) GSIGHT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Last resort: suppress the analysis for one function (document why).
+#define GSIGHT_NO_THREAD_SAFETY_ANALYSIS \
+  GSIGHT_THREAD_ANNOTATION(no_thread_safety_analysis)

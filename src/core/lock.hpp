@@ -1,0 +1,88 @@
+// Capability-annotated locking primitives — the repo's lock discipline in
+// type form. gsight::core::Mutex wraps std::mutex with Clang
+// thread-safety capability attributes so that a clang build with
+// -DGSIGHT_THREAD_SAFETY=ON (check.sh stage 2c) statically proves that
+// every GSIGHT_GUARDED_BY member is only touched with its mutex held.
+// Under other compilers the attributes vanish and the wrappers compile
+// down to exactly std::mutex / std::lock_guard / std::unique_lock.
+//
+// Why wrappers instead of annotating call sites: libstdc++'s std::mutex
+// and std::lock_guard carry no capability attributes, so clang's
+// analysis cannot see their acquisitions. The annotated Mutex plus the
+// two scoped guards below are the standard fix (the same shape as
+// Chromium's base::Lock or the mutex.h example in the Clang docs).
+//
+// Discipline (enforced lexically by tools/gsight_analyze, and by clang
+// where available):
+//   * concurrent classes declare `mutable core::Mutex mutex_;` members,
+//     never bare std::mutex;
+//   * plain critical sections use MutexLock;
+//   * condition-variable waits use MutexUniqueLock and pass raw() to
+//     std::condition_variable::wait*, with the predicate written as an
+//     explicit while-loop in the waiting function (a predicate lambda
+//     would be analysed as a separate, lock-less function and flagged).
+#pragma once
+
+#include <mutex>
+
+#include "core/contracts.hpp"
+
+namespace gsight::core {
+
+/// std::mutex with capability attributes. Satisfies *Lockable* (lock,
+/// unlock, try_lock), so it also works with std::scoped_lock and
+/// std::condition_variable_any if ever needed.
+class GSIGHT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GSIGHT_ACQUIRE() { m_.lock(); }
+  void unlock() GSIGHT_RELEASE() { m_.unlock(); }
+  bool try_lock() GSIGHT_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped native handle — for std::condition_variable interop
+  /// (via MutexUniqueLock) only; never lock it directly.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII critical section (std::lock_guard shape).
+class GSIGHT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GSIGHT_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() GSIGHT_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII lock whose underlying std::unique_lock can be handed to
+/// std::condition_variable::wait* via raw(). The wait's internal
+/// unlock/relock round-trip is invisible to the analysis, which stays
+/// truthful: the lock is held again by the time wait returns, and the
+/// guard releases exactly once on destruction.
+class GSIGHT_SCOPED_CAPABILITY MutexUniqueLock {
+ public:
+  explicit MutexUniqueLock(Mutex& mutex) GSIGHT_ACQUIRE(mutex)
+      : lock_(mutex.native()) {}
+  ~MutexUniqueLock() GSIGHT_RELEASE() {}
+
+  MutexUniqueLock(const MutexUniqueLock&) = delete;
+  MutexUniqueLock& operator=(const MutexUniqueLock&) = delete;
+
+  std::unique_lock<std::mutex>& raw() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace gsight::core

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -27,8 +27,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      core::MutexUniqueLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) wake_.wait(lock.raw());
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -47,7 +47,7 @@ void ThreadPool::run_batch(Batch& batch) {
     } catch (...) {
       err = std::current_exception();
     }
-    std::lock_guard lock(batch.m);
+    core::MutexLock lock(batch.m);
     if (err && !batch.error) batch.error = err;
     // Notify under the lock: the waiter owns the batch via shared_ptr, so
     // it cannot be destroyed between our unlock and notify.
@@ -66,7 +66,7 @@ void ThreadPool::parallel_for(std::size_t n,
   // The caller drains too, so at most n-1 helpers can ever find work.
   const std::size_t helpers = std::min(n - 1, workers_.size());
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     for (std::size_t h = 0; h < helpers; ++h) {
       tasks_.push([batch] { run_batch(*batch); });
     }
@@ -76,11 +76,13 @@ void ThreadPool::parallel_for(std::size_t n,
   // from inside a worker task therefore always makes progress, and
   // concurrent callers never wait on each other's work.
   run_batch(*batch);
+  std::exception_ptr error;
   {
-    std::unique_lock lock(batch->m);
-    batch->cv.wait(lock, [&] { return batch->completed == batch->n; });
+    core::MutexUniqueLock lock(batch->m);
+    while (batch->completed != batch->n) batch->cv.wait(lock.raw());
+    error = batch->error;  // read under the lock that guards it
   }
-  if (batch->error) std::rethrow_exception(batch->error);
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::shared() {

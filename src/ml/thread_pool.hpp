@@ -12,13 +12,14 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "core/lock.hpp"
 
 namespace gsight::ml {
 
@@ -55,7 +56,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      core::MutexLock lock(mutex_);
       if (stop_) {
         throw std::runtime_error("ThreadPool::submit on a stopping pool");
       }
@@ -77,22 +78,25 @@ class ThreadPool {
     Batch(std::size_t count, const std::function<void(std::size_t)>* fn)
         : n(count), body(fn) {}
     const std::size_t n;
-    const std::function<void(std::size_t)>* body;
+    const std::function<void(std::size_t)>* const body;
     std::atomic<std::size_t> next{0};
-    std::mutex m;
+    core::Mutex m;
     std::condition_variable cv;
-    std::size_t completed = 0;
-    std::exception_ptr error;
+    std::size_t completed GSIGHT_GUARDED_BY(m) = 0;
+    std::exception_ptr error GSIGHT_GUARDED_BY(m);
   };
 
   static void run_batch(Batch& batch);
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  /// Written only by the constructor (before any worker can observe the
+  /// pool) and joined/cleared by the destructor after stop_ is set, so
+  /// the vector itself is never mutated concurrently.
+  std::vector<std::thread> workers_;  // gsight-analyze: allow(unguarded-member)
+  core::Mutex mutex_;
   std::condition_variable wake_;
-  std::queue<std::function<void()>> tasks_;
-  bool stop_ = false;
+  std::queue<std::function<void()>> tasks_ GSIGHT_GUARDED_BY(mutex_);
+  bool stop_ GSIGHT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gsight::ml

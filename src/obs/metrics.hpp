@@ -8,7 +8,9 @@
 //
 // The registry is single-threaded by design, like the simulation engine
 // that feeds it; guard it externally if you ever update from ml::ThreadPool
-// workers.
+// workers. Deliberately mutex-free: if a mutex is ever added here, every
+// member must gain GSIGHT_GUARDED_BY annotations (core/contracts.hpp) —
+// the gsight_analyze lock-discipline pass enforces exactly that.
 #pragma once
 
 #include <cstddef>

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/contracts.hpp"
+#include "core/lock.hpp"
 #include "stats/seed_stream.hpp"
 #include "stats/summary.hpp"
 
@@ -147,13 +148,13 @@ LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
   const std::size_t dim = service.config().feature_dim;
   const Clock* clock = service.clock();
 
-  std::mutex lat_mutex;
+  core::Mutex lat_mutex;
   std::vector<double> latencies_us;
   latencies_us.reserve(config_.requests);
   std::atomic<std::size_t> completed{0};
   auto on_done = [&](const PredictResult& r) {
     {
-      std::lock_guard lock(lat_mutex);
+      core::MutexLock lock(lat_mutex);
       latencies_us.push_back(static_cast<double>(r.latency_ns) / kNsPerMicro);
     }
     completed.fetch_add(1, std::memory_order_release);
@@ -223,7 +224,7 @@ LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
 
   const double duration_s =
       static_cast<double>(clock->now_ns() - start_ns) / kNsPerSecond;
-  std::lock_guard lock(lat_mutex);
+  core::MutexLock lock(lat_mutex);
   return finalise(latencies_us, config_.requests, shed, duration_s);
 }
 

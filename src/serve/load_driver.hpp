@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "serve/service.hpp"

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/contracts.hpp"
+#include "core/lock.hpp"
 #include "ml/matrix.hpp"
 
 namespace gsight::serve {
@@ -38,7 +39,7 @@ PredictionService::PredictionService(ServiceConfig config,
 PredictionService::~PredictionService() { stop(); }
 
 void PredictionService::start() {
-  std::lock_guard lock(lifecycle_mutex_);
+  core::MutexLock lock(lifecycle_mutex_);
   if (started_ || stopped_) return;
   started_ = true;
   if (config_.worker_threads == 0) return;  // synchronous mode: poll-driven
@@ -51,7 +52,7 @@ void PredictionService::start() {
 
 void PredictionService::stop() {
   {
-    std::lock_guard lock(lifecycle_mutex_);
+    core::MutexLock lock(lifecycle_mutex_);
     if (stopped_) return;
     stopped_ = true;
     accepting_.store(false, std::memory_order_release);
@@ -180,7 +181,7 @@ std::size_t PredictionService::process_batch(std::vector<Request>& batch) {
 }
 
 bool PredictionService::train_round() {
-  std::lock_guard lock(train_mutex_);
+  core::MutexLock lock(train_mutex_);
   std::vector<Observation> drained;
   observations_.try_pop_batch(drained, config_.max_train_drain);
   if (drained.empty()) return false;
@@ -197,7 +198,7 @@ bool PredictionService::train_round() {
 void PredictionService::maybe_schedule_train() {
   if (observations_.size() < config_.train_batch) return;
   if (train_pending_.exchange(true, std::memory_order_acq_rel)) return;
-  std::lock_guard lock(lifecycle_mutex_);
+  core::MutexLock lock(lifecycle_mutex_);
   if (!accepting_.load(std::memory_order_acquire) || !trainer_pool_) {
     train_pending_.store(false, std::memory_order_release);
     return;

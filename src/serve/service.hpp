@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/lock.hpp"
 #include "ml/incremental_forest.hpp"
 #include "ml/thread_pool.hpp"
 #include "obs/metrics.hpp"
@@ -169,32 +169,40 @@ class PredictionService {
   /// Predict one micro-batch and deliver results. Returns batch size.
   std::size_t process_batch(std::vector<Request>& batch);
   /// One training round: drain observations, partial_fit, publish.
-  bool train_round();
+  bool train_round() GSIGHT_EXCLUDES(train_mutex_);
   /// Fire-and-forget a training round if the threshold is crossed.
-  void maybe_schedule_train();
+  void maybe_schedule_train() GSIGHT_EXCLUDES(lifecycle_mutex_);
 
-  ServiceConfig config_;
-  std::unique_ptr<ManualClock> own_clock_;  ///< sync-mode default clock
-  const Clock* clock_ = nullptr;
+  /// Fixed at construction (the ctor only reads it thereafter).
+  const ServiceConfig config_;
+  /// Both clock members are set once in the constructor and immutable
+  /// for the service's lifetime; readers on any thread are safe.
+  std::unique_ptr<ManualClock> own_clock_;  // gsight-analyze: allow(unguarded-member)
+  const Clock* clock_ = nullptr;  // gsight-analyze: allow(unguarded-member)
 
-  BoundedQueue<Request> requests_;
-  BoundedQueue<Observation> observations_;
-  SnapshotSlot slot_;
+  // Internally synchronized (each owns its own core::Mutex).
+  BoundedQueue<Request> requests_;  // gsight-analyze: allow(unguarded-member)
+  BoundedQueue<Observation> observations_;  // gsight-analyze: allow(unguarded-member)
+  SnapshotSlot slot_;  // gsight-analyze: allow(unguarded-member)
 
-  /// The training copy of the model. Only touched under train_mutex_.
-  std::mutex train_mutex_;
-  ml::IncrementalForest model_;
+  /// The training copy of the model.
+  core::Mutex train_mutex_;
+  ml::IncrementalForest model_ GSIGHT_GUARDED_BY(train_mutex_);
 
   /// Lifecycle: guards accepting_ flips and trainer-pool submission so
   /// stop() can fence out new training tasks before draining the pool.
-  std::mutex lifecycle_mutex_;
+  core::Mutex lifecycle_mutex_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> train_pending_{false};
-  bool started_ = false;
-  bool stopped_ = false;
+  bool started_ GSIGHT_GUARDED_BY(lifecycle_mutex_) = false;
+  bool stopped_ GSIGHT_GUARDED_BY(lifecycle_mutex_) = false;
 
-  std::vector<std::thread> workers_;
-  std::unique_ptr<ml::ThreadPool> trainer_pool_;  ///< threaded mode only
+  /// Mutated only by start() (under lifecycle_mutex_) and by the single
+  /// stop() call that wins the stopped_ flip — the join loop runs outside
+  /// the lock on purpose (joining under it would deadlock workers that
+  /// take the lock), so these two cannot carry GSIGHT_GUARDED_BY.
+  std::vector<std::thread> workers_;  // gsight-analyze: allow(unguarded-member)
+  std::unique_ptr<ml::ThreadPool> trainer_pool_;  // gsight-analyze: allow(unguarded-member)
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> shed_{0};

@@ -14,7 +14,7 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::freeze(
 bool SnapshotSlot::publish(std::shared_ptr<const ModelSnapshot> next) {
   if (!next) return false;
   {
-    std::lock_guard lock(mutex_);
+    core::MutexLock lock(mutex_);
     if (snap_ && next->version <= snap_->version) return false;
     snap_ = std::move(next);
   }

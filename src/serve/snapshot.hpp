@@ -23,8 +23,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "core/lock.hpp"
 #include "ml/incremental_forest.hpp"
 #include "ml/random_forest.hpp"
 
@@ -49,15 +49,16 @@ class SnapshotSlot {
   /// The current snapshot; nullptr before the first publish. The lock
   /// covers only the shared_ptr copy, so readers never wait on a
   /// publish-in-progress beyond that pointer swap.
-  std::shared_ptr<const ModelSnapshot> load() const {
-    std::lock_guard lock(mutex_);
+  std::shared_ptr<const ModelSnapshot> load() const GSIGHT_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
     return snap_;
   }
 
   /// Install `next` iff its version is strictly newer than the current
   /// one (a null slot accepts any version). Returns false — and leaves
   /// the slot untouched — for stale or duplicate versions.
-  bool publish(std::shared_ptr<const ModelSnapshot> next);
+  bool publish(std::shared_ptr<const ModelSnapshot> next)
+      GSIGHT_EXCLUDES(mutex_);
 
   /// Version of the current snapshot (0 when empty).
   std::uint64_t version() const {
@@ -71,8 +72,8 @@ class SnapshotSlot {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const ModelSnapshot> snap_;
+  mutable core::Mutex mutex_;
+  std::shared_ptr<const ModelSnapshot> snap_ GSIGHT_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> swaps_{0};
 };
 

@@ -1,0 +1,99 @@
+// core::Mutex / MutexLock / MutexUniqueLock (src/core/lock.hpp): the
+// annotated capability wrappers every concurrent subsystem locks through.
+// The annotations themselves are verified by clang -Wthread-safety
+// (check.sh stage 2c) and by the gsight_analyze lock-discipline pass;
+// these tests pin down the runtime behaviour — mutual exclusion, RAII
+// release, try_lock semantics, and condition_variable interop through
+// MutexUniqueLock::raw().
+#include "core/lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace gsight::core {
+namespace {
+
+TEST(Lock, MutexLockProvidesMutualExclusion) {
+  Mutex mutex;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const MutexLock lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(Lock, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  Mutex mutex;
+  {
+    const MutexLock lock(mutex);
+    EXPECT_FALSE(mutex.try_lock());
+  }
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(Lock, MutexLockReleasesOnScopeExit) {
+  Mutex mutex;
+  { const MutexLock lock(mutex); }
+  // Destructor released: a fresh acquisition must not deadlock.
+  const MutexLock again(mutex);
+  SUCCEED();
+}
+
+TEST(Lock, UniqueLockWorksWithConditionVariable) {
+  Mutex mutex;
+  std::condition_variable cv;
+  bool ready = false;
+  std::thread producer([&] {
+    {
+      const MutexLock lock(mutex);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  {
+    MutexUniqueLock lock(mutex);
+    // Explicit loop, not a predicate lambda — the same discipline the
+    // annotated production code follows (see bounded_queue.hpp).
+    while (!ready) cv.wait(lock.raw());
+  }
+  producer.join();
+  EXPECT_TRUE(ready);
+}
+
+TEST(Lock, UniqueLockReleasesOnScopeExit) {
+  Mutex mutex;
+  { MutexUniqueLock lock(mutex); }
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+// The annotation macros must be inert text under any compiler: this
+// function compiles with GSIGHT_REQUIRES on GCC (no-op) and clang
+// (analysed), and calling it under the lock satisfies both.
+Mutex guard_mutex;
+int guarded_value GSIGHT_GUARDED_BY(guard_mutex) = 0;
+
+int read_guarded() GSIGHT_REQUIRES(guard_mutex) { return guarded_value; }
+
+TEST(Lock, AnnotationMacrosCompileAndRun) {
+  const MutexLock lock(guard_mutex);
+  guarded_value = 41;
+  EXPECT_EQ(read_guarded() + 1, 42);
+}
+
+}  // namespace
+}  // namespace gsight::core

@@ -1,0 +1,242 @@
+#include "analysis/determinism.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <sstream>
+
+namespace gsight::analysis {
+
+namespace {
+
+const std::set<std::string> kUnorderedTemplates = {"unordered_map",
+                                                   "unordered_set"};
+
+const std::set<std::string> kSinkCalls = {
+    "push",    "push_back", "emplace", "emplace_back", "insert",
+    "schedule", "enqueue",  "record",  "observe",      "write",
+    "print",   "printf",    "log",     "emit",         "add_event",
+};
+
+struct UnorderedNames {
+  std::set<std::string> types;  ///< unordered_map/set + aliases of them
+  std::set<std::string> vars;   ///< variables/members of those types
+};
+
+/// Global collection: every `using Alias = …unordered_map<…>…` and every
+/// declaration `unordered_map<…> name` / `Alias name` across all files.
+UnorderedNames collect_unordered_names(const SourceSet& files) {
+  UnorderedNames names;
+  names.types = kUnorderedTemplates;
+  // Two sweeps so an alias declared in a later file still resolves
+  // variables declared in an earlier one.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (const auto& [rel, file] : files) {
+      (void)rel;
+      const auto& toks = file.tokens;
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::kIdent ||
+            names.types.count(toks[i].text) == 0) {
+          continue;
+        }
+        // Skip the template-argument list if there is one.
+        std::size_t after = i + 1;
+        if (after < toks.size() && toks[after].text == "<") {
+          const std::size_t close = match_angle(toks, after);
+          if (close == toks.size()) continue;  // unmatched — not a decl
+          after = close + 1;
+        }
+        // `using Alias = std::unordered_map<…>` — the alias name sits
+        // before the `=`, two tokens behind the type (plus `std ::`).
+        if (i >= 2 && toks[i - 1].text == "::" &&
+            toks[i - 2].text == "std") {
+          if (i >= 4 && toks[i - 3].text == "=" &&
+              toks[i - 4].kind == TokKind::kIdent) {
+            names.types.insert(toks[i - 4].text);
+          }
+        } else if (i >= 2 && toks[i - 1].text == "=" &&
+                   toks[i - 2].kind == TokKind::kIdent) {
+          names.types.insert(toks[i - 2].text);
+        }
+        // Declarator: the identifier right after the type (skipping
+        // refs/pointers) is a declared variable or member.
+        while (after < toks.size() &&
+               (toks[after].text == "&" || toks[after].text == "*" ||
+                toks[after].text == "const")) {
+          ++after;
+        }
+        if (after < toks.size() && toks[after].kind == TokKind::kIdent) {
+          names.vars.insert(toks[after].text);
+        }
+      }
+    }
+  }
+  return names;
+}
+
+bool has_sink(const std::vector<Token>& toks, std::size_t first,
+              std::size_t last) {
+  for (std::size_t i = first; i < last && i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kPunct && toks[i].text == "<<") return true;
+    if (toks[i].kind == TokKind::kIdent && kSinkCalls.count(toks[i].text) &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_file(const std::string& rel, const LexedFile& file,
+                const UnorderedNames& names, std::vector<Violation>* out) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "for") continue;
+    if (toks[i + 1].text != "(") continue;
+    const std::size_t close = match_delim(toks, i + 1);
+    if (close == toks.size()) continue;
+    // Range-for: a `:` punct inside the parens (`::` is its own token,
+    // so scope resolution never fakes a match).
+    std::size_t colon = toks.size();
+    for (std::size_t k = i + 2; k < close; ++k) {
+      if (toks[k].kind == TokKind::kPunct && toks[k].text == ":") {
+        colon = k;
+        break;
+      }
+    }
+    if (colon == toks.size()) continue;
+    // Does the range expression name an unordered container?
+    bool unordered = false;
+    std::string culprit;
+    for (std::size_t k = colon + 1; k < close; ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      if (names.types.count(toks[k].text) != 0 ||
+          names.vars.count(toks[k].text) != 0) {
+        unordered = true;
+        culprit = toks[k].text;
+        break;
+      }
+    }
+    if (!unordered) continue;
+    // Loop body: a braced block, or a single statement up to `;`.
+    std::size_t body_first = close + 1;
+    std::size_t body_last;  // exclusive
+    if (body_first < toks.size() && toks[body_first].text == "{") {
+      body_last = match_delim(toks, body_first);
+    } else {
+      body_last = body_first;
+      while (body_last < toks.size() && toks[body_last].text != ";") {
+        ++body_last;
+      }
+    }
+    if (!has_sink(toks, body_first, body_last)) continue;
+    if (waived(file, toks[i].line, "unordered-iteration")) continue;
+    std::ostringstream msg;
+    msg << "range-for over unordered container '" << culprit
+        << "' feeds an output sink; hash order is not deterministic "
+           "across platforms (iterate a sorted copy or switch to std::map)";
+    out->push_back({rel, toks[i].line, "unordered-iteration", msg.str()});
+  }
+}
+
+}  // namespace
+
+void check_determinism(const SourceSet& files, std::vector<Violation>* out) {
+  const UnorderedNames names = collect_unordered_names(files);
+  for (const auto& [rel, file] : files) check_file(rel, file, names, out);
+}
+
+int determinism_self_test() {
+  struct Case {
+    const char* name;
+    std::vector<std::pair<const char*, const char*>> files;
+    int expect_violations;
+  };
+  const std::vector<Case> cases = {
+      {"unordered local streamed to output",
+       {{"src/sim/a.cpp",
+         "void f(std::ostream& os) {\n"
+         "  std::unordered_map<int, int> m;\n"
+         "  for (const auto& [k, v] : m) os << k << v;\n"
+         "}\n"}},
+       1},
+      {"member declared in header, iterated in cpp",
+       {{"src/sim/a.hpp",
+         "struct S { std::unordered_set<int> pending_; };\n"},
+        {"src/sim/a.cpp",
+         "void S::flush(Queue& q) {\n"
+         "  for (int id : pending_) q.push(id);\n"
+         "}\n"}},
+       1},
+      {"std::map iteration with output is fine",
+       {{"src/sim/a.cpp",
+         "void f(std::ostream& os) {\n"
+         "  std::map<int, int> m;\n"
+         "  for (const auto& [k, v] : m) os << k << v;\n"
+         "}\n"}},
+       0},
+      {"unordered iteration that only aggregates is fine",
+       {{"src/sim/a.cpp",
+         "int f(const std::unordered_map<int, int>& m) {\n"
+         "  int sum = 0;\n"
+         "  for (const auto& [k, v] : m) sum += v;\n"
+         "  return sum;\n"
+         "}\n"}},
+       0},
+      {"alias of unordered_map is traced",
+       {{"src/sim/a.hpp",
+         "using IdIndex = std::unordered_map<int, int>;\n"},
+        {"src/sim/a.cpp",
+         "void f(const IdIndex& idx, std::ostream& os) {\n"
+         "  for (const auto& [k, v] : idx) os << k;\n"
+         "}\n"}},
+       1},
+      {"metrics sink counts",
+       {{"src/sim/a.cpp",
+         "void f(std::unordered_set<int> live, Metrics& m) {\n"
+         "  for (int id : live) m.record(id);\n"
+         "}\n"}},
+       1},
+      {"single-statement body without braces",
+       {{"src/sim/a.cpp",
+         "void f(std::unordered_set<int> live, Queue& q) {\n"
+         "  for (int id : live) q.push(id);\n"
+         "}\n"}},
+       1},
+      {"waiver on the for line",
+       {{"src/sim/a.cpp",
+         "void f(std::unordered_set<int> live, Queue& q) {\n"
+         "  // order irrelevant: queue is drained into a sorted set\n"
+         "  for (int id : live)  // gsight-analyze: allow(unordered-iteration)\n"
+         "    q.push(id);\n"
+         "}\n"}},
+       0},
+      {"index-for over unordered container is out of scope",
+       {{"src/sim/a.cpp",
+         "void f(std::unordered_map<int, int>& m, std::ostream& os) {\n"
+         "  for (int i = 0; i < 3; ++i) os << m.size();\n"
+         "}\n"}},
+       0},
+  };
+  int failures = 0;
+  for (const auto& c : cases) {
+    SourceSet set;
+    for (const auto& [rel, text] : c.files) add_source(&set, rel, text);
+    std::vector<Violation> vs;
+    check_determinism(set, &vs);
+    if (static_cast<int>(vs.size()) != c.expect_violations) {
+      ++failures;
+      std::cout << "determinism self-test FAIL: " << c.name << " (expected "
+                << c.expect_violations << ", got " << vs.size() << ")\n";
+      for (const auto& v : vs) {
+        std::cout << "    " << v.file << ":" << v.line << " [" << v.rule
+                  << "]\n";
+      }
+    }
+  }
+  std::cout << "gsight_analyze --self-test=determinism: " << cases.size()
+            << " cases, " << failures << " failure"
+            << (failures == 1 ? "" : "s") << "\n";
+  return failures;
+}
+
+}  // namespace gsight::analysis

@@ -1,0 +1,38 @@
+// Determinism dataflow pass. Gsight's contract is that twin runs of a
+// campaign (and the replayed serve bench) are byte-identical; iterating a
+// hash-ordered container on the way to any observable output breaks that
+// silently, because libstdc++'s bucket order is stable enough to pass
+// small tests and still differ across platforms and seeds.
+//
+// Rule `unordered-iteration`: a range-for whose range expression names an
+// unordered container — declared anywhere in the scanned tree as
+// std::unordered_map / std::unordered_set (directly, or through a `using`
+// alias of one) — and whose body reaches a sink:
+//
+//   * stream output        (`<<` anywhere in the body)
+//   * container emission   push / push_back / emplace / emplace_back /
+//                          insert / schedule / enqueue
+//   * metrics & logging    record / observe / write / print / printf /
+//                          log / emit / add_event
+//
+// Bodies that only aggregate (sums, counts, min/max) are order-free and
+// pass. Declarations are collected globally across the SourceSet first,
+// so a member declared in a header is recognised when its .cpp iterates
+// it. Waive on the `for` line with
+//     // gsight-analyze: allow(unordered-iteration)
+// when order provably does not reach an output (and say why).
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace gsight::analysis {
+
+/// Run the pass over every file of `files`, appending violations.
+void check_determinism(const SourceSet& files, std::vector<Violation>* out);
+
+/// Seeded-violation corpus; returns the number of failing cases.
+int determinism_self_test();
+
+}  // namespace gsight::analysis

@@ -1,0 +1,243 @@
+#include "analysis/include_graph.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace gsight::analysis {
+
+namespace {
+
+/// Second path component: "src/sim/engine.hpp" -> "sim".
+std::string dir_of(const std::string& rel) {
+  const auto first = rel.find('/');
+  if (first == std::string::npos) return "";
+  const auto second = rel.find('/', first + 1);
+  if (second == std::string::npos) return "";
+  return rel.substr(first + 1, second - first - 1);
+}
+
+}  // namespace
+
+int layer_of(const std::string& rel) {
+  // File-level overrides: the foundation headers live in core/ but sit
+  // below everything (stats and obs include core/contracts.hpp).
+  if (rel == "src/core/contracts.hpp" || rel == "src/core/lock.hpp") return 0;
+  static const std::map<std::string, int> kDirLayer = {
+      {"stats", 1},     {"ml", 2},        {"obs", 2},  {"workloads", 2},
+      {"sim", 3},       {"profiling", 4}, {"core", 5}, {"sched", 6},
+      {"baselines", 6}, {"serve", 7},
+  };
+  if (rel.rfind("src/", 0) != 0) return -1;
+  const auto it = kDirLayer.find(dir_of(rel));
+  return it == kDirLayer.end() ? -1 : it->second;
+}
+
+IncludeGraph build_include_graph(const SourceSet& files) {
+  IncludeGraph graph;
+  for (const auto& [rel, file] : files) {
+    // Token pattern per line: '#' 'include' "target". The lexer keeps
+    // string contents in the token text, so the target is right there.
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].text != "#" || toks[i + 1].text != "include") continue;
+      if (toks[i + 2].kind != TokKind::kString) continue;  // <system>
+      const std::string& lit = toks[i + 2].text;
+      if (lit.size() < 2) continue;
+      const std::string target = "src/" + lit.substr(1, lit.size() - 2);
+      if (files.count(target) != 0) {
+        graph.edges.push_back({rel, target, toks[i].line});
+      }
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+void check_cycles(const IncludeGraph& graph, std::vector<Violation>* out) {
+  // Adjacency in deterministic order.
+  std::map<std::string, std::vector<const IncludeEdge*>> adj;
+  for (const auto& e : graph.edges) adj[e.from].push_back(&e);
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [node, _] : adj) color[node] = Color::kWhite;
+
+  // Iterative DFS keeping the explicit path for cycle reporting.
+  struct Frame {
+    std::string node;
+    std::size_t next = 0;
+  };
+  for (const auto& [root, _] : adj) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack{{root}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const auto it = adj.find(top.node);
+      if (it == adj.end() || top.next >= it->second.size()) {
+        color[top.node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const IncludeEdge* e = it->second[top.next++];
+      auto& c = color[e->to];
+      if (c == Color::kWhite) {
+        c = Color::kGray;
+        stack.push_back({e->to});
+      } else if (c == Color::kGray) {
+        // Back edge: the cycle is the stack suffix from e->to.
+        std::ostringstream path;
+        bool in_cycle = false;
+        for (const auto& f : stack) {
+          if (f.node == e->to) in_cycle = true;
+          if (in_cycle) path << f.node << " -> ";
+        }
+        path << e->to;
+        out->push_back({e->from, e->line, "layer-cycle",
+                        "include cycle: " + path.str()});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void check_layering(const IncludeGraph& graph, const SourceSet& files,
+                    std::vector<Violation>* out) {
+  for (const auto& e : graph.edges) {
+    const int from_layer = layer_of(e.from);
+    const int to_layer = layer_of(e.to);
+    if (from_layer < 0 || to_layer < 0) continue;  // unlayered directory
+    if (dir_of(e.from) == dir_of(e.to) &&
+        (from_layer == to_layer || to_layer == 0)) {
+      continue;  // within one directory (or down to its foundation files)
+    }
+    const auto it = files.find(e.from);
+    if (to_layer > from_layer) {
+      if (it != files.end() && waived(it->second, e.line, "layer-back-edge")) {
+        continue;
+      }
+      std::ostringstream msg;
+      msg << "include of " << e.to << " (layer " << to_layer
+          << ") from layer " << from_layer
+          << " inverts the architecture DAG";
+      out->push_back({e.from, e.line, "layer-back-edge", msg.str()});
+    } else if (to_layer == from_layer) {
+      if (it != files.end() && waived(it->second, e.line, "layer-lateral")) {
+        continue;
+      }
+      std::ostringstream msg;
+      msg << "include of " << e.to << " crosses directories on layer "
+          << to_layer << "; these subsystems are deliberately independent";
+      out->push_back({e.from, e.line, "layer-lateral", msg.str()});
+    }
+  }
+  check_cycles(graph, out);
+}
+
+std::string dump_graph_json(const IncludeGraph& graph,
+                            const SourceSet& files) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"gsight-include-graph/v1\",\n  \"files\": [\n";
+  bool first = true;
+  for (const auto& [rel, _] : files) {
+    if (rel.rfind("src/", 0) != 0) continue;
+    os << (first ? "" : ",\n") << "    {\"path\": \"" << rel
+       << "\", \"layer\": " << layer_of(rel) << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"edges\": [\n";
+  first = true;
+  for (const auto& e : graph.edges) {
+    os << (first ? "" : ",\n") << "    {\"from\": \"" << e.from
+       << "\", \"to\": \"" << e.to << "\", \"line\": " << e.line << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+int include_graph_self_test() {
+  struct Case {
+    const char* name;
+    std::vector<std::pair<const char*, const char*>> files;  // rel, text
+    const char* expect_rule;  // nullptr = expect clean
+  };
+  const std::vector<Case> cases = {
+      {"clean downward include",
+       {{"src/serve/s.hpp", "#pragma once\n#include \"ml/m.hpp\"\n"},
+        {"src/ml/m.hpp", "#pragma once\n"}},
+       nullptr},
+      {"back edge ml -> sim",
+       {{"src/ml/m.hpp", "#pragma once\n#include \"sim/e.hpp\"\n"},
+        {"src/sim/e.hpp", "#pragma once\n"}},
+       "layer-back-edge"},
+      {"layer-skipping back edge stats -> serve",
+       {{"src/stats/r.cpp", "#include \"serve/s.hpp\"\n"},
+        {"src/serve/s.hpp", "#pragma once\n"}},
+       "layer-back-edge"},
+      {"lateral ml -> obs",
+       {{"src/ml/m.cpp", "#include \"obs/o.hpp\"\n"},
+        {"src/obs/o.hpp", "#pragma once\n"}},
+       "layer-lateral"},
+      {"same directory is free",
+       {{"src/sim/a.hpp", "#pragma once\n#include \"sim/b.hpp\"\n"},
+        {"src/sim/b.hpp", "#pragma once\n"}},
+       nullptr},
+      {"contracts override lets stats reach core",
+       {{"src/stats/h.cpp", "#include \"core/contracts.hpp\"\n"},
+        {"src/core/contracts.hpp", "#pragma once\n"}},
+       nullptr},
+      {"but the rest of core stays above stats",
+       {{"src/stats/h.cpp", "#include \"core/predictor.hpp\"\n"},
+        {"src/core/predictor.hpp", "#pragma once\n"}},
+       "layer-back-edge"},
+      {"include inside a comment is ignored",
+       {{"src/ml/m.cpp", "// #include \"sim/e.hpp\"\n"},
+        {"src/sim/e.hpp", "#pragma once\n"}},
+       nullptr},
+      {"cycle within a directory",
+       {{"src/sim/a.hpp", "#pragma once\n#include \"sim/b.hpp\"\n"},
+        {"src/sim/b.hpp", "#pragma once\n#include \"sim/a.hpp\"\n"}},
+       "layer-cycle"},
+      {"waiver on the include line",
+       {{"src/ml/m.cpp",
+         "#include \"obs/o.hpp\"  // gsight-analyze: allow(layer-lateral)\n"},
+        {"src/obs/o.hpp", "#pragma once\n"}},
+       nullptr},
+      {"unlayered directory is exempt",
+       {{"src/experimental/x.cpp", "#include \"serve/s.hpp\"\n"},
+        {"src/serve/s.hpp", "#pragma once\n"}},
+       nullptr},
+  };
+  int failures = 0;
+  for (const auto& c : cases) {
+    SourceSet set;
+    for (const auto& [rel, text] : c.files) add_source(&set, rel, text);
+    std::vector<Violation> vs;
+    const IncludeGraph g = build_include_graph(set);
+    check_layering(g, set, &vs);
+    const bool ok =
+        c.expect_rule == nullptr
+            ? vs.empty()
+            : std::any_of(vs.begin(), vs.end(), [&](const Violation& v) {
+                return v.rule == c.expect_rule;
+              });
+    if (!ok) {
+      ++failures;
+      std::cout << "include-graph self-test FAIL: " << c.name
+                << " (expected " << (c.expect_rule ? c.expect_rule : "clean")
+                << ", got " << vs.size() << " violation(s)";
+      for (const auto& v : vs) std::cout << " [" << v.rule << "]";
+      std::cout << ")\n";
+    }
+  }
+  std::cout << "gsight_analyze --self-test=layering: " << cases.size()
+            << " cases, " << failures << " failure"
+            << (failures == 1 ? "" : "s") << "\n";
+  return failures;
+}
+
+}  // namespace gsight::analysis

@@ -1,0 +1,67 @@
+// Include-graph layering pass. Parses `#include "…"` edges between the
+// files of src/ and enforces the intended architecture DAG:
+//
+//   layer 0  core/contracts.hpp, core/lock.hpp   (foundation, no deps)
+//   layer 1  stats/                               (bit-stable RNG, summaries)
+//   layer 2  ml/  obs/  workloads/                (independent mid layers)
+//   layer 3  sim/                                 (event-driven simulator)
+//   layer 4  profiling/                           (drives sim)
+//   layer 5  core/ (everything else)              (encoders, predictor, runner)
+//   layer 6  sched/  baselines/                   (placement, competitors)
+//   layer 7  serve/                               (online serving daemon)
+//
+// Rules (names are what waivers must use):
+//   layer-back-edge  an include whose target sits on a *higher* layer —
+//                    the dependency inversion that breaks the DAG;
+//   layer-lateral    an include into a different directory on the *same*
+//                    layer (ml, obs and workloads are deliberately
+//                    independent of each other);
+//   layer-cycle      a cycle in the file-level include graph, reported
+//                    with the full path (cycles inside one directory are
+//                    invisible to layer numbers, hence the explicit DFS).
+//
+// Same-directory includes are always allowed; includes whose target is
+// not under src/ (system headers, third-party) are ignored.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace gsight::analysis {
+
+struct IncludeEdge {
+  std::string from;   ///< repo-relative includer, e.g. "src/sim/engine.cpp"
+  std::string to;     ///< repo-relative target, e.g. "src/sim/engine.hpp"
+  std::size_t line;   ///< 1-based line of the #include
+};
+
+struct IncludeGraph {
+  std::vector<IncludeEdge> edges;  ///< deterministic (file, line) order
+};
+
+/// Architecture layer of a repo-relative path; -1 when the file is not
+/// part of the layered src/ tree (unknown directory — exempt from the
+/// layer rules but still part of cycle detection).
+int layer_of(const std::string& rel);
+
+/// Extract all resolved src-internal include edges. `files` must be
+/// keyed by repo-relative paths; a quoted include resolves when
+/// "src/<target>" is a key.
+IncludeGraph build_include_graph(const SourceSet& files);
+
+/// Layer rules + cycle detection over the graph.
+void check_layering(const IncludeGraph& graph, const SourceSet& files,
+                    std::vector<Violation>* out);
+
+/// Machine-readable dump (schema gsight-include-graph/v1): every file
+/// with its layer, every edge, deterministically ordered.
+std::string dump_graph_json(const IncludeGraph& graph,
+                            const SourceSet& files);
+
+/// Seeded-violation corpus; returns the number of failing cases.
+int include_graph_self_test();
+
+}  // namespace gsight::analysis

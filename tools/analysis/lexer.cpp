@@ -1,0 +1,305 @@
+#include "analysis/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gsight::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character operators, longest first (maximal munch).
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  ".*", "##",
+};
+
+/// Raw-string prefixes: identifier tokens that, when immediately followed
+/// by a double quote, start a raw string literal.
+bool raw_string_prefix(const std::string& s) {
+  return s == "R" || s == "LR" || s == "uR" || s == "UR" || s == "u8R";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  LexedFile run() {
+    while (pos_ < text_.size()) step();
+    // Final partial line (file not ending in '\n'); complete lines were
+    // flushed by their newline.
+    if (!raw_line_.empty() || !code_line_.empty()) flush_line();
+    return std::move(out_);
+  }
+
+ private:
+  char cur() const { return text_[pos_]; }
+  char peek(std::size_t ahead = 1) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  /// Append `c` to the raw line and advance; `code_c` (or a space) goes
+  /// to the code view at the same column.
+  void advance(bool keep_in_code) {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      flush_line();
+      ++line_;
+      col_ = 0;
+      return;
+    }
+    raw_line_.push_back(c);
+    code_line_.push_back(keep_in_code ? c : ' ');
+    ++col_;
+  }
+
+  void flush_line() {
+    out_.raw.push_back(raw_line_);
+    out_.code.push_back(code_line_);
+    raw_line_.clear();
+    code_line_.clear();
+  }
+
+  void emit(TokKind kind, std::size_t start_line, std::size_t start_col,
+            std::string text) {
+    out_.tokens.push_back({kind, std::move(text), start_line + 1, start_col});
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(true);
+      return;
+    }
+    if (c == '/' && peek() == '/') {
+      while (pos_ < text_.size() && cur() != '\n') advance(false);
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      advance(false);
+      advance(false);
+      while (pos_ < text_.size() && !(cur() == '*' && peek() == '/')) {
+        advance(false);
+      }
+      if (pos_ < text_.size()) {
+        advance(false);
+        advance(false);
+      }
+      return;
+    }
+    if (c == '"') {
+      lex_string();
+      return;
+    }
+    if (c == '\'') {
+      lex_char();
+      return;
+    }
+    if (digit(c) || (c == '.' && digit(peek()))) {
+      lex_number();
+      return;
+    }
+    if (ident_start(c)) {
+      lex_ident();
+      return;
+    }
+    lex_punct();
+  }
+
+  void lex_string() {
+    const std::size_t l = line_, col = col_;
+    std::string text;
+    text.push_back(cur());
+    advance(false);
+    while (pos_ < text_.size() && cur() != '"' && cur() != '\n') {
+      if (cur() == '\\' && peek() != '\0' && peek() != '\n') {
+        text.push_back(cur());
+        advance(false);
+      }
+      text.push_back(cur());
+      advance(false);
+    }
+    if (pos_ < text_.size() && cur() == '"') {
+      text.push_back(cur());
+      advance(false);
+    }
+    emit(TokKind::kString, l, col, std::move(text));
+  }
+
+  void lex_char() {
+    const std::size_t l = line_, col = col_;
+    std::string text;
+    text.push_back(cur());
+    advance(false);
+    while (pos_ < text_.size() && cur() != '\'' && cur() != '\n') {
+      if (cur() == '\\' && peek() != '\0' && peek() != '\n') {
+        text.push_back(cur());
+        advance(false);
+      }
+      text.push_back(cur());
+      advance(false);
+    }
+    if (pos_ < text_.size() && cur() == '\'') {
+      text.push_back(cur());
+      advance(false);
+    }
+    emit(TokKind::kChar, l, col, std::move(text));
+  }
+
+  /// R"delim( ... )delim" — the whole literal becomes one kString token
+  /// (blanked in the code view, like every literal).
+  void lex_raw_string() {
+    const std::size_t l = line_, col = col_;
+    std::string text;
+    text.push_back(cur());  // the opening quote
+    advance(false);
+    std::string delim;
+    while (pos_ < text_.size() && cur() != '(' && cur() != '\n') {
+      delim.push_back(cur());
+      text.push_back(cur());
+      advance(false);
+    }
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < text_.size()) {
+      if (text_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t k = 0; k < closer.size(); ++k) {
+          text.push_back(cur());
+          advance(false);
+        }
+        break;
+      }
+      if (cur() != '\n') text.push_back(cur());
+      advance(false);
+    }
+    emit(TokKind::kString, l, col, std::move(text));
+  }
+
+  void lex_number() {
+    const std::size_t l = line_, col = col_;
+    std::string text;
+    while (pos_ < text_.size()) {
+      const char c = cur();
+      if (ident_char(c) || c == '.' ||
+          (c == '\'' && digit(peek())) ||  // digit separator 1'000'000
+          ((c == '+' || c == '-') && !text.empty() &&
+           (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+            text.back() == 'P'))) {
+        text.push_back(c);
+        advance(true);
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, l, col, std::move(text));
+  }
+
+  void lex_ident() {
+    const std::size_t l = line_, col = col_;
+    std::string text;
+    while (pos_ < text_.size() && ident_char(cur())) {
+      text.push_back(cur());
+      advance(true);
+    }
+    // Raw-string prefix glued to a quote: drop the identifier, lex the
+    // raw literal as a single string token instead.
+    if (pos_ < text_.size() && cur() == '"' && raw_string_prefix(text)) {
+      // Un-emit the prefix from the code view (it belongs to the literal).
+      for (std::size_t k = code_line_.size() - text.size();
+           k < code_line_.size(); ++k) {
+        code_line_[k] = ' ';
+      }
+      lex_raw_string();
+      return;
+    }
+    emit(TokKind::kIdent, l, col, std::move(text));
+  }
+
+  void lex_punct() {
+    const std::size_t l = line_, col = col_;
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (text_.compare(pos_, len, p) == 0) {
+        for (std::size_t k = 0; k < len; ++k) advance(true);
+        emit(TokKind::kPunct, l, col, p);
+        return;
+      }
+    }
+    std::string one(1, cur());
+    advance(true);
+    emit(TokKind::kPunct, l, col, std::move(one));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 0;  // 0-based internally
+  std::size_t col_ = 0;
+  std::string raw_line_, code_line_;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) { return Lexer(text).run(); }
+
+std::size_t match_delim(const std::vector<Token>& tokens,
+                        std::size_t open_idx) {
+  if (open_idx >= tokens.size()) return tokens.size();
+  const std::string& open = tokens[open_idx].text;
+  std::string close;
+  if (open == "(") {
+    close = ")";
+  } else if (open == "[") {
+    close = "]";
+  } else if (open == "{") {
+    close = "}";
+  } else {
+    return tokens.size();
+  }
+  std::size_t depth = 0;
+  for (std::size_t i = open_idx; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == open) ++depth;
+    if (tokens[i].text == close && --depth == 0) return i;
+  }
+  return tokens.size();
+}
+
+std::size_t match_angle(const std::vector<Token>& tokens,
+                        std::size_t open_idx) {
+  if (open_idx >= tokens.size() || tokens[open_idx].text != "<") {
+    return tokens.size();
+  }
+  std::size_t depth = 0;
+  std::size_t paren = 0;
+  for (std::size_t i = open_idx; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") ++paren;
+    if ((t.text == ")" || t.text == "]" || t.text == "}") && paren > 0) {
+      --paren;
+      continue;
+    }
+    if (paren > 0) continue;  // angle depth is only tracked at bracket top
+    if (t.text == "<") ++depth;
+    if (t.text == ">") {
+      if (--depth == 0) return i;
+    }
+    if (t.text == ">>") {
+      if (depth <= 2) return i;
+      depth -= 2;
+    }
+    // A template-argument list never crosses a statement boundary.
+    if (t.text == ";") return tokens.size();
+  }
+  return tokens.size();
+}
+
+}  // namespace gsight::analysis

@@ -1,0 +1,398 @@
+#include "analysis/lock_discipline.hpp"
+
+#include <iostream>
+#include <set>
+#include <sstream>
+
+namespace gsight::analysis {
+
+namespace {
+
+/// Types that synchronise themselves (or are the lock): a member of one
+/// of these kinds needs no GUARDED_BY.
+const std::set<std::string> kExemptTypes = {
+    "atomic",         "atomic_flag",
+    "condition_variable", "condition_variable_any",
+    "mutex",          "shared_mutex",
+    "recursive_mutex", "once_flag",
+    "Mutex",          "MutexLock",
+    "MutexUniqueLock", "thread",
+    "jthread",
+};
+
+/// Mutex-ish member types whose presence switches the audit on.
+const std::set<std::string> kMutexTypes = {
+    "mutex", "shared_mutex", "recursive_mutex", "Mutex",
+};
+
+/// GSIGHT_* annotation macros: an ident from this set followed by `(` is
+/// an attribute, not a function declarator.
+const std::set<std::string> kAnnotationMacros = {
+    "GSIGHT_GUARDED_BY",   "GSIGHT_PT_GUARDED_BY", "GSIGHT_REQUIRES",
+    "GSIGHT_EXCLUDES",     "GSIGHT_ACQUIRE",       "GSIGHT_RELEASE",
+    "GSIGHT_TRY_ACQUIRE",  "GSIGHT_CAPABILITY",    "GSIGHT_RETURN_CAPABILITY",
+    "GSIGHT_THREAD_ANNOTATION",
+};
+
+const std::set<std::string> kSkipLeaders = {
+    "using",  "typedef", "friend", "static",
+    "template", "operator", "public", "private",
+    "protected", "enum",  "union",
+};
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+/// Skip a template-argument list starting at `i` if one opens there;
+/// returns the index just past it (or `i` unchanged).
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  if (i < toks.size() && toks[i].kind == TokKind::kPunct &&
+      toks[i].text == "<") {
+    const std::size_t close = match_angle(toks, i);
+    if (close < toks.size()) return close + 1;
+  }
+  return i;
+}
+
+struct Member {
+  std::string name;
+  std::size_t first_line = 0;
+  std::size_t last_line = 0;
+  bool exempt = false;
+  bool annotated = false;
+  bool is_mutex = false;
+};
+
+/// Classify the statement tokens [begin, end) as a data member; returns
+/// false when the statement is a function, alias, nested type, etc.
+bool classify_member(const std::vector<Token>& toks, std::size_t begin,
+                     std::size_t end, Member* out) {
+  if (begin >= end) return false;
+  if (toks[begin].kind == TokKind::kIdent &&
+      kSkipLeaders.count(toks[begin].text) != 0) {
+    return false;
+  }
+  if (toks[begin].text == "~" || toks[begin].text == "class" ||
+      toks[begin].text == "struct") {
+    return false;
+  }
+  out->first_line = toks[begin].line;
+  out->last_line = toks[end - 1].line;
+  // Exempt/mutex kind detection looks at every token *including*
+  // template arguments: a vector<atomic<…>> of counters is as
+  // self-synchronised as a bare atomic.
+  for (std::size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (kExemptTypes.count(toks[i].text) != 0) out->exempt = true;
+    if (kMutexTypes.count(toks[i].text) != 0) out->is_mutex = true;
+  }
+  std::string last_ident;
+  bool name_frozen = false;
+  for (std::size_t i = begin; i < end;) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct && t.text == "<") {
+      const std::size_t next = skip_angles(toks, i);
+      if (next != i) {
+        i = next;
+        continue;
+      }
+    }
+    if (t.kind == TokKind::kIdent) {
+      if (kAnnotationMacros.count(t.text) != 0) {
+        if (t.text == "GSIGHT_GUARDED_BY" ||
+            t.text == "GSIGHT_PT_GUARDED_BY") {
+          out->annotated = true;
+        }
+        name_frozen = true;
+        // Skip the attribute's argument list.
+        if (i + 1 < end && toks[i + 1].text == "(") {
+          i = match_delim(toks, i + 1) + 1;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      // `const` only exempts at the top level of the declaration —
+      // vector<const X*> is still a mutable container.
+      if (t.text == "const") out->exempt = true;
+      if (!name_frozen) last_ident = t.text;
+      ++i;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(") {
+        // A top-level paren not introduced by an annotation macro means
+        // this is a function declarator.
+        return false;
+      }
+      if (t.text == "=" || t.text == "{" || t.text == "[") {
+        name_frozen = true;  // everything after is initialiser/extent
+        if (t.text == "{" || t.text == "[") {
+          const std::size_t close = match_delim(toks, i);
+          i = (close < toks.size()) ? close + 1 : end;
+          continue;
+        }
+      }
+    }
+    ++i;
+  }
+  if (last_ident.empty()) return false;
+  out->name = last_ident;
+  return true;
+}
+
+/// Audit one class body [open+1, close); `open` indexes the `{`.
+void audit_class(const std::string& rel, const LexedFile& file,
+                 const std::string& class_name, std::size_t open,
+                 std::size_t close, std::vector<Violation>* out) {
+  const auto& toks = file.tokens;
+  std::vector<Member> members;
+  bool has_mutex = false;
+  std::size_t i = open + 1;
+  while (i < close) {
+    const Token& t = toks[i];
+    // Access specifiers.
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "public" || t.text == "private" || t.text == "protected") &&
+        i + 1 < close && toks[i + 1].text == ":") {
+      i += 2;
+      continue;
+    }
+    if (t.text == ";") {
+      ++i;
+      continue;
+    }
+    // Gather one statement: up to a top-level `;`, treating a `{` whose
+    // preceding token closes a declarator (`)`, const, noexcept,
+    // override, final) as a function body to skip, and any other `{`
+    // (nested type, brace initialiser) as a block to step over.
+    const std::size_t begin = i;
+    bool is_function_body = false;
+    std::size_t end = begin;
+    while (end < close) {
+      const Token& s = toks[end];
+      if (s.kind == TokKind::kPunct && s.text == "<") {
+        const std::size_t next = skip_angles(toks, end);
+        if (next != end && next <= close) {
+          end = next;
+          continue;
+        }
+      }
+      if (s.text == ";") break;
+      if (s.text == "(") {
+        const std::size_t c = match_delim(toks, end);
+        end = (c < toks.size()) ? c + 1 : close;
+        continue;
+      }
+      if (s.text == "{") {
+        const Token& prev = toks[end - 1];
+        is_function_body =
+            prev.text == ")" || is_ident(prev, "const") ||
+            is_ident(prev, "noexcept") || is_ident(prev, "override") ||
+            is_ident(prev, "final");
+        const std::size_t c = match_delim(toks, end);
+        end = (c < toks.size()) ? c + 1 : close;
+        if (is_function_body) break;
+        continue;
+      }
+      ++end;
+    }
+    const std::size_t stmt_end = end;
+    // Advance past the terminator for the next round.
+    i = stmt_end;
+    while (i < close && toks[i].text == ";") ++i;
+    if (is_function_body) continue;
+    Member m;
+    if (!classify_member(toks, begin, stmt_end, &m)) continue;
+    if (m.is_mutex) has_mutex = true;
+    members.push_back(std::move(m));
+  }
+  if (!has_mutex) return;
+  for (const auto& m : members) {
+    if (m.exempt || m.annotated) continue;
+    if (waived_in_range(file, m.first_line, m.last_line,
+                        "unguarded-member")) {
+      continue;
+    }
+    std::ostringstream msg;
+    msg << "class " << class_name << " owns a mutex but member '" << m.name
+        << "' is neither GSIGHT_GUARDED_BY nor waived with "
+           "allow(unguarded-member)";
+    out->push_back({rel, m.first_line, "unguarded-member", msg.str()});
+  }
+}
+
+void check_file(const std::string& rel, const LexedFile& file,
+                std::vector<Violation>* out) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(is_ident(toks[i], "class") || is_ident(toks[i], "struct"))) {
+      continue;
+    }
+    if (i > 0 && (is_ident(toks[i - 1], "enum") ||
+                  is_ident(toks[i - 1], "friend") ||
+                  toks[i - 1].text == "<" || toks[i - 1].text == ",")) {
+      continue;  // friend/enum class, or `class` in a template head
+    }
+    // Name = last plain ident before the body / base clause; attribute
+    // macros (ident + parens) are stepped over.
+    std::string name;
+    std::size_t k = i + 1;
+    while (k < toks.size()) {
+      const Token& t = toks[k];
+      if (t.text == ";") {
+        k = toks.size();  // forward declaration
+        break;
+      }
+      if (t.text == "{" || t.text == ":") break;
+      if (t.kind == TokKind::kIdent && t.text != "final") {
+        if (k + 1 < toks.size() && toks[k + 1].text == "(") {
+          k = match_delim(toks, k + 1) + 1;  // attribute macro
+          continue;
+        }
+        name = t.text;
+      }
+      ++k;
+    }
+    if (k >= toks.size() || name.empty()) continue;
+    // Skip a base clause.
+    while (k < toks.size() && toks[k].text != "{") ++k;
+    if (k >= toks.size()) continue;
+    const std::size_t close = match_delim(toks, k);
+    if (close == toks.size()) continue;
+    audit_class(rel, file, name, k, close, out);
+    // Nested classes are found by this same linear scan.
+  }
+}
+
+}  // namespace
+
+void check_lock_discipline(const SourceSet& files,
+                           std::vector<Violation>* out) {
+  for (const auto& [rel, file] : files) check_file(rel, file, out);
+}
+
+int lock_discipline_self_test() {
+  struct Case {
+    const char* name;
+    const char* text;
+    int expect_violations;
+  };
+  const std::vector<Case> cases = {
+      {"mutex + unannotated member",
+       "class Counter {\n"
+       " private:\n"
+       "  std::mutex m_;\n"
+       "  int count_ = 0;\n"
+       "};\n",
+       1},
+      {"mutex + guarded member is clean",
+       "class Counter {\n"
+       " private:\n"
+       "  core::Mutex m_;\n"
+       "  int count_ GSIGHT_GUARDED_BY(m_) = 0;\n"
+       "};\n",
+       0},
+      {"waiver accepted",
+       "class Counter {\n"
+       "  std::mutex m_;\n"
+       "  int hits_ = 0;  // gsight-analyze: allow(unguarded-member) set "
+       "before threads start\n"
+       "};\n",
+       0},
+      {"no mutex, nothing to audit",
+       "struct Point {\n"
+       "  double x = 0;\n"
+       "  double y = 0;\n"
+       "};\n",
+       0},
+      {"exempt kinds pass",
+       "class Pool {\n"
+       "  core::Mutex m_;\n"
+       "  std::condition_variable cv_;\n"
+       "  std::atomic<bool> done_{false};\n"
+       "  const int capacity_ = 4;\n"
+       "};\n",
+       0},
+      {"functions and aliases are skipped",
+       "class Queue {\n"
+       " public:\n"
+       "  using Item = int;\n"
+       "  void push(Item v) GSIGHT_EXCLUDES(m_);\n"
+       "  std::size_t size() const { return items_.size(); }\n"
+       "\n"
+       " private:\n"
+       "  core::Mutex m_;\n"
+       "  std::deque<Item> items_ GSIGHT_GUARDED_BY(m_);\n"
+       "};\n",
+       0},
+      {"two bare members, two findings",
+       "class Pair {\n"
+       "  std::mutex m_;\n"
+       "  int a_ = 0;\n"
+       "  int b_ = 0;\n"
+       "};\n",
+       2},
+      {"atomic elements inside a container are exempt",
+       "class Histo {\n"
+       "  core::Mutex m_;\n"
+       "  int total_ GSIGHT_GUARDED_BY(m_) = 0;\n"
+       "  std::vector<std::atomic<std::uint64_t>> counts_;\n"
+       "};\n",
+       0},
+      {"pt_guarded_by counts as annotated",
+       "class Box {\n"
+       "  core::Mutex m_;\n"
+       "  int* slot_ GSIGHT_PT_GUARDED_BY(m_) = nullptr;\n"
+       "};\n",
+       0},
+      {"nested mutexed class is audited, outer is not",
+       "class Outer {\n"
+       "  struct Inner {\n"
+       "    std::mutex m_;\n"
+       "    int dirty_ = 0;\n"
+       "  };\n"
+       "  int plain_ = 0;\n"
+       "};\n",
+       1},
+      {"templated member type parses",
+       "class Cache {\n"
+       "  core::Mutex m_;\n"
+       "  std::map<std::string, std::vector<int>> entries_ "
+       "GSIGHT_GUARDED_BY(m_);\n"
+       "  std::function<void(int)> on_evict_;\n"
+       "};\n",
+       1},
+      {"enum class is not a class",
+       "enum class Mode { kA, kB };\n"
+       "class Holder {\n"
+       "  std::mutex m_;\n"
+       "  Mode mode_ GSIGHT_GUARDED_BY(m_) = Mode::kA;\n"
+       "};\n",
+       0},
+  };
+  int failures = 0;
+  for (const auto& c : cases) {
+    SourceSet set;
+    add_source(&set, "src/serve/case.hpp", c.text);
+    std::vector<Violation> vs;
+    check_lock_discipline(set, &vs);
+    if (static_cast<int>(vs.size()) != c.expect_violations) {
+      ++failures;
+      std::cout << "lock-discipline self-test FAIL: " << c.name
+                << " (expected " << c.expect_violations << ", got "
+                << vs.size() << ")\n";
+      for (const auto& v : vs) {
+        std::cout << "    " << v.file << ":" << v.line << " [" << v.rule
+                  << "] " << v.message << "\n";
+      }
+    }
+  }
+  std::cout << "gsight_analyze --self-test=lock-discipline: " << cases.size()
+            << " cases, " << failures << " failure"
+            << (failures == 1 ? "" : "s") << "\n";
+  return failures;
+}
+
+}  // namespace gsight::analysis

@@ -1,0 +1,37 @@
+// Lock-discipline pass. Clang's -Wthread-safety verifies that annotated
+// members are only touched under their mutex — but it cannot notice a
+// member that was never annotated at all, and the default toolchain here
+// is GCC, where the attributes compile to nothing. This pass closes that
+// gap structurally: it runs on every build and fails when a class owns a
+// mutex but leaves a mutable member unannotated.
+//
+// Rule `unguarded-member`: inside a class/struct that declares a mutex
+// member (core::Mutex or std::mutex), every non-static data member must
+//   * carry GSIGHT_GUARDED_BY(…) / GSIGHT_PT_GUARDED_BY(…), or
+//   * be of an inherently-synchronised / immutable kind —
+//     std::atomic, std::condition_variable, the mutex itself,
+//     std::once_flag, or a `const` member, or
+//   * carry an explicit waiver on its declaration line:
+//         // gsight-analyze: allow(unguarded-member)  <why it is safe>
+//
+// Function declarations and bodies, using/typedef aliases, static
+// members, friends and nested type definitions are skipped; only data
+// members are audited. The pass is deliberately per-class and purely
+// lexical — it decides "is every member accounted for", and leaves
+// "is every access actually locked" to clang (stage 2c of check.sh).
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace gsight::analysis {
+
+/// Run the pass over every file of `files`, appending violations.
+void check_lock_discipline(const SourceSet& files,
+                           std::vector<Violation>* out);
+
+/// Seeded-violation corpus; returns the number of failing cases.
+int lock_discipline_self_test();
+
+}  // namespace gsight::analysis

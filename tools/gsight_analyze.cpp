@@ -1,0 +1,145 @@
+// gsight_analyze — token-aware static analysis for the Gsight tree.
+//
+// Three passes over one shared lexed view of src/ (tools/analysis/):
+//
+//   layering         include-graph DAG enforcement (layer-back-edge,
+//                    layer-lateral, layer-cycle)
+//   determinism      unordered-container iteration feeding output sinks
+//                    (unordered-iteration)
+//   lock-discipline  mutex-owning classes with unannotated mutable
+//                    members (unguarded-member)
+//
+// Usage:
+//   gsight_analyze [ROOT]                  analyse ROOT/src (default ".")
+//   gsight_analyze --dump-graph FILE ROOT  also write the include graph
+//                                          (JSON, gsight-include-graph/v1)
+//   gsight_analyze --self-test             run every pass's seeded corpus
+//   gsight_analyze --self-test=PASS        one corpus: layering,
+//                                          determinism or lock-discipline
+//
+// Exit codes: 0 clean, 1 violations (or self-test failures), 2 usage or
+// I/O error. Waivers: // gsight-analyze: allow(rule) on the finding line.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/determinism.hpp"
+#include "analysis/diagnostics.hpp"
+#include "analysis/include_graph.hpp"
+#include "analysis/lock_discipline.hpp"
+
+namespace fs = std::filesystem;
+using namespace gsight::analysis;
+
+namespace {
+
+bool analyzable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Load every source file under root/src into a SourceSet keyed by
+/// repo-relative forward-slash paths. Returns false on I/O failure.
+bool load_tree(const fs::path& root, SourceSet* set) {
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    std::cerr << "gsight_analyze: no src/ under " << root << "\n";
+    return false;
+  }
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && analyzable(entry.path())) {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      std::cerr << "gsight_analyze: cannot read " << p << "\n";
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string rel =
+        fs::relative(p, root).generic_string();  // "src/…" with fwd slashes
+    add_source(set, rel, text.str());
+  }
+  return true;
+}
+
+int run_self_tests(const std::string& which) {
+  int failures = 0;
+  if (which.empty() || which == "layering") {
+    failures += include_graph_self_test();
+  }
+  if (which.empty() || which == "determinism") {
+    failures += determinism_self_test();
+  }
+  if (which.empty() || which == "lock-discipline") {
+    failures += lock_discipline_self_test();
+  }
+  if (!which.empty() && which != "layering" && which != "determinism" &&
+      which != "lock-discipline") {
+    std::cerr << "gsight_analyze: unknown pass '" << which
+              << "' (layering, determinism, lock-discipline)\n";
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dump_path;
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") return run_self_tests("");
+    if (arg.rfind("--self-test=", 0) == 0) {
+      return run_self_tests(arg.substr(12));
+    }
+    if (arg == "--dump-graph") {
+      if (i + 1 >= argc) {
+        std::cerr << "gsight_analyze: --dump-graph needs a file argument\n";
+        return 2;
+      }
+      dump_path = argv[++i];
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gsight_analyze [--self-test[=PASS]] "
+                   "[--dump-graph FILE] [ROOT]\n";
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "gsight_analyze: unknown option " << arg << "\n";
+      return 2;
+    }
+    root = arg;
+  }
+
+  SourceSet files;
+  if (!load_tree(root, &files)) return 2;
+
+  std::vector<Violation> violations;
+  const IncludeGraph graph = build_include_graph(files);
+  check_layering(graph, files, &violations);
+  check_determinism(files, &violations);
+  check_lock_discipline(files, &violations);
+
+  if (!dump_path.empty()) {
+    std::ofstream out(dump_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "gsight_analyze: cannot write " << dump_path << "\n";
+      return 2;
+    }
+    out << dump_graph_json(graph, files);
+  }
+
+  return report("gsight_analyze", violations, files.size());
+}

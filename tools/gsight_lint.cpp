@@ -1,11 +1,13 @@
 // gsight_lint — repo-specific determinism and hygiene linter.
 //
 // Scans the C++ sources under src/, tests/, and bench/ for hazards that
-// break bit-exact replay or basic header hygiene. It is deliberately a
-// line-oriented lexical tool (comments and string literals are stripped
-// before matching) rather than a compiler plugin: every rule below is a
-// *repo convention*, not a C++ legality question, and conventions are
-// exactly what survives a cheap lexical check.
+// break bit-exact replay or basic header hygiene. Lexical preprocessing
+// (comment/literal stripping, waiver parsing) comes from the shared
+// tools/analysis library, the same tokenizer gsight_analyze uses; the
+// rules themselves stay line-oriented regexes over the stripped code
+// view, because every rule below is a *repo convention*, not a C++
+// legality question, and conventions are exactly what survives a cheap
+// lexical check.
 //
 // Rules
 //   banned-random   rand()/srand()/std::mt19937/std::random_device/
@@ -14,9 +16,12 @@
 //                   libraries. (stats/rng.* itself is exempt.)
 //   wall-clock      time(), gettimeofday(), clock_gettime(),
 //                   std::chrono::{system,steady,high_resolution}_clock,
-//                   localtime/gmtime in src/ — simulation code must take
-//                   time from sim::Engine::now(), never from the host.
-//                   (bench/ and tests/ may measure real time.)
+//                   localtime/gmtime in src/ and in the deterministic
+//                   test suites (tests/sim, tests/serve, tests/core) —
+//                   simulation code must take time from
+//                   sim::Engine::now(), and deterministic tests must
+//                   drive serve code through ManualClock. (bench/ and
+//                   the remaining test dirs may measure real time.)
 //   ptr-key-container  unordered_map/unordered_set keyed by a pointer
 //                   type in src/sim — iteration order follows the
 //                   allocator, which silently breaks replay.
@@ -35,8 +40,6 @@
 // I/O errors — so `ctest` can run it as an ordinary test.
 
 #include <algorithm>
-#include <cctype>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -46,149 +49,17 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
+#include "analysis/lexer.hpp"
+
 namespace fs = std::filesystem;
 
+using gsight::analysis::allowed_rules;
+using gsight::analysis::lex;
+using gsight::analysis::LexedFile;
+using gsight::analysis::Violation;
+
 namespace {
-
-struct Violation {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-// ---------------------------------------------------------------------------
-// Lexical preprocessing: strip comments and string/char literals so rule
-// patterns never fire on prose or on quoted text (this file's own rule
-// tables, for instance). The annotation parser runs on the raw line first.
-// ---------------------------------------------------------------------------
-
-struct CleanFile {
-  std::vector<std::string> raw;    ///< original lines (for reporting)
-  std::vector<std::string> code;   ///< lines with comments/strings blanked
-};
-
-CleanFile strip(const std::string& text) {
-  CleanFile out;
-  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // raw-string closing delimiter, e.g. )foo"
-  std::string raw_line, code_line;
-
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    if (c == '\n') {
-      // Line comments never continue; everything else carries over.
-      out.raw.push_back(raw_line);
-      out.code.push_back(code_line);
-      raw_line.clear();
-      code_line.clear();
-      continue;
-    }
-    raw_line.push_back(c);
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          // Consume to end of line (the newline handler emits the line).
-          while (i + 1 < text.size() && text[i + 1] != '\n') {
-            raw_line.push_back(text[++i]);
-          }
-          code_line.push_back(' ');
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          raw_line.push_back(text[++i]);
-          code_line.append("  ");
-        } else if (c == 'R' && next == '"') {
-          // Raw string literal: R"delim( ... )delim"
-          state = State::kRawString;
-          std::string delim;
-          std::size_t j = i + 2;
-          while (j < text.size() && text[j] != '(') delim.push_back(text[j++]);
-          raw_delim = ")" + delim + "\"";
-          code_line.push_back(' ');
-        } else if (c == '"') {
-          state = State::kString;
-          code_line.push_back(' ');
-        } else if (c == '\'' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   text[i - 1])) &&
-                               text[i - 1] != '_'))) {
-          // Apostrophes inside identifiers are digit separators (1'000).
-          state = State::kChar;
-          code_line.push_back(' ');
-        } else {
-          code_line.push_back(c);
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          raw_line.push_back(text[++i]);
-          code_line.append("  ");
-        } else {
-          code_line.push_back(' ');
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && next != '\0' && next != '\n') {
-          raw_line.push_back(text[++i]);
-          code_line.append("  ");
-        } else if (c == '"') {
-          state = State::kCode;
-          code_line.push_back(' ');
-        } else {
-          code_line.push_back(' ');
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && next != '\0' && next != '\n') {
-          raw_line.push_back(text[++i]);
-          code_line.append("  ");
-        } else if (c == '\'') {
-          state = State::kCode;
-          code_line.push_back(' ');
-        } else {
-          code_line.push_back(' ');
-        }
-        break;
-      case State::kRawString: {
-        // Check whether the raw delimiter starts here.
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
-            raw_line.push_back(text[++i]);
-          }
-          state = State::kCode;
-        }
-        code_line.push_back(' ');
-        break;
-      }
-    }
-  }
-  if (!raw_line.empty() || !code_line.empty()) {
-    out.raw.push_back(raw_line);
-    out.code.push_back(code_line);
-  }
-  return out;
-}
-
-/// Rules waived on this raw line via `gsight-lint: allow(a,b)`.
-std::set<std::string> allowed_rules(const std::string& raw_line) {
-  std::set<std::string> out;
-  static const std::regex kAllow(
-      R"(gsight-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
-  std::smatch m;
-  if (std::regex_search(raw_line, m, kAllow)) {
-    std::stringstream ss(m[1].str());
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
-                 rule.end());
-      if (!rule.empty()) out.insert(rule);
-    }
-  }
-  return out;
-}
 
 // ---------------------------------------------------------------------------
 // Rules
@@ -206,6 +77,12 @@ bool in_src(const std::string& rel) { return rel.rfind("src/", 0) == 0; }
 bool in_sim(const std::string& rel) { return rel.rfind("src/sim/", 0) == 0; }
 bool not_rng(const std::string& rel) {
   return rel != "src/stats/rng.hpp" && rel != "src/stats/rng.cpp";
+}
+/// Wall-clock discipline: src/ plus the test suites whose subjects are
+/// deterministic by contract (twin-run campaigns, ManualClock serving).
+bool deterministic_scope(const std::string& rel) {
+  return in_src(rel) || rel.rfind("tests/sim/", 0) == 0 ||
+         rel.rfind("tests/serve/", 0) == 0 || rel.rfind("tests/core/", 0) == 0;
 }
 
 const std::vector<Rule>& rules() {
@@ -225,13 +102,15 @@ const std::vector<Rule>& rules() {
       {"wall-clock",
        std::regex(R"((^|[^\w:.])(time|gettimeofday|clock_gettime|clock|)"
                   R"(localtime|gmtime|mktime|strftime)\s*\()"),
-       "wall-clock calls in simulation code; take time from Engine::now()",
-       &in_src},
+       "wall-clock calls in deterministic code; take time from "
+       "Engine::now() or a ManualClock",
+       &deterministic_scope},
       {"wall-clock",
        std::regex(R"(std\s*::\s*chrono\s*::\s*(system_clock|steady_clock|)"
                   R"(high_resolution_clock))"),
-       "std::chrono clocks in simulation code; take time from Engine::now()",
-       &in_src},
+       "std::chrono clocks in deterministic code; take time from "
+       "Engine::now() or a ManualClock",
+       &deterministic_scope},
       {"ptr-key-container",
        std::regex(R"(unordered_(map|set)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*)"),
        "pointer-keyed unordered container iterates in allocator order and "
@@ -243,7 +122,7 @@ const std::vector<Rule>& rules() {
 
 /// simtime-eq: collect identifiers declared `SimTime name` in this file,
 /// then flag ==/!= comparisons that touch one of them.
-void check_simtime_eq(const std::string& rel, const CleanFile& file,
+void check_simtime_eq(const std::string& rel, const LexedFile& file,
                       std::vector<Violation>* out) {
   static const std::regex kDecl(R"(\bSimTime\s+([A-Za-z_]\w*)\s*[;=,){])");
   std::set<std::string> names;
@@ -282,21 +161,18 @@ void check_simtime_eq(const std::string& rel, const CleanFile& file,
   }
 }
 
-void check_pragma_once(const std::string& rel, const CleanFile& file,
+void check_pragma_once(const std::string& rel, const LexedFile& file,
                        std::vector<Violation>* out) {
   if (rel.size() < 4 || rel.compare(rel.size() - 4, 4, ".hpp") != 0) return;
   for (std::size_t i = 0; i < file.raw.size(); ++i) {
-    if (file.raw[i].find("#pragma once") != std::string::npos) {
-      if (allowed_rules(file.raw[i]).count("pragma-once") != 0) return;
-      return;
-    }
+    if (file.raw[i].find("#pragma once") != std::string::npos) return;
   }
   out->push_back({rel, 1, "pragma-once", "header lacks #pragma once"});
 }
 
 void check_file(const std::string& rel, const std::string& text,
                 std::vector<Violation>* out) {
-  const CleanFile file = strip(text);
+  const LexedFile file = lex(text);
   for (const auto& rule : rules()) {
     if (!rule.applies(rel)) continue;
     for (std::size_t i = 0; i < file.code.size(); ++i) {
@@ -346,6 +222,18 @@ int self_test() {
        "auto t = std::chrono::steady_clock::now();\n", "wall-clock"},
       {"steady_clock in bench ok", "bench/b.cpp",
        "auto t = std::chrono::steady_clock::now();\n", nullptr},
+      {"steady_clock in tests/sim", "tests/sim/t.cpp",
+       "auto t = std::chrono::steady_clock::now();\n", "wall-clock"},
+      {"time() in tests/serve", "tests/serve/t.cpp",
+       "auto t = time(nullptr);\n", "wall-clock"},
+      {"system_clock in tests/core", "tests/core/t.cpp",
+       "auto t = std::chrono::system_clock::now();\n", "wall-clock"},
+      {"steady_clock in tests/ml ok", "tests/ml/t.cpp",
+       "auto t = std::chrono::steady_clock::now();\n", nullptr},
+      {"waived wall clock in tests/serve", "tests/serve/t.cpp",
+       "auto t = std::chrono::steady_clock::now();"
+       "  // gsight-lint: allow(wall-clock)\n",
+       nullptr},
       {"next_time not wall clock", "src/sim/x.cpp",
        "auto t = queue.next_time();\n", nullptr},
       {"ptr-keyed map in sim", "src/sim/x.hpp",
@@ -363,6 +251,10 @@ int self_test() {
        "SimTime when = 0.0;\n"
        "if (when == o) {}  // gsight-lint: allow(simtime-eq)\n",
        nullptr},
+      {"analyze prefix waives lint rules too", "src/sim/x.cpp",
+       "SimTime when = 0.0;\n"
+       "if (when == o) {}  // gsight-analyze: allow(simtime-eq)\n",
+       nullptr},
       {"allow is per-rule", "src/sim/x.cpp",
        "SimTime when = 0.0;\n"
        "if (when == o) {}  // gsight-lint: allow(banned-random)\n",
@@ -371,6 +263,8 @@ int self_test() {
        "pragma-once"},
       {"pragma once present", "src/sim/x.hpp", "#pragma once\nstruct A {};\n",
        nullptr},
+      {"raw string literal stays inert", "src/foo.cpp",
+       "const char* s = R\"(std::mt19937 time( ))\";\n", nullptr},
   };
   int failures = 0;
   for (const auto& c : cases) {
@@ -438,12 +332,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  for (const auto& v : violations) {
-    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
-              << v.message << "\n";
-  }
-  std::cout << "gsight_lint: " << files_scanned << " files, "
-            << violations.size() << " violation"
-            << (violations.size() == 1 ? "" : "s") << "\n";
-  return violations.empty() ? 0 : 1;
+  return gsight::analysis::report("gsight_lint", violations, files_scanned);
 }
