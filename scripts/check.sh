@@ -11,7 +11,7 @@
 #      installed)
 #   3. ASan+UBSan build + the entire ctest suite
 #   4. TSan build + the thread-pool / forest / trainer / campaign / serve
-#      tests (the multi-threaded code paths)
+#      / shard tests (the multi-threaded code paths)
 #   5. bench smoke: run bench_micro with RunReport enabled and validate
 #      the emitted BENCH_micro.json with tools/bench_schema_check
 #   5b. model kernels: legacy-vs-columnar forest train and predict
@@ -20,6 +20,9 @@
 #   6. campaign-equivalence: `gsight campaign` serial vs parallel sample
 #      dumps must be byte-identical (the determinism contract of
 #      core::CampaignRunner, DESIGN.md §9)
+#   6b. shard-equivalence: `gsight campaign --shards N` 1-lane serial vs
+#      8-lane thread-pooled estate dumps must be byte-identical (the
+#      determinism contract of sim::ShardedEngine, DESIGN.md §13)
 #   7. serve smoke: short `gsight serve-bench` runs. The synchronous twin
 #      (--threads 0) must emit byte-identical BENCH_serve.json across two
 #      runs (modulo wall_time_s) with at least one hot swap; the threaded
@@ -124,7 +127,7 @@ configure_build "$TSAN_DIR" "-DGSIGHT_SANITIZE=thread"
 ( cd "$TSAN_DIR" && \
   TSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign|Serve' )
+        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign|Serve|Shard' )
 
 # --- 5. Bench smoke --------------------------------------------------------
 banner "bench smoke: bench_micro -> BENCH_micro.json -> bench_schema_check"
@@ -174,6 +177,23 @@ rm -rf "$EQ_DIR" && mkdir -p "$EQ_DIR"
 cmp "$EQ_DIR/serial.dump" "$EQ_DIR/parallel.dump" \
   || { echo "campaign-equivalence: serial/parallel dumps differ"; exit 1; }
 echo "serial and parallel campaign dumps are byte-identical"
+
+# --- 6b. Shard equivalence ---------------------------------------------------
+banner "shard-equivalence: 1-lane serial vs 8-lane thread-pooled estate"
+SHARD_DIR="$BENCH_DIR/shard-eq"
+rm -rf "$SHARD_DIR" && mkdir -p "$SHARD_DIR"
+# Same 8-cell estate advanced two ways: one lane serially, eight lanes on
+# the thread pool. The merged per-cell digests are hexfloat-exact, so cmp
+# catches any divergence in event order, RNG streams or mailbox replay.
+"$BENCH_DIR/tools/gsight" campaign --shards 1 --threads 1 --seed 4242 \
+  --clusters 8 --servers 4 --horizon 60 \
+  --dump "$SHARD_DIR/lanes1.dump" > /dev/null
+"$BENCH_DIR/tools/gsight" campaign --shards 8 --threads 8 --seed 4242 \
+  --clusters 8 --servers 4 --horizon 60 \
+  --dump "$SHARD_DIR/lanes8.dump" > /dev/null
+cmp "$SHARD_DIR/lanes1.dump" "$SHARD_DIR/lanes8.dump" \
+  || { echo "shard-equivalence: 1-lane and 8-lane dumps differ"; exit 1; }
+echo "1-lane and 8-lane shard dumps are byte-identical"
 
 # --- 7. Serve smoke ---------------------------------------------------------
 banner "serve smoke: serve-bench determinism twin + threaded hot-swap"

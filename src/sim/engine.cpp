@@ -7,12 +7,13 @@
 namespace gsight::sim {
 
 void Engine::at(SimTime when, EventQueue::Callback cb) {
+  GSIGHT_ASSERT(std::isfinite(when), "event time is not finite");
   GSIGHT_ASSERT(when >= now_, "event scheduled in the past");
   queue_.push(when, std::move(cb));
 }
 
 void Engine::after(SimTime delay, EventQueue::Callback cb) {
-  GSIGHT_ASSERT(!std::isnan(delay), "event delay is NaN");
+  GSIGHT_ASSERT(std::isfinite(delay), "event delay is not finite");
   GSIGHT_ASSERT(delay >= 0.0, "negative event delay");
   at(now_ + delay, std::move(cb));
 }

@@ -12,9 +12,9 @@ class Engine {
  public:
   SimTime now() const { return now_; }
 
-  /// Schedule `cb` to run at absolute time `when` (>= now).
+  /// Schedule `cb` to run at absolute time `when` (finite, >= now).
   void at(SimTime when, EventQueue::Callback cb);
-  /// Schedule `cb` to run `delay` seconds from now.
+  /// Schedule `cb` to run `delay` seconds from now (finite, >= 0).
   void after(SimTime delay, EventQueue::Callback cb);
 
   /// Run events until the queue empties or the clock passes `until`.

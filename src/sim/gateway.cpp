@@ -1,16 +1,46 @@
 #include "sim/gateway.hpp"
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "core/contracts.hpp"
 
 namespace gsight::sim {
 
+namespace {
+
+void require_finite_nonnegative(double value, const char* what) {
+  if (!(std::isfinite(value) && value >= 0.0)) {
+    throw std::invalid_argument(std::string("GatewayConfig: ") + what +
+                                " must be finite and non-negative");
+  }
+}
+
+}  // namespace
+
+void GatewayConfig::validate() const {
+  require_finite_nonnegative(base_service_s, "base_service_s");
+  require_finite_nonnegative(backlog_coeff, "backlog_coeff");
+  // The backlog multiplier is clamped to max_backlog_factor; a ceiling
+  // below 1 would make load *reduce* the service time.
+  if (!(std::isfinite(max_backlog_factor) && max_backlog_factor >= 1.0)) {
+    throw std::invalid_argument(
+        "GatewayConfig: max_backlog_factor must be finite and >= 1");
+  }
+  // instance_knee divides the instance count; zero or negative makes the
+  // knee multiplier inf/NaN for any populated cluster.
+  if (!(std::isfinite(instance_knee) && instance_knee > 0.0)) {
+    throw std::invalid_argument(
+        "GatewayConfig: instance_knee must be finite and positive");
+  }
+  require_finite_nonnegative(instance_exponent, "instance_exponent");
+}
+
 Gateway::Gateway(Engine* engine, GatewayConfig config)
     : engine_(engine), config_(config) {
   GSIGHT_ASSERT(engine_ != nullptr);
-  GSIGHT_ASSERT(config_.base_service_s >= 0.0,
-                "negative gateway service time");
+  config_.validate();
 }
 
 double Gateway::current_service_s() const {

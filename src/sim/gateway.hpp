@@ -34,6 +34,13 @@ struct GatewayConfig {
   /// Instance-count knee: cost multiplier is 1 + (n / knee)^exponent.
   double instance_knee = 120.0;
   double instance_exponent = 6.0;
+
+  /// Throws std::invalid_argument on any field that would make
+  /// current_service_s() non-finite or negative. Mirrors
+  /// ClusterSpec::validate(): configuration errors are reported at
+  /// construction, where the bad field is named, instead of tripping the
+  /// "bad gateway service time" invariant mid-run.
+  void validate() const;
 };
 
 class Gateway {

@@ -1,0 +1,61 @@
+#include "sim/mailbox.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/contracts.hpp"
+
+namespace gsight::sim {
+
+void Outbox::post(std::size_t dest, SimTime sent_at, SimTime deliver_at,
+                  std::function<void(Shard&)> apply) {
+  GSIGHT_ASSERT(apply != nullptr, "mailbox message without an apply");
+  GSIGHT_ASSERT(std::isfinite(deliver_at) && deliver_at >= sent_at,
+                "mailbox message delivered before it was sent");
+  ShardMessage msg;
+  msg.epoch = epoch_;
+  msg.source = source_;
+  msg.seq = seq_++;
+  msg.dest = dest;
+  msg.sent_at = sent_at;
+  msg.deliver_at = deliver_at;
+  msg.apply = std::move(apply);
+  pending_.push_back(std::move(msg));
+}
+
+std::vector<ShardMessage> Outbox::drain() {
+  std::vector<ShardMessage> out;
+  out.swap(pending_);
+  return out;
+}
+
+Mailbox::Mailbox(std::size_t cells) {
+  GSIGHT_ASSERT(cells > 0, "mailbox needs at least one cell");
+  outboxes_.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) outboxes_.emplace_back(i);
+}
+
+void Mailbox::begin_epoch(std::uint64_t epoch) {
+  for (auto& box : outboxes_) box.begin_epoch(epoch);
+}
+
+std::vector<ShardMessage> Mailbox::collect() {
+  std::vector<ShardMessage> all;
+  for (auto& box : outboxes_) {
+    auto msgs = box.drain();
+    all.insert(all.end(), std::make_move_iterator(msgs.begin()),
+               std::make_move_iterator(msgs.end()));
+  }
+  // Outboxes are visited in cell order and each buffer is already
+  // seq-ordered, but sort anyway: the replay order is a contract, not an
+  // accident of iteration.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ShardMessage& a, const ShardMessage& b) {
+                     return mailbox_order(a, b);
+                   });
+  exchanged_ += all.size();
+  return all;
+}
+
+}  // namespace gsight::sim

@@ -1,0 +1,88 @@
+// Deterministic cross-shard mailbox (DESIGN.md §13). Cells advance an
+// epoch in isolation and buffer every cross-cell effect (request handoffs,
+// global-metric reads) in a per-cell Outbox. At the epoch barrier the
+// coordinator drains all outboxes on one thread and replays the messages
+// sorted by (epoch, source cell, per-cell sequence) — a total order that
+// depends only on what each cell did, never on how cells were interleaved
+// across lanes or threads. That total order is what makes an N-shard run
+// byte-identical to the 1-shard run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace gsight::sim {
+
+class Shard;
+
+/// One buffered cross-cell effect. `apply` runs inside the destination
+/// cell's engine at `deliver_at` (>= the barrier closing the sending
+/// epoch — see ShardTopology::validate()).
+struct ShardMessage {
+  std::uint64_t epoch = 0;   ///< epoch the message was posted in
+  std::size_t source = 0;    ///< posting cell
+  std::uint64_t seq = 0;     ///< per-source counter, monotone for all time
+  std::size_t dest = 0;      ///< receiving cell
+  SimTime sent_at = 0.0;     ///< source-cell sim time at post
+  SimTime deliver_at = 0.0;  ///< sent_at + hop latency
+  std::function<void(Shard&)> apply;
+};
+
+/// Strict weak order by (epoch, source, seq) — the replay order.
+inline bool mailbox_order(const ShardMessage& a, const ShardMessage& b) {
+  if (a.epoch != b.epoch) return a.epoch < b.epoch;
+  if (a.source != b.source) return a.source < b.source;
+  return a.seq < b.seq;
+}
+
+/// Per-cell send buffer. Owned by the Mailbox, written only by the owning
+/// cell's events (each cell runs on exactly one lane per epoch), drained
+/// only by the coordinator at the barrier — so it needs no locking.
+class Outbox {
+ public:
+  explicit Outbox(std::size_t source) : source_(source) {}
+
+  std::size_t source() const { return source_; }
+  void begin_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+
+  void post(std::size_t dest, SimTime sent_at, SimTime deliver_at,
+            std::function<void(Shard&)> apply);
+
+  std::vector<ShardMessage> drain();
+  std::uint64_t posted() const { return seq_; }
+
+ private:
+  std::size_t source_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<ShardMessage> pending_;
+};
+
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t cells);
+
+  std::size_t cells() const { return outboxes_.size(); }
+  Outbox& outbox(std::size_t cell) { return outboxes_.at(cell); }
+
+  /// Stamp every outbox with the epoch about to run.
+  void begin_epoch(std::uint64_t epoch);
+
+  /// Drain every outbox and return the messages in replay order
+  /// (epoch, source, seq). Coordinator-only: runs at the barrier, after
+  /// all lanes have joined.
+  std::vector<ShardMessage> collect();
+
+  /// Total messages ever collected.
+  std::uint64_t messages_exchanged() const { return exchanged_; }
+
+ private:
+  std::vector<Outbox> outboxes_;
+  std::uint64_t exchanged_ = 0;
+};
+
+}  // namespace gsight::sim

@@ -53,6 +53,7 @@ class Platform final : public Router {
   ~Platform() override;
 
   Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
   Cluster& cluster() { return *cluster_; }
   Gateway& gateway() { return *gateway_; }
   Recorder& recorder() { return recorder_; }

@@ -1,0 +1,144 @@
+#include "sim/shard.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/contracts.hpp"
+#include "stats/seed_stream.hpp"
+#include "workloads/phase.hpp"
+
+namespace gsight::sim {
+
+namespace {
+
+/// Named sub-stream tag for shard load RNGs (DESIGN.md §9): keeps the
+/// per-cell load streams disjoint from the per-cell platform seeds, which
+/// derive from the same root under kShardPlatformTag.
+constexpr std::uint64_t kShardLoadTag = 0x5348414C4F414453ULL;  // "SHALOADS"
+
+}  // namespace
+
+wl::App shard_edge_app() {
+  wl::FunctionSpec fn;
+  fn.name = "edge-lookup";
+  fn.mem_alloc_gb = 0.128;
+  fn.cold_start_s = 0.25;
+  fn.phases.push_back(
+      wl::cpu_phase("lookup", /*duration_s=*/0.02, /*cores=*/0.5,
+                    /*llc_mb=*/1.0, /*ipc=*/2.2));
+  wl::App app;
+  app.name = "edge-lookup";
+  app.cls = wl::WorkloadClass::kLatencySensitive;
+  app.functions.push_back(std::move(fn));
+  app.graph = wl::CallGraph(1);
+  app.graph.set_root(0);
+  app.default_qps = 40.0;
+  return app;
+}
+
+Shard::Shard(ShardConfig config, Outbox* outbox)
+    : config_(std::move(config)),
+      outbox_(outbox),
+      load_rng_(stats::SeedStream::derive(config_.load_seed, kShardLoadTag,
+                                          config_.index)) {
+  GSIGHT_ASSERT(config_.index < config_.total_shards,
+                "shard index outside the topology");
+  GSIGHT_ASSERT(outbox_ != nullptr || config_.total_shards == 1,
+                "multi-cell shard without an outbox");
+  GSIGHT_ASSERT(config_.remote_fraction >= 0.0 &&
+                    config_.remote_fraction <= 1.0,
+                "remote_fraction outside [0, 1]");
+  platform_ = std::make_unique<Platform>(config_.platform);
+}
+
+std::size_t Shard::deploy_spread(const wl::App& app) {
+  std::vector<std::size_t> placement(app.function_count(), 0);
+  const std::size_t id = platform_->deploy(app, placement);
+  const std::size_t root = app.graph.root();
+  for (std::size_t s = 1; s < config_.platform.servers; ++s) {
+    platform_->add_replica(id, root, s);
+  }
+  if (!has_app_) {
+    load_app_ = id;
+    has_app_ = true;
+  }
+  return id;
+}
+
+void Shard::start_diurnal_load(const wl::AzureTraceConfig& trace) {
+  GSIGHT_ASSERT(has_app_, "start_diurnal_load before deploy_spread");
+  rate_model_ = wl::AzureTraceGenerator(trace, /*seed=*/0);
+  // Thinning envelope: the diurnal/weekly waves peak at
+  // base * (1 + diurnal) * (1 + weekly); the 1.5 headroom covers the
+  // multiplicative rate noise (matches wl::AzureTraceGenerator).
+  peak_rate_ = trace.base_qps * (1.0 + trace.diurnal_amplitude) *
+               (1.0 + trace.weekly_amplitude) * 1.5;
+  GSIGHT_ASSERT(peak_rate_ > 0.0, "diurnal load with a non-positive peak");
+  schedule_next_arrival();
+}
+
+void Shard::schedule_next_arrival() {
+  // Thinned Poisson (same scheme as Platform::schedule_next_arrival):
+  // candidates at peak_rate_, accepted with probability rate(t)/peak,
+  // modulated by the trace's multiplicative log-normal noise. Every draw
+  // comes from the cell-private load RNG, so the sequence is identical no
+  // matter how cells are spread over lanes or threads.
+  const double gap = load_rng_.exponential(peak_rate_);
+  platform_->engine().after(gap, [this] {
+    const double t = platform_->now();
+    double accept = rate_model_.rate_at(t) / peak_rate_;
+    if (rate_model_.config().noise_sigma > 0.0) {
+      accept *=
+          std::exp(rate_model_.config().noise_sigma * load_rng_.normal());
+    }
+    if (accept > 0.0 && load_rng_.uniform() < accept) {
+      const bool remote = config_.total_shards > 1 &&
+                          config_.remote_fraction > 0.0 &&
+                          load_rng_.uniform() < config_.remote_fraction;
+      if (remote) {
+        // Hand off to a uniformly chosen other cell. The request enters
+        // the destination's gateway one hop later, via the mailbox.
+        const std::uint64_t draw =
+            load_rng_.uniform_index(config_.total_shards - 1);
+        const std::size_t dest =
+            static_cast<std::size_t>(draw) +
+            (static_cast<std::size_t>(draw) >= config_.index ? 1 : 0);
+        const std::size_t app = load_app_;
+        outbox_->post(dest, t, t + config_.hop_latency_s,
+                      [app](Shard& s) { s.inject_request(app); });
+        ++handoffs_sent_;
+      } else {
+        platform_->issue_request(load_app_);
+        ++requests_issued_;
+      }
+    }
+    schedule_next_arrival();
+  });
+}
+
+void Shard::inject_request(std::size_t app) {
+  ++handoffs_received_;
+  platform_->issue_request(app);
+  ++requests_issued_;
+}
+
+std::string Shard::digest() const {
+  std::ostringstream os;
+  os << "shard " << config_.index << " events "
+     << platform_->engine().events_executed() << " issued "
+     << requests_issued_ << " handoffs_out " << handoffs_sent_
+     << " handoffs_in " << handoffs_received_ << '\n';
+  os << std::hexfloat;
+  for (std::size_t a = 0; a < platform_->app_count(); ++a) {
+    const AppStats& st = platform_->stats(a);
+    os << "app " << a << " ok " << st.e2e.size() << " failed " << st.failed
+       << '\n';
+    for (const auto& [t, l] : st.e2e) os << t << ' ' << l << '\n';
+  }
+  os << platform_->recorder().dump_string();
+  return os.str();
+}
+
+}  // namespace gsight::sim

@@ -1,0 +1,100 @@
+// Shard — one cluster cell of a sharded simulation (DESIGN.md §13). A
+// shard owns a complete Platform (engine, event queue, gateway, cluster,
+// recorder, metrics) plus a SeedStream-derived load RNG, and advances in
+// isolation between epoch barriers. Every cross-cell effect goes through
+// the cell's Outbox; nothing a shard computes depends on any other cell's
+// intra-epoch progress, which is the invariant behind N-vs-1 byte
+// identity.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/mailbox.hpp"
+#include "sim/platform.hpp"
+#include "workloads/azure_trace.hpp"
+
+namespace gsight::sim {
+
+struct ShardConfig {
+  std::size_t index = 0;         ///< this cell's id in [0, total_shards)
+  std::size_t total_shards = 1;  ///< cells in the topology
+  /// The cell's platform. `seed` should already be the per-cell derived
+  /// seed (SeedStream::derive(root, kShardPlatformTag, index)); the
+  /// sharded engine does this derivation.
+  PlatformConfig platform;
+  /// Root seed the load stream derives from (the run's root, not the
+  /// per-cell platform seed).
+  std::uint64_t load_seed = 1234;
+  double hop_latency_s = 0.01;  ///< cross-cell message latency
+  /// Probability that an accepted arrival is handed off to another cell
+  /// (models requests entering through the "wrong" regional gateway).
+  double remote_fraction = 0.0;
+};
+
+class Shard {
+ public:
+  /// `outbox` must be this cell's entry in the run's Mailbox and must
+  /// outlive the shard. May be nullptr only when total_shards == 1.
+  Shard(ShardConfig config, Outbox* outbox);
+
+  std::size_t index() const { return config_.index; }
+  Platform& platform() { return *platform_; }
+  const Platform& platform() const { return *platform_; }
+  Engine& engine() { return platform_->engine(); }
+
+  /// Deploy `app` with its root function on server 0 and one extra root
+  /// replica per remaining server, so instance counts scale with the cell
+  /// size. Returns the app handle; the first deployed app is the target
+  /// of the diurnal load loop and of incoming handoffs.
+  std::size_t deploy_spread(const wl::App& app);
+
+  /// Start the open-loop diurnal arrival process against the first
+  /// deployed app: a thinned Poisson process following `trace`'s
+  /// rate_at(t), with each accepted arrival either issued locally or
+  /// handed off to a remote cell with probability `remote_fraction`.
+  void start_diurnal_load(const wl::AzureTraceConfig& trace);
+
+  /// Run this cell's engine up to (and including) `t`. Called from the
+  /// lane executor; everything it touches is cell-private.
+  void advance_to(SimTime t) { platform_->run_until(t); }
+
+  /// Entry point for handed-off requests (runs inside this cell's engine
+  /// via a mailbox message).
+  void inject_request(std::size_t app);
+
+  std::uint64_t requests_issued() const { return requests_issued_; }
+  std::uint64_t handoffs_sent() const { return handoffs_sent_; }
+  std::uint64_t handoffs_received() const { return handoffs_received_; }
+
+  /// Deterministic hex-float state digest: request stats plus the full
+  /// Recorder dump. Two runs are byte-identical iff every cell's digest
+  /// compares equal as a string.
+  std::string digest() const;
+
+ private:
+  void schedule_next_arrival();
+
+  ShardConfig config_;
+  Outbox* outbox_;
+  std::unique_ptr<Platform> platform_;
+  stats::Rng load_rng_;
+  /// Rate shape only — every random draw (gaps, thinning, noise, handoff
+  /// choice) comes from load_rng_, never from this generator's own stream.
+  wl::AzureTraceGenerator rate_model_{wl::AzureTraceConfig{}, 0};
+  double peak_rate_ = 0.0;
+  std::size_t load_app_ = 0;
+  bool has_app_ = false;
+  std::uint64_t requests_issued_ = 0;
+  std::uint64_t handoffs_sent_ = 0;
+  std::uint64_t handoffs_received_ = 0;
+};
+
+/// The synthetic edge workload the shard-scaling bench and determinism
+/// tests deploy on every cell: a single short latency-sensitive function,
+/// cheap enough that a 24h diurnal trace stays event-bound rather than
+/// compute-bound.
+wl::App shard_edge_app();
+
+}  // namespace gsight::sim

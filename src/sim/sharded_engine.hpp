@@ -1,0 +1,100 @@
+// ShardedEngine — the coordinator of a sharded simulation (DESIGN.md
+// §13). It owns one Shard per cluster cell and advances them in lockstep
+// epochs: every cell runs alone to the next barrier (cells spread over
+// `topology.shards` executor lanes, each lane optionally on its own
+// ml::ThreadPool thread), then the coordinator serially replays the
+// epoch's cross-cell messages in (epoch, source, seq) order and opens the
+// next epoch. Epoch length never exceeds the cross-cell hop latency, so a
+// message posted in an epoch always takes effect after the barrier that
+// closes it — no cell can ever observe another cell mid-epoch.
+//
+// Determinism: cell state is a function of (cell configs, root seed,
+// message replay order) only. Lane assignment and thread count change
+// which OS thread runs a cell, never what the cell computes — so runs
+// with any `--shards N` and any thread count are byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/shard.hpp"
+
+namespace gsight::ml {
+class ThreadPool;
+}  // namespace gsight::ml
+
+namespace gsight::sim {
+
+/// Cluster shape (per cell), topology, and root seed come from the
+/// embedded ClusterSpec; the fields below are the sharded-run knobs.
+struct ShardedEngineConfig : ClusterSpec {
+  GatewayConfig gateway;
+  InstanceConfig instance;
+  double metric_window_s = 1.0;
+  /// Worker threads for the lane executor. 1 runs every lane on the
+  /// calling thread (serial); 0 selects hardware concurrency. The result
+  /// is byte-identical either way.
+  std::size_t threads = 1;
+  /// Per-arrival probability of a cross-cell handoff.
+  double remote_fraction = 0.05;
+  /// Diurnal load shape driven on every cell (base_qps is per cell).
+  wl::AzureTraceConfig trace;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineConfig config);
+  ~ShardedEngine();
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t lanes() const { return config_.topology.lanes(); }
+  Shard& shard(std::size_t i) { return *shards_.at(i); }
+  const ShardedEngineConfig& config() const { return config_; }
+
+  /// Deploy the synthetic edge app on every cell and start each cell's
+  /// diurnal load loop (the standard setup of the scaling bench and the
+  /// determinism suite).
+  void deploy_default_load();
+
+  /// Advance every cell to `t` through lockstep epochs.
+  void run_until(SimTime t);
+
+  SimTime now() const { return now_; }
+  std::uint64_t epochs_run() const { return epoch_; }
+  /// Sum of events executed across all cells.
+  std::uint64_t events_executed() const;
+  std::uint64_t messages_exchanged() const {
+    return mailbox_.messages_exchanged();
+  }
+  /// The run's mailbox. Cell code reaches its own outbox through the
+  /// Shard; this accessor exists for components (and tests) that inject
+  /// cross-cell effects from outside the standard load loop.
+  Mailbox& mailbox() { return mailbox_; }
+
+  /// Concatenated per-cell digests (cell order). The byte-identity
+  /// artifact: equal strings iff the runs are bit-identical.
+  std::string merged_digest() const;
+
+  /// Snapshot per-cell gauges into this engine's registry with a
+  /// {"shard": i} label on every sample, plus run-level totals.
+  void refresh_metrics();
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  void advance_lane(std::size_t lane, SimTime barrier);
+  void exchange_at_barrier(SimTime barrier);
+
+  ShardedEngineConfig config_;
+  Mailbox mailbox_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ml::ThreadPool> pool_;  ///< null when threads == 1
+  obs::MetricsRegistry metrics_;
+  SimTime now_ = 0.0;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace gsight::sim

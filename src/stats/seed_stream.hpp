@@ -35,6 +35,16 @@ class SeedStream {
   /// index, mixed again. Stateless and order-independent.
   static std::uint64_t derive(std::uint64_t root, std::uint64_t index);
 
+  /// Two-level derivation for tagged families of streams: the i-th child
+  /// of the named sub-stream `tag` under `root`. Equivalent to
+  /// derive(derive(root, tag), index); used where a component owns several
+  /// *arrays* of streams (e.g. per-shard platform seeds vs per-shard load
+  /// seeds) that must never collide across families.
+  static std::uint64_t derive(std::uint64_t root, std::uint64_t tag,
+                              std::uint64_t index) {
+    return derive(derive(root, tag), index);
+  }
+
  private:
   std::uint64_t root_;
 };

@@ -1,8 +1,9 @@
 #include "stats/summary.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hpp"
 
 namespace gsight::stats {
 
@@ -51,7 +52,10 @@ double Running::cov() const {
 
 double percentile_inplace(std::vector<double>& values, double p) {
   if (values.empty()) return 0.0;
-  assert(p >= 0.0 && p <= 100.0);
+  // A plain assert() here compiled out under NDEBUG, so an out-of-range p
+  // silently computed an out-of-bounds rank in release builds. The runtime
+  // contract survives every build mode (GSIGHT_CONTRACT_LEVEL >= 1).
+  GSIGHT_ASSERT(p >= 0.0 && p <= 100.0, "percentile p outside [0, 100]");
   if (values.size() == 1) return values[0];
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -98,7 +102,7 @@ double median(std::vector<double> values) {
 
 Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
     : capacity_(capacity), rng_(seed) {
-  assert(capacity > 0);
+  GSIGHT_ASSERT(capacity > 0, "reservoir capacity must be non-zero");
   data_.reserve(capacity);
 }
 

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "core/contracts.hpp"
 #include "stats/rng.hpp"
 
 namespace gsight::stats {
@@ -88,6 +90,31 @@ TEST(Percentile, SingleElement) {
 
 TEST(Percentile, EmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, ExactEndpointsReturnMinMax) {
+  // p=0 and p=100 must hit the extremes exactly — rank arithmetic lands on
+  // index 0 and size()-1 with frac 0, no interpolation drift.
+  std::vector<double> v{9.0, -3.0, 4.0, 7.0, 0.5, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(Percentile, OutOfRangePViolatesContract) {
+  // Regression: this guard used to be a plain assert(), so release builds
+  // read past the end of the vector instead of reporting the bad p.
+  core::ScopedContractHandler guard;
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_THROW(percentile(v, -0.001), core::ContractViolation);
+  EXPECT_THROW(percentile(v, 100.001), core::ContractViolation);
+  EXPECT_THROW(percentile(v, 150.0), core::ContractViolation);
+  EXPECT_THROW(percentile(v, std::numeric_limits<double>::quiet_NaN()),
+               core::ContractViolation);
+}
+
+TEST(Reservoir, ZeroCapacityViolatesContract) {
+  core::ScopedContractHandler guard;
+  EXPECT_THROW(Reservoir(0), core::ContractViolation);
 }
 
 TEST(Percentile, AgreesWithFullSort) {

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "core/contracts.hpp"
@@ -58,6 +59,19 @@ TEST(Contracts, EngineRejectsSchedulingInThePast) {
   EXPECT_THROW(e.at(1.0, [] {}), ContractViolation);
   EXPECT_THROW(e.after(-0.5, [] {}), ContractViolation);
   EXPECT_THROW(e.after(kNaN, [] {}), ContractViolation);
+}
+
+TEST(Contracts, EngineRejectsNonFiniteTimes) {
+  // Regression: after() rejected NaN but let +inf through (and at() checked
+  // nothing), leaving an event at t=inf that run_all() happily executed.
+  // Both entry points now enforce the header's documented "finite" contract.
+  ScopedContractHandler guard;
+  Engine e;
+  EXPECT_THROW(e.after(kInf, [] {}), ContractViolation);
+  EXPECT_THROW(e.at(kInf, [] {}), ContractViolation);
+  EXPECT_THROW(e.at(kNaN, [] {}), ContractViolation);
+  // The queue stays untouched after the rejected schedules.
+  EXPECT_EQ(e.run_all(), 0u);
 }
 
 // --- EventQueue tie-break determinism ---------------------------------------
@@ -181,11 +195,57 @@ TEST(Contracts, ClusterInstanceAccountingBalances) {
 }
 
 TEST(Contracts, GatewayRejectsNegativeServiceTime) {
-  ScopedContractHandler guard;
+  // GatewayConfig is now validated like ClusterSpec: configuration errors
+  // surface as std::invalid_argument at construction, naming the bad field,
+  // instead of tripping the "bad gateway service time" invariant mid-run.
   Engine engine;
   GatewayConfig config;
   config.base_service_s = -1.0;
-  EXPECT_THROW(Gateway(&engine, config), ContractViolation);
+  EXPECT_THROW(Gateway(&engine, config), std::invalid_argument);
+}
+
+TEST(Contracts, GatewayConfigValidateRejectsBadFields) {
+  const GatewayConfig good;
+  EXPECT_NO_THROW(good.validate());
+
+  GatewayConfig c = good;
+  c.base_service_s = kInf;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = good;
+  c.backlog_coeff = kNaN;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = good;
+  c.backlog_coeff = -0.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = good;
+  c.max_backlog_factor = 0.5;  // load would *reduce* service time
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = good;
+  c.max_backlog_factor = kInf;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = good;
+  c.instance_knee = 0.0;  // divides the instance count
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = good;
+  c.instance_knee = -120.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = good;
+  c.instance_exponent = kNaN;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Contracts, GatewayConstructorRunsValidation) {
+  Engine engine;
+  GatewayConfig config;
+  config.instance_knee = 0.0;
+  EXPECT_THROW(Gateway(&engine, config), std::invalid_argument);
 }
 
 }  // namespace

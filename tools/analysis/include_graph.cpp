@@ -186,6 +186,17 @@ int include_graph_self_test() {
        {{"src/sim/a.hpp", "#pragma once\n#include \"sim/b.hpp\"\n"},
         {"src/sim/b.hpp", "#pragma once\n"}},
        nullptr},
+      {"sharded-engine internals stay inside sim",
+       {{"src/sim/sharded_engine.hpp",
+         "#pragma once\n#include \"sim/shard.hpp\"\n"
+         "#include \"sim/mailbox.hpp\"\n"},
+        {"src/sim/shard.hpp", "#pragma once\n#include \"sim/mailbox.hpp\"\n"},
+        {"src/sim/mailbox.hpp", "#pragma once\n"}},
+       nullptr},
+      {"sim may reach down to the ml thread pool",
+       {{"src/sim/sharded_engine.cpp", "#include \"ml/thread_pool.hpp\"\n"},
+        {"src/ml/thread_pool.hpp", "#pragma once\n"}},
+       nullptr},
       {"contracts override lets stats reach core",
        {{"src/stats/h.cpp", "#include \"core/contracts.hpp\"\n"},
         {"src/core/contracts.hpp", "#pragma once\n"}},

@@ -35,6 +35,7 @@
 #include "profiling/profile_io.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/service.hpp"
+#include "sim/sharded_engine.hpp"
 #include "stats/summary.hpp"
 #include "workloads/suite.hpp"
 
@@ -53,6 +54,11 @@ int usage() {
                "  gsight campaign [--threads N] [--seed S] [--count N]\n"
                "                  [--qos ipc|lat|jct] [--cls ls+ls|ls+sc|sc+sc]\n"
                "                  [--dump FILE]\n"
+               "  gsight campaign --shards N [--clusters C] [--servers S]\n"
+               "                  [--horizon T] [--threads N] [--seed S]\n"
+               "                  [--dump FILE]   (sharded simulation; the\n"
+               "                  digest is bit-identical for any --shards\n"
+               "                  and --threads)\n"
                "  gsight serve-bench [--threads N] [--requests N] [--rate HZ]\n"
                "                  [--dim D] [--batch N] [--linger-us U]\n"
                "                  [--queue N] [--warm N] [--observe-every N]\n"
@@ -257,6 +263,57 @@ bool dump_samples(const std::vector<core::ScenarioSamples>& samples,
   return true;
 }
 
+/// Sharded-simulation mode of `gsight campaign` (--shards): advance a
+/// multi-cell estate under the synthetic diurnal trace and report the
+/// aggregate event rate. The state digest written by --dump is
+/// byte-identical for any lane count and any thread count — check.sh's
+/// shard-equivalence stage compares those dumps the same way the dataset
+/// campaign compares sample streams.
+int cmd_campaign_sharded(std::size_t lanes, std::size_t threads,
+                         std::uint64_t seed, std::size_t clusters,
+                         std::size_t servers, double horizon,
+                         const std::string& dump_path) {
+  sim::ShardedEngineConfig cfg;
+  cfg.servers = servers;
+  cfg.server = sim::ServerConfig::socket();
+  cfg.seed = seed;
+  cfg.topology.clusters = clusters;
+  cfg.topology.shards = lanes;
+  cfg.threads = threads == 0 ? 1 : threads;
+  cfg.trace.base_qps = 40.0;
+  sim::ShardedEngine engine(cfg);
+  engine.deploy_default_load();
+  std::printf("sharded campaign: %zu cells x %zu servers, %zu lanes, "
+              "%zu threads, seed %llu, horizon %.0fs\n",
+              engine.shard_count(), servers, engine.lanes(), cfg.threads,
+              static_cast<unsigned long long>(seed), horizon);
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.run_until(horizon);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto events = engine.events_executed();
+  std::printf("ran %llu epochs, %llu events, %llu cross-cell messages "
+              "(%.0f events/s wall)\n",
+              static_cast<unsigned long long>(engine.epochs_run()),
+              static_cast<unsigned long long>(events),
+              static_cast<unsigned long long>(engine.messages_exchanged()),
+              wall > 0.0 ? static_cast<double>(events) / wall : 0.0);
+  if (!dump_path.empty()) {
+    std::FILE* f = std::fopen(dump_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", dump_path.c_str());
+      return 1;
+    }
+    const std::string digest = engine.merged_digest();
+    std::fprintf(f, "gsight-shard-dump/v1 cells=%zu\n", engine.shard_count());
+    std::fwrite(digest.data(), 1, digest.size(), f);
+    std::fclose(f);
+    std::printf("state digest dumped to %s\n", dump_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_campaign(int argc, char** argv) {
   std::size_t threads = env_threads();
   std::uint64_t seed = 2027;
@@ -264,6 +321,11 @@ int cmd_campaign(int argc, char** argv) {
   core::QosKind qos = core::QosKind::kIpc;
   core::ColocationClass cls = core::ColocationClass::kLsScBg;
   std::string dump_path;
+  bool sharded = false;
+  std::size_t shards = 0;
+  std::size_t clusters = 8;
+  std::size_t servers = 32;
+  double horizon = 120.0;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -303,9 +365,26 @@ int cmd_campaign(int argc, char** argv) {
     } else if (arg == "--dump" && value != nullptr) {
       dump_path = value;
       ++i;
+    } else if (arg == "--shards" && value != nullptr) {
+      sharded = true;
+      shards = static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--clusters" && value != nullptr) {
+      clusters = static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--servers" && value != nullptr) {
+      servers = static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--horizon" && value != nullptr) {
+      horizon = std::atof(value);
+      ++i;
     } else {
       return usage();
     }
+  }
+  if (sharded) {
+    return cmd_campaign_sharded(shards, threads, seed, clusters, servers,
+                                horizon, dump_path);
   }
 
   // Small, fast geometry (the demo's): the subcommand exists to exercise
