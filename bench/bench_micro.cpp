@@ -13,6 +13,7 @@
 #include "core/encoder.hpp"
 #include "ml/incremental_forest.hpp"
 #include "ml/random_forest.hpp"
+#include "serve/fleet.hpp"
 #include "serve/service.hpp"
 #include "sim/engine.hpp"
 #include "sim/interference.hpp"
@@ -313,6 +314,31 @@ void BM_ServePredictBatchContended(benchmark::State& state) {
   service.stop();
 }
 BENCHMARK(BM_ServePredictBatchContended)->Unit(benchmark::kMicrosecond);
+
+// The same 32-request sweep through a 4-replica routed fleet (synchronous
+// regime, consistent-hash router): route + per-replica queue + micro-batch
+// on top of the batched fast path — the fleet tax over BatchService.
+void BM_ServeFleetRouted(benchmark::State& state) {
+  serve::FleetRequest fr;
+  fr.replicas = 4;
+  fr.service.feature_dim = kServeDims;
+  fr.service.max_batch = kServeSweep;
+  fr.service.worker_threads = 0;  // synchronous: the caller polls
+  serve::PredictionFleet fleet(fr, serve_bench_model(kServeDims));
+  fleet.start();
+  const auto queries = serve_bench_queries(kServeDims, kServeSweep);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      fleet.submit(i, std::vector<double>(queries[i]), nullptr);
+    }
+    std::size_t served = 0;
+    while (served < kServeSweep) served += fleet.poll();
+    benchmark::DoNotOptimize(served);
+  }
+  state.counters["watermark"] = static_cast<double>(fleet.watermark());
+  fleet.stop();
+}
+BENCHMARK(BM_ServeFleetRouted)->Unit(benchmark::kMicrosecond);
 
 void BM_ForestIncrementalUpdate(benchmark::State& state) {
   stats::Rng rng(3);

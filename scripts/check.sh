@@ -27,6 +27,13 @@
 #      (--threads 0) must emit byte-identical BENCH_serve.json across two
 #      runs (modulo wall_time_s) with at least one hot swap; the threaded
 #      run must schema-check and hot-swap under load too
+#   7b. fleet twin-run: `gsight serve-bench --fleet 4` with a mid-run
+#      drain + re-add and the live NDJSON stream on, run twice. The
+#      BENCH_serve_fleet.json reports must match modulo wall_time_s, the
+#      live streams must be byte-identical, the stream must satisfy the
+#      gsight-live/v1 schema, and no request may be lost across the
+#      re-shard. A deterministic admission-bound capacity run then checks
+#      the 4-replica fleet serves >= 3x the single-service throughput
 #
 # Each stage gets its own build tree under build-check/ so the developer's
 # main build/ directory is never clobbered. Warnings are errors everywhere.
@@ -123,11 +130,12 @@ TSAN_DIR="$ROOT/build-check/tsan"
 configure_build "$TSAN_DIR" "-DGSIGHT_SANITIZE=thread"
 # The multi-threaded surface: ThreadPool itself plus its users (forest
 # training/inference, incremental models, trainer, campaigns) and the
-# online serving stack (workers, background trainer, snapshot hot swap).
+# online serving stack (workers, background trainer, snapshot hot swap,
+# fleet routing/drain).
 ( cd "$TSAN_DIR" && \
   TSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign|Serve|Shard' )
+        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign|Serve|Fleet|Shard' )
 
 # --- 5. Bench smoke --------------------------------------------------------
 banner "bench smoke: bench_micro -> BENCH_micro.json -> bench_schema_check"
@@ -157,7 +165,7 @@ KERNEL_DIR="$BENCH_DIR/model-kernels"
 rm -rf "$KERNEL_DIR" && mkdir -p "$KERNEL_DIR"
 GSIGHT_THREADS=1 GSIGHT_BENCH_DIR="$KERNEL_DIR" "$BENCH_DIR/bench/bench_micro" \
   --benchmark_min_time=0.01 \
-  --benchmark_filter='BM_ForestTrain|BM_ForestPredict(Legacy|Singles|Batched)|BM_ServePredict'
+  --benchmark_filter='BM_ForestTrain|BM_ForestPredict(Legacy|Singles|Batched)|BM_ServePredict|BM_ServeFleetRouted'
 [[ -f "$KERNEL_DIR/BENCH_micro.json" ]] \
   || { echo "model kernels: BENCH_micro.json was not written"; exit 1; }
 "$BENCH_DIR/tools/bench_schema_check" "$KERNEL_DIR/BENCH_micro.json"
@@ -224,5 +232,65 @@ for report in "$SERVE_DIR/twin1/BENCH_serve.json" "$SERVE_DIR/threaded/BENCH_ser
     || { echo "serve smoke: $report reports no hot swap under load"; exit 1; }
 done
 echo "serve-bench hot-swapped under load in both regimes"
+
+# --- 7b. Fleet twin-run ------------------------------------------------------
+banner "fleet twin-run: drain/re-shard determinism + live stream + capacity"
+FLEET_DIR="$BENCH_DIR/fleet-smoke"
+rm -rf "$FLEET_DIR"
+mkdir -p "$FLEET_DIR/twin1" "$FLEET_DIR/twin2" "$FLEET_DIR/single" "$FLEET_DIR/cap4"
+
+# Pulls "value" off the line after a '"name": "<metric>"' line, the
+# RunReport results layout (same idiom as the hot-swap check above).
+bench_value() {
+  grep -A1 "\"name\": \"$2\"" "$1" | grep '"value"' \
+    | grep -o '[0-9][0-9.eE+-]*' | head -n 1
+}
+
+FLEET_ARGS=(--threads 0 --fleet 4 --requests 3000 --dim 64 --warm 128
+            --rate 200000 --seed 99 --drain 1@1000:2000)
+# Twin runs on the shared virtual clock, with a drain + re-add landing
+# mid-run and the live NDJSON stream on. Everything must reproduce: the
+# report modulo wall_time_s, and the live stream byte-for-byte.
+"$BENCH_DIR/tools/gsight" serve-bench "${FLEET_ARGS[@]}" \
+  --live "$FLEET_DIR/twin1/live.ndjson" --out "$FLEET_DIR/twin1" > /dev/null
+"$BENCH_DIR/tools/gsight" serve-bench "${FLEET_ARGS[@]}" \
+  --live "$FLEET_DIR/twin2/live.ndjson" --out "$FLEET_DIR/twin2" > /dev/null
+grep -v '"wall_time_s"' "$FLEET_DIR/twin1/BENCH_serve_fleet.json" > "$FLEET_DIR/twin1.stripped"
+grep -v '"wall_time_s"' "$FLEET_DIR/twin2/BENCH_serve_fleet.json" > "$FLEET_DIR/twin2.stripped"
+cmp "$FLEET_DIR/twin1.stripped" "$FLEET_DIR/twin2.stripped" \
+  || { echo "fleet twin-run: BENCH_serve_fleet.json reports differ"; exit 1; }
+cmp "$FLEET_DIR/twin1/live.ndjson" "$FLEET_DIR/twin2/live.ndjson" \
+  || { echo "fleet twin-run: live NDJSON streams differ"; exit 1; }
+echo "fleet twins are byte-identical (report modulo wall_time_s; stream exact)"
+"$BENCH_DIR/tools/bench_schema_check" "$FLEET_DIR/twin1/BENCH_serve_fleet.json"
+"$BENCH_DIR/tools/bench_schema_check" --live "$FLEET_DIR/twin1/live.ndjson"
+"$BENCH_DIR/tools/gsight" tail "$FLEET_DIR/twin1/live.ndjson" > /dev/null \
+  || { echo "fleet twin-run: gsight tail failed on the live stream"; exit 1; }
+# Conservation across the re-shard: nothing lost, and the drain + re-add
+# actually happened.
+lost=$(bench_value "$FLEET_DIR/twin1/BENCH_serve_fleet.json" lost)
+drains=$(bench_value "$FLEET_DIR/twin1/BENCH_serve_fleet.json" drains)
+readds=$(bench_value "$FLEET_DIR/twin1/BENCH_serve_fleet.json" readds)
+awk -v l="$lost" -v d="$drains" -v r="$readds" \
+  'BEGIN { exit (l == 0 && d >= 1 && r >= 1 ? 0 : 1) }' \
+  || { echo "fleet twin-run: lost=$lost drains=$drains readds=$readds"; exit 1; }
+echo "drain/re-shard conserved every request (lost=0, drains=$drains, readds=$readds)"
+
+# Capacity: with queue_capacity < max_batch the synchronous driver can
+# only serve on linger deadlines, so per-replica capacity is genuinely
+# admission-bound and adding replicas multiplies it. Deterministic, so
+# the >= 3x bar cannot flake.
+CAP_ARGS=(--threads 0 --requests 20000 --dim 64 --warm 128 --rate 2500000
+          --queue 8 --batch 32 --seed 7)
+"$BENCH_DIR/tools/gsight" serve-bench "${CAP_ARGS[@]}" \
+  --out "$FLEET_DIR/single" > /dev/null
+"$BENCH_DIR/tools/gsight" serve-bench "${CAP_ARGS[@]}" --fleet 4 \
+  --out "$FLEET_DIR/cap4" > /dev/null
+single_rps=$(bench_value "$FLEET_DIR/single/BENCH_serve.json" throughput)
+fleet_rps=$(bench_value "$FLEET_DIR/cap4/BENCH_serve_fleet.json" throughput)
+awk -v s="$single_rps" -v f="$fleet_rps" \
+  'BEGIN { exit (s > 0 && f >= 3 * s ? 0 : 1) }' \
+  || { echo "fleet capacity: $fleet_rps rps vs single $single_rps rps (< 3x)"; exit 1; }
+echo "fleet-of-4 capacity: $fleet_rps rps vs single $single_rps rps (>= 3x)"
 
 banner "all checks passed"

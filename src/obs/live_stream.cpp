@@ -1,0 +1,352 @@
+#include "obs/live_stream.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <ostream>
+
+namespace gsight::obs {
+
+namespace {
+
+const char* kind_name(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "counter";
+}
+
+const char* phase_of(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kComplete: return "X";
+    case TraceEvent::Kind::kInstant: return "i";
+    case TraceEvent::Kind::kCounter: return "C";
+    case TraceEvent::Kind::kAsyncBegin: return "b";
+    case TraceEvent::Kind::kAsyncEnd: return "e";
+  }
+  return "i";
+}
+
+}  // namespace
+
+LiveStreamSink::LiveStreamSink(std::ostream& os) : os_(&os) {}
+
+void LiveStreamSink::write_record(Json record) {
+  record.dump(*os_, 0);
+  *os_ << '\n';
+  os_->flush();  // a live tail should never sit behind a buffer
+  ++seq_;
+}
+
+void LiveStreamSink::hello(
+    const std::string& source,
+    const std::vector<std::pair<std::string, std::string>>& meta) {
+  core::MutexLock lock(mutex_);
+  Json rec = Json::object();
+  rec.set("schema", kLiveSchema);
+  rec.set("type", "hello");
+  rec.set("seq", seq_);
+  rec.set("source", source);
+  if (!meta.empty()) {
+    Json m = Json::object();
+    for (const auto& [k, v] : meta) m.set(k, v);
+    rec.set("meta", std::move(m));
+  }
+  write_record(std::move(rec));
+}
+
+void LiveStreamSink::metric_deltas(double ts_s,
+                                   const MetricsRegistry& registry) {
+  core::MutexLock lock(mutex_);
+  for (const auto& sample : registry.samples()) {
+    std::string key = kind_name(sample.kind);
+    key += '|';
+    key += sample.name;
+    key += '|';
+    key += sample.labels;
+    const auto it = last_.find(key);
+    const double prev = it == last_.end() ? 0.0 : it->second.first;
+    const double prev_sum = it == last_.end() ? 0.0 : it->second.second;
+    if (it != last_.end() && sample.value == prev && sample.sum == prev_sum) {
+      continue;  // unchanged since the last emission
+    }
+    Json rec = Json::object();
+    rec.set("type", "metric");
+    rec.set("seq", seq_);
+    rec.set("ts_s", ts_s);
+    rec.set("kind", kind_name(sample.kind));
+    rec.set("name", sample.name);
+    rec.set("labels", sample.labels);
+    rec.set("value", sample.value);
+    rec.set("delta", sample.value - prev);
+    if (sample.kind == MetricSample::Kind::kHistogram) {
+      rec.set("sum", sample.sum);
+    }
+    last_[key] = {sample.value, sample.sum};
+    write_record(std::move(rec));
+  }
+}
+
+void LiveStreamSink::mark(
+    double ts_s, const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  core::MutexLock lock(mutex_);
+  Json rec = Json::object();
+  rec.set("type", "mark");
+  rec.set("seq", seq_);
+  rec.set("ts_s", ts_s);
+  rec.set("name", name);
+  if (!args.empty()) {
+    Json a = Json::object();
+    for (const auto& [k, v] : args) a.set(k, v);
+    rec.set("args", std::move(a));
+  }
+  write_record(std::move(rec));
+}
+
+void LiveStreamSink::on_event(const TraceEvent& event) {
+  core::MutexLock lock(mutex_);
+  Json rec = Json::object();
+  rec.set("type", "span");
+  rec.set("seq", seq_);
+  rec.set("ts_s", event.ts_s);
+  rec.set("ph", phase_of(event.kind));
+  rec.set("name", event.name);
+  rec.set("cat", event.cat);
+  if (event.kind == TraceEvent::Kind::kComplete) rec.set("dur_s", event.dur_s);
+  if (event.kind == TraceEvent::Kind::kAsyncBegin ||
+      event.kind == TraceEvent::Kind::kAsyncEnd) {
+    rec.set("id", event.id);
+  }
+  if (!event.args.empty()) {
+    Json a = Json::object();
+    for (const auto& [k, v] : event.args) a.set(k, v);
+    rec.set("args", std::move(a));
+  }
+  write_record(std::move(rec));
+}
+
+std::uint64_t LiveStreamSink::records() const {
+  core::MutexLock lock(mutex_);
+  return seq_;
+}
+
+// ---------------------------------------------------------------------------
+// parse_live_line — a compact recursive-descent JSON reader for one NDJSON
+// record. Accepts exactly what Json::dump(0) emits (plus whitespace);
+// rejects trailing garbage.
+
+namespace {
+
+class LineParser {
+ public:
+  explicit LineParser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> parse(std::string* error) {
+    auto value = parse_value();
+    if (!value) {
+      if (error) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error) *error = "trailing characters after JSON value";
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4U;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape digit");
+            }
+            // The writer only escapes control characters; decode the
+            // single-byte range and pass anything else through raw.
+            out->push_back(static_cast<char>(code & 0xFFU));
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::optional<Json> parse_value() {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return std::nullopt;
+      return Json(std::move(s));
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json(false);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Json();
+    }
+    return parse_number();
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      fail("malformed number: " + token);
+      return std::nullopt;
+    }
+    return Json(v);
+  }
+
+  std::optional<Json> parse_object() {  // NOLINT(misc-no-recursion)
+    if (!consume('{')) return std::nullopt;
+    Json obj = Json::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      std::string key;
+      skip_ws();
+      if (!parse_string(&key)) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      obj.set(key, std::move(*value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated object");
+        return std::nullopt;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_array() {  // NOLINT(misc-no-recursion)
+    if (!consume('[')) return std::nullopt;
+    Json arr = Json::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      arr.push_back(std::move(*value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated array");
+        return std::nullopt;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Json> parse_live_line(const std::string& line,
+                                    std::string* error) {
+  LineParser parser(line);
+  return parser.parse(error);
+}
+
+}  // namespace gsight::obs

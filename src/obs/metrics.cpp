@@ -142,4 +142,26 @@ std::string MetricsRegistry::to_json_string(int indent) const {
   return to_json().dump_string(indent);
 }
 
+std::vector<MetricSample> MetricsRegistry::samples() const {
+  std::vector<MetricSample> out;
+  out.reserve(size());
+  for (const auto& [name, instances] : counters_) {
+    for (const auto& [labels, c] : instances) {
+      out.push_back({MetricSample::Kind::kCounter, name, labels, c->value(), 0.0});
+    }
+  }
+  for (const auto& [name, instances] : gauges_) {
+    for (const auto& [labels, g] : instances) {
+      out.push_back({MetricSample::Kind::kGauge, name, labels, g->value(), 0.0});
+    }
+  }
+  for (const auto& [name, instances] : histograms_) {
+    for (const auto& [labels, h] : instances) {
+      out.push_back({MetricSample::Kind::kHistogram, name, labels,
+                     static_cast<double>(h->count()), h->sum()});
+    }
+  }
+  return out;
+}
+
 }  // namespace gsight::obs

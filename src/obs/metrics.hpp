@@ -74,6 +74,18 @@ class HistogramMetric {
   double sum_ = 0.0;
 };
 
+/// One flattened metric instance — the unit the live NDJSON stream
+/// (obs/live_stream.hpp) diffs between emissions. Histograms flatten to
+/// (count, sum); per-bucket counts stay in the full to_json export.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::string labels;  ///< canonical "k=v,k=v" form; "" = unlabelled
+  double value = 0.0;  ///< counter/gauge value; histogram sample count
+  double sum = 0.0;    ///< histogram only
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -94,6 +106,11 @@ class MetricsRegistry {
   /// ordered by their sorted label string.
   Json to_json() const;
   std::string to_json_string(int indent = 2) const;
+
+  /// Deterministic flat snapshot: counters, then gauges, then histograms,
+  /// each family sorted by name and instances by canonical label string —
+  /// the same order to_json uses, so twin runs diff identically.
+  std::vector<MetricSample> samples() const;
 
  private:
   // Key: label set canonicalised to a sorted "k=v,k=v" string.

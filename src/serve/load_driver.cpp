@@ -4,6 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <future>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "core/contracts.hpp"
@@ -20,10 +23,20 @@ constexpr double kNsPerMicro = 1e3;
 
 }  // namespace
 
-LoadDriver::LoadDriver(LoadDriverConfig config) : config_(config) {
-  GSIGHT_ASSERT(config_.requests > 0, "LoadDriver needs requests > 0");
-  GSIGHT_ASSERT(config_.rate_hz > 0.0, "LoadDriver needs rate_hz > 0");
-  GSIGHT_ASSERT(config_.clients > 0, "LoadDriver needs clients > 0");
+void DriverRequest::validate() const {
+  if (requests == 0) {
+    throw std::invalid_argument("DriverRequest: requests must be non-zero");
+  }
+  if (!(rate_hz > 0.0)) {
+    throw std::invalid_argument("DriverRequest: rate_hz must be positive");
+  }
+  if (clients == 0) {
+    throw std::invalid_argument("DriverRequest: clients must be non-zero");
+  }
+}
+
+LoadDriver::LoadDriver(DriverRequest request) : request_(request) {
+  request_.validate();
 }
 
 std::vector<double> LoadDriver::make_features(std::size_t dim,
@@ -67,7 +80,7 @@ LoadOutcome LoadDriver::finalise(std::vector<double>& latencies_us,
 }
 
 LoadOutcome LoadDriver::run_deterministic(PredictionService& service) {
-  GSIGHT_ASSERT(config_.mode == LoadDriverConfig::Mode::kOpenLoop,
+  GSIGHT_ASSERT(request_.mode == DriverRequest::Mode::kOpenLoop,
                 "deterministic runs are open-loop (closed-loop latency "
                 "needs a real clock)");
   GSIGHT_ASSERT(service.config().worker_threads == 0,
@@ -80,10 +93,10 @@ LoadOutcome LoadDriver::run_deterministic(PredictionService& service) {
   const auto linger_ns =
       static_cast<std::uint64_t>(service.config().batch_linger.count());
   const std::size_t max_batch = service.config().max_batch;
-  stats::Rng rng(stats::SeedStream::derive(config_.seed, 0));
+  stats::Rng rng(stats::SeedStream::derive(request_.seed, 0));
 
   std::vector<double> latencies_us;
-  latencies_us.reserve(config_.requests);
+  latencies_us.reserve(request_.requests);
   auto on_done = [&latencies_us](const PredictResult& r) {
     latencies_us.push_back(static_cast<double>(r.latency_ns) / kNsPerMicro);
   };
@@ -101,8 +114,8 @@ LoadOutcome LoadDriver::run_deterministic(PredictionService& service) {
   std::size_t shed = 0;
   double arrival_s = 0.0;
   std::uint64_t first_ns = 0;
-  for (std::size_t i = 0; i < config_.requests; ++i) {
-    arrival_s += rng.exponential(config_.rate_hz);
+  for (std::size_t i = 0; i < request_.requests; ++i) {
+    arrival_s += rng.exponential(request_.rate_hz);
     const auto arrival_ns =
         static_cast<std::uint64_t>(arrival_s * kNsPerSecond);
     if (i == 0) first_ns = arrival_ns;
@@ -114,7 +127,7 @@ LoadOutcome LoadDriver::run_deterministic(PredictionService& service) {
     clock->set_ns(arrival_ns);
     auto features = make_features(dim, rng);
     const bool feed_observation =
-        config_.observe_every > 0 && i % config_.observe_every == 0;
+        request_.observe_every > 0 && i % request_.observe_every == 0;
     if (feed_observation) {
       // Same vector as the request: prediction and ground truth pair up.
       service.observe(features, label_of(features));
@@ -138,7 +151,107 @@ LoadOutcome LoadDriver::run_deterministic(PredictionService& service) {
 
   const double duration_s =
       static_cast<double>(clock->now_ns() - first_ns) / kNsPerSecond;
-  return finalise(latencies_us, config_.requests, shed, duration_s);
+  return finalise(latencies_us, request_.requests, shed, duration_s);
+}
+
+LoadOutcome LoadDriver::run_deterministic(PredictionFleet& fleet) {
+  GSIGHT_ASSERT(request_.mode == DriverRequest::Mode::kOpenLoop,
+                "deterministic runs are open-loop (closed-loop latency "
+                "needs a real clock)");
+  GSIGHT_ASSERT(fleet.request().service.worker_threads == 0,
+                "deterministic fleet runs need a synchronous fleet");
+  ManualClock* clock = fleet.manual_clock();
+  GSIGHT_ASSERT(clock != nullptr,
+                "deterministic fleet runs need the fleet's shared "
+                "ManualClock");
+
+  const ServiceConfig& sc = fleet.request().service;
+  const std::size_t dim = sc.feature_dim;
+  const auto linger_ns = static_cast<std::uint64_t>(sc.batch_linger.count());
+  const std::size_t max_batch = sc.max_batch;
+  const std::size_t replicas = fleet.request().replicas;
+  stats::Rng rng(stats::SeedStream::derive(request_.seed, 0));
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(request_.requests);
+  auto on_done = [&latencies_us](const PredictResult& r) {
+    latencies_us.push_back(static_cast<double>(r.latency_ns) / kNsPerMicro);
+  };
+
+  // Per-replica FIFO mirrors of queued submit times: each replica batches
+  // independently, so each has its own batch-forming deadline.
+  std::vector<std::deque<std::uint64_t>> pending(replicas);
+  auto serve_replica = [&](std::size_t r) {
+    const std::size_t served = fleet.poll_replica(r);
+    for (std::size_t i = 0; i < served; ++i) pending[r].pop_front();
+    return served;
+  };
+  // Earliest pending batch deadline across replicas (ties to the lowest
+  // replica id — fully deterministic firing order).
+  auto next_deadline = [&]() -> std::optional<std::pair<std::uint64_t, std::size_t>> {
+    std::optional<std::pair<std::uint64_t, std::size_t>> best;
+    for (std::size_t r = 0; r < replicas; ++r) {
+      if (pending[r].empty()) continue;
+      const std::uint64_t due = pending[r].front() + linger_ns;
+      if (!best || due < best->first) best = {{due, r}};
+    }
+    return best;
+  };
+
+  std::size_t shed = 0;
+  double arrival_s = 0.0;
+  std::uint64_t first_ns = 0;
+  for (std::size_t i = 0; i < request_.requests; ++i) {
+    arrival_s += rng.exponential(request_.rate_hz);
+    const auto arrival_ns =
+        static_cast<std::uint64_t>(arrival_s * kNsPerSecond);
+    if (i == 0) first_ns = arrival_ns;
+    for (;;) {
+      const auto due = next_deadline();
+      if (!due || due->first > arrival_ns) break;
+      clock->set_ns(due->first);
+      if (serve_replica(due->second) == 0) break;
+    }
+    clock->set_ns(arrival_ns);
+    // The drain schedule is keyed to request indices: fire before this
+    // submission. A drained replica keeps its pending mirror — its queue
+    // still empties through next_deadline/serve_replica (zero lost).
+    for (const auto& step : fleet.request().drains) {
+      if (step.drain_at == i) fleet.drain(step.replica);
+      if (step.readd_at == i && step.readd_at != 0) fleet.readd(step.replica);
+    }
+    auto features = make_features(dim, rng);
+    const bool feed_observation =
+        request_.observe_every > 0 && i % request_.observe_every == 0;
+    if (feed_observation) {
+      fleet.observe(features, label_of(features));
+    }
+    const auto routed = fleet.submit(i, std::move(features), on_done);
+    if (routed) {
+      pending[*routed].push_back(arrival_ns);
+      while (pending[*routed].size() >= max_batch) {
+        if (serve_replica(*routed) == 0) break;
+      }
+    } else {
+      ++shed;
+    }
+    if (request_.live_every > 0 && i % request_.live_every == 0) {
+      fleet.emit_live_metrics();
+    }
+  }
+  // Tail: fire every remaining deadline in global order.
+  for (;;) {
+    const auto due = next_deadline();
+    if (!due) break;
+    clock->set_ns(due->first);
+    if (serve_replica(due->second) == 0) break;
+  }
+  fleet.train_now();  // fold any leftover observations
+  if (request_.live_every > 0) fleet.emit_live_metrics();
+
+  const double duration_s =
+      static_cast<double>(clock->now_ns() - first_ns) / kNsPerSecond;
+  return finalise(latencies_us, request_.requests, shed, duration_s);
 }
 
 LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
@@ -150,7 +263,7 @@ LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
 
   core::Mutex lat_mutex;
   std::vector<double> latencies_us;
-  latencies_us.reserve(config_.requests);
+  latencies_us.reserve(request_.requests);
   std::atomic<std::size_t> completed{0};
   auto on_done = [&](const PredictResult& r) {
     {
@@ -164,11 +277,11 @@ LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
   std::size_t shed = 0;
   std::size_t accepted = 0;
 
-  if (config_.mode == LoadDriverConfig::Mode::kOpenLoop) {
-    stats::Rng rng(stats::SeedStream::derive(config_.seed, 0));
+  if (request_.mode == DriverRequest::Mode::kOpenLoop) {
+    stats::Rng rng(stats::SeedStream::derive(request_.seed, 0));
     double arrival_s = 0.0;
-    for (std::size_t i = 0; i < config_.requests; ++i) {
-      arrival_s += rng.exponential(config_.rate_hz);
+    for (std::size_t i = 0; i < request_.requests; ++i) {
+      arrival_s += rng.exponential(request_.rate_hz);
       const auto due_ns =
           start_ns + static_cast<std::uint64_t>(arrival_s * kNsPerSecond);
       // Open loop: hold the schedule regardless of completions.
@@ -179,7 +292,7 @@ LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
             std::min<std::uint64_t>(due_ns - now, 200'000)));
       }
       auto features = make_features(dim, rng);
-      if (config_.observe_every > 0 && i % config_.observe_every == 0) {
+      if (request_.observe_every > 0 && i % request_.observe_every == 0) {
         service.observe(features, label_of(features));
       }
       if (service.submit(std::move(features), on_done)) {
@@ -197,15 +310,15 @@ LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> shed_count{0};
     std::vector<std::thread> clients;
-    clients.reserve(config_.clients);
-    for (std::size_t c = 0; c < config_.clients; ++c) {
+    clients.reserve(request_.clients);
+    for (std::size_t c = 0; c < request_.clients; ++c) {
       clients.emplace_back([&, c] {
-        stats::Rng rng(stats::SeedStream::derive(config_.seed, c + 1));
+        stats::Rng rng(stats::SeedStream::derive(request_.seed, c + 1));
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= config_.requests) return;
+          if (i >= request_.requests) return;
           auto features = make_features(dim, rng);
-          if (config_.observe_every > 0 && i % config_.observe_every == 0) {
+          if (request_.observe_every > 0 && i % request_.observe_every == 0) {
             service.observe(features, label_of(features));
           }
           const auto result = service.predict_wait(std::move(features));
@@ -219,13 +332,114 @@ LoadOutcome LoadDriver::run_threaded(PredictionService& service) {
     }
     for (auto& t : clients) t.join();
     shed = shed_count.load();
-    accepted = config_.requests - shed;
+    accepted = request_.requests - shed;
   }
 
   const double duration_s =
       static_cast<double>(clock->now_ns() - start_ns) / kNsPerSecond;
   core::MutexLock lock(lat_mutex);
-  return finalise(latencies_us, config_.requests, shed, duration_s);
+  return finalise(latencies_us, request_.requests, shed, duration_s);
+}
+
+LoadOutcome LoadDriver::run_threaded(PredictionFleet& fleet) {
+  GSIGHT_ASSERT(fleet.request().service.worker_threads > 0,
+                "run_threaded needs a threaded fleet");
+  fleet.start();
+  const std::size_t dim = fleet.request().service.feature_dim;
+  const Clock* clock = fleet.replica(0).clock();
+
+  core::Mutex lat_mutex;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(request_.requests);
+  std::atomic<std::size_t> completed{0};
+  auto on_done = [&](const PredictResult& r) {
+    {
+      core::MutexLock lock(lat_mutex);
+      latencies_us.push_back(static_cast<double>(r.latency_ns) / kNsPerMicro);
+    }
+    completed.fetch_add(1, std::memory_order_release);
+  };
+
+  const std::uint64_t start_ns = clock->now_ns();
+  std::size_t shed = 0;
+  std::size_t accepted = 0;
+
+  if (request_.mode == DriverRequest::Mode::kOpenLoop) {
+    stats::Rng rng(stats::SeedStream::derive(request_.seed, 0));
+    double arrival_s = 0.0;
+    for (std::size_t i = 0; i < request_.requests; ++i) {
+      arrival_s += rng.exponential(request_.rate_hz);
+      const auto due_ns =
+          start_ns + static_cast<std::uint64_t>(arrival_s * kNsPerSecond);
+      for (;;) {
+        const std::uint64_t now = clock->now_ns();
+        if (now >= due_ns) break;
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            std::min<std::uint64_t>(due_ns - now, 200'000)));
+      }
+      // Drain/re-add genuinely under load: the drain blocks inline until
+      // the replica's in-flight requests finish while peers keep serving.
+      for (const auto& step : fleet.request().drains) {
+        if (step.drain_at == i) fleet.drain(step.replica);
+        if (step.readd_at == i && step.readd_at != 0) {
+          fleet.readd(step.replica);
+        }
+      }
+      auto features = make_features(dim, rng);
+      if (request_.observe_every > 0 && i % request_.observe_every == 0) {
+        fleet.observe(features, label_of(features));
+      }
+      if (fleet.submit(i, std::move(features), on_done)) {
+        ++accepted;
+      } else {
+        ++shed;
+      }
+      if (request_.live_every > 0 && i % request_.live_every == 0) {
+        fleet.emit_live_metrics();
+      }
+    }
+    while (completed.load(std::memory_order_acquire) < accepted) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> shed_count{0};
+    std::vector<std::thread> clients;
+    clients.reserve(request_.clients);
+    for (std::size_t c = 0; c < request_.clients; ++c) {
+      clients.emplace_back([&, c] {
+        stats::Rng rng(stats::SeedStream::derive(request_.seed, c + 1));
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= request_.requests) return;
+          auto features = make_features(dim, rng);
+          if (request_.observe_every > 0 && i % request_.observe_every == 0) {
+            fleet.observe(features, label_of(features));
+          }
+          // Closed-loop fleet clients wait on a promise the routed
+          // replica fulfils (the fleet has no predict_wait: routing
+          // happens per-submit, so the wait lives here).
+          auto state = std::make_shared<std::promise<PredictResult>>();
+          auto result = state->get_future();
+          if (!fleet.submit(
+                  i, std::move(features),
+                  [state](const PredictResult& r) { state->set_value(r); })) {
+            shed_count.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          on_done(result.get());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    shed = shed_count.load();
+    accepted = request_.requests - shed;
+  }
+
+  const double duration_s =
+      static_cast<double>(clock->now_ns() - start_ns) / kNsPerSecond;
+  core::MutexLock lock(lat_mutex);
+  return finalise(latencies_us, request_.requests, shed, duration_s);
 }
 
 }  // namespace gsight::serve

@@ -1,6 +1,6 @@
-// LoadDriver — synthetic load against a PredictionService, the harness
-// behind `gsight serve-bench`. Two loop disciplines (classic load-testing
-// shapes):
+// LoadDriver — synthetic load against a PredictionService or a whole
+// PredictionFleet, the harness behind `gsight serve-bench`. Two loop
+// disciplines (classic load-testing shapes):
 //
 //   open loop   — requests arrive on a Poisson schedule at rate_hz
 //                 regardless of completions, the arrival process a
@@ -9,27 +9,35 @@
 //   closed loop — `clients` concurrent callers each submit, wait for the
 //                 result, and repeat: the scheduler-in-the-loop shape.
 //
-// Against a synchronous service (worker_threads == 0) the driver runs the
+// Against a synchronous target (worker_threads == 0) the driver runs the
 // open loop on a virtual timeline (ManualClock): arrivals, batch-forming
 // deadlines and completions all advance deterministically, so two runs
 // with the same seed produce byte-identical latency distributions and
-// shed/batch counters — the serve-bench determinism gate. Against a
-// threaded service both loops run in real time.
+// shed/batch counters — the serve-bench determinism gate. Fleet runs add
+// per-replica batch deadlines, execute the FleetRequest drain schedule at
+// its request indices, and (with live_every set) stream metric deltas to
+// the fleet's live sink — all on the same virtual timeline, so even a
+// mid-run drain/re-add twin run stays byte-identical. Against a threaded
+// target both loops run in real time.
 //
 // A configurable fraction of requests doubles as labelled observations
-// (features + synthetic ground truth) so the background trainer publishes
-// fresh snapshots *under load* — the hot-swap path the bench certifies.
+// (features + synthetic ground truth) so the trainer publishes fresh
+// snapshots *under load* — the hot-swap path the bench certifies.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "serve/fleet.hpp"
 #include "serve/service.hpp"
 #include "stats/rng.hpp"
 
 namespace gsight::serve {
 
-struct LoadDriverConfig {
+/// All load-shape knobs in one request struct (the validate() pattern of
+/// ClusterSpec/GatewayConfig/FleetRequest); the PR-5 name LoadDriverConfig
+/// remains as a deprecated alias for exactly one PR.
+struct DriverRequest {
   enum class Mode { kOpenLoop, kClosedLoop };
   Mode mode = Mode::kOpenLoop;
   /// Total requests to submit (open loop) / to complete (closed loop).
@@ -41,8 +49,19 @@ struct LoadDriverConfig {
   /// Every n-th request also feeds a labelled observation to the
   /// trainer (0 = never): this is what drives hot swaps under load.
   std::size_t observe_every = 8;
+  /// Fleet runs: emit live metric deltas every n-th submission (0 = off;
+  /// needs a live sink attached to the fleet).
+  std::size_t live_every = 0;
   std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument naming the first bad field.
+  void validate() const;
 };
+
+/// Transitional alias for the PR-5 name; call sites should construct
+/// DriverRequest. Removed next PR.
+using LoadDriverConfig [[deprecated(
+    "renamed DriverRequest (validate() request pattern)")]] = DriverRequest;
 
 struct LoadOutcome {
   std::size_t submitted = 0;
@@ -61,7 +80,7 @@ struct LoadOutcome {
 
 class LoadDriver {
  public:
-  explicit LoadDriver(LoadDriverConfig config);
+  explicit LoadDriver(DriverRequest request);
 
   /// Deterministic open-loop drive of a synchronous service (requires
   /// worker_threads == 0 and the service's own ManualClock). Virtual
@@ -69,10 +88,24 @@ class LoadDriver {
   /// arrival and the batch that served it.
   LoadOutcome run_deterministic(PredictionService& service);
 
+  /// Deterministic open-loop drive of a synchronous fleet on its shared
+  /// ManualClock. Request i is submitted under key i; the fleet's drain
+  /// schedule fires before the submission of its drain_at/readd_at
+  /// indices; per-replica batch deadlines fire in global virtual-time
+  /// order (earliest deadline first, ties to the lowest replica id).
+  LoadOutcome run_deterministic(PredictionFleet& fleet);
+
   /// Real-time drive of a started, threaded service (either mode).
   LoadOutcome run_threaded(PredictionService& service);
 
-  const LoadDriverConfig& config() const { return config_; }
+  /// Real-time drive of a threaded fleet (either mode). Drain steps run
+  /// inline at their request indices — i.e. genuinely under load.
+  LoadOutcome run_threaded(PredictionFleet& fleet);
+
+  const DriverRequest& request() const { return request_; }
+  [[deprecated("renamed request()")]] const DriverRequest& config() const {
+    return request_;
+  }
 
   /// Synthetic ground truth: a fixed smooth function of the features,
   /// so the model actually converges on something under online updates.
@@ -86,7 +119,7 @@ class LoadDriver {
                        std::size_t submitted, std::size_t shed,
                        double duration_s) const;
 
-  LoadDriverConfig config_;
+  DriverRequest request_;
 };
 
 }  // namespace gsight::serve

@@ -1,0 +1,102 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/contracts.hpp"
+#include "stats/seed_stream.hpp"
+
+namespace gsight::serve {
+
+namespace {
+
+// Fixed roots for the two hash domains. Ring points and key hashes draw
+// from different streams so a key can never collide with "its own" vnode
+// placement by construction.
+constexpr std::uint64_t kRingRoot = 0x67736967'68747231ULL;  // "gsightr1"
+constexpr std::uint64_t kKeyRoot = 0x67736967'68746b31ULL;   // "gsightk1"
+
+}  // namespace
+
+const char* router_policy_name(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kConsistentHash: return "hash";
+    case RouterPolicy::kLeastQueued: return "least";
+  }
+  return "hash";
+}
+
+std::optional<RouterPolicy> parse_router_policy(const std::string& name) {
+  if (name == "hash") return RouterPolicy::kConsistentHash;
+  if (name == "least") return RouterPolicy::kLeastQueued;
+  return std::nullopt;
+}
+
+Router::Router(RouterPolicy policy, std::size_t replicas,
+               std::size_t vnodes_per_replica)
+    : policy_(policy), vnodes_(vnodes_per_replica), active_(replicas, true) {
+  GSIGHT_ASSERT(replicas > 0, "Router needs at least one replica");
+  GSIGHT_ASSERT(vnodes_ > 0, "Router needs at least one vnode per replica");
+  rebuild_ring();
+}
+
+void Router::set_active(std::size_t replica, bool active) {
+  GSIGHT_ASSERT(replica < active_.size(), "Router replica out of range");
+  if (active_[replica] == active) return;
+  active_[replica] = active;
+  rebuild_ring();
+}
+
+std::size_t Router::active_count() const {
+  return static_cast<std::size_t>(
+      std::count(active_.begin(), active_.end(), true));
+}
+
+void Router::rebuild_ring() {
+  ring_.clear();
+  if (policy_ != RouterPolicy::kConsistentHash) return;
+  ring_.reserve(active_count() * vnodes_);
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    if (!active_[r]) continue;
+    // Each (replica, vnode) pair owns a fixed ring point independent of
+    // which peers are active — the consistent-hash invariant.
+    const std::uint64_t replica_root =
+        stats::SeedStream::derive(kRingRoot, static_cast<std::uint64_t>(r));
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      ring_.push_back(
+          {stats::SeedStream::derive(replica_root, static_cast<std::uint64_t>(v)),
+           static_cast<std::uint32_t>(r)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.replica < b.replica;
+  });
+}
+
+std::optional<std::size_t> Router::route(
+    std::uint64_t key, const std::vector<std::size_t>& queue_depths) const {
+  if (policy_ == RouterPolicy::kConsistentHash) {
+    if (ring_.empty()) return std::nullopt;
+    const std::uint64_t h = stats::SeedStream::derive(kKeyRoot, key);
+    // First point clockwise of the key's hash, wrapping past the top.
+    const auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const Point& p, std::uint64_t value) { return p.hash < value; });
+    return it != ring_.end() ? it->replica : ring_.front().replica;
+  }
+  // kLeastQueued: shallowest active queue, ties to the lowest id.
+  GSIGHT_ASSERT(queue_depths.size() == active_.size(),
+                "least-queued routing needs a depth for every replica");
+  std::optional<std::size_t> best;
+  std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+  for (std::size_t r = 0; r < active_.size(); ++r) {
+    if (!active_[r]) continue;
+    if (!best || queue_depths[r] < best_depth) {
+      best = r;
+      best_depth = queue_depths[r];
+    }
+  }
+  return best;
+}
+
+}  // namespace gsight::serve

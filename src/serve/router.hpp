@@ -1,0 +1,74 @@
+// Router — the request-routing front-end of serve::PredictionFleet. Two
+// pluggable policies:
+//
+//   kConsistentHash — each active replica owns `vnodes_per_replica`
+//     points on a 64-bit hash ring (SplitMix64-derived, so placement is a
+//     pure function of (replica, vnode) — same fleet shape, same ring on
+//     every run). A key routes to the first ring point at or clockwise of
+//     its hash. Draining a replica removes only *its* points: keys owned
+//     by the survivors never move, which is what makes drain/re-shard a
+//     local disruption instead of a fleet-wide reshuffle.
+//
+//   kLeastQueued — route to the active replica with the shallowest
+//     request queue (ties to the lowest replica id, so the choice is
+//     deterministic given the depth vector).
+//
+// The router is a plain data structure with no internal synchronization:
+// PredictionFleet guards it with its routing mutex (activation flips and
+// route lookups must be atomic with respect to each other anyway).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gsight::serve {
+
+enum class RouterPolicy {
+  kConsistentHash,
+  kLeastQueued,
+};
+
+/// Stable CLI/report name: "hash" or "least".
+const char* router_policy_name(RouterPolicy policy);
+/// Inverse of router_policy_name; nullopt for unknown names.
+std::optional<RouterPolicy> parse_router_policy(const std::string& name);
+
+class Router {
+ public:
+  Router(RouterPolicy policy, std::size_t replicas,
+         std::size_t vnodes_per_replica);
+
+  RouterPolicy policy() const { return policy_; }
+  std::size_t replicas() const { return active_.size(); }
+
+  /// Flip a replica in or out of the eligible set (drain / re-add).
+  /// Idempotent; the hash ring is rebuilt from scratch, which keeps it a
+  /// pure function of the active set.
+  void set_active(std::size_t replica, bool active);
+  bool active(std::size_t replica) const { return active_[replica]; }
+  std::size_t active_count() const;
+
+  /// Pick a replica for `key`. `queue_depths` is consulted only by
+  /// kLeastQueued and must then cover every replica (inactive entries are
+  /// ignored); kConsistentHash callers may pass an empty vector.
+  /// nullopt when no replica is active.
+  std::optional<std::size_t> route(
+      std::uint64_t key, const std::vector<std::size_t>& queue_depths) const;
+
+ private:
+  void rebuild_ring();
+
+  struct Point {
+    std::uint64_t hash = 0;
+    std::uint32_t replica = 0;
+  };
+
+  RouterPolicy policy_;
+  std::size_t vnodes_;
+  std::vector<bool> active_;
+  std::vector<Point> ring_;  ///< sorted by (hash, replica); hash policy only
+};
+
+}  // namespace gsight::serve

@@ -9,18 +9,51 @@
 
 namespace gsight::serve {
 
+namespace {
+
+/// Validate-then-return, so member initialisers never see a bad config.
+ServiceConfig validated(ServiceConfig config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+void ServiceConfig::validate() const {
+  if (feature_dim == 0) {
+    throw std::invalid_argument("ServiceConfig: feature_dim is required");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument(
+        "ServiceConfig: queue_capacity must be non-zero");
+  }
+  if (max_batch == 0) {
+    throw std::invalid_argument("ServiceConfig: max_batch must be non-zero");
+  }
+  if (batch_linger.count() < 0) {
+    throw std::invalid_argument(
+        "ServiceConfig: batch_linger must be non-negative");
+  }
+  if (observe_capacity == 0) {
+    throw std::invalid_argument(
+        "ServiceConfig: observe_capacity must be non-zero");
+  }
+  if (train_batch == 0) {
+    throw std::invalid_argument("ServiceConfig: train_batch must be non-zero");
+  }
+  if (max_train_drain == 0) {
+    throw std::invalid_argument(
+        "ServiceConfig: max_train_drain must be non-zero");
+  }
+}
+
 PredictionService::PredictionService(ServiceConfig config,
                                      ml::IncrementalForest model)
-    : config_(config),
+    : config_(validated(config)),
       requests_(config.queue_capacity),
       observations_(config.observe_capacity),
       model_(std::move(model)),
       batch_size_counts_(config.max_batch) {
-  GSIGHT_ASSERT(config_.feature_dim > 0,
-                "ServiceConfig.feature_dim is required");
-  GSIGHT_ASSERT(config_.max_batch > 0, "ServiceConfig.max_batch must be > 0");
-  GSIGHT_ASSERT(config_.train_batch > 0,
-                "ServiceConfig.train_batch must be > 0");
   if (config_.clock != nullptr) {
     clock_ = config_.clock;
   } else if (config_.worker_threads == 0) {
@@ -225,8 +258,11 @@ ServiceStats PredictionService::stats() const {
   s.observations = observed_.load(std::memory_order_relaxed);
   s.observations_shed = observed_shed_.load(std::memory_order_relaxed);
   s.train_rounds = train_rounds_.load(std::memory_order_relaxed);
-  s.snapshot_swaps = slot_.swap_count();
-  s.model_version = slot_.version();
+  // One critical section for (version, swaps): a mid-run stats reader
+  // must never see a freshly swapped version next to the old swap count.
+  const SnapshotSlot::SlotInfo slot = slot_.info();
+  s.snapshot_swaps = slot.swaps;
+  s.model_version = slot.version;
   s.batch_size_counts.reserve(batch_size_counts_.size());
   for (const auto& c : batch_size_counts_) {
     s.batch_size_counts.push_back(c.load(std::memory_order_relaxed));

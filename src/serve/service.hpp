@@ -65,6 +65,11 @@ struct ServiceConfig {
   /// Time source; nullptr = SteadyClock in threaded mode, an internal
   /// ManualClock in synchronous mode.
   const Clock* clock = nullptr;
+
+  /// Throws std::invalid_argument naming the first bad field (the
+  /// ClusterSpec/GatewayConfig convention). The PredictionService ctor
+  /// calls this, so a service can never exist with a bad config.
+  void validate() const;
 };
 
 /// What a completed prediction reports back to its submitter.
@@ -139,6 +144,32 @@ class PredictionService {
   /// still see only fully published, versioned models.
   std::shared_ptr<const ModelSnapshot> snapshot() const {
     return slot_.load();
+  }
+
+  /// External snapshot publish — the fleet path: PredictionFleet trains
+  /// one central model and pushes frozen snapshots into every replica's
+  /// slot. Same strict monotonicity as the internal trainer (stale or
+  /// duplicate versions are rejected and reported false).
+  bool publish(std::shared_ptr<const ModelSnapshot> next) {
+    return slot_.publish(std::move(next));
+  }
+
+  /// Version of the serving snapshot (0 before the first publish); one
+  /// leg of the fleet watermark.
+  std::uint64_t snapshot_version() const { return slot_.version(); }
+
+  /// Requests queued but not yet claimed by a batch — the least-queued
+  /// router's load signal.
+  std::size_t queue_depth() const { return requests_.size(); }
+
+  /// Requests accepted but not yet answered (queued or mid-batch); the
+  /// drain barrier waits for this to hit zero. Monotonic counters make
+  /// the difference safe to read without a lock: it can transiently
+  /// overshoot but reads exactly zero only when truly idle.
+  std::uint64_t in_flight() const {
+    const std::uint64_t done = predicted_.load(std::memory_order_acquire);
+    const std::uint64_t in = accepted_.load(std::memory_order_acquire);
+    return in >= done ? in - done : 0;
   }
 
   ServiceStats stats() const;

@@ -13,12 +13,10 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::freeze(
 
 bool SnapshotSlot::publish(std::shared_ptr<const ModelSnapshot> next) {
   if (!next) return false;
-  {
-    core::MutexLock lock(mutex_);
-    if (snap_ && next->version <= snap_->version) return false;
-    snap_ = std::move(next);
-  }
-  swaps_.fetch_add(1, std::memory_order_relaxed);
+  core::MutexLock lock(mutex_);
+  if (snap_ && next->version <= snap_->version) return false;
+  snap_ = std::move(next);
+  ++swaps_;  // same critical section as the swap: info() is never torn
   return true;
 }
 

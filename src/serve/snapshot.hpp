@@ -20,7 +20,6 @@
 // lagging trainer can never roll the serving model backwards.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -60,21 +59,30 @@ class SnapshotSlot {
   bool publish(std::shared_ptr<const ModelSnapshot> next)
       GSIGHT_EXCLUDES(mutex_);
 
-  /// Version of the current snapshot (0 when empty).
-  std::uint64_t version() const {
-    const auto snap = load();
-    return snap ? snap->version : 0;
+  /// Coherent (version, swap count) pair, read in one critical section.
+  /// The swap counter used to live outside the lock and was bumped after
+  /// the pointer swap, so a concurrent reader (e.g. a bench reporter
+  /// polling stats mid-run) could observe the new version paired with the
+  /// old swap count — a torn pair, even though each half was atomic.
+  struct SlotInfo {
+    std::uint64_t version = 0;  ///< 0 when the slot is empty
+    std::uint64_t swaps = 0;    ///< successful publishes so far
+  };
+  SlotInfo info() const GSIGHT_EXCLUDES(mutex_) {
+    core::MutexLock lock(mutex_);
+    return {snap_ ? snap_->version : 0, swaps_};
   }
 
+  /// Version of the current snapshot (0 when empty).
+  std::uint64_t version() const { return info().version; }
+
   /// Successful publishes so far.
-  std::uint64_t swap_count() const {
-    return swaps_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t swap_count() const { return info().swaps; }
 
  private:
   mutable core::Mutex mutex_;
   std::shared_ptr<const ModelSnapshot> snap_ GSIGHT_GUARDED_BY(mutex_);
-  std::atomic<std::uint64_t> swaps_{0};
+  std::uint64_t swaps_ GSIGHT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace gsight::serve

@@ -43,9 +43,9 @@ ServiceConfig sync_config() {
   return cfg;
 }
 
-LoadDriverConfig open_loop_config() {
-  LoadDriverConfig cfg;
-  cfg.mode = LoadDriverConfig::Mode::kOpenLoop;
+DriverRequest open_loop_config() {
+  DriverRequest cfg;
+  cfg.mode = DriverRequest::Mode::kOpenLoop;
   cfg.requests = 600;
   cfg.rate_hz = 100'000.0;
   cfg.observe_every = 8;
@@ -164,8 +164,8 @@ TEST(ServeLoadDriverThreaded, OpenLoopCompletesEveryAcceptedRequest) {
 TEST(ServeLoadDriverThreaded, ClosedLoopCompletesRequestedCount) {
   PredictionService service(threaded_config(), warm_model(11, 64));
   service.start();
-  LoadDriverConfig lc;
-  lc.mode = LoadDriverConfig::Mode::kClosedLoop;
+  DriverRequest lc;
+  lc.mode = DriverRequest::Mode::kClosedLoop;
   lc.requests = 300;
   lc.clients = 4;
   lc.observe_every = 8;

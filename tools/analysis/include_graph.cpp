@@ -222,6 +222,17 @@ int include_graph_self_test() {
        {{"src/experimental/x.cpp", "#include \"serve/s.hpp\"\n"},
         {"src/serve/s.hpp", "#pragma once\n"}},
        nullptr},
+      {"serve reaches down to the obs live stream",
+       {{"src/serve/fleet.hpp",
+         "#pragma once\n#include \"obs/live_stream.hpp\"\n"
+         "#include \"obs/metrics.hpp\"\n"},
+        {"src/obs/live_stream.hpp", "#pragma once\n"},
+        {"src/obs/metrics.hpp", "#pragma once\n"}},
+       nullptr},
+      {"but obs must not reach back up into serve",
+       {{"src/obs/live_stream.cpp", "#include \"serve/fleet.hpp\"\n"},
+        {"src/serve/fleet.hpp", "#pragma once\n"}},
+       "layer-back-edge"},
   };
   int failures = 0;
   for (const auto& c : cases) {

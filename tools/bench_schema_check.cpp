@@ -7,9 +7,11 @@
 // Usage:
 //   bench_schema_check <report.json>...   validate each file; exit 1 on
 //                                         the first failure
+//   bench_schema_check --live <file>...   validate gsight-live/v1 NDJSON
+//                                         streams (serve-bench --live)
 //   bench_schema_check --self-test        run the built-in cases
 //
-// Schema requirements enforced:
+// Report schema requirements enforced:
 //   * top level is an object
 //   * "schema" == "gsight-bench-report/v1"
 //   * "bench" is a non-empty string
@@ -17,6 +19,15 @@
 //   * "results" is an array of objects, each with a non-empty string
 //     "name", a finite number "value", and (optionally) a string "unit"
 //   * "series" / "meta" / "metrics", when present, are object/object/array
+//
+// Live-stream (gsight-live/v1, src/obs/live_stream.hpp) requirements:
+//   * every line is one JSON object with a string "type" and an integer
+//     "seq" equal to its 0-based line index (strictly sequential)
+//   * line 0 is a "hello" record with "schema" == "gsight-live/v1"
+//   * "metric" records carry kind in {counter,gauge,histogram}, a
+//     non-empty "name", and finite "ts_s"/"value"/"delta"
+//   * "span" records carry a non-empty "name", a non-empty "ph", and a
+//     finite "ts_s"; "mark" records a non-empty "name" and finite "ts_s"
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -327,7 +338,102 @@ bool validate_text(const std::string& text, std::string* error) {
   }
 }
 
-int validate_file(const char* path) {
+// ---------------------------------------------------------------------------
+// gsight-live/v1 NDJSON streams
+// ---------------------------------------------------------------------------
+
+void check_finite_number(const Value& record, const char* field,
+                         const std::string& at) {
+  const Value* v = record.find(field);
+  check(v != nullptr && v->kind == Value::Kind::kNumber,
+        at + " missing numeric '" + field + "'");
+  check(std::isfinite(v->number),
+        at + " '" + std::string(field) + "' is not finite");
+}
+
+void check_nonempty_string(const Value& record, const char* field,
+                           const std::string& at) {
+  const Value* v = record.find(field);
+  check(v != nullptr && v->kind == Value::Kind::kString && !v->string.empty(),
+        at + " missing non-empty string '" + field + "'");
+}
+
+void validate_live_record(const Value& record, std::size_t index) {
+  const std::string at = "line " + std::to_string(index);
+  check(record.kind == Value::Kind::kObject, at + " is not an object");
+
+  const Value* type = record.find("type");
+  check(type != nullptr && type->kind == Value::Kind::kString,
+        at + " missing string field 'type'");
+
+  // seq is assigned under the sink's lock: strictly sequential from 0, so
+  // it must equal the line index — any gap means records were dropped.
+  const Value* seq = record.find("seq");
+  check(seq != nullptr && seq->kind == Value::Kind::kNumber,
+        at + " missing numeric field 'seq'");
+  check(seq->number == static_cast<double>(index),
+        at + " 'seq' is " + std::to_string(seq->number) +
+            ", expected the line index");
+
+  if (index == 0) {
+    check(type->string == "hello", "line 0 must be a 'hello' record");
+    const Value* schema = record.find("schema");
+    check(schema != nullptr && schema->kind == Value::Kind::kString,
+          "hello record missing string field 'schema'");
+    check(schema->string == "gsight-live/v1",
+          "unknown live schema '" + schema->string + "'");
+    check_nonempty_string(record, "source", at);
+    return;
+  }
+  check(type->string != "hello", at + " duplicate 'hello' record");
+
+  if (type->string == "metric") {
+    const Value* kind = record.find("kind");
+    check(kind != nullptr && kind->kind == Value::Kind::kString &&
+              (kind->string == "counter" || kind->string == "gauge" ||
+               kind->string == "histogram"),
+          at + " metric 'kind' must be counter/gauge/histogram");
+    check_nonempty_string(record, "name", at);
+    check_finite_number(record, "ts_s", at);
+    check_finite_number(record, "value", at);
+    check_finite_number(record, "delta", at);
+  } else if (type->string == "span") {
+    check_nonempty_string(record, "name", at);
+    check_nonempty_string(record, "ph", at);
+    check_finite_number(record, "ts_s", at);
+  } else if (type->string == "mark") {
+    check_nonempty_string(record, "name", at);
+    check_finite_number(record, "ts_s", at);
+  } else {
+    throw Failure{at + " unknown record type '" + type->string + "'"};
+  }
+}
+
+bool validate_live_text(const std::string& text, std::string* error) {
+  try {
+    std::size_t index = 0;
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string line = text.substr(start, end - start);
+      start = end + 1;
+      if (line.empty()) continue;
+      validate_live_record(Parser(line).parse(), index);
+      ++index;
+    }
+    check(index > 0, "empty stream (no records)");
+    return true;
+  } catch (const Failure& f) {
+    *error = f.what;
+    return false;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+}
+
+int validate_file(const char* path, bool live) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_schema_check: cannot open %s\n", path);
@@ -336,7 +442,9 @@ int validate_file(const char* path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   std::string error;
-  if (!validate_text(ss.str(), &error)) {
+  const bool ok = live ? validate_live_text(ss.str(), &error)
+                       : validate_text(ss.str(), &error);
+  if (!ok) {
     std::fprintf(stderr, "bench_schema_check: %s: %s\n", path, error.c_str());
     return 1;
   }
@@ -390,6 +498,79 @@ int self_test() {
        R"({"schema":"gsight-bench-report/v1","bench":"x")", false},
       {"not json at all", "hello", false},
   };
+  const Case live_cases[] = {
+      {"live minimal valid",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t"})"
+       "\n",
+       true},
+      {"live full valid",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t",)"
+       R"("meta":{"k":"v"}})"
+       "\n"
+       R"({"type":"metric","seq":1,"ts_s":0.5,"kind":"counter",)"
+       R"("name":"fleet.submitted","labels":"","value":3,"delta":3})"
+       "\n"
+       R"({"type":"span","seq":2,"ts_s":0.6,"ph":"X","name":"poll",)"
+       R"("cat":"serve","dur_s":0.01})"
+       "\n"
+       R"({"type":"mark","seq":3,"ts_s":0.7,"name":"fleet.drain",)"
+       R"("args":{"replica":"1"}})"
+       "\n",
+       true},
+      {"live empty stream", "", false},
+      {"live missing hello",
+       R"({"type":"mark","seq":0,"ts_s":0,"name":"x"})"
+       "\n",
+       false},
+      {"live wrong schema",
+       R"({"schema":"gsight-live/v9","type":"hello","seq":0,"source":"t"})"
+       "\n",
+       false},
+      {"live seq gap",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t"})"
+       "\n"
+       R"({"type":"mark","seq":2,"ts_s":0,"name":"x"})"
+       "\n",
+       false},
+      {"live duplicate hello",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t"})"
+       "\n"
+       R"({"schema":"gsight-live/v1","type":"hello","seq":1,"source":"t"})"
+       "\n",
+       false},
+      {"live bad metric kind",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t"})"
+       "\n"
+       R"({"type":"metric","seq":1,"ts_s":0,"kind":"meter","name":"m",)"
+       R"("value":1,"delta":1})"
+       "\n",
+       false},
+      {"live metric missing delta",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t"})"
+       "\n"
+       R"({"type":"metric","seq":1,"ts_s":0,"kind":"gauge","name":"m",)"
+       R"("value":1})"
+       "\n",
+       false},
+      {"live non-finite ts",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t"})"
+       "\n"
+       R"({"type":"mark","seq":1,"ts_s":null,"name":"x"})"
+       "\n",
+       false},
+      {"live span without ph",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t"})"
+       "\n"
+       R"({"type":"span","seq":1,"ts_s":0,"name":"x"})"
+       "\n",
+       false},
+      {"live unknown type",
+       R"({"schema":"gsight-live/v1","type":"hello","seq":0,"source":"t"})"
+       "\n"
+       R"({"type":"blob","seq":1,"ts_s":0,"name":"x"})"
+       "\n",
+       false},
+  };
   int failures = 0;
   for (const auto& c : cases) {
     std::string error;
@@ -402,9 +583,22 @@ int self_test() {
       ++failures;
     }
   }
+  for (const auto& c : live_cases) {
+    std::string error;
+    const bool ok = validate_live_text(c.text, &error);
+    if (ok != c.ok) {
+      std::fprintf(stderr, "self-test FAIL: %s (expected %s, got %s%s%s)\n",
+                   c.name, c.ok ? "valid" : "invalid",
+                   ok ? "valid" : "invalid", ok ? "" : ": ",
+                   ok ? "" : error.c_str());
+      ++failures;
+    }
+  }
   if (failures == 0) {
-    std::printf("bench_schema_check self-test: all %zu cases passed\n",
-                sizeof(cases) / sizeof(cases[0]));
+    std::printf(
+        "bench_schema_check self-test: all %zu cases passed\n",
+        sizeof(cases) / sizeof(cases[0]) +
+            sizeof(live_cases) / sizeof(live_cases[0]));
   }
   return failures == 0 ? 0 : 1;
 }
@@ -414,13 +608,25 @@ int self_test() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: bench_schema_check <report.json>... | --self-test\n");
+                 "usage: bench_schema_check <report.json>... | "
+                 "--live <stream.ndjson>... | --self-test\n");
     return 2;
   }
   if (std::strcmp(argv[1], "--self-test") == 0) return self_test();
+  bool live = false;
   int rc = 0;
+  int files = 0;
   for (int i = 1; i < argc; ++i) {
-    rc |= validate_file(argv[i]);
+    if (std::strcmp(argv[i], "--live") == 0) {
+      live = true;
+      continue;
+    }
+    rc |= validate_file(argv[i], live);
+    ++files;
+  }
+  if (files == 0) {
+    std::fprintf(stderr, "bench_schema_check: no input files\n");
+    return 2;
   }
   return rc;
 }

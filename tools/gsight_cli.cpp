@@ -15,7 +15,13 @@
 //                                       (micro-batching + hot swap) under
 //                                       synthetic load; emits
 //                                       BENCH_serve.json. --threads 0 runs
-//                                       the deterministic synchronous twin
+//                                       the deterministic synchronous twin.
+//                                       --fleet N drives a routed
+//                                       PredictionFleet instead (emits
+//                                       BENCH_serve_fleet.json) and --live
+//                                       streams gsight-live/v1 NDJSON
+//   gsight tail <file> [--follow]       pretty-print a gsight-live/v1
+//                                       NDJSON stream (the --live output)
 //   gsight demo                         30-second end-to-end tour
 //
 // Everything runs on the simulator; profiles/models persist via the text
@@ -25,14 +31,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/campaign.hpp"
 #include "core/predictor.hpp"
 #include "core/trainer.hpp"
 #include "ml/forest_io.hpp"
+#include "obs/live_stream.hpp"
 #include "obs/run_report.hpp"
 #include "profiling/profile_io.hpp"
+#include "serve/fleet.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/service.hpp"
 #include "sim/sharded_engine.hpp"
@@ -64,6 +76,13 @@ int usage() {
                "                  [--queue N] [--warm N] [--observe-every N]\n"
                "                  [--mode open|closed] [--clients N]\n"
                "                  [--seed S] [--out DIR]\n"
+               "  gsight serve-bench --fleet N [--router hash|least]\n"
+               "                  [--vnodes N] [--drain R@D[:A]]...\n"
+               "                  [--live FILE] [--live-every N]\n"
+               "                  (+ the single-service flags above; drains\n"
+               "                  a replica before request D, re-adds it\n"
+               "                  before request A)\n"
+               "  gsight tail <file> [--follow]\n"
                "  gsight demo\n");
   return 2;
 }
@@ -430,19 +449,173 @@ int cmd_campaign(int argc, char** argv) {
   return 0;
 }
 
+/// Parse one --drain spec "R@D" or "R@D:A" (drain replica R before
+/// request D, re-add before request A). Returns false on syntax error.
+bool parse_drain_spec(const char* spec, serve::DrainStep* step) {
+  char* end = nullptr;
+  step->replica = std::strtoul(spec, &end, 10);
+  if (end == spec || *end != '@') return false;
+  const char* p = end + 1;
+  step->drain_at = std::strtoul(p, &end, 10);
+  if (end == p) return false;
+  step->readd_at = 0;
+  if (*end == ':') {
+    p = end + 1;
+    step->readd_at = std::strtoul(p, &end, 10);
+    if (end == p) return false;
+  }
+  return *end == '\0';
+}
+
+/// Fleet variant of serve-bench: N replicas behind a Router, central
+/// training with fan-out publishing, an optional mid-run drain schedule
+/// and an optional gsight-live/v1 NDJSON stream. Emits
+/// BENCH_serve_fleet.json; the conservation fields (lost must be 0) and
+/// the live stream are what check.sh's fleet twin-run stage compares.
+int cmd_serve_fleet(serve::FleetRequest fr, serve::DriverRequest lc,
+                    std::size_t warm_rows, const std::string& out_dir,
+                    const std::string& live_path) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ml::IncrementalForest model(core::deployed_irfr_config(), lc.seed);
+  if (warm_rows > 0) {
+    stats::Rng rng(lc.seed ^ 0x5EEDF00DULL);
+    ml::Dataset warm(fr.service.feature_dim);
+    std::vector<double> row(fr.service.feature_dim);
+    for (std::size_t i = 0; i < warm_rows; ++i) {
+      for (auto& v : row) v = rng.uniform();
+      warm.add(row, serve::LoadDriver::label_of(row));
+    }
+    model.partial_fit(warm);
+  }
+
+  serve::PredictionFleet fleet(fr, std::move(model));
+
+  std::ofstream live_os;
+  std::unique_ptr<obs::LiveStreamSink> sink;
+  if (!live_path.empty()) {
+    live_os.open(live_path);
+    if (!live_os) {
+      std::fprintf(stderr, "error: cannot write %s\n", live_path.c_str());
+      return 1;
+    }
+    sink = std::make_unique<obs::LiveStreamSink>(live_os);
+    sink->hello("serve-bench",
+                {{"replicas", std::to_string(fr.replicas)},
+                 {"router", serve::router_policy_name(fr.router)},
+                 {"worker_threads", std::to_string(fr.service.worker_threads)},
+                 {"requests", std::to_string(lc.requests)},
+                 {"seed", std::to_string(lc.seed)}});
+    fleet.set_live_sink(sink.get());
+    if (lc.live_every == 0) lc.live_every = 256;
+  }
+
+  serve::LoadDriver driver(lc);
+  serve::LoadOutcome outcome;
+  fleet.start();
+  if (fr.service.worker_threads == 0) {
+    outcome = driver.run_deterministic(fleet);
+  } else {
+    outcome = driver.run_threaded(fleet);
+  }
+  fleet.stop();
+  const serve::FleetStats fs = fleet.stats();
+
+  obs::RunReport report("serve_fleet");
+  report.add_result("requests", static_cast<double>(outcome.submitted));
+  report.add_result("completed", static_cast<double>(outcome.completed));
+  report.add_result("shed", static_cast<double>(outcome.shed));
+  // Conservation across routing, shedding and any mid-run re-shard:
+  // every submission either completed or was shed, exactly once. The
+  // fleet twin-run gate asserts this is 0.
+  report.add_result("lost",
+                    static_cast<double>(outcome.submitted - outcome.completed -
+                                        outcome.shed));
+  report.add_result("throughput", outcome.throughput_rps, "req/s");
+  report.add_result("latency_p50", outcome.latency_p50_us, "us");
+  report.add_result("latency_p95", outcome.latency_p95_us, "us");
+  report.add_result("latency_p99", outcome.latency_p99_us, "us");
+  report.add_result("latency_mean", outcome.latency_mean_us, "us");
+  report.add_result("latency_max", outcome.latency_max_us, "us");
+  report.add_result("train_rounds", static_cast<double>(fs.train_rounds));
+  report.add_result("publishes", static_cast<double>(fs.publishes));
+  report.add_result("latest_version", static_cast<double>(fs.latest_version));
+  report.add_result("watermark", static_cast<double>(fs.watermark));
+  report.add_result("stale_replicas", static_cast<double>(fs.stale_replicas));
+  report.add_result("active_replicas",
+                    static_cast<double>(fs.active_replicas));
+  report.add_result("drains", static_cast<double>(fs.drains));
+  report.add_result("readds", static_cast<double>(fs.readds));
+  obs::Json routed = obs::Json::array();
+  for (std::uint64_t c : fs.routed) routed.push_back(static_cast<double>(c));
+  report.add_series("replica_routed", std::move(routed));
+  obs::Json versions = obs::Json::array();
+  for (std::uint64_t v : fs.replica_versions) {
+    versions.push_back(static_cast<double>(v));
+  }
+  report.add_series("replica_versions", std::move(versions));
+  obs::MetricsRegistry registry;
+  fleet.export_metrics(registry);
+  report.attach_metrics(registry);
+  report.set_meta("mode", lc.mode == serve::DriverRequest::Mode::kOpenLoop
+                              ? "open"
+                              : "closed");
+  report.set_meta("replicas", std::to_string(fr.replicas));
+  report.set_meta("router", serve::router_policy_name(fr.router));
+  report.set_meta("worker_threads",
+                  std::to_string(fr.service.worker_threads));
+  report.set_meta("feature_dim", std::to_string(fr.service.feature_dim));
+  report.set_meta("seed", std::to_string(lc.seed));
+  report.set_wall_time_s(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+
+  const std::string path = report.write(out_dir);
+  if (path.empty()) {
+    std::fprintf(stderr, "error: cannot write report to %s\n",
+                 out_dir.c_str());
+    return 1;
+  }
+  std::printf(
+      "serve-fleet: %zu replicas (%s), %zu requests (%zu completed, %zu "
+      "shed, %zu lost), %.0f req/s, p50/p95/p99 %.1f/%.1f/%.1f us, "
+      "watermark v%llu (latest v%llu, %zu stale), %llu drains / %llu "
+      "re-adds\nreport -> %s\n",
+      fr.replicas, serve::router_policy_name(fr.router), outcome.submitted,
+      outcome.completed, outcome.shed,
+      outcome.submitted - outcome.completed - outcome.shed,
+      outcome.throughput_rps, outcome.latency_p50_us, outcome.latency_p95_us,
+      outcome.latency_p99_us,
+      static_cast<unsigned long long>(fs.watermark),
+      static_cast<unsigned long long>(fs.latest_version), fs.stale_replicas,
+      static_cast<unsigned long long>(fs.drains),
+      static_cast<unsigned long long>(fs.readds), path.c_str());
+  if (sink) {
+    std::printf("live stream -> %s (%llu records)\n", live_path.c_str(),
+                static_cast<unsigned long long>(sink->records()));
+  }
+  return 0;
+}
+
 // Online serving bench: drive serve::PredictionService with synthetic
 // Poisson load and emit BENCH_serve.json. With --threads 0 the whole run
 // is synchronous on a virtual clock: two invocations with the same
 // arguments produce byte-identical reports modulo "wall_time_s" (the
 // determinism gate in scripts/check.sh). Table-4 scale is the default
 // geometry: 2580-dim overlap codes through the 80-tree deployed IRFR.
+// --fleet N hands off to cmd_serve_fleet (same flags + the fleet ones).
 int cmd_serve_bench(int argc, char** argv) {
   serve::ServiceConfig sc;
   sc.feature_dim = 2580;
   sc.worker_threads = 2;
-  serve::LoadDriverConfig lc;
+  serve::DriverRequest lc;
   std::size_t warm_rows = 256;
   std::string out_dir = ".";
+  std::size_t fleet = 0;
+  serve::RouterPolicy router = serve::RouterPolicy::kConsistentHash;
+  std::size_t vnodes = 64;
+  std::vector<serve::DrainStep> drains;
+  std::string live_path;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -477,9 +650,9 @@ int cmd_serve_bench(int argc, char** argv) {
     } else if (arg == "--mode" && value != nullptr) {
       const std::string v = value;
       if (v == "open") {
-        lc.mode = serve::LoadDriverConfig::Mode::kOpenLoop;
+        lc.mode = serve::DriverRequest::Mode::kOpenLoop;
       } else if (v == "closed") {
-        lc.mode = serve::LoadDriverConfig::Mode::kClosedLoop;
+        lc.mode = serve::DriverRequest::Mode::kClosedLoop;
       } else {
         return usage();
       }
@@ -493,9 +666,51 @@ int cmd_serve_bench(int argc, char** argv) {
     } else if (arg == "--out" && value != nullptr) {
       out_dir = value;
       ++i;
+    } else if (arg == "--fleet" && value != nullptr) {
+      fleet = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--router" && value != nullptr) {
+      const auto parsed = serve::parse_router_policy(value);
+      if (!parsed) return usage();
+      router = *parsed;
+      ++i;
+    } else if (arg == "--vnodes" && value != nullptr) {
+      vnodes = std::strtoul(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--drain" && value != nullptr) {
+      serve::DrainStep step;
+      if (!parse_drain_spec(value, &step)) {
+        std::fprintf(stderr, "error: bad --drain spec '%s' (want R@D[:A])\n",
+                     value);
+        return usage();
+      }
+      drains.push_back(step);
+      ++i;
+    } else if (arg == "--live" && value != nullptr) {
+      live_path = value;
+      ++i;
+    } else if (arg == "--live-every" && value != nullptr) {
+      lc.live_every = std::strtoul(value, nullptr, 10);
+      ++i;
     } else {
       return usage();
     }
+  }
+
+  if (fleet > 0) {
+    serve::FleetRequest fr;
+    fr.replicas = fleet;
+    fr.router = router;
+    fr.vnodes_per_replica = vnodes;
+    fr.service = sc;
+    fr.drains = std::move(drains);
+    return cmd_serve_fleet(std::move(fr), lc, warm_rows, out_dir, live_path);
+  }
+  if (!drains.empty() || !live_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --drain/--live need --fleet N (single-service "
+                 "serve-bench has no router or live stream)\n");
+    return usage();
   }
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -566,7 +781,7 @@ int cmd_serve_bench(int argc, char** argv) {
   obs::MetricsRegistry registry;
   service.export_metrics(registry);
   report.attach_metrics(registry);
-  report.set_meta("mode", lc.mode == serve::LoadDriverConfig::Mode::kOpenLoop
+  report.set_meta("mode", lc.mode == serve::DriverRequest::Mode::kOpenLoop
                               ? "open"
                               : "closed");
   report.set_meta("worker_threads", std::to_string(sc.worker_threads));
@@ -597,6 +812,104 @@ int cmd_serve_bench(int argc, char** argv) {
   return 0;
 }
 
+/// Pretty-print one parsed gsight-live/v1 record. Unknown record types
+/// fall back to compact JSON so the tool never hides stream content.
+void print_live_record(const obs::Json& record) {
+  const auto* type = record.find("type");
+  const auto* ts = record.find("ts_s");
+  const double t = ts != nullptr ? ts->number() : 0.0;
+  const std::string kind = type != nullptr ? type->string() : "";
+  if (kind == "hello") {
+    const auto* schema = record.find("schema");
+    const auto* source = record.find("source");
+    std::printf("hello %s from %s",
+                schema != nullptr ? schema->string().c_str() : "?",
+                source != nullptr ? source->string().c_str() : "?");
+    if (const auto* meta = record.find("meta"); meta != nullptr) {
+      for (const auto& [k, v] : meta->members()) {
+        std::printf("  %s=%s", k.c_str(), v.string().c_str());
+      }
+    }
+    std::printf("\n");
+    return;
+  }
+  if (kind == "metric") {
+    const auto* name = record.find("name");
+    const auto* labels = record.find("labels");
+    const auto* value = record.find("value");
+    const auto* delta = record.find("delta");
+    std::printf("%10.6fs  metric  %-28s%s%s  %.6g (%+.6g)\n", t,
+                name != nullptr ? name->string().c_str() : "?",
+                labels != nullptr && !labels->string().empty() ? "  " : "",
+                labels != nullptr ? labels->string().c_str() : "",
+                value != nullptr ? value->number() : 0.0,
+                delta != nullptr ? delta->number() : 0.0);
+    return;
+  }
+  if (kind == "mark" || kind == "span") {
+    const auto* name = record.find("name");
+    std::printf("%10.6fs  %-6s  %-28s", t, kind.c_str(),
+                name != nullptr ? name->string().c_str() : "?");
+    if (const auto* dur = record.find("dur_s"); dur != nullptr) {
+      std::printf("  dur %.6gs", dur->number());
+    }
+    if (const auto* args = record.find("args"); args != nullptr) {
+      for (const auto& [k, v] : args->members()) {
+        if (v.kind() == obs::Json::Kind::kString) {
+          std::printf("  %s=%s", k.c_str(), v.string().c_str());
+        } else {
+          std::printf("  %s=%.6g", k.c_str(), v.number());
+        }
+      }
+    }
+    std::printf("\n");
+    return;
+  }
+  std::printf("%s\n", record.dump_string(0).c_str());
+}
+
+// `gsight tail FILE [--follow]` — human-readable view of a gsight-live/v1
+// NDJSON stream (serve-bench --live writes one). --follow keeps the file
+// open and prints records as the producer appends them, tail -f style.
+int cmd_tail(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string path = argv[0];
+  bool follow = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--follow") == 0) {
+      follow = true;
+    } else {
+      return usage();
+    }
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (true) {
+    if (!std::getline(in, line)) {
+      if (!follow) break;
+      in.clear();  // EOF is transient while the producer is still writing
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      continue;
+    }
+    ++line_no;
+    if (line.empty()) continue;
+    std::string error;
+    const auto record = obs::parse_live_line(line, &error);
+    if (!record) {
+      std::fprintf(stderr, "%s:%llu: bad record: %s\n", path.c_str(),
+                   static_cast<unsigned long long>(line_no), error.c_str());
+      continue;
+    }
+    print_live_record(*record);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -609,6 +922,7 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(argc - 2, argv + 2);
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
+    if (cmd == "tail") return cmd_tail(argc - 2, argv + 2);
     if (cmd == "demo") return cmd_demo();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
