@@ -4,8 +4,8 @@
 #   2. clang-tidy over src/ with -warnings-as-errors='*' (skipped with a
 #      notice when not installed)
 #   2b. gsight_analyze: seeded-violation self-tests for every pass, then
-#      the full-tree run (layering, determinism, lock-discipline) which
-#      must come back clean
+#      the full-tree run (layering, determinism, lock-discipline,
+#      hot-alloc) which must come back clean
 #   2c. clang -Wthread-safety build (-DGSIGHT_THREAD_SAFETY=ON with
 #      -Werror=thread-safety; skipped with a notice when clang++ is not
 #      installed)
@@ -15,8 +15,14 @@
 #   5. bench smoke: run bench_micro with RunReport enabled and validate
 #      the emitted BENCH_micro.json with tools/bench_schema_check
 #   5b. model kernels: legacy-vs-columnar forest train and predict
-#      benchmarks plus the serving-layer inference kernels under
-#      GSIGHT_THREADS=1, schema-checked like any bench
+#      benchmarks, the SIMD-blocked traversal variants
+#      (BM_ForestPredictSimd*), and the serving-layer inference kernels
+#      under GSIGHT_THREADS=1, schema-checked like any bench; prints the
+#      batched-vs-legacy inference speedup from the RunReport
+#   5c. forest-inference perf guard: fresh BM_ForestPredictBatched vs the
+#      committed bench/BENCH_micro_baseline.json — fails when the fresh
+#      time is > 1.25x the committed baseline (skips with a notice when
+#      the baseline file is absent)
 #   6. campaign-equivalence: `gsight campaign` serial vs parallel sample
 #      dumps must be byte-identical (the determinism contract of
 #      core::CampaignRunner, DESIGN.md §9)
@@ -165,10 +171,51 @@ KERNEL_DIR="$BENCH_DIR/model-kernels"
 rm -rf "$KERNEL_DIR" && mkdir -p "$KERNEL_DIR"
 GSIGHT_THREADS=1 GSIGHT_BENCH_DIR="$KERNEL_DIR" "$BENCH_DIR/bench/bench_micro" \
   --benchmark_min_time=0.01 \
-  --benchmark_filter='BM_ForestTrain|BM_ForestPredict(Legacy|Singles|Batched)|BM_ServePredict|BM_ServeFleetRouted'
+  --benchmark_filter='BM_ForestTrain|BM_ForestPredict(Legacy|Singles|Batched)|BM_ForestPredictSimd(Scalar|Blocked|Gather)|BM_ServePredict|BM_ServeFleetRouted'
 [[ -f "$KERNEL_DIR/BENCH_micro.json" ]] \
   || { echo "model kernels: BENCH_micro.json was not written"; exit 1; }
 "$BENCH_DIR/tools/bench_schema_check" "$KERNEL_DIR/BENCH_micro.json"
+# RunReport delta: the blocked batched path against the legacy walker.
+# Informational (the hard floor is stage 5c's committed baseline), but a
+# missing entry means the bench filter above silently rotted — fail that.
+report_value() {
+  grep -A1 "\"name\": \"$2\"" "$1" | grep '"value"' \
+    | grep -o '[0-9][0-9.eE+-]*' | head -n 1
+}
+legacy_us=$(report_value "$KERNEL_DIR/BENCH_micro.json" BM_ForestPredictLegacy)
+batched_us=$(report_value "$KERNEL_DIR/BENCH_micro.json" BM_ForestPredictBatched)
+[[ -n "$legacy_us" && -n "$batched_us" ]] \
+  || { echo "model kernels: legacy/batched entries missing from RunReport"; exit 1; }
+awk -v l="$legacy_us" -v b="$batched_us" \
+  'BEGIN { printf "forest inference: legacy %.1f us -> batched %.1f us (%.2fx)\n", l, b, l / b }'
+
+# --- 5c. Forest-inference perf guard ----------------------------------------
+# The batched forest traversal is the scheduler's per-placement cost; a
+# regression here silently stretches every SLA sweep. The committed
+# baseline (bench/BENCH_micro_baseline.json, regenerated with
+# scripts/update_bench_baseline.sh when a deliberate change moves the
+# number) is a hard floor: fresh time > 1.25x baseline fails the gate.
+# The 25% headroom absorbs machine-to-machine noise, not regressions.
+banner "forest-inference perf guard: fresh vs committed baseline"
+BASELINE="$ROOT/bench/BENCH_micro_baseline.json"
+if [[ -f "$BASELINE" ]]; then
+  GUARD_DIR="$BENCH_DIR/perf-guard"
+  rm -rf "$GUARD_DIR" && mkdir -p "$GUARD_DIR"
+  GSIGHT_THREADS=1 GSIGHT_BENCH_DIR="$GUARD_DIR" "$BENCH_DIR/bench/bench_micro" \
+    --benchmark_min_time=0.05 \
+    --benchmark_filter='BM_ForestPredictBatched$' > /dev/null
+  fresh_us=$(report_value "$GUARD_DIR/BENCH_micro.json" BM_ForestPredictBatched)
+  base_us=$(report_value "$BASELINE" BM_ForestPredictBatched)
+  [[ -n "$fresh_us" && -n "$base_us" ]] \
+    || { echo "perf guard: BM_ForestPredictBatched missing from report or baseline"; exit 1; }
+  awk -v f="$fresh_us" -v b="$base_us" 'BEGIN {
+    ratio = f / b
+    printf "BM_ForestPredictBatched: fresh %.1f us vs baseline %.1f us (%.2fx)\n", f, b, ratio
+    exit (ratio <= 1.25 ? 0 : 1)
+  }' || { echo "perf guard: batched forest inference regressed > 1.25x"; exit 1; }
+else
+  echo "bench/BENCH_micro_baseline.json not committed; skipping perf guard"
+fi
 
 # --- 6. Campaign equivalence -----------------------------------------------
 banner "campaign-equivalence: serial vs parallel sample streams"

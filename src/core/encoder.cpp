@@ -1,7 +1,7 @@
 #include "core/encoder.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <array>
 #include <numeric>
 #include <stdexcept>
 
@@ -15,9 +15,12 @@ std::size_t Encoder::dimension() const {
 
 namespace {
 
-// Monolithic-ablation helper: average non-empty rows into row 0.
-void collapse_rows(std::vector<double>& m, std::size_t servers) {
-  std::vector<double> agg(kCodeWidth, 0.0);
+// Monolithic-ablation helper: average non-empty rows into row 0,
+// operating in place on a matrix slice of the output row. The kCodeWidth
+// accumulator lives on the stack, keeping the ablation allocation-free
+// too.
+void collapse_rows(std::span<double> m, std::size_t servers) {
+  std::array<double, kCodeWidth> agg{};
   std::size_t nonzero = 0;
   for (std::size_t srv = 0; srv < servers; ++srv) {
     bool any = false;
@@ -48,7 +51,8 @@ double row_mass(const std::vector<double>& m, std::size_t srv) {
 
 }  // namespace
 
-std::vector<double> Encoder::encode(const Scenario& scenario) const {
+void Encoder::encode_into(const Scenario& scenario, EncodeScratch& scratch,
+                          std::span<double> out) const {
   scenario.validate();
   if (scenario.workloads.size() > config_.max_workloads) {
     throw std::invalid_argument("Encoder: scenario exceeds workload slots");
@@ -56,32 +60,42 @@ std::vector<double> Encoder::encode(const Scenario& scenario) const {
   if (scenario.servers != config_.servers) {
     throw std::invalid_argument("Encoder: scenario server count mismatch");
   }
+  if (out.size() != dimension()) {
+    throw std::invalid_argument("Encoder: output span size mismatch");
+  }
   const std::size_t n = config_.max_workloads;
   const std::size_t s = config_.servers;
   const std::size_t live = scenario.workloads.size();
 
-  // Precompute every live workload's R and U matrices.
-  std::vector<std::vector<double>> r_codes(live), u_codes(live);
+  // Precompute every live workload's R and U matrices into the scratch
+  // buffers (shrinking resizes keep dead slots' capacity around).
+  scratch.r_codes.resize(live);
+  scratch.u_codes.resize(live);
   for (std::size_t w = 0; w < live; ++w) {
-    r_codes[w] = allocation_code(scenario.workloads[w], s);
-    u_codes[w] = utilization_code(scenario.workloads[w], s);
+    allocation_code_into(scenario.workloads[w], s, scratch.r_codes[w],
+                         scratch.fn_count);
+    utilization_code_into(scenario.workloads[w], s, scratch.u_codes[w],
+                          scratch.fn_count);
   }
 
   // Canonical server order: rows the target occupies first (heaviest
   // first), then rows only corunners occupy (heaviest first), then empty
   // rows. Applied consistently to every matrix so colocation structure
   // ("same row" relations) is preserved exactly.
-  std::vector<std::size_t> order(s);
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  scratch.order.resize(s);
+  std::iota(scratch.order.begin(), scratch.order.end(), std::size_t{0});
   if (config_.canonical_server_order && live > 0) {
-    std::vector<double> target_mass(s, 0.0), total_mass(s, 0.0);
+    scratch.target_mass.assign(s, 0.0);
+    scratch.total_mass.assign(s, 0.0);
     for (std::size_t srv = 0; srv < s; ++srv) {
-      target_mass[srv] = row_mass(u_codes[0], srv);
+      scratch.target_mass[srv] = row_mass(scratch.u_codes[0], srv);
       for (std::size_t w = 0; w < live; ++w) {
-        total_mass[srv] += row_mass(u_codes[w], srv);
+        scratch.total_mass[srv] += row_mass(scratch.u_codes[w], srv);
       }
     }
-    std::stable_sort(order.begin(), order.end(),
+    const auto& target_mass = scratch.target_mass;
+    const auto& total_mass = scratch.total_mass;
+    std::stable_sort(scratch.order.begin(), scratch.order.end(),
                      [&](std::size_t a, std::size_t b) {
                        const bool ta = target_mass[a] > 0.0;
                        const bool tb = target_mass[b] > 0.0;
@@ -92,45 +106,45 @@ std::vector<double> Encoder::encode(const Scenario& scenario) const {
                        return total_mass[a] > total_mass[b];
                      });
   }
-  auto permuted = [&](const std::vector<double>& m) {
-    std::vector<double> out(s * kCodeWidth, 0.0);
-    for (std::size_t row = 0; row < s; ++row) {
-      const std::size_t src = order[row];
-      std::copy_n(m.begin() + static_cast<std::ptrdiff_t>(src * kCodeWidth),
-                  kCodeWidth,
-                  out.begin() + static_cast<std::ptrdiff_t>(row * kCodeWidth));
-    }
-    return out;
-  };
 
-  std::vector<double> out;
-  out.reserve(dimension());
-  for (std::size_t slot = 0; slot < n; ++slot) {
-    if (slot < live) {
-      auto r = permuted(r_codes[slot]);
-      auto u = permuted(u_codes[slot]);
-      if (!config_.spatial_coding) {
-        collapse_rows(r, s);
-        collapse_rows(u, s);
-      }
-      out.insert(out.end(), r.begin(), r.end());
-      out.insert(out.end(), u.begin(), u.end());
-    } else {
-      out.insert(out.end(), 2 * s * kCodeWidth, 0.0);
+  // Permute each live matrix directly into its slice of the output row
+  // — no intermediate per-matrix buffers.
+  std::fill(out.begin(), out.end(), 0.0);
+  const std::size_t matrix_len = s * kCodeWidth;
+  auto permute_into = [&](const std::vector<double>& m, std::span<double> dst) {
+    for (std::size_t row = 0; row < s; ++row) {
+      const std::size_t src = scratch.order[row];
+      std::copy_n(m.begin() + static_cast<std::ptrdiff_t>(src * kCodeWidth),
+                  kCodeWidth, dst.begin() + static_cast<std::ptrdiff_t>(
+                                  row * kCodeWidth));
+    }
+  };
+  for (std::size_t slot = 0; slot < live; ++slot) {
+    const auto r_dst = out.subspan(slot * 2 * matrix_len, matrix_len);
+    const auto u_dst = out.subspan(slot * 2 * matrix_len + matrix_len,
+                                   matrix_len);
+    permute_into(scratch.r_codes[slot], r_dst);
+    permute_into(scratch.u_codes[slot], u_dst);
+    if (!config_.spatial_coding) {
+      collapse_rows(r_dst, s);
+      collapse_rows(u_dst, s);
     }
   }
-  // Temporal overlap codes: D then T, one entry per slot.
-  for (std::size_t slot = 0; slot < n; ++slot) {
-    out.push_back(slot < live && config_.temporal_coding
-                      ? scenario.workloads[slot].start_delay_s
-                      : 0.0);
+  // Temporal overlap codes: D then T, one entry per slot (already zeroed
+  // for dead slots and the temporal ablation).
+  if (config_.temporal_coding) {
+    const std::size_t temporal = 2 * n * matrix_len;
+    for (std::size_t slot = 0; slot < live; ++slot) {
+      out[temporal + slot] = scenario.workloads[slot].start_delay_s;
+      out[temporal + n + slot] = scenario.workloads[slot].lifetime_s;
+    }
   }
-  for (std::size_t slot = 0; slot < n; ++slot) {
-    out.push_back(slot < live && config_.temporal_coding
-                      ? scenario.workloads[slot].lifetime_s
-                      : 0.0);
-  }
-  assert(out.size() == dimension());
+}
+
+std::vector<double> Encoder::encode(const Scenario& scenario) const {
+  EncodeScratch scratch;
+  std::vector<double> out(dimension(), 0.0);
+  encode_into(scenario, scratch, out);
   return out;
 }
 

@@ -10,9 +10,22 @@
 // coding zeroes D and T.
 #pragma once
 
+#include <span>
+
 #include "core/overlap_coding.hpp"
 
 namespace gsight::core {
+
+/// Reusable buffers for Encoder::encode_into. After the first few calls
+/// every vector has reached its steady-state capacity and encoding a
+/// scenario allocates nothing. One scratch per caller (not shared across
+/// threads); callers that only use encode() never see it.
+struct EncodeScratch {
+  std::vector<std::vector<double>> r_codes, u_codes;
+  std::vector<std::size_t> fn_count;
+  std::vector<std::size_t> order;
+  std::vector<double> target_mass, total_mass;
+};
 
 struct EncoderConfig {
   std::size_t max_workloads = 10;  ///< n — slots, zero-padded
@@ -37,6 +50,12 @@ class Encoder {
   /// Encode a validated scenario (throws std::invalid_argument if it has
   /// more workloads than slots or fails validation).
   std::vector<double> encode(const Scenario& scenario) const;
+  /// Zero-copy variant: write the code straight into `out` (which must
+  /// be exactly dimension() long — typically a row of a reused scratch
+  /// Matrix), recycling `scratch` buffers. Bit-identical to encode(),
+  /// which delegates here.
+  void encode_into(const Scenario& scenario, EncodeScratch& scratch,
+                   std::span<double> out) const;
 
   const EncoderConfig& config() const { return config_; }
 

@@ -25,10 +25,11 @@ void Scenario::validate() const {
   }
 }
 
-std::vector<double> utilization_code(const WorkloadDeployment& w,
-                                     std::size_t servers) {
-  std::vector<double> code(servers * kCodeWidth, 0.0);
-  std::vector<std::size_t> count(servers, 0);
+void utilization_code_into(const WorkloadDeployment& w, std::size_t servers,
+                           std::vector<double>& code,
+                           std::vector<std::size_t>& count) {
+  code.assign(servers * kCodeWidth, 0.0);
+  count.assign(servers, 0);
   for (std::size_t fn = 0; fn < w.fn_to_server.size(); ++fn) {
     const std::size_t srv = w.fn_to_server[fn];
     const auto sel = prof::select(w.profile->functions[fn].metrics);
@@ -46,6 +47,13 @@ std::vector<double> utilization_code(const WorkloadDeployment& w,
       }
     }
   }
+}
+
+std::vector<double> utilization_code(const WorkloadDeployment& w,
+                                     std::size_t servers) {
+  std::vector<double> code;
+  std::vector<std::size_t> count;
+  utilization_code_into(w, servers, code, count);
   return code;
 }
 
@@ -71,10 +79,11 @@ std::array<double, kCodeWidth> allocation_row(const prof::FunctionProfile& p) {
 
 }  // namespace
 
-std::vector<double> allocation_code(const WorkloadDeployment& w,
-                                    std::size_t servers) {
-  std::vector<double> code(servers * kCodeWidth, 0.0);
-  std::vector<std::size_t> count(servers, 0);
+void allocation_code_into(const WorkloadDeployment& w, std::size_t servers,
+                          std::vector<double>& code,
+                          std::vector<std::size_t>& count) {
+  code.assign(servers * kCodeWidth, 0.0);
+  count.assign(servers, 0);
   for (std::size_t fn = 0; fn < w.fn_to_server.size(); ++fn) {
     const std::size_t srv = w.fn_to_server[fn];
     const auto row = allocation_row(w.profile->functions[fn]);
@@ -91,6 +100,13 @@ std::vector<double> allocation_code(const WorkloadDeployment& w,
       }
     }
   }
+}
+
+std::vector<double> allocation_code(const WorkloadDeployment& w,
+                                    std::size_t servers) {
+  std::vector<double> code;
+  std::vector<std::size_t> count;
+  allocation_code_into(w, servers, code, count);
   return code;
 }
 

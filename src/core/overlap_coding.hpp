@@ -54,4 +54,15 @@ std::vector<double> utilization_code(const WorkloadDeployment& w,
 std::vector<double> allocation_code(const WorkloadDeployment& w,
                                     std::size_t servers);
 
+/// In-place variants for the zero-copy encode path: overwrite `code`
+/// with the S*16 matrix, reusing its capacity and `count` as per-server
+/// function-count scratch. Identical arithmetic to the value-returning
+/// versions (which delegate here), so results are bit-identical.
+void utilization_code_into(const WorkloadDeployment& w, std::size_t servers,
+                           std::vector<double>& code,
+                           std::vector<std::size_t>& count);
+void allocation_code_into(const WorkloadDeployment& w, std::size_t servers,
+                          std::vector<double>& code,
+                          std::vector<std::size_t>& count);
+
 }  // namespace gsight::core

@@ -75,7 +75,8 @@ GsightPredictor::GsightPredictor(PredictorConfig config,
     : config_(config),
       encoder_(config.encoder),
       model_(std::move(model)),
-      pending_(encoder_.dimension()) {}
+      pending_(encoder_.dimension()),
+      batch_xs_(0, encoder_.dimension()) {}
 
 double GsightPredictor::predict(const Scenario& scenario) const {
   return model_->predict(encoder_.encode(scenario));
@@ -83,10 +84,17 @@ double GsightPredictor::predict(const Scenario& scenario) const {
 
 std::vector<double> GsightPredictor::predict_batch(
     std::span<const Scenario> scenarios) const {
-  ml::Matrix xs(0, encoder_.dimension());
-  xs.reserve_rows(scenarios.size());
-  for (const auto& s : scenarios) xs.push_row(encoder_.encode(s));
-  return model_->predict_batch(xs);
+  // Zero-copy encode: each scenario's code is written directly into a
+  // row of the reused scratch Matrix, so a steady-state batch performs
+  // no per-call allocation beyond the returned vector.
+  batch_xs_.clear_rows();
+  batch_xs_.reserve_rows(scenarios.size());
+  for (const auto& s : scenarios) {
+    encoder_.encode_into(s, encode_scratch_, batch_xs_.append_row());
+  }
+  std::vector<double> out;
+  model_->predict_batch(batch_xs_, out);
+  return out;
 }
 
 void GsightPredictor::observe(const Scenario& scenario, double actual_qos) {

@@ -107,6 +107,13 @@ class GsightPredictor final : public ScenarioPredictor {
   Encoder encoder_;
   std::unique_ptr<ml::IncrementalRegressor> model_;
   ml::Dataset pending_;
+  /// predict_batch scratch: scenario codes are written straight into
+  /// rows of this reused Matrix (zero-copy encode). mutable because
+  /// batched prediction is logically const; a predictor instance is not
+  /// safe for concurrent use — the serving stack (serve::) hands each
+  /// worker its own snapshot instead of sharing one predictor.
+  mutable ml::Matrix batch_xs_;
+  mutable EncodeScratch encode_scratch_;
 };
 
 }  // namespace gsight::core

@@ -1,0 +1,169 @@
+// gsight-analyze: hot-path
+// AVX2 variants of the blocked forest kernels. Compiled only when the
+// GSIGHT_SIMD CMake option is ON (this translation unit gets -mavx2 and
+// GSIGHT_SIMD_AVX2 from src/CMakeLists.txt); forest_kernel.cpp provides
+// scalar-forwarding definitions otherwise.
+//
+// Eight walks advance per round as two __m128i index vectors (4 x int32
+// each). A 16-byte PackedNode lets a node index double as a gather
+// index (idx * 2 at scale 8), so one round needs three gathers per
+// vector — threshold and feature+left from the same node line, plus the
+// feature value:
+//
+//   thr     = gather_pd(nodes, 2*idx)        the node's first 8 bytes
+//   f, left = gather_epi64(nodes + 8, 2*idx) second 8 bytes, split into
+//                                            dword lanes by permute
+//   active  = f >= 0                         leaves carry feature == -1
+//   xv      = gather_pd(x, f & active)       clamp leaf lanes to x[0]
+//   go_left = xv <= thr                      _CMP_LE_OQ: NaN -> false,
+//                                            exactly the scalar ternary
+//   idx     = left + (!go_left & active)     BFS layout: right == left+1
+//
+// There is no per-round termination test: blocks run exactly
+// max(depth[t]) rounds and leaf nodes self-loop (left == own index and
+// active == 0, arranged by BlockedForest::build), so lanes that reach a
+// leaf early park there. The only floating-point operations are the
+// comparisons and, in the gather kernel, per-lane leaf-value additions
+// in ascending tree order — the reference summation — so results are
+// bit-identical to the scalar walk by construction.
+#include "ml/forest_kernel.hpp"
+
+#if defined(GSIGHT_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cassert>
+
+namespace gsight::ml::forest_kernel {
+
+namespace {
+
+/// Pick the dword lanes selected by `perm` out of a 256-bit vector into
+/// the low 128 bits (used to split the 64-bit {feature, left} gather
+/// into two int32 vectors and to narrow 64-bit compare masks).
+inline __m128i pick_dwords(__m256i wide, __m256i perm) {
+  return _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(wide, perm));
+}
+
+/// One branchless traversal round for four lanes; `xidx` maps the
+/// clamped feature lanes to gather indices into `xbase` (identity for
+/// the tree-lane kernel, +row offsets for the row-lane kernel).
+template <typename XIndex>
+inline __m128i step(const BlockedForest& forest, const double* xbase,
+                    __m128i idx, XIndex&& xidx) {
+  const __m256i even = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m256i odd = _mm256_setr_epi32(1, 3, 5, 7, 1, 3, 5, 7);
+  // PackedNode is 16 bytes and gathers scale by at most 8, so index by
+  // 2*idx: the threshold sits at the node's first 8 bytes, the packed
+  // {feature, left} dwords at the second.
+  const __m128i idx2 = _mm_slli_epi32(idx, 1);
+  const auto* node_base = reinterpret_cast<const double*>(forest.nodes.data());
+  const auto* fl_base = reinterpret_cast<const long long*>(
+      reinterpret_cast<const char*>(forest.nodes.data()) + 8);
+  const __m256d thr = _mm256_i32gather_pd(node_base, idx2, 8);
+  const __m256i fl = _mm256_i32gather_epi64(fl_base, idx2, 8);
+  const __m128i f = pick_dwords(fl, even);
+  const __m128i lft = pick_dwords(fl, odd);
+  const __m128i active = _mm_cmpgt_epi32(f, _mm_set1_epi32(-1));
+  const __m128i f_clamped = _mm_and_si128(f, active);
+  const __m256d xv = _mm256_i32gather_pd(xbase, xidx(f_clamped), 8);
+  const __m256d go_left = _mm256_cmp_pd(xv, thr, _CMP_LE_OQ);
+  const __m128i gl = pick_dwords(_mm256_castpd_si256(go_left), even);
+  const __m128i go_right_one =
+      _mm_and_si128(_mm_andnot_si128(gl, _mm_set1_epi32(1)), active);
+  return _mm_add_epi32(lft, go_right_one);
+}
+
+}  // namespace
+
+bool simd_available() { return true; }
+
+void leaves_simd(const BlockedForest& forest, std::span<const double> x,
+                 std::span<double> leaves) {
+  static_assert(kLaneWidth == 8, "kernel advances two 4-lane vectors");
+  assert(leaves.size() == forest.tree_count());
+  const std::size_t trees = forest.tree_count();
+  const auto identity = [](__m128i f) { return f; };
+  for (std::size_t t0 = 0; t0 < trees; t0 += kLaneWidth) {
+    const std::size_t width = std::min(kLaneWidth, trees - t0);
+    // Tail blocks pad with lane 0's root; the duplicate walks are
+    // cache-warm and their results are simply not stored.
+    alignas(16) std::int32_t lanes[kLaneWidth];
+    std::int32_t rounds = 0;
+    for (std::size_t k = 0; k < kLaneWidth; ++k) {
+      const std::size_t t = t0 + (k < width ? k : 0);
+      lanes[k] = forest.root[t];
+      rounds = std::max(rounds, forest.depth[t]);
+    }
+    __m128i idx_a = _mm_load_si128(reinterpret_cast<const __m128i*>(lanes));
+    __m128i idx_b = _mm_load_si128(reinterpret_cast<const __m128i*>(lanes + 4));
+    for (std::int32_t s = 0; s < rounds; ++s) {
+      idx_a = step(forest, x.data(), idx_a, identity);
+      idx_b = step(forest, x.data(), idx_b, identity);
+    }
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), idx_a);
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes + 4), idx_b);
+    for (std::size_t k = 0; k < width; ++k) {
+      leaves[t0 + k] = forest.value[static_cast<std::size_t>(lanes[k])];
+    }
+  }
+}
+
+void gather_simd(const BlockedForest& forest, const Matrix& xs,
+                 std::span<double> out) {
+  static_assert(kLaneWidth == 8, "kernel advances two 4-lane vectors");
+  assert(out.size() == xs.rows());
+  const std::size_t rows = xs.rows();
+  const std::size_t cols = xs.cols();
+  const std::size_t trees = forest.tree_count();
+  // Feature gathers index lane k's row as k*cols + f, which must fit an
+  // int32. Paper-scale rows are ~2580 doubles, nowhere close; fall back
+  // to the scalar kernel rather than overflow on absurd widths.
+  if (cols >= (static_cast<std::size_t>(1) << 28) / kLaneWidth) {
+    gather_scalar(forest, xs, out);
+    return;
+  }
+  const auto c = static_cast<std::int32_t>(cols);
+  for (std::size_t r0 = 0; r0 < rows; r0 += kLaneWidth) {
+    const std::size_t width = std::min(kLaneWidth, rows - r0);
+    const double* base = xs.row(r0).data();
+    // Tail blocks alias every extra lane onto row r0 (offset 0); their
+    // results are not stored.
+    alignas(16) std::int32_t offsets[kLaneWidth];
+    for (std::size_t k = 0; k < kLaneWidth; ++k) {
+      offsets[k] = k < width ? static_cast<std::int32_t>(k) * c : 0;
+    }
+    const __m128i off_a =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(offsets));
+    const __m128i off_b =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(offsets + 4));
+    const auto rows_a = [off_a](__m128i f) { return _mm_add_epi32(off_a, f); };
+    const auto rows_b = [off_b](__m128i f) { return _mm_add_epi32(off_b, f); };
+    __m256d acc_a = _mm256_setzero_pd();
+    __m256d acc_b = _mm256_setzero_pd();
+    for (std::size_t t = 0; t < trees; ++t) {
+      __m128i idx_a = _mm_set1_epi32(forest.root[t]);
+      __m128i idx_b = idx_a;
+      const std::int32_t rounds = forest.depth[t];
+      for (std::int32_t s = 0; s < rounds; ++s) {
+        idx_a = step(forest, base, idx_a, rows_a);
+        idx_b = step(forest, base, idx_b, rows_b);
+      }
+      acc_a =
+          _mm256_add_pd(acc_a, _mm256_i32gather_pd(forest.value.data(), idx_a, 8));
+      acc_b =
+          _mm256_add_pd(acc_b, _mm256_i32gather_pd(forest.value.data(), idx_b, 8));
+    }
+    alignas(32) double sums[kLaneWidth];
+    _mm256_store_pd(sums, acc_a);
+    _mm256_store_pd(sums + 4, acc_b);
+    for (std::size_t k = 0; k < width; ++k) {
+      out[r0 + k] = sums[k] / static_cast<double>(trees);
+    }
+  }
+}
+
+}  // namespace gsight::ml::forest_kernel
+
+#endif  // GSIGHT_SIMD_AVX2

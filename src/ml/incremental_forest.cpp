@@ -37,8 +37,9 @@ double IncrementalForest::predict(std::span<const double> x) const {
   return forest_.predict(x);
 }
 
-std::vector<double> IncrementalForest::predict_batch(const Matrix& xs) const {
-  return forest_.predict_batch(xs);
+void IncrementalForest::predict_batch(const Matrix& xs,
+                                      std::vector<double>& out) const {
+  forest_.predict_batch(xs, out);
 }
 
 }  // namespace gsight::ml

@@ -27,7 +27,8 @@ class IncrementalForest final : public IncrementalRegressor {
 
   void partial_fit(const Dataset& batch) override;
   double predict(std::span<const double> x) const override;
-  std::vector<double> predict_batch(const Matrix& xs) const override;
+  using IncrementalRegressor::predict_batch;
+  void predict_batch(const Matrix& xs, std::vector<double>& out) const override;
   std::string name() const override { return "IRFR"; }
   std::size_t samples_seen() const override { return buffer_.size(); }
 

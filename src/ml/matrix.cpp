@@ -11,6 +11,13 @@ void Matrix::push_row(std::span<const double> values) {
   ++rows_;
 }
 
+std::span<double> Matrix::append_row() {
+  assert(cols_ > 0);
+  data_.resize(data_.size() + cols_, 0.0);
+  ++rows_;
+  return row(rows_ - 1);
+}
+
 std::vector<double> Matrix::matvec(std::span<const double> x) const {
   assert(x.size() == cols_);
   std::vector<double> y(rows_, 0.0);

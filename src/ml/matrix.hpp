@@ -33,8 +33,18 @@ class Matrix {
   /// Append one row; the row length must equal cols() (or define cols()
   /// when the matrix is still empty).
   void push_row(std::span<const double> values);
+  /// Append one zero-filled row and return it for in-place writing — the
+  /// zero-copy encode path (core::FeatureEncoder::encode_into targets the
+  /// returned span directly). cols() must already be set.
+  std::span<double> append_row();
   /// Preallocate storage for `rows` total rows (batch builders).
   void reserve_rows(std::size_t rows) { data_.reserve(rows * cols_); }
+  /// Drop all rows but keep cols() and the allocation — scratch matrices
+  /// on hot paths reset with this instead of reallocating.
+  void clear_rows() {
+    rows_ = 0;
+    data_.clear();
+  }
 
   /// y = M x  (x has cols() entries, result has rows()).
   std::vector<double> matvec(std::span<const double> x) const;

@@ -4,9 +4,15 @@
 
 namespace gsight::ml {
 
-std::vector<double> IncrementalRegressor::predict_batch(const Matrix& xs) const {
-  std::vector<double> out(xs.rows());
+void IncrementalRegressor::predict_batch(const Matrix& xs,
+                                         std::vector<double>& out) const {
+  out.resize(xs.rows());
   for (std::size_t i = 0; i < xs.rows(); ++i) out[i] = predict(xs.row(i));
+}
+
+std::vector<double> IncrementalRegressor::predict_batch(const Matrix& xs) const {
+  std::vector<double> out;
+  predict_batch(xs, out);
   return out;
 }
 

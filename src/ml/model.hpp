@@ -32,8 +32,12 @@ class IncrementalRegressor {
 
   /// One prediction per row of `xs`. Bit-identical to calling predict()
   /// row by row (the default does exactly that); the forest overrides it
-  /// with a tree-major batched traversal.
-  virtual std::vector<double> predict_batch(const Matrix& xs) const;
+  /// with the blocked batch kernels.
+  std::vector<double> predict_batch(const Matrix& xs) const;
+  /// Allocation-free variant and the actual override point: resizes
+  /// `out` to xs.rows() (reusing its capacity) and writes predictions in
+  /// place. The value-returning overload delegates here.
+  virtual void predict_batch(const Matrix& xs, std::vector<double>& out) const;
 
   virtual std::string name() const = 0;
 

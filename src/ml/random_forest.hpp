@@ -1,11 +1,13 @@
 // Bagged random-forest regressor (Breiman) with impurity-based feature
 // importance (Figure 8) and thread-pool-parallel training. This is the
 // batch core reused by the incremental wrapper (IRFR) that Gsight deploys.
-// Inference runs over a flattened layout — every tree's node array
-// concatenated into one contiguous buffer — and predict_batch() walks each
-// tree over the whole query batch before moving to the next, so a tree's
-// nodes stay cache-resident across scenarios (the access pattern
-// GsightScheduler::sla_ok generates thousands of times per placement).
+// Inference runs over the blocked breadth-first layout of
+// ml/forest_kernel.hpp: predict() advances kLaneWidth trees per step over
+// one query row, predict_batch() dispatches wide batches to the row-lane
+// gather kernel (the access pattern GsightScheduler::sla_ok generates
+// thousands of times per placement). Every kernel is bit-identical to the
+// reference walk kept in predict_reference() — enforced by
+// tests/ml/test_forest_equivalence.cpp.
 #pragma once
 
 #include <iosfwd>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "ml/decision_tree.hpp"
+#include "ml/forest_kernel.hpp"
 
 namespace gsight::ml {
 
@@ -32,15 +35,29 @@ class RandomForestRegressor {
   void fit(const Dataset& data, stats::Rng& rng);
   double predict(std::span<const double> x) const;
   /// One prediction per row of `xs`, bit-identical to calling predict()
-  /// on each row: one virtual-free pass over the flattened node arrays,
-  /// query-major so each (wide) query row stays cache-resident while all
-  /// trees visit it.
+  /// on each row. Narrow batches run the tree-lane blocked kernel per
+  /// row; batches of forest_kernel::kGatherMinRows rows or more take the
+  /// row-lane gather path, where each tree's node block stays
+  /// cache-resident while the batch streams through it.
   std::vector<double> predict_batch(const Matrix& xs) const;
+  /// Allocation-free variant: resizes `out` to xs.rows() (reusing its
+  /// capacity) and writes predictions in place — the serve hot path.
+  void predict_batch(const Matrix& xs, std::vector<double>& out) const;
+
+  /// Reference kernel: the plain one-node-at-a-time walk over the
+  /// flattened arrays. The golden implementation every blocked/SIMD
+  /// kernel must match bit for bit; not used on hot paths.
+  double predict_reference(std::span<const double> x) const;
+  std::vector<double> predict_batch_reference(const Matrix& xs) const;
   bool fitted() const { return !trees_.empty(); }
   std::size_t tree_count() const { return trees_.size(); }
   /// The fitted trees (read-only; benchmarks compare per-tree walks
   /// against the flattened traversal).
   std::span<const DecisionTreeRegressor> trees() const { return trees_; }
+  /// The blocked breadth-first inference layout (rebuilt after every
+  /// fit/refresh/load; benchmarks and equivalence tests drive the
+  /// forest_kernel entry points on it directly).
+  const BlockedForest& blocked() const { return blocked_; }
 
   /// Impurity importance, normalised to sum to 1 (zeros if unfitted).
   std::vector<double> importance() const;
@@ -69,6 +86,8 @@ class RandomForestRegressor {
   /// [flat_offsets_[t], flat_offsets_[t + 1]) with tree-local child links.
   std::vector<DecisionTreeRegressor::Node> flat_nodes_;
   std::vector<std::size_t> flat_offsets_;
+  /// Breadth-first SoA mirror of flat_nodes_ for the blocked kernels.
+  BlockedForest blocked_;
 };
 
 }  // namespace gsight::ml

@@ -1,3 +1,4 @@
+// gsight-analyze: hot-path
 #include "serve/service.hpp"
 
 #include <stdexcept>
@@ -53,6 +54,7 @@ PredictionService::PredictionService(ServiceConfig config,
       requests_(config.queue_capacity),
       observations_(config.observe_capacity),
       model_(std::move(model)),
+      sync_scratch_(config.feature_dim),
       batch_size_counts_(config.max_batch) {
   if (config_.clock != nullptr) {
     clock_ = config_.clock;
@@ -128,7 +130,11 @@ std::optional<PredictResult> PredictionService::predict_wait(
   GSIGHT_ASSERT(config_.worker_threads > 0,
                 "predict_wait needs worker threads (synchronous mode would "
                 "deadlock; use submit + poll)");
-  auto state = std::make_shared<std::promise<PredictResult>>();
+  // One allocation per *waiting* caller is inherent to the blocking
+  // convenience API (the promise must outlive this frame if the batch
+  // completes on another worker); the queue-and-callback path is the
+  // allocation-free one.
+  auto state = std::make_shared<std::promise<PredictResult>>();  // gsight-analyze: allow(hot-alloc)
   auto result = state->get_future();
   if (!submit(std::move(features),
               [state](const PredictResult& r) { state->set_value(r); })) {
@@ -164,7 +170,8 @@ std::size_t PredictionService::poll() {
                 "batch on their own workers");
   std::vector<Request> batch;
   requests_.try_pop_batch(batch, config_.max_batch);
-  const std::size_t served = batch.empty() ? 0 : process_batch(batch);
+  const std::size_t served =
+      batch.empty() ? 0 : process_batch(batch, sync_scratch_);
   if (observations_.size() >= config_.train_batch) train_round();
   return served;
 }
@@ -173,23 +180,26 @@ bool PredictionService::train_now() { return train_round(); }
 
 void PredictionService::worker_loop() {
   std::vector<Request> batch;
+  BatchScratch scratch(config_.feature_dim);  // worker-local: no sharing
   for (;;) {
     batch.clear();
     const std::size_t n =
         requests_.pop_batch(batch, config_.max_batch, config_.batch_linger);
     if (n == 0) return;  // closed and drained
-    process_batch(batch);
+    process_batch(batch, scratch);
   }
 }
 
-std::size_t PredictionService::process_batch(std::vector<Request>& batch) {
+std::size_t PredictionService::process_batch(std::vector<Request>& batch,
+                                             BatchScratch& scratch) {
   const auto snap = slot_.load();
-  ml::Matrix xs(0, config_.feature_dim);
+  ml::Matrix& xs = scratch.xs;
+  xs.clear_rows();
   xs.reserve_rows(batch.size());
   for (const auto& req : batch) xs.push_row(req.features);
-  std::vector<double> values;
+  std::vector<double>& values = scratch.values;
   if (snap) {
-    values = snap->forest.predict_batch(xs);
+    snap->forest.predict_batch(xs, values);
   } else {
     values.assign(batch.size(), 0.0);  // cold model: IncrementalRegressor
                                        // contract is predict() == 0

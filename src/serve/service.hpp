@@ -35,6 +35,7 @@
 
 #include "core/lock.hpp"
 #include "ml/incremental_forest.hpp"
+#include "ml/matrix.hpp"
 #include "ml/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "serve/bounded_queue.hpp"
@@ -195,10 +196,21 @@ class PredictionService {
     std::vector<double> features;
     double label = 0.0;
   };
+  /// Reused per-batch buffers: feature rows land in `xs`, predictions in
+  /// `values`. A steady-state micro-batch allocates nothing — both keep
+  /// their high-water capacity across batches.
+  struct BatchScratch {
+    explicit BatchScratch(std::size_t feature_dim) : xs(0, feature_dim) {}
+    ml::Matrix xs;
+    std::vector<double> values;
+  };
 
   void worker_loop();
   /// Predict one micro-batch and deliver results. Returns batch size.
-  std::size_t process_batch(std::vector<Request>& batch);
+  /// `scratch` is worker-local (each worker_loop owns one); synchronous
+  /// mode uses sync_scratch_.
+  std::size_t process_batch(std::vector<Request>& batch,
+                            BatchScratch& scratch);
   /// One training round: drain observations, partial_fit, publish.
   bool train_round() GSIGHT_EXCLUDES(train_mutex_);
   /// Fire-and-forget a training round if the threshold is crossed.
@@ -234,6 +246,11 @@ class PredictionService {
   /// take the lock), so these two cannot carry GSIGHT_GUARDED_BY.
   std::vector<std::thread> workers_;  // gsight-analyze: allow(unguarded-member)
   std::unique_ptr<ml::ThreadPool> trainer_pool_;  // gsight-analyze: allow(unguarded-member)
+
+  /// Batch scratch for synchronous mode only: poll() is documented as
+  /// single-caller (no threads exist in sync mode), so this needs no
+  /// lock; threaded workers each carry their own scratch on the stack.
+  BatchScratch sync_scratch_;  // gsight-analyze: allow(unguarded-member)
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> shed_{0};

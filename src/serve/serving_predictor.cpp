@@ -7,7 +7,9 @@ namespace gsight::serve {
 
 ServingPredictor::ServingPredictor(core::EncoderConfig encoder_config,
                                    PredictionService* service)
-    : encoder_(encoder_config), service_(service) {
+    : encoder_(encoder_config),
+      service_(service),
+      batch_xs_(0, encoder_.dimension()) {
   GSIGHT_ASSERT(service != nullptr, "ServingPredictor needs a service");
   GSIGHT_ASSERT(service->config().feature_dim == encoder_.dimension(),
                 "service feature_dim must match encoder dimension");
@@ -23,13 +25,15 @@ std::vector<double> ServingPredictor::predict_batch(
     std::span<const core::Scenario> scenarios) const {
   const auto snap = service_->snapshot();
   if (!snap) return std::vector<double>(scenarios.size(), 0.0);
-  ml::Matrix xs(0, encoder_.dimension());
-  xs.reserve_rows(scenarios.size());
-  for (const auto& s : scenarios) xs.push_row(encoder_.encode(s));
+  batch_xs_.clear_rows();
+  batch_xs_.reserve_rows(scenarios.size());
+  for (const auto& s : scenarios) {
+    encoder_.encode_into(s, encode_scratch_, batch_xs_.append_row());
+  }
   // One snapshot for the whole sweep: every row of this batch is
   // answered by the same model version even if the trainer publishes
   // mid-call.
-  return snap->forest.predict_batch(xs);
+  return snap->forest.predict_batch(batch_xs_);
 }
 
 void ServingPredictor::observe(const core::Scenario& scenario,

@@ -41,6 +41,11 @@ class ServingPredictor final : public core::ScenarioPredictor {
  private:
   core::Encoder encoder_;
   PredictionService* service_;
+  /// Zero-copy encode scratch for predict_batch (see GsightPredictor):
+  /// scenario codes land straight in rows of the reused Matrix. One
+  /// predictor instance per scheduler thread — not shared.
+  mutable ml::Matrix batch_xs_;
+  mutable core::EncodeScratch encode_scratch_;
 };
 
 }  // namespace gsight::serve

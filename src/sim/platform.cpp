@@ -1,3 +1,4 @@
+// gsight-analyze: hot-path
 #include "sim/platform.hpp"
 
 #include <algorithm>
@@ -158,50 +159,43 @@ Instance* Platform::route(std::size_t app, std::size_t fn) {
   return reps[0];  // all draining: deliver anyway rather than drop
 }
 
+void Platform::on_request_done(std::size_t app, RequestKind kind,
+                               double latency_s, bool ok) {
+  AppStats& stats = apps_.at(app)->stats;
+  if (kind == RequestKind::kRequest) {
+    if (ok) {
+      stats.e2e.emplace_back(engine_.now(), latency_s);
+    } else {
+      ++stats.failed;
+    }
+  } else if (ok) {
+    stats.jct.emplace_back(engine_.now(), latency_s);
+  }
+}
+
+void Platform::on_fn_done(std::size_t app, std::size_t fn,
+                          const InvocationResult& result) {
+  AppStats& stats = apps_.at(app)->stats;
+  stats.fn_latency[fn].emplace_back(engine_.now(), result.local_latency_s);
+  stats.fn_ipc[fn].add(result.mean_ipc);
+}
+
 void Platform::issue_request(std::size_t app,
                              std::function<void(double, bool)> on_done) {
   DeployedApp& d = *apps_.at(app);
   ++d.arrivals_since_drain;
-  const std::size_t app_index = app;
-  AppStats* stats = &d.stats;
-  Engine* engine = &engine_;
-  auto done = std::make_shared<std::function<void(double, bool)>>(
-      std::move(on_done));
-  auto ctx = std::make_shared<RequestContext>(
-      &d.app, app_index, &engine_, gateway_.get(), this,
-      [stats, engine, done](double latency, bool ok) {
-        if (ok) {
-          stats->e2e.emplace_back(engine->now(), latency);
-        } else {
-          ++stats->failed;
-        }
-        if (*done) (*done)(latency, ok);
-      },
-      [stats, engine](std::size_t fn, const InvocationResult& r) {
-        stats->fn_latency[fn].emplace_back(engine->now(), r.local_latency_s);
-        stats->fn_ipc[fn].add(r.mean_ipc);
-      },
-      &tracer_, next_request_id_++);
-  RequestContext::launch(ctx);
+  RequestRef ctx = request_pool_.acquire(
+      &d.app, app, &engine_, gateway_.get(), this, this, RequestKind::kRequest,
+      std::move(on_done), nullptr, &tracer_, next_request_id_++);
+  ctx->launch();
 }
 
 void Platform::submit_job(std::size_t app, std::function<void(double)> on_done) {
   DeployedApp& d = *apps_.at(app);
-  AppStats* stats = &d.stats;
-  Engine* engine = &engine_;
-  auto done = std::make_shared<std::function<void(double)>>(std::move(on_done));
-  auto ctx = std::make_shared<RequestContext>(
-      &d.app, app, &engine_, gateway_.get(), this,
-      [stats, engine, done](double jct, bool ok) {
-        if (ok) stats->jct.emplace_back(engine->now(), jct);
-        if (*done) (*done)(jct);
-      },
-      [stats, engine](std::size_t fn, const InvocationResult& r) {
-        stats->fn_latency[fn].emplace_back(engine->now(), r.local_latency_s);
-        stats->fn_ipc[fn].add(r.mean_ipc);
-      },
-      &tracer_, next_request_id_++);
-  RequestContext::launch(ctx);
+  RequestRef ctx = request_pool_.acquire(
+      &d.app, app, &engine_, gateway_.get(), this, this, RequestKind::kJob,
+      nullptr, std::move(on_done), &tracer_, next_request_id_++);
+  ctx->launch();
 }
 
 std::size_t Platform::abort_executions(std::size_t app) {

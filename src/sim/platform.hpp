@@ -47,7 +47,7 @@ struct AppStats {
   std::vector<double> e2e_values_between(double t0, double t1) const;
 };
 
-class Platform final : public Router {
+class Platform final : public Router, public RequestSink {
  public:
   explicit Platform(PlatformConfig config = {});
   ~Platform() override;
@@ -121,11 +121,21 @@ class Platform final : public Router {
   std::size_t total_instances() const { return cluster_->total_instances(); }
   /// Instances per core across the cluster ("function density", Fig. 11).
   double function_density() const;
+  /// The context pool behind issue_request/submit_job; allocated() is the
+  /// high-water mark of concurrent in-flight requests (the pool ctest
+  /// asserts reuse by checking it stays far below total requests issued).
+  const RequestPool& request_pool() const { return request_pool_; }
 
   // Router:
   Instance* route(std::size_t app, std::size_t fn) override;
 
  private:
+  // RequestSink (called by pooled RequestContexts; private because only
+  // the contexts — via the base interface — should report through it):
+  void on_request_done(std::size_t app, RequestKind kind, double latency_s,
+                       bool ok) override;
+  void on_fn_done(std::size_t app, std::size_t fn,
+                  const InvocationResult& result) override;
   struct DeployedApp {
     wl::App app;
     std::vector<std::vector<Instance*>> replicas;  // per fn
@@ -141,6 +151,12 @@ class Platform final : public Router {
   void gc_retired();
 
   PlatformConfig config_;
+  // Declared before the engine/cluster/gateway on purpose: pending engine
+  // events and queued gateway forwards hold RequestRefs, and dropping the
+  // last ref returns a context to this pool — so the pool must be
+  // destroyed after every holder of refs (members destroy in reverse
+  // declaration order).
+  RequestPool request_pool_;
   Engine engine_;
   InterferenceModel model_;
   Recorder recorder_;

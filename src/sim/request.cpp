@@ -1,3 +1,4 @@
+// gsight-analyze: hot-path
 #include "sim/request.hpp"
 
 #include "core/contracts.hpp"
@@ -5,28 +6,73 @@
 
 namespace gsight::sim {
 
-RequestContext::RequestContext(const wl::App* app, std::size_t app_index,
-                               Engine* engine, Gateway* gateway, Router* router,
-                               Completion on_complete, FnObserver fn_observer,
-                               obs::Tracer* tracer, std::uint64_t request_id)
-    : app_(app),
-      app_index_(app_index),
-      engine_(engine),
-      gateway_(gateway),
-      router_(router),
-      on_complete_(std::move(on_complete)),
-      fn_observer_(std::move(fn_observer)),
-      tracer_(tracer),
-      request_id_(request_id),
-      nodes_(app->function_count()) {}
+RequestRef::RequestRef(RequestContext* ctx) : ctx_(ctx) {
+  if (ctx_ != nullptr) ctx_->add_ref();
+}
 
-void RequestContext::launch(const std::shared_ptr<RequestContext>& ctx) {
-  ctx->start_ = ctx->engine_->now();
-  if (ctx->tracer_ != nullptr && ctx->tracer_->enabled()) {
-    ctx->tracer_->async_begin(ctx->start_, "request", "request",
-                              ctx->request_id_, {{"app", ctx->app_->name}});
+RequestRef::RequestRef(const RequestRef& other) : ctx_(other.ctx_) {
+  if (ctx_ != nullptr) ctx_->add_ref();
+}
+
+RequestRef::RequestRef(RequestRef&& other) noexcept : ctx_(other.ctx_) {
+  other.ctx_ = nullptr;
+}
+
+RequestRef& RequestRef::operator=(const RequestRef& other) {
+  if (this == &other) return *this;
+  RequestContext* old = ctx_;
+  ctx_ = other.ctx_;
+  if (ctx_ != nullptr) ctx_->add_ref();
+  if (old != nullptr) old->release_ref();
+  return *this;
+}
+
+RequestRef& RequestRef::operator=(RequestRef&& other) noexcept {
+  if (this == &other) return *this;
+  RequestContext* old = ctx_;
+  ctx_ = other.ctx_;
+  other.ctx_ = nullptr;
+  if (old != nullptr) old->release_ref();
+  return *this;
+}
+
+RequestRef::~RequestRef() {
+  if (ctx_ != nullptr) ctx_->release_ref();
+}
+
+void RequestContext::release_ref() {
+  GSIGHT_ASSERT(refs_ > 0, "RequestContext over-released");
+  if (--refs_ == 0) pool_->recycle(this);
+}
+
+void RequestContext::reset(const wl::App* app, std::size_t app_index,
+                           Engine* engine, Gateway* gateway, Router* router,
+                           RequestSink* sink, RequestKind kind,
+                           DoneRequest done_request, DoneJob done_job,
+                           obs::Tracer* tracer, std::uint64_t request_id) {
+  app_ = app;
+  app_index_ = app_index;
+  engine_ = engine;
+  gateway_ = gateway;
+  router_ = router;
+  sink_ = sink;
+  kind_ = kind;
+  done_request_ = std::move(done_request);
+  done_job_ = std::move(done_job);
+  tracer_ = tracer;
+  request_id_ = request_id;
+  start_ = 0.0;
+  nodes_.assign(app->function_count(), NodeState{});
+  finished_ = false;
+}
+
+void RequestContext::launch() {
+  start_ = engine_->now();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->async_begin(start_, "request", "request", request_id_,
+                         {{"app", app_->name}});
   }
-  ctx->invoke(ctx->app_->graph.root(), std::nullopt);
+  invoke(app_->graph.root(), std::nullopt);
 }
 
 void RequestContext::invoke(std::size_t node,
@@ -37,7 +83,7 @@ void RequestContext::invoke(std::size_t node,
   state.invoked = true;
   state.parent = nested_parent;
 
-  auto self = shared_from_this();
+  RequestRef self(this);
   const SimTime forwarded = engine_->now();
   gateway_->forward([self, node, forwarded] {
     const bool tracing =
@@ -95,7 +141,7 @@ void RequestContext::on_exec_done(std::size_t node,
          {"ipc", obs::json_number(result.mean_ipc)},
          {"cold", result.cold ? "1" : "0"}});
   }
-  if (fn_observer_) fn_observer_(node, result);
+  sink_->on_fn_done(app_index_, node, result);
   NodeState& state = nodes_[node];
   state.exec_done = true;
   // Fan out to children now that this function returned its response.
@@ -136,7 +182,46 @@ void RequestContext::finish(bool ok) {
     tracer_->async_end(engine_->now(), "request", "request", request_id_,
                        {{"ok", ok ? "1" : "0"}});
   }
-  if (on_complete_) on_complete_(engine_->now() - start_, ok);
+  const double elapsed = engine_->now() - start_;
+  // Sink first (stats recorded), then the user callback — preserving the
+  // "after stats are recorded" ordering issue_request documents.
+  sink_->on_request_done(app_index_, kind_, elapsed, ok);
+  if (kind_ == RequestKind::kRequest) {
+    if (done_request_) done_request_(elapsed, ok);
+  } else {
+    if (done_job_) done_job_(elapsed);
+  }
+}
+
+RequestRef RequestPool::acquire(const wl::App* app, std::size_t app_index,
+                                Engine* engine, Gateway* gateway,
+                                Router* router, RequestSink* sink,
+                                RequestKind kind,
+                                RequestContext::DoneRequest done_request,
+                                RequestContext::DoneJob done_job,
+                                obs::Tracer* tracer,
+                                std::uint64_t request_id) {
+  RequestContext* ctx = nullptr;
+  if (!free_.empty()) {
+    ctx = free_.back();
+    free_.pop_back();
+  } else {
+    // The one legitimate allocation on the request path: growing the pool
+    // to a new high-water mark of concurrently in-flight requests.
+    owned_.emplace_back(new RequestContext(this));  // gsight-analyze: allow(hot-alloc)
+    ctx = owned_.back().get();
+  }
+  ctx->reset(app, app_index, engine, gateway, router, sink, kind,
+             std::move(done_request), std::move(done_job), tracer, request_id);
+  return RequestRef(ctx);
+}
+
+void RequestPool::recycle(RequestContext* ctx) {
+  // Drop captured user-callback state eagerly (same release point the
+  // shared_ptr design had); the context's buffers keep their capacity.
+  ctx->done_request_ = nullptr;
+  ctx->done_job_ = nullptr;
+  free_.push_back(ctx);
 }
 
 }  // namespace gsight::sim

@@ -5,11 +5,32 @@
 // children do not). End-to-end latency is the root node's completion time,
 // so interference anywhere on the nested (critical) path stretches it
 // while side-branch interference does not (Observation 2).
+//
+// Contexts are pooled. A serverless sim issues millions of requests, and
+// the original shared_ptr design paid three heap allocations per request
+// (the context's control block plus a shared completion callback each for
+// stats and the user). RequestContext is now intrusively refcounted and
+// recycled through a RequestPool: in steady state issuing a request
+// performs no context allocation at all — the pool grows only to the
+// high-water mark of concurrently in-flight requests. Stats recording
+// moved from capturing lambdas to the RequestSink interface (implemented
+// by Platform), so the completion path is a virtual call instead of a
+// std::function pair.
+//
+// Lifetime rules: every callback a context hands to the gateway or an
+// instance captures a RequestRef, so the context stays checked out until
+// the last pending callback is destroyed (fired, or dropped by
+// abort_executions / engine teardown). When the final ref dies the
+// context returns to the free list — which is why the pool must outlive
+// the engine and gateway (Platform declares it first, destroying it
+// last).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "sim/gateway.hpp"
 #include "sim/instance.hpp"
@@ -26,27 +47,79 @@ class Router {
   virtual Instance* route(std::size_t app, std::size_t fn) = 0;
 };
 
-class RequestContext : public std::enable_shared_from_this<RequestContext> {
+/// What a context represents: an LS request (e2e latency) or an SC/BG
+/// job run (JCT). Determines which AppStats series the sink records.
+enum class RequestKind { kRequest, kJob };
+
+/// Where completed work reports its measurements. Implemented by
+/// Platform; replaces the per-request capturing lambdas so launching a
+/// request allocates no callback state.
+class RequestSink {
  public:
-  /// Called once, when the root completes (ok) or routing fails (not ok).
-  using Completion = std::function<void(double e2e_latency_s, bool ok)>;
-  /// Called for every finished function invocation of this request.
-  using FnObserver = std::function<void(
-      std::size_t fn, const InvocationResult& result)>;
+  virtual ~RequestSink() = default;
+  /// Root completion: `ok` is false when routing failed mid-graph.
+  virtual void on_request_done(std::size_t app, RequestKind kind,
+                               double latency_s, bool ok) = 0;
+  /// Every finished function invocation of every request.
+  virtual void on_fn_done(std::size_t app, std::size_t fn,
+                          const InvocationResult& result) = 0;
+};
 
-  /// `tracer` (optional) receives the request's lifecycle spans; `request_id`
-  /// correlates them across lanes (Platform hands out monotonic ids).
-  RequestContext(const wl::App* app, std::size_t app_index, Engine* engine,
-                 Gateway* gateway, Router* router, Completion on_complete,
-                 FnObserver fn_observer = nullptr,
-                 obs::Tracer* tracer = nullptr, std::uint64_t request_id = 0);
+class RequestContext;
+class RequestPool;
 
-  /// Kick off the request from its root function. The context keeps itself
-  /// alive via shared_from_this until every spawned invocation has
-  /// finished.
-  static void launch(const std::shared_ptr<RequestContext>& ctx);
+/// Intrusive refcounted handle to a pooled RequestContext. Copyable (the
+/// gateway/instance callbacks that capture it must be, to live inside
+/// std::function); the context returns to its pool when the last ref
+/// dies. Single-threaded by design, like the engine it serves.
+class RequestRef {
+ public:
+  RequestRef() = default;
+  explicit RequestRef(RequestContext* ctx);
+  RequestRef(const RequestRef& other);
+  RequestRef(RequestRef&& other) noexcept;
+  RequestRef& operator=(const RequestRef& other);
+  RequestRef& operator=(RequestRef&& other) noexcept;
+  ~RequestRef();
+
+  RequestContext* operator->() const { return ctx_; }
+  RequestContext& operator*() const { return *ctx_; }
+  explicit operator bool() const { return ctx_ != nullptr; }
 
  private:
+  RequestContext* ctx_ = nullptr;
+};
+
+class RequestContext {
+ public:
+  /// User callback for issue_request: (e2e latency, ok). Fires after the
+  /// sink has recorded the completion.
+  using DoneRequest = std::function<void(double e2e_latency_s, bool ok)>;
+  /// User callback for submit_job: receives the JCT (even on failure,
+  /// matching the original submit_job contract).
+  using DoneJob = std::function<void(double jct_s)>;
+
+  /// Kick off the request from its root function. The pool's RequestRef
+  /// (plus the refs captured by pending callbacks) keeps the context
+  /// checked out until every spawned invocation has finished.
+  void launch();
+
+ private:
+  friend class RequestPool;
+  friend class RequestRef;
+
+  explicit RequestContext(RequestPool* pool) : pool_(pool) {}
+
+  /// Re-initialize a recycled context for its next request. Reuses the
+  /// nodes_ buffer capacity across checkouts.
+  void reset(const wl::App* app, std::size_t app_index, Engine* engine,
+             Gateway* gateway, Router* router, RequestSink* sink,
+             RequestKind kind, DoneRequest done_request, DoneJob done_job,
+             obs::Tracer* tracer, std::uint64_t request_id);
+
+  void add_ref() { ++refs_; }
+  void release_ref();
+
   struct NodeState {
     bool invoked = false;
     bool exec_done = false;
@@ -60,18 +133,54 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   void complete_node(std::size_t node);
   void finish(bool ok);
 
-  const wl::App* app_;
-  std::size_t app_index_;
-  Engine* engine_;
-  Gateway* gateway_;
-  Router* router_;
-  Completion on_complete_;
-  FnObserver fn_observer_;
-  obs::Tracer* tracer_;
-  std::uint64_t request_id_;
+  RequestPool* pool_;
+  std::uint32_t refs_ = 0;
+  const wl::App* app_ = nullptr;
+  std::size_t app_index_ = 0;
+  Engine* engine_ = nullptr;
+  Gateway* gateway_ = nullptr;
+  Router* router_ = nullptr;
+  RequestSink* sink_ = nullptr;
+  RequestKind kind_ = RequestKind::kRequest;
+  DoneRequest done_request_;
+  DoneJob done_job_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t request_id_ = 0;
   SimTime start_ = 0.0;
   std::vector<NodeState> nodes_;
   bool finished_ = false;
+};
+
+/// LIFO free-list pool of RequestContexts. LIFO keeps the hottest
+/// (cache-resident) context on top; `allocated()` is the high-water mark
+/// of concurrent in-flight requests, which the pool ctest uses to prove
+/// reuse actually happens.
+class RequestPool {
+ public:
+  RequestPool() = default;
+  RequestPool(const RequestPool&) = delete;
+  RequestPool& operator=(const RequestPool&) = delete;
+
+  /// Check out a context (recycled if available) initialized for one
+  /// request. Exactly one of done_request / done_job is meaningful,
+  /// selected by `kind`.
+  RequestRef acquire(const wl::App* app, std::size_t app_index, Engine* engine,
+                     Gateway* gateway, Router* router, RequestSink* sink,
+                     RequestKind kind, RequestContext::DoneRequest done_request,
+                     RequestContext::DoneJob done_job, obs::Tracer* tracer,
+                     std::uint64_t request_id);
+
+  /// Contexts ever created (pool high-water mark).
+  std::size_t allocated() const { return owned_.size(); }
+  /// Contexts currently on the free list (== allocated() when idle).
+  std::size_t available() const { return free_.size(); }
+
+ private:
+  friend class RequestContext;
+  void recycle(RequestContext* ctx);
+
+  std::vector<std::unique_ptr<RequestContext>> owned_;
+  std::vector<RequestContext*> free_;
 };
 
 }  // namespace gsight::sim

@@ -1,0 +1,139 @@
+// Zero-copy batched prediction: GsightPredictor::predict_batch writes
+// scenario codes straight into rows of a reused scratch Matrix
+// (encode_into) and issues one batched forest call. The contract is
+// bit-identity with the per-scenario predict() loop — across empty
+// batches, single scenarios, batches far larger than the scratch's
+// initial capacity, and repeated calls that reuse the same scratch.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/predictor.hpp"
+
+namespace gsight::core {
+namespace {
+
+prof::AppProfile make_profile(const std::string& name, std::size_t fns,
+                              double ipc_base) {
+  prof::AppProfile p;
+  p.app_name = name;
+  for (std::size_t i = 0; i < fns; ++i) {
+    prof::FunctionProfile fp;
+    fp.app_name = name;
+    fp.fn_name = name + "-fn" + std::to_string(i);
+    for (std::size_t k = 0; k < prof::kMetricCount; ++k) {
+      fp.metrics[k] = ipc_base + static_cast<double>(i) +
+                      0.01 * static_cast<double>(k);
+    }
+    fp.demand.cores = 1.0;
+    fp.mem_alloc_gb = 0.5;
+    fp.solo_duration_s = 0.01;
+    fp.solo_ipc = ipc_base;
+    p.functions.push_back(fp);
+  }
+  return p;
+}
+
+struct PredictorBatchFixture : ::testing::Test {
+  prof::AppProfile target = make_profile("target", 2, 1.2);
+  prof::AppProfile corunner = make_profile("corunner", 1, 2.1);
+
+  EncoderConfig encoder_config() const {
+    EncoderConfig cfg;
+    cfg.servers = 3;
+    cfg.max_workloads = 2;
+    return cfg;
+  }
+
+  /// A family of distinct scenarios: placement and temporal fields vary
+  /// with `i`, so batch rows are not degenerate duplicates.
+  Scenario scenario(std::size_t i) const {
+    Scenario s;
+    s.servers = 3;
+    s.workloads.push_back({&target, {i % 3, (i + 1) % 3}, 0.0, 0.0});
+    s.workloads.push_back({&corunner,
+                           {(i / 3) % 3},
+                           static_cast<double>(i % 17),
+                           10.0 + static_cast<double>(i % 29)});
+    return s;
+  }
+
+  GsightPredictor trained_predictor() const {
+    PredictorConfig cfg;
+    cfg.encoder = encoder_config();
+    GsightPredictor predictor(cfg);
+    for (std::size_t i = 0; i < 24; ++i) {
+      predictor.observe(scenario(i), 1.0 + 0.05 * static_cast<double>(i % 7));
+    }
+    predictor.flush();
+    return predictor;
+  }
+};
+
+TEST_F(PredictorBatchFixture, EmptyBatchReturnsEmpty) {
+  const auto predictor = trained_predictor();
+  EXPECT_TRUE(predictor.predict_batch({}).empty());
+}
+
+TEST_F(PredictorBatchFixture, SingleScenarioMatchesPredict) {
+  const auto predictor = trained_predictor();
+  const Scenario s = scenario(5);
+  const auto batch = predictor.predict_batch(std::span(&s, 1));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], predictor.predict(s));
+}
+
+TEST_F(PredictorBatchFixture, LargeBatchBitIdenticalToSingles) {
+  // > 4096 rows: several scratch-Matrix growth steps and every gather
+  // block shape (full 8-row blocks plus a ragged tail).
+  const auto predictor = trained_predictor();
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(4100);
+  for (std::size_t i = 0; i < 4100; ++i) scenarios.push_back(scenario(i));
+  const auto batch = predictor.predict_batch(scenarios);
+  ASSERT_EQ(batch.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_EQ(batch[i], predictor.predict(scenarios[i])) << "row " << i;
+  }
+}
+
+TEST_F(PredictorBatchFixture, RepeatedCallsReuseScratchWithoutDrift) {
+  // Shrinking then growing batches through one predictor: the reused
+  // scratch must never leak a previous batch's rows into the next.
+  const auto predictor = trained_predictor();
+  std::vector<Scenario> big;
+  for (std::size_t i = 0; i < 50; ++i) big.push_back(scenario(i));
+  const auto first = predictor.predict_batch(big);
+  std::vector<Scenario> small(big.begin() + 7, big.begin() + 10);
+  const auto mid = predictor.predict_batch(small);
+  ASSERT_EQ(mid.size(), 3u);
+  for (std::size_t i = 0; i < mid.size(); ++i) {
+    EXPECT_EQ(mid[i], first[7 + i]);
+  }
+  EXPECT_EQ(predictor.predict_batch(big), first);
+}
+
+TEST_F(PredictorBatchFixture, EncodeIntoMatchesEncode) {
+  const Encoder encoder(encoder_config());
+  EncodeScratch scratch;
+  std::vector<double> out(encoder.dimension(), -1.0);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const Scenario s = scenario(i);
+    encoder.encode_into(s, scratch, out);
+    EXPECT_EQ(out, encoder.encode(s)) << "scenario " << i;
+  }
+}
+
+TEST_F(PredictorBatchFixture, EncodeIntoRejectsWrongSpanSize) {
+  const Encoder encoder(encoder_config());
+  EncodeScratch scratch;
+  std::vector<double> wrong(encoder.dimension() + 1, 0.0);
+  EXPECT_THROW(encoder.encode_into(scenario(0), scratch, wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gsight::core

@@ -7,6 +7,8 @@
 // contract: predict_batch must equal N single predict() calls exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -204,6 +206,114 @@ TEST(ForestEquivalence, PredictBatchOnUnfittedForestIsZero) {
   const auto out = forest.predict_batch(queries);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], 0.0);
+}
+
+// --- Inference-kernel equivalence -----------------------------------------
+// Every traversal backend (reference pointer-chase, scalar-blocked,
+// AVX2, and both batched gather variants) must agree to the bit: the
+// blocked kernels do no arithmetic the reference doesn't (compares and
+// one mean reduction in the same tree order), so EXPECT_EQ, not NEAR.
+
+// Per-row leaf walk through one backend, reduced exactly like predict().
+double predict_via(const RandomForestRegressor& forest,
+                   std::span<const double> x, bool simd) {
+  std::vector<double> leaves(forest.blocked().tree_count());
+  if (simd) {
+    forest_kernel::leaves_simd(forest.blocked(), x, leaves);
+  } else {
+    forest_kernel::leaves_scalar(forest.blocked(), x, leaves);
+  }
+  return forest_kernel::reduce_mean(leaves);
+}
+
+TEST(ForestKernelEquivalence, ScalarBlockedMatchesReferenceOnTies) {
+  stats::Rng data_rng(18);
+  const auto data = tie_heavy_data(300, 6, data_rng);
+  ForestConfig cfg;
+  cfg.n_trees = 21;  // not a multiple of the lane width: exercises the tail
+  RandomForestRegressor forest(cfg);
+  stats::Rng rng(44);
+  forest.fit(data, rng);
+
+  std::vector<double> q(6);
+  for (int i = 0; i < 200; ++i) {
+    for (std::size_t f = 0; f < q.size(); ++f) {
+      // Tie-heavy queries: values sitting exactly on quantised thresholds.
+      q[f] = static_cast<double>(data_rng.uniform_index(5));
+    }
+    const double ref = forest.predict_reference(q);
+    EXPECT_EQ(forest.predict(q), ref) << "dispatched, row " << i;
+    EXPECT_EQ(predict_via(forest, q, /*simd=*/false), ref) << "scalar " << i;
+    if (forest_kernel::simd_available()) {
+      EXPECT_EQ(predict_via(forest, q, /*simd=*/true), ref) << "simd " << i;
+    }
+  }
+}
+
+TEST(ForestKernelEquivalence, GatherVariantsMatchReferenceBatch) {
+  stats::Rng data_rng(19);
+  const auto data = smooth_data(350, 7, data_rng);
+  ForestConfig cfg;
+  cfg.n_trees = 40;
+  RandomForestRegressor forest(cfg);
+  stats::Rng rng(45);
+  forest.fit(data, rng);
+
+  // 67 rows: several full 8-row blocks plus a ragged tail.
+  Matrix queries(0, 7);
+  std::vector<double> q(7);
+  for (int i = 0; i < 67; ++i) {
+    for (auto& v : q) v = data_rng.uniform(-2.5, 2.5);
+    queries.push_row(q);
+  }
+  const auto ref = forest.predict_batch_reference(queries);
+  std::vector<double> out(queries.rows());
+  forest_kernel::gather_scalar(forest.blocked(), queries, out);
+  EXPECT_EQ(out, ref);
+  if (forest_kernel::simd_available()) {
+    std::fill(out.begin(), out.end(), -1.0);
+    forest_kernel::gather_simd(forest.blocked(), queries, out);
+    EXPECT_EQ(out, ref);
+  }
+  EXPECT_EQ(forest.predict_batch(queries), ref);
+}
+
+TEST(ForestKernelEquivalence, BlockedLayoutInvariants) {
+  stats::Rng data_rng(20);
+  const auto data = tie_heavy_data(150, 5, data_rng);
+  ForestConfig cfg;
+  cfg.n_trees = 9;
+  RandomForestRegressor forest(cfg);
+  stats::Rng rng(46);
+  forest.fit(data, rng);
+
+  const BlockedForest& b = forest.blocked();
+  ASSERT_EQ(b.tree_count(), 9u);
+  ASSERT_EQ(b.depth.size(), 9u);
+  ASSERT_EQ(b.value.size(), b.node_count());
+  for (std::size_t g = 0; g < b.node_count(); ++g) {
+    const auto& node = b.nodes[g];
+    if (node.feature == BlockedForest::kLeaf) {
+      // Leaves self-loop so parked lanes step harmlessly.
+      EXPECT_EQ(node.left, static_cast<std::int32_t>(g));
+    } else {
+      // BFS lays siblings adjacently: right child is left + 1, and both
+      // children live strictly after their parent.
+      EXPECT_GT(node.left, static_cast<std::int32_t>(g));
+      EXPECT_LT(node.left + 1, static_cast<std::int32_t>(b.node_count()));
+    }
+  }
+}
+
+TEST(ForestKernelEquivalence, EmptyAndUnfittedForests) {
+  RandomForestRegressor forest;
+  EXPECT_TRUE(forest.blocked().empty());
+  Matrix queries(0, 4);
+  std::vector<double> none;
+  forest_kernel::gather_scalar(forest.blocked(), queries, none);
+  EXPECT_TRUE(none.empty());
+  queries.push_row(std::vector<double>{0.0, 1.0, 2.0, 3.0});
+  EXPECT_EQ(forest.predict_batch(queries), std::vector<double>{0.0});
 }
 
 TEST(ForestEquivalence, ParallelColumnarTrainingMatchesSerial) {

@@ -1,0 +1,142 @@
+#include "analysis/hot_alloc.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace gsight::analysis {
+
+namespace {
+
+const char kRule[] = "alloc-in-hot-path";
+/// Short waiver spelling; the full rule name is accepted too.
+const char kWaiver[] = "hot-alloc";
+const char kMarker[] = "gsight-analyze: hot-path";
+
+/// A file opts into the pass with a raw `// gsight-analyze: hot-path`
+/// line (convention: line 1, above the first include).
+bool is_hot(const LexedFile& file) {
+  for (const auto& line : file.raw) {
+    if (line.find(kMarker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool line_waived(const LexedFile& file, std::size_t line) {
+  return waived(file, line, kWaiver) || waived(file, line, kRule);
+}
+
+}  // namespace
+
+void check_hot_alloc(const SourceSet& files, std::vector<Violation>* out) {
+  for (const auto& [rel, file] : files) {
+    if (!is_hot(file)) continue;
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::string& t = toks[i].text;
+      if (t == "new") {
+        // `operator new` declarations configure allocation rather than
+        // perform it; everything else is a new-expression.
+        if (i > 0 && toks[i - 1].text == "operator") continue;
+        if (line_waived(file, toks[i].line)) continue;
+        out->push_back({rel, toks[i].line, kRule,
+                        "new-expression in a hot-path file; pool or reuse "
+                        "the object, or waive with allow(hot-alloc)"});
+      } else if (t == "make_shared") {
+        if (line_waived(file, toks[i].line)) continue;
+        out->push_back({rel, toks[i].line, kRule,
+                        "make_shared in a hot-path file (malloc + atomic "
+                        "refcount per call); pool the object or waive "
+                        "with allow(hot-alloc)"});
+      }
+    }
+  }
+}
+
+int hot_alloc_self_test() {
+  struct Case {
+    const char* name;
+    std::vector<std::pair<const char*, const char*>> files;
+    int expect_violations;
+  };
+  const std::vector<Case> cases = {
+      {"new expression in a hot file",
+       {{"src/sim/a.cpp",
+         "// gsight-analyze: hot-path\n"
+         "void f() { auto* p = new Foo(); use(p); }\n"}},
+       1},
+      {"make_shared in a hot file",
+       {{"src/sim/a.cpp",
+         "// gsight-analyze: hot-path\n"
+         "void f() { auto p = std::make_shared<Foo>(); use(p); }\n"}},
+       1},
+      {"unqualified make_shared still counts",
+       {{"src/sim/a.cpp",
+         "// gsight-analyze: hot-path\n"
+         "using std::make_shared;\n"
+         "void f() { auto p = make_shared<Foo>(); use(p); }\n"}},
+       2},  // the using-declaration names it too: both lines flag
+      {"unmarked file is out of scope",
+       {{"src/sim/a.cpp",
+         "void f() { auto p = std::make_shared<Foo>(); use(new Foo()); }\n"}},
+       0},
+      {"make_unique is the allowed idiom",
+       {{"src/sim/a.cpp",
+         "// gsight-analyze: hot-path\n"
+         "void f() { auto p = std::make_unique<Foo>(); use(p); }\n"}},
+       0},
+      {"waiver on the allocation line",
+       {{"src/sim/a.cpp",
+         "// gsight-analyze: hot-path\n"
+         "void grow() {\n"
+         "  owned_.emplace_back(new Ctx(this));  "
+         "// gsight-analyze: allow(hot-alloc)\n"
+         "}\n"}},
+       0},
+      {"full rule name also waives",
+       {{"src/sim/a.cpp",
+         "// gsight-analyze: hot-path\n"
+         "void f() { auto p = std::make_shared<Foo>(); "
+         "// gsight-analyze: allow(alloc-in-hot-path)\n"
+         "}\n"}},
+       0},
+      {"new in comments and strings is invisible to the lexer",
+       {{"src/sim/a.cpp",
+         "// gsight-analyze: hot-path\n"
+         "// a new context is checked out of the pool, never new'd\n"
+         "const char* kMsg = \"new request\";\n"}},
+       0},
+      {"operator new declaration is configuration, not allocation",
+       {{"src/sim/a.cpp",
+         "// gsight-analyze: hot-path\n"
+         "void* operator new(std::size_t n);\n"}},
+       0},
+      {"marker anywhere in the file arms the pass",
+       {{"src/sim/a.cpp",
+         "void f() { use(new Foo()); }\n"
+         "// gsight-analyze: hot-path\n"}},
+       1},
+  };
+  int failures = 0;
+  for (const auto& c : cases) {
+    SourceSet set;
+    for (const auto& [rel, text] : c.files) add_source(&set, rel, text);
+    std::vector<Violation> vs;
+    check_hot_alloc(set, &vs);
+    if (static_cast<int>(vs.size()) != c.expect_violations) {
+      ++failures;
+      std::cout << "hot-alloc self-test FAIL: " << c.name << " (expected "
+                << c.expect_violations << ", got " << vs.size() << ")\n";
+      for (const auto& v : vs) {
+        std::cout << "  " << v.file << ":" << v.line << ": " << v.message
+                  << "\n";
+      }
+    }
+  }
+  std::cout << "hot-alloc self-test: " << (cases.size() - failures) << "/"
+            << cases.size() << " cases pass\n";
+  return failures;
+}
+
+}  // namespace gsight::analysis

@@ -1,0 +1,36 @@
+// Hot-path allocation pass. The perf work that pooled RequestContexts and
+// gave the encode/serve paths reusable scratch buffers only stays won if
+// nobody reintroduces a per-request heap allocation later — a single
+// make_shared on the request path is invisible in review and costs a
+// malloc + atomic refcount per sim request (millions per campaign).
+//
+// Rule `alloc-in-hot-path`: in files that declare themselves hot with a
+// raw marker line
+//     // gsight-analyze: hot-path
+// (by convention the first line of the file), every
+//
+//   * `new` expression        (includes make_shared's little sibling,
+//                             placement new, and operator-new calls)
+//   * `std::make_shared` call
+//
+// is flagged. `make_unique` is deliberately allowed: it is the setup-path
+// idiom (constructors, deploy, pool growth) and owning containers make
+// the allocation obvious. Waive a legitimate allocation on its line with
+//     // gsight-analyze: allow(hot-alloc)
+// and say why — the pool-growth `new` in RequestPool::acquire and the
+// promise in predict_wait are the canonical examples.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+
+namespace gsight::analysis {
+
+/// Run the pass over every file of `files`, appending violations.
+void check_hot_alloc(const SourceSet& files, std::vector<Violation>* out);
+
+/// Seeded-violation corpus; returns the number of failing cases.
+int hot_alloc_self_test();
+
+}  // namespace gsight::analysis

@@ -8,6 +8,8 @@
 //                    (unordered-iteration)
 //   lock-discipline  mutex-owning classes with unannotated mutable
 //                    members (unguarded-member)
+//   hot-alloc        new / make_shared in files marked
+//                    `// gsight-analyze: hot-path` (alloc-in-hot-path)
 //
 // Usage:
 //   gsight_analyze [ROOT]                  analyse ROOT/src (default ".")
@@ -15,7 +17,8 @@
 //                                          (JSON, gsight-include-graph/v1)
 //   gsight_analyze --self-test             run every pass's seeded corpus
 //   gsight_analyze --self-test=PASS        one corpus: layering,
-//                                          determinism or lock-discipline
+//                                          determinism, lock-discipline or
+//                                          hot-alloc
 //
 // Exit codes: 0 clean, 1 violations (or self-test failures), 2 usage or
 // I/O error. Waivers: // gsight-analyze: allow(rule) on the finding line.
@@ -29,6 +32,7 @@
 
 #include "analysis/determinism.hpp"
 #include "analysis/diagnostics.hpp"
+#include "analysis/hot_alloc.hpp"
 #include "analysis/include_graph.hpp"
 #include "analysis/lock_discipline.hpp"
 
@@ -83,10 +87,13 @@ int run_self_tests(const std::string& which) {
   if (which.empty() || which == "lock-discipline") {
     failures += lock_discipline_self_test();
   }
+  if (which.empty() || which == "hot-alloc") {
+    failures += hot_alloc_self_test();
+  }
   if (!which.empty() && which != "layering" && which != "determinism" &&
-      which != "lock-discipline") {
+      which != "lock-discipline" && which != "hot-alloc") {
     std::cerr << "gsight_analyze: unknown pass '" << which
-              << "' (layering, determinism, lock-discipline)\n";
+              << "' (layering, determinism, lock-discipline, hot-alloc)\n";
     return 2;
   }
   return failures == 0 ? 0 : 1;
@@ -131,6 +138,7 @@ int main(int argc, char** argv) {
   check_layering(graph, files, &violations);
   check_determinism(files, &violations);
   check_lock_discipline(files, &violations);
+  check_hot_alloc(files, &violations);
 
   if (!dump_path.empty()) {
     std::ofstream out(dump_path, std::ios::binary);
