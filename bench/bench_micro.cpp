@@ -14,6 +14,7 @@
 #include "ml/incremental_forest.hpp"
 #include "ml/random_forest.hpp"
 #include "serve/fleet.hpp"
+#include "serve/router.hpp"
 #include "serve/service.hpp"
 #include "sim/engine.hpp"
 #include "sim/interference.hpp"
@@ -398,6 +399,32 @@ void BM_ServeFleetRouted(benchmark::State& state) {
   fleet.stop();
 }
 BENCHMARK(BM_ServeFleetRouted)->Unit(benchmark::kMicrosecond);
+
+// Router overhead in isolation (ROADMAP item 5 follow-up): one route()
+// decision per iteration, no replica behind it. The hash policy walks the
+// ring (binary search over replicas * vnodes points); least-queued scans
+// the depth vector. Sweeping 1/4/16 replicas shows how each policy's
+// per-request tax scales with fleet width.
+void BM_ServeRouterImpl(benchmark::State& state, serve::RouterPolicy policy) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  serve::Router router(policy, replicas, /*vnodes_per_replica=*/64);
+  std::vector<std::size_t> depths(replicas);
+  stats::Rng rng(11);
+  for (auto& d : depths) d = rng.uniform_index(32);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    const auto choice = router.route(++key, depths);
+    benchmark::DoNotOptimize(choice);
+  }
+}
+void BM_ServeRouterHash(benchmark::State& state) {
+  BM_ServeRouterImpl(state, serve::RouterPolicy::kConsistentHash);
+}
+BENCHMARK(BM_ServeRouterHash)->Arg(1)->Arg(4)->Arg(16);
+void BM_ServeRouterLeastQueued(benchmark::State& state) {
+  BM_ServeRouterImpl(state, serve::RouterPolicy::kLeastQueued);
+}
+BENCHMARK(BM_ServeRouterLeastQueued)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_ForestIncrementalUpdate(benchmark::State& state) {
   stats::Rng rng(3);

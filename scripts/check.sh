@@ -29,6 +29,10 @@
 #   6b. shard-equivalence: `gsight campaign --shards N` 1-lane serial vs
 #      8-lane thread-pooled estate dumps must be byte-identical (the
 #      determinism contract of sim::ShardedEngine, DESIGN.md §13)
+#   6c. cloning twin-run: the same estate with request cloning, cross-cell
+#      clone pairs and processor-sharing servers — cancel-on-first-complete
+#      events cross shard mailboxes and must still replay byte-identically
+#      for any lane/thread count (DESIGN.md §16)
 #   7. serve smoke: short `gsight serve-bench` runs. The synchronous twin
 #      (--threads 0) must emit byte-identical BENCH_serve.json across two
 #      runs (modulo wall_time_s) with at least one hot swap; the threaded
@@ -141,7 +145,7 @@ configure_build "$TSAN_DIR" "-DGSIGHT_SANITIZE=thread"
 ( cd "$TSAN_DIR" && \
   TSAN_OPTIONS=halt_on_error=1 \
   ctest --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign|Serve|Fleet|Shard' )
+        -R 'ThreadPool|Forest|Incremental|Trainer|Campaign|Serve|Fleet|Shard|Clon|ProcessorSharing' )
 
 # --- 5. Bench smoke --------------------------------------------------------
 banner "bench smoke: bench_micro -> BENCH_micro.json -> bench_schema_check"
@@ -249,6 +253,25 @@ rm -rf "$SHARD_DIR" && mkdir -p "$SHARD_DIR"
 cmp "$SHARD_DIR/lanes1.dump" "$SHARD_DIR/lanes8.dump" \
   || { echo "shard-equivalence: 1-lane and 8-lane dumps differ"; exit 1; }
 echo "1-lane and 8-lane shard dumps are byte-identical"
+
+# --- 6c. Cloning twin-run ----------------------------------------------------
+banner "cloning twin-run: cross-cell clones + PS servers, 1 lane vs 8 lanes"
+CLONE_EQ_DIR="$BENCH_DIR/clone-eq"
+rm -rf "$CLONE_EQ_DIR" && mkdir -p "$CLONE_EQ_DIR"
+# The same estate, but every request fans into two clones, a share of the
+# clone pairs crosses cell boundaries, and the servers run processor
+# sharing. Cancel-on-first-complete now travels through shard mailboxes, so
+# this gate proves retraction events replay byte-identically no matter how
+# the lanes are scheduled.
+CLONE_ARGS=(--seed 4242 --clusters 8 --servers 4 --horizon 60
+            --clone-factor 2 --clone-handoffs --remote 0.3 --ps)
+"$BENCH_DIR/tools/gsight" campaign --shards 1 --threads 1 "${CLONE_ARGS[@]}" \
+  --dump "$CLONE_EQ_DIR/lanes1.dump" > /dev/null
+"$BENCH_DIR/tools/gsight" campaign --shards 8 --threads 8 "${CLONE_ARGS[@]}" \
+  --dump "$CLONE_EQ_DIR/lanes8.dump" > /dev/null
+cmp "$CLONE_EQ_DIR/lanes1.dump" "$CLONE_EQ_DIR/lanes8.dump" \
+  || { echo "cloning twin-run: 1-lane and 8-lane dumps differ"; exit 1; }
+echo "cloning twin-run dumps are byte-identical with cross-cell cancels"
 
 # --- 7. Serve smoke ---------------------------------------------------------
 banner "serve smoke: serve-bench determinism twin + threaded hot-swap"

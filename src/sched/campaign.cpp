@@ -8,10 +8,8 @@
 
 namespace gsight::sched {
 
-namespace {
-
-MetricSummary summarise(std::string name, std::string unit,
-                        std::vector<double> values) {
+MetricSummary summarize_metric(std::string name, std::string unit,
+                               std::vector<double> values) {
   MetricSummary s;
   s.name = std::move(name);
   s.unit = std::move(unit);
@@ -23,6 +21,8 @@ MetricSummary summarise(std::string name, std::string unit,
   return s;
 }
 
+namespace {
+
 /// Collect `get(report)` across all replications into one summary.
 template <typename Fn>
 MetricSummary collect(const std::vector<ExperimentReport>& reports,
@@ -30,7 +30,8 @@ MetricSummary collect(const std::vector<ExperimentReport>& reports,
   std::vector<double> values;
   values.reserve(reports.size());
   for (const auto& r : reports) values.push_back(get(r));
-  return summarise(std::move(name), std::move(unit), std::move(values));
+  return summarize_metric(std::move(name), std::move(unit),
+                          std::move(values));
 }
 
 }  // namespace

@@ -56,6 +56,11 @@ struct MetricSummary {
   std::vector<double> values;   ///< per-replication values, in rep order
 };
 
+/// Condense one metric's per-replication values into mean ± ci95. Shared
+/// by Campaign::run and the cloning-frontier experiment.
+MetricSummary summarize_metric(std::string name, std::string unit,
+                               std::vector<double> values);
+
 struct CampaignResult {
   std::string scheduler;
   std::size_t replications = 0;

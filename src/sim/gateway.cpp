@@ -19,6 +19,14 @@ void require_finite_nonnegative(double value, const char* what) {
 
 }  // namespace
 
+void CloneConfig::validate() const {
+  if (factor < 1 || factor > kMaxCloneFactor) {
+    throw std::invalid_argument(
+        "CloneConfig: factor must be in [1, " +
+        std::to_string(kMaxCloneFactor) + "], got " + std::to_string(factor));
+  }
+}
+
 void GatewayConfig::validate() const {
   require_finite_nonnegative(base_service_s, "base_service_s");
   require_finite_nonnegative(backlog_coeff, "backlog_coeff");
@@ -35,6 +43,7 @@ void GatewayConfig::validate() const {
         "GatewayConfig: instance_knee must be finite and positive");
   }
   require_finite_nonnegative(instance_exponent, "instance_exponent");
+  clone.validate();
 }
 
 Gateway::Gateway(Engine* engine, GatewayConfig config)

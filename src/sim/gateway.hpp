@@ -19,6 +19,33 @@
 
 namespace gsight::sim {
 
+/// Upper bound on the cloning fan-out. Small on purpose: it lets the
+/// request layer keep per-clone state in a fixed-size array (no
+/// allocation on the request hot path) and matches the d <= 4 range
+/// studied in the request-cloning PS literature.
+inline constexpr std::size_t kMaxCloneFactor = 8;
+
+/// Gateway-level request cloning ("Modeling of Request Cloning in Cloud
+/// Server Systems using Processor Sharing"): each external request fans
+/// out into `factor` clones routed to distinct servers; the first clone
+/// to complete wins and the siblings are cancelled.
+struct CloneConfig {
+  enum class Policy {
+    /// Each clone draws its own duration jitter — clones act like
+    /// independent samples of the service time (C(n,d)-style).
+    kIndependent,
+    /// Every sibling gets the same jitter draw — only placement and
+    /// interference differ, the paper's synchronized-service model.
+    kSynchronized,
+  };
+  std::size_t factor = 1;  ///< d; 1 disables cloning
+  Policy policy = Policy::kIndependent;
+
+  /// Throws std::invalid_argument when factor is outside
+  /// [1, kMaxCloneFactor].
+  void validate() const;
+};
+
 struct GatewayConfig {
   double base_service_s = 0.0001;  ///< cost of one forward, unloaded
   /// Extra service cost per invocation queued at the *backends* (the
@@ -34,6 +61,9 @@ struct GatewayConfig {
   /// Instance-count knee: cost multiplier is 1 + (n / knee)^exponent.
   double instance_knee = 120.0;
   double instance_exponent = 6.0;
+  /// Request-cloning discipline applied at admission (jobs are never
+  /// cloned — replaying a batch job d times has no latency story).
+  CloneConfig clone;
 
   /// Throws std::invalid_argument on any field that would make
   /// current_service_s() non-finite or negative. Mirrors
@@ -62,6 +92,7 @@ class Gateway {
 
   std::size_t queue_depth() const { return queue_.size(); }
   std::uint64_t forwards() const { return forwards_; }
+  const CloneConfig& clone_config() const { return config_.clone; }
   const stats::Reservoir& forwarding_latencies() const { return latencies_; }
   /// Instantaneous per-forward service time under current load.
   double current_service_s() const;

@@ -31,7 +31,8 @@ Instance::Instance(std::uint64_t id, std::size_t app, std::size_t fn,
 
 Instance::~Instance() { server_->remove_resident(spec_->mem_alloc_gb); }
 
-std::vector<wl::Phase> Instance::materialize_phases(bool cold) {
+std::vector<wl::Phase> Instance::materialize_phases(bool cold,
+                                                    double jitter_override) {
   std::vector<wl::Phase> phases;
   phases.reserve(spec_->phases.size() + 1);
   if (cold && spec_->cold_start_s > 0.0) {
@@ -49,9 +50,11 @@ std::vector<wl::Phase> Instance::materialize_phases(bool cold) {
     phases.push_back(std::move(startup));
   }
   const double jitter =
-      spec_->jitter_sigma > 0.0
-          ? rng_.lognormal_median(1.0, spec_->jitter_sigma)
-          : 1.0;
+      jitter_override > 0.0
+          ? jitter_override
+          : (spec_->jitter_sigma > 0.0
+                 ? rng_.lognormal_median(1.0, spec_->jitter_sigma)
+                 : 1.0);
   for (const auto& p : spec_->phases) {
     wl::Phase copy = p;
     copy.solo_duration_s *= jitter;
@@ -61,9 +64,36 @@ std::vector<wl::Phase> Instance::materialize_phases(bool cold) {
   return phases;
 }
 
-void Instance::submit(DoneFn done) {
-  queue_.push_back({engine_->now(), std::move(done)});
+std::uint64_t Instance::submit(DoneFn done, double jitter_override) {
+  const std::uint64_t ticket = next_ticket_++;
+  queue_.push_back({engine_->now(), std::move(done), ticket, jitter_override});
   if (!busy_) start_next();
+  return ticket;
+}
+
+bool Instance::cancel(std::uint64_t ticket) {
+  if (ticket == 0) return false;
+  if (busy_ && ticket == current_ticket_) {
+    // Abort the in-flight execution: the server erases the Exec (the
+    // completion lambda — and the DoneFn it owns — is destroyed without
+    // firing) and recomputes the survivors' rates.
+    server_->abort_execution(current_exec_);
+    busy_ = false;
+    current_exec_ = 0;
+    current_ticket_ = 0;
+    last_finish_ = engine_->now();
+    ++cancellations_;
+    if (!queue_.empty()) start_next();
+    return true;
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->ticket == ticket) {
+      queue_.erase(it);  // destroying Pending::done releases captured refs
+      ++cancellations_;
+      return true;
+    }
+  }
+  return false;
 }
 
 void Instance::start_next() {
@@ -81,9 +111,10 @@ void Instance::start_next() {
   ++invocations_;
 
   const double queue_wait = now - pending.enqueued;
+  current_ticket_ = pending.ticket;
   auto done = std::make_shared<DoneFn>(std::move(pending.done));
   current_exec_ = server_->begin_execution(
-      materialize_phases(cold),
+      materialize_phases(cold, pending.jitter_override),
       [this, queue_wait, cold, done](const ExecResult& r) {
         InvocationResult inv;
         inv.queue_wait_s = queue_wait;
@@ -96,6 +127,7 @@ void Instance::start_next() {
         busy_ = false;
         last_finish_ = engine_->now();
         current_exec_ = 0;
+        current_ticket_ = 0;
         if (!queue_.empty()) start_next();
         if (*done) (*done)(inv);
       },

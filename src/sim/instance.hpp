@@ -51,8 +51,20 @@ class Instance {
   const wl::FunctionSpec& spec() const { return *spec_; }
   Server& server() const { return *server_; }
 
-  /// Enqueue one invocation; `done` fires at completion.
-  void submit(DoneFn done);
+  /// Enqueue one invocation; `done` fires at completion. Returns a
+  /// cancellation ticket (see cancel()). When `jitter_override` > 0 the
+  /// invocation runs with that duration multiplier instead of drawing
+  /// one from the instance Rng — the gateway's synchronized-service
+  /// cloning mode gives every sibling clone the same draw.
+  std::uint64_t submit(DoneFn done, double jitter_override = -1.0);
+
+  /// Retract a submitted invocation. A queued invocation is dropped
+  /// (its DoneFn destroyed, releasing any captured refs); a running one
+  /// has its server execution aborted and the next queued invocation
+  /// starts. The DoneFn never fires and no latency/IPC sample is
+  /// recorded. Returns false when the ticket already completed (or was
+  /// already cancelled) — cancellation is idempotent.
+  bool cancel(std::uint64_t ticket);
 
   std::size_t queue_depth() const { return queue_.size(); }
   bool busy() const { return busy_; }
@@ -68,6 +80,7 @@ class Instance {
 
   std::uint64_t invocations() const { return invocations_; }
   std::uint64_t cold_starts() const { return cold_starts_; }
+  std::uint64_t cancellations() const { return cancellations_; }
   const stats::Reservoir& local_latencies() const { return latencies_; }
   const stats::Running& ipc_stats() const { return ipc_stats_; }
 
@@ -75,10 +88,12 @@ class Instance {
   struct Pending {
     SimTime enqueued = 0.0;
     DoneFn done;
+    std::uint64_t ticket = 0;
+    double jitter_override = -1.0;
   };
 
   void start_next();
-  std::vector<wl::Phase> materialize_phases(bool cold);
+  std::vector<wl::Phase> materialize_phases(bool cold, double jitter_override);
 
   std::uint64_t id_;
   std::size_t app_;
@@ -95,9 +110,12 @@ class Instance {
   bool retiring_ = false;
   SimTime last_finish_ = 0.0;
   ExecId current_exec_ = 0;
+  std::uint64_t current_ticket_ = 0;  ///< 0 = nothing running
+  std::uint64_t next_ticket_ = 1;
 
   std::uint64_t invocations_ = 0;
   std::uint64_t cold_starts_ = 0;
+  std::uint64_t cancellations_ = 0;
   stats::Reservoir latencies_{4096};
   stats::Running ipc_stats_;
 };

@@ -5,7 +5,15 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "stats/seed_stream.hpp"
+
 namespace gsight::sim {
+
+namespace {
+/// Named sub-stream of the platform seed (DESIGN.md §9) feeding the
+/// synchronized-clone jitter Rng.
+constexpr std::uint64_t kCloneJitterTag = 0x434C4F4E4A495454ULL;  // CLONJITT
+}  // namespace
 
 std::vector<double> AppStats::e2e_values() const {
   std::vector<double> out;
@@ -34,7 +42,8 @@ Platform::Platform(PlatformConfig config)
     : config_(config),
       model_(config.interference),
       recorder_(config.metric_window_s),
-      rng_(config.seed) {
+      rng_(config.seed),
+      clone_rng_(stats::SeedStream::derive(config.seed, kCloneJitterTag)) {
   config_.validate();
   std::vector<ServerConfig> servers(config_.servers, config_.server);
   cluster_ = std::make_unique<Cluster>(&engine_, &model_, servers, &recorder_,
@@ -159,6 +168,40 @@ Instance* Platform::route(std::size_t app, std::size_t fn) {
   return reps[0];  // all draining: deliver anyway rather than drop
 }
 
+Instance* Platform::route_clone(std::size_t app, std::size_t fn,
+                                const Server* const* exclude, std::size_t n) {
+  DeployedApp& d = *apps_.at(app);
+  auto& reps = d.replicas.at(fn);
+  if (reps.empty()) return nullptr;
+  const std::size_t count = reps.size();
+  const auto excluded = [exclude, n](const Instance* inst) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (exclude[i] == &inst->server()) return true;
+    }
+    return false;
+  };
+  // Same round-robin warm-preference probe as route(), sharing the
+  // cursor, but replicas on excluded (sibling-clone) servers are skipped
+  // and there is no all-draining fallback: a clone that cannot reach a
+  // distinct server is surplus and simply not dispatched.
+  Instance* cold_fallback = nullptr;
+  for (std::size_t probe = 0; probe < count; ++probe) {
+    Instance* inst = reps[d.rr[fn] % count];
+    d.rr[fn] = (d.rr[fn] + 1) % count;
+    if (inst->draining() || excluded(inst)) continue;
+    if (inst->warm()) return inst;
+    if (cold_fallback == nullptr) cold_fallback = inst;
+  }
+  return cold_fallback;
+}
+
+double Platform::clone_jitter(std::size_t app, std::size_t fn) {
+  const wl::FunctionSpec& spec = apps_.at(app)->app.function(fn);
+  return spec.jitter_sigma > 0.0
+             ? clone_rng_.lognormal_median(1.0, spec.jitter_sigma)
+             : 1.0;
+}
+
 void Platform::on_request_done(std::size_t app, RequestKind kind,
                                double latency_s, bool ok) {
   AppStats& stats = apps_.at(app)->stats;
@@ -180,6 +223,18 @@ void Platform::on_fn_done(std::size_t app, std::size_t fn,
   stats.fn_ipc[fn].add(result.mean_ipc);
 }
 
+void Platform::on_request_cancelled(std::size_t app, RequestKind kind) {
+  (void)kind;
+  ++apps_.at(app)->stats.cancelled;
+}
+
+void Platform::on_clone_accounting(std::size_t app, std::uint32_t dispatched,
+                                   std::uint32_t cancelled) {
+  AppStats& stats = apps_.at(app)->stats;
+  stats.clones_dispatched += dispatched;
+  stats.clones_cancelled += cancelled;
+}
+
 void Platform::issue_request(std::size_t app,
                              std::function<void(double, bool)> on_done) {
   DeployedApp& d = *apps_.at(app);
@@ -188,6 +243,33 @@ void Platform::issue_request(std::size_t app,
       &d.app, app, &engine_, gateway_.get(), this, this, RequestKind::kRequest,
       std::move(on_done), nullptr, &tracer_, next_request_id_++);
   ctx->launch();
+}
+
+std::uint64_t Platform::issue_tracked_request(
+    std::size_t app, std::function<void(double, bool)> on_done) {
+  DeployedApp& d = *apps_.at(app);
+  ++d.arrivals_since_drain;
+  const std::uint64_t handle = next_request_id_++;
+  // The wrapper untracks on completion; cancel_request untracks on
+  // retraction — either way the pool gets its context back.
+  RequestRef ctx = request_pool_.acquire(
+      &d.app, app, &engine_, gateway_.get(), this, this, RequestKind::kRequest,
+      [this, handle, user = std::move(on_done)](double latency, bool ok) {
+        tracked_.erase(handle);
+        if (user) user(latency, ok);
+      },
+      nullptr, &tracer_, handle);
+  tracked_.emplace(handle, ctx);
+  ctx->launch();
+  return handle;
+}
+
+bool Platform::cancel_request(std::uint64_t handle) {
+  const auto it = tracked_.find(handle);
+  if (it == tracked_.end()) return false;
+  RequestRef ctx = it->second;  // keep the context alive across cancel()
+  tracked_.erase(it);
+  return ctx->cancel();
 }
 
 void Platform::submit_job(std::size_t app, std::function<void(double)> on_done) {
@@ -287,6 +369,12 @@ void Platform::refresh_metrics() {
         .set(static_cast<double>(d.stats.failed));
     metrics_.gauge("app.jobs_done", labels)
         .set(static_cast<double>(d.stats.jct.size()));
+    metrics_.gauge("app.requests_cancelled", labels)
+        .set(static_cast<double>(d.stats.cancelled));
+    metrics_.gauge("app.clones_dispatched", labels)
+        .set(static_cast<double>(d.stats.clones_dispatched));
+    metrics_.gauge("app.clones_cancelled", labels)
+        .set(static_cast<double>(d.stats.clones_cancelled));
   }
 }
 

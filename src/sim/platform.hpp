@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +41,12 @@ struct AppStats {
   std::vector<stats::Running> fn_ipc;
   /// Completed job JCTs (SC apps): (completion time, jct).
   std::vector<std::pair<double, double>> jct;
+  /// Requests retracted via cancel_request before completing.
+  std::uint64_t cancelled = 0;
+  /// Clone invocations submitted / retracted by cancel-on-first-complete
+  /// (zero unless the gateway's CloneConfig::factor > 1).
+  std::uint64_t clones_dispatched = 0;
+  std::uint64_t clones_cancelled = 0;
 
   std::vector<double> e2e_values() const;
   std::vector<double> fn_latency_values(std::size_t fn) const;
@@ -99,6 +106,17 @@ class Platform final : public Router, public RequestSink {
   /// end-to-end latency and success flag, after stats are recorded.
   void issue_request(std::size_t app,
                      std::function<void(double, bool)> on_done = {});
+  /// Like issue_request, but returns a handle that can retract the
+  /// request later (cross-shard clone groups). The handle stays valid —
+  /// the platform holds a RequestRef — until the request completes or is
+  /// cancelled.
+  std::uint64_t issue_tracked_request(
+      std::size_t app, std::function<void(double, bool)> on_done = {});
+  /// Retract a tracked request: every in-flight invocation is cancelled
+  /// at its instance and no completion is recorded (AppStats::cancelled
+  /// counts it instead). Returns false when the handle is unknown or the
+  /// request already completed — cancellation is idempotent.
+  bool cancel_request(std::uint64_t handle);
   /// Run an SC/BG app once through its graph; on_done receives the JCT.
   void submit_job(std::size_t app, std::function<void(double)> on_done = {});
   /// Abort every running execution of the app (models migrating the
@@ -128,6 +146,9 @@ class Platform final : public Router, public RequestSink {
 
   // Router:
   Instance* route(std::size_t app, std::size_t fn) override;
+  Instance* route_clone(std::size_t app, std::size_t fn,
+                        const Server* const* exclude, std::size_t n) override;
+  double clone_jitter(std::size_t app, std::size_t fn) override;
 
  private:
   // RequestSink (called by pooled RequestContexts; private because only
@@ -136,6 +157,9 @@ class Platform final : public Router, public RequestSink {
                        bool ok) override;
   void on_fn_done(std::size_t app, std::size_t fn,
                   const InvocationResult& result) override;
+  void on_request_cancelled(std::size_t app, RequestKind kind) override;
+  void on_clone_accounting(std::size_t app, std::uint32_t dispatched,
+                           std::uint32_t cancelled) override;
   struct DeployedApp {
     wl::App app;
     std::vector<std::vector<Instance*>> replicas;  // per fn
@@ -163,6 +187,11 @@ class Platform final : public Router, public RequestSink {
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
   std::uint64_t next_request_id_ = 1;
+  // Tracked (cancellable) requests by handle. Holds RequestRefs, so it
+  // must be destroyed before request_pool_ (it is: reverse declaration
+  // order). Ordered map: erase order feeds nothing, but iteration during
+  // teardown must be deterministic.
+  std::map<std::uint64_t, RequestRef> tracked_;
   // Instances (owned by the cluster) hold pointers into the deployed apps'
   // FunctionSpecs, so `apps_` must outlive `cluster_`: members below are
   // destroyed in reverse declaration order.
@@ -171,6 +200,9 @@ class Platform final : public Router, public RequestSink {
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<Gateway> gateway_;
   stats::Rng rng_;
+  /// Dedicated stream for synchronized-clone jitter draws so enabling
+  /// cloning never perturbs the load RNG (rng_) sequence.
+  stats::Rng clone_rng_;
 };
 
 }  // namespace gsight::sim

@@ -101,6 +101,18 @@ void Recorder::on_exec_slice(void* owner, SimTime end, double dt,
   }
 }
 
+void Recorder::on_exec_aborted(void* owner, SimTime when) {
+  (void)when;
+  if (owner == nullptr) return;
+  const auto* inst = static_cast<const Instance*>(owner);
+  ++aborts_[{inst->app_index(), inst->fn_index()}];
+}
+
+std::uint64_t Recorder::aborts(std::size_t app, std::size_t fn) const {
+  const auto it = aborts_.find({app, fn});
+  return it == aborts_.end() ? 0 : it->second;
+}
+
 std::vector<std::pair<std::int64_t, MetricAccum>> Recorder::windows(
     std::size_t app, std::size_t fn) const {
   std::vector<std::pair<std::int64_t, MetricAccum>> out;
@@ -147,6 +159,11 @@ void Recorder::dump(std::ostream& os) const {
       }
       os << '\n';
     }
+  }
+  // Abort counters append after the windows (absent entirely when no
+  // execution was retracted, keeping legacy dumps byte-identical).
+  for (const auto& [key, n] : aborts_) {
+    os << "aborts " << key.first << '/' << key.second << ' ' << n << '\n';
   }
 }
 

@@ -44,6 +44,7 @@ class Recorder final : public ExecSliceSink {
   void on_exec_slice(void* owner, SimTime end, double dt,
                      const ExecObservation& obs,
                      const wl::Phase& phase) override;
+  void on_exec_aborted(void* owner, SimTime when) override;
 
   /// Per-window means for one function, ordered by window index.
   std::vector<std::pair<std::int64_t, MetricAccum>> windows(
@@ -52,9 +53,15 @@ class Recorder final : public ExecSliceSink {
   MetricAccum total(std::size_t app, std::size_t fn) const;
   /// Busy seconds recorded for one function.
   double busy_seconds(std::size_t app, std::size_t fn) const;
+  /// Executions of one function retracted before completing (clone
+  /// cancellations, migrations).
+  std::uint64_t aborts(std::size_t app, std::size_t fn) const;
 
   double window_s() const { return window_s_; }
-  void clear() { data_.clear(); }
+  void clear() {
+    data_.clear();
+    aborts_.clear();
+  }
 
   /// Deterministic serialization of every (app, fn, window) accumulator.
   /// Doubles are hex-float formatted, so two dumps compare equal iff the
@@ -67,6 +74,9 @@ class Recorder final : public ExecSliceSink {
   using Key = std::pair<std::size_t, std::size_t>;
   double window_s_;
   std::map<Key, std::map<std::int64_t, MetricAccum>> data_;
+  // Abort counters per (app, fn); a separate map so dumps from runs
+  // without cancellations stay byte-identical to pre-cloning dumps.
+  std::map<Key, std::uint64_t> aborts_;
 };
 
 }  // namespace gsight::sim

@@ -64,6 +64,9 @@ void RequestContext::reset(const wl::App* app, std::size_t app_index,
   start_ = 0.0;
   nodes_.assign(app->function_count(), NodeState{});
   finished_ = false;
+  cancelled_ = false;
+  clones_dispatched_ = 0;
+  clones_cancelled_ = 0;
 }
 
 void RequestContext::launch() {
@@ -83,42 +86,140 @@ void RequestContext::invoke(std::size_t node,
   state.invoked = true;
   state.parent = nested_parent;
 
-  RequestRef self(this);
-  const SimTime forwarded = engine_->now();
-  gateway_->forward([self, node, forwarded] {
-    const bool tracing =
-        self->tracer_ != nullptr && self->tracer_->enabled();
-    if (tracing) {
-      // The gateway leg of this node: enqueue at the shared gateway until
-      // delivery to a backend replica.
-      self->tracer_->complete(
-          forwarded, self->engine_->now() - forwarded, "request.gateway",
-          "request", obs::Lanes::kRequests, self->request_id_,
-          {{"fn", obs::json_number(static_cast<double>(node))}});
-    }
-    Instance* instance =
-        self->router_->route(self->app_index_, node);
-    if (instance == nullptr) {
-      if (tracing) {
-        self->tracer_->instant(self->engine_->now(), "request.drop", "request",
-                               obs::Lanes::kRequests, self->request_id_);
-      }
-      self->finish(false);
-      return;
-    }
-    if (tracing) {
-      self->tracer_->instant(
-          self->engine_->now(), "request.dispatch", "request",
-          obs::Lanes::kRequests, self->request_id_,
-          {{"fn", obs::json_number(static_cast<double>(node))},
-           {"instance", obs::json_number(static_cast<double>(instance->id()))},
-           {"server",
-            obs::json_number(static_cast<double>(instance->server().id()))}});
-    }
-    instance->submit([self, node](const InvocationResult& r) {
-      self->on_exec_done(node, r);
+  // Cloning fan-out (jobs are never cloned): each clone is a separate
+  // gateway forward — replication amplifies gateway load too, which is
+  // part of what the clone-bench measures.
+  const CloneConfig& cc = gateway_->clone_config();
+  const std::size_t d =
+      (kind_ == RequestKind::kRequest && cc.factor > 1)
+          ? std::min<std::size_t>(cc.factor, kMaxCloneFactor)
+          : 1;
+  state.clones_expected = static_cast<std::uint8_t>(d);
+  if (d > 1 && cc.policy == CloneConfig::Policy::kSynchronized) {
+    state.clone_jitter = router_->clone_jitter(app_index_, node);
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    RequestRef self(this);
+    const SimTime forwarded = engine_->now();
+    gateway_->forward([self, node, c, forwarded] {
+      self->deliver_clone(node, c, forwarded);
     });
-  });
+  }
+}
+
+void RequestContext::deliver_clone(std::size_t node, std::size_t c,
+                                   SimTime forwarded) {
+  NodeState& state = nodes_[node];
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  if (tracing) {
+    // The gateway leg of this node: enqueue at the shared gateway until
+    // delivery to a backend replica.
+    tracer_->complete(forwarded, engine_->now() - forwarded, "request.gateway",
+                      "request", obs::Lanes::kRequests, request_id_,
+                      {{"fn", obs::json_number(static_cast<double>(node))}});
+  }
+  // A sibling already won, or the whole request was retracted, while this
+  // clone sat in the gateway queue: drop it (the ref dies with us).
+  if (cancelled_ || state.clone_won) return;
+  Instance* instance;
+  if (state.clones_expected <= 1) {
+    instance = router_->route(app_index_, node);
+  } else {
+    // Distinct-server constraint: exclude every server a sibling clone
+    // already landed on.
+    const Server* exclude[kMaxCloneFactor];
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < state.clones_expected; ++i) {
+      if (state.clones[i].instance != nullptr) {
+        exclude[n++] = &state.clones[i].instance->server();
+      }
+    }
+    instance = router_->route_clone(app_index_, node, exclude, n);
+  }
+  if (instance == nullptr) {
+    if (state.clones_expected > 1) {
+      // This clone is surplus (all replica servers taken by siblings or
+      // draining). The request only fails when every clone is unroutable.
+      ++state.clones_unroutable;
+      if (state.clones_unroutable < state.clones_expected) return;
+    }
+    if (tracing) {
+      tracer_->instant(engine_->now(), "request.drop", "request",
+                       obs::Lanes::kRequests, request_id_);
+    }
+    finish(false);
+    return;
+  }
+  if (tracing) {
+    tracer_->instant(
+        engine_->now(), "request.dispatch", "request", obs::Lanes::kRequests,
+        request_id_,
+        {{"fn", obs::json_number(static_cast<double>(node))},
+         {"instance", obs::json_number(static_cast<double>(instance->id()))},
+         {"server",
+          obs::json_number(static_cast<double>(instance->server().id()))}});
+  }
+  state.clones[c].instance = instance;
+  RequestRef self(this);
+  if (state.clones_expected <= 1) {
+    state.clones[c].ticket =
+        instance->submit([self, node](const InvocationResult& r) {
+          self->nodes_[node].clones[0].ticket = 0;
+          self->on_exec_done(node, r);
+        });
+  } else {
+    ++clones_dispatched_;
+    state.clones[c].ticket = instance->submit(
+        [self, node, c](const InvocationResult& r) {
+          self->on_clone_done(node, c, r);
+        },
+        state.clone_jitter);
+  }
+}
+
+void RequestContext::on_clone_done(std::size_t node, std::size_t c,
+                                   const InvocationResult& result) {
+  NodeState& state = nodes_[node];
+  state.clones[c].ticket = 0;
+  if (state.clone_won) return;  // siblings are cancelled, but stay safe
+  state.clone_won = true;
+  // Cancel-on-first-complete: retract every sibling still queued or
+  // running; their DoneFns are destroyed without firing, releasing the
+  // RequestRefs they captured.
+  for (std::size_t i = 0; i < state.clones_expected; ++i) {
+    if (i == c) continue;
+    CloneSlot& slot = state.clones[i];
+    if (slot.ticket != 0 && slot.instance != nullptr) {
+      if (slot.instance->cancel(slot.ticket)) ++clones_cancelled_;
+      slot.ticket = 0;
+    }
+  }
+  on_exec_done(node, result);
+}
+
+bool RequestContext::cancel() {
+  if (finished_) return false;
+  finished_ = true;
+  cancelled_ = true;
+  for (auto& state : nodes_) {
+    for (std::size_t i = 0; i < state.clones_expected; ++i) {
+      CloneSlot& slot = state.clones[i];
+      if (slot.ticket != 0 && slot.instance != nullptr) {
+        if (slot.instance->cancel(slot.ticket)) ++clones_cancelled_;
+        slot.ticket = 0;
+      }
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->async_end(engine_->now(), "request", "request", request_id_,
+                       {{"ok", "cancelled"}});
+  }
+  if (clones_dispatched_ > 0) {
+    sink_->on_clone_accounting(app_index_, clones_dispatched_,
+                               clones_cancelled_);
+  }
+  sink_->on_request_cancelled(app_index_, kind_);
+  return true;
 }
 
 void RequestContext::on_exec_done(std::size_t node,
@@ -185,6 +286,10 @@ void RequestContext::finish(bool ok) {
   const double elapsed = engine_->now() - start_;
   // Sink first (stats recorded), then the user callback — preserving the
   // "after stats are recorded" ordering issue_request documents.
+  if (clones_dispatched_ > 0) {
+    sink_->on_clone_accounting(app_index_, clones_dispatched_,
+                               clones_cancelled_);
+  }
   sink_->on_request_done(app_index_, kind_, elapsed, ok);
   if (kind_ == RequestKind::kRequest) {
     if (done_request_) done_request_(elapsed, ok);

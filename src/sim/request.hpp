@@ -45,6 +45,25 @@ class Router {
   virtual ~Router() = default;
   /// May return nullptr when no replica exists; the request then fails.
   virtual Instance* route(std::size_t app, std::size_t fn) = 0;
+  /// Clone-aware routing: pick a replica whose server is NOT one of
+  /// exclude[0..n) — clones of one request must land on distinct servers
+  /// or replication buys nothing. Returns nullptr when every replica's
+  /// server is excluded (the extra clone is simply not dispatched). The
+  /// default ignores the exclusion so single-replica test routers keep
+  /// working.
+  virtual Instance* route_clone(std::size_t app, std::size_t fn,
+                                const Server* const* exclude, std::size_t n) {
+    (void)exclude;
+    (void)n;
+    return route(app, fn);
+  }
+  /// One shared duration-jitter draw for a synchronized clone group
+  /// (CloneConfig::Policy::kSynchronized). <= 0 means "draw per clone".
+  virtual double clone_jitter(std::size_t app, std::size_t fn) {
+    (void)app;
+    (void)fn;
+    return -1.0;
+  }
 };
 
 /// What a context represents: an LS request (e2e latency) or an SC/BG
@@ -63,6 +82,21 @@ class RequestSink {
   /// Every finished function invocation of every request.
   virtual void on_fn_done(std::size_t app, std::size_t fn,
                           const InvocationResult& result) = 0;
+  /// A tracked request was retracted via RequestContext::cancel() before
+  /// completing (cross-shard clone groups). No on_request_done follows.
+  virtual void on_request_cancelled(std::size_t app, RequestKind kind) {
+    (void)app;
+    (void)kind;
+  }
+  /// Per-request clone accounting, reported at finish/cancel time when
+  /// the request dispatched any clones: how many clone invocations were
+  /// submitted and how many were retracted by cancel-on-first-complete.
+  virtual void on_clone_accounting(std::size_t app, std::uint32_t dispatched,
+                                   std::uint32_t cancelled) {
+    (void)app;
+    (void)dispatched;
+    (void)cancelled;
+  }
 };
 
 class RequestContext;
@@ -104,6 +138,17 @@ class RequestContext {
   /// checked out until every spawned invocation has finished.
   void launch();
 
+  /// Retract the whole request: every live clone/invocation ticket is
+  /// cancelled at its instance, the sink is told via
+  /// on_request_cancelled, and neither on_request_done nor the user
+  /// callback ever fires. Idempotent; returns false when the request
+  /// already finished (or was already cancelled). Used by the sharded
+  /// runtime to resolve cross-cell clone groups.
+  bool cancel();
+
+  bool finished() const { return finished_; }
+  bool cancelled() const { return cancelled_; }
+
  private:
   friend class RequestPool;
   friend class RequestRef;
@@ -120,15 +165,38 @@ class RequestContext {
   void add_ref() { ++refs_; }
   void release_ref();
 
+  /// One dispatched clone of a node's invocation: where it went and the
+  /// instance ticket that retracts it. Fixed-size storage inside
+  /// NodeState so the cloning fast path allocates nothing.
+  struct CloneSlot {
+    Instance* instance = nullptr;
+    std::uint64_t ticket = 0;  ///< 0 = empty / already resolved
+  };
+
   struct NodeState {
     bool invoked = false;
     bool exec_done = false;
     bool completed = false;
     std::size_t pending_nested = 0;
     std::optional<std::size_t> parent;  ///< nested parent, if any
+    // Cloning state. clones_expected is the fan-out d for this node
+    // (1 = legacy single dispatch); clone_won latches on the first
+    // completion so late siblings and stale deliveries drop.
+    CloneSlot clones[kMaxCloneFactor];
+    std::uint8_t clones_expected = 0;
+    std::uint8_t clones_unroutable = 0;
+    bool clone_won = false;
+    double clone_jitter = -1.0;  ///< shared draw (synchronized policy)
   };
 
   void invoke(std::size_t node, std::optional<std::size_t> nested_parent);
+  /// Gateway delivery of clone `c` of `node`: route (excluding sibling
+  /// servers), submit, record the cancellation ticket.
+  void deliver_clone(std::size_t node, std::size_t c, SimTime forwarded);
+  /// First clone of `node` to complete: cancel the siblings, then run
+  /// the normal completion path.
+  void on_clone_done(std::size_t node, std::size_t c,
+                     const InvocationResult& result);
   void on_exec_done(std::size_t node, const InvocationResult& result);
   void complete_node(std::size_t node);
   void finish(bool ok);
@@ -149,6 +217,9 @@ class RequestContext {
   SimTime start_ = 0.0;
   std::vector<NodeState> nodes_;
   bool finished_ = false;
+  bool cancelled_ = false;
+  std::uint32_t clones_dispatched_ = 0;
+  std::uint32_t clones_cancelled_ = 0;
 };
 
 /// LIFO free-list pool of RequestContexts. LIFO keeps the hottest

@@ -8,6 +8,23 @@
 
 namespace gsight::sim {
 
+/// Per-server service discipline (CloudSimSC models disciplines as a
+/// first-class simulator concept; the request-cloning PS paper motivates
+/// the second one).
+///
+///  - kSerial: the status quo. Every active execution asks the
+///    interference model for its full core demand; when the colocation
+///    over-commits the node the model's demand-proportional `cpu_factor`
+///    stretches everyone. Equivalent to the pre-discipline behaviour
+///    bit-for-bit.
+///  - kProcessorSharing: an egalitarian cap layered on top. With n
+///    active executions each is limited to cores/n — an execution whose
+///    current phase demands more progresses at rate * (cores/n)/demand.
+///    Re-timed on every arrival/departure/phase change (the recompute
+///    already fires there), so in-flight completion times shift exactly
+///    as PS theory says they should.
+enum class ServiceDiscipline { kSerial, kProcessorSharing };
+
 struct ServerConfig {
   double cores = 40.0;       ///< physical cores (we model cores, not SMT)
   double llc_mb = 25.0;      ///< shared last-level cache
@@ -16,6 +33,7 @@ struct ServerConfig {
   double disk_mbps = 2000.0; ///< SSD throughput
   double net_mbps = 10000.0; ///< NIC throughput
   double base_freq_ghz = 2.0;
+  ServiceDiscipline discipline = ServiceDiscipline::kSerial;
 
   /// The paper's testbed node: Intel Xeon E7-4820 v4, 4 sockets, 40 cores,
   /// 25 MB LLC, 256 GB RAM, 960 GB SSD (Table 4).

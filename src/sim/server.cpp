@@ -1,3 +1,4 @@
+// gsight-analyze: hot-path
 #include "sim/server.hpp"
 
 #include <cmath>
@@ -49,6 +50,9 @@ ExecId Server::begin_execution(std::vector<wl::Phase> phases,
 bool Server::abort_execution(ExecId id) {
   const auto it = execs_.find(id);
   if (it == execs_.end()) return false;
+  if (sink_ != nullptr) {
+    sink_->on_exec_aborted(it->second.owner, engine_->now());
+  }
   execs_.erase(it);
   recompute();
   return true;
@@ -109,11 +113,26 @@ void Server::recompute() {
     order.push_back(&e);
   }
   const auto observations = model_->evaluate(config_, phases);
-  // 3. Apply new rates and reschedule completions.
+  // 3. Apply new rates and reschedule completions. Under processor
+  // sharing each execution is additionally capped to an equal share of
+  // the cores: the interference model splits CPU time proportionally to
+  // demand, so the egalitarian discipline is a further fair-share factor
+  // on executions demanding more than cores/n.
+  const double fair_cores = (config_.discipline ==
+                                 ServiceDiscipline::kProcessorSharing &&
+                             !order.empty())
+                                ? config_.cores / static_cast<double>(
+                                                      order.size())
+                                : 0.0;
   for (std::size_t i = 0; i < order.size(); ++i) {
     Exec& e = *order[i];
     e.obs = observations[i];
     e.rate = std::max(e.obs.rate, 1e-9);
+    if (fair_cores > 0.0) {
+      const double want = e.phases[e.phase_idx].demand.cores;
+      if (want > fair_cores) e.rate *= fair_cores / want;
+      e.rate = std::max(e.rate, 1e-9);
+    }
     GSIGHT_INVARIANT(std::isfinite(e.rate) && e.rate > 0.0,
                      "interference model produced a bad progress rate");
     GSIGHT_INVARIANT(e.remaining >= 0.0, "negative remaining work");

@@ -38,6 +38,12 @@ class ExecSliceSink {
   virtual void on_exec_slice(void* owner, SimTime end, double dt,
                              const ExecObservation& obs,
                              const wl::Phase& phase) = 0;
+  /// An execution was retracted (clone cancellation, migration) before
+  /// completing; its final partial slice is not banked. Default no-op.
+  virtual void on_exec_aborted(void* owner, SimTime when) {
+    (void)owner;
+    (void)when;
+  }
 };
 
 class Server {

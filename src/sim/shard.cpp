@@ -106,9 +106,29 @@ void Shard::schedule_next_arrival() {
             static_cast<std::size_t>(draw) +
             (static_cast<std::size_t>(draw) >= config_.index ? 1 : 0);
         const std::size_t app = load_app_;
-        outbox_->post(dest, t, t + config_.hop_latency_s,
-                      [app](Shard& s) { s.inject_request(app); });
-        ++handoffs_sent_;
+        if (config_.clone_handoffs) {
+          // Cross-cell clone pair: one leg here, the sibling on `dest`,
+          // first completion cancels the other (one hop later). Both
+          // legs register under (origin = this cell, group).
+          const std::uint64_t group = next_clone_group_++;
+          ++clone_groups_;
+          const std::size_t origin = config_.index;
+          const std::uint64_t handle = platform_->issue_tracked_request(
+              app, [this, dest, origin, group](double, bool) {
+                finish_clone_leg(dest, origin, group);
+              });
+          clone_registry_[{origin, group}] = handle;
+          ++requests_issued_;
+          outbox_->post(dest, t, t + config_.hop_latency_s,
+                        [origin, group, app](Shard& s) {
+                          s.inject_clone(origin, group, app);
+                        });
+          ++handoffs_sent_;
+        } else {
+          outbox_->post(dest, t, t + config_.hop_latency_s,
+                        [app](Shard& s) { s.inject_request(app); });
+          ++handoffs_sent_;
+        }
       } else {
         platform_->issue_request(load_app_);
         ++requests_issued_;
@@ -124,17 +144,61 @@ void Shard::inject_request(std::size_t app) {
   ++requests_issued_;
 }
 
+void Shard::inject_clone(std::size_t origin, std::uint64_t group,
+                         std::size_t app) {
+  ++handoffs_received_;
+  const std::uint64_t handle = platform_->issue_tracked_request(
+      app, [this, origin, group](double, bool) {
+        // The sibling leg lives on the origin cell.
+        finish_clone_leg(origin, origin, group);
+      });
+  clone_registry_[{origin, group}] = handle;
+  ++requests_issued_;
+}
+
+void Shard::finish_clone_leg(std::size_t peer, std::size_t origin,
+                             std::uint64_t group) {
+  clone_registry_.erase({origin, group});
+  const SimTime t = platform_->now();
+  outbox_->post(peer, t, t + config_.hop_latency_s,
+                [origin, group](Shard& s) { s.cancel_clone(origin, group); });
+  ++clone_cancels_sent_;
+}
+
+void Shard::cancel_clone(std::size_t origin, std::uint64_t group) {
+  ++clone_cancels_received_;
+  const auto it = clone_registry_.find({origin, group});
+  if (it == clone_registry_.end()) {
+    // The leg here completed before the cancel arrived (including the
+    // both-legs-win-in-one-epoch race): deterministic no-op.
+    ++clone_cancels_stale_;
+    return;
+  }
+  const std::uint64_t handle = it->second;
+  clone_registry_.erase(it);
+  if (platform_->cancel_request(handle)) {
+    ++clone_cancels_applied_;
+  } else {
+    ++clone_cancels_stale_;
+  }
+}
+
 std::string Shard::digest() const {
   std::ostringstream os;
   os << "shard " << config_.index << " events "
      << platform_->engine().events_executed() << " issued "
      << requests_issued_ << " handoffs_out " << handoffs_sent_
-     << " handoffs_in " << handoffs_received_ << '\n';
+     << " handoffs_in " << handoffs_received_ << " clone_groups "
+     << clone_groups_ << " cancels_sent " << clone_cancels_sent_
+     << " cancels_in " << clone_cancels_received_ << " cancels_applied "
+     << clone_cancels_applied_ << " cancels_stale " << clone_cancels_stale_
+     << '\n';
   os << std::hexfloat;
   for (std::size_t a = 0; a < platform_->app_count(); ++a) {
     const AppStats& st = platform_->stats(a);
     os << "app " << a << " ok " << st.e2e.size() << " failed " << st.failed
-       << '\n';
+       << " cancelled " << st.cancelled << " clones "
+       << st.clones_dispatched << '/' << st.clones_cancelled << '\n';
     for (const auto& [t, l] : st.e2e) os << t << ' ' << l << '\n';
   }
   os << platform_->recorder().dump_string();

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "sim/mailbox.hpp"
 #include "sim/platform.hpp"
@@ -31,6 +33,10 @@ struct ShardConfig {
   /// Probability that an accepted arrival is handed off to another cell
   /// (models requests entering through the "wrong" regional gateway).
   double remote_fraction = 0.0;
+  /// Turn each would-be handoff into a cross-cell clone pair instead: one
+  /// leg runs locally, the sibling runs on the remote cell, and whichever
+  /// completes first posts a cancel for the other through the mailbox.
+  bool clone_handoffs = false;
 };
 
 class Shard {
@@ -63,10 +69,24 @@ class Shard {
   /// Entry point for handed-off requests (runs inside this cell's engine
   /// via a mailbox message).
   void inject_request(std::size_t app);
+  /// Entry point for the remote leg of a cross-cell clone pair: issues a
+  /// tracked request registered under (origin, group) so a later cancel
+  /// message can retract it.
+  void inject_clone(std::size_t origin, std::uint64_t group, std::size_t app);
+  /// Entry point for a clone-cancel message: retracts the (origin, group)
+  /// leg if it is still registered here. A missing entry means the leg
+  /// already completed (stale cancel, including the both-legs-finish-in-
+  /// one-epoch double win) — a deterministic no-op.
+  void cancel_clone(std::size_t origin, std::uint64_t group);
 
   std::uint64_t requests_issued() const { return requests_issued_; }
   std::uint64_t handoffs_sent() const { return handoffs_sent_; }
   std::uint64_t handoffs_received() const { return handoffs_received_; }
+  std::uint64_t clone_groups() const { return clone_groups_; }
+  std::uint64_t clone_cancels_applied() const {
+    return clone_cancels_applied_;
+  }
+  std::uint64_t clone_cancels_stale() const { return clone_cancels_stale_; }
 
   /// Deterministic hex-float state digest: request stats plus the full
   /// Recorder dump. Two runs are byte-identical iff every cell's digest
@@ -75,6 +95,10 @@ class Shard {
 
  private:
   void schedule_next_arrival();
+  /// One leg of clone group (origin, group) completed here; unregister it
+  /// and post a cancel for the sibling leg living on `peer`.
+  void finish_clone_leg(std::size_t peer, std::size_t origin,
+                        std::uint64_t group);
 
   ShardConfig config_;
   Outbox* outbox_;
@@ -89,6 +113,17 @@ class Shard {
   std::uint64_t requests_issued_ = 0;
   std::uint64_t handoffs_sent_ = 0;
   std::uint64_t handoffs_received_ = 0;
+  // Cross-cell clone state. The registry maps (origin cell, group id) of
+  // every live leg on this cell to the tracked-request handle that can
+  // retract it; ordered map so teardown order is deterministic.
+  std::uint64_t next_clone_group_ = 1;
+  std::map<std::pair<std::size_t, std::uint64_t>, std::uint64_t>
+      clone_registry_;
+  std::uint64_t clone_groups_ = 0;
+  std::uint64_t clone_cancels_sent_ = 0;
+  std::uint64_t clone_cancels_received_ = 0;
+  std::uint64_t clone_cancels_applied_ = 0;
+  std::uint64_t clone_cancels_stale_ = 0;
 };
 
 /// The synthetic edge workload the shard-scaling bench and determinism

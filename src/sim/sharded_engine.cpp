@@ -30,6 +30,7 @@ ShardedEngine::ShardedEngine(ShardedEngineConfig config)
     sc.total_shards = cells;
     sc.hop_latency_s = config_.topology.hop_latency_s;
     sc.remote_fraction = config_.remote_fraction;
+    sc.clone_handoffs = config_.clone_handoffs;
     sc.load_seed = config_.seed;
     // Each cell is a full platform of `servers` nodes with its own derived
     // seed. Cells never share the process-wide default trace sink: lanes
@@ -141,6 +142,10 @@ void ShardedEngine::refresh_metrics() {
         .set(static_cast<double>(s.handoffs_sent()));
     metrics_.gauge("shard.handoffs_in", labels)
         .set(static_cast<double>(s.handoffs_received()));
+    metrics_.gauge("shard.clone_groups", labels)
+        .set(static_cast<double>(s.clone_groups()));
+    metrics_.gauge("shard.clone_cancels_applied", labels)
+        .set(static_cast<double>(s.clone_cancels_applied()));
     metrics_.gauge("shard.instances", labels)
         .set(static_cast<double>(s.platform().total_instances()));
   }

@@ -41,6 +41,9 @@ struct ShardedEngineConfig : ClusterSpec {
   std::size_t threads = 1;
   /// Per-arrival probability of a cross-cell handoff.
   double remote_fraction = 0.05;
+  /// Turn handoffs into cross-cell clone pairs (first completion cancels
+  /// the sibling through the mailbox). See ShardConfig::clone_handoffs.
+  bool clone_handoffs = false;
   /// Diurnal load shape driven on every cell (base_qps is per cell).
   wl::AzureTraceConfig trace;
 };

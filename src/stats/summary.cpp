@@ -100,6 +100,23 @@ double median(std::vector<double> values) {
   return percentile_inplace(values, 50.0);
 }
 
+TailSummary tail_summary_inplace(std::vector<double>& values) {
+  TailSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.p50 = percentile_inplace(values, 50.0);
+  s.p90 = percentile_inplace(values, 90.0);
+  s.p99 = percentile_inplace(values, 99.0);
+  s.p999 = percentile_inplace(values, 99.9);
+  s.p9999 = percentile_inplace(values, 99.99);
+  return s;
+}
+
+TailSummary tail_summary(std::vector<double> values) {
+  return tail_summary_inplace(values);
+}
+
 Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
     : capacity_(capacity), rng_(seed) {
   GSIGHT_ASSERT(capacity > 0, "reservoir capacity must be non-zero");
@@ -119,6 +136,10 @@ void Reservoir::add(double x) {
 double Reservoir::percentile(double p) const {
   if (data_.empty()) return 0.0;
   return stats::percentile(data_, p);
+}
+
+TailSummary Reservoir::tail_summary() const {
+  return stats::tail_summary(data_);
 }
 
 double Reservoir::mean() const { return stats::mean(data_); }

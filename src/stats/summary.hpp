@@ -52,6 +52,26 @@ double stddev(const std::vector<double>& values);
 double cov(const std::vector<double>& values);
 double median(std::vector<double> values);
 
+/// Tail-latency digest of one sample set: count, mean, and the standard
+/// reporting percentiles including the deep tail (p999 = 99.9th,
+/// p9999 = 99.99th). All percentiles use the same R-7 interpolation as
+/// percentile(); on small samples the deep-tail values interpolate
+/// toward the maximum rather than clamping to it.
+struct TailSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double p9999 = 0.0;
+};
+
+/// Digest of `values`; reorders the vector in place (nth_element based).
+TailSummary tail_summary_inplace(std::vector<double>& values);
+/// Copying variant.
+TailSummary tail_summary(std::vector<double> values);
+
 /// Fixed-capacity uniform reservoir sample (Vitter's Algorithm R). Keeps an
 /// unbiased sample of an unbounded stream so long simulations can report
 /// percentiles without storing every observation.
@@ -65,6 +85,9 @@ class Reservoir {
   const std::vector<double>& data() const { return data_; }
   /// Percentile over the retained sample. Returns 0 when empty.
   double percentile(double p) const;
+  /// Tail digest (p50/p90/p99/p999/p9999) over the retained sample.
+  /// `count` is the retained size, not `seen()`.
+  TailSummary tail_summary() const;
   double mean() const;
 
  private:

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "core/contracts.hpp"
 #include "stats/rng.hpp"
@@ -170,6 +171,45 @@ TEST(Reservoir, SampleIsApproximatelyUniform) {
 TEST(Reservoir, EmptyPercentileZero) {
   Reservoir res(8);
   EXPECT_DOUBLE_EQ(res.percentile(99.0), 0.0);
+}
+
+TEST(Percentile, ExtremeTailsInterpolateOnSmallSamples) {
+  // R-7 on n=10 values 1..10: rank(p) = p/100 * 9, linearly interpolated
+  // between order statistics. Far tails must not just clamp to the max —
+  // they interpolate inside the last gap.
+  std::vector<double> v;
+  for (int i = 10; i >= 1; --i) v.push_back(i);  // unsorted on purpose
+  EXPECT_NEAR(percentile(v, 99.0), 9.91, 1e-12);
+  EXPECT_NEAR(percentile(v, 99.9), 9.991, 1e-12);
+  EXPECT_NEAR(percentile(v, 99.99), 9.9991, 1e-12);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 10.0);
+}
+
+TEST(TailSummaryStats, MatchesDirectPercentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(static_cast<double>(i));
+  const TailSummary t = tail_summary(v);
+  EXPECT_EQ(t.count, 1000u);
+  EXPECT_DOUBLE_EQ(t.mean, 500.5);
+  EXPECT_DOUBLE_EQ(t.p50, percentile(v, 50.0));
+  EXPECT_DOUBLE_EQ(t.p90, percentile(v, 90.0));
+  EXPECT_DOUBLE_EQ(t.p99, percentile(v, 99.0));
+  EXPECT_DOUBLE_EQ(t.p999, percentile(v, 99.9));
+  EXPECT_DOUBLE_EQ(t.p9999, percentile(v, 99.99));
+  // p99 of 1..1000 under R-7: rank 989.01 -> between 990 and 991.
+  EXPECT_NEAR(t.p99, 990.01, 1e-9);
+}
+
+TEST(TailSummaryStats, EmptyAndReservoirPaths) {
+  std::vector<double> empty;
+  const TailSummary t = tail_summary(empty);
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_DOUBLE_EQ(t.p9999, 0.0);
+  Reservoir res(64, 5);
+  for (int i = 0; i < 32; ++i) res.add(i);
+  const TailSummary r = res.tail_summary();
+  EXPECT_EQ(r.count, 32u);
+  EXPECT_DOUBLE_EQ(r.p50, res.percentile(50.0));
 }
 
 }  // namespace

@@ -127,6 +127,71 @@ TEST(RequestPool, UserCallbacksStillFire) {
   EXPECT_EQ(platform.stats(id).e2e[0].second, latency);
 }
 
+/// Clone-enabled variant of run_once: every request fans into two legs
+/// with cancel-on-first-complete, so contexts are also released through
+/// the destroyed-unfired path (the loser's DoneFn dies with its pending
+/// events) instead of only through normal completion.
+std::string run_once_cloned(std::size_t* allocated, std::size_t* available,
+                            std::size_t* cancelled) {
+  PlatformConfig pc = pool_config();
+  pc.gateway.clone.factor = 2;
+  Platform platform(pc);
+  const std::size_t ls =
+      platform.deploy(wl::social_network(), std::vector<std::size_t>(9, 0));
+  for (std::size_t fn = 0; fn < 9; ++fn) {
+    for (std::size_t s = 1; s < 4; ++s) platform.add_replica(ls, fn, s);
+  }
+  platform.set_open_loop(ls, 40.0);
+  platform.run_until(20.0);
+  platform.set_open_loop(ls, 0.0);
+  platform.run_until(40.0);  // drain everything in flight
+  *allocated = platform.request_pool().allocated();
+  *available = platform.request_pool().available();
+  *cancelled = platform.stats(ls).clones_cancelled;
+  return stats_bytes(platform, 1);
+}
+
+TEST(RequestPool, CloneTwinRunsAreByteIdentical) {
+  std::size_t alloc_a = 0, avail_a = 0, cancel_a = 0;
+  std::size_t alloc_b = 0, avail_b = 0, cancel_b = 0;
+  const std::string a = run_once_cloned(&alloc_a, &avail_a, &cancel_a);
+  const std::string b = run_once_cloned(&alloc_b, &avail_b, &cancel_b);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(alloc_a, alloc_b);
+  EXPECT_EQ(cancel_a, cancel_b);
+  // Cancellation actually exercised, not a degenerate run.
+  EXPECT_GT(cancel_a, 0u);
+}
+
+TEST(RequestPool, SiblingCloneRefDropsReturnEveryContext) {
+  std::size_t allocated = 0, available = 0, cancelled = 0;
+  run_once_cloned(&allocated, &available, &cancelled);
+  EXPECT_GT(cancelled, 100u);
+  // Losing legs release their refs without ever firing; the context still
+  // comes back to the free list once the winner finishes.
+  EXPECT_EQ(available, allocated);
+}
+
+TEST(RequestPool, ContextRecyclesAfterTrackedCancel) {
+  Platform platform(pool_config());
+  const std::size_t id =
+      platform.deploy(wl::social_network(), std::vector<std::size_t>(9, 0));
+  const std::uint64_t handle = platform.issue_tracked_request(id);
+  platform.run_until(0.05);  // mid-flight
+  ASSERT_TRUE(platform.cancel_request(handle));
+  platform.run_until(5.0);
+  EXPECT_EQ(platform.stats(id).cancelled, 1u);
+  EXPECT_EQ(platform.request_pool().available(),
+            platform.request_pool().allocated());
+  // The recycled context serves the next request as usual.
+  platform.issue_request(id);
+  platform.run_until(10.0);
+  EXPECT_EQ(platform.stats(id).e2e.size(), 1u);
+  EXPECT_EQ(platform.request_pool().available(),
+            platform.request_pool().allocated());
+}
+
 TEST(RequestPool, RoutingFailureReportsNotOkAndRecycles) {
   Platform platform(pool_config());
   wl::App app = wl::logistic_regression_small();

@@ -117,6 +117,22 @@ int hot_alloc_self_test() {
          "void f() { use(new Foo()); }\n"
          "// gsight-analyze: hot-path\n"}},
        1},
+      {"clone fan-out loop stays allocation-free",
+       {{"src/sim/request.cpp",
+         "// gsight-analyze: hot-path\n"
+         "void deliver_clone() {\n"
+         "  const Server* exclude[kMaxCloneFactor] = {};\n"
+         "  auto* leg = route_clone(exclude, n);\n"
+         "  use(leg);\n"
+         "}\n"}},
+       0},
+      {"per-clone heap state in the recompute loop flags",
+       {{"src/sim/server.cpp",
+         "// gsight-analyze: hot-path\n"
+         "void recompute() {\n"
+         "  for (auto& e : order) track(new CloneState(e));\n"
+         "}\n"}},
+       1},
   };
   int failures = 0;
   for (const auto& c : cases) {

@@ -233,6 +233,28 @@ int include_graph_self_test() {
        {{"src/obs/live_stream.cpp", "#include \"serve/fleet.hpp\"\n"},
         {"src/serve/fleet.hpp", "#pragma once\n"}},
        "layer-back-edge"},
+      {"request fan-out stays inside sim (request -> gateway/instance)",
+       {{"src/sim/request.cpp",
+         "#include \"sim/request.hpp\"\n#include \"sim/gateway.hpp\"\n"
+         "#include \"sim/instance.hpp\"\n"},
+        {"src/sim/request.hpp", "#pragma once\n"},
+        {"src/sim/gateway.hpp", "#pragma once\n"},
+        {"src/sim/instance.hpp", "#pragma once\n"}},
+       nullptr},
+      {"server must not reach up into the gateway",
+       {{"src/sim/server.hpp", "#pragma once\n#include \"sim/gateway.hpp\"\n"},
+        {"src/sim/gateway.hpp",
+         "#pragma once\n#include \"sim/server.hpp\"\n"}},
+       "layer-cycle"},
+      {"cloning frontier reaches down from sched into sim",
+       {{"src/sched/cloning_frontier.cpp",
+         "#include \"sched/cloning_frontier.hpp\"\n"
+         "#include \"sim/platform.hpp\"\n"},
+        {"src/sched/cloning_frontier.hpp",
+         "#pragma once\n#include \"sim/gateway.hpp\"\n"},
+        {"src/sim/platform.hpp", "#pragma once\n"},
+        {"src/sim/gateway.hpp", "#pragma once\n"}},
+       nullptr},
   };
   int failures = 0;
   for (const auto& c : cases) {

@@ -20,6 +20,10 @@
 //                                       PredictionFleet instead (emits
 //                                       BENCH_serve_fleet.json) and --live
 //                                       streams gsight-live/v1 NDJSON
+//   gsight clone-bench [options]        sweep clone factor x interference
+//                                       intensity x service discipline and
+//                                       emit the latency-vs-cloning frontier
+//                                       (BENCH_cloning_frontier.json)
 //   gsight tail <file> [--follow]       pretty-print a gsight-live/v1
 //                                       NDJSON stream (the --live output)
 //   gsight demo                         30-second end-to-end tour
@@ -44,6 +48,7 @@
 #include "obs/live_stream.hpp"
 #include "obs/run_report.hpp"
 #include "profiling/profile_io.hpp"
+#include "sched/cloning_frontier.hpp"
 #include "serve/fleet.hpp"
 #include "serve/load_driver.hpp"
 #include "serve/service.hpp"
@@ -68,9 +73,18 @@ int usage() {
                "                  [--dump FILE]\n"
                "  gsight campaign --shards N [--clusters C] [--servers S]\n"
                "                  [--horizon T] [--threads N] [--seed S]\n"
-               "                  [--dump FILE]   (sharded simulation; the\n"
-               "                  digest is bit-identical for any --shards\n"
-               "                  and --threads)\n"
+               "                  [--remote F] [--clone-factor D]\n"
+               "                  [--clone-handoffs] [--ps] [--dump FILE]\n"
+               "                  (sharded simulation; the digest is\n"
+               "                  bit-identical for any --shards and\n"
+               "                  --threads, clones and cancellations\n"
+               "                  included)\n"
+               "  gsight clone-bench [--factors 1,2,3] [--levels 0,3]\n"
+               "                  [--reps N] [--servers S] [--qps HZ]\n"
+               "                  [--duration T] [--sync] [--threads N]\n"
+               "                  [--seed S] [--out DIR]\n"
+               "                  (latency-vs-cloning frontier ->\n"
+               "                  BENCH_cloning_frontier.json)\n"
                "  gsight serve-bench [--threads N] [--requests N] [--rate HZ]\n"
                "                  [--dim D] [--batch N] [--linger-us U]\n"
                "                  [--queue N] [--warm N] [--observe-every N]\n"
@@ -288,18 +302,34 @@ bool dump_samples(const std::vector<core::ScenarioSamples>& samples,
 /// byte-identical for any lane count and any thread count — check.sh's
 /// shard-equivalence stage compares those dumps the same way the dataset
 /// campaign compares sample streams.
+struct ShardedCloneOptions {
+  std::size_t clone_factor = 1;
+  bool clone_handoffs = false;
+  double remote_fraction = -1.0;  ///< < 0 keeps the config default
+  bool processor_sharing = false;
+};
+
 int cmd_campaign_sharded(std::size_t lanes, std::size_t threads,
                          std::uint64_t seed, std::size_t clusters,
                          std::size_t servers, double horizon,
-                         const std::string& dump_path) {
+                         const std::string& dump_path,
+                         const ShardedCloneOptions& clone) {
   sim::ShardedEngineConfig cfg;
   cfg.servers = servers;
   cfg.server = sim::ServerConfig::socket();
+  if (clone.processor_sharing) {
+    cfg.server.discipline = sim::ServiceDiscipline::kProcessorSharing;
+  }
   cfg.seed = seed;
   cfg.topology.clusters = clusters;
   cfg.topology.shards = lanes;
   cfg.threads = threads == 0 ? 1 : threads;
   cfg.trace.base_qps = 40.0;
+  cfg.gateway.clone.factor = clone.clone_factor;
+  cfg.clone_handoffs = clone.clone_handoffs;
+  if (clone.remote_fraction >= 0.0) {
+    cfg.remote_fraction = clone.remote_fraction;
+  }
   sim::ShardedEngine engine(cfg);
   engine.deploy_default_load();
   std::printf("sharded campaign: %zu cells x %zu servers, %zu lanes, "
@@ -345,6 +375,7 @@ int cmd_campaign(int argc, char** argv) {
   std::size_t clusters = 8;
   std::size_t servers = 32;
   double horizon = 120.0;
+  ShardedCloneOptions clone;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -397,13 +428,31 @@ int cmd_campaign(int argc, char** argv) {
     } else if (arg == "--horizon" && value != nullptr) {
       horizon = std::atof(value);
       ++i;
+    } else if (arg == "--clone-factor" && value != nullptr) {
+      clone.clone_factor =
+          static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--clone-handoffs") {
+      clone.clone_handoffs = true;
+    } else if (arg == "--remote" && value != nullptr) {
+      clone.remote_fraction = std::atof(value);
+      ++i;
+    } else if (arg == "--ps") {
+      clone.processor_sharing = true;
     } else {
       return usage();
     }
   }
   if (sharded) {
     return cmd_campaign_sharded(shards, threads, seed, clusters, servers,
-                                horizon, dump_path);
+                                horizon, dump_path, clone);
+  }
+  if (clone.clone_factor > 1 || clone.clone_handoffs ||
+      clone.remote_fraction >= 0.0 || clone.processor_sharing) {
+    std::fprintf(stderr,
+                 "error: --clone-factor/--clone-handoffs/--remote/--ps "
+                 "require --shards\n");
+    return usage();
   }
 
   // Small, fast geometry (the demo's): the subcommand exists to exercise
@@ -446,6 +495,109 @@ int cmd_campaign(int argc, char** argv) {
     }
     std::printf("sample stream dumped to %s\n", dump_path.c_str());
   }
+  return 0;
+}
+
+/// `gsight clone-bench` — sweep clone factor × interference intensity ×
+/// service discipline and emit the latency-vs-cloning frontier
+/// (BENCH_cloning_frontier.json). The human-readable table prints one row
+/// per cell: p99 falling with d on quiet servers and rising with d under
+/// heavy antagonists is the paper-replication headline.
+int cmd_clone_bench(int argc, char** argv) {
+  sched::CloningFrontierConfig cfg;
+  cfg.campaign.threads = env_threads();
+  std::string out_dir = ".";
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--threads" && value != nullptr) {
+      cfg.campaign.threads =
+          static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--seed" && value != nullptr) {
+      cfg.seed = std::strtoull(value, nullptr, 10);
+      ++i;
+    } else if (arg == "--reps" && value != nullptr) {
+      cfg.replications =
+          static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--servers" && value != nullptr) {
+      cfg.servers = static_cast<std::size_t>(std::strtoul(value, nullptr, 10));
+      ++i;
+    } else if (arg == "--qps" && value != nullptr) {
+      cfg.qps = std::atof(value);
+      ++i;
+    } else if (arg == "--duration" && value != nullptr) {
+      cfg.duration_s = std::atof(value);
+      ++i;
+    } else if (arg == "--factors" && value != nullptr) {
+      cfg.clone_factors.clear();
+      for (const char* p = value; *p != '\0';) {
+        char* end = nullptr;
+        cfg.clone_factors.push_back(
+            static_cast<std::size_t>(std::strtoul(p, &end, 10)));
+        if (end == p) return usage();
+        p = *end == ',' ? end + 1 : end;
+      }
+      ++i;
+    } else if (arg == "--levels" && value != nullptr) {
+      cfg.interference_levels.clear();
+      for (const char* p = value; *p != '\0';) {
+        char* end = nullptr;
+        cfg.interference_levels.push_back(
+            static_cast<std::size_t>(std::strtoul(p, &end, 10)));
+        if (end == p) return usage();
+        p = *end == ',' ? end + 1 : end;
+      }
+      ++i;
+    } else if (arg == "--sync") {
+      cfg.policy = sim::CloneConfig::Policy::kSynchronized;
+    } else if (arg == "--out" && value != nullptr) {
+      out_dir = value;
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("clone-bench: %zu servers, %.0f qps, %zu reps/cell, seed %llu, "
+              "threads %zu%s\n",
+              cfg.servers, cfg.qps, cfg.replications,
+              static_cast<unsigned long long>(cfg.seed), cfg.campaign.threads,
+              cfg.campaign.threads == 0 ? " (hardware)" : "");
+  const auto t0 = std::chrono::steady_clock::now();
+  const sched::CloningFrontierResult result = sched::run_cloning_frontier(cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("%-10s %4s %3s %10s %10s %10s %10s %10s\n", "discipline", "bg",
+              "d", "p50(ms)", "p99(ms)", "p999(ms)", "done", "cancelled");
+  for (const auto& c : result.cells) {
+    std::printf("%-10s %4zu %3zu %10.2f %10.2f %10.2f %10.0f %10.0f\n",
+                sched::discipline_label(c.discipline).c_str(), c.antagonists,
+                c.clone_factor, c.p50.mean * 1e3, c.p99.mean * 1e3,
+                c.p999.mean * 1e3, c.completed.mean, c.clones_cancelled.mean);
+  }
+
+  obs::RunReport report("cloning_frontier");
+  result.write_into(report);
+  report.set_meta("servers", std::to_string(cfg.servers));
+  report.set_meta("qps", std::to_string(cfg.qps));
+  report.set_meta("replications", std::to_string(cfg.replications));
+  report.set_meta("seed", std::to_string(cfg.seed));
+  report.set_meta("policy",
+                  cfg.policy == sim::CloneConfig::Policy::kSynchronized
+                      ? "synchronized"
+                      : "independent");
+  report.set_wall_time_s(wall);
+  const std::string path = report.write(out_dir);
+  if (path.empty()) {
+    std::fprintf(stderr, "error: cannot write report to %s\n",
+                 out_dir.c_str());
+    return 1;
+  }
+  std::printf("report -> %s (%.1fs wall)\n", path.c_str(), wall);
   return 0;
 }
 
@@ -922,6 +1074,7 @@ int main(int argc, char** argv) {
     if (cmd == "predict") return cmd_predict(argc - 2, argv + 2);
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "serve-bench") return cmd_serve_bench(argc - 2, argv + 2);
+    if (cmd == "clone-bench") return cmd_clone_bench(argc - 2, argv + 2);
     if (cmd == "tail") return cmd_tail(argc - 2, argv + 2);
     if (cmd == "demo") return cmd_demo();
   } catch (const std::exception& e) {
